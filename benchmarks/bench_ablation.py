@@ -1,0 +1,74 @@
+"""Bench: ablations for design choices DESIGN.md calls out.
+
+* Cache-line granularity: finer lines yield a higher (or equal)
+  proportion of approximate DRAM — the paper's Section 4.1/6.1 remark.
+* Energy split: DRAM-heavy savings shrink under the mobile split where
+  memory is only ~25% of system power (Section 5.4).
+"""
+
+from repro.apps import app_by_name
+from repro.experiments.ablation import (
+    LINE_SIZES,
+    energy_split_rows,
+    format_energy_splits,
+    format_line_sizes,
+    line_size_rows,
+)
+
+#: A DRAM-heavy subset keeps the sweep quick while showing the effect.
+SWEEP_APPS = [app_by_name(name) for name in ("fft", "sor", "imagej")]
+
+
+def test_bench_line_size_sweep(benchmark):
+    rows = benchmark.pedantic(line_size_rows, args=(SWEEP_APPS,), rounds=1, iterations=1)
+    print("\n" + format_line_sizes(rows))
+
+    for row in rows:
+        fractions = [row[size] for size in LINE_SIZES]
+        # Coarser lines never increase the approximate fraction.
+        for finer, coarser in zip(fractions, fractions[1:]):
+            assert coarser <= finer + 1e-9, row["app"]
+        # The sweep spans a real effect for array-heavy apps.
+        assert fractions[0] >= fractions[-1]
+
+
+def test_bench_software_substrate(benchmark):
+    """Ablation C: commodity-hardware substrate (FP truncation + elision).
+
+    Shape: stencil/render workloads tolerate the software substrate;
+    FFT's butterflies amplify stale elided operands, so it does not —
+    evidence for the per-application tuning Section 6.2 proposes.
+    """
+    from repro.experiments.ablation import (
+        format_software_substrate,
+        software_substrate_rows,
+    )
+
+    apps = [app_by_name(name) for name in ("fft", "sor", "raytracer")]
+    rows = benchmark.pedantic(
+        software_substrate_rows, args=(apps, 3), rounds=1, iterations=1
+    )
+    print("\n" + format_software_substrate(rows))
+
+    by_app = {row["app"]: row for row in rows}
+    assert by_app["SOR"]["qos"] < 0.1
+    assert by_app["Raytracer"]["qos"] < 0.1
+    assert by_app["FFT"]["qos"] > by_app["SOR"]["qos"]
+    for row in rows:
+        assert 0.0 < row["savings"] < 0.2
+        assert row["elided"] > 0
+
+
+def test_bench_energy_split(benchmark):
+    rows = benchmark.pedantic(energy_split_rows, rounds=1, iterations=1)
+    print("\n" + format_energy_splits(rows))
+
+    for row in rows:
+        assert 0.0 < row["server"] < 0.6
+        assert 0.0 < row["mobile"] < 0.6
+
+    # DRAM-heavy apps (e.g. SOR, ImageJ) save less under the mobile
+    # split; the suite-wide mean must drop too.
+    server_mean = sum(row["server"] for row in rows) / len(rows)
+    mobile_mean = sum(row["mobile"] for row in rows) / len(rows)
+    assert server_mean != mobile_mean

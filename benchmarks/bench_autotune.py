@@ -1,0 +1,34 @@
+"""Bench: offline per-application tuning (the paper's Sec. 6.2 suggestion).
+
+Shape asserted: per-application heterogeneous configurations meet the
+QoS budget while saving energy, and a sensitive app (SOR) ends up with
+a more conservative functional-unit level than a robust one
+(MonteCarlo/Raytracer) — the tuning the paper says a uniform level
+cannot provide.
+"""
+
+from repro.apps import app_by_name
+from repro.experiments.autotune import autotune_suite, format_tuning
+
+BUDGET = 0.05
+APPS = [app_by_name(name) for name in ("montecarlo", "sor", "raytracer")]
+
+
+def test_bench_autotune(benchmark):
+    results = benchmark.pedantic(
+        autotune_suite,
+        kwargs={"qos_budget": BUDGET, "runs": 3, "apps": APPS},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_tuning(results, BUDGET))
+
+    by_app = {result.app: result for result in results}
+    for result in results:
+        assert result.measured_qos <= BUDGET
+        assert result.savings > 0.05
+
+    # SOR is timing-sensitive (Figure 5): the tuner must keep its ALU
+    # level below what the robust apps tolerate.
+    assert by_app["SOR"].levels["timing"] <= by_app["MonteCarlo"].levels["timing"] or \
+        by_app["SOR"].levels["timing"] <= by_app["Raytracer"].levels["timing"]

@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 3 (fraction of approximate storage/compute).
+
+Paper shapes asserted:
+
+* many applications have DRAM approximation of 80% or higher (large
+  approximate arrays);
+* MonteCarlo and jMonkeyEngine have very little approximate DRAM — they
+  keep their principal data in locals (the paper calls both out);
+* FP-centric applications approximate nearly all FP operations;
+* integer approximation is rare — ImageJ is the notable exception
+  (approximate pixel coordinates), and no app approximates most of its
+  integer work (induction variables stay precise).
+"""
+
+from repro.experiments.figure3 import figure3_rows, format_figure3
+
+
+def test_bench_figure3(benchmark):
+    rows = benchmark.pedantic(figure3_rows, rounds=1, iterations=1)
+    print("\n" + format_figure3(rows))
+
+    by_app = {row["app"]: row for row in rows}
+
+    high_dram = [r for r in rows if r["dram_approx_fraction"] >= 0.8]
+    assert len(high_dram) >= 4
+
+    assert by_app["MonteCarlo"]["dram_approx_fraction"] < 0.05
+    assert by_app["jMonkeyEngine"]["dram_approx_fraction"] < 0.05
+
+    for app in ("FFT", "SOR", "LU", "SparseMatMult", "Raytracer"):
+        assert by_app[app]["fp_approx_fraction"] > 0.7, app
+
+    assert by_app["ImageJ"]["int_approx_fraction"] > 0.05
+    for row in rows:
+        assert row["int_approx_fraction"] < 0.5, row["app"]
+        for key in (
+            "dram_approx_fraction",
+            "sram_approx_fraction",
+            "int_approx_fraction",
+            "fp_approx_fraction",
+        ):
+            assert 0.0 <= row[key] <= 1.0

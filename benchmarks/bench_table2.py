@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 2 (approximation strategies and parameters)."""
+
+from repro.experiments.table2 import format_table2, table2_rows
+
+
+def test_bench_table2(benchmark):
+    rows = benchmark(table2_rows)
+    print("\n" + format_table2())
+
+    # Paper values (the Medium column is taken from the literature).
+    by_name = {row["quantity"]: row for row in rows}
+    dram = by_name["DRAM refresh: per-second bit flip probability"]
+    assert (dram["Mild"], dram["Medium"], dram["Aggressive"]) == ("10^-9", "10^-5", "10^-3")
+    fp = by_name["Energy saved per FP operation"]
+    assert (fp["Mild"], fp["Medium"], fp["Aggressive"]) == ("32%", "78%", "85%")
+    mant = by_name["float mantissa bits"]
+    assert (mant["Mild"], mant["Medium"], mant["Aggressive"]) == ("16", "8", "4")
+    timing = by_name["Arithmetic timing error probability"]
+    assert (timing["Mild"], timing["Medium"], timing["Aggressive"]) == (
+        "10^-6",
+        "10^-4",
+        "10^-2",
+    )

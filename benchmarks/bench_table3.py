@@ -1,0 +1,45 @@
+"""Bench: regenerate Table 3 (applications and annotation density).
+
+Paper shapes asserted:
+
+* only a fraction of declarations needs annotation (well under half on
+  the paper's large apps; our ports are smaller and denser, so we allow
+  up to 80% but require strictly partial annotation);
+* endorsements are rare — except for ZXing, whose pixel-driven control
+  flow makes it the outlier (247 in the paper; the most in ours too);
+* FP proportion separates the FP-heavy kernels from ZXing/ImageJ
+  (integer-dominated, paper: 1.7% / 0.0%).
+"""
+
+from repro.experiments.table3 import format_table3, table3_rows
+
+
+def test_bench_table3(benchmark, once=None):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    print("\n" + format_table3(rows))
+
+    by_app = {row["app"]: row for row in rows}
+
+    # Partial annotation everywhere.
+    for row in rows:
+        assert 0.0 < row["annotated_fraction"] < 0.8, row["app"]
+        assert row["declarations"] > 0
+
+    # ZXing is an endorsement outlier — its "control flow frequently
+    # depends on whether a particular pixel is black" (the paper's
+    # explanation for its 247 static endorsements).  Dynamically it
+    # endorses far above the suite median; statically it has the most
+    # sites among the integer-dominated apps.
+    dynamic = sorted(row["dynamic_endorsements"] for row in rows)
+    median = dynamic[len(dynamic) // 2]
+    assert by_app["ZXing"]["dynamic_endorsements"] > 5 * median
+    assert by_app["ZXing"]["endorsements"] > by_app["ImageJ"]["endorsements"]
+
+    # Integer-dominated apps: FP below 10%; FP-heavy apps above 20%.
+    assert by_app["ZXing"]["fp_proportion"] < 0.10
+    assert by_app["ImageJ"]["fp_proportion"] < 0.10
+    for app in ("FFT", "SOR", "MonteCarlo", "Raytracer", "jMonkeyEngine"):
+        assert by_app[app]["fp_proportion"] > 0.20, app
+
+    # ZXing is by far the largest port, as in the paper.
+    assert by_app["ZXing"]["loc"] == max(row["loc"] for row in rows)

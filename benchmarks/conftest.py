@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+The benchmark suite regenerates every table and figure of the paper.
+Heavy drivers run once per benchmark (``pedantic`` with one round) —
+they are measurements of the reproduction pipeline, not microbenchmarks.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to also see the
+regenerated tables.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy driver with a single timed invocation."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,59 @@
+"""Domain example: an approximate barcode-scanning pipeline (ZXing-style).
+
+The paper's motivating pattern: a fault-tolerant image-processing phase
+(thresholding, finder location, grid sampling — all approximate) feeding
+a fault-sensitive precise phase (payload extraction, checksum).  This
+example encodes messages, renders them with sensor noise, and decodes
+under increasingly aggressive hardware, reporting the scan success rate
+and the energy the scanner would save.
+
+Run with::
+
+    python examples/barcode_scanner.py
+"""
+
+from repro.apps import app_by_name, load_sources
+from repro.core.pipeline import compile_program
+from repro.energy import MOBILE, estimate_energy
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.runtime import Simulator
+
+SCANS = 10
+
+
+def main() -> None:
+    spec = app_by_name("zxing")
+    program = compile_program(load_sources(spec))
+
+    print("== MiniCode scanner: 12-byte payloads, scale 3, noise 20 ==\n")
+
+    # Reference statistics for the energy estimate (one precise scan).
+    with Simulator(BASELINE, seed=0) as sim:
+        assert program.call("decoder", "run_zxing", 12, 3, 20, 0) == 1
+    stats = sim.stats()
+    print(
+        f"one scan: {stats.ops_total} ops "
+        f"({stats.fp_proportion:.1%} FP), "
+        f"{stats.endorsements} endorsements, "
+        f"{stats.dram_approx_fraction:.0%} of DRAM byte-ticks approximate"
+    )
+
+    print(f"\n{'config':>10s} {'scans ok':>9s} {'energy (mobile)':>16s}")
+    for config in (BASELINE, MILD, MEDIUM, AGGRESSIVE):
+        successes = 0
+        for scan in range(SCANS):
+            with Simulator(config, seed=scan + 1):
+                successes += program.call("decoder", "run_zxing", 12, 3, 20, scan)
+        energy = estimate_energy(stats, config, MOBILE).total
+        print(f"{config.name:>10s} {successes:>6d}/{SCANS} {energy:>16.1%}")
+
+    print(
+        "\nMild approximation scans reliably; the checksum (precise by"
+        "\nconstruction — the type system forbids approximate data in it"
+        "\nwithout endorsement) rejects every corrupted read rather than"
+        "\nreturning garbage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""The approximation-aware ISA, hands on (paper Section 4.1).
+
+Assembles a program that mixes precise control flow with approximate
+data processing, shows the static validator rejecting isolation
+violations at the ISA level, and runs the same binary on increasingly
+aggressive hardware — the paper's point that an approximate instruction
+is only a *hint*, so one binary serves every substrate.
+
+Finishes by compiling an FEnerJ expression to assembly, demonstrating
+qualifier-directed instruction selection.
+
+Run with::
+
+    python examples/isa_playground.py
+"""
+
+from repro.fenerj.parser import parse_expression
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.isa import Machine, ValidationError, assemble, compile_expression, validate
+
+PROGRAM = """
+; Sum 8 approximate samples stored in an approximate DRAM region,
+; then endorse the total for output.  Loop bookkeeping is precise.
+.approx 100 32
+.word 100 3
+.word 101 1
+.word 102 4
+.word 103 1
+.word 104 5
+.word 105 9
+.word 106 2
+.word 107 6
+    li   r1, 0          ; i
+    li   r2, 8          ; n
+    li   a1, 0          ; sum (approximate register)
+loop:
+    slt  r3, r1, r2
+    beqz r3, done
+    ld   a2, r1, 100    ; approximate load (address in the .approx region)
+    add.a a1, a1, a2    ; approximate accumulate
+    li   r4, 1
+    add  r1, r1, r4
+    jmp  loop
+done:
+    mov.e r5, a1        ; endorse the approximate total
+    out  r5
+    halt
+"""
+
+VIOLATIONS = {
+    "approximate branch": "    li a1, 1\nx:  beqz a1, x\n",
+    "approx->precise mov": "    li a1, 1\n    mov r1, a1\n",
+    ".a into precise register": "    add.a r1, r2, r3\n",
+    "approximate output": "    li a1, 1\n    out a1\n",
+}
+
+
+def main() -> None:
+    program = assemble(PROGRAM)
+    validate(program)
+    print("== One binary, four substrates ==")
+    print(f"{'config':>10s} {'sum':>12s} {'faults':>7s} {'approx int ops':>15s}")
+    for config in (BASELINE, MILD, MEDIUM, AGGRESSIVE):
+        machine = Machine(config, seed=2)
+        result = machine.run(program)
+        print(
+            f"{config.name:>10s} {result.output[0]:>12} {result.faults:>7d} "
+            f"{result.int_ops_approx:>15d}"
+        )
+    print("(the precise answer is 31; approximate substrates may wobble)\n")
+
+    print("== The validator is the type system's ISA shadow ==")
+    for label, source in VIOLATIONS.items():
+        try:
+            validate(assemble(source))
+            print(f"  {label}: ACCEPTED (bug!)")
+        except ValidationError as error:
+            print(f"  {label}: rejected ({error})")
+
+    print("\n== Qualifier-directed code generation from FEnerJ ==")
+    expr = parse_expression("endorse(((approx int) 6 * 7) + (approx int) 0)")
+    assembly = compile_expression(expr)
+    print(assembly)
+    result = Machine(BASELINE).run(assemble(assembly))
+    print(f"result: {result.output[0]}")
+
+
+if __name__ == "__main__":
+    main()

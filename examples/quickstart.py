@@ -1,0 +1,94 @@
+"""Quickstart: annotate, check, compile, and run an EnerPy program.
+
+Walks the full EnerJ workflow from the paper on a tiny kernel:
+
+1. write ordinary Python with ``Approx``/``endorse`` annotations;
+2. statically check isolation of approximate and precise data;
+3. compile (instrument) the program for the simulated
+   approximation-aware architecture;
+4. execute under the Baseline / Mild / Medium / Aggressive
+   configurations, measuring output quality and estimated energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.checker import check_modules
+from repro.core.pipeline import compile_program
+from repro.energy import estimate_energy
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.qos import mean_entry_difference
+from repro.runtime import Simulator
+
+PROGRAM = '''
+from repro import Approx, endorse
+
+def smooth(n: int) -> list[float]:
+    """A little stencil: average each cell with its neighbours."""
+    data: list[Approx[float]] = [0.0] * n
+    for i in range(n):
+        data[i] = 1.0 * (i % 17)
+    for sweep in range(8):
+        for i in range(1, n - 1):
+            data[i] = (data[i - 1] + data[i] + data[i + 1]) / 3.0
+    out: list[float] = [0.0] * n
+    for i in range(n):
+        out[i] = endorse(data[i])
+    return out
+'''
+
+ILL_TYPED = '''
+from repro import Approx
+
+def leak() -> float:
+    a: Approx[float] = 1.0
+    p: float = a          # approximate-to-precise flow: rejected
+    if a > 0.5:           # approximate condition: rejected
+        p = 2.0
+    return p
+'''
+
+
+def main() -> None:
+    # --- 1 & 2: the checker guarantees isolation statically ---------
+    print("== Checking a well-typed program ==")
+    result = check_modules({"demo": PROGRAM})
+    print(f"ok: {result.ok} (0 diagnostics expected: {len(result.diagnostics)})")
+
+    print("\n== Checking an ill-typed program ==")
+    bad = check_modules({"demo": ILL_TYPED})
+    for diagnostic in bad.diagnostics:
+        print(f"  {diagnostic}")
+
+    # --- 3: compile for the approximate architecture ----------------
+    program = compile_program({"demo": PROGRAM})
+
+    # --- 4: run across hardware configurations ----------------------
+    print("\n== Running under four hardware configurations ==")
+    with Simulator(BASELINE, seed=0) as sim:
+        reference = program.call("demo", "smooth", 256)
+    baseline_stats = sim.stats()
+
+    print(f"{'config':>10s} {'QoS error':>12s} {'energy':>8s} {'faults':>7s}")
+    for config in (BASELINE, MILD, MEDIUM, AGGRESSIVE):
+        with Simulator(config, seed=1) as sim:
+            output = program.call("demo", "smooth", 256)
+        stats = sim.stats()
+        # The paper's metric: mean entry-wise difference, clamped to 1.
+        error = mean_entry_difference(reference, output)
+        energy = estimate_energy(baseline_stats, config).total
+        print(
+            f"{config.name:>10s} {error:>12.6f} {energy:>8.1%} "
+            f"{stats.total_faults:>7d}"
+        )
+
+    print(
+        "\nThe same compiled program served every configuration — the"
+        "\npaper's single approximation-aware binary.  And the same source"
+        "\nruns as plain Python (annotations are runtime no-ops)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""EnerPy: a Python reproduction of EnerJ (Sampson et al., PLDI 2011).
+
+Approximate data types for safe and general low-power computation,
+re-hosted on Python:
+
+* Annotate a program with :data:`Approx`, :data:`Precise`, :data:`Top`,
+  :data:`Context`, :func:`approximable`, and :func:`endorse` — it still
+  runs precisely as plain Python.
+* :func:`check` enforces EnerJ's isolation rules statically.
+* ``repro.core.pipeline.compile_program`` / :class:`~repro.runtime
+  .Simulator` run the same program on a simulated approximation-aware
+  architecture and measure energy-relevant statistics.
+
+Quickstart::
+
+    from repro import Approx, endorse, check
+
+    SOURCE = '''
+    from repro import Approx, endorse
+
+    def mean(nums: list[Approx[float]]) -> float:
+        total: Approx[float] = 0.0
+        for i in range(len(nums)):
+            total = total + nums[i]
+        return endorse(total / len(nums))
+    '''
+    result = check({"demo": SOURCE})
+    assert result.ok
+"""
+
+from repro.core.annotations import (
+    APPROX_SUFFIX,
+    Approx,
+    Context,
+    Precise,
+    Top,
+    approximable,
+    endorse,
+)
+from repro.core.checker import check_modules as check
+from repro.core.qualifiers import Qualifier
+from repro.runtime.context import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Approx",
+    "Precise",
+    "Top",
+    "Context",
+    "approximable",
+    "endorse",
+    "APPROX_SUFFIX",
+    "Qualifier",
+    "check",
+    "Simulator",
+    "__version__",
+]

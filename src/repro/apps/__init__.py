@@ -1,0 +1,179 @@
+"""The paper's application suite, ported to EnerPy (Table 3).
+
+Each :class:`AppSpec` bundles an annotated EnerPy program (one or more
+module files), its benchmark entry point with default workload
+parameters, and its quality-of-service metric.  The experiment drivers
+in :mod:`repro.experiments` iterate :data:`ALL_APPS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Tuple
+
+from repro.qos import (
+    binary_correctness,
+    decision_fraction_error,
+    mean_entry_difference,
+    mean_normalized_difference,
+    mean_pixel_difference,
+    normalized_difference,
+)
+
+__all__ = ["AppSpec", "ALL_APPS", "app_by_name", "load_sources"]
+
+_APPS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+@dataclasses.dataclass(frozen=True)
+class AppSpec:
+    """One ported application and how to run/evaluate it."""
+
+    name: str
+    description: str
+    #: module name -> path relative to the apps directory.
+    module_files: Dict[str, str]
+    entry_module: str
+    entry_function: str
+    #: Arguments for the entry function; the final argument is the
+    #: workload seed, replaced per run by the harness.
+    default_args: Tuple
+    #: QoS error between the precise and approximate outputs.
+    qos: Callable
+    qos_name: str
+
+    def source_paths(self) -> Dict[str, str]:
+        return {
+            module: os.path.join(_APPS_DIR, relative)
+            for module, relative in self.module_files.items()
+        }
+
+
+def load_sources(spec: AppSpec) -> Dict[str, str]:
+    """Read the app's EnerPy module sources from disk."""
+    sources = {}
+    for module, path in spec.source_paths().items():
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[module] = handle.read()
+    return sources
+
+
+def _pixel_qos(precise, approx) -> float:
+    return mean_pixel_difference(precise, approx, max_value=255.0)
+
+
+ALL_APPS: List[AppSpec] = [
+    AppSpec(
+        name="FFT",
+        description="SciMark2 radix-2 complex FFT",
+        module_files={"rand": "common/rand.py", "fft": "scimark/fft.py"},
+        entry_module="fft",
+        entry_function="run_fft",
+        default_args=(256, 0),
+        qos=mean_entry_difference,
+        qos_name="Mean entry difference",
+    ),
+    AppSpec(
+        name="SOR",
+        description="SciMark2 successive over-relaxation",
+        module_files={"rand": "common/rand.py", "sor": "scimark/sor.py"},
+        entry_module="sor",
+        entry_function="run_sor",
+        default_args=(40, 10, 0),
+        qos=mean_entry_difference,
+        qos_name="Mean entry difference",
+    ),
+    AppSpec(
+        name="MonteCarlo",
+        description="SciMark2 Monte Carlo pi estimation",
+        module_files={"rand": "common/rand.py", "montecarlo": "scimark/montecarlo.py"},
+        entry_module="montecarlo",
+        entry_function="run_montecarlo",
+        default_args=(20000, 0),
+        qos=normalized_difference,
+        qos_name="Normalized difference",
+    ),
+    AppSpec(
+        name="SparseMatMult",
+        description="SciMark2 sparse matrix-vector multiply (CRS)",
+        module_files={
+            "rand": "common/rand.py",
+            "sparsematmult": "scimark/sparsematmult.py",
+        },
+        entry_module="sparsematmult",
+        entry_function="run_sparse_matmult",
+        default_args=(200, 5, 4, 0),
+        qos=mean_normalized_difference,
+        qos_name="Mean normalized difference",
+    ),
+    AppSpec(
+        name="LU",
+        description="SciMark2 LU factorization with partial pivoting",
+        module_files={"rand": "common/rand.py", "lu": "scimark/lu.py"},
+        entry_module="lu",
+        entry_function="run_lu",
+        default_args=(40, 0),
+        qos=mean_entry_difference,
+        qos_name="Mean entry difference",
+    ),
+    AppSpec(
+        name="ZXing",
+        description="2-D matrix barcode decoder (MiniCode)",
+        module_files={
+            "rand": "common/rand.py",
+            "bitmatrix": "zxing/bitmatrix.py",
+            "barcode": "zxing/barcode.py",
+            "decoder": "zxing/decoder.py",
+        },
+        entry_module="decoder",
+        entry_function="run_zxing",
+        default_args=(12, 3, 20, 0),
+        qos=binary_correctness,
+        qos_name="1 if incorrect, 0 if correct",
+    ),
+    AppSpec(
+        name="jMonkeyEngine",
+        description="Ray/triangle intersection batch (collision detection)",
+        module_files={
+            "rand": "common/rand.py",
+            "vector": "jmonkey/vector.py",
+            "triangles": "jmonkey/triangles.py",
+        },
+        entry_module="triangles",
+        entry_function="run_intersections",
+        default_args=(400, 0),
+        qos=decision_fraction_error,
+        qos_name="Fraction of correct decisions normalized to 0.5",
+    ),
+    AppSpec(
+        name="ImageJ",
+        description="Raster flood fill with approximate coordinates",
+        module_files={"rand": "common/rand.py", "floodfill": "imagej/floodfill.py"},
+        entry_module="floodfill",
+        entry_function="run_floodfill",
+        default_args=(48, 36, 0),
+        qos=_pixel_qos,
+        qos_name="Mean pixel difference",
+    ),
+    AppSpec(
+        name="Raytracer",
+        description="Sphere-and-plane ray tracer",
+        module_files={"rand": "common/rand.py", "tracer": "raytracer/tracer.py"},
+        entry_module="tracer",
+        entry_function="render",
+        default_args=(64, 48, 0),
+        qos=_pixel_qos,
+        qos_name="Mean pixel difference",
+    ),
+]
+
+_BY_NAME = {app.name.lower(): app for app in ALL_APPS}
+
+
+def app_by_name(name: str) -> AppSpec:
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(app.name for app in ALL_APPS)
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

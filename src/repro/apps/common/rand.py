@@ -1,0 +1,34 @@
+"""Deterministic in-program random source for EnerPy workloads.
+
+Workload data must be generated *inside* the checked program so that
+the arrays it fills are registered with the simulator; this linear
+congruential generator (the classic glibc constants) is precise code —
+its state drives no approximation and both the precise and approximate
+runs of an experiment see identical inputs for a given seed.
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+
+
+class Rand:
+    """A 31-bit linear congruential generator (precise)."""
+
+    state: int
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed * 2654435761) % 2147483648
+        if self.state == 0:
+            self.state = 12345
+
+    def next_int(self) -> int:
+        self.state = (self.state * 1103515245 + 12345) % 2147483648
+        return self.state
+
+    def next_float(self) -> float:
+        return self.next_int() / 2147483648.0
+
+    def next_in(self, low: int, high: int) -> int:
+        # Use the high bits: the low bits of an LCG cycle with short
+        # periods (the lowest bit strictly alternates).
+        span: int = high - low
+        return low + (self.next_int() // 65536) % span

@@ -1,0 +1,103 @@
+"""Raster flood fill — the paper's ImageJ workload.
+
+ImageJ is the evaluation's integer-dominated, aggressively annotated
+application: because the original code is heavily bounds-checked, the
+paper marks *even the pixel coordinates* as approximate, endorsing them
+at the points they become array indices.  An erroneous coordinate then
+fills (or skips) the wrong pixel instead of crashing.
+
+The image is a synthetic raster of rectangular "rooms" connected by
+corridors; the workload flood-fills from a seed point, as in the
+paper's ImageJ flood-fill experiment.
+
+QoS metric: mean pixel difference (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+FILL: int = 200
+BACKGROUND: int = 40
+WALL: int = 255
+
+
+def make_image(width: int, height: int, seed: int) -> list[Approx[int]]:
+    """Background with random walls: a maze for the fill to explore."""
+    rng: Rand = Rand(seed)
+    image: list[Approx[int]] = [0] * (width * height)
+    for i in range(width * height):
+        image[i] = BACKGROUND
+    # Border walls.
+    for x in range(width):
+        image[x] = WALL
+        image[(height - 1) * width + x] = WALL
+    for y in range(height):
+        image[y * width] = WALL
+        image[y * width + width - 1] = WALL
+    # Interior wall segments with gaps.
+    walls: int = width // 4
+    for w in range(walls):
+        wx: int = rng.next_in(2, width - 2)
+        gap: int = rng.next_in(1, height - 1)
+        for y in range(1, height - 1):
+            if y != gap:
+                image[y * width + wx] = WALL
+    return image
+
+
+def _pixel_is_background(image: list[Approx[int]], width: int, height: int, x: int, y: int) -> bool:
+    """Bounds-checked probe; out-of-bounds reads as wall (no exception)."""
+    if x < 0 or x >= width or y < 0 or y >= height:
+        return False
+    value: Approx[int] = image[y * width + x]
+    # An approximate pixel compare: endorsed because it steers the fill.
+    return endorse(value < 128)
+
+
+def flood_fill(image: list[Approx[int]], width: int, height: int, seed_x: int, seed_y: int) -> int:
+    """Scanline-free 4-connected fill; returns the filled pixel count.
+
+    The work stack holds *approximate* coordinates (the paper's
+    aggressive annotation), endorsed and bounds-checked as they are
+    popped and turned into array indices.
+    """
+    capacity: int = width * height
+    stack_x: list[Approx[int]] = [0] * capacity
+    stack_y: list[Approx[int]] = [0] * capacity
+    top: int = 0
+    stack_x[0] = seed_x
+    stack_y[0] = seed_y
+    top = 1
+    filled: int = 0
+
+    while top > 0:
+        top = top - 1
+        x: int = endorse(stack_x[top])
+        y: int = endorse(stack_y[top])
+        if x < 0 or x >= width or y < 0 or y >= height:
+            continue  # an approximation error pushed a bad coordinate
+        if not _pixel_is_background(image, width, height, x, y):
+            continue
+        image[y * width + x] = FILL
+        filled = filled + 1
+        if top + 4 <= capacity:
+            stack_x[top] = x + 1
+            stack_y[top] = y
+            stack_x[top + 1] = x - 1
+            stack_y[top + 1] = y
+            stack_x[top + 2] = x
+            stack_y[top + 2] = y + 1
+            stack_x[top + 3] = x
+            stack_y[top + 3] = y - 1
+            top = top + 4
+    return filled
+
+
+def run_floodfill(width: int, height: int, seed: int) -> list[int]:
+    """The benchmark entry: build a maze, fill it, endorse the raster."""
+    image: list[Approx[int]] = make_image(width, height, seed)
+    flood_fill(image, width, height, width // 2 + 1, height // 2)
+    out: list[int] = [0] * (width * height)
+    for i in range(width * height):
+        out[i] = endorse(image[i])
+    return out

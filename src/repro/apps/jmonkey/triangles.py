@@ -1,0 +1,93 @@
+"""Ray/triangle intersection batch — the paper's jMonkeyEngine workload.
+
+The paper runs "many 3D triangle intersection problems, an algorithm
+frequently used for collision detection in games."  We implement
+Moller-Trumbore intersection over approximate ``Vector3f`` data: the
+geometry is approximate, the per-query yes/no decision is endorsed at
+the comparison points (a wrong collision decision degrades gameplay,
+not memory safety).
+
+QoS metric: fraction of correct decisions normalized to 0.5 (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+from vector import Vector3f
+
+EPSILON = 0.0000001
+
+
+def _random_vector(rng: Rand, scale: float) -> Approx[Vector3f]:
+    vx: float = (rng.next_float() - 0.5) * scale
+    vy: float = (rng.next_float() - 0.5) * scale
+    vz: float = (rng.next_float() - 0.5) * scale
+    v: Approx[Vector3f] = Vector3f(vx, vy, vz)
+    return v
+
+
+def intersects(
+    origin: Approx[Vector3f],
+    direction: Approx[Vector3f],
+    v0: Approx[Vector3f],
+    v1: Approx[Vector3f],
+    v2: Approx[Vector3f],
+) -> bool:
+    """Moller-Trumbore ray/triangle test (decision endorsed)."""
+    edge1: Approx[Vector3f] = Vector3f(v1.x - v0.x, v1.y - v0.y, v1.z - v0.z)
+    edge2: Approx[Vector3f] = Vector3f(v2.x - v0.x, v2.y - v0.y, v2.z - v0.z)
+
+    h: Approx[Vector3f] = Vector3f(
+        direction.cross_x(edge2), direction.cross_y(edge2), direction.cross_z(edge2)
+    )
+    a: Approx[float] = edge1.dot(h)
+    if endorse(a > 0.0 - EPSILON) and endorse(a < EPSILON):
+        return False  # ray parallel to the triangle plane
+
+    f: Approx[float] = 1.0 / a
+    s: Approx[Vector3f] = Vector3f(origin.x - v0.x, origin.y - v0.y, origin.z - v0.z)
+    u: Approx[float] = f * s.dot(h)
+    if endorse(u < 0.0) or endorse(u > 1.0):
+        return False
+
+    q: Approx[Vector3f] = Vector3f(s.cross_x(edge1), s.cross_y(edge1), s.cross_z(edge1))
+    v: Approx[float] = f * direction.dot(q)
+    if endorse(v < 0.0) or endorse(u + v > 1.0):
+        return False
+
+    t: Approx[float] = f * edge2.dot(q)
+    return endorse(t > EPSILON)
+
+
+def run_intersections(queries: int, seed: int) -> list[int]:
+    """The benchmark entry: decide ``queries`` random ray/triangle pairs.
+
+    Half of the rays are aimed at a point inside the triangle (likely
+    hits) and half at an unrelated random point (likely misses), so the
+    decision stream is balanced like a real collision-detection phase.
+    Returns one endorsed 0/1 decision per query.
+    """
+    rng: Rand = Rand(seed)
+    decisions: list[int] = [0] * queries
+    for qi in range(queries):
+        v0: Approx[Vector3f] = _random_vector(rng, 2.0)
+        v1: Approx[Vector3f] = _random_vector(rng, 2.0)
+        v2: Approx[Vector3f] = _random_vector(rng, 2.0)
+        origin: Approx[Vector3f] = _random_vector(rng, 8.0)
+        aim_inside: int = rng.next_in(0, 2)
+        if aim_inside == 1:
+            # Barycentric point strictly inside the triangle.
+            w0: float = 0.2 + 0.6 * rng.next_float()
+            w1: float = (1.0 - w0) * rng.next_float()
+            w2: float = 1.0 - w0 - w1
+            tx: Approx[float] = w0 * v0.x + w1 * v1.x + w2 * v2.x
+            ty: Approx[float] = w0 * v0.y + w1 * v1.y + w2 * v2.y
+            tz: Approx[float] = w0 * v0.z + w1 * v1.z + w2 * v2.z
+            target: Approx[Vector3f] = Vector3f(tx, ty, tz)
+        else:
+            target = _random_vector(rng, 8.0)
+        direction: Approx[Vector3f] = Vector3f(
+            target.x - origin.x, target.y - origin.y, target.z - origin.z
+        )
+        if intersects(origin, direction, v0, v1, v2):
+            decisions[qi] = 1
+    return decisions

@@ -1,0 +1,38 @@
+"""An approximable 3-D vector, modelled on jMonkeyEngine's Vector3f.
+
+The paper marks jMonkeyEngine's ``Vector3f`` as ``@Approximable`` with
+``@Context`` members, so ``@Approx Vector3f v`` behaves syntactically
+like an approximate primitive declaration (Section 6.3).  All members
+are ``@Context``: a precise instance computes precisely, an approximate
+instance stores and computes approximately, and the same method bodies
+serve both.
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+
+
+@approximable
+class Vector3f:
+    x: Context[float]
+    y: Context[float]
+    z: Context[float]
+
+    def __init__(self, x: Context[float], y: Context[float], z: Context[float]) -> None:
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def dot(self, o: Context["Vector3f"]) -> Context[float]:
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+    def cross_x(self, o: Context["Vector3f"]) -> Context[float]:
+        return self.y * o.z - self.z * o.y
+
+    def cross_y(self, o: Context["Vector3f"]) -> Context[float]:
+        return self.z * o.x - self.x * o.z
+
+    def cross_z(self, o: Context["Vector3f"]) -> Context[float]:
+        return self.x * o.y - self.y * o.x
+
+    def length_squared(self) -> Context[float]:
+        return self.x * self.x + self.y * self.y + self.z * self.z

@@ -1,0 +1,164 @@
+"""A small sphere-and-plane ray tracer — the paper's Raytracer workload.
+
+The paper's Raytracer runs ray/plane intersections over a simple scene;
+annotation there was "so straightforward that it could have been largely
+automated: for certain methods, every float declaration was replaced
+indiscriminately with an @Approx float declaration."  We do the same:
+all geometry and shading arithmetic is approximate; only image geometry
+(pixel loops) and the final endorsed pixel writes are precise.
+
+The scene: a checkered ground plane and three spheres under a single
+directional light, with hard shadows.
+
+QoS metric: mean pixel difference (paper).
+"""
+
+import math
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def _sphere_hit(
+    ox: Approx[float], oy: Approx[float], oz: Approx[float],
+    dx: Approx[float], dy: Approx[float], dz: Approx[float],
+    cx: float, cy: float, cz: float, radius: float,
+) -> Approx[float]:
+    """Distance to the sphere along the ray, or -1.0 for a miss."""
+    lx: Approx[float] = ox - cx
+    ly: Approx[float] = oy - cy
+    lz: Approx[float] = oz - cz
+    a: Approx[float] = dx * dx + dy * dy + dz * dz
+    b: Approx[float] = 2.0 * (lx * dx + ly * dy + lz * dz)
+    c: Approx[float] = lx * lx + ly * ly + lz * lz - radius * radius
+    disc: Approx[float] = b * b - 4.0 * a * c
+    if endorse(disc < 0.0):
+        return -1.0
+    root: Approx[float] = math.sqrt(disc)
+    t: Approx[float] = (0.0 - b - root) / (2.0 * a)
+    if endorse(t > 0.001):
+        return t
+    t = (0.0 - b + root) / (2.0 * a)
+    if endorse(t > 0.001):
+        return t
+    return -1.0
+
+
+def _plane_hit(
+    oy: Approx[float], dy: Approx[float]
+) -> Approx[float]:
+    """Distance to the y=0 ground plane, or -1.0 for a miss."""
+    if endorse(dy > -0.0001) and endorse(dy < 0.0001):
+        return -1.0
+    t: Approx[float] = (0.0 - oy) / dy
+    if endorse(t > 0.001):
+        return t
+    return -1.0
+
+
+# Scene: three spheres (x, y, z, radius, brightness).
+S0X = 0.0
+S0Y = 1.0
+S0Z = 5.0
+S0R = 1.0
+S1X = -2.2
+S1Y = 0.7
+S1Z = 6.5
+S1R = 0.7
+S2X = 1.9
+S2Y = 0.6
+S2Z = 4.0
+S2R = 0.6
+
+LX = 0.45
+LY = 0.8
+LZ = -0.4
+
+
+def _shade(
+    ox: Approx[float], oy: Approx[float], oz: Approx[float],
+    dx: Approx[float], dy: Approx[float], dz: Approx[float],
+) -> Approx[float]:
+    """Trace one primary ray; returns a brightness in [0, 1]."""
+    best_t: Approx[float] = -1.0
+    which: int = -1
+
+    t: Approx[float] = _sphere_hit(ox, oy, oz, dx, dy, dz, S0X, S0Y, S0Z, S0R)
+    if endorse(t > 0.0):
+        best_t = t
+        which = 0
+    t = _sphere_hit(ox, oy, oz, dx, dy, dz, S1X, S1Y, S1Z, S1R)
+    if endorse(t > 0.0) and (which < 0 or endorse(t < best_t)):
+        best_t = t
+        which = 1
+    t = _sphere_hit(ox, oy, oz, dx, dy, dz, S2X, S2Y, S2Z, S2R)
+    if endorse(t > 0.0) and (which < 0 or endorse(t < best_t)):
+        best_t = t
+        which = 2
+    t = _plane_hit(oy, dy)
+    if endorse(t > 0.0) and (which < 0 or endorse(t < best_t)):
+        best_t = t
+        which = 3
+
+    if which < 0:
+        return 0.1  # sky
+
+    hx: Approx[float] = ox + dx * best_t
+    hy: Approx[float] = oy + dy * best_t
+    hz: Approx[float] = oz + dz * best_t
+
+    if which == 3:
+        # Checkered plane with a shadow probe toward the light.
+        shadow: Approx[float] = _sphere_hit(hx, hy, hz, LX, LY, LZ, S0X, S0Y, S0Z, S0R)
+        lit: float = 1.0
+        if endorse(shadow > 0.0):
+            lit = 0.35
+        cell: Approx[int] = int(hx + 100.0) + int(hz + 100.0)
+        base: float = 0.75
+        if endorse(cell % 2 == 0):
+            base = 0.35
+        return base * lit
+
+    # Sphere shading: Lambertian against the directional light.
+    nx: Approx[float] = hx - S0X
+    ny: Approx[float] = hy - S0Y
+    nz: Approx[float] = hz - S0Z
+    if which == 1:
+        nx = hx - S1X
+        ny = hy - S1Y
+        nz = hz - S1Z
+    if which == 2:
+        nx = hx - S2X
+        ny = hy - S2Y
+        nz = hz - S2Z
+    norm: Approx[float] = math.sqrt(nx * nx + ny * ny + nz * nz)
+    if endorse(norm < 0.000001):
+        return 0.1
+    diffuse: Approx[float] = (nx * LX + ny * LY + nz * LZ) / norm
+    if endorse(diffuse < 0.0):
+        diffuse = 0.0
+    return 0.15 + 0.85 * diffuse
+
+
+def render(width: int, height: int, seed: int) -> list[int]:
+    """Render the scene; returns the endorsed grayscale raster (0-255)."""
+    rng: Rand = Rand(seed)
+    jitter: float = 0.001 * rng.next_float()
+    image: list[Approx[int]] = [0] * (width * height)
+    aspect: float = (1.0 * width) / height
+    for py in range(height):
+        for px in range(width):
+            dx: Approx[float] = ((px + 0.5) / width - 0.5) * aspect + jitter
+            dy: Approx[float] = 0.5 - (py + 0.5) / height
+            dz: Approx[float] = 1.0
+            brightness: Approx[float] = _shade(0.0, 1.2, 0.0, dx, dy, dz)
+            level: Approx[int] = int(brightness * 255.0)
+            if endorse(level < 0):
+                level = 0
+            if endorse(level > 255):
+                level = 255
+            image[py * width + px] = level
+    out: list[int] = [0] * (width * height)
+    for i in range(width * height):
+        out[i] = endorse(image[i])
+    return out

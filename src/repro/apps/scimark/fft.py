@@ -1,0 +1,129 @@
+"""SciMark2 FFT kernel, ported to EnerPy (paper Table 3, row 1).
+
+A radix-2 complex FFT over interleaved (re, im) data, annotated the way
+the paper annotates the Java original: the signal data is approximate;
+loop indices, bit-reversal bookkeeping, and sizes are precise; the
+twiddle factors are computed precisely and *flow into* approximate
+arithmetic by subtyping.  The final output is endorsed for return — the
+classic resilient-compute-then-precise-output phase structure.
+
+QoS metric: mean entry difference (paper).
+"""
+
+import math
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def make_signal(n: int, seed: int) -> list[Approx[float]]:
+    """A random complex signal: 2*n interleaved approximate floats."""
+    rng: Rand = Rand(seed)
+    data: list[Approx[float]] = [0.0] * (2 * n)
+    for i in range(2 * n):
+        data[i] = rng.next_float() - 0.5
+    return data
+
+
+def _log2(n: int) -> int:
+    log: int = 0
+    k: int = 1
+    while k < n:
+        k = k * 2
+        log = log + 1
+    return log
+
+
+def bit_reverse(data: list[Approx[float]], n: int) -> None:
+    """In-place bit-reversal permutation of the interleaved signal."""
+    j: int = 0
+    for i in range(n - 1):
+        if i < j:
+            tr: Approx[float] = data[2 * i]
+            ti: Approx[float] = data[2 * i + 1]
+            data[2 * i] = data[2 * j]
+            data[2 * i + 1] = data[2 * j + 1]
+            data[2 * j] = tr
+            data[2 * j + 1] = ti
+        k: int = n // 2
+        while k <= j:
+            j = j - k
+            k = k // 2
+        j = j + k
+
+
+def transform_internal(data: list[Approx[float]], n: int, direction: int) -> None:
+    """The butterfly passes (direction +1 forward, -1 inverse)."""
+    if n <= 1:
+        return
+    logn: int = _log2(n)
+    bit_reverse(data, n)
+    dual: int = 1
+    for bit in range(logn):
+        w_real: float = 1.0
+        w_imag: float = 0.0
+        theta: float = 2.0 * direction * math.pi / (2.0 * dual)
+        s: float = math.sin(theta)
+        t: float = math.sin(theta / 2.0)
+        s2: float = 2.0 * t * t
+
+        for b in range(0, n, 2 * dual):
+            i: int = 2 * b
+            j: int = 2 * (b + dual)
+            wd_real: Approx[float] = data[j]
+            wd_imag: Approx[float] = data[j + 1]
+            data[j] = data[i] - wd_real
+            data[j + 1] = data[i + 1] - wd_imag
+            data[i] = data[i] + wd_real
+            data[i + 1] = data[i + 1] + wd_imag
+
+        for a in range(1, dual):
+            tmp_real: float = w_real - s * w_imag - s2 * w_real
+            tmp_imag: float = w_imag + s * w_real - s2 * w_imag
+            w_real = tmp_real
+            w_imag = tmp_imag
+            for b in range(0, n, 2 * dual):
+                i = 2 * (b + a)
+                j = 2 * (b + a + dual)
+                z1_real: Approx[float] = data[j]
+                z1_imag: Approx[float] = data[j + 1]
+                wd_real = w_real * z1_real - w_imag * z1_imag
+                wd_imag = w_real * z1_imag + w_imag * z1_real
+                data[j] = data[i] - wd_real
+                data[j + 1] = data[i + 1] - wd_imag
+                data[i] = data[i] + wd_real
+                data[i + 1] = data[i + 1] + wd_imag
+        dual = dual * 2
+
+
+def fft_forward(data: list[Approx[float]], n: int) -> None:
+    transform_internal(data, n, -1)
+
+
+def fft_inverse(data: list[Approx[float]], n: int) -> None:
+    """Inverse transform including the 1/n normalisation."""
+    transform_internal(data, n, 1)
+    norm: float = 1.0 / n
+    for i in range(2 * n):
+        data[i] = data[i] * norm
+
+
+def run_fft(n: int, seed: int) -> list[float]:
+    """The benchmark entry: transform a random signal, endorse the output."""
+    data: list[Approx[float]] = make_signal(n, seed)
+    fft_forward(data, n)
+    out: list[float] = [0.0] * (2 * n)
+    for i in range(2 * n):
+        out[i] = endorse(data[i])
+    return out
+
+
+def run_fft_roundtrip(n: int, seed: int) -> list[float]:
+    """Forward + inverse transform; output should match the input."""
+    data: list[Approx[float]] = make_signal(n, seed)
+    fft_forward(data, n)
+    fft_inverse(data, n)
+    out: list[float] = [0.0] * (2 * n)
+    for i in range(2 * n):
+        out[i] = endorse(data[i])
+    return out

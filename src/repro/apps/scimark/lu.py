@@ -1,0 +1,65 @@
+"""SciMark2 LU factorization with partial pivoting, ported to EnerPy.
+
+The matrix entries are approximate; the pivot bookkeeping is precise.
+Pivot *selection* compares approximate magnitudes, so each comparison
+is endorsed — choosing a slightly suboptimal pivot degrades accuracy
+gracefully, whereas an unendorsed approximate branch would be rejected
+by the checker (Section 2.4).
+
+QoS metric: mean entry difference over the packed LU factors (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def make_matrix(n: int, seed: int) -> list[Approx[float]]:
+    rng: Rand = Rand(seed)
+    a: list[Approx[float]] = [0.0] * (n * n)
+    for i in range(n * n):
+        a[i] = rng.next_float() - 0.5
+    # Make the matrix diagonally dominant so factorization is stable
+    # and QoS differences reflect approximation, not conditioning.
+    for d in range(n):
+        a[d * n + d] = a[d * n + d] + 4.0
+    return a
+
+
+def lu_factor(a: list[Approx[float]], n: int, pivot: list[int]) -> None:
+    """In-place LU factorization with partial pivoting (row-major)."""
+    for j in range(n):
+        # Find the pivot: the row with the largest |a[i][j]|, i >= j.
+        jp: int = j
+        best: Approx[float] = abs(a[j * n + j])
+        for i in range(j + 1, n):
+            candidate: Approx[float] = abs(a[i * n + j])
+            if endorse(candidate > best):
+                jp = i
+                best = candidate
+        pivot[j] = jp
+
+        if jp != j:
+            for k in range(n):
+                tmp: Approx[float] = a[j * n + k]
+                a[j * n + k] = a[jp * n + k]
+                a[jp * n + k] = tmp
+
+        if j < n - 1:
+            recp: Approx[float] = 1.0 / a[j * n + j]
+            for i in range(j + 1, n):
+                a[i * n + j] = a[i * n + j] * recp
+            for i in range(j + 1, n):
+                mult: Approx[float] = a[i * n + j]
+                for k in range(j + 1, n):
+                    a[i * n + k] = a[i * n + k] - mult * a[j * n + k]
+
+
+def run_lu(n: int, seed: int) -> list[float]:
+    """The benchmark entry: factor a random matrix, endorse the factors."""
+    a: list[Approx[float]] = make_matrix(n, seed)
+    pivot: list[int] = [0] * n
+    lu_factor(a, n, pivot)
+    out: list[float] = [0.0] * (n * n)
+    for i in range(n * n):
+        out[i] = endorse(a[i])
+    return out

@@ -1,0 +1,30 @@
+"""SciMark2 Monte Carlo pi estimation, ported to EnerPy.
+
+The integration keeps its principal data — the sampled coordinates —
+in *local variables*, so almost all of its approximate storage is SRAM
+rather than DRAM, reproducing the paper's observation that MonteCarlo
+(unlike the array-heavy kernels) has very little approximate DRAM data.
+The under-the-curve test is the kernel's single endorsement (Table 3
+reports exactly one for MonteCarlo).
+
+QoS metric: normalized difference of the pi estimate (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def integrate(samples: int, seed: int) -> float:
+    """Estimate pi by sampling the unit quarter-circle."""
+    rng: Rand = Rand(seed)
+    under_curve: int = 0
+    for count in range(samples):
+        x: Approx[float] = rng.next_float()
+        y: Approx[float] = rng.next_float()
+        if endorse(x * x + y * y <= 1.0):
+            under_curve = under_curve + 1
+    return under_curve / (1.0 * samples) * 4.0
+
+
+def run_montecarlo(samples: int, seed: int) -> float:
+    return integrate(samples, seed)

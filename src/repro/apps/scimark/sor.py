@@ -1,0 +1,47 @@
+"""SciMark2 Jacobi successive over-relaxation, ported to EnerPy.
+
+A 5-point-stencil SOR sweep over an n x n grid (flattened row-major,
+as an approximate float array).  The relaxation arithmetic is
+approximate; grid geometry and iteration counts are precise.
+
+QoS metric: mean entry difference (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def make_grid(n: int, seed: int) -> list[Approx[float]]:
+    rng: Rand = Rand(seed)
+    grid: list[Approx[float]] = [0.0] * (n * n)
+    for i in range(n * n):
+        grid[i] = rng.next_float()
+    return grid
+
+
+def sor_execute(omega: float, grid: list[Approx[float]], n: int, iterations: int) -> None:
+    """Relax the interior of the grid ``iterations`` times, in place."""
+    omega_over_four: float = omega * 0.25
+    one_minus_omega: float = 1.0 - omega
+    for p in range(iterations):
+        for i in range(1, n - 1):
+            row: int = i * n
+            above: int = row - n
+            below: int = row + n
+            for j in range(1, n - 1):
+                grid[row + j] = omega_over_four * (
+                    grid[above + j]
+                    + grid[below + j]
+                    + grid[row + j - 1]
+                    + grid[row + j + 1]
+                ) + one_minus_omega * grid[row + j]
+
+
+def run_sor(n: int, iterations: int, seed: int) -> list[float]:
+    """The benchmark entry: relax a random grid, endorse the result."""
+    grid: list[Approx[float]] = make_grid(n, seed)
+    sor_execute(1.25, grid, n, iterations)
+    out: list[float] = [0.0] * (n * n)
+    for i in range(n * n):
+        out[i] = endorse(grid[i])
+    return out

@@ -1,0 +1,50 @@
+"""SciMark2 sparse matrix-vector multiply (CRS), ported to EnerPy.
+
+The nonzero values and the dense vector are approximate; the row
+pointers and column indices — the structure that addresses memory —
+must stay precise (array subscripts are required precise, so the type
+system itself forces this annotation, exactly the experience the paper
+reports: "the requirements that conditions and array indices be precise
+helped quickly distinguish data that was likely to be sensitive").
+
+QoS metric: mean normalized difference of the result vector (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def run_sparse_matmult(n: int, nonzeros_per_row: int, iterations: int, seed: int) -> list[float]:
+    """y = A*x repeated; A is n x n with a fixed number of nonzeros/row."""
+    rng: Rand = Rand(seed)
+    nz: int = n * nonzeros_per_row
+
+    values: list[Approx[float]] = [0.0] * nz
+    col: list[int] = [0] * nz
+    row: list[int] = [0] * (n + 1)
+    x: list[Approx[float]] = [0.0] * n
+    y: list[Approx[float]] = [0.0] * n
+
+    for i in range(nz):
+        values[i] = rng.next_float() - 0.5
+    for i in range(n):
+        x[i] = rng.next_float()
+    for r in range(n):
+        row[r] = r * nonzeros_per_row
+        for k in range(nonzeros_per_row):
+            col[r * nonzeros_per_row + k] = rng.next_in(0, n)
+    row[n] = nz
+
+    for it in range(iterations):
+        for r in range(n):
+            total: Approx[float] = 0.0
+            row_start: int = row[r]
+            row_end: int = row[r + 1]
+            for idx in range(row_start, row_end):
+                total = total + values[idx] * x[col[idx]]
+            y[r] = total
+
+    out: list[float] = [0.0] * n
+    for i in range(n):
+        out[i] = endorse(y[i])
+    return out

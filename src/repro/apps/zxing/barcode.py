@@ -1,0 +1,130 @@
+"""MiniCode: the 2-D matrix barcode format for the ZXing-style workload.
+
+A 21x21-module code with three QR-style 7x7 finder patterns (top-left,
+top-right, bottom-left).  The payload is a length byte, the message
+bytes, and a checksum byte, bit-packed row-major into the modules not
+reserved by the 8x8 corner zones.
+
+Encoding and rendering model the *sender* and the physical channel:
+they are precise code that deposits the result into an approximate
+image (pixels are exactly the data the paper treats as error-tolerant).
+Rendering adds per-pixel sensor noise.
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+from bitmatrix import BitArray, BitMatrix
+
+MODULES: int = 21
+FINDER: int = 7
+ZONE: int = 8
+CHECKSUM_SEED: int = 29
+
+
+def in_finder_zone(x: int, y: int) -> bool:
+    """Whether a module belongs to a reserved finder corner zone."""
+    if x < ZONE and y < ZONE:
+        return True
+    if x >= MODULES - ZONE and y < ZONE:
+        return True
+    if x < ZONE and y >= MODULES - ZONE:
+        return True
+    return False
+
+
+def data_capacity() -> int:
+    count: int = 0
+    for y in range(MODULES):
+        for x in range(MODULES):
+            if not in_finder_zone(x, y):
+                count = count + 1
+    return count
+
+
+def checksum(payload: list[int], length: int) -> int:
+    """A simple rolling checksum over the message bytes."""
+    value: int = CHECKSUM_SEED
+    for i in range(length):
+        value = (value * 31 + payload[i]) % 256
+    return value
+
+
+def _place_finder(matrix: BitMatrix, left: int, top: int) -> None:
+    """A 7x7 finder: black ring, white ring, 3x3 black core."""
+    for dy in range(FINDER):
+        for dx in range(FINDER):
+            ring: int = 0
+            if dx == 0 or dx == FINDER - 1 or dy == 0 or dy == FINDER - 1:
+                ring = 1
+            if dx >= 2 and dx <= 4 and dy >= 2 and dy <= 4:
+                ring = 1
+            matrix.set_bit(left + dx, top + dy, ring)
+
+
+def encode(message: list[int], length: int) -> BitMatrix:
+    """Build the module matrix for a message of ``length`` bytes."""
+    matrix: BitMatrix = BitMatrix(MODULES)
+    _place_finder(matrix, 0, 0)
+    _place_finder(matrix, MODULES - FINDER, 0)
+    _place_finder(matrix, 0, MODULES - FINDER)
+
+    stream: BitArray = BitArray((length + 2) * 8)
+    _put_byte(stream, 0, length)
+    for i in range(length):
+        _put_byte(stream, (i + 1) * 8, message[i])
+    _put_byte(stream, (length + 1) * 8, checksum(message, length))
+
+    cursor: int = 0
+    total_bits: int = (length + 2) * 8
+    for y in range(MODULES):
+        for x in range(MODULES):
+            if not in_finder_zone(x, y):
+                if cursor < total_bits:
+                    matrix.set_bit(x, y, stream.get(cursor))
+                    cursor = cursor + 1
+    return matrix
+
+
+def _put_byte(stream: BitArray, offset: int, value: int) -> None:
+    v: int = value % 256
+    for b in range(8):
+        bit: int = (v >> (7 - b)) & 1
+        stream.set_bit(offset + b, bit)
+
+
+def make_message(length: int, seed: int) -> list[int]:
+    rng: Rand = Rand(seed)
+    message: list[int] = [0] * length
+    for i in range(length):
+        message[i] = rng.next_in(0, 256)
+    return message
+
+
+def render(
+    matrix: BitMatrix, scale: int, margin: int, noise: int, seed: int
+) -> list[Approx[int]]:
+    """Rasterise the code into a noisy grayscale image (row-major).
+
+    Black modules render near 30, white near 225, the margin white;
+    every pixel gets uniform sensor noise of amplitude ``noise``.
+    The pixel array is approximate: this is the data the decoding
+    phase may process unreliably.
+    """
+    rng: Rand = Rand(seed)
+    size: int = MODULES * scale + 2 * margin
+    image: list[Approx[int]] = [0] * (size * size)
+    for py in range(size):
+        for px in range(size):
+            level: int = 225
+            mx: int = (px - margin) // scale
+            my: int = (py - margin) // scale
+            if mx >= 0 and mx < MODULES and my >= 0 and my < MODULES:
+                if endorse(matrix.get(mx, my) == 1):
+                    level = 30
+            wobble: int = rng.next_in(0, 2 * noise + 1) - noise
+            image[py * size + px] = level + wobble
+    return image
+
+
+def image_size(scale: int, margin: int) -> int:
+    return MODULES * scale + 2 * margin

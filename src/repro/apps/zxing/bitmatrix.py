@@ -1,0 +1,68 @@
+"""Approximable bit containers, modelled on ZXing's BitArray/BitMatrix.
+
+The paper singles these out: "ZXing contains BitArray and BitMatrix
+classes that are thin wrappers over binary data.  It is useful to have
+approximate bit matrices in some settings (e.g., during image
+processing) but precise matrices in other settings (e.g., in checksum
+calculation)."  Both are ``@approximable`` with ``@Context`` storage.
+
+``BitArray.is_range`` carries the paper's algorithmic approximation:
+the ``_APPROX`` variant samples only every other bit in the range.
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+
+
+@approximable
+class BitArray:
+    size: int
+    bits: Context[list[int]]
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        data: Context[list[int]] = [0] * size
+        self.bits = data
+
+    def get(self, index: int) -> Context[int]:
+        return self.bits[index]
+
+    def set_bit(self, index: int, value: Context[int]) -> None:
+        self.bits[index] = value
+
+    def is_range(self, start: int, end: int, expected: int) -> bool:
+        """Whether every bit in [start, end) equals ``expected``."""
+        for i in range(start, end):
+            if endorse(self.bits[i] != expected):
+                return False
+        return True
+
+    def is_range_APPROX(self, start: int, end: int, expected: int) -> bool:
+        """Check only every other bit — cheaper, usually right (paper)."""
+        for i in range(start, end, 2):
+            if endorse(self.bits[i] != expected):
+                return False
+        return True
+
+
+@approximable
+class BitMatrix:
+    size: int
+    bits: Context[list[int]]
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        data: Context[list[int]] = [0] * (size * size)
+        self.bits = data
+
+    def get(self, x: int, y: int) -> Context[int]:
+        return self.bits[y * self.size + x]
+
+    def set_bit(self, x: int, y: int, value: Context[int]) -> None:
+        self.bits[y * self.size + x] = value
+
+    def row(self, y: int) -> Context[BitArray]:
+        """Copy one row out as a BitArray of matching precision."""
+        out: Context[BitArray] = BitArray(self.size)
+        for x in range(self.size):
+            out.set_bit(x, self.bits[y * self.size + x])
+        return out

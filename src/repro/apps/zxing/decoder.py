@@ -1,0 +1,409 @@
+"""MiniCode decoder — the paper's ZXing workload, end to end.
+
+The decode pipeline mirrors ZXing's QR path at small scale:
+
+1. **Threshold** the grayscale image (approximate mean over all pixels,
+   endorsed once).
+2. **Binarize** into an approximate :class:`BitMatrix` — image-domain
+   data stays approximate, and every per-pixel black/white decision is
+   an endorsed approximate condition.  This is why the paper's ZXing
+   has by far the most endorsements (247): "ZXing's control flow
+   frequently depends on whether a particular pixel is black."
+3. **Locate finder patterns** by 1:1:3:1:1 run-length scanning, with a
+   vertical cross-check, then cluster candidate centers.
+4. **Sample the grid** with the affine transform induced by the three
+   centers.  The sampling coordinates are approximate floats, endorsed
+   exactly where they become array indices; an out-of-range coordinate
+   reads as a white pixel instead of raising — the paper's
+   image-transform hardening (Section 6.3).
+5. **Extract and verify**: the payload bits are endorsed into a precise
+   :class:`BitArray`, and the checksum check is fully precise — the
+   fault-sensitive reduction phase that follows the fault-tolerant
+   image phase.
+
+QoS metric: 1 if the decoded message is incorrect, 0 if correct (paper).
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+from bitmatrix import BitArray, BitMatrix
+from barcode import (
+    MODULES,
+    FINDER,
+    checksum,
+    encode,
+    image_size,
+    in_finder_zone,
+    make_message,
+    render,
+)
+
+MAX_CANDIDATES: int = 64
+
+
+def compute_threshold(image: list[Approx[int]], count: int) -> int:
+    """Black/white threshold: midpoint of the clamped luminance range.
+
+    Each pixel is endorsed and clamped to [0, 255] before the min/max
+    update — a faulted pixel can then shift the midpoint by at most
+    half the clamp range, unlike a long approximate accumulation where
+    one random-value fault corrupts the whole sum.  (Robustness through
+    *how* endorsed data is used is the programmer's job; the type
+    system only marks where the risk is.)
+    """
+    lo: int = 255
+    hi: int = 0
+    for i in range(count):
+        v: int = endorse(image[i])
+        if v < 0:
+            v = 0
+        if v > 255:
+            v = 255
+        if v < lo:
+            lo = v
+        if v > hi:
+            hi = v
+    return (lo + hi) // 2
+
+
+def binarize(image: list[Approx[int]], size: int, threshold: int) -> Approx[BitMatrix]:
+    """Black/white decisions over approximate pixels (endorsed each)."""
+    matrix: Approx[BitMatrix] = BitMatrix(size)
+    for y in range(size):
+        for x in range(size):
+            if endorse(image[y * size + x] < threshold):
+                matrix.set_bit(x, y, 1)
+    return matrix
+
+
+def _check_ratios(runs: list[int]) -> bool:
+    """Does a 5-run window look like a finder's 1:1:3:1:1 signature?"""
+    total: int = runs[0] + runs[1] + runs[2] + runs[3] + runs[4]
+    if total < 7:
+        return False
+    unit: float = total / 7.0
+    tolerance: float = unit / 2.0
+    ok: bool = True
+    if abs(runs[0] - unit) > tolerance:
+        ok = False
+    if abs(runs[1] - unit) > tolerance:
+        ok = False
+    if abs(runs[2] - 3.0 * unit) > 3.0 * tolerance:
+        ok = False
+    if abs(runs[3] - unit) > tolerance:
+        ok = False
+    if abs(runs[4] - unit) > tolerance:
+        ok = False
+    return ok
+
+
+def _vertical_run_center(
+    matrix: Approx[BitMatrix], x: int, y: int, size: int
+) -> float:
+    """Cross-check the finder signature vertically through (x, y).
+
+    Walks the column through the candidate center and requires the same
+    1:1:3:1:1 black/white structure (core, separator rings) that the
+    horizontal scan saw — ZXing's crossCheckVertical.  Returns the core
+    center, or -1.0 if the column does not look like a finder.
+    """
+    # Core run upward and downward from y.
+    top: int = y
+    while top > 0 and endorse(matrix.get(x, top - 1) == 1):
+        top = top - 1
+    bottom: int = y
+    while bottom < size - 1 and endorse(matrix.get(x, bottom + 1) == 1):
+        bottom = bottom + 1
+    core: int = bottom - top + 1
+
+    # White separator above, then the black ring above.
+    white_up: int = 0
+    yy: int = top - 1
+    while yy >= 0 and endorse(matrix.get(x, yy) == 0):
+        white_up = white_up + 1
+        yy = yy - 1
+    ring_up: int = 0
+    while yy >= 0 and endorse(matrix.get(x, yy) == 1):
+        ring_up = ring_up + 1
+        yy = yy - 1
+
+    # White separator below, then the black ring below.
+    white_down: int = 0
+    yy = bottom + 1
+    while yy < size and endorse(matrix.get(x, yy) == 0):
+        white_down = white_down + 1
+        yy = yy + 1
+    ring_down: int = 0
+    while yy < size and endorse(matrix.get(x, yy) == 1):
+        ring_down = ring_down + 1
+        yy = yy + 1
+
+    runs: list[int] = [0] * 5
+    runs[0] = ring_up
+    runs[1] = white_up
+    runs[2] = core
+    runs[3] = white_down
+    runs[4] = ring_down
+    if not _check_ratios(runs):
+        return -1.0
+    return (top + bottom) / 2.0
+
+
+def find_finder_centers(
+    matrix: Approx[BitMatrix],
+    size: int,
+    centers_x: list[float],
+    centers_y: list[float],
+) -> int:
+    """Scan for finder candidates; returns the number of clusters found.
+
+    Cluster centers are written into ``centers_x``/``centers_y`` (which
+    must each hold at least MAX_CANDIDATES slots).
+    """
+    found: int = 0
+    runs: list[int] = [0] * 5
+    for y in range(size):
+        run_count: int = 0
+        run_length: int = 0
+        current: int = 0  # the margin guarantees each row starts white
+        for x in range(size):
+            bit: int = 0
+            if endorse(matrix.get(x, y) == 1):
+                bit = 1
+            if bit == current:
+                run_length = run_length + 1
+            else:
+                # A run just ended: shift it into the 5-run window.
+                runs[0] = runs[1]
+                runs[1] = runs[2]
+                runs[2] = runs[3]
+                runs[3] = runs[4]
+                runs[4] = run_length
+                run_count = run_count + 1
+                # The window matches when the run that just ended was
+                # black (so a white run begins: bit == 0) and the five
+                # runs B:W:BBB:W:B have ~1:1:3:1:1 lengths.
+                if run_count >= 5 and bit == 0 and _check_ratios(runs):
+                    center_x: float = x - runs[4] - runs[3] - runs[2] / 2.0
+                    center_y: float = _vertical_run_center(
+                        matrix, int(center_x), y, size
+                    )
+                    if center_y >= 0.0:
+                        found = _add_candidate(
+                            centers_x, centers_y, found, center_x, center_y
+                        )
+                current = bit
+                run_length = 1
+    return found
+
+
+def _add_candidate(
+    centers_x: list[float],
+    centers_y: list[float],
+    found: int,
+    cx: float,
+    cy: float,
+) -> int:
+    """Merge a candidate into the cluster list (4-pixel radius)."""
+    for i in range(found):
+        dx: float = centers_x[i] - cx
+        dy: float = centers_y[i] - cy
+        if dx * dx + dy * dy < 16.0:
+            centers_x[i] = (centers_x[i] + cx) / 2.0
+            centers_y[i] = (centers_y[i] + cy) / 2.0
+            return found
+    if found < MAX_CANDIDATES:
+        centers_x[found] = cx
+        centers_y[found] = cy
+        return found + 1
+    return found
+
+
+def _order_centers(centers_x: list[float], centers_y: list[float]) -> bool:
+    """Reorder the three centers as [top-left, top-right, bottom-left].
+
+    The top-left corner is the vertex of the right angle: the center
+    whose two edge vectors have the largest |cross product| relative to
+    the opposite side.  For our axis-aligned codes, it is the center
+    closest to the other two.
+    """
+    d01: float = _dist2(centers_x, centers_y, 0, 1)
+    d02: float = _dist2(centers_x, centers_y, 0, 2)
+    d12: float = _dist2(centers_x, centers_y, 1, 2)
+    # The hypotenuse connects TR and BL; the center NOT on it is TL.
+    tl: int = 2
+    if d01 > d02 and d01 > d12:
+        tl = 2
+    elif d02 > d01 and d02 > d12:
+        tl = 1
+    else:
+        tl = 0
+    _swap(centers_x, centers_y, 0, tl)
+    # Of the remaining two, TR has the greater x.
+    if centers_x[1] < centers_x[2]:
+        _swap(centers_x, centers_y, 1, 2)
+    # Sanity: TR right of TL, BL below TL.
+    if centers_x[1] <= centers_x[0]:
+        return False
+    if centers_y[2] <= centers_y[0]:
+        return False
+    return True
+
+
+def _dist2(xs: list[float], ys: list[float], i: int, j: int) -> float:
+    dx: float = xs[i] - xs[j]
+    dy: float = ys[i] - ys[j]
+    return dx * dx + dy * dy
+
+
+def _swap(xs: list[float], ys: list[float], i: int, j: int) -> None:
+    tx: float = xs[i]
+    ty: float = ys[i]
+    xs[i] = xs[j]
+    ys[i] = ys[j]
+    xs[j] = tx
+    ys[j] = ty
+
+
+def sample_pixel(
+    image: list[Approx[int]], size: int, x: Approx[float], y: Approx[float]
+) -> Approx[int]:
+    """Sample with the paper's hardening: out-of-bounds reads white.
+
+    The coordinates are approximate and endorsed exactly where they
+    become array indices (Section 6.3: "We marked these coordinates as
+    approximate and then endorsed them at the point they are used as
+    array indices"); a transient fault in them yields a white pixel,
+    not an ArrayIndexOutOfBoundsException.
+    """
+    xi: int = endorse(int(x + 0.5))
+    yi: int = endorse(int(y + 0.5))
+    if xi < 0 or xi >= size or yi < 0 or yi >= size:
+        return 255
+    return image[yi * size + xi]
+
+
+def sample_grid(
+    image: list[Approx[int]],
+    size: int,
+    threshold: int,
+    centers_x: list[float],
+    centers_y: list[float],
+) -> Approx[BitMatrix]:
+    """Sample all module centers using the finder-derived transform."""
+    # Finder centers sit 3.5 modules in from each corner, so TL->TR
+    # spans MODULES-7 modules.
+    span: float = 1.0 * (MODULES - FINDER)
+    ux_x: Approx[float] = (centers_x[1] - centers_x[0]) / span
+    ux_y: Approx[float] = (centers_y[1] - centers_y[0]) / span
+    uy_x: Approx[float] = (centers_x[2] - centers_x[0]) / span
+    uy_y: Approx[float] = (centers_y[2] - centers_y[0]) / span
+
+    matrix: Approx[BitMatrix] = BitMatrix(MODULES)
+    half: float = FINDER / 2.0
+    for my in range(MODULES):
+        for mx in range(MODULES):
+            fx: Approx[float] = mx - half + 0.5
+            fy: Approx[float] = my - half + 0.5
+            px: Approx[float] = centers_x[0] + fx * ux_x + fy * uy_x
+            py: Approx[float] = centers_y[0] + fx * ux_y + fy * uy_y
+            level: Approx[int] = sample_pixel(image, size, px, py)
+            if endorse(level < threshold):
+                matrix.set_bit(mx, my, 1)
+    return matrix
+
+
+def verify_finder(matrix: Approx[BitMatrix]) -> bool:
+    """Cheap structural check on the sampled top-left finder.
+
+    Uses the approximate BitArray's ``is_range`` — on this approximate
+    instance the ``is_range_APPROX`` implementation runs, checking only
+    every other bit (the paper's algorithmic-approximation example).
+    """
+    top_row: Approx[BitArray] = matrix.row(0)
+    return top_row.is_range(0, FINDER, 1)
+
+
+def extract_payload(matrix: Approx[BitMatrix]) -> list[int]:
+    """Endorse the data modules into a precise bit stream and decode.
+
+    Returns the message bytes, or an empty list if the checksum fails.
+    This is the fault-sensitive precise phase: from here on everything
+    is precise data.
+    """
+    capacity: int = 0
+    for y in range(MODULES):
+        for x in range(MODULES):
+            if not in_finder_zone(x, y):
+                capacity = capacity + 1
+
+    stream: BitArray = BitArray(capacity)
+    cursor: int = 0
+    for y in range(MODULES):
+        for x in range(MODULES):
+            if not in_finder_zone(x, y):
+                bit: int = 0
+                if endorse(matrix.get(x, y) == 1):
+                    bit = 1
+                stream.set_bit(cursor, bit)
+                cursor = cursor + 1
+
+    length: int = _read_byte(stream, 0)
+    if length < 1 or (length + 2) * 8 > capacity:
+        empty: list[int] = [0] * 0
+        return empty
+    message: list[int] = [0] * length
+    for i in range(length):
+        message[i] = _read_byte(stream, (i + 1) * 8)
+    expected: int = _read_byte(stream, (length + 1) * 8)
+    if checksum(message, length) != expected:
+        failed: list[int] = [0] * 0
+        return failed
+    return message
+
+
+def _read_byte(stream: BitArray, offset: int) -> int:
+    value: int = 0
+    for b in range(8):
+        value = value * 2 + stream.get(offset + b)
+    return value
+
+
+def decode(image: list[Approx[int]], size: int) -> list[int]:
+    """Full decode; empty list when the image cannot be read."""
+    threshold: int = compute_threshold(image, size * size)
+    matrix: Approx[BitMatrix] = binarize(image, size, threshold)
+
+    centers_x: list[float] = [0.0] * MAX_CANDIDATES
+    centers_y: list[float] = [0.0] * MAX_CANDIDATES
+    found: int = find_finder_centers(matrix, size, centers_x, centers_y)
+    if found != 3:
+        nothing: list[int] = [0] * 0
+        return nothing
+    if not _order_centers(centers_x, centers_y):
+        nothing2: list[int] = [0] * 0
+        return nothing2
+
+    sampled: Approx[BitMatrix] = sample_grid(image, size, threshold, centers_x, centers_y)
+    if not verify_finder(sampled):
+        nothing3: list[int] = [0] * 0
+        return nothing3
+    return extract_payload(sampled)
+
+
+def run_zxing(message_length: int, scale: int, noise: int, seed: int) -> int:
+    """The benchmark entry: encode, render noisily, decode, compare.
+
+    Returns 1 when the decoded message matches the encoded one.
+    """
+    message: list[int] = make_message(message_length, seed)
+    code: BitMatrix = encode(message, message_length)
+    image: list[Approx[int]] = render(code, scale, 6, noise, seed + 1)
+    size: int = image_size(scale, 6)
+    decoded: list[int] = decode(image, size)
+    if len(decoded) != message_length:
+        return 0
+    for i in range(message_length):
+        if decoded[i] != message[i]:
+            return 0
+    return 1

@@ -1,0 +1,189 @@
+"""Command-line interface for the EnerPy toolchain.
+
+Usage::
+
+    python -m repro check FILE [FILE...]          # static qualifier check
+    python -m repro run FILE --entry F [args...]  # simulate a program
+    python -m repro census FILE [FILE...]         # annotation statistics
+    python -m repro experiments NAME              # regenerate a table/figure
+
+``run`` compiles the file(s), executes ``--entry`` with integer/float
+arguments under the chosen configuration, and reports the output plus
+the measured statistics and estimated energy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+from repro.core.checker import check_modules
+from repro.core.pipeline import compile_program
+from repro.energy import MOBILE, SERVER, estimate_energy
+from repro.errors import ReproError, TypeCheckError
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.runtime import Simulator
+
+_CONFIGS = {
+    "baseline": BASELINE,
+    "mild": MILD,
+    "medium": MEDIUM,
+    "aggressive": AGGRESSIVE,
+}
+
+_EXPERIMENTS = (
+    "table2",
+    "table3",
+    "figure3",
+    "figure4",
+    "figure5",
+    "sensitivity",
+    "ablation",
+    "autotune",
+    "static_vs_dynamic",
+    "online_monitor",
+)
+
+
+def _load_sources(paths: List[str]) -> Dict[str, str]:
+    sources = {}
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[name] = handle.read()
+    return sources
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    result = check_modules(_load_sources(args.files))
+    for diagnostic in result.diagnostics:
+        print(diagnostic)
+    if result.ok:
+        count = len(result.diagnostics)
+        suffix = f" ({count} warnings)" if count else ""
+        print(f"OK: {len(args.files)} module(s) are well-typed EnerPy{suffix}")
+        return 0
+    print(f"FAILED: {len(result.sink.errors)} error(s)")
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _CONFIGS[args.config]
+    try:
+        program = compile_program(_load_sources(args.files))
+    except TypeCheckError as error:
+        print(error)
+        return 1
+    module = args.module or os.path.splitext(os.path.basename(args.files[0]))[0]
+    call_args = [_parse_value(a) for a in args.args]
+    with Simulator(config, seed=args.seed) as simulator:
+        output = program.call(module, args.entry, *call_args)
+    stats = simulator.stats()
+
+    print(f"output   : {output!r}" if not args.quiet_output else "output   : <suppressed>")
+    print(f"config   : {config.name} (seed {args.seed})")
+    print(
+        f"ops      : {stats.int_ops_total} int ({stats.int_approx_fraction:.1%} approx), "
+        f"{stats.fp_ops_total} fp ({stats.fp_approx_fraction:.1%} approx)"
+    )
+    print(
+        f"storage  : DRAM {stats.dram_approx_fraction:.1%} approx, "
+        f"SRAM {stats.sram_approx_fraction:.1%} approx (byte-ticks)"
+    )
+    print(f"faults   : {stats.total_faults}, endorsements: {stats.endorsements}")
+    params = MOBILE if args.mobile else SERVER
+    energy = estimate_energy(stats, config, params)
+    print(f"energy   : {energy.total:.1%} of precise ({params.name} split)")
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    from repro.experiments.annotations_census import census_sources
+
+    census = census_sources(_load_sources(args.files))
+    print(f"lines of code      : {census.lines_of_code}")
+    print(f"declarations       : {census.declarations}")
+    print(
+        f"annotated          : {census.annotated} "
+        f"({census.annotated_fraction:.1%})"
+    )
+    print(f"endorsement sites  : {census.endorsements}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EnerPy: approximate data types for Python (EnerJ reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="statically check EnerPy modules")
+    check.add_argument("files", nargs="+", help="EnerPy source files")
+    check.set_defaults(fn=cmd_check)
+
+    run = commands.add_parser("run", help="simulate an EnerPy program")
+    run.add_argument("files", nargs="+", help="EnerPy source files")
+    run.add_argument("--entry", required=True, help="entry function name")
+    run.add_argument("--module", help="module of the entry (default: first file)")
+    run.add_argument("--config", choices=sorted(_CONFIGS), default="medium")
+    run.add_argument("--seed", type=int, default=0, help="fault seed")
+    run.add_argument("--mobile", action="store_true", help="mobile energy split")
+    run.add_argument("--quiet-output", action="store_true")
+    run.add_argument(
+        "--args",
+        nargs="*",
+        default=[],
+        help="entry arguments (parsed as int/float when possible)",
+    )
+    run.set_defaults(fn=cmd_run)
+
+    census = commands.add_parser("census", help="annotation statistics")
+    census.add_argument("files", nargs="+")
+    census.set_defaults(fn=cmd_census)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate a paper table/figure"
+    )
+    experiments.add_argument("name", choices=_EXPERIMENTS)
+    experiments.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""EnerPy core: qualifiers, types, checker, and instrumenting compiler."""
+
+from repro.core.annotations import (
+    APPROX_SUFFIX,
+    Approx,
+    Context,
+    Precise,
+    Top,
+    approximable,
+    endorse,
+    is_approximable,
+)
+from repro.core.checker import CheckResult, Checker, check_modules
+from repro.core.declarations import (
+    ClassInfo,
+    FunctionSig,
+    ProgramDeclarations,
+    collect_declarations,
+)
+from repro.core.diagnostics import Diagnostic, DiagnosticSink, Severity
+from repro.core.qualifiers import (
+    APPROX,
+    CONTEXT,
+    LOST,
+    PRECISE,
+    TOP,
+    Qualifier,
+    adapt,
+    is_subqualifier,
+    qualifier_lub,
+)
+from repro.core.types import QualifiedType, array_of, is_subtype, primitive, reference
+
+__all__ = [
+    "Approx",
+    "Precise",
+    "Top",
+    "Context",
+    "approximable",
+    "endorse",
+    "APPROX_SUFFIX",
+    "is_approximable",
+    "Qualifier",
+    "PRECISE",
+    "APPROX",
+    "TOP",
+    "CONTEXT",
+    "LOST",
+    "adapt",
+    "is_subqualifier",
+    "qualifier_lub",
+    "QualifiedType",
+    "primitive",
+    "reference",
+    "array_of",
+    "is_subtype",
+    "check_modules",
+    "Checker",
+    "CheckResult",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "ProgramDeclarations",
+    "ClassInfo",
+    "FunctionSig",
+    "collect_declarations",
+]

@@ -1,0 +1,126 @@
+"""EnerPy surface annotations (paper Table 1, re-hosted on Python).
+
+These are the objects EnerPy programs import::
+
+    from repro import Approx, Precise, Top, Context, approximable, endorse
+
+    x: Approx[float] = 0.0
+
+    @approximable
+    class Vector3f:
+        x: Context[float]
+        ...
+
+Backwards compatibility is a design goal of the paper ("one valid
+execution is to ignore all annotations and execute the code as plain
+Java"), and we keep it: every construct here is a runtime no-op, so any
+EnerPy module is an ordinary Python module that runs precisely under
+CPython.  The static checker (:mod:`repro.core.checker`) and the
+instrumenting compiler (:mod:`repro.core.instrument`) give annotations
+their approximate meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeVar
+
+__all__ = [
+    "Approx",
+    "Precise",
+    "Top",
+    "Context",
+    "approximable",
+    "endorse",
+    "APPROX_SUFFIX",
+    "is_approximable",
+]
+
+_T = TypeVar("_T")
+
+#: Naming convention for algorithmic approximation (paper Section 2.5.2):
+#: ``def mean_APPROX(self)`` is invoked in place of ``mean`` when the
+#: receiver is approximate.  (Java EnerJ spells this ``mean_APPROX`` too.)
+APPROX_SUFFIX = "_APPROX"
+
+#: Attribute set by :func:`approximable` so the runtime can recognise
+#: approximable classes without importing checker machinery.
+_APPROXIMABLE_FLAG = "__enerpy_approximable__"
+
+
+class _QualifierAnnotation:
+    """A subscriptable annotation marker such as ``Approx[float]``.
+
+    At runtime ``Approx[float]`` simply returns the inner type unchanged
+    wrapped in a :class:`_QualifiedAlias` that keeps the spelling for
+    ``repr`` but is otherwise inert, so default Python execution and
+    ``typing.get_type_hints``-free tooling are unaffected.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __getitem__(self, item: Any) -> "_QualifiedAlias":
+        return _QualifiedAlias(self._name, item)
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __call__(self, value: _T) -> _T:
+        """Allow ``Approx(expr)`` as an *upcast* in expression position.
+
+        The paper permits forcing an approximate operation by upcasting
+        an operand; ``Approx(x)`` is the EnerPy spelling.  At plain
+        runtime it is the identity.
+        """
+        return value
+
+
+class _QualifiedAlias:
+    """The runtime value of ``Approx[float]`` — inert but printable."""
+
+    def __init__(self, qualifier_name: str, inner: Any) -> None:
+        self.qualifier_name = qualifier_name
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        inner = getattr(self.inner, "__name__", repr(self.inner))
+        return f"{self.qualifier_name}[{inner}]"
+
+    def __call__(self, value: _T) -> _T:
+        return value
+
+
+Approx = _QualifierAnnotation("Approx")
+Precise = _QualifierAnnotation("Precise")
+Top = _QualifierAnnotation("Top")
+Context = _QualifierAnnotation("Context")
+
+
+def approximable(cls: type) -> type:
+    """Class decorator marking a class as approximable (Section 2.5).
+
+    Clients may then create approximate instances (``v: Approx[Vector3f]
+    = Vector3f(...)``); ``Context``-qualified members take on the
+    instance's precision, and ``*_APPROX`` method variants are eligible
+    for dispatch on approximate receivers.  A plain-Python run ignores
+    all of this; the decorator only sets a marker attribute.
+    """
+    setattr(cls, _APPROXIMABLE_FLAG, True)
+    return cls
+
+
+def is_approximable(cls: type) -> bool:
+    """Whether ``cls`` was decorated with :func:`approximable`."""
+    return bool(getattr(cls, _APPROXIMABLE_FLAG, False))
+
+
+def endorse(value: _T) -> _T:
+    """Endorsement (paper Section 2.2): approximate-to-precise cast.
+
+    ``endorse(e)`` types as the precise equivalent of ``e``'s type; the
+    programmer thereby certifies that approximate data may influence
+    precise state here.  At runtime (plain or instrumented) it returns
+    the value unchanged — under instrumentation the runtime also records
+    the dynamic endorsement count for the evaluation statistics.
+    """
+    return value

@@ -1,0 +1,1365 @@
+"""The EnerPy static qualifier checker (paper Section 2; pass 2).
+
+Checks a program (one or more parsed modules) against EnerJ's rules,
+re-hosted on Python:
+
+* **Flow** — no approximate-to-precise assignment without ``endorse``
+  (Section 2.1/2.2); for primitives, precise-to-approximate flows by
+  subtyping.
+* **Control flow** — conditions of ``if``/``while``/ternary/``assert``
+  must be precise (Section 2.4); ``endorse`` is the escape hatch.
+* **Arrays** — subscripts must be precise; lengths are precise
+  (Section 2.6).
+* **Objects** — approximable classes get qualifier polymorphism via
+  ``Context``; context adaptation follows the formal rules, and field
+  writes whose adapted type *lost* precision are rejected (Section 3.1).
+* **Algorithmic approximation** — ``m_APPROX`` variants are dispatched
+  on approximate receivers (Section 2.5.2).
+* **Bidirectional typing** — arithmetic on the right-hand side of an
+  assignment to an approximate target (and in approximate argument
+  positions) is approximate even when its operands are precise
+  (Section 2.3).
+
+Besides diagnostics, the checker records a *fact* for every node the
+instrumenting compiler must rewrite (operator kind and precision, local
+reads/writes, array and field accesses, allocations, endorsements,
+dispatch sites).  Facts are keyed by node identity, so the same AST
+object must be handed to the instrumenter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotations import APPROX_SUFFIX
+from repro.core.declarations import (
+    ClassInfo,
+    FunctionSig,
+    ProgramDeclarations,
+    collect_declarations,
+    parse_annotation,
+)
+from repro.core.diagnostics import DiagnosticSink
+from repro.core.qualifiers import (
+    APPROX,
+    CONTEXT,
+    LOST,
+    PRECISE,
+    TOP,
+    Qualifier,
+    adapt,
+    qualifier_lub,
+)
+from repro.core.types import (
+    QualifiedType,
+    VOID,
+    adapt_type,
+    array_of,
+    contains_lost,
+    is_subtype,
+    primitive,
+    reference,
+    type_lub,
+)
+
+__all__ = ["CheckResult", "Checker", "check_modules"]
+
+DYNAMIC = reference("dynamic", PRECISE)
+NULL = reference("null", PRECISE)
+STR = reference("str", PRECISE)
+RANGE = reference("range", PRECISE)
+INT = primitive("int")
+FLOAT = primitive("float")
+BOOL = primitive("bool")
+
+_BINOP_NAMES = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.Div: "div",
+    ast.FloorDiv: "div",
+    ast.Mod: "mod",
+    ast.Pow: "pow",
+    ast.BitAnd: "and",
+    ast.BitOr: "or",
+    ast.BitXor: "xor",
+    ast.LShift: "shl",
+    ast.RShift: "shr",
+}
+
+_CMP_NAMES = {
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+    ast.Lt: "lt",
+    ast.LtE: "le",
+    ast.Gt: "gt",
+    ast.GtE: "ge",
+}
+
+_MATH_FUNCTIONS = {
+    "sqrt", "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "exp", "log", "log2", "log10", "floor", "ceil", "fabs", "pow",
+    "hypot", "fmod", "copysign",
+}
+
+_MATH_CONSTANTS = {"pi", "e", "inf", "nan", "tau"}
+
+#: Python-int-producing math functions.
+_MATH_INT_RESULT = {"floor", "ceil"}
+
+
+class CheckResult:
+    """Outcome of checking a program: diagnostics plus instrumentation facts."""
+
+    def __init__(
+        self,
+        declarations: ProgramDeclarations,
+        sink: DiagnosticSink,
+        facts: Dict[int, dict],
+        types: Dict[int, QualifiedType],
+        modules: Dict[str, ast.Module],
+    ) -> None:
+        self.declarations = declarations
+        self.sink = sink
+        self.facts = facts
+        self.types = types
+        self.modules = modules
+
+    @property
+    def ok(self) -> bool:
+        return not self.sink.has_errors
+
+    @property
+    def diagnostics(self):
+        return self.sink.diagnostics
+
+    def codes(self) -> List[str]:
+        return self.sink.codes()
+
+
+class _Env:
+    """A lexical scope mapping locals to their declared/inferred types."""
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, QualifiedType] = {}
+        #: Names annotated explicitly (vs. inferred from first assignment).
+        self.declared: set = set()
+
+    def lookup(self, name: str) -> Optional[QualifiedType]:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.names:
+                return env.names[name]
+            env = env.parent
+        return None
+
+    def bind(self, name: str, type_: QualifiedType, declared: bool = False) -> None:
+        self.names[name] = type_
+        if declared:
+            self.declared.add(name)
+
+    def is_declared_here(self, name: str) -> bool:
+        return name in self.names
+
+
+class Checker:
+    """Type-checks modules and records instrumentation facts."""
+
+    def __init__(self, declarations: ProgramDeclarations, sink: DiagnosticSink) -> None:
+        self.decls = declarations
+        self.sink = sink
+        self.facts: Dict[int, dict] = {}
+        self.types: Dict[int, QualifiedType] = {}
+        self._module = ""
+        #: math-module aliases in the current module ("import math as m").
+        self._math_names: set = set()
+        #: Facts are only recorded inside function bodies: module-level
+        #: code executes at load time, outside any Simulator context.
+        self._recording = False
+        #: Module-level literal constants of the module being checked.
+        self._module_constants: Dict[str, QualifiedType] = {}
+        #: Qualifier of the current method's receiver (None in functions).
+        self._receiver: Optional[Qualifier] = None
+        self._current_class: Optional[ClassInfo] = None
+        self._current_sig: Optional[FunctionSig] = None
+
+    # ==================================================================
+    # Entry points
+    # ==================================================================
+    def check_module(self, name: str, tree: ast.Module) -> None:
+        self._module = name
+        self._math_names = set()
+        self._module_constants = self._collect_module_constants(tree)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._register_import(stmt)
+            elif isinstance(stmt, ast.FunctionDef):
+                sig = self.decls.lookup_function(stmt.name)
+                if sig is not None and sig.node is stmt:
+                    self._check_function(sig)
+            elif isinstance(stmt, ast.ClassDef):
+                info = self.decls.lookup_class(stmt.name)
+                if info is not None and info.node is stmt:
+                    self._check_class(info)
+            elif isinstance(stmt, ast.If) and self._is_main_guard(stmt):
+                # ``if __name__ == "__main__":`` blocks run outside the
+                # simulator; they may only touch precise/dynamic data.
+                self._check_block(stmt.body, _Env())
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.Expr, ast.Pass)):
+                # Module-level constants and docstrings: checked loosely
+                # in a fresh environment.
+                self._check_stmt(stmt, _Env())
+            else:
+                self.sink.error(
+                    "unsupported",
+                    f"unsupported module-level statement {type(stmt).__name__}",
+                    stmt,
+                    self._module,
+                )
+
+    # ==================================================================
+    # Declarations
+    # ==================================================================
+    def _register_import(self, stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "math":
+                    self._math_names.add(alias.asname or "math")
+            return
+        # from-imports: names from repro or sibling modules; both resolve
+        # through the global declaration table, so nothing to record.
+
+    def _collect_module_constants(self, tree: ast.Module) -> Dict[str, QualifiedType]:
+        """Module-level literal constants, visible inside every function.
+
+        Only precise literals qualify — module-level code runs outside
+        the simulator, so nothing approximate can be created there.
+        """
+        constants: Dict[str, QualifiedType] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target = stmt.target
+            else:
+                continue
+            if isinstance(target, ast.Name) and isinstance(
+                stmt.value, (ast.Constant, ast.UnaryOp)
+            ):
+                value = stmt.value
+                if isinstance(value, ast.UnaryOp):
+                    if not isinstance(value.operand, ast.Constant):
+                        continue
+                    value = value.operand
+                literal = value.value
+                if isinstance(literal, bool):
+                    constants[target.id] = BOOL
+                elif isinstance(literal, int):
+                    constants[target.id] = INT
+                elif isinstance(literal, float):
+                    constants[target.id] = FLOAT
+                elif isinstance(literal, str):
+                    constants[target.id] = STR
+        return constants
+
+    @staticmethod
+    def _is_main_guard(stmt: ast.If) -> bool:
+        test = stmt.test
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+        )
+
+    def _check_class(self, info: ClassInfo) -> None:
+        self._current_class = info
+        for method in info.methods.values():
+            if method.is_approx_variant:
+                base = info.methods.get(method.base_name)
+                if base is not None and base.arity != method.arity:
+                    self.sink.warning(
+                        "overload",
+                        f"{info.name}.{method.name} arity differs from "
+                        f"{method.base_name}; dispatch would be unsound",
+                        method.node,
+                        self._module,
+                    )
+                if not info.approximable:
+                    self.sink.error(
+                        "not-approximable",
+                        f"{info.name}.{method.name}: _APPROX methods require "
+                        f"an @approximable class",
+                        method.node,
+                        self._module,
+                    )
+            self._check_function(method, owner=info)
+        self._current_class = None
+
+    def _check_function(self, sig: FunctionSig, owner: Optional[ClassInfo] = None) -> None:
+        env = _Env()
+        self._current_sig = sig
+        self._receiver = None
+        self._recording = True
+        if owner is not None:
+            self._receiver = sig.receiver_qualifier or PRECISE
+            env.bind("self", reference(owner.name, self._receiver), declared=True)
+        for name, ptype in sig.params:
+            env.bind(name, ptype, declared=True)
+        self._check_block(sig.node.body, env)
+        self._current_sig = None
+        self._receiver = None
+        self._recording = False
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def _check_block(self, stmts: List[ast.stmt], env: _Env) -> None:
+        for stmt in stmts:
+            self._check_stmt(stmt, env)
+
+    def _check_stmt(self, stmt: ast.stmt, env: _Env) -> None:
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is None:
+            self.sink.error(
+                "unsupported",
+                f"unsupported statement {type(stmt).__name__}",
+                stmt,
+                self._module,
+            )
+            return
+        handler(stmt, env)
+
+    # --- assignments ---------------------------------------------------
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign, env: _Env) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            self.sink.error("unsupported", "annotated non-name target", stmt, self._module)
+            return
+        in_approximable = bool(self._current_class and self._current_class.approximable)
+        declared = parse_annotation(
+            stmt.annotation, self.sink, self._module, in_approximable=in_approximable
+        )
+        env.bind(stmt.target.id, declared, declared=True)
+        if stmt.value is not None:
+            value_type = self._expr(stmt.value, env, expected=self._expected_for(declared))
+            self._check_assignable(value_type, declared, stmt)
+        self._record_local_store(stmt.target, declared)
+
+    def _stmt_Assign(self, stmt: ast.Assign, env: _Env) -> None:
+        if len(stmt.targets) != 1:
+            self.sink.error("unsupported", "chained assignment", stmt, self._module)
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            existing = env.lookup(target.id)
+            expected = self._expected_for(existing) if existing is not None else None
+            value_type = self._expr(stmt.value, env, expected=expected)
+            if existing is None:
+                # First assignment declares the local with the value's
+                # type (the Python analogue of Java's mandatory local
+                # declarations; the paper's default is precise and so is
+                # an unannotated inference from precise values).
+                inferred = value_type
+                if inferred.qualifier is LOST:
+                    inferred = inferred.with_qualifier(TOP)
+                env.bind(target.id, inferred)
+                self._record_local_store(target, inferred)
+                return
+            self._check_assignable(value_type, existing, stmt)
+            self._record_local_store(target, existing)
+            return
+        if isinstance(target, ast.Subscript):
+            self._check_subscript_store(target, stmt.value, env, stmt)
+            return
+        if isinstance(target, ast.Attribute):
+            self._check_field_store(target, stmt.value, env, stmt)
+            return
+        if isinstance(target, ast.Tuple):
+            value_type = self._expr(stmt.value, env)
+            if value_type.qualifier is not PRECISE:
+                self.sink.error(
+                    "unsupported", "tuple assignment of approximate data", stmt, self._module
+                )
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    env.bind(element.id, DYNAMIC)
+                else:
+                    self.sink.error("unsupported", "complex tuple target", stmt, self._module)
+            return
+        self.sink.error("unsupported", "unsupported assignment target", stmt, self._module)
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign, env: _Env) -> None:
+        op_name = _BINOP_NAMES.get(type(stmt.op))
+        if op_name is None:
+            self.sink.error("unsupported", "unsupported augmented operator", stmt, self._module)
+            return
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            target_type = env.lookup(target.id)
+            if target_type is None:
+                self.sink.error(
+                    "unknown-name", f"augmented assignment to undefined {target.id}", stmt, self._module
+                )
+                return
+        elif isinstance(target, ast.Subscript):
+            target_type = self._subscript_element_type(target, env, record=True)
+            if target_type is None:
+                return
+        elif isinstance(target, ast.Attribute):
+            target_type = self._field_target_type(target, env, for_write=True)
+            if target_type is None:
+                return
+        else:
+            self.sink.error("unsupported", "unsupported augmented target", stmt, self._module)
+            return
+
+        expected = self._expected_for(target_type)
+        value_type = self._expr(stmt.value, env, expected=expected)
+        if not (target_type.is_numeric or target_type.name == "dynamic"):
+            if not value_type.is_numeric and value_type.name != "dynamic":
+                self.sink.error("incompatible", "augmented op on non-numeric", stmt, self._module)
+                return
+        result = self._numeric_result(target_type, value_type, expected, stmt, op_name)
+        self._check_assignable(result, target_type, stmt)
+        if isinstance(target, ast.Name):
+            self._record_local_store(target, target_type)
+            # The implicit read of the old value:
+            self._record_local_fact(target, target_type, role="local-load")
+
+    # --- control flow ----------------------------------------------------
+    def _check_condition(self, test: ast.expr, env: _Env, what: str) -> None:
+        cond_type = self._expr(test, env)
+        if cond_type.qualifier is not PRECISE:
+            self.sink.error(
+                "condition",
+                f"approximate value controls {what}; wrap with endorse(...)",
+                test,
+                self._module,
+            )
+
+    def _stmt_If(self, stmt: ast.If, env: _Env) -> None:
+        self._check_condition(stmt.test, env, "an if statement")
+        self._check_block(stmt.body, env)
+        self._check_block(stmt.orelse, env)
+
+    def _stmt_While(self, stmt: ast.While, env: _Env) -> None:
+        self._check_condition(stmt.test, env, "a while loop")
+        self._check_block(stmt.body, env)
+        self._check_block(stmt.orelse, env)
+
+    def _stmt_For(self, stmt: ast.For, env: _Env) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            self.sink.error("unsupported", "complex for-loop target", stmt, self._module)
+            return
+        iter_node = stmt.iter
+        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name) and iter_node.func.id == "range":
+            for arg in iter_node.args:
+                arg_type = self._expr(arg, env)
+                if arg_type.qualifier is not PRECISE:
+                    self.sink.error(
+                        "condition", "range() bound must be precise", arg, self._module
+                    )
+            env.bind(stmt.target.id, INT)
+            # Loop induction arithmetic is precise integer work; the
+            # simulator counts one int op per iteration (paper Sec. 6.1:
+            # induction increments limit integer approximation).
+            self._put_fact(stmt, {"role": "range"})
+        else:
+            iterable = self._expr(iter_node, env)
+            if iterable.is_array:
+                element = iterable.element
+                env.bind(stmt.target.id, element)
+                if element is not None and element.is_primitive:
+                    self._put_fact(stmt, {
+                        "role": "foreach",
+                        "kind": element.name,
+                        "approx": self._flag(element.qualifier),
+                    })
+            elif iterable.name in ("dynamic", "str", "range"):
+                env.bind(stmt.target.id, DYNAMIC)
+            else:
+                self.sink.error(
+                    "unsupported", f"cannot iterate over {iterable}", stmt, self._module
+                )
+                env.bind(stmt.target.id, DYNAMIC)
+        self._check_block(stmt.body, env)
+        self._check_block(stmt.orelse, env)
+
+    def _stmt_Return(self, stmt: ast.Return, env: _Env) -> None:
+        sig = self._current_sig
+        declared = sig.returns if sig is not None else DYNAMIC
+        if stmt.value is None:
+            if sig is not None and not declared.is_void and declared.name != "dynamic":
+                self.sink.error("return-type", "missing return value", stmt, self._module)
+            return
+        expected = self._expected_for(declared) if not declared.is_void else None
+        value_type = self._expr(stmt.value, env, expected=expected)
+        if declared.is_void:
+            if value_type.qualifier is not PRECISE and value_type.name != "dynamic":
+                self.sink.error(
+                    "flow", "returning approximate data from a void function", stmt, self._module
+                )
+            return
+        self._check_assignable(value_type, declared, stmt, code="return-type")
+
+    def _stmt_Expr(self, stmt: ast.Expr, env: _Env) -> None:
+        self._expr(stmt.value, env)
+
+    def _stmt_Pass(self, stmt: ast.Pass, env: _Env) -> None:
+        return
+
+    def _stmt_Break(self, stmt: ast.Break, env: _Env) -> None:
+        return
+
+    def _stmt_Continue(self, stmt: ast.Continue, env: _Env) -> None:
+        return
+
+    def _stmt_Assert(self, stmt: ast.Assert, env: _Env) -> None:
+        self._check_condition(stmt.test, env, "an assert")
+        if stmt.msg is not None:
+            self._expr(stmt.msg, env)
+
+    def _stmt_Raise(self, stmt: ast.Raise, env: _Env) -> None:
+        if stmt.exc is not None:
+            self._expr(stmt.exc, env)
+
+    def _stmt_Try(self, stmt: ast.Try, env: _Env) -> None:
+        self._check_block(stmt.body, env)
+        for handler in stmt.handlers:
+            if handler.name:
+                env.bind(handler.name, DYNAMIC)
+            self._check_block(handler.body, env)
+        self._check_block(stmt.orelse, env)
+        self._check_block(stmt.finalbody, env)
+
+    def _stmt_FunctionDef(self, stmt: ast.FunctionDef, env: _Env) -> None:
+        self.sink.error("unsupported", "nested function definitions", stmt, self._module)
+
+    def _stmt_Import(self, stmt: ast.Import, env: _Env) -> None:
+        self._register_import(stmt)
+
+    def _stmt_ImportFrom(self, stmt: ast.ImportFrom, env: _Env) -> None:
+        self._register_import(stmt)
+
+    def _stmt_Global(self, stmt: ast.Global, env: _Env) -> None:
+        self.sink.error("unsupported", "global statement", stmt, self._module)
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def _expr(self, node: ast.expr, env: _Env, expected: Optional[Qualifier] = None) -> QualifiedType:
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is None:
+            self.sink.error(
+                "unsupported", f"unsupported expression {type(node).__name__}", node, self._module
+            )
+            return DYNAMIC
+        result = handler(node, env, expected)
+        self.types[id(node)] = result
+        return result
+
+    # --- leaves ----------------------------------------------------------
+    def _expr_Constant(self, node: ast.Constant, env: _Env, expected) -> QualifiedType:
+        value = node.value
+        if isinstance(value, bool):
+            return BOOL
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLOAT
+        if isinstance(value, str):
+            return STR
+        if value is None:
+            return NULL
+        return DYNAMIC
+
+    def _expr_Name(self, node: ast.Name, env: _Env, expected) -> QualifiedType:
+        bound = env.lookup(node.id)
+        if bound is not None:
+            self._record_local_fact(node, bound, role="local-load")
+            return bound
+        if node.id in self._module_constants:
+            # Module constants are globals, not SRAM-resident locals:
+            # typed precisely, never instrumented.
+            return self._module_constants[node.id]
+        if node.id in self._math_names:
+            return reference("__math__", PRECISE)
+        if self.decls.lookup_function(node.id) is not None:
+            return reference("__function__:" + node.id, PRECISE)
+        if self.decls.lookup_class(node.id) is not None:
+            return reference("__class__:" + node.id, PRECISE)
+        if node.id in ("True", "False"):
+            return BOOL
+        if node.id in _KNOWN_GLOBALS:
+            return DYNAMIC
+        # Unknown names are tolerated as dynamic (imports from outside
+        # the checked program) — approximate data can never *become*
+        # dynamic, so isolation is preserved.
+        return DYNAMIC
+
+    # --- operators ---------------------------------------------------
+    def _flag(self, qualifier: Qualifier):
+        """Instrumentation flag for an operation qualifier."""
+        if qualifier is APPROX:
+            return True
+        if qualifier is CONTEXT:
+            return "context"
+        return False
+
+    def _numeric_result(
+        self,
+        left: QualifiedType,
+        right: QualifiedType,
+        expected: Optional[Qualifier],
+        node: ast.AST,
+        op_name: str,
+        is_compare: bool = False,
+    ) -> QualifiedType:
+        """Type an arithmetic/comparison node and record its fact."""
+        if left.name == "dynamic" or right.name == "dynamic":
+            # Dynamic operands: no instrumentation, result is dynamic.
+            # Approximate data may not mix into unchecked arithmetic.
+            other = right if left.name == "dynamic" else left
+            if other.qualifier is APPROX or other.qualifier is CONTEXT:
+                self.sink.error(
+                    "approx-escape",
+                    "approximate operand in unchecked (dynamic) arithmetic",
+                    node,
+                    self._module,
+                )
+            return BOOL if is_compare else DYNAMIC
+
+        if not left.is_numeric or not right.is_numeric:
+            if left.is_bool and right.is_bool and is_compare:
+                qual = qualifier_lub(left.qualifier, right.qualifier)
+                return primitive("bool", qual)
+            self.sink.error(
+                "incompatible",
+                f"operator {op_name} on {left} and {right}",
+                node,
+                self._module,
+            )
+            return BOOL if is_compare else DYNAMIC
+
+        kind = "float" if "float" in (left.name, right.name) else "int"
+        if op_name == "div" and isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            kind = "float"
+
+        qual = self._operation_qualifier(left.qualifier, right.qualifier, expected)
+        self._put_fact(node, {
+            "role": "compare" if is_compare else "binop",
+            "op": op_name,
+            "kind": kind,
+            "approx": self._flag(qual),
+        })
+        if is_compare:
+            return primitive("bool", qual)
+        return primitive(kind, qual)
+
+    def _operation_qualifier(
+        self, left: Qualifier, right: Qualifier, expected: Optional[Qualifier]
+    ) -> Qualifier:
+        """Which overload of the operator applies (Sections 2.3, 2.5.1)."""
+        if APPROX in (left, right):
+            return APPROX
+        if expected is APPROX:
+            # Bidirectional typing: an approximate result context selects
+            # the approximate operator even over precise operands.
+            return APPROX
+        if CONTEXT in (left, right):
+            # A context operand makes the operation context-qualified:
+            # the dispatch resolves per instance at run time.
+            return CONTEXT
+        if TOP in (left, right) or LOST in (left, right):
+            # Cannot operate on top/lost-qualified values directly.
+            return LOST
+        if expected is CONTEXT:
+            return CONTEXT
+        return PRECISE
+
+    def _expr_BinOp(self, node: ast.BinOp, env: _Env, expected) -> QualifiedType:
+        op_name = _BINOP_NAMES.get(type(node.op))
+        if op_name is None:
+            self.sink.error("unsupported", "unsupported binary operator", node, self._module)
+            return DYNAMIC
+
+        # Array replication: ``[x] * n`` / ``arr * n`` allocates.
+        left_type = self._expr(node.left, env, expected=expected)
+        if left_type.is_array and op_name == "mul":
+            length_type = self._expr(node.right, env)
+            if length_type.qualifier is not PRECISE:
+                self.sink.error("subscript", "array length must be precise", node, self._module)
+            self._record_allocation(node, left_type)
+            return left_type
+        if left_type.name == "str" and op_name in ("add", "mul", "mod"):
+            self._expr(node.right, env)
+            return STR
+
+        right_type = self._expr(node.right, env, expected=expected)
+        result = self._numeric_result(left_type, right_type, expected, node, op_name)
+        if result.qualifier is LOST:
+            self.sink.error(
+                "incompatible", "arithmetic on top-qualified values", node, self._module
+            )
+            return result.with_qualifier(TOP)
+        return result
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp, env: _Env, expected) -> QualifiedType:
+        if isinstance(node.op, ast.Not):
+            operand = self._expr(node.operand, env)
+            if operand.qualifier is APPROX or operand.qualifier is CONTEXT:
+                qual = operand.qualifier
+            else:
+                qual = PRECISE
+            return primitive("bool", qual)
+        operand = self._expr(node.operand, env, expected=expected)
+        if operand.name == "dynamic":
+            return DYNAMIC
+        if not operand.is_numeric:
+            self.sink.error("incompatible", f"unary op on {operand}", node, self._module)
+            return DYNAMIC
+        op_name = "neg" if isinstance(node.op, (ast.USub, ast.UAdd)) else "inv"
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        qual = self._operation_qualifier(operand.qualifier, operand.qualifier, expected)
+        self._put_fact(node, {
+            "role": "unop",
+            "op": op_name,
+            "kind": operand.name,
+            "approx": self._flag(qual),
+        })
+        return operand.with_qualifier(qual)
+
+    def _expr_Compare(self, node: ast.Compare, env: _Env, expected) -> QualifiedType:
+        if len(node.ops) != 1:
+            self.sink.error("unsupported", "chained comparison", node, self._module)
+            return BOOL
+        op = node.ops[0]
+        left_type = self._expr(node.left, env)
+        right_type = self._expr(node.comparators[0], env)
+        if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+            for side in (left_type, right_type):
+                if side.qualifier is APPROX:
+                    self.sink.error(
+                        "incompatible", "identity/membership test on approximate data", node, self._module
+                    )
+            return BOOL
+        op_name = _CMP_NAMES.get(type(op))
+        if op_name is None:
+            self.sink.error("unsupported", "unsupported comparison", node, self._module)
+            return BOOL
+        if left_type.is_reference or right_type.is_reference:
+            if left_type.name in ("dynamic", "str", "null") or right_type.name in ("dynamic", "str", "null"):
+                if left_type.qualifier is APPROX or right_type.qualifier is APPROX:
+                    self.sink.error(
+                        "approx-escape", "approximate operand in unchecked comparison", node, self._module
+                    )
+                return BOOL
+        return self._numeric_result(left_type, right_type, None, node, op_name, is_compare=True)
+
+    def _expr_BoolOp(self, node: ast.BoolOp, env: _Env, expected) -> QualifiedType:
+        # and/or are short-circuiting selections, not ALU operations;
+        # the result is approximate as soon as any operand may be.
+        qual = PRECISE
+        for value in node.values:
+            value_type = self._expr(value, env)
+            if value_type.qualifier is APPROX:
+                qual = APPROX
+            elif value_type.qualifier is CONTEXT and qual is PRECISE:
+                qual = CONTEXT
+        return primitive("bool", qual)
+
+    def _expr_IfExp(self, node: ast.IfExp, env: _Env, expected) -> QualifiedType:
+        self._check_condition(node.test, env, "a conditional expression")
+        then_type = self._expr(node.body, env, expected=expected)
+        else_type = self._expr(node.orelse, env, expected=expected)
+        joined = type_lub(then_type, else_type, self.decls.subclasses)
+        if joined is None:
+            self.sink.error(
+                "incompatible",
+                f"branches have incompatible types {then_type} and {else_type}",
+                node,
+                self._module,
+            )
+            return DYNAMIC
+        return joined
+
+    # --- containers ----------------------------------------------------
+    def _expr_List(self, node: ast.List, env: _Env, expected) -> QualifiedType:
+        if not node.elts:
+            element = primitive("float", expected or PRECISE) if expected else DYNAMIC
+            array = array_of(element if element.is_primitive else DYNAMIC)
+            self._record_allocation(node, array)
+            return array
+        element_types = [self._expr(e, env, expected=expected) for e in node.elts]
+        joined = element_types[0]
+        for et in element_types[1:]:
+            lub = type_lub(joined, et, self.decls.subclasses)
+            if lub is None:
+                self.sink.error("incompatible", "heterogeneous array literal", node, self._module)
+                return array_of(DYNAMIC)
+            joined = lub
+        if expected in (APPROX, CONTEXT) and joined.is_primitive:
+            joined = joined.with_qualifier(expected)
+        array = array_of(joined)
+        self._record_allocation(node, array)
+        return array
+
+    def _expr_Tuple(self, node: ast.Tuple, env: _Env, expected) -> QualifiedType:
+        for element in node.elts:
+            etype = self._expr(element, env)
+            if etype.qualifier is APPROX:
+                self.sink.error(
+                    "unsupported", "approximate data inside a tuple", node, self._module
+                )
+        return DYNAMIC
+
+    def _record_allocation(self, node: ast.expr, array_type: QualifiedType) -> None:
+        element = array_type.element
+        if element is None or not element.is_primitive:
+            return
+        self._put_fact(node, {
+            "role": "alloc",
+            "kind": element.name,
+            "approx": self._flag(element.qualifier),
+        })
+
+    # --- subscripts ------------------------------------------------------
+    def _subscript_element_type(
+        self, node: ast.Subscript, env: _Env, record: bool
+    ) -> Optional[QualifiedType]:
+        container = self._expr(node.value, env)
+        index_type = self._expr(node.slice, env)
+        if isinstance(node.slice, ast.Slice):
+            self.sink.error("unsupported", "array slices", node, self._module)
+            return None
+        if index_type.qualifier is not PRECISE:
+            self.sink.error(
+                "subscript",
+                "approximate value used as array index; endorse it first",
+                node,
+                self._module,
+            )
+        if container.is_array:
+            element = container.element or DYNAMIC
+            if record and element.is_primitive:
+                self._put_fact(node, {
+                    "role": "subscript",
+                    "kind": element.name,
+                    "approx": self._flag(element.qualifier),
+                })
+            return element
+        if container.name in ("dynamic", "str"):
+            return DYNAMIC
+        self.sink.error("incompatible", f"{container} is not subscriptable", node, self._module)
+        return None
+
+    def _expr_Subscript(self, node: ast.Subscript, env: _Env, expected) -> QualifiedType:
+        element = self._subscript_element_type(node, env, record=True)
+        return element if element is not None else DYNAMIC
+
+    def _check_subscript_store(
+        self, target: ast.Subscript, value: ast.expr, env: _Env, stmt: ast.stmt
+    ) -> None:
+        element = self._subscript_element_type(target, env, record=True)
+        expected = self._expected_for(element) if element is not None else None
+        value_type = self._expr(value, env, expected=expected)
+        if element is not None:
+            self._check_assignable(value_type, element, stmt)
+
+    # --- attributes ------------------------------------------------------
+    def _field_target_type(
+        self, node: ast.Attribute, env: _Env, for_write: bool
+    ) -> Optional[QualifiedType]:
+        receiver = self._expr(node.value, env)
+        if receiver.name == "__math__":
+            if node.attr in _MATH_CONSTANTS:
+                return FLOAT
+            return DYNAMIC
+        if receiver.is_array and node.attr == "length":
+            return INT
+        if receiver.is_reference and receiver.name not in ("dynamic", "str", "null"):
+            info = self.decls.lookup_class(receiver.name)
+            if info is None:
+                return DYNAMIC
+            declared = self.decls.field_type(receiver.name, node.attr)
+            if declared is None:
+                if self.decls.method_sig(receiver.name, node.attr) is not None:
+                    return reference("__method__", PRECISE)
+                self.sink.error(
+                    "unknown-field",
+                    f"class {receiver.name} has no field {node.attr}",
+                    node,
+                    self._module,
+                )
+                return None
+            adapted = adapt_type(receiver.qualifier, declared)
+            if for_write and contains_lost(adapted):
+                self.sink.error(
+                    "lost-write",
+                    f"cannot write field {node.attr} through a "
+                    f"{receiver.qualifier}-qualified receiver (precision lost)",
+                    node,
+                    self._module,
+                )
+            if info.approximable or self._class_chain_approximable(receiver.name):
+                self._put_fact(node, {
+                    "role": "field",
+                    "name": node.attr,
+                    "write": for_write,
+                })
+            return adapted
+        return DYNAMIC
+
+    def _class_chain_approximable(self, name: str) -> bool:
+        info = self.decls.lookup_class(name)
+        while info is not None:
+            if info.approximable:
+                return True
+            info = self.decls.lookup_class(info.base) if info.base else None
+        return False
+
+    def _expr_Attribute(self, node: ast.Attribute, env: _Env, expected) -> QualifiedType:
+        result = self._field_target_type(node, env, for_write=False)
+        return result if result is not None else DYNAMIC
+
+    def _check_field_store(
+        self, target: ast.Attribute, value: ast.expr, env: _Env, stmt: ast.stmt
+    ) -> None:
+        declared = self._field_target_type(target, env, for_write=True)
+        expected = self._expected_for(declared) if declared is not None else None
+        value_type = self._expr(value, env, expected=expected)
+        if declared is not None and declared.name != "dynamic":
+            self._check_assignable(value_type, declared, stmt)
+
+    # --- calls -----------------------------------------------------------
+    def _expr_Call(self, node: ast.Call, env: _Env, expected) -> QualifiedType:
+        if node.keywords:
+            self.sink.error("unsupported", "keyword arguments", node, self._module)
+        func = node.func
+
+        if isinstance(func, ast.Name):
+            return self._call_by_name(node, func.id, env, expected)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(node, func, env, expected)
+        self.sink.error("unsupported", "unsupported call target", node, self._module)
+        return DYNAMIC
+
+    def _call_by_name(self, node: ast.Call, name: str, env: _Env, expected) -> QualifiedType:
+        if name == "endorse":
+            return self._call_endorse(node, env)
+        if name in ("Approx", "Top"):
+            if len(node.args) != 1:
+                self.sink.error("arity", f"{name}() takes one argument", node, self._module)
+                return DYNAMIC
+            inner = self._expr(node.args[0], env, expected=APPROX if name == "Approx" else None)
+            target_qual = APPROX if name == "Approx" else TOP
+            if not inner.is_primitive:
+                self.sink.error("incompatible", f"{name}() upcast on non-primitive", node, self._module)
+                return inner
+            self._put_fact(node, {"role": "upcast"})
+            return inner.with_qualifier(target_qual)
+        if name == "Precise":
+            self.sink.error(
+                "flow", "Precise() downcast is not allowed; use endorse()", node, self._module
+            )
+            return DYNAMIC
+
+        if name in _BUILTIN_HANDLERS:
+            return _BUILTIN_HANDLERS[name](self, node, env, expected)
+
+        sig = self.decls.lookup_function(name)
+        if sig is not None:
+            return self._check_call_against(node, sig, receiver_qual=None, env=env)
+
+        info = self.decls.lookup_class(name)
+        if info is not None:
+            return self._call_constructor(node, info, env, expected)
+
+        # Unknown function (library / builtin): precise arguments only.
+        for arg in node.args:
+            arg_type = self._expr(arg, env)
+            if arg_type.qualifier is not PRECISE:
+                self.sink.error(
+                    "approx-escape",
+                    f"approximate argument passed to unchecked function {name}()",
+                    arg,
+                    self._module,
+                )
+        return DYNAMIC
+
+    def _call_endorse(self, node: ast.Call, env: _Env) -> QualifiedType:
+        if len(node.args) != 1:
+            self.sink.error("arity", "endorse() takes exactly one argument", node, self._module)
+            return DYNAMIC
+        inner = self._expr(node.args[0], env)
+        self._put_fact(node, {"role": "endorse"})
+        if inner.is_primitive:
+            return inner.endorsed()
+        if inner.is_array and inner.element is not None:
+            return array_of(inner.element.endorsed())
+        return inner.endorsed()
+
+    def _call_constructor(
+        self, node: ast.Call, info: ClassInfo, env: _Env, expected
+    ) -> QualifiedType:
+        instance_qual = PRECISE
+        if expected is APPROX:
+            if info.approximable or self._class_chain_approximable(info.name):
+                instance_qual = APPROX
+            else:
+                self.sink.error(
+                    "not-approximable",
+                    f"class {info.name} is not @approximable; cannot create an "
+                    f"approximate instance",
+                    node,
+                    self._module,
+                )
+        elif expected is CONTEXT:
+            instance_qual = CONTEXT
+
+        init = self.decls.method_sig(info.name, "__init__")
+        if init is not None:
+            self._check_call_against(node, init, receiver_qual=instance_qual, env=env, returns_override=reference(info.name, instance_qual))
+        else:
+            if node.args:
+                self.sink.error("arity", f"{info.name}() takes no arguments", node, self._module)
+        # Register every program-class instance with the simulator so
+        # precise objects contribute precise DRAM byte-ticks (Figure 3).
+        specs = self._collect_field_specs(info.name)
+        if specs or info.approximable or self._class_chain_approximable(info.name):
+            self._put_fact(node, {
+                "role": "new",
+                "class": info.name,
+                "approx": self._flag(instance_qual),
+                "specs": specs,
+            })
+        return reference(info.name, instance_qual)
+
+    def _collect_field_specs(self, class_name: str) -> List[Tuple[str, str, str]]:
+        specs: List[Tuple[str, str, str]] = []
+        chain: List[ClassInfo] = []
+        info = self.decls.lookup_class(class_name)
+        while info is not None:
+            chain.append(info)
+            info = self.decls.lookup_class(info.base) if info.base else None
+        for info in reversed(chain):
+            specs.extend(info.field_specs())
+        return specs
+
+    def _call_method(self, node: ast.Call, func: ast.Attribute, env: _Env, expected) -> QualifiedType:
+        receiver_node = func.value
+        # math.fn(...) special form.
+        if isinstance(receiver_node, ast.Name) and receiver_node.id in self._math_names:
+            return self._call_math(node, func.attr, env, expected)
+
+        receiver = self._expr(receiver_node, env)
+        if receiver.name in ("dynamic", "str", "null") or not receiver.is_reference:
+            if receiver.is_array:
+                self.sink.error(
+                    "unsupported", "method calls on arrays", node, self._module
+                )
+                return DYNAMIC
+            for arg in node.args:
+                arg_type = self._expr(arg, env)
+                if arg_type.qualifier is not PRECISE:
+                    self.sink.error(
+                        "approx-escape",
+                        f"approximate argument to unchecked method .{func.attr}()",
+                        arg,
+                        self._module,
+                    )
+            return DYNAMIC
+
+        info = self.decls.lookup_class(receiver.name)
+        if info is None:
+            return DYNAMIC
+        sig = self.decls.method_sig(receiver.name, func.attr)
+        if sig is None:
+            self.sink.error(
+                "unknown-method",
+                f"class {receiver.name} has no method {func.attr}",
+                node,
+                self._module,
+            )
+            return DYNAMIC
+
+        # Algorithmic approximation: dispatch to the _APPROX variant when
+        # the receiver may be approximate and a variant exists.
+        has_variant = self.decls.class_has_approx_variant(receiver.name, func.attr)
+        if has_variant and receiver.qualifier in (APPROX, CONTEXT):
+            variant = self.decls.method_sig(receiver.name, func.attr + APPROX_SUFFIX)
+            if receiver.qualifier is APPROX:
+                sig = variant
+                self._put_fact(node, {"role": "invoke", "dispatch": "approx", "method": func.attr})
+            else:
+                self._put_fact(node, {"role": "invoke", "dispatch": "context", "method": func.attr})
+        return self._check_call_against(node, sig, receiver_qual=receiver.qualifier, env=env)
+
+    def _call_math(self, node: ast.Call, fn: str, env: _Env, expected) -> QualifiedType:
+        if fn not in _MATH_FUNCTIONS:
+            for arg in node.args:
+                arg_type = self._expr(arg, env)
+                if arg_type.qualifier is not PRECISE:
+                    self.sink.error(
+                        "approx-escape",
+                        f"approximate argument to unchecked math.{fn}()",
+                        arg,
+                        self._module,
+                    )
+            return DYNAMIC
+        qual = PRECISE
+        for arg in node.args:
+            arg_type = self._expr(arg, env, expected=expected)
+            if arg_type.name == "dynamic":
+                continue
+            if not arg_type.is_numeric:
+                self.sink.error("incompatible", f"math.{fn} on {arg_type}", arg, self._module)
+                continue
+            if arg_type.qualifier in (APPROX, CONTEXT):
+                qual = arg_type.qualifier if qual is PRECISE else APPROX
+        if qual is PRECISE and expected is APPROX:
+            qual = APPROX
+        if qual in (APPROX, CONTEXT):
+            self._put_fact(node, {
+                "role": "math",
+                "fn": fn,
+                "approx": self._flag(qual),
+            })
+        result_name = "int" if fn in _MATH_INT_RESULT else "float"
+        return primitive(result_name, qual)
+
+    def _check_call_against(
+        self,
+        node: ast.Call,
+        sig: FunctionSig,
+        receiver_qual: Optional[Qualifier],
+        env: _Env,
+        returns_override: Optional[QualifiedType] = None,
+    ) -> QualifiedType:
+        if len(node.args) != len(sig.params):
+            self.sink.error(
+                "arity",
+                f"{sig.name}() expects {len(sig.params)} arguments, got {len(node.args)}",
+                node,
+                self._module,
+            )
+        for arg, (pname, ptype) in zip(node.args, sig.params):
+            adapted = ptype
+            if receiver_qual is not None:
+                adapted = adapt_type(receiver_qual, ptype)
+            arg_type = self._expr(arg, env, expected=self._expected_for(adapted))
+            self._check_assignable(arg_type, adapted, arg, code="flow")
+        returns = returns_override if returns_override is not None else sig.returns
+        if receiver_qual is not None:
+            returns = adapt_type(receiver_qual, returns)
+        return returns
+
+    # ==================================================================
+    # Helpers
+    # ==================================================================
+    def _put_fact(self, node: ast.AST, fact: dict) -> None:
+        """Record an instrumentation fact (inside function bodies only).
+
+        Module-level code runs at program-load time, outside any
+        Simulator context, so it must never be instrumented.
+        """
+        if self._recording:
+            self.facts[id(node)] = fact
+
+    def _expected_for(self, declared: Optional[QualifiedType]) -> Optional[Qualifier]:
+        if declared is None:
+            return None
+        if declared.is_array and declared.element is not None:
+            return self._expected_for(declared.element)
+        if declared.qualifier in (APPROX, CONTEXT):
+            return declared.qualifier
+        return None
+
+    def _check_assignable(
+        self,
+        value: QualifiedType,
+        target: QualifiedType,
+        node: ast.AST,
+        code: str = "flow",
+    ) -> None:
+        if value.name == "dynamic" or target.name == "dynamic":
+            if value.qualifier in (APPROX, CONTEXT) and target.name == "dynamic":
+                self.sink.error(
+                    "approx-escape",
+                    "approximate value flows into unchecked (dynamic) storage",
+                    node,
+                    self._module,
+                )
+            return
+        if value.name == "null" and (target.is_reference or target.is_array):
+            return
+        if target.is_void:
+            return
+        if is_subtype(value, target, self.decls.subclasses):
+            return
+        if (
+            value.is_primitive
+            and target.is_primitive
+            and value.qualifier in (APPROX, CONTEXT, TOP)
+            and target.qualifier is PRECISE
+        ):
+            self.sink.error(
+                code,
+                f"cannot assign {value} to {target}; use endorse(...)",
+                node,
+                self._module,
+            )
+            return
+        self.sink.error(
+            "incompatible" if code == "flow" else code,
+            f"cannot assign {value} to {target}",
+            node,
+            self._module,
+        )
+
+    def _record_local_store(self, target: ast.Name, declared: QualifiedType) -> None:
+        self._record_local_fact(target, declared, role="local-store")
+
+    def _record_local_fact(self, node: ast.Name, bound: QualifiedType, role: str) -> None:
+        # Precise primitive locals are recorded too: their SRAM accesses
+        # contribute the *precise* byte-ticks of Figure 3's fractions.
+        if not bound.is_primitive:
+            return
+        if bound.qualifier in (TOP, LOST):
+            return
+        flag = self._flag(bound.qualifier)
+        self._put_fact(node, {
+            "role": role,
+            "kind": bound.name,
+            "approx": flag,
+            "name": node.id,
+        })
+
+
+# ----------------------------------------------------------------------
+# Builtin call handlers
+# ----------------------------------------------------------------------
+def _builtin_len(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+    if len(node.args) != 1:
+        checker.sink.error("arity", "len() takes one argument", node, checker._module)
+        return INT
+    inner = checker._expr(node.args[0], env)
+    if not (inner.is_array or inner.name in ("dynamic", "str")):
+        checker.sink.error("incompatible", f"len() of {inner}", node, checker._module)
+    return INT
+
+
+def _builtin_range(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+    for arg in node.args:
+        arg_type = checker._expr(arg, env)
+        if arg_type.qualifier is not PRECISE:
+            checker.sink.error("condition", "range() bound must be precise", arg, checker._module)
+    return RANGE
+
+
+def _conversion(kind: str):
+    def handler(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+        if len(node.args) != 1:
+            checker.sink.error("arity", f"{kind}() takes one argument", node, checker._module)
+            return primitive(kind) if kind != "bool" else BOOL
+        inner = checker._expr(node.args[0], env, expected=expected)
+        if inner.name == "str" or inner.name == "dynamic":
+            return primitive(kind, PRECISE)
+        if not inner.is_primitive:
+            checker.sink.error("incompatible", f"{kind}() of {inner}", node, checker._module)
+            return primitive(kind, PRECISE)
+        qual = inner.qualifier
+        if qual in (APPROX, CONTEXT) and kind in ("int", "float"):
+            checker._put_fact(node, {
+                "role": "convert",
+                "kind": kind,
+                "approx": checker._flag(qual),
+            })
+        if kind == "bool" and qual is not PRECISE:
+            return primitive("bool", qual)
+        return primitive(kind, qual)
+
+    return handler
+
+
+def _builtin_abs(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+    if len(node.args) != 1:
+        checker.sink.error("arity", "abs() takes one argument", node, checker._module)
+        return DYNAMIC
+    inner = checker._expr(node.args[0], env, expected=expected)
+    if inner.name == "dynamic":
+        return DYNAMIC
+    if not inner.is_numeric:
+        checker.sink.error("incompatible", f"abs() of {inner}", node, checker._module)
+        return DYNAMIC
+    qual = checker._operation_qualifier(inner.qualifier, inner.qualifier, expected)
+    if qual in (APPROX, CONTEXT):
+        checker._put_fact(node, {
+            "role": "unop-call",
+            "op": "abs",
+            "kind": inner.name,
+            "approx": checker._flag(qual),
+        })
+    return inner.with_qualifier(qual)
+
+
+def _builtin_minmax(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+    if not node.args:
+        checker.sink.error("arity", "min()/max() need arguments", node, checker._module)
+        return DYNAMIC
+    joined: Optional[QualifiedType] = None
+    for arg in node.args:
+        arg_type = checker._expr(arg, env, expected=expected)
+        if arg_type.name == "dynamic":
+            return DYNAMIC
+        joined = arg_type if joined is None else type_lub(joined, arg_type, checker.decls.subclasses)
+        if joined is None:
+            checker.sink.error("incompatible", "min()/max() on mixed types", node, checker._module)
+            return DYNAMIC
+    return joined
+
+
+def _builtin_print(checker: Checker, node: ast.Call, env: _Env, expected) -> QualifiedType:
+    for arg in node.args:
+        arg_type = checker._expr(arg, env)
+        if arg_type.qualifier is not PRECISE:
+            checker.sink.error(
+                "approx-escape",
+                "printing approximate data; endorse it first (output is precise state)",
+                arg,
+                checker._module,
+            )
+    return VOID
+
+
+_BUILTIN_HANDLERS = {
+    "len": _builtin_len,
+    "range": _builtin_range,
+    "int": _conversion("int"),
+    "float": _conversion("float"),
+    "bool": _conversion("bool"),
+    "abs": _builtin_abs,
+    "min": _builtin_minmax,
+    "max": _builtin_minmax,
+    "print": _builtin_print,
+}
+
+_KNOWN_GLOBALS = {"None", "NotImplemented", "Ellipsis", "Exception", "ValueError", "IndexError"}
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def check_modules(sources: Dict[str, str]) -> CheckResult:
+    """Parse and check a program given as {module name: source text}."""
+    sink = DiagnosticSink()
+    modules: Dict[str, ast.Module] = {}
+    for name, source in sources.items():
+        modules[name] = ast.parse(source)
+    declarations = collect_declarations(modules, sink)
+    checker = Checker(declarations, sink)
+    for name, tree in modules.items():
+        checker.check_module(name, tree)
+    return CheckResult(declarations, sink, checker.facts, checker.types, modules)

@@ -1,0 +1,391 @@
+"""Declaration collection for the EnerPy checker (pass 1).
+
+Walks module ASTs and records every class and function signature, with
+annotations parsed into :class:`~repro.core.types.QualifiedType`.  The
+checker (pass 2) and the instrumenter both consume the resulting
+:class:`ProgramDeclarations`.
+
+Annotation grammar recognised (as Python expressions)::
+
+    T ::= int | float | bool | str | None | ClassName
+        | Approx[T] | Precise[T] | Top[T] | Context[T]
+        | list[T]
+        | "T"                       (string forward reference)
+
+``Approx[list[float]]`` is sugar for ``list[Approx[float]]``: the paper
+approximates array *elements*, never the array reference itself
+(pointers are never approximate, Section 5.1).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotations import APPROX_SUFFIX
+from repro.core.diagnostics import DiagnosticSink
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, TOP, Qualifier
+from repro.core.types import (
+    QualifiedType,
+    VOID,
+    array_of,
+    primitive,
+    reference,
+)
+
+__all__ = [
+    "FunctionSig",
+    "ClassInfo",
+    "ProgramDeclarations",
+    "collect_declarations",
+    "parse_annotation",
+]
+
+_QUALIFIER_NAMES = {
+    "Approx": APPROX,
+    "Precise": PRECISE,
+    "Top": TOP,
+    "Context": CONTEXT,
+}
+
+_PRIMITIVES = {"int", "float", "bool"}
+
+
+@dataclasses.dataclass
+class FunctionSig:
+    """A function or method signature."""
+
+    name: str
+    params: List[Tuple[str, QualifiedType]]
+    returns: QualifiedType
+    node: ast.FunctionDef
+    module: str = ""
+    #: For methods: the receiver qualifier this body is checked under.
+    receiver_qualifier: Optional[Qualifier] = None
+    #: For methods: name of the owning class.
+    owner: Optional[str] = None
+
+    @property
+    def is_approx_variant(self) -> bool:
+        return self.name.endswith(APPROX_SUFFIX)
+
+    @property
+    def base_name(self) -> str:
+        if self.is_approx_variant:
+            return self.name[: -len(APPROX_SUFFIX)]
+        return self.name
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """A class declaration: fields, methods, approximability."""
+
+    name: str
+    approximable: bool
+    fields: Dict[str, QualifiedType]
+    methods: Dict[str, FunctionSig]
+    base: Optional[str] = None
+    node: Optional[ast.ClassDef] = None
+    module: str = ""
+
+    def field_type(self, name: str) -> Optional[QualifiedType]:
+        if name in self.fields:
+            return self.fields[name]
+        return None
+
+    def method(self, name: str) -> Optional[FunctionSig]:
+        return self.methods.get(name)
+
+    def has_approx_variant(self, name: str) -> bool:
+        return (name + APPROX_SUFFIX) in self.methods
+
+    def field_specs(self) -> List[Tuple[str, str, str]]:
+        """(name, kind, qualifier-name) triples for the runtime layout.
+
+        ``kind`` is a :data:`repro.memory.layout.field_sizes` key;
+        reference and array fields are ``"ref"``.
+        """
+        specs = []
+        for name, ftype in self.fields.items():
+            if ftype.is_primitive:
+                kind = ftype.name
+            else:
+                kind = "ref"
+            specs.append((name, kind, ftype.qualifier.value))
+        return specs
+
+
+class ProgramDeclarations:
+    """All declarations of a checked program (possibly multi-module)."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionSig] = {}
+        #: class name -> superclass name, for subtyping.
+        self.subclasses: Dict[str, str] = {}
+
+    def add_class(self, info: ClassInfo) -> None:
+        self.classes[info.name] = info
+        if info.base:
+            self.subclasses[info.name] = info.base
+
+    def add_function(self, sig: FunctionSig) -> None:
+        self.functions[sig.name] = sig
+
+    def lookup_class(self, name: str) -> Optional[ClassInfo]:
+        return self.classes.get(name)
+
+    def lookup_function(self, name: str) -> Optional[FunctionSig]:
+        return self.functions.get(name)
+
+    def field_type(self, class_name: str, field: str) -> Optional[QualifiedType]:
+        """FType: look up a field, walking up the superclass chain."""
+        info = self.classes.get(class_name)
+        while info is not None:
+            declared = info.field_type(field)
+            if declared is not None:
+                return declared
+            info = self.classes.get(info.base) if info.base else None
+        return None
+
+    def method_sig(self, class_name: str, method: str) -> Optional[FunctionSig]:
+        """MSig: look up a method, walking up the superclass chain."""
+        info = self.classes.get(class_name)
+        while info is not None:
+            sig = info.method(method)
+            if sig is not None:
+                return sig
+            info = self.classes.get(info.base) if info.base else None
+        return None
+
+    def class_has_approx_variant(self, class_name: str, method: str) -> bool:
+        return self.method_sig(class_name, method + APPROX_SUFFIX) is not None
+
+
+# ----------------------------------------------------------------------
+# Annotation parsing
+# ----------------------------------------------------------------------
+def parse_annotation(
+    node: Optional[ast.expr],
+    sink: DiagnosticSink,
+    module: str,
+    known_classes: Optional[set] = None,
+    in_approximable: bool = False,
+    default: Optional[QualifiedType] = None,
+) -> QualifiedType:
+    """Parse an annotation expression into a :class:`QualifiedType`.
+
+    Unannotated (``node is None``) yields ``default`` (precise dynamic
+    if unspecified) — the paper's default qualifier is ``@Precise``.
+    """
+    if node is None:
+        return default if default is not None else reference("dynamic", PRECISE)
+    parsed = _parse(node, sink, module, in_approximable)
+    if parsed is None:
+        return reference("dynamic", PRECISE)
+    return parsed
+
+
+def _parse(
+    node: ast.expr,
+    sink: DiagnosticSink,
+    module: str,
+    in_approximable: bool,
+    qualifier: Optional[Qualifier] = None,
+) -> Optional[QualifiedType]:
+    # String forward references: parse the contained expression.
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            inner = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            sink.error("bad-annotation", f"unparseable annotation {node.value!r}", node, module)
+            return None
+        return _parse(inner, sink, module, in_approximable, qualifier)
+
+    if isinstance(node, ast.Constant) and node.value is None:
+        return VOID
+
+    if isinstance(node, ast.Name):
+        return _named_type(node.id, qualifier or PRECISE, node, sink, module, in_approximable)
+
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        if isinstance(head, ast.Name) and head.id in _QUALIFIER_NAMES:
+            new_qual = _QUALIFIER_NAMES[head.id]
+            if new_qual is CONTEXT and not in_approximable:
+                sink.error(
+                    "context-outside",
+                    "@Context may only appear inside an @approximable class",
+                    node,
+                    module,
+                )
+                new_qual = PRECISE
+            if qualifier is not None:
+                sink.error("bad-annotation", "nested precision qualifiers", node, module)
+            inner = _parse(node.slice, sink, module, in_approximable, new_qual)
+            if inner is None:
+                return None
+            # Approx[list[T]] sugar: push the qualifier onto elements.
+            if inner.is_array and inner.element is not None and inner.element.qualifier is PRECISE:
+                if new_qual is not PRECISE:
+                    inner = array_of(inner.element.with_qualifier(new_qual), PRECISE)
+            return inner
+        if isinstance(head, ast.Name) and head.id in ("list", "List"):
+            element = _parse(node.slice, sink, module, in_approximable)
+            if element is None:
+                return None
+            outer = qualifier or PRECISE
+            if outer is APPROX:
+                # list qualified approx = approximate elements (sugar).
+                element = element.with_qualifier(APPROX)
+                outer = PRECISE
+            return array_of(element, outer)
+        sink.error("bad-annotation", f"unsupported annotation {ast.dump(node)}", node, module)
+        return None
+
+    sink.error("bad-annotation", f"unsupported annotation {ast.dump(node)}", node, module)
+    return None
+
+
+def _named_type(
+    name: str,
+    qualifier: Qualifier,
+    node: ast.expr,
+    sink: DiagnosticSink,
+    module: str,
+    in_approximable: bool,
+) -> Optional[QualifiedType]:
+    if name in _PRIMITIVES:
+        return primitive(name, qualifier)
+    if name == "str":
+        return reference("str", PRECISE)
+    if name == "object":
+        return reference("object", qualifier)
+    if name == "None":
+        return VOID
+    # Any other name is a class reference; existence is checked lazily
+    # by the checker (forward references are common).
+    return reference(name, qualifier)
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+def _is_approximable_decorator(dec: ast.expr) -> bool:
+    if isinstance(dec, ast.Name):
+        return dec.id == "approximable"
+    if isinstance(dec, ast.Attribute):
+        return dec.attr == "approximable"
+    return False
+
+
+def _collect_function(
+    node: ast.FunctionDef,
+    sink: DiagnosticSink,
+    module: str,
+    in_approximable: bool = False,
+    owner: Optional[str] = None,
+) -> FunctionSig:
+    params: List[Tuple[str, QualifiedType]] = []
+    args = node.args
+    if args.vararg or args.kwarg or args.kwonlyargs:
+        sink.error("unsupported", f"function {node.name} uses *args/**kwargs", node, module)
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg in positional:
+        if arg.arg == "self" and owner is not None:
+            continue
+        ptype = parse_annotation(
+            arg.annotation, sink, module, in_approximable=in_approximable
+        )
+        params.append((arg.arg, ptype))
+    returns = parse_annotation(
+        node.returns,
+        sink,
+        module,
+        in_approximable=in_approximable,
+        default=VOID,
+    )
+    receiver = None
+    if owner is not None:
+        if node.name.endswith(APPROX_SUFFIX):
+            receiver = APPROX
+        elif in_approximable:
+            receiver = CONTEXT
+        else:
+            receiver = PRECISE
+    return FunctionSig(
+        name=node.name,
+        params=params,
+        returns=returns,
+        node=node,
+        module=module,
+        receiver_qualifier=receiver,
+        owner=owner,
+    )
+
+
+def _collect_class(node: ast.ClassDef, sink: DiagnosticSink, module: str) -> ClassInfo:
+    approximable_class = any(_is_approximable_decorator(d) for d in node.decorator_list)
+    base = None
+    for base_node in node.bases:
+        if isinstance(base_node, ast.Name) and base_node.id != "object":
+            base = base_node.id
+            break
+    fields: Dict[str, QualifiedType] = {}
+    methods: Dict[str, FunctionSig] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields[stmt.target.id] = parse_annotation(
+                stmt.annotation, sink, module, in_approximable=approximable_class
+            )
+        elif isinstance(stmt, ast.FunctionDef):
+            methods[stmt.name] = _collect_function(
+                stmt, sink, module, in_approximable=approximable_class, owner=node.name
+            )
+        elif isinstance(stmt, (ast.Pass, ast.Expr)):
+            continue
+        elif isinstance(stmt, ast.Assign):
+            # Unannotated class attribute: precise dynamic constant.
+            continue
+    # Method-precision overloading (paper Section 2.5.2): a method with
+    # an _APPROX variant is only invoked on precise receivers, so its
+    # body is checked under a precise receiver; the variant's body under
+    # an approximate receiver; variant-less methods serve both and keep
+    # the context receiver.
+    for sig in methods.values():
+        if (
+            approximable_class
+            and not sig.is_approx_variant
+            and (sig.name + APPROX_SUFFIX) in methods
+        ):
+            sig.receiver_qualifier = PRECISE
+    return ClassInfo(
+        name=node.name,
+        approximable=approximable_class,
+        fields=fields,
+        methods=methods,
+        base=base,
+        node=node,
+        module=module,
+    )
+
+
+def collect_declarations(
+    modules: Dict[str, ast.Module],
+    sink: DiagnosticSink,
+    into: Optional[ProgramDeclarations] = None,
+) -> ProgramDeclarations:
+    """Collect all declarations from the given parsed modules."""
+    decls = into if into is not None else ProgramDeclarations()
+    for module_name, tree in modules.items():
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                decls.add_class(_collect_class(stmt, sink, module_name))
+            elif isinstance(stmt, ast.FunctionDef):
+                decls.add_function(_collect_function(stmt, sink, module_name))
+    return decls

@@ -1,0 +1,91 @@
+"""Diagnostic reporting for the EnerPy checker."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticSink"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One checker finding, with a stable code for tests to assert on.
+
+    Codes (all errors unless noted):
+
+    ==================  ====================================================
+    code                meaning
+    ==================  ====================================================
+    flow                approximate-to-precise assignment without endorse
+    condition           approximate value controls an if/while/ternary/assert
+    subscript           approximate value used as an array index
+    lost-write          field write whose adapted type lost precision
+    incompatible        operand/argument type mismatch (non-flow)
+    arity               wrong number of call arguments
+    unknown-name        reference to an undeclared name
+    unknown-field       reference to an undeclared field
+    unknown-method      reference to an undeclared method/function
+    not-approximable    approximate instance of a non-approximable class
+    context-outside     @Context used outside an approximable class body
+    bad-annotation      malformed qualifier annotation
+    unsupported         construct outside the checked EnerPy subset
+    approx-escape       approximate value passed to unchecked code
+    return-type         returned value does not match declared return type
+    overload            _APPROX variant signature incompatible (warning)
+    ==================  ====================================================
+    """
+
+    code: str
+    message: str
+    line: int = 0
+    column: int = 0
+    module: str = ""
+    severity: Severity = Severity.ERROR
+
+    def __str__(self) -> str:
+        where = f"{self.module or '<module>'}:{self.line}:{self.column}"
+        return f"{where}: {self.severity.value}: [{self.code}] {self.message}"
+
+
+class DiagnosticSink:
+    """Collects diagnostics during a checking pass."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, code: str, message: str, node=None, module: str = "") -> None:
+        self._add(code, message, node, module, Severity.ERROR)
+
+    def warning(self, code: str, message: str, node=None, module: str = "") -> None:
+        self._add(code, message, node, module, Severity.WARNING)
+
+    def _add(self, code: str, message: str, node, module: str, severity: Severity) -> None:
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        column = getattr(node, "col_offset", 0) if node is not None else 0
+        self.diagnostics.append(Diagnostic(code, message, line, column, module, severity))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.errors]
+
+    def summary(self, limit: Optional[int] = None) -> str:
+        shown = self.diagnostics if limit is None else self.diagnostics[:limit]
+        lines = [str(d) for d in shown]
+        hidden = len(self.diagnostics) - len(shown)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more")
+        return "\n".join(lines)

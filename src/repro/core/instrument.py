@@ -1,0 +1,508 @@
+"""The instrumenting compiler (paper Section 5.2; pass 3).
+
+Rewrites a checked EnerPy module so that every operation the checker
+flagged routes through the runtime hooks in
+:mod:`repro.runtime.hooks`:
+
+====================  =============================================
+source construct      generated code
+====================  =============================================
+``a + b``             ``_ej_binop('add', 'float', flag, a, b)``
+``-a``                ``_ej_unop('neg', 'float', flag, a)``
+``a < b``             ``_ej_binop('lt', 'float', flag, a, b)``
+``x`` (approx local)  ``_ej_local_read(x, 'float', flag)``
+``x = e``             ``x = _ej_local_write(e, 'float', flag)``
+``arr[i]``            ``_ej_array_load(arr, i)``
+``arr[i] = e``        ``_ej_array_store(arr, i, e)``
+``[0.0] * n``         ``_ej_new_array([0.0] * n, 'float', flag)``
+``obj.f``             ``_ej_field_load(obj, 'f')``
+``obj.f = e``         ``_ej_field_store(obj, 'f', e)``
+``C(args)``           ``_ej_new_object(C(args), flag, specs)``
+``recv.m(a)``         ``recv.m_APPROX(a)`` / ``_ej_invoke(recv,'m',a)``
+``endorse(e)``        ``_ej_endorse(e)``
+``math.sqrt(e)``      ``_ej_math('sqrt', flag, e)``
+``int(e)``            ``_ej_convert('int', flag, e)``
+``for v in arr:``     ``for v in _ej_iter_array(arr):``
+====================  =============================================
+
+``flag`` is ``True``/``False`` for statically known precision and the
+method-local ``_ej_ctx`` (bound at method entry to
+``_ej_receiver_is_approx(self)``) for context-qualified operations
+inside approximable classes.
+
+The transformer consumes the *facts* recorded by the checker, keyed by
+node identity — instrument exactly the AST objects that were checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InstrumentationError
+from repro.runtime.hooks import HOOK_MODULE, HOOK_NAMES
+
+__all__ = ["Instrumenter", "instrument_module", "CTX_NAME"]
+
+#: Method-local variable carrying the dynamic receiver precision.
+CTX_NAME = "_ej_ctx"
+
+_TEMP_PREFIX = "_ej_t"
+
+
+def _load(name: str) -> ast.Name:
+    return ast.Name(id=name, ctx=ast.Load())
+
+
+def _store(name: str) -> ast.Name:
+    return ast.Name(id=name, ctx=ast.Store())
+
+
+def _const(value) -> ast.Constant:
+    return ast.Constant(value=value)
+
+
+def _call(func_name: str, args: List[ast.expr]) -> ast.Call:
+    return ast.Call(func=_load(func_name), args=args, keywords=[])
+
+
+class Instrumenter(ast.NodeTransformer):
+    """AST-to-AST rewriter driven by checker facts."""
+
+    def __init__(self, facts: Dict[int, dict], program_modules: Optional[set] = None) -> None:
+        self.facts = facts
+        self.program_modules = program_modules or set()
+        #: Intra-program imports stripped from the module, resolved by
+        #: the loader: list of (sibling module, [(name, asname)]).
+        self.intra_imports: List[Tuple[str, List[Tuple[str, str]]]] = []
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    def _fact(self, node: ast.AST) -> Optional[dict]:
+        return self.facts.get(id(node))
+
+    def _flag_expr(self, flag) -> ast.expr:
+        if flag == "context":
+            return _load(CTX_NAME)
+        return _const(bool(flag))
+
+    def _temp(self) -> str:
+        self._temp_counter += 1
+        return f"{_TEMP_PREFIX}{self._temp_counter}"
+
+    # ==================================================================
+    # Module
+    # ==================================================================
+    def visit_Module(self, node: ast.Module) -> ast.Module:
+        self.generic_visit(node)
+        preamble_index = 0
+        if (
+            node.body
+            and isinstance(node.body[0], ast.Expr)
+            and isinstance(node.body[0].value, ast.Constant)
+            and isinstance(node.body[0].value.value, str)
+        ):
+            preamble_index = 1
+        hook_import = ast.ImportFrom(
+            module=HOOK_MODULE,
+            names=[ast.alias(name=name, asname=None) for name in HOOK_NAMES],
+            level=0,
+        )
+        node.body.insert(preamble_index, hook_import)
+        ast.fix_missing_locations(node)
+        return node
+
+    def visit_ImportFrom(self, node: ast.ImportFrom):
+        if node.module in self.program_modules:
+            self.intra_imports.append(
+                (node.module, [(a.name, a.asname or a.name) for a in node.names])
+            )
+            return None
+        return node
+
+    # ==================================================================
+    # Functions / methods
+    # ==================================================================
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.FunctionDef:
+        needs_ctx = self._subtree_uses_context(node)
+        self.generic_visit(node)
+        if needs_ctx:
+            assign = ast.Assign(
+                targets=[_store(CTX_NAME)],
+                value=_call("_ej_receiver_is_approx", [_load("self")]),
+            )
+            insert_at = 0
+            if (
+                node.body
+                and isinstance(node.body[0], ast.Expr)
+                and isinstance(node.body[0].value, ast.Constant)
+            ):
+                insert_at = 1
+            node.body.insert(insert_at, assign)
+        return node
+
+    def _subtree_uses_context(self, node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            fact = self._fact(child)
+            if fact and fact.get("approx") == "context":
+                return True
+        return False
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def visit_BinOp(self, node: ast.BinOp) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None:
+            return node
+        if fact["role"] == "alloc":
+            return _call(
+                "_ej_new_array", [node, _const(fact["kind"]), self._flag_expr(fact["approx"])]
+            )
+        if fact["role"] == "binop":
+            return _call(
+                "_ej_binop",
+                [
+                    _const(fact["op"]),
+                    _const(fact["kind"]),
+                    self._flag_expr(fact["approx"]),
+                    node.left,
+                    node.right,
+                ],
+            )
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None or fact["role"] != "unop":
+            return node
+        return _call(
+            "_ej_unop",
+            [
+                _const(fact["op"]),
+                _const(fact["kind"]),
+                self._flag_expr(fact["approx"]),
+                node.operand,
+            ],
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None or fact["role"] != "compare":
+            return node
+        return _call(
+            "_ej_binop",
+            [
+                _const(fact["op"]),
+                _const(fact["kind"]),
+                self._flag_expr(fact["approx"]),
+                node.left,
+                node.comparators[0],
+            ],
+        )
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        fact = self._fact(node)
+        if fact is None or not isinstance(node.ctx, ast.Load):
+            return node
+        if fact["role"] != "local-load":
+            return node
+        return _call(
+            "_ej_local_read",
+            [node, _const(fact["kind"]), self._flag_expr(fact["approx"])],
+        )
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None or fact["role"] != "subscript":
+            return node
+        if isinstance(node.ctx, ast.Load):
+            return _call("_ej_array_load", [node.value, node.slice])
+        return node
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None or fact["role"] != "field":
+            return node
+        if isinstance(node.ctx, ast.Load) and not fact.get("write"):
+            return _call("_ej_field_load", [node.value, _const(node.attr)])
+        return node
+
+    def visit_List(self, node: ast.List) -> ast.expr:
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None or fact["role"] != "alloc":
+            return node
+        if isinstance(node.ctx, ast.Load):
+            return _call(
+                "_ej_new_array", [node, _const(fact["kind"]), self._flag_expr(fact["approx"])]
+            )
+        return node
+
+    def visit_Call(self, node: ast.Call) -> ast.expr:
+        fact = self._fact(node)
+        if fact is None:
+            self.generic_visit(node)
+            return node
+
+        role = fact["role"]
+        if role == "endorse":
+            self.generic_visit(node)
+            return _call("_ej_endorse", list(node.args))
+        if role == "upcast":
+            self.generic_visit(node)
+            return node.args[0]
+        if role == "math":
+            self.generic_visit(node)
+            return _call(
+                "_ej_math",
+                [_const(fact["fn"]), self._flag_expr(fact["approx"])] + list(node.args),
+            )
+        if role == "convert":
+            self.generic_visit(node)
+            return _call(
+                "_ej_convert",
+                [_const(fact["kind"]), self._flag_expr(fact["approx"])] + list(node.args),
+            )
+        if role == "unop-call":
+            self.generic_visit(node)
+            return _call(
+                "_ej_unop",
+                [
+                    _const(fact["op"]),
+                    _const(fact["kind"]),
+                    self._flag_expr(fact["approx"]),
+                    node.args[0],
+                ],
+            )
+        if role == "new":
+            self.generic_visit(node)
+            return _call(
+                "_ej_new_object",
+                [node.func, self._flag_expr(fact["approx"]), self._specs_expr(fact)]
+                + list(node.args),
+            )
+        if role == "invoke":
+            self.generic_visit(node)
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                raise InstrumentationError("invoke fact on a non-method call")
+            if fact["dispatch"] == "approx":
+                new_func = ast.Attribute(
+                    value=func.value, attr=fact["method"] + "_APPROX", ctx=ast.Load()
+                )
+                return ast.Call(func=new_func, args=node.args, keywords=[])
+            return _call(
+                "_ej_invoke", [func.value, _const(fact["method"])] + list(node.args)
+            )
+        self.generic_visit(node)
+        return node
+
+    def _specs_expr(self, fact: dict) -> ast.expr:
+        """Field specs for _ej_new_object, resolving context fields.
+
+        A field declared ``Context[T]`` is approximate exactly when the
+        instance is; ``Approx[T]`` fields are always approximate.  For
+        dynamically-qualified instances (flag 'context') the context
+        fields inherit ``_ej_ctx``.
+        """
+        elements = []
+        for name, kind, qual in fact["specs"]:
+            if qual == "approx":
+                approx_expr: ast.expr = _const(True)
+            elif qual == "context":
+                approx_expr = self._flag_expr(fact["approx"])
+            else:
+                approx_expr = _const(False)
+            elements.append(
+                ast.Tuple(elts=[_const(name), _const(kind), approx_expr], ctx=ast.Load())
+            )
+        return ast.List(elts=elements, ctx=ast.Load())
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def visit_AnnAssign(self, node: ast.AnnAssign):
+        if node.value is None:
+            # Pure declaration (class field or forward local): keep.
+            return node
+        fact = self._fact(node.target) if isinstance(node.target, ast.Name) else None
+        node.value = self.visit(node.value)
+        value = node.value
+        if fact is not None and fact["role"] == "local-store":
+            value = _call(
+                "_ej_local_write",
+                [value, _const(fact["kind"]), self._flag_expr(fact["approx"])],
+            )
+        return ast.Assign(targets=[_store(node.target.id)], value=value)
+
+    def visit_Assign(self, node: ast.Assign):
+        node.value = self.visit(node.value)
+        if len(node.targets) != 1:
+            return node
+        target = node.targets[0]
+
+        if isinstance(target, ast.Name):
+            fact = self._fact(target)
+            if fact is not None and fact["role"] in ("local-store", "local-load"):
+                node.value = _call(
+                    "_ej_local_write",
+                    [node.value, _const(fact["kind"]), self._flag_expr(fact["approx"])],
+                )
+            return node
+
+        if isinstance(target, ast.Subscript):
+            fact = self._fact(target)
+            container = self.visit(target.value)
+            index = self.visit(target.slice)
+            if fact is not None and fact["role"] == "subscript":
+                return ast.Expr(
+                    value=_call("_ej_array_store", [container, index, node.value])
+                )
+            target.value = container
+            target.slice = index
+            return node
+
+        if isinstance(target, ast.Attribute):
+            fact = self._fact(target)
+            receiver = self.visit(target.value)
+            if fact is not None and fact["role"] == "field":
+                return ast.Expr(
+                    value=_call(
+                        "_ej_field_store", [receiver, _const(target.attr), node.value]
+                    )
+                )
+            target.value = receiver
+            return node
+
+        # Tuple targets etc.: visit children normally.
+        node.targets = [self.visit(t) for t in node.targets]
+        return node
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        fact = self._fact(node)
+        rhs = self.visit(node.value)
+        if fact is None or fact["role"] != "binop":
+            node.value = rhs
+            return node
+
+        op_args = [
+            _const(fact["op"]),
+            _const(fact["kind"]),
+            self._flag_expr(fact["approx"]),
+        ]
+        target = node.target
+
+        if isinstance(target, ast.Name):
+            local_fact = self._fact(target)
+            old_value: ast.expr = _load(target.id)
+            if local_fact is not None:
+                old_value = _call(
+                    "_ej_local_read",
+                    [old_value, _const(local_fact["kind"]), self._flag_expr(local_fact["approx"])],
+                )
+            new_value: ast.expr = _call("_ej_binop", op_args + [old_value, rhs])
+            if local_fact is not None:
+                new_value = _call(
+                    "_ej_local_write",
+                    [new_value, _const(local_fact["kind"]), self._flag_expr(local_fact["approx"])],
+                )
+            return ast.Assign(targets=[_store(target.id)], value=new_value)
+
+        if isinstance(target, ast.Subscript):
+            sub_fact = self._fact(target)
+            container = self.visit(target.value)
+            index = self.visit(target.slice)
+            t_arr, t_idx = self._temp(), self._temp()
+            statements: List[ast.stmt] = [
+                ast.Assign(targets=[_store(t_arr)], value=container),
+                ast.Assign(targets=[_store(t_idx)], value=index),
+            ]
+            if sub_fact is not None and sub_fact["role"] == "subscript":
+                old_value = _call("_ej_array_load", [_load(t_arr), _load(t_idx)])
+                new_value = _call("_ej_binop", op_args + [old_value, rhs])
+                statements.append(
+                    ast.Expr(
+                        value=_call(
+                            "_ej_array_store", [_load(t_arr), _load(t_idx), new_value]
+                        )
+                    )
+                )
+            else:
+                old_value = ast.Subscript(
+                    value=_load(t_arr), slice=_load(t_idx), ctx=ast.Load()
+                )
+                new_value = _call("_ej_binop", op_args + [old_value, rhs])
+                statements.append(
+                    ast.Assign(
+                        targets=[
+                            ast.Subscript(value=_load(t_arr), slice=_load(t_idx), ctx=ast.Store())
+                        ],
+                        value=new_value,
+                    )
+                )
+            return statements
+
+        if isinstance(target, ast.Attribute):
+            field_fact = self._fact(target)
+            receiver = self.visit(target.value)
+            t_recv = self._temp()
+            statements = [ast.Assign(targets=[_store(t_recv)], value=receiver)]
+            if field_fact is not None and field_fact["role"] == "field":
+                old_value = _call("_ej_field_load", [_load(t_recv), _const(target.attr)])
+                new_value = _call("_ej_binop", op_args + [old_value, rhs])
+                statements.append(
+                    ast.Expr(
+                        value=_call(
+                            "_ej_field_store",
+                            [_load(t_recv), _const(target.attr), new_value],
+                        )
+                    )
+                )
+            else:
+                old_value = ast.Attribute(value=_load(t_recv), attr=target.attr, ctx=ast.Load())
+                new_value = _call("_ej_binop", op_args + [old_value, rhs])
+                statements.append(
+                    ast.Assign(
+                        targets=[
+                            ast.Attribute(value=_load(t_recv), attr=target.attr, ctx=ast.Store())
+                        ],
+                        value=new_value,
+                    )
+                )
+            return statements
+
+        node.value = rhs
+        return node
+
+    def visit_For(self, node: ast.For):
+        fact = self._fact(node)
+        self.generic_visit(node)
+        if fact is None:
+            return node
+        if fact["role"] == "foreach":
+            node.iter = _call("_ej_iter_array", [node.iter])
+        elif fact["role"] == "range" and isinstance(node.iter, ast.Call):
+            node.iter = _call("_ej_range", list(node.iter.args))
+        return node
+
+
+def instrument_module(
+    tree: ast.Module,
+    facts: Dict[int, dict],
+    program_modules: Optional[set] = None,
+) -> Tuple[ast.Module, List[Tuple[str, List[Tuple[str, str]]]]]:
+    """Instrument one checked module AST.
+
+    Returns the rewritten tree (the input object, modified in place) and
+    the stripped intra-program imports for the loader to resolve.
+    """
+    instrumenter = Instrumenter(facts, program_modules)
+    rewritten = instrumenter.visit(tree)
+    ast.fix_missing_locations(rewritten)
+    return rewritten, instrumenter.intra_imports

@@ -1,0 +1,174 @@
+"""Precision qualifiers and their lattice (paper Sections 2.1 and 3.1).
+
+EnerJ annotates every type with a *precision qualifier*.  The paper's
+formal core FEnerJ uses five qualifiers::
+
+    q ::= precise | approx | top | context | lost
+
+with the ordering (``<:q``)::
+
+    q <:q q'   iff   q = q'  or  q' = top  or  (q' = lost and q != top)
+
+i.e. ``top`` is the greatest element, ``lost`` sits just below ``top``,
+and ``precise`` and ``approx`` are unrelated to each other.  ``context``
+is a *polymorphic* qualifier: inside an approximable class it stands for
+the qualifier of the receiver and is eliminated by *context adaptation*
+(:func:`adapt`) at field accesses and method invocations.  ``lost``
+arises when adaptation cannot express the result (adapting ``context``
+through a ``top``- or ``lost``-qualified receiver).
+
+This module is shared by the EnerPy checker (``repro.core.checker``) and
+the FEnerJ formal core (``repro.fenerj``); both implement exactly these
+rules, so the lattice is tested once here and reused.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.errors import QualifierError
+
+__all__ = [
+    "Qualifier",
+    "PRECISE",
+    "APPROX",
+    "TOP",
+    "CONTEXT",
+    "LOST",
+    "is_subqualifier",
+    "qualifier_lub",
+    "adapt",
+    "adaptable_qualifiers",
+]
+
+
+class Qualifier(enum.Enum):
+    """A precision qualifier.
+
+    The enum values are the concrete-syntax spellings used by both the
+    EnerPy annotations and the FEnerJ parser.
+    """
+
+    PRECISE = "precise"
+    APPROX = "approx"
+    TOP = "top"
+    CONTEXT = "context"
+    LOST = "lost"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Qualifier.{self.name}"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_concrete(self) -> bool:
+        """True for qualifiers that can appear on a runtime value.
+
+        ``context`` only makes sense inside a class body and ``lost``
+        only as the result of adaptation; neither ever qualifies a value
+        at runtime.
+        """
+        return self in (Qualifier.PRECISE, Qualifier.APPROX, Qualifier.TOP)
+
+    @property
+    def may_be_approximate(self) -> bool:
+        """True if a value with this qualifier may be stored approximately.
+
+        Only ``approx`` data may actually be mapped to approximate
+        storage or operated on by approximate instructions; everything
+        else (including ``top``, which gives no license either way)
+        must be treated precisely by the execution substrate.
+        """
+        return self is Qualifier.APPROX
+
+
+PRECISE = Qualifier.PRECISE
+APPROX = Qualifier.APPROX
+TOP = Qualifier.TOP
+CONTEXT = Qualifier.CONTEXT
+LOST = Qualifier.LOST
+
+#: Qualifiers that may legally appear on the right-hand side of ``adapt``.
+adaptable_qualifiers = (PRECISE, APPROX, CONTEXT, TOP, LOST)
+
+
+def is_subqualifier(sub: Qualifier, sup: Qualifier) -> bool:
+    """The ordering ``sub <:q sup`` of the paper's formal core.
+
+    Rules (Section 3.1)::
+
+        q <:q q                      (reflexivity)
+        q <:q top                    (top is greatest)
+        q <:q lost     if q != top   (everything but top is below lost)
+
+    ``precise`` and ``approx`` are *not* related: precise-to-approx flow
+    for primitives is handled at the level of full types (see
+    ``repro.core.types``), not by the qualifier ordering, mirroring the
+    paper's treatment.
+    """
+    if sub is sup:
+        return True
+    if sup is TOP:
+        return True
+    if sup is LOST and sub is not TOP:
+        return True
+    return False
+
+
+def qualifier_lub(a: Qualifier, b: Qualifier) -> Qualifier:
+    """Least upper bound of two qualifiers in the ``<:q`` ordering.
+
+    Used to type conditionals: ``if (e0) {e1} else {e2}`` needs a common
+    supertype of both branches.
+    """
+    if is_subqualifier(a, b):
+        return b
+    if is_subqualifier(b, a):
+        return a
+    # The only incomparable pairs involve precise/approx/context; their
+    # join is ``lost`` (the least qualifier above every non-top element).
+    return LOST
+
+
+def adapt(receiver: Qualifier, declared: Qualifier) -> Qualifier:
+    """Context adaptation ``receiver |> declared`` (paper Section 3.1).
+
+    Replaces the ``context`` qualifier of a field or method signature by
+    the qualifier of the receiver expression::
+
+        q |> context = q      if q in {approx, precise, context}
+        q |> context = lost   if q in {top, lost}
+        q |> q'      = q'     if q' != context
+
+    The first rule is what makes ``@Context`` fields approximate in
+    approximate instances and precise in precise instances.  The second
+    captures that a ``top``-qualified receiver gives no information
+    about what ``context`` stands for, so the precision is *lost* —
+    reading such a field is fine (at type ``lost``) but writing it must
+    be rejected (see the field-write rule in the checker).
+    """
+    if declared is not CONTEXT:
+        return declared
+    if receiver in (PRECISE, APPROX, CONTEXT):
+        return receiver
+    if receiver in (TOP, LOST):
+        return LOST
+    raise QualifierError(f"cannot adapt through receiver qualifier {receiver!r}")
+
+
+def parse_qualifier(text: str) -> Qualifier:
+    """Parse a concrete-syntax qualifier name (``"approx"`` etc.)."""
+    try:
+        return Qualifier(text)
+    except ValueError:
+        valid = ", ".join(q.value for q in Qualifier)
+        raise QualifierError(f"unknown qualifier {text!r} (expected one of: {valid})") from None
+
+
+def check_all_concrete(quals: Iterable[Qualifier]) -> None:
+    """Raise :class:`QualifierError` unless every qualifier is concrete."""
+    for qual in quals:
+        if not qual.is_concrete:
+            raise QualifierError(f"qualifier {qual} cannot qualify a runtime value")

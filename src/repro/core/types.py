@@ -1,0 +1,286 @@
+"""Qualified types for the EnerPy checker (paper Sections 2.1, 2.6, 3.1).
+
+A *qualified type* pairs a precision qualifier with a base type.  Base
+types are:
+
+* primitives — ``int``, ``float`` (the paper's ``int``/``float``; Python
+  has no separate ``double``, but we keep a ``double`` width distinction
+  for the FPU model via :class:`FloatWidth` in the hardware package);
+* ``bool`` — primitive; approximate booleans arise from comparisons on
+  approximate numbers and are what the condition rule rejects;
+* reference types — user classes, possibly ``@approximable``;
+* arrays — element type plus the always-precise length (Section 2.6);
+* ``void``/``none`` for statements and functions without results.
+
+Subtyping (Section 2.1):
+
+* For **primitives**, ``precise P <: approx P`` — precise-to-approximate
+  flow is allowed by subtyping, and both are below ``top P``.
+* For **reference types**, qualifiers must match up to the ``<:q``
+  ordering *without* the precise-below-approx axiom: a precise instance
+  is *not* a subtype of an approximate instance (mutable-reference
+  unsoundness, Section 2.5), but anything is below ``top C``.
+* Arrays are invariant in their element type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.qualifiers import (
+    APPROX,
+    CONTEXT,
+    LOST,
+    PRECISE,
+    TOP,
+    Qualifier,
+    adapt,
+    is_subqualifier,
+    qualifier_lub,
+)
+
+__all__ = [
+    "BaseKind",
+    "QualifiedType",
+    "primitive",
+    "reference",
+    "array_of",
+    "VOID",
+    "is_subtype",
+    "type_lub",
+    "adapt_type",
+]
+
+
+class BaseKind:
+    """Kinds of base types, used for quick dispatch in the checker."""
+
+    PRIMITIVE = "primitive"
+    REFERENCE = "reference"
+    ARRAY = "array"
+    VOID = "void"
+
+
+#: Primitive base-type names understood by the checker.
+PRIMITIVE_NAMES = frozenset({"int", "float", "bool"})
+
+#: Primitive names that support arithmetic (bool only supports logic).
+NUMERIC_NAMES = frozenset({"int", "float"})
+
+
+@dataclasses.dataclass(frozen=True)
+class QualifiedType:
+    """A precision-qualified type.
+
+    Attributes:
+        qualifier: the precision qualifier.
+        kind: one of the :class:`BaseKind` constants.
+        name: primitive name or class name (``None`` for arrays/void).
+        element: element type for arrays (``None`` otherwise).
+    """
+
+    qualifier: Qualifier
+    kind: str
+    name: Optional[str] = None
+    element: Optional["QualifiedType"] = None
+
+    def __str__(self) -> str:
+        if self.kind == BaseKind.VOID:
+            return "void"
+        if self.kind == BaseKind.ARRAY:
+            return f"{self.qualifier} {self.element}[]"
+        return f"{self.qualifier} {self.name}"
+
+    # ------------------------------------------------------------------
+    # Predicates used throughout the checker
+    # ------------------------------------------------------------------
+    @property
+    def is_primitive(self) -> bool:
+        return self.kind == BaseKind.PRIMITIVE
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == BaseKind.PRIMITIVE and self.name in NUMERIC_NAMES
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind == BaseKind.PRIMITIVE and self.name == "bool"
+
+    @property
+    def is_reference(self) -> bool:
+        return self.kind == BaseKind.REFERENCE
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == BaseKind.ARRAY
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind == BaseKind.VOID
+
+    @property
+    def is_approx(self) -> bool:
+        return self.qualifier is APPROX
+
+    @property
+    def is_precise(self) -> bool:
+        return self.qualifier is PRECISE
+
+    # ------------------------------------------------------------------
+    # Derived types
+    # ------------------------------------------------------------------
+    def with_qualifier(self, qualifier: Qualifier) -> "QualifiedType":
+        """The same base type under a different qualifier."""
+        return dataclasses.replace(self, qualifier=qualifier)
+
+    def endorsed(self) -> "QualifiedType":
+        """The type produced by ``endorse(e)``: same base, precise."""
+        return self.with_qualifier(PRECISE)
+
+
+def primitive(name: str, qualifier: Qualifier = PRECISE) -> QualifiedType:
+    """A qualified primitive type such as ``approx float``."""
+    if name not in PRIMITIVE_NAMES:
+        raise ValueError(f"unknown primitive type {name!r}")
+    return QualifiedType(qualifier, BaseKind.PRIMITIVE, name=name)
+
+
+def reference(name: str, qualifier: Qualifier = PRECISE) -> QualifiedType:
+    """A qualified reference (class) type such as ``approx Vector3f``."""
+    return QualifiedType(qualifier, BaseKind.REFERENCE, name=name)
+
+
+def array_of(element: QualifiedType, qualifier: Qualifier = PRECISE) -> QualifiedType:
+    """An array type.  The *length* is always precise (Section 2.6)."""
+    return QualifiedType(qualifier, BaseKind.ARRAY, element=element)
+
+
+VOID = QualifiedType(PRECISE, BaseKind.VOID)
+
+
+def _same_base(a: QualifiedType, b: QualifiedType) -> bool:
+    if a.kind != b.kind:
+        return False
+    if a.kind == BaseKind.ARRAY:
+        return _same_base(a.element, b.element) and a.element.qualifier == b.element.qualifier
+    return a.name == b.name
+
+
+def _primitive_widens(sub: str, sup: str) -> bool:
+    """Java-style primitive widening: int may flow into float."""
+    if sub == sup:
+        return True
+    return sub == "int" and sup == "float"
+
+
+def is_subtype(
+    sub: QualifiedType,
+    sup: QualifiedType,
+    subclasses: Optional[dict] = None,
+) -> bool:
+    """Subtyping judgment ``sub <: sup``.
+
+    ``subclasses`` maps class name -> superclass name for reference
+    types; ``None`` means only reflexive subclassing.
+    """
+    if sub.is_void or sup.is_void:
+        return sub.is_void and sup.is_void
+
+    if sub.is_primitive and sup.is_primitive:
+        if not _primitive_widens(sub.name, sup.name):
+            return False
+        # precise P <: approx P for primitives, and both below top.
+        if is_subqualifier(sub.qualifier, sup.qualifier):
+            return True
+        if sub.qualifier is PRECISE and sup.qualifier in (APPROX, CONTEXT):
+            # Precise data may flow into approximate storage, and into
+            # context storage (which is precise or approximate — both
+            # accept precise values).
+            return True
+        # context P <: approx P: whatever the instance precision, the
+        # value is at most approximate.
+        return sub.qualifier is CONTEXT and sup.qualifier is APPROX
+
+    if sub.is_array and sup.is_array:
+        # Arrays are invariant in their element type; the array
+        # reference qualifier follows <:q only.
+        if not _same_base(sub, sup):
+            return False
+        return is_subqualifier(sub.qualifier, sup.qualifier)
+
+    if sub.is_reference and sup.is_reference:
+        if not is_subqualifier(sub.qualifier, sup.qualifier):
+            return False
+        return _is_subclass(sub.name, sup.name, subclasses)
+
+    return False
+
+
+def _is_subclass(sub: str, sup: str, subclasses: Optional[dict]) -> bool:
+    if sub == sup or sup == "object":
+        return True
+    if not subclasses:
+        return False
+    seen = set()
+    current = sub
+    while current in subclasses and current not in seen:
+        seen.add(current)
+        current = subclasses[current]
+        if current == sup:
+            return True
+    return False
+
+
+def type_lub(a: QualifiedType, b: QualifiedType, subclasses: Optional[dict] = None) -> Optional[QualifiedType]:
+    """A common supertype of ``a`` and ``b``, or ``None`` if none exists.
+
+    Used for conditional expressions and to join branches of ``if``.
+    """
+    if is_subtype(a, b, subclasses):
+        return b
+    if is_subtype(b, a, subclasses):
+        return a
+    if _same_base(a, b):
+        return a.with_qualifier(qualifier_lub(a.qualifier, b.qualifier))
+    if a.is_primitive and b.is_primitive and {a.name, b.name} == {"int", "float"}:
+        wide = primitive("float", qualifier_lub(a.qualifier, b.qualifier))
+        if a.qualifier is APPROX or b.qualifier is APPROX:
+            wide = wide.with_qualifier(qualifier_lub(a.qualifier, b.qualifier))
+        return wide
+    return None
+
+
+def adapt_type(receiver: Qualifier, declared: QualifiedType) -> QualifiedType:
+    """Context-adapt a declared member type through a receiver qualifier.
+
+    Applies :func:`repro.core.qualifiers.adapt` to the outer qualifier
+    and, for arrays, recursively to the element type, mirroring the
+    paper's ``|>`` lifted to types.
+    """
+    adapted = declared.with_qualifier(adapt(receiver, declared.qualifier))
+    if declared.kind == BaseKind.ARRAY and declared.element is not None:
+        adapted = dataclasses.replace(adapted, element=adapt_type(receiver, declared.element))
+    return adapted
+
+
+def contains_lost(t: QualifiedType) -> bool:
+    """Whether a type mentions the ``lost`` qualifier anywhere.
+
+    The field-write rule requires ``lost`` not to occur in the adapted
+    field type (writing through lost precision would be unsound).
+    """
+    if t.qualifier is LOST:
+        return True
+    if t.is_array and t.element is not None:
+        return contains_lost(t.element)
+    return False
+
+
+def contains_context(t: QualifiedType) -> bool:
+    """Whether a type mentions ``context`` anywhere (class members only)."""
+    if t.qualifier is CONTEXT:
+        return True
+    if t.is_array and t.element is not None:
+        return contains_context(t.element)
+    return False

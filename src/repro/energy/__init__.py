@@ -1,0 +1,17 @@
+"""Energy estimation (paper Section 5.4)."""
+
+from repro.energy.model import (
+    MOBILE,
+    SERVER,
+    EnergyBreakdown,
+    EnergyParameters,
+    estimate_energy,
+)
+
+__all__ = [
+    "EnergyParameters",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "SERVER",
+    "MOBILE",
+]

@@ -1,0 +1,143 @@
+"""The paper's energy model (Section 5.4).
+
+Abstract energy units:
+
+* integer instruction = 37 units, floating-point instruction = 40 units;
+* 22 units of each are instruction fetch + decode and cannot be reduced
+  by approximation;
+* the remaining *execute* component (15 / 18 units) scales down for
+  approximate instructions by the per-operation savings of Table 2
+  (ALU voltage scaling for integers; mantissa-width reduction for FP);
+* SRAM storage and the instructions accessing it are ~35% of
+  microarchitecture power, execution logic the other 65%; SRAM savings
+  scale with the approximate fraction of SRAM byte-seconds times the
+  supply-power saving;
+* system energy = 55% CPU + 45% DRAM (server; mobile: 75% / 25%), with
+  DRAM savings scaling with the approximate fraction of DRAM
+  byte-seconds times the refresh-power saving.
+
+The model intentionally omits mode-switching overheads, as the paper's
+does ("our results can be considered optimistic").
+
+Inputs are a :class:`~repro.runtime.stats.RunStats` (the measured
+approximation fractions) and a :class:`~repro.hardware.config
+.HardwareConfig` (the savings percentages); the output is energy
+normalised to fully precise execution of the same run, i.e. the bars of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import EnergyModelError
+from repro.hardware.config import HardwareConfig
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "EnergyParameters",
+    "SERVER",
+    "MOBILE",
+    "EnergyBreakdown",
+    "estimate_energy",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyParameters:
+    """The constants of Section 5.4, overridable for ablations."""
+
+    int_op_units: float = 37.0
+    fp_op_units: float = 40.0
+    fetch_decode_units: float = 22.0
+    sram_share_of_cpu: float = 0.35
+    cpu_share_of_system: float = 0.55
+    dram_share_of_system: float = 0.45
+    name: str = "server"
+
+    def __post_init__(self) -> None:
+        if self.fetch_decode_units > min(self.int_op_units, self.fp_op_units):
+            raise EnergyModelError("fetch/decode cannot exceed total op energy")
+        share_sum = self.cpu_share_of_system + self.dram_share_of_system
+        if abs(share_sum - 1.0) > 1e-9:
+            raise EnergyModelError("CPU and DRAM system shares must sum to 1")
+        if not 0.0 <= self.sram_share_of_cpu <= 1.0:
+            raise EnergyModelError("SRAM share of CPU must be in [0, 1]")
+
+
+#: Server-like setting: DRAM is 45% of system power (Fan et al.).
+SERVER = EnergyParameters()
+
+#: Mobile setting: memory is only ~25% of power (Carroll & Heiser).
+MOBILE = EnergyParameters(cpu_share_of_system=0.75, dram_share_of_system=0.25, name="mobile")
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Normalised energy of one run (1.0 = fully precise baseline)."""
+
+    instruction_energy: float
+    sram_energy: float
+    dram_energy: float
+    cpu_energy: float
+    total: float
+
+    @property
+    def savings(self) -> float:
+        """Fraction of system energy saved versus precise execution."""
+        return 1.0 - self.total
+
+
+def _instruction_energy_fraction(stats: RunStats, config: HardwareConfig, params: EnergyParameters) -> float:
+    """Energy of the instruction stream relative to its precise cost."""
+    int_total = stats.int_ops_total
+    fp_total = stats.fp_ops_total
+    if int_total == 0 and fp_total == 0:
+        return 1.0
+
+    int_exec = params.int_op_units - params.fetch_decode_units
+    fp_exec = params.fp_op_units - params.fetch_decode_units
+
+    precise_cost = int_total * params.int_op_units + fp_total * params.fp_op_units
+
+    int_cost = (
+        int_total * params.fetch_decode_units
+        + stats.int_ops_precise * int_exec
+        + stats.int_ops_approx * int_exec * (1.0 - config.int_op_saving)
+    )
+    fp_cost = (
+        fp_total * params.fetch_decode_units
+        + stats.fp_ops_precise * fp_exec
+        + stats.fp_ops_approx * fp_exec * (1.0 - config.fp_op_saving)
+    )
+    return (int_cost + fp_cost) / precise_cost
+
+
+def estimate_energy(
+    stats: RunStats,
+    config: HardwareConfig,
+    params: EnergyParameters = SERVER,
+) -> EnergyBreakdown:
+    """Estimate normalised CPU+memory energy for one measured run.
+
+    All components are fractions of their own precise-execution energy;
+    ``total`` weights them by the Section 5.4 shares.
+    """
+    if stats.ops_total < 0:
+        raise EnergyModelError("negative operation counts")
+
+    instruction = _instruction_energy_fraction(stats, config, params)
+
+    sram = 1.0 - stats.sram_approx_fraction * config.sram_power_saving
+    dram = 1.0 - stats.dram_approx_fraction * config.dram_power_saving
+
+    cpu = (1.0 - params.sram_share_of_cpu) * instruction + params.sram_share_of_cpu * sram
+    total = params.cpu_share_of_system * cpu + params.dram_share_of_system * dram
+
+    return EnergyBreakdown(
+        instruction_energy=instruction,
+        sram_energy=sram,
+        dram_energy=dram,
+        cpu_energy=cpu,
+        total=total,
+    )

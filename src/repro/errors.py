@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class QualifierError(ReproError):
+    """An illegal operation on precision qualifiers (e.g. bad adaptation)."""
+
+
+class TypeCheckError(ReproError):
+    """A static qualifier-checking failure in an EnerPy program.
+
+    Carries the list of diagnostics produced by the checker so tooling can
+    report all failures, not just the first one.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
+class InstrumentationError(ReproError):
+    """The instrumenting compiler met a construct it cannot translate."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the approximate-hardware simulator."""
+
+
+class NoActiveSimulationError(SimulationError):
+    """A runtime hook was invoked with no Simulator context active."""
+
+
+class FEnerJError(ReproError):
+    """Base class for errors in the FEnerJ formal-core implementation."""
+
+
+class FEnerJSyntaxError(FEnerJError):
+    """A lexing or parsing failure in an FEnerJ program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class FEnerJTypeError(FEnerJError):
+    """A static type error in an FEnerJ program."""
+
+
+class FEnerJRuntimeError(FEnerJError):
+    """A dynamic failure while evaluating an FEnerJ program."""
+
+
+class IsolationViolation(FEnerJError):
+    """The checked semantics observed approximate data reaching precise state.
+
+    This should be impossible for well-typed, endorsement-free programs;
+    the non-interference test-suite asserts it never fires for them.
+    """
+
+
+class EnergyModelError(ReproError):
+    """Invalid inputs to the energy model (e.g. negative op counts)."""

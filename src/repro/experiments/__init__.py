@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Run any driver as a module::
+
+    python -m repro.experiments.table2        # approximation strategies
+    python -m repro.experiments.table3        # apps + annotation density
+    python -m repro.experiments.figure3       # fraction approximate
+    python -m repro.experiments.figure4       # estimated energy
+    python -m repro.experiments.figure5       # output error (20 runs/bar)
+    python -m repro.experiments.sensitivity   # Sec. 6.2 isolation + error modes
+    python -m repro.experiments.ablation      # line size, energy split, software substrate
+    python -m repro.experiments.autotune      # per-app QoS-budgeted tuning
+    python -m repro.experiments.static_vs_dynamic  # the motivation, quantified
+    python -m repro.experiments.online_monitor    # Green-style controller
+"""
+
+from repro.experiments.harness import (
+    RunResult,
+    compiled_app,
+    mean_qos,
+    precise_output,
+    qos_error,
+    run_app,
+)
+
+__all__ = [
+    "run_app",
+    "qos_error",
+    "mean_qos",
+    "precise_output",
+    "compiled_app",
+    "RunResult",
+]

@@ -1,0 +1,154 @@
+"""Ablations for design choices the paper calls out.
+
+* **Cache-line granularity** (Section 4.1/6.1): approximation is
+  supported at 64-byte line granularity, which demotes approximate data
+  sharing a line with precise data; "finer-grain approximate memory
+  could yield a higher proportion of approximate storage."  The sweep
+  measures the approximate-DRAM fraction per app at several line sizes.
+* **Energy split** (Section 5.4): the headline numbers use the server
+  split (CPU 55% / DRAM 45%); in a mobile setting memory is only ~25%,
+  making CPU savings more important.  The sweep recomputes Figure 4's
+  Aggressive bar under both splits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.energy.model import MOBILE, SERVER, estimate_energy
+from repro.experiments.harness import run_app
+from repro.hardware.config import AGGRESSIVE, BASELINE
+
+__all__ = [
+    "LINE_SIZES",
+    "line_size_rows",
+    "energy_split_rows",
+    "format_line_sizes",
+    "format_energy_splits",
+    "main",
+]
+
+LINE_SIZES = (32, 64, 128, 256)
+
+
+def line_size_rows(apps: List[AppSpec] = None) -> List[Dict[str, float]]:
+    """Approximate-DRAM fraction per app at each line size."""
+    rows = []
+    for spec in apps if apps is not None else ALL_APPS:
+        row: Dict[str, object] = {"app": spec.name}
+        for line_bytes in LINE_SIZES:
+            config = dataclasses.replace(
+                BASELINE, cache_line_bytes=line_bytes, name=f"baseline:{line_bytes}B"
+            )
+            stats = run_app(spec, config, fault_seed=0, workload_seed=0).stats
+            row[line_bytes] = stats.dram_approx_fraction
+        rows.append(row)
+    return rows
+
+
+def energy_split_rows(apps: List[AppSpec] = None) -> List[Dict[str, float]]:
+    """Aggressive-level energy savings under server vs mobile splits."""
+    rows = []
+    for spec in apps if apps is not None else ALL_APPS:
+        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+        rows.append(
+            {
+                "app": spec.name,
+                "server": estimate_energy(stats, AGGRESSIVE, SERVER).savings,
+                "mobile": estimate_energy(stats, AGGRESSIVE, MOBILE).savings,
+            }
+        )
+    return rows
+
+
+def software_substrate_rows(
+    apps: List[AppSpec] = None, runs: int = 5
+) -> List[Dict[str, float]]:
+    """QoS and savings on the commodity-hardware software substrate.
+
+    Section 4 of the paper: "a runtime system on top of commodity
+    hardware can also offer approximate execution features (e.g., lower
+    floating point precision, elision of memory operations)".  The
+    :data:`~repro.hardware.config.SOFTWARE` preset implements exactly
+    those two mechanisms — no voltage scaling, no refresh reduction.
+    """
+    from repro.experiments.harness import mean_qos
+    from repro.hardware.config import SOFTWARE
+
+    rows = []
+    for spec in apps if apps is not None else ALL_APPS:
+        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+        rows.append(
+            {
+                "app": spec.name,
+                "qos": mean_qos(spec, SOFTWARE, runs=runs),
+                "savings": estimate_energy(stats, SOFTWARE, SERVER).savings,
+                "elided": _elided_count(spec),
+            }
+        )
+    return rows
+
+
+def _elided_count(spec: AppSpec) -> int:
+    from repro.experiments.harness import compiled_app
+    from repro.hardware.config import SOFTWARE
+    from repro.runtime import Simulator
+
+    program = compiled_app(spec)
+    args = spec.default_args[:-1] + (0,)
+    with Simulator(SOFTWARE, seed=1) as simulator:
+        program.call(spec.entry_module, spec.entry_function, *args)
+    return simulator.elided_loads
+
+
+def format_software_substrate(rows: List[Dict[str, float]] = None, runs: int = 5) -> str:
+    if rows is None:
+        rows = software_substrate_rows(runs=runs)
+    header = f"{'Application':14s} {'QoS':>8s} {'saved':>7s} {'elided loads':>13s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['qos']:>8.3f} {row['savings']:>7.1%} "
+            f"{row['elided']:>13d}"
+        )
+    return "\n".join(lines)
+
+
+def format_line_sizes(rows: List[Dict[str, float]] = None) -> str:
+    if rows is None:
+        rows = line_size_rows()
+    header = f"{'Application':14s}" + "".join(f" {size:>5d}B" for size in LINE_SIZES)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s}"
+            + "".join(f" {row[size]:>6.1%}" for size in LINE_SIZES)
+        )
+    return "\n".join(lines)
+
+
+def format_energy_splits(rows: List[Dict[str, float]] = None) -> str:
+    if rows is None:
+        rows = energy_split_rows()
+    header = f"{'Application':14s} {'server':>8s} {'mobile':>8s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row['app']:14s} {row['server']:>8.1%} {row['mobile']:>8.1%}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Ablation A: approximate DRAM fraction vs cache-line granularity")
+    print(format_line_sizes())
+    print()
+    print("Ablation B: Aggressive energy savings, server vs mobile split")
+    print(format_energy_splits())
+    print()
+    print("Ablation C: software substrate (FP truncation + load elision)")
+    print(format_software_substrate())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Offline per-application tuning of the approximation level.
+
+The paper observes that applications' error sensitivity varies greatly
+and suggests that "an approximate execution substrate for EnerJ could
+benefit from tuning to the characteristics of each application, either
+offline via profiling or online via continuous QoS measurement as in
+Green".  This module implements the offline variant:
+
+given an application and a QoS budget, a greedy coordinate-ascent
+search raises each approximation mechanism (DRAM refresh, SRAM voltage,
+FP width, ALU voltage) through the Mild/Medium/Aggressive levels
+independently, accepting an upgrade only when the *measured* mean QoS
+error stays within budget, and preferring the upgrade with the best
+estimated energy improvement.  The result is a heterogeneous
+configuration — e.g. Aggressive DRAM with Mild functional units — that
+a uniform Table 2 level cannot express.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.energy.model import SERVER, estimate_energy
+from repro.experiments.harness import mean_qos, run_app
+from repro.hardware.config import (
+    AGGRESSIVE,
+    BASELINE,
+    MEDIUM,
+    MILD,
+    STRATEGY_NAMES,
+    HardwareConfig,
+)
+
+__all__ = ["compose_config", "autotune", "TuneResult", "autotune_suite", "format_tuning", "main"]
+
+#: Level ladder indexed by the tuner (0 = off).
+LEVELS = (BASELINE, MILD, MEDIUM, AGGRESSIVE)
+
+#: Tunable mechanisms.  Unlike the ablation study's five strategies,
+#: SRAM read upsets and write failures are one knob here: both are
+#: consequences of the same supply-voltage reduction, so a config with
+#: them at different levels is not physically realisable.
+TUNABLE = ("dram", "sram", "float_width", "timing")
+
+_STRATEGY_FIELDS = {
+    "dram": ("dram_flip_per_second", "dram_power_saving"),
+    "sram": ("sram_read_upset", "sram_write_failure", "sram_power_saving"),
+    "float_width": ("float_mantissa_bits", "double_mantissa_bits", "fp_op_saving"),
+    "timing": ("timing_error_prob", "int_op_saving"),
+}
+
+
+def compose_config(levels: Dict[str, int], name: str = "tuned") -> HardwareConfig:
+    """Build a heterogeneous config from per-mechanism level indices."""
+    fields = dataclasses.asdict(BASELINE)
+    for strategy, level_index in levels.items():
+        source = LEVELS[level_index]
+        for field_name in _STRATEGY_FIELDS[strategy]:
+            # A mechanism at a higher level may not *lower* a shared
+            # saving another mechanism already raised (sram_read and
+            # sram_write share the supply-power saving).
+            value = getattr(source, field_name)
+            if field_name.endswith("_saving"):
+                fields[field_name] = max(fields[field_name], value)
+            else:
+                fields[field_name] = value
+    fields["name"] = name
+    return HardwareConfig(**fields)
+
+
+@dataclasses.dataclass
+class TuneResult:
+    """Outcome of tuning one application."""
+
+    app: str
+    levels: Dict[str, int]
+    config: HardwareConfig
+    measured_qos: float
+    energy: float
+    evaluations: int
+
+    @property
+    def savings(self) -> float:
+        return 1.0 - self.energy
+
+
+def autotune(
+    spec: AppSpec,
+    qos_budget: float = 0.05,
+    runs: int = 5,
+    max_level: int = 3,
+) -> TuneResult:
+    """Greedy coordinate ascent over per-mechanism levels.
+
+    Repeatedly evaluates every single-step upgrade of a mechanism,
+    keeps those whose measured mean QoS error stays within budget, and
+    commits the one with the lowest estimated energy; stops when no
+    upgrade is admissible.
+    """
+    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    levels = {strategy: 0 for strategy in TUNABLE}
+    evaluations = 0
+    current_energy = 1.0
+    current_qos = 0.0
+
+    while True:
+        best: Optional[Tuple[str, float, float]] = None  # strategy, energy, qos
+        for strategy in TUNABLE:
+            if levels[strategy] >= max_level:
+                continue
+            candidate_levels = dict(levels)
+            candidate_levels[strategy] += 1
+            candidate = compose_config(candidate_levels)
+            energy = estimate_energy(stats, candidate, SERVER).total
+            if energy >= current_energy - 1e-9:
+                # No energy benefit (e.g. the app has no FP work):
+                # raising the level only adds error.
+                continue
+            qos = mean_qos(spec, candidate, runs=runs)
+            evaluations += 1
+            if qos <= qos_budget and (best is None or energy < best[1]):
+                best = (strategy, energy, qos)
+        if best is None:
+            break
+        strategy, current_energy, current_qos = best
+        levels[strategy] += 1
+
+    return TuneResult(
+        app=spec.name,
+        levels=levels,
+        config=compose_config(levels, name=f"tuned:{spec.name}"),
+        measured_qos=current_qos,
+        energy=current_energy,
+        evaluations=evaluations,
+    )
+
+
+def autotune_suite(
+    qos_budget: float = 0.05,
+    runs: int = 5,
+    apps: Optional[List[AppSpec]] = None,
+) -> List[TuneResult]:
+    return [autotune(spec, qos_budget, runs) for spec in (apps or ALL_APPS)]
+
+
+def format_tuning(results: List[TuneResult], qos_budget: float) -> str:
+    header = (
+        f"{'Application':14s} "
+        + "".join(f" {name:>11s}" for name in TUNABLE)
+        + f" {'QoS':>7s} {'saved':>7s} {'evals':>6s}"
+    )
+    level_names = ("off", "mild", "med", "aggr")
+    lines = [f"QoS budget: {qos_budget}", header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.app:14s} "
+            + "".join(f" {level_names[result.levels[n]]:>11s}" for n in TUNABLE)
+            + f" {result.measured_qos:>7.3f} {result.savings:>7.1%} "
+            f"{result.evaluations:>6d}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    budget = 0.05
+    results = autotune_suite(qos_budget=budget, runs=5)
+    print("Offline per-application tuning (paper Section 6.2 suggestion)")
+    print(format_tuning(results, budget))
+
+
+if __name__ == "__main__":
+    main()

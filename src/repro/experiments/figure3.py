@@ -1,0 +1,67 @@
+"""Figure 3: proportion of approximate storage and computation per app.
+
+For each benchmark: the fraction of DRAM and SRAM byte-ticks spent on
+approximate data and the fraction of integer and floating-point
+operations executed approximately.  These fractions are properties of
+the program and its annotations, not of the fault level, so one
+deterministic run per app suffices (we use the Baseline configuration,
+whose statistics collection is identical).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.experiments.harness import run_app
+from repro.hardware.config import BASELINE
+
+__all__ = ["figure3_row", "figure3_rows", "format_figure3", "main"]
+
+
+def figure3_row(spec: AppSpec) -> Dict[str, float]:
+    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    return {
+        "app": spec.name,
+        "dram_approx_fraction": stats.dram_approx_fraction,
+        "sram_approx_fraction": stats.sram_approx_fraction,
+        "int_approx_fraction": stats.int_approx_fraction,
+        "fp_approx_fraction": stats.fp_approx_fraction,
+    }
+
+
+def figure3_rows() -> List[Dict[str, float]]:
+    return [figure3_row(spec) for spec in ALL_APPS]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_figure3(rows: List[Dict[str, float]] = None) -> str:
+    if rows is None:
+        rows = figure3_rows()
+    header = (
+        f"{'Application':14s} {'DRAM':>6s} {'SRAM':>6s} {'IntOp':>6s} {'FPOp':>6s}"
+        f"   fraction approximate"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['dram_approx_fraction']:>6.1%} "
+            f"{row['sram_approx_fraction']:>6.1%} "
+            f"{row['int_approx_fraction']:>6.1%} "
+            f"{row['fp_approx_fraction']:>6.1%}   "
+            f"FP:{_bar(row['fp_approx_fraction'])}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Figure 3: proportion of approximate storage and computation")
+    print(format_figure3())
+
+
+if __name__ == "__main__":
+    main()

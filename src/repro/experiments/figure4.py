@@ -1,0 +1,70 @@
+"""Figure 4: estimated CPU/memory energy per benchmark and configuration.
+
+For each application: normalised system energy for the Baseline, Mild,
+Medium and Aggressive configurations (the paper's B/1/2/3 bars), from
+the Section 5.4 model applied to the measured approximation fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.energy.model import SERVER, EnergyParameters, estimate_energy
+from repro.experiments.harness import run_app
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD, HardwareConfig
+
+__all__ = ["figure4_row", "figure4_rows", "format_figure4", "main"]
+
+LEVELS = (("B", BASELINE), ("1", MILD), ("2", MEDIUM), ("3", AGGRESSIVE))
+
+
+def figure4_row(spec: AppSpec, params: EnergyParameters = SERVER) -> Dict[str, float]:
+    """Normalised energy per level for one application.
+
+    Statistics are measured once (they are level-independent); the
+    levels differ only in the Table 2 savings the model applies.
+    """
+    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    row: Dict[str, object] = {"app": spec.name}
+    for label, config in LEVELS:
+        row[label] = estimate_energy(stats, config, params).total
+    return row
+
+
+def figure4_rows(params: EnergyParameters = SERVER) -> List[Dict[str, float]]:
+    return [figure4_row(spec, params) for spec in ALL_APPS]
+
+
+def format_figure4(rows: List[Dict[str, float]] = None) -> str:
+    if rows is None:
+        rows = figure4_rows()
+    header = (
+        f"{'Application':14s} {'B':>7s} {'Mild':>7s} {'Medium':>7s} {'Aggr':>7s}"
+        f"  {'saved(3)':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['B']:>7.1%} {row['1']:>7.1%} "
+            f"{row['2']:>7.1%} {row['3']:>7.1%}  {1 - row['3']:>9.1%}"
+        )
+    averages = {
+        label: sum(row[label] for row in rows) / len(rows) for label, _ in LEVELS
+    }
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'mean':14s} {averages['B']:>7.1%} {averages['1']:>7.1%} "
+        f"{averages['2']:>7.1%} {averages['3']:>7.1%}  "
+        f"{1 - averages['3']:>9.1%}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Figure 4: estimated CPU/memory system energy (normalised to baseline)")
+    print(format_figure4())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Figure 5: output error at three approximation levels.
+
+For each application: mean QoS error over N fault seeds (the paper
+averages 20 runs) under Mild, Medium and Aggressive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.experiments.harness import mean_qos
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD
+
+__all__ = ["figure5_row", "figure5_rows", "format_figure5", "main", "DEFAULT_RUNS"]
+
+#: The paper averages each bar over 20 runs.
+DEFAULT_RUNS = 20
+
+LEVELS = (("Mild", MILD), ("Medium", MEDIUM), ("Aggressive", AGGRESSIVE))
+
+
+def figure5_row(spec: AppSpec, runs: int = DEFAULT_RUNS) -> Dict[str, float]:
+    row: Dict[str, object] = {"app": spec.name}
+    for label, config in LEVELS:
+        row[label] = mean_qos(spec, config, runs=runs)
+    return row
+
+
+def figure5_rows(runs: int = DEFAULT_RUNS) -> List[Dict[str, float]]:
+    return [figure5_row(spec, runs) for spec in ALL_APPS]
+
+
+def format_figure5(rows: List[Dict[str, float]] = None, runs: int = DEFAULT_RUNS) -> str:
+    if rows is None:
+        rows = figure5_rows(runs)
+    header = f"{'Application':14s} {'Mild':>8s} {'Medium':>8s} {'Aggressive':>11s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['Mild']:>8.3f} {row['Medium']:>8.3f} "
+            f"{row['Aggressive']:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(f"Figure 5: output error, mean over {DEFAULT_RUNS} runs")
+    print(format_figure5())
+
+
+if __name__ == "__main__":
+    main()

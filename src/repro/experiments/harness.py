@@ -1,0 +1,105 @@
+"""Experiment harness: compile apps once, run them under configurations.
+
+The harness is what every table/figure driver builds on:
+
+* :func:`compiled_app` — check + instrument an application (cached).
+* :func:`run_app` — one execution under a configuration; returns the
+  output and the collected :class:`~repro.runtime.stats.RunStats`.
+* :func:`qos_error` — QoS error of an approximate run against the
+  precise (baseline-configuration) output for the same workload seed.
+* :func:`mean_qos` — mean error over N seeds (Figure 5 runs 20).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.apps import AppSpec, load_sources
+from repro.core.pipeline import CompiledProgram, compile_program
+from repro.hardware.config import BASELINE, HardwareConfig
+from repro.runtime import RunStats, Simulator
+
+__all__ = ["compiled_app", "run_app", "qos_error", "mean_qos", "RunResult"]
+
+_PROGRAM_CACHE: Dict[str, CompiledProgram] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """One simulated execution of an application."""
+
+    output: object
+    stats: RunStats
+
+
+def compiled_app(spec: AppSpec) -> CompiledProgram:
+    """The checked + instrumented program for an app (cached by name)."""
+    program = _PROGRAM_CACHE.get(spec.name)
+    if program is None:
+        program = compile_program(load_sources(spec))
+        _PROGRAM_CACHE[spec.name] = program
+    return program
+
+
+def _workload_args(spec: AppSpec, workload_seed: int) -> Tuple:
+    # By convention the last default argument is the workload seed.
+    return spec.default_args[:-1] + (workload_seed,)
+
+
+def run_app(
+    spec: AppSpec,
+    config: HardwareConfig,
+    fault_seed: int = 0,
+    workload_seed: int = 0,
+    args: Optional[Tuple] = None,
+) -> RunResult:
+    """Execute one app under one configuration.
+
+    ``fault_seed`` seeds the hardware fault injection; ``workload_seed``
+    selects the input data (both runs of a QoS comparison must share
+    it).
+    """
+    program = compiled_app(spec)
+    call_args = args if args is not None else _workload_args(spec, workload_seed)
+    with Simulator(config, seed=fault_seed) as simulator:
+        output = program.call(spec.entry_module, spec.entry_function, *call_args)
+    return RunResult(output=output, stats=simulator.stats())
+
+
+_PRECISE_CACHE: Dict[Tuple[str, int], object] = {}
+
+
+def precise_output(spec: AppSpec, workload_seed: int = 0):
+    """The baseline-configuration output for a workload (cached)."""
+    key = (spec.name, workload_seed)
+    if key not in _PRECISE_CACHE:
+        _PRECISE_CACHE[key] = run_app(spec, BASELINE, 0, workload_seed).output
+    return _PRECISE_CACHE[key]
+
+
+def qos_error(
+    spec: AppSpec,
+    config: HardwareConfig,
+    fault_seed: int = 0,
+    workload_seed: int = 0,
+) -> float:
+    """QoS error of one approximate run against the precise output."""
+    reference = precise_output(spec, workload_seed)
+    approx = run_app(spec, config, fault_seed, workload_seed).output
+    return spec.qos(reference, approx)
+
+
+def mean_qos(
+    spec: AppSpec,
+    config: HardwareConfig,
+    runs: int = 20,
+    workload_seed: int = 0,
+) -> float:
+    """Mean QoS error over ``runs`` fault seeds (the paper uses 20)."""
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    total = 0.0
+    for fault_seed in range(1, runs + 1):
+        total += qos_error(spec, config, fault_seed, workload_seed)
+    return total / runs

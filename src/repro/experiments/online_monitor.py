@@ -1,0 +1,101 @@
+"""Online QoS-driven level control (the paper's Green comparison).
+
+EnerJ's guarantees are static, but the paper positions it against
+Green's "online monitoring of application QoS" and suggests continuous
+QoS measurement as one way to tune the substrate (Section 6.2).  This
+module implements that controller on top of our simulator:
+
+the application runs repeatedly (a service processing requests); every
+``window`` runs the controller samples one request's QoS against the
+precise output and moves the approximation level one step — up on
+comfortable margin, down on violation.  The controller needs no
+application knowledge beyond the QoS metric, and converges to the most
+aggressive level the application tolerates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.experiments.harness import qos_error
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD
+
+__all__ = ["MonitorTrace", "run_online_monitor", "format_trace", "main"]
+
+#: The controller's ladder (index = level).
+LADDER = (BASELINE, MILD, MEDIUM, AGGRESSIVE)
+
+
+@dataclasses.dataclass
+class MonitorTrace:
+    """What the controller did over one session."""
+
+    app: str
+    qos_budget: float
+    levels: List[int]
+    samples: List[float]
+    violations: int
+
+    @property
+    def final_level(self) -> int:
+        return self.levels[-1]
+
+    @property
+    def mean_level(self) -> float:
+        return sum(self.levels) / len(self.levels)
+
+
+def run_online_monitor(
+    spec: AppSpec,
+    qos_budget: float = 0.05,
+    requests: int = 30,
+    start_level: int = 1,
+    headroom: float = 0.5,
+) -> MonitorTrace:
+    """Serve ``requests`` runs, adapting the level from measured QoS.
+
+    Policy (Green-style additive increase / immediate decrease):
+
+    * sampled error above the budget → step the level down immediately;
+    * sampled error below ``headroom * budget`` → step up;
+    * otherwise hold.
+    """
+    level = max(0, min(start_level, len(LADDER) - 1))
+    levels: List[int] = []
+    samples: List[float] = []
+    violations = 0
+
+    for request in range(requests):
+        config = LADDER[level]
+        error = qos_error(spec, config, fault_seed=request + 1, workload_seed=0)
+        levels.append(level)
+        samples.append(error)
+        if error > qos_budget:
+            violations += 1
+            if level > 0:
+                level -= 1
+        elif error < headroom * qos_budget and level < len(LADDER) - 1:
+            level += 1
+
+    return MonitorTrace(spec.name, qos_budget, levels, samples, violations)
+
+
+def format_trace(trace: MonitorTrace) -> str:
+    picture = "".join(str(level) for level in trace.levels)
+    return (
+        f"{trace.app:14s} levels {picture}  "
+        f"final={LADDER[trace.final_level].name:10s} "
+        f"violations={trace.violations}/{len(trace.levels)}"
+    )
+
+
+def main() -> None:
+    print("Online QoS monitoring (Green-style controller, budget 0.05)")
+    for spec in ALL_APPS:
+        print(format_trace(run_online_monitor(spec)))
+
+
+if __name__ == "__main__":
+    main()

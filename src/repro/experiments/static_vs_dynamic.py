@@ -1,0 +1,177 @@
+"""Static vs. dynamic isolation enforcement (the paper's motivation).
+
+The introduction argues that annotations without static guarantees are
+"either unsafe ... or need dynamic checks that end up consuming energy.
+... we need to guarantee safety statically to avoid spending energy
+checking properties at runtime.  Importantly, employing static analysis
+eliminates the need for dynamic checks, further improving energy
+savings."
+
+This experiment quantifies that claim on our measured runs with an
+explicit cost model for a hypothetical dynamic information-flow
+monitor (the checked semantics of Section 3.2 implemented at runtime
+instead of proved away):
+
+* every stored word carries a one-bit precision tag
+  (``TAG_STORAGE_OVERHEAD`` = 1/32 extra byte-ticks, SRAM and DRAM);
+* every arithmetic operation performs a tag combine-and-check, modelled
+  as one extra **precise** integer micro-operation (the checks guard
+  isolation, so they may not themselves be approximated).
+
+Energy is computed in absolute units: per-byte-tick storage energy
+constants are calibrated per application so that on the unmonitored
+precise run the component shares match the Section 5.4 model
+(instructions 65% / SRAM 35% of CPU; CPU 55% / DRAM 45% of system).
+The same constants then price the monitored run, whose instruction and
+tag-storage counts are larger.  Both variants are normalised to the
+*unchecked precise* baseline, so the dynamic column can exceed 100%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.energy.model import SERVER, EnergyParameters
+from repro.experiments.harness import run_app
+from repro.hardware.config import BASELINE, MEDIUM, HardwareConfig
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "TAG_STORAGE_OVERHEAD",
+    "dynamic_enforcement_stats",
+    "static_vs_dynamic_rows",
+    "format_static_vs_dynamic",
+    "main",
+]
+
+#: One tag bit per 32-bit word.
+TAG_STORAGE_OVERHEAD = 1.0 / 32.0
+
+
+def dynamic_enforcement_stats(stats: RunStats) -> RunStats:
+    """The same run's statistics under the dynamic-monitor cost model."""
+    tag_checks = stats.ops_total
+    scale = 1.0 + TAG_STORAGE_OVERHEAD
+    return dataclasses.replace(
+        stats,
+        int_ops_precise=stats.int_ops_precise + tag_checks,
+        dram_approx_byte_ticks=int(stats.dram_approx_byte_ticks * scale),
+        dram_precise_byte_ticks=int(stats.dram_precise_byte_ticks * scale),
+        sram_approx_byte_ticks=int(stats.sram_approx_byte_ticks * scale),
+        sram_precise_byte_ticks=int(stats.sram_precise_byte_ticks * scale),
+    )
+
+
+def _calibrate(stats: RunStats, params: EnergyParameters) -> Tuple[float, float]:
+    """Per-byte-tick energy constants anchoring the Section 5.4 shares.
+
+    Returns (sram unit, dram unit) such that, for this run executed
+    precisely, SRAM is 35% of CPU energy and DRAM 45% of system energy.
+    """
+    instruction_units = (
+        stats.int_ops_total * params.int_op_units
+        + stats.fp_ops_total * params.fp_op_units
+    )
+    sram_ticks = stats.sram_approx_byte_ticks + stats.sram_precise_byte_ticks
+    dram_ticks = stats.dram_approx_byte_ticks + stats.dram_precise_byte_ticks
+
+    share = params.sram_share_of_cpu
+    sram_unit = (
+        instruction_units * share / (1.0 - share) / sram_ticks if sram_ticks else 0.0
+    )
+    cpu_units = instruction_units + sram_unit * sram_ticks
+    dram_unit = (
+        cpu_units
+        * params.dram_share_of_system
+        / params.cpu_share_of_system
+        / dram_ticks
+        if dram_ticks
+        else 0.0
+    )
+    return sram_unit, dram_unit
+
+
+def _absolute_cost(
+    stats: RunStats,
+    config: HardwareConfig,
+    params: EnergyParameters,
+    sram_unit: float,
+    dram_unit: float,
+) -> float:
+    """Total energy in absolute units under one configuration."""
+    int_exec = params.int_op_units - params.fetch_decode_units
+    fp_exec = params.fp_op_units - params.fetch_decode_units
+    instructions = (
+        stats.int_ops_total * params.fetch_decode_units
+        + stats.int_ops_precise * int_exec
+        + stats.int_ops_approx * int_exec * (1.0 - config.int_op_saving)
+        + stats.fp_ops_total * params.fetch_decode_units
+        + stats.fp_ops_precise * fp_exec
+        + stats.fp_ops_approx * fp_exec * (1.0 - config.fp_op_saving)
+    )
+    sram = sram_unit * (
+        stats.sram_precise_byte_ticks
+        + stats.sram_approx_byte_ticks * (1.0 - config.sram_power_saving)
+    )
+    dram = dram_unit * (
+        stats.dram_precise_byte_ticks
+        + stats.dram_approx_byte_ticks * (1.0 - config.dram_power_saving)
+    )
+    return instructions + sram + dram
+
+
+def static_vs_dynamic_rows(
+    config: HardwareConfig = MEDIUM,
+    params: EnergyParameters = SERVER,
+    apps: List[AppSpec] = None,
+) -> List[Dict[str, float]]:
+    """Energy with static enforcement vs. with a dynamic monitor."""
+    rows = []
+    for spec in apps if apps is not None else ALL_APPS:
+        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+        sram_unit, dram_unit = _calibrate(stats, params)
+        baseline_cost = _absolute_cost(stats, BASELINE, params, sram_unit, dram_unit)
+
+        static_cost = _absolute_cost(stats, config, params, sram_unit, dram_unit)
+        monitored = dynamic_enforcement_stats(stats)
+        dynamic_cost = _absolute_cost(monitored, config, params, sram_unit, dram_unit)
+
+        rows.append(
+            {
+                "app": spec.name,
+                "static": static_cost / baseline_cost,
+                "dynamic": dynamic_cost / baseline_cost,
+                "penalty": (dynamic_cost - static_cost) / baseline_cost,
+            }
+        )
+    return rows
+
+
+def format_static_vs_dynamic(rows: List[Dict[str, float]] = None, config=MEDIUM) -> str:
+    if rows is None:
+        rows = static_vs_dynamic_rows(config)
+    header = (
+        f"{'Application':14s} {'static':>8s} {'dynamic':>8s} {'penalty':>8s}"
+        f"   (vs unchecked precise baseline)"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['static']:>8.1%} {row['dynamic']:>8.1%} "
+            f"{row['penalty']:>8.1%}"
+        )
+    mean_penalty = sum(r["penalty"] for r in rows) / len(rows)
+    lines.append("-" * len(header))
+    lines.append(f"{'mean penalty':14s} {'':>8s} {'':>8s} {mean_penalty:>8.1%}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Static vs dynamic isolation enforcement (Medium config)")
+    print(format_static_vs_dynamic())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Table 3: applications, QoS metrics, and annotation density.
+
+Per application: description, QoS metric, lines of code, the dynamic
+proportion of floating-point arithmetic, declaration counts, the
+fraction annotated, and the endorsement count — the paper's Table 3,
+measured over our ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.experiments.annotations_census import census_app
+from repro.experiments.harness import run_app
+from repro.hardware.config import BASELINE
+
+__all__ = ["table3_rows", "format_table3", "main"]
+
+
+def table3_row(spec: AppSpec) -> Dict[str, object]:
+    census = census_app(spec)
+    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    return {
+        "app": spec.name,
+        "description": spec.description,
+        "error_metric": spec.qos_name,
+        "loc": census.lines_of_code,
+        "fp_proportion": stats.fp_proportion,
+        "declarations": census.declarations,
+        "annotated_fraction": census.annotated_fraction,
+        "endorsements": census.endorsements,
+        "dynamic_endorsements": stats.endorsements,
+    }
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    return [table3_row(spec) for spec in ALL_APPS]
+
+
+def format_table3(rows: List[Dict[str, object]] = None) -> str:
+    if rows is None:
+        rows = table3_rows()
+    header = (
+        f"{'Application':14s} {'LoC':>5s} {'FP%':>6s} {'Decls':>6s} "
+        f"{'Annot%':>7s} {'Endorse':>8s} {'DynEnd':>8s}  Error metric"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['app']:14s} {row['loc']:>5d} {row['fp_proportion']:>6.1%} "
+            f"{row['declarations']:>6d} {row['annotated_fraction']:>7.1%} "
+            f"{row['endorsements']:>8d} {row['dynamic_endorsements']:>8d}  "
+            f"{row['error_metric']}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Table 3: applications, QoS metrics, and annotation density")
+    print(format_table3())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""FEnerJ: the paper's formal core language (Section 3), implemented.
+
+Lexer, parser, type system (with the ``lost`` qualifier and context
+adaptation), big-step interpreter with the approximating rule, checked
+semantics, and non-interference testing machinery.
+"""
+
+from repro.fenerj.interp import (
+    ApproxPolicy,
+    Heap,
+    HeapObject,
+    Interpreter,
+    Value,
+    run_program,
+)
+from repro.fenerj.noninterference import (
+    IdentityPolicy,
+    NIResult,
+    OffsetPolicy,
+    RandomPerturbPolicy,
+    check_noninterference,
+    random_program,
+)
+from repro.fenerj.parser import parse_expression, parse_program
+from repro.fenerj.printer import print_expression, print_program
+from repro.fenerj.syntax import Program, Type
+from repro.fenerj.typesys import ClassTable, TypeChecker, is_subtype
+
+__all__ = [
+    "parse_program",
+    "parse_expression",
+    "print_program",
+    "print_expression",
+    "Program",
+    "Type",
+    "TypeChecker",
+    "ClassTable",
+    "is_subtype",
+    "Interpreter",
+    "run_program",
+    "Value",
+    "Heap",
+    "HeapObject",
+    "ApproxPolicy",
+    "IdentityPolicy",
+    "RandomPerturbPolicy",
+    "OffsetPolicy",
+    "check_noninterference",
+    "random_program",
+    "NIResult",
+]

@@ -1,0 +1,361 @@
+"""Big-step operational semantics of FEnerJ (paper Section 3.2).
+
+One evaluator implements all three semantics of the paper:
+
+* the **precise** semantics — evaluate with no approximation policy;
+* the **approximating** semantics — the paper's extra rule lets any
+  expression of approximate type produce a different value of the same
+  type; an :class:`ApproxPolicy` decides which (our fault models are
+  instances of it);
+* the **checked** semantics — every runtime value carries a precision
+  tag, and any flow of an approximate-tagged value into precise state
+  (a precise field slot, a condition, a precise parameter) raises
+  :class:`~repro.errors.IsolationViolation`.  The paper proves
+  well-typed programs never trip these checks; the non-interference
+  tests exercise exactly that claim.
+
+The heap maps addresses to objects carrying their *runtime* type (with
+a concrete ``precise``/``approx`` qualifier); each field slot's
+precision is the declared qualifier adapted through the instance
+qualifier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, Qualifier, adapt
+from repro.errors import FEnerJRuntimeError, IsolationViolation
+from repro.fenerj.syntax import (
+    BinOp,
+    Cast,
+    Endorse,
+    Expr,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    New,
+    NullLit,
+    Program,
+    Seq,
+    Var,
+)
+from repro.fenerj.typesys import ClassTable
+
+__all__ = ["Value", "HeapObject", "Heap", "ApproxPolicy", "Interpreter", "run_program"]
+
+DEFAULT_FUEL = 100_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Value:
+    """A runtime value with its precision tag.
+
+    ``data`` is a Python int/float, an address (int) for references, or
+    ``None`` for null.  ``approx`` is the checked-semantics tag; ``kind``
+    is "int", "float", or "ref".
+    """
+
+    data: object
+    kind: str
+    approx: bool = False
+
+    def as_bool(self) -> bool:
+        return self.data != 0
+
+
+NULL = Value(None, "ref", approx=False)
+
+
+@dataclasses.dataclass
+class HeapObject:
+    class_name: str
+    qualifier: Qualifier  # precise or approx (the instance precision)
+    fields: Dict[str, Value]
+    #: field name -> True if this slot's adapted precision is approx.
+    slot_approx: Dict[str, bool]
+
+
+class Heap:
+    """Address-indexed object store."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[int, HeapObject] = {}
+        self._next = 1
+
+    def allocate(self, obj: HeapObject) -> int:
+        address = self._next
+        self._next += 1
+        self._objects[address] = obj
+        return address
+
+    def get(self, address: int) -> HeapObject:
+        try:
+            return self._objects[address]
+        except KeyError:
+            raise FEnerJRuntimeError(f"dangling address {address}") from None
+
+    def objects(self) -> Dict[int, HeapObject]:
+        return dict(self._objects)
+
+    def precise_projection(self) -> Dict[int, Tuple[str, Qualifier, Dict[str, object]]]:
+        """The heap restricted to precise slots — the ``~=`` of the paper.
+
+        Two heaps are equal "disregarding approximate values" when their
+        projections match: same objects, same types, same values in all
+        precise slots.
+        """
+        projection = {}
+        for address, obj in self._objects.items():
+            precise_fields = {
+                name: value.data
+                for name, value in obj.fields.items()
+                if not obj.slot_approx.get(name, False)
+            }
+            projection[address] = (obj.class_name, obj.qualifier, precise_fields)
+        return projection
+
+
+class ApproxPolicy:
+    """Decides what approximate expressions actually produce.
+
+    The default policy is the identity — approximate execution with no
+    faults.  Subclasses override :meth:`perturb`; it receives the
+    correct value and must return a value of the same kind.
+    """
+
+    def perturb(self, value: Value) -> Value:
+        return value
+
+
+class Interpreter:
+    """Evaluates FEnerJ programs under the checked big-step semantics."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: Optional[ApproxPolicy] = None,
+        check_isolation: bool = True,
+        fuel: int = DEFAULT_FUEL,
+    ) -> None:
+        self.program = program
+        self.table = ClassTable(program)
+        self.policy = policy or ApproxPolicy()
+        self.check_isolation = check_isolation
+        self.fuel = fuel
+        self.heap = Heap()
+
+    # ------------------------------------------------------------------
+    def run(self) -> Value:
+        """Instantiate the main class and evaluate the main expression."""
+        address = self._instantiate(self.program.main_qualifier, self.program.main_class)
+        env = {"this": Value(address, "ref")}
+        try:
+            return self.eval(self.program.main_expr, env)
+        except RecursionError:
+            # Deep method recursion blows the Python stack before the
+            # fuel counter; report it as the same out-of-fuel failure.
+            raise FEnerJRuntimeError("out of fuel (diverging program?)") from None
+
+    # ------------------------------------------------------------------
+    def _instantiate(self, qualifier: Qualifier, class_name: str) -> int:
+        fields: Dict[str, Value] = {}
+        slot_approx: Dict[str, bool] = {}
+        for decl in self.table.all_fields(class_name):
+            adapted = adapt(qualifier, decl.type.qualifier)
+            is_approx = adapted is APPROX
+            slot_approx[decl.name] = is_approx
+            if decl.type.is_primitive:
+                zero = 0 if decl.type.base == "int" else 0.0
+                fields[decl.name] = Value(zero, decl.type.base, approx=is_approx)
+            else:
+                fields[decl.name] = NULL
+        obj = HeapObject(class_name, qualifier, fields, slot_approx)
+        return self.heap.allocate(obj)
+
+    def _receiver_qualifier(self, env: Dict[str, Value]) -> Qualifier:
+        this = env.get("this")
+        if this is None or this.data is None:
+            return PRECISE
+        return self.heap.get(this.data).qualifier
+
+    # ------------------------------------------------------------------
+    def eval(self, expr: Expr, env: Dict[str, Value]) -> Value:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise FEnerJRuntimeError("out of fuel (diverging program?)")
+
+        if isinstance(expr, NullLit):
+            return NULL
+        if isinstance(expr, IntLit):
+            return Value(expr.value, "int")
+        if isinstance(expr, FloatLit):
+            return Value(expr.value, "float")
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise FEnerJRuntimeError(f"unbound variable {expr.name}") from None
+        if isinstance(expr, New):
+            qualifier = expr.qualifier
+            if qualifier is CONTEXT:
+                qualifier = self._receiver_qualifier(env)
+            address = self._instantiate(qualifier, expr.class_name)
+            return Value(address, "ref")
+        if isinstance(expr, FieldRead):
+            receiver = self._eval_receiver(expr.receiver, env)
+            obj = self.heap.get(receiver.data)
+            try:
+                return obj.fields[expr.field]
+            except KeyError:
+                raise FEnerJRuntimeError(
+                    f"object of class {obj.class_name} has no field {expr.field}"
+                ) from None
+        if isinstance(expr, FieldWrite):
+            receiver = self._eval_receiver(expr.receiver, env)
+            obj = self.heap.get(receiver.data)
+            if expr.field not in obj.fields:
+                raise FEnerJRuntimeError(
+                    f"object of class {obj.class_name} has no field {expr.field}"
+                )
+            value = self.eval(expr.value, env)
+            slot_is_approx = obj.slot_approx.get(expr.field, False)
+            if value.approx and not slot_is_approx:
+                self._violation(
+                    f"approximate value written to precise slot {expr.field}"
+                )
+            if slot_is_approx and value.kind != "ref":
+                value = Value(value.data, value.kind, approx=True)
+                value = self._perturb(value)
+            obj.fields[expr.field] = value
+            return value
+        if isinstance(expr, MethodCall):
+            return self._eval_call(expr, env)
+        if isinstance(expr, Cast):
+            value = self.eval(expr.expr, env)
+            target_approx = expr.type.qualifier is APPROX
+            if value.approx and not target_approx and expr.type.is_primitive:
+                self._violation("approximate value cast to a precise type")
+            if target_approx and expr.type.is_primitive and not value.approx:
+                value = Value(value.data, value.kind, approx=True)
+            return value
+        if isinstance(expr, BinOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            return self._binop(expr.op, left, right)
+        if isinstance(expr, If):
+            cond = self.eval(expr.cond, env)
+            if cond.approx:
+                self._violation("approximate value used as a condition")
+            branch = expr.then if cond.as_bool() else expr.orelse
+            return self.eval(branch, env)
+        if isinstance(expr, Seq):
+            self.eval(expr.first, env)
+            return self.eval(expr.second, env)
+        if isinstance(expr, Endorse):
+            value = self.eval(expr.expr, env)
+            return Value(value.data, value.kind, approx=False)
+        raise FEnerJRuntimeError(f"unknown expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    def _eval_receiver(self, expr: Expr, env: Dict[str, Value]) -> Value:
+        receiver = self.eval(expr, env)
+        if receiver.data is None:
+            raise FEnerJRuntimeError("null dereference")
+        return receiver
+
+    def _eval_call(self, expr: MethodCall, env: Dict[str, Value]) -> Value:
+        receiver = self._eval_receiver(expr.receiver, env)
+        obj = self.heap.get(receiver.data)
+        decl = self.table.method_decl(obj.class_name, expr.method, obj.qualifier)
+        if decl is None:
+            raise FEnerJRuntimeError(
+                f"class {obj.class_name} has no method {expr.method}"
+            )
+        if len(decl.params) != len(expr.args):
+            raise FEnerJRuntimeError(f"arity mismatch calling {expr.method}")
+        callee_env: Dict[str, Value] = {"this": receiver}
+        for (ptype, pname), arg in zip(decl.params, expr.args):
+            value = self.eval(arg, env)
+            adapted = adapt(obj.qualifier, ptype.qualifier)
+            if value.approx and adapted is PRECISE and ptype.is_primitive:
+                self._violation(
+                    f"approximate argument bound to precise parameter {pname}"
+                )
+            if adapted is APPROX and ptype.is_primitive and not value.approx:
+                value = Value(value.data, value.kind, approx=True)
+            callee_env[pname] = value
+        return self.eval(decl.body, callee_env)
+
+    def _binop(self, op: str, left: Value, right: Value) -> Value:
+        if left.kind == "ref" or right.kind == "ref":
+            raise FEnerJRuntimeError(f"operator {op} on references")
+        approx = left.approx or right.approx
+        a, b = left.data, right.data
+        if op == "+":
+            data = a + b
+        elif op == "-":
+            data = a - b
+        elif op == "*":
+            data = a * b
+        elif op == "/":
+            if b == 0:
+                if approx:
+                    data = 0 if isinstance(a, int) and isinstance(b, int) else float("nan")
+                else:
+                    raise FEnerJRuntimeError("division by zero")
+            elif isinstance(a, int) and isinstance(b, int):
+                data = a // b
+            else:
+                data = a / b
+        elif op == "==":
+            data = 1 if a == b else 0
+        elif op == "!=":
+            data = 1 if a != b else 0
+        elif op == "<":
+            data = 1 if a < b else 0
+        elif op == "<=":
+            data = 1 if a <= b else 0
+        elif op == ">":
+            data = 1 if a > b else 0
+        elif op == ">=":
+            data = 1 if a >= b else 0
+        else:
+            raise FEnerJRuntimeError(f"unknown operator {op}")
+        kind = "float" if isinstance(data, float) else "int"
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            kind = "int"
+        result = Value(data, kind, approx=approx)
+        if approx:
+            result = self._perturb(result)
+        return result
+
+    def _perturb(self, value: Value) -> Value:
+        perturbed = self.policy.perturb(value)
+        if perturbed.kind != value.kind:
+            raise FEnerJRuntimeError(
+                "approximation policy changed the kind of a value"
+            )
+        if not perturbed.approx:
+            perturbed = Value(perturbed.data, perturbed.kind, approx=True)
+        return perturbed
+
+    def _violation(self, message: str) -> None:
+        if self.check_isolation:
+            raise IsolationViolation(message)
+
+
+def run_program(
+    program: Program,
+    policy: Optional[ApproxPolicy] = None,
+    check_isolation: bool = True,
+    fuel: int = DEFAULT_FUEL,
+) -> Tuple[Value, Heap]:
+    """Evaluate a program; returns (result value, final heap)."""
+    interpreter = Interpreter(program, policy, check_isolation, fuel)
+    result = interpreter.run()
+    return result, interpreter.heap

@@ -1,0 +1,118 @@
+"""Lexer for the FEnerJ concrete syntax."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List
+
+from repro.errors import FEnerJSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "new",
+        "if",
+        "else",
+        "null",
+        "this",
+        "main",
+        "endorse",
+        "precise",
+        "approx",
+        "top",
+        "context",
+        "lost",
+        "int",
+        "float",
+    }
+)
+
+_TWO_CHAR = ("==", "!=", "<=", ">=", ":=")
+_ONE_CHAR = "{}();.,+-*/<>="
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "kw", "ident", "int", "float", "punct", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split FEnerJ source into tokens; raises on illegal characters."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def push(kind: str, text: str) -> None:
+        tokens.append(Token(kind, text, line, start_column))
+
+    while i < length:
+        ch = source[i]
+        start_column = column
+
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "/" and i + 1 < length and source[i + 1] == "/":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < length and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # Don't swallow a field access after an int: "1.f".
+                    if j + 1 >= length or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            push("float" if "." in text else "int", text)
+            column += j - i
+            i = j
+            continue
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            push("kw" if text in KEYWORDS else "ident", text)
+            column += j - i
+            i = j
+            continue
+
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            push("punct", two)
+            i += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR:
+            push("punct", ch)
+            i += 1
+            column += 1
+            continue
+
+        raise FEnerJSyntaxError(f"illegal character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,282 @@
+"""Non-interference machinery for FEnerJ (paper Section 3.3).
+
+The paper proves: changing approximate values in the heap or runtime
+environment does not change the precise parts of the heap or the result
+of the computation.  This module provides
+
+* fault-injection :class:`~repro.fenerj.interp.ApproxPolicy` instances
+  (seeded random perturbation of approximate values),
+* :func:`check_noninterference` — run a program under two different
+  policies and compare the precise projections of result and heap,
+* a random well-typed program generator (:func:`random_program`) used
+  by the hypothesis property tests: type soundness and non-interference
+  hold on every generated program; with ``endorse`` enabled they can be
+  made to fail (the negative control).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, Qualifier
+from repro.fenerj.interp import ApproxPolicy, Heap, Interpreter, Value, run_program
+from repro.fenerj.syntax import (
+    BinOp,
+    ClassDecl,
+    Endorse,
+    Expr,
+    FieldDecl,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    MethodDecl,
+    New,
+    NullLit,
+    Program,
+    Seq,
+    Type,
+    Var,
+)
+
+__all__ = [
+    "IdentityPolicy",
+    "RandomPerturbPolicy",
+    "OffsetPolicy",
+    "check_noninterference",
+    "random_program",
+    "NIResult",
+]
+
+
+class IdentityPolicy(ApproxPolicy):
+    """Approximate execution with no faults (one valid execution)."""
+
+
+class RandomPerturbPolicy(ApproxPolicy):
+    """Replace approximate values with random ones of the same kind.
+
+    This is the paper's approximating-semantics rule instantiated with
+    maximum adversity: every approximate value may become anything.
+    ``rate`` controls how often (1.0 = always).
+    """
+
+    def __init__(self, seed: int, rate: float = 0.5) -> None:
+        self._random = random.Random(seed)
+        self.rate = rate
+
+    def perturb(self, value: Value) -> Value:
+        if self._random.random() >= self.rate:
+            return value
+        if value.kind == "int":
+            return Value(self._random.randint(-(2**31), 2**31 - 1), "int", True)
+        if value.kind == "float":
+            return Value(self._random.uniform(-1e6, 1e6), "float", True)
+        return value
+
+
+class OffsetPolicy(ApproxPolicy):
+    """Add a constant offset to every approximate value (deterministic)."""
+
+    def __init__(self, offset: int = 1) -> None:
+        self.offset = offset
+
+    def perturb(self, value: Value) -> Value:
+        if value.kind == "int":
+            return Value(value.data + self.offset, "int", True)
+        if value.kind == "float":
+            return Value(value.data + float(self.offset), "float", True)
+        return value
+
+
+class NIResult:
+    """Outcome of a non-interference comparison."""
+
+    def __init__(
+        self,
+        interferes: bool,
+        detail: str,
+        result_a: Value,
+        result_b: Value,
+    ) -> None:
+        self.interferes = interferes
+        self.detail = detail
+        self.result_a = result_a
+        self.result_b = result_b
+
+    def __bool__(self) -> bool:  # truthy when non-interference HOLDS
+        return not self.interferes
+
+
+def _precise_result_part(value: Value) -> Optional[object]:
+    """The precise observable of the final result (None if approximate)."""
+    if value.approx:
+        return None
+    return value.data
+
+
+def check_noninterference(
+    program: Program,
+    policy_a: Optional[ApproxPolicy] = None,
+    policy_b: Optional[ApproxPolicy] = None,
+    fuel: int = 100_000,
+) -> NIResult:
+    """Run a program under two approximation policies and compare.
+
+    Non-interference holds when the precise projections of the final
+    heaps agree and the results agree whenever the result is precise.
+    Isolation checking is on: a violation would surface as an exception
+    rather than a silent disagreement.
+    """
+    policy_a = policy_a or IdentityPolicy()
+    policy_b = policy_b or RandomPerturbPolicy(seed=0)
+
+    result_a, heap_a = run_program(program, policy_a, check_isolation=True, fuel=fuel)
+    result_b, heap_b = run_program(program, policy_b, check_isolation=True, fuel=fuel)
+
+    if heap_a.precise_projection() != heap_b.precise_projection():
+        return NIResult(True, "precise heap projections differ", result_a, result_b)
+
+    precise_a = _precise_result_part(result_a)
+    precise_b = _precise_result_part(result_b)
+    if (result_a.approx, result_b.approx) == (False, False) and precise_a != precise_b:
+        return NIResult(True, "precise results differ", result_a, result_b)
+    if result_a.approx != result_b.approx:
+        return NIResult(True, "result precision tags differ", result_a, result_b)
+    return NIResult(False, "", result_a, result_b)
+
+
+# ----------------------------------------------------------------------
+# Random well-typed program generation
+# ----------------------------------------------------------------------
+_FIELD_POOL: List[Tuple[str, Qualifier]] = [
+    ("p0", PRECISE),
+    ("p1", PRECISE),
+    ("a0", APPROX),
+    ("a1", APPROX),
+    ("c0", CONTEXT),
+]
+
+
+def random_program(
+    seed: int,
+    depth: int = 3,
+    statements: int = 6,
+    with_endorse: bool = False,
+    main_approx: bool = False,
+) -> Program:
+    """A random well-typed FEnerJ program over one generated class.
+
+    The class ``Cell`` has precise, approximate, and context int fields
+    and a helper method per precision.  The main expression is a
+    sequence of random field writes whose right-hand sides are random
+    well-typed expressions; the final expression reads a precise field,
+    so the program's observable is precise state.
+
+    With ``with_endorse=True`` the generator may wrap approximate
+    sub-expressions in ``endorse`` — such programs still typecheck (in
+    permissive mode) but can interfere: the negative control.
+    """
+    rng = random.Random(seed)
+
+    cell = ClassDecl(
+        name="Cell",
+        superclass="Object",
+        fields=tuple(
+            FieldDecl(Type(qual, "int"), name) for name, qual in _FIELD_POOL
+        ),
+        methods=(
+            MethodDecl(
+                Type(PRECISE, "int"),
+                "getp",
+                ((Type(PRECISE, "int"), "x"),),
+                PRECISE,
+                BinOp("+", FieldRead(Var("this"), "p0"), Var("x")),
+            ),
+            MethodDecl(
+                Type(APPROX, "int"),
+                "geta",
+                ((Type(APPROX, "int"), "x"),),
+                CONTEXT,
+                BinOp("+", FieldRead(Var("this"), "a0"), Var("x")),
+            ),
+        ),
+    )
+
+    main_qual = APPROX if main_approx else PRECISE
+
+    def gen_expr(want_approx: bool, depth_left: int) -> Expr:
+        """A random expression of (at most) the requested precision."""
+        choices = ["lit", "field", "binop", "if", "call"]
+        if depth_left <= 0:
+            choices = ["lit", "field"]
+        kind = rng.choice(choices)
+
+        if kind == "lit":
+            return IntLit(rng.randint(-10, 10))
+        if kind == "field":
+            candidates = ["p0", "p1"]
+            if want_approx:
+                candidates = candidates + ["a0", "a1"]
+                if main_qual is APPROX:
+                    candidates.append("c0")
+                elif not want_approx:
+                    candidates.append("c0")
+            if not want_approx and main_qual is PRECISE:
+                candidates.append("c0")
+            name = rng.choice(candidates)
+            expr: Expr = FieldRead(Var("this"), name)
+            if with_endorse and want_approx is False and rng.random() < 0.4:
+                # Sneak approximate data through an endorsement.
+                expr = Endorse(FieldRead(Var("this"), "a0"))
+            return expr
+        if kind == "binop":
+            op = rng.choice(["+", "-", "*"])
+            return BinOp(
+                op,
+                gen_expr(want_approx, depth_left - 1),
+                gen_expr(want_approx, depth_left - 1),
+            )
+        if kind == "if":
+            cond = BinOp(
+                rng.choice(["<", "==", ">"]),
+                gen_expr(False, depth_left - 1),
+                gen_expr(False, depth_left - 1),
+            )
+            return If(
+                cond,
+                gen_expr(want_approx, depth_left - 1),
+                gen_expr(want_approx, depth_left - 1),
+            )
+        # call
+        if want_approx:
+            return MethodCall(Var("this"), "geta", (gen_expr(True, depth_left - 1),))
+        return MethodCall(Var("this"), "getp", (gen_expr(False, depth_left - 1),))
+
+    def writable_fields() -> List[Tuple[str, bool]]:
+        """(field, slot-wants-approx-rhs) pairs writable from main."""
+        fields = [("p0", False), ("p1", False), ("a0", True), ("a1", True)]
+        # context field: adapts to the main instance's precision.
+        fields.append(("c0", main_qual is APPROX))
+        return fields
+
+    stmts: List[Expr] = []
+    for _ in range(statements):
+        field, approx_ok = rng.choice(writable_fields())
+        value = gen_expr(approx_ok, depth)
+        stmts.append(FieldWrite(Var("this"), field, value))
+
+    # Observable: a precise field read at the end.
+    expr: Expr = FieldRead(Var("this"), "p0")
+    for stmt in reversed(stmts):
+        expr = Seq(stmt, expr)
+
+    return Program(
+        classes=(cell,),
+        main_class="Cell",
+        main_expr=expr,
+        main_qualifier=main_qual,
+    )

@@ -1,0 +1,339 @@
+"""Recursive-descent parser for FEnerJ's concrete syntax.
+
+Grammar (see :mod:`repro.fenerj.syntax` for the abstract syntax)::
+
+    program  := class* "main" [qual] Cid "{" expr "}"
+    class    := "class" Cid "extends" Cid "{" member* "}"
+    member   := type ident ";"                              (field)
+              | type ident "(" params ")" qual "{" expr "}" (method)
+    type     := [qual] ("int" | "float" | Cid)
+    qual     := "precise" | "approx" | "top" | "context" | "lost"
+    expr     := assign (";" assign)*                        (Seq)
+    assign   := compare [":=" assign]      (target must be a field read)
+    compare  := additive [("=="|"!="|"<"|"<="|">"|">=") additive]
+    additive := term (("+"|"-") term)*
+    term     := unary (("*"|"/") unary)*
+    unary    := primary
+    primary  := "null" | INT | FLOAT | "this" | ident
+              | "new" [qual] Cid "(" ")"
+              | "(" qual base ")" unary                     (cast)
+              | "(" expr ")"
+              | "if" "(" expr ")" "{" expr "}" "else" "{" expr "}"
+              | "endorse" "(" expr ")"
+              | primary "." ident ["(" args ")"]            (postfix)
+
+An omitted qualifier defaults to ``precise``, as in EnerJ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.qualifiers import PRECISE, Qualifier
+from repro.errors import FEnerJSyntaxError
+from repro.fenerj.lexer import Token, tokenize
+from repro.fenerj.syntax import (
+    BinOp,
+    Cast,
+    ClassDecl,
+    Endorse,
+    Expr,
+    FieldDecl,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    MethodDecl,
+    New,
+    NullLit,
+    Program,
+    Seq,
+    Type,
+    Var,
+)
+
+__all__ = ["parse_program", "parse_expression"]
+
+_QUALIFIER_WORDS = {"precise", "approx", "top", "context", "lost"}
+_BASE_WORDS = {"int", "float"}
+_COMPARE_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._peek().text == text and self._peek().kind in ("kw", "punct")
+
+    def _match(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if not self._match(text):
+            raise FEnerJSyntaxError(
+                f"expected {text!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise FEnerJSyntaxError(
+                f"expected identifier, found {token.text!r}", token.line, token.column
+            )
+        self._advance()
+        return token.text
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _peek_is_qualifier(self) -> bool:
+        return self._peek().kind == "kw" and self._peek().text in _QUALIFIER_WORDS
+
+    def _parse_qualifier(self, default: Qualifier = PRECISE) -> Qualifier:
+        if self._peek_is_qualifier():
+            return Qualifier(self._advance().text)
+        return default
+
+    def _parse_type(self) -> Type:
+        qualifier = self._parse_qualifier()
+        token = self._peek()
+        if token.kind == "kw" and token.text in _BASE_WORDS:
+            self._advance()
+            return Type(qualifier, token.text)
+        if token.kind == "ident":
+            self._advance()
+            return Type(qualifier, token.text)
+        raise FEnerJSyntaxError(
+            f"expected a type, found {token.text!r}", token.line, token.column
+        )
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        classes = []
+        while self._check("class"):
+            classes.append(self._parse_class())
+        self._expect("main")
+        main_qualifier = self._parse_qualifier()
+        main_class = self._expect_ident()
+        self._expect("{")
+        main_expr = self._parse_expr()
+        self._expect("}")
+        token = self._peek()
+        if token.kind != "eof":
+            raise FEnerJSyntaxError(
+                f"trailing input {token.text!r}", token.line, token.column
+            )
+        return Program(
+            classes=tuple(classes),
+            main_class=main_class,
+            main_expr=main_expr,
+            main_qualifier=main_qualifier,
+        )
+
+    def _parse_class(self) -> ClassDecl:
+        self._expect("class")
+        name = self._expect_ident()
+        self._expect("extends")
+        superclass = self._expect_ident()
+        self._expect("{")
+        fields = []
+        methods = []
+        while not self._check("}"):
+            member_type = self._parse_type()
+            member_name = self._expect_ident()
+            if self._match(";"):
+                fields.append(FieldDecl(member_type, member_name))
+                continue
+            self._expect("(")
+            params = self._parse_params()
+            self._expect(")")
+            precision = self._parse_qualifier()
+            self._expect("{")
+            body = self._parse_expr()
+            self._expect("}")
+            methods.append(
+                MethodDecl(member_type, member_name, tuple(params), precision, body)
+            )
+        self._expect("}")
+        return ClassDecl(name, superclass, tuple(fields), tuple(methods))
+
+    def _parse_params(self) -> List[Tuple[Type, str]]:
+        params: List[Tuple[Type, str]] = []
+        if self._check(")"):
+            return params
+        while True:
+            ptype = self._parse_type()
+            pname = self._expect_ident()
+            params.append((ptype, pname))
+            if not self._match(","):
+                return params
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        # Sequencing is right-associative: ``a ; b ; c`` is
+        # ``Seq(a, Seq(b, c))``.  The two nestings evaluate identically;
+        # right nesting keeps the "statements then result" shape of
+        # generated programs and makes print/parse a round trip.
+        expr = self._parse_assign()
+        if self._match(";"):
+            return Seq(expr, self._parse_expr())
+        return expr
+
+    def _parse_assign(self) -> Expr:
+        target = self._parse_compare()
+        if self._check(":="):
+            if not isinstance(target, FieldRead):
+                token = self._peek()
+                raise FEnerJSyntaxError(
+                    "only field reads may be assigned", token.line, token.column
+                )
+            self._advance()
+            value = self._parse_assign()
+            return FieldWrite(target.receiver, target.field, value)
+        return target
+
+    def _parse_compare(self) -> Expr:
+        left = self._parse_additive()
+        for op in _COMPARE_OPS:
+            if self._check(op):
+                self._advance()
+                right = self._parse_additive()
+                return BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_term()
+        while self._check("+") or self._check("-"):
+            op = self._advance().text
+            expr = BinOp(op, expr, self._parse_term())
+        return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_unary()
+        while self._check("*") or self._check("/"):
+            op = self._advance().text
+            expr = BinOp(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._check("-"):
+            self._advance()
+            operand = self._parse_unary()
+            # Fold negation of literals into negative literals; other
+            # operands desugar to 0 - e (the AST has no unary node).
+            if isinstance(operand, IntLit):
+                return IntLit(-operand.value)
+            if isinstance(operand, FloatLit):
+                return FloatLit(-operand.value)
+            return BinOp("-", IntLit(0), operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._match("."):
+            member = self._expect_ident()
+            if self._match("("):
+                args = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_assign())
+                        if not self._match(","):
+                            break
+                self._expect(")")
+                expr = MethodCall(expr, member, tuple(args))
+            else:
+                expr = FieldRead(expr, member)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+
+        if self._match("null"):
+            return NullLit()
+        if self._match("this"):
+            return Var("this")
+        if token.kind == "int":
+            self._advance()
+            return IntLit(int(token.text))
+        if token.kind == "float":
+            self._advance()
+            return FloatLit(float(token.text))
+        if self._match("new"):
+            qualifier = self._parse_qualifier()
+            name = self._expect_ident()
+            self._expect("(")
+            self._expect(")")
+            return New(qualifier, name)
+        if self._match("if"):
+            self._expect("(")
+            cond = self._parse_expr()
+            self._expect(")")
+            self._expect("{")
+            then = self._parse_expr()
+            self._expect("}")
+            self._expect("else")
+            self._expect("{")
+            orelse = self._parse_expr()
+            self._expect("}")
+            return If(cond, then, orelse)
+        if self._match("endorse"):
+            self._expect("(")
+            inner = self._parse_expr()
+            self._expect(")")
+            return Endorse(inner)
+        if self._match("("):
+            if self._peek_is_qualifier():
+                cast_type = self._parse_type()
+                self._expect(")")
+                return Cast(cast_type, self._parse_unary())
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if token.kind == "ident":
+            self._advance()
+            return Var(token.text)
+
+        raise FEnerJSyntaxError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete FEnerJ program."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single FEnerJ expression (for tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._parse_expr()
+    token = parser._peek()
+    if token.kind != "eof":
+        raise FEnerJSyntaxError(f"trailing input {token.text!r}", token.line, token.column)
+    return expr

@@ -1,0 +1,158 @@
+"""Pretty-printer for FEnerJ programs (the inverse of the parser).
+
+Produces concrete syntax that re-parses to an equal AST — the
+round-trip property is part of the test suite, which makes the
+printer/parser pair a reliable interchange format for generated
+programs (the non-interference harness logs failing programs in
+re-runnable form).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.qualifiers import PRECISE, Qualifier
+from repro.errors import FEnerJError
+from repro.fenerj.syntax import (
+    BinOp,
+    Cast,
+    ClassDecl,
+    Endorse,
+    Expr,
+    FieldDecl,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    MethodDecl,
+    New,
+    NullLit,
+    Program,
+    Seq,
+    Type,
+    Var,
+)
+
+__all__ = ["print_program", "print_expression", "print_type"]
+
+#: Binding strengths, loosest first; used to parenthesise minimally.
+_LEVEL_SEQ = 0
+_LEVEL_ASSIGN = 1
+_LEVEL_COMPARE = 2
+_LEVEL_ADD = 3
+_LEVEL_MUL = 4
+_LEVEL_UNARY = 5
+_LEVEL_POSTFIX = 6
+
+_BINOP_LEVEL = {
+    "==": _LEVEL_COMPARE,
+    "!=": _LEVEL_COMPARE,
+    "<": _LEVEL_COMPARE,
+    "<=": _LEVEL_COMPARE,
+    ">": _LEVEL_COMPARE,
+    ">=": _LEVEL_COMPARE,
+    "+": _LEVEL_ADD,
+    "-": _LEVEL_ADD,
+    "*": _LEVEL_MUL,
+    "/": _LEVEL_MUL,
+}
+
+
+def print_type(t: Type) -> str:
+    """``precise`` is the default and is printed explicitly anyway for
+    field/parameter declarations — round-tripping is exact either way;
+    we keep it explicit for readability of generated programs."""
+    return f"{t.qualifier.value} {t.base}"
+
+
+def _wrap(text: str, inner_level: int, outer_level: int) -> str:
+    if inner_level < outer_level:
+        return f"({text})"
+    return text
+
+
+def print_expression(expr: Expr, level: int = _LEVEL_SEQ) -> str:
+    if isinstance(expr, NullLit):
+        return "null"
+    if isinstance(expr, IntLit):
+        text = str(expr.value)
+        if expr.value < 0:
+            return _wrap(text, _LEVEL_UNARY, level)
+        return text
+    if isinstance(expr, FloatLit):
+        text = repr(expr.value)
+        if "." not in text and "e" not in text and "inf" not in text and "nan" not in text:
+            text += ".0"
+        if expr.value < 0:
+            return _wrap(text, _LEVEL_UNARY, level)
+        return text
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, New):
+        qual = "" if expr.qualifier is PRECISE else f"{expr.qualifier.value} "
+        return f"new {qual}{expr.class_name}()"
+    if isinstance(expr, FieldRead):
+        receiver = print_expression(expr.receiver, _LEVEL_POSTFIX)
+        return f"{receiver}.{expr.field}"
+    if isinstance(expr, FieldWrite):
+        receiver = print_expression(expr.receiver, _LEVEL_POSTFIX)
+        value = print_expression(expr.value, _LEVEL_ASSIGN)
+        return _wrap(f"{receiver}.{expr.field} := {value}", _LEVEL_ASSIGN, level)
+    if isinstance(expr, MethodCall):
+        receiver = print_expression(expr.receiver, _LEVEL_POSTFIX)
+        args = ", ".join(print_expression(a, _LEVEL_ASSIGN) for a in expr.args)
+        return f"{receiver}.{expr.method}({args})"
+    if isinstance(expr, Cast):
+        inner = print_expression(expr.expr, _LEVEL_UNARY)
+        return _wrap(f"({print_type(expr.type)}) {inner}", _LEVEL_UNARY, level)
+    if isinstance(expr, BinOp):
+        my_level = _BINOP_LEVEL[expr.op]
+        left = print_expression(expr.left, my_level)
+        # Operators are left-associative: the right child needs one more
+        # binding level to round-trip (a - (b - c)) correctly.
+        right = print_expression(expr.right, my_level + 1)
+        return _wrap(f"{left} {expr.op} {right}", my_level, level)
+    if isinstance(expr, If):
+        cond = print_expression(expr.cond, _LEVEL_SEQ)
+        then = print_expression(expr.then, _LEVEL_SEQ)
+        orelse = print_expression(expr.orelse, _LEVEL_SEQ)
+        return f"if ({cond}) {{ {then} }} else {{ {orelse} }}"
+    if isinstance(expr, Seq):
+        first = print_expression(expr.first, _LEVEL_ASSIGN)
+        second = print_expression(expr.second, _LEVEL_SEQ)
+        return _wrap(f"{first} ; {second}", _LEVEL_SEQ, level)
+    if isinstance(expr, Endorse):
+        return f"endorse({print_expression(expr.expr, _LEVEL_SEQ)})"
+    raise FEnerJError(f"cannot print expression {expr!r}")
+
+
+def _print_field(field: FieldDecl) -> str:
+    return f"  {print_type(field.type)} {field.name};"
+
+
+def _print_method(method: MethodDecl) -> str:
+    params = ", ".join(f"{print_type(t)} {n}" for t, n in method.params)
+    body = print_expression(method.body, _LEVEL_SEQ)
+    return (
+        f"  {print_type(method.return_type)} {method.name}({params}) "
+        f"{method.precision.value} {{ {body} }}"
+    )
+
+
+def _print_class(decl: ClassDecl) -> str:
+    lines: List[str] = [f"class {decl.name} extends {decl.superclass} {{"]
+    lines.extend(_print_field(field) for field in decl.fields)
+    lines.extend(_print_method(method) for method in decl.methods)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_program(program: Program) -> str:
+    """Concrete syntax for a whole program (re-parseable)."""
+    parts = [_print_class(decl) for decl in program.classes]
+    qual = "" if program.main_qualifier is PRECISE else f"{program.main_qualifier.value} "
+    body = print_expression(program.main_expr, _LEVEL_SEQ)
+    parts.append(f"main {qual}{program.main_class} {{ {body} }}")
+    return "\n".join(parts) + "\n"

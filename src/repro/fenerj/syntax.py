@@ -1,0 +1,235 @@
+"""Abstract syntax of FEnerJ (paper Figure 1).
+
+::
+
+    Prg ::= Cls*, C, e
+    Cls ::= class Cid extends C { fd* md* }
+    fd  ::= T f ;
+    md  ::= T m(T pid*) q { e }
+    T   ::= q C | q P        P ::= int | float
+    q   ::= precise | approx | top | context | lost
+    e   ::= null | L | x | new q C() | e.f | e0.f := e1
+          | e0.m(e*) | (q C) e | e0 (+) e1 | if(e0) {e1} else {e2}
+
+Extensions beyond the paper's figure, kept minimal and explicit:
+
+* ``e0 ; e1`` — sequencing (evaluate and discard ``e0``), standard in
+  Featherweight-Java-style formalisations with state;
+* ``endorse(e)`` — present in the *surface* language but omitted from
+  FEnerJ; the type checker rejects it unless explicitly enabled, which
+  is exactly how we run the negative control of the non-interference
+  experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple, Union
+
+from repro.core.qualifiers import Qualifier
+
+__all__ = [
+    "Type",
+    "ClassType",
+    "PrimType",
+    "FieldDecl",
+    "MethodDecl",
+    "ClassDecl",
+    "Program",
+    "Expr",
+    "NullLit",
+    "IntLit",
+    "FloatLit",
+    "Var",
+    "New",
+    "FieldRead",
+    "FieldWrite",
+    "MethodCall",
+    "Cast",
+    "BinOp",
+    "If",
+    "Seq",
+    "Endorse",
+    "OBJECT",
+]
+
+OBJECT = "Object"
+
+PRIMITIVES = ("int", "float")
+
+
+@dataclasses.dataclass(frozen=True)
+class Type:
+    """A qualified type: qualifier plus class name or primitive name."""
+
+    qualifier: Qualifier
+    base: str
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.base in PRIMITIVES
+
+    @property
+    def is_reference(self) -> bool:
+        return not self.is_primitive
+
+    def with_qualifier(self, qualifier: Qualifier) -> "Type":
+        return Type(qualifier, self.base)
+
+    def __str__(self) -> str:
+        return f"{self.qualifier} {self.base}"
+
+
+def ClassType(qualifier: Qualifier, name: str) -> Type:
+    return Type(qualifier, name)
+
+
+def PrimType(qualifier: Qualifier, name: str) -> Type:
+    if name not in PRIMITIVES:
+        raise ValueError(f"unknown primitive {name!r}")
+    return Type(qualifier, name)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FieldDecl:
+    type: Type
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodDecl:
+    """``T m(T pid) q { e }`` — ``precision`` is the receiver qualifier
+    this implementation serves (the overloading of Section 2.5.2)."""
+
+    return_type: Type
+    name: str
+    params: Tuple[Tuple[Type, str], ...]
+    precision: Qualifier
+    body: "Expr"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassDecl:
+    name: str
+    superclass: str
+    fields: Tuple[FieldDecl, ...]
+    methods: Tuple[MethodDecl, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """Classes, the main class, and the main expression.
+
+    Execution instantiates the main class (as a *precise* instance,
+    unless ``main_qualifier`` says otherwise) binding ``this``, then
+    evaluates the main expression.
+    """
+
+    classes: Tuple[ClassDecl, ...]
+    main_class: str
+    main_expr: "Expr"
+    main_qualifier: Qualifier = None  # set in __post_init__
+
+    def __post_init__(self):
+        if self.main_qualifier is None:
+            from repro.core.qualifiers import PRECISE
+
+            object.__setattr__(self, "main_qualifier", PRECISE)
+
+    def class_decl(self, name: str) -> Optional[ClassDecl]:
+        for decl in self.classes:
+            if decl.name == name:
+                return decl
+        return None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for FEnerJ expressions."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class NullLit(Expr):
+    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Var(Expr):
+    name: str  # parameter identifier or "this"
+
+
+@dataclasses.dataclass(frozen=True)
+class New(Expr):
+    qualifier: Qualifier
+    class_name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldRead(Expr):
+    receiver: Expr
+    field: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldWrite(Expr):
+    receiver: Expr
+    field: str
+    value: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodCall(Expr):
+    receiver: Expr
+    method: str
+    args: Tuple[Expr, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cast(Expr):
+    type: Type
+    expr: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * / == != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class Seq(Expr):
+    first: Expr
+    second: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class Endorse(Expr):
+    """Surface-language endorsement; rejected by the FEnerJ checker
+    unless explicitly enabled (the non-interference negative control)."""
+
+    expr: Expr

@@ -1,0 +1,454 @@
+"""Static semantics of FEnerJ (paper Section 3.1).
+
+Implements well-formedness, subtyping, the ``FType``/``MSig`` lookup
+functions with context adaptation, and the expression type rules.  The
+judgments follow the paper:
+
+* field read — ``sG |- e0 : q C``, ``FType(q C, f) = T`` gives
+  ``sG |- e0.f : T`` (reading at ``lost`` precision is allowed);
+* field write — additionally requires ``lost`` not to occur in the
+  adapted field type, and the value to be a subtype of it;
+* conditional — the condition must be a **precise** primitive, and the
+  branches must share a type;
+* method call — parameters/return adapt through the receiver
+  qualifier; the method *precision* qualifier selects the overload for
+  the receiver's precision (Section 2.5.2).
+
+``endorse`` is not part of FEnerJ; :class:`TypeChecker` rejects it
+unless constructed with ``allow_endorse=True`` (the negative control in
+the non-interference experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.qualifiers import (
+    APPROX,
+    CONTEXT,
+    LOST,
+    PRECISE,
+    TOP,
+    Qualifier,
+    adapt,
+    is_subqualifier,
+    qualifier_lub,
+)
+from repro.errors import FEnerJTypeError
+from repro.fenerj.syntax import (
+    OBJECT,
+    BinOp,
+    Cast,
+    ClassDecl,
+    Endorse,
+    Expr,
+    FieldDecl,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    MethodDecl,
+    New,
+    NullLit,
+    Program,
+    Seq,
+    Type,
+    Var,
+)
+
+__all__ = ["ClassTable", "TypeChecker", "is_subtype", "type_wf"]
+
+_NULL = Type(PRECISE, "$null")
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+# ----------------------------------------------------------------------
+# Class table
+# ----------------------------------------------------------------------
+class ClassTable:
+    """Declarations indexed by name, with inheritance-aware lookups."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.by_name: Dict[str, ClassDecl] = {}
+        for decl in program.classes:
+            if decl.name in self.by_name or decl.name == OBJECT:
+                raise FEnerJTypeError(f"duplicate class {decl.name}")
+            self.by_name[decl.name] = decl
+        self._check_hierarchy()
+
+    def _check_hierarchy(self) -> None:
+        for decl in self.by_name.values():
+            seen = {decl.name}
+            current = decl.superclass
+            while current != OBJECT:
+                if current in seen:
+                    raise FEnerJTypeError(f"inheritance cycle at {current}")
+                if current not in self.by_name:
+                    raise FEnerJTypeError(
+                        f"class {decl.name} extends unknown class {current}"
+                    )
+                seen.add(current)
+                current = self.by_name[current].superclass
+
+    def exists(self, name: str) -> bool:
+        return name == OBJECT or name in self.by_name
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        if sup == OBJECT:
+            return True
+        current = sub
+        while current != OBJECT:
+            if current == sup:
+                return True
+            decl = self.by_name.get(current)
+            if decl is None:
+                return False
+            current = decl.superclass
+        return False
+
+    def _chain(self, name: str) -> List[ClassDecl]:
+        chain = []
+        current = name
+        while current != OBJECT:
+            decl = self.by_name.get(current)
+            if decl is None:
+                break
+            chain.append(decl)
+            current = decl.superclass
+        return chain
+
+    def all_fields(self, name: str) -> List[FieldDecl]:
+        """Fields from the root of the hierarchy down (superclass first)."""
+        fields: List[FieldDecl] = []
+        for decl in reversed(self._chain(name)):
+            fields.extend(decl.fields)
+        return fields
+
+    def field_decl(self, class_name: str, field: str) -> Optional[FieldDecl]:
+        for decl in self._chain(class_name):
+            for fd in decl.fields:
+                if fd.name == field:
+                    return fd
+        return None
+
+    # ------------------------------------------------------------------
+    # FType and MSig (paper Section 3.1)
+    # ------------------------------------------------------------------
+    def ftype(self, receiver: Type, field: str) -> Optional[Type]:
+        """``FType(q C, f)``: the declared type adapted through ``q``."""
+        decl = self.field_decl(receiver.base, field)
+        if decl is None:
+            return None
+        return _adapt_type(receiver.qualifier, decl.type)
+
+    def method_decl(self, class_name: str, method: str, receiver_qual: Qualifier) -> Optional[MethodDecl]:
+        """Select the overload for the receiver precision.
+
+        An ``approx`` receiver prefers the ``approx``-precision variant
+        and falls back to the ``context`` (serves-both) variant; any
+        other receiver prefers ``precise`` then ``context``.  This
+        realises the method-precision overloading of Section 2.5.2.
+        """
+        if receiver_qual is APPROX:
+            preference = (APPROX, CONTEXT, PRECISE)
+        elif receiver_qual is PRECISE:
+            preference = (PRECISE, CONTEXT)
+        else:
+            preference = (CONTEXT, PRECISE)
+        for decl in self._chain(class_name):
+            candidates = [md for md in decl.methods if md.name == method]
+            for wanted in preference:
+                for md in candidates:
+                    if md.precision is wanted:
+                        return md
+            if candidates:
+                return candidates[0]
+        return None
+
+    def msig(
+        self, receiver: Type, method: str
+    ) -> Optional[Tuple[List[Type], Type, MethodDecl]]:
+        """``MSig``: parameter and return types adapted through the receiver."""
+        decl = self.method_decl(receiver.base, method, receiver.qualifier)
+        if decl is None:
+            return None
+        params = [_adapt_type(receiver.qualifier, ptype) for ptype, _ in decl.params]
+        returns = _adapt_type(receiver.qualifier, decl.return_type)
+        return params, returns, decl
+
+
+def _adapt_type(receiver: Qualifier, declared: Type) -> Type:
+    return declared.with_qualifier(adapt(receiver, declared.qualifier))
+
+
+# ----------------------------------------------------------------------
+# Subtyping
+# ----------------------------------------------------------------------
+def is_subtype(table: Optional[ClassTable], sub: Type, sup: Type) -> bool:
+    """``sub <: sup`` per the paper: qualifier ordering plus subclassing,
+    with the extra primitive axiom ``precise P <: approx P``."""
+    if sub.base == "$null":
+        return sup.is_reference or sup.base == "$null"
+    if sub.is_primitive and sup.is_primitive:
+        if sub.base != sup.base:
+            return False
+        if is_subqualifier(sub.qualifier, sup.qualifier):
+            return True
+        if sub.qualifier is PRECISE and sup.qualifier in (APPROX, CONTEXT):
+            return True
+        return sub.qualifier is CONTEXT and sup.qualifier is APPROX
+    if sub.is_reference and sup.is_reference:
+        if not is_subqualifier(sub.qualifier, sup.qualifier):
+            return False
+        if table is None:
+            return sub.base == sup.base or sup.base == OBJECT
+        return table.is_subclass(sub.base, sup.base)
+    return False
+
+
+def type_lub(table: ClassTable, a: Type, b: Type) -> Optional[Type]:
+    if is_subtype(table, a, b):
+        return b
+    if is_subtype(table, b, a):
+        return a
+    if a.base == b.base:
+        return Type(qualifier_lub(a.qualifier, b.qualifier), a.base)
+    if a.is_reference and b.is_reference:
+        return Type(qualifier_lub(a.qualifier, b.qualifier), OBJECT)
+    return None
+
+
+def type_wf(table: ClassTable, t: Type, in_class: bool) -> None:
+    """Well-formedness: known base; ``context`` only inside classes."""
+    if t.is_reference and not table.exists(t.base):
+        raise FEnerJTypeError(f"unknown class {t.base} in type {t}")
+    if t.qualifier is CONTEXT and not in_class:
+        raise FEnerJTypeError("context qualifier outside a class body")
+    if t.qualifier is LOST:
+        raise FEnerJTypeError("lost may not be written in a program")
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+class TypeChecker:
+    """Checks a whole program; exposes expression typing for tests."""
+
+    def __init__(self, program: Program, allow_endorse: bool = False) -> None:
+        self.program = program
+        self.table = ClassTable(program)
+        self.allow_endorse = allow_endorse
+
+    # ------------------------------------------------------------------
+    def check_program(self) -> Type:
+        """Check every class and the main expression; returns its type."""
+        for decl in self.table.by_name.values():
+            self._check_class(decl)
+        if not self.table.exists(self.program.main_class) or self.program.main_class == OBJECT:
+            raise FEnerJTypeError(f"unknown main class {self.program.main_class}")
+        if self.program.main_qualifier not in (PRECISE, APPROX):
+            raise FEnerJTypeError("the main instance must be precise or approx")
+        env = {"this": Type(self.program.main_qualifier, self.program.main_class)}
+        return self.check_expr(self.program.main_expr, env)
+
+    def _check_class(self, decl: ClassDecl) -> None:
+        seen_fields = set()
+        for field in self.table.all_fields(decl.name):
+            type_wf(self.table, field.type, in_class=True)
+        for field in decl.fields:
+            if field.name in seen_fields:
+                raise FEnerJTypeError(f"duplicate field {decl.name}.{field.name}")
+            seen_fields.add(field.name)
+            inherited = self.table.field_decl(decl.superclass, field.name)
+            if inherited is not None:
+                raise FEnerJTypeError(
+                    f"field {decl.name}.{field.name} shadows a superclass field"
+                )
+        seen_methods = set()
+        for method in decl.methods:
+            key = (method.name, method.precision)
+            if key in seen_methods:
+                raise FEnerJTypeError(
+                    f"duplicate method {decl.name}.{method.name} at precision "
+                    f"{method.precision}"
+                )
+            seen_methods.add(key)
+            self._check_method(decl, method)
+
+    def _check_method(self, decl: ClassDecl, method: MethodDecl) -> None:
+        type_wf(self.table, method.return_type, in_class=True)
+        if method.precision not in (PRECISE, APPROX, CONTEXT):
+            raise FEnerJTypeError(
+                f"method precision must be precise/approx/context, got "
+                f"{method.precision}"
+            )
+        env: Dict[str, Type] = {"this": Type(method.precision, decl.name)}
+        for ptype, pname in method.params:
+            type_wf(self.table, ptype, in_class=True)
+            if pname in env:
+                raise FEnerJTypeError(f"duplicate parameter {pname}")
+            env[pname] = ptype
+        body_type = self.check_expr(method.body, env)
+        if not is_subtype(self.table, body_type, method.return_type):
+            raise FEnerJTypeError(
+                f"{decl.name}.{method.name}: body has type {body_type}, "
+                f"declared {method.return_type}"
+            )
+        # Override compatibility: same signature at the same precision
+        # in superclasses must match exactly (FJ-style).
+        parent = self.table.method_decl(decl.superclass, method.name, method.precision)
+        if parent is not None and parent.precision is method.precision:
+            if len(parent.params) != len(method.params):
+                raise FEnerJTypeError(
+                    f"{decl.name}.{method.name} overrides with different arity"
+                )
+            for (ptype, _), (qtype, _) in zip(parent.params, method.params):
+                if ptype != qtype:
+                    raise FEnerJTypeError(
+                        f"{decl.name}.{method.name} overrides with different "
+                        f"parameter types"
+                    )
+            if parent.return_type != method.return_type:
+                raise FEnerJTypeError(
+                    f"{decl.name}.{method.name} overrides with different "
+                    f"return type"
+                )
+
+    # ------------------------------------------------------------------
+    # Expression typing
+    # ------------------------------------------------------------------
+    def check_expr(self, expr: Expr, env: Dict[str, Type]) -> Type:
+        if isinstance(expr, NullLit):
+            return _NULL
+        if isinstance(expr, IntLit):
+            return Type(PRECISE, "int")
+        if isinstance(expr, FloatLit):
+            return Type(PRECISE, "float")
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise FEnerJTypeError(f"unbound variable {expr.name}")
+            return env[expr.name]
+        if isinstance(expr, New):
+            if expr.qualifier not in (PRECISE, APPROX, CONTEXT):
+                raise FEnerJTypeError(
+                    f"cannot instantiate at qualifier {expr.qualifier}"
+                )
+            if not self.table.exists(expr.class_name) or expr.class_name == OBJECT:
+                raise FEnerJTypeError(f"unknown class {expr.class_name}")
+            if expr.qualifier is CONTEXT and "this" not in env:
+                raise FEnerJTypeError("context instantiation outside a class")
+            return Type(expr.qualifier, expr.class_name)
+        if isinstance(expr, FieldRead):
+            receiver = self.check_expr(expr.receiver, env)
+            if not receiver.is_reference or receiver.base == "$null":
+                raise FEnerJTypeError(f"field read on non-object type {receiver}")
+            ftype = self.table.ftype(receiver, expr.field)
+            if ftype is None:
+                raise FEnerJTypeError(
+                    f"class {receiver.base} has no field {expr.field}"
+                )
+            return ftype
+        if isinstance(expr, FieldWrite):
+            receiver = self.check_expr(expr.receiver, env)
+            if not receiver.is_reference or receiver.base == "$null":
+                raise FEnerJTypeError(f"field write on non-object type {receiver}")
+            ftype = self.table.ftype(receiver, expr.field)
+            if ftype is None:
+                raise FEnerJTypeError(
+                    f"class {receiver.base} has no field {expr.field}"
+                )
+            if ftype.qualifier is LOST:
+                raise FEnerJTypeError(
+                    f"cannot write field {expr.field}: adapted precision is lost"
+                )
+            value = self.check_expr(expr.value, env)
+            if not is_subtype(self.table, value, ftype):
+                raise FEnerJTypeError(
+                    f"cannot assign {value} to field {expr.field} of type {ftype}"
+                )
+            return ftype
+        if isinstance(expr, MethodCall):
+            receiver = self.check_expr(expr.receiver, env)
+            if not receiver.is_reference or receiver.base == "$null":
+                raise FEnerJTypeError(f"method call on non-object type {receiver}")
+            sig = self.table.msig(receiver, expr.method)
+            if sig is None:
+                raise FEnerJTypeError(
+                    f"class {receiver.base} has no method {expr.method}"
+                )
+            params, returns, _decl = sig
+            if len(params) != len(expr.args):
+                raise FEnerJTypeError(
+                    f"{expr.method} expects {len(params)} arguments, got "
+                    f"{len(expr.args)}"
+                )
+            for param, arg in zip(params, expr.args):
+                if param.qualifier is LOST:
+                    raise FEnerJTypeError(
+                        f"cannot pass argument at lost precision to {expr.method}"
+                    )
+                arg_type = self.check_expr(arg, env)
+                if not is_subtype(self.table, arg_type, param):
+                    raise FEnerJTypeError(
+                        f"argument of type {arg_type} does not match parameter "
+                        f"{param} of {expr.method}"
+                    )
+            return returns
+        if isinstance(expr, Cast):
+            type_wf(self.table, expr.type, in_class="this" in env)
+            inner = self.check_expr(expr.expr, env)
+            if not is_subtype(self.table, inner, expr.type):
+                raise FEnerJTypeError(f"illegal cast from {inner} to {expr.type}")
+            return expr.type
+        if isinstance(expr, BinOp):
+            left = self.check_expr(expr.left, env)
+            right = self.check_expr(expr.right, env)
+            if not left.is_primitive or not right.is_primitive:
+                raise FEnerJTypeError(
+                    f"operator {expr.op} on non-primitive types {left}, {right}"
+                )
+            if left.qualifier in (TOP, LOST) or right.qualifier in (TOP, LOST):
+                raise FEnerJTypeError(
+                    f"operator {expr.op} on top/lost-qualified operands"
+                )
+            qualifier = PRECISE
+            for operand in (left, right):
+                if operand.qualifier is APPROX:
+                    qualifier = APPROX
+                elif operand.qualifier is CONTEXT and qualifier is PRECISE:
+                    qualifier = CONTEXT
+            if expr.op in _COMPARISON_OPS:
+                return Type(qualifier, "int")
+            base = "float" if "float" in (left.base, right.base) else "int"
+            return Type(qualifier, base)
+        if isinstance(expr, If):
+            cond = self.check_expr(expr.cond, env)
+            if not (cond.is_primitive and cond.qualifier is PRECISE):
+                raise FEnerJTypeError(
+                    f"condition must be a precise primitive, got {cond}"
+                )
+            then_type = self.check_expr(expr.then, env)
+            else_type = self.check_expr(expr.orelse, env)
+            joined = type_lub(self.table, then_type, else_type)
+            if joined is None:
+                raise FEnerJTypeError(
+                    f"branches have incompatible types {then_type} / {else_type}"
+                )
+            return joined
+        if isinstance(expr, Seq):
+            self.check_expr(expr.first, env)
+            return self.check_expr(expr.second, env)
+        if isinstance(expr, Endorse):
+            if not self.allow_endorse:
+                raise FEnerJTypeError(
+                    "endorse is not part of FEnerJ (enable allow_endorse for "
+                    "the negative control)"
+                )
+            inner = self.check_expr(expr.expr, env)
+            if not inner.is_primitive:
+                raise FEnerJTypeError("endorse applies to primitives only")
+            return inner.with_qualifier(PRECISE)
+        raise FEnerJTypeError(f"unknown expression {expr!r}")

@@ -1,0 +1,44 @@
+"""Approximate-hardware simulation substrate (paper Section 4).
+
+This package models the approximation-aware architecture the paper
+proposes: approximate SRAM (registers + cache), approximate DRAM (heap),
+and approximate functional units (integer ALU voltage scaling; FP
+mantissa-width reduction), each with the Table 2 Mild / Medium /
+Aggressive parameterisations.
+"""
+
+from repro.hardware.alu import ApproxALU
+from repro.hardware.clock import LogicalClock
+from repro.hardware.config import (
+    AGGRESSIVE,
+    BASELINE,
+    MEDIUM,
+    MILD,
+    STRATEGY_NAMES,
+    ErrorMode,
+    HardwareConfig,
+    Level,
+    config_for_level,
+)
+from repro.hardware.dram import ApproxDRAM
+from repro.hardware.fpu import ApproxFPU
+from repro.hardware.rng import FaultRandom
+from repro.hardware.sram import ApproxSRAM
+
+__all__ = [
+    "ApproxALU",
+    "ApproxFPU",
+    "ApproxSRAM",
+    "ApproxDRAM",
+    "LogicalClock",
+    "FaultRandom",
+    "HardwareConfig",
+    "ErrorMode",
+    "Level",
+    "BASELINE",
+    "MILD",
+    "MEDIUM",
+    "AGGRESSIVE",
+    "STRATEGY_NAMES",
+    "config_for_level",
+]

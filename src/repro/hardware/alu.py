@@ -1,0 +1,136 @@
+"""Approximate integer ALU (paper Sections 4.2 and 5.3).
+
+Voltage-scaled integer units experience *timing errors* with the
+configured probability; the erroneous output follows the active
+:class:`~repro.hardware.config.ErrorMode`:
+
+* ``RANDOM`` — a uniformly random 32-bit pattern (most realistic per the
+  paper, and the default used for Figure 5);
+* ``SINGLE_BIT_FLIP`` — one random bit of the correct result flips;
+* ``LAST_VALUE`` — the unit outputs the previous result it computed.
+
+Approximate integer division by zero returns zero instead of raising
+(paper Section 5.2): approximation must never introduce exceptions.
+
+All arithmetic wraps to 32-bit two's complement like the Java ``int``
+the paper simulates; the precise path keeps Python's unbounded ints so
+that un-instrumented semantics are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hardware import bits
+from repro.hardware.config import ErrorMode, HardwareConfig
+from repro.hardware.rng import FaultRandom
+
+__all__ = ["ApproxALU", "INT_OPS"]
+
+
+def _idiv(a: int, b: int) -> int:
+    if b == 0:
+        return 0  # approximate integer division-by-zero yields zero
+    # Java-style truncating division.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _idiv(a, b) * b
+
+
+INT_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _idiv,
+    "mod": _imod,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: a >> (b & 31),
+}
+
+_COMPARE_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class ApproxALU:
+    """Simulated integer ALU with approximate operation support."""
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+        self._config = config
+        self._rng = rng
+        self._last_value = 0
+        self.approx_ops = 0
+        self.precise_ops = 0
+        self.faulted_ops = 0
+
+    # ------------------------------------------------------------------
+    def precise_binop(self, op: str, a: int, b: int):
+        """A fully precise integer operation (plain Python semantics).
+
+        Precise execution must match un-instrumented Python exactly —
+        including floor division/modulo of negatives — so it does not
+        share the Java-style truncating helpers of the approximate path.
+        """
+        self.precise_ops += 1
+        if op in _COMPARE_OPS:
+            return _COMPARE_OPS[op](a, b)
+        if op == "div":
+            return a // b
+        if op == "mod":
+            return a % b
+        return INT_OPS[op](a, b)
+
+    def approx_binop(self, op: str, a: int, b: int):
+        """An approximate integer operation on 32-bit wrapped operands."""
+        self.approx_ops += 1
+        a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
+        b32 = bits.bits_to_int(bits.int_to_bits(int(b)))
+        if op in _COMPARE_OPS:
+            return self._maybe_fault_bool(_COMPARE_OPS[op](a32, b32))
+        raw = INT_OPS[op](a32, b32)
+        result = bits.bits_to_int(bits.int_to_bits(raw))
+        result = self._maybe_fault(result)
+        self._last_value = result
+        return result
+
+    def approx_unop(self, op: str, a: int) -> int:
+        self.approx_ops += 1
+        a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
+        raw = -a32 if op == "neg" else (abs(a32) if op == "abs" else ~a32)
+        result = bits.bits_to_int(bits.int_to_bits(raw))
+        result = self._maybe_fault(result)
+        self._last_value = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _maybe_fault(self, value: int) -> int:
+        if not self._rng.coin(self._config.timing_error_prob):
+            return value
+        self.faulted_ops += 1
+        mode = self._config.error_mode
+        if mode is ErrorMode.LAST_VALUE:
+            return self._last_value
+        if mode is ErrorMode.SINGLE_BIT_FLIP:
+            return bits.flip_bit_int(value, self._rng.bit_index(bits.INT_BITS))
+        return bits.bits_to_int(self._rng.bits(bits.INT_BITS))
+
+    def _maybe_fault_bool(self, value: bool) -> bool:
+        if not self._rng.coin(self._config.timing_error_prob):
+            return value
+        self.faulted_ops += 1
+        if self._config.error_mode is ErrorMode.LAST_VALUE:
+            return bool(self._last_value & 1)
+        return not value

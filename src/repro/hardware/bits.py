@@ -1,0 +1,162 @@
+"""Bit-level value representations shared by all fault models.
+
+Approximate storage faults act on the *bit pattern* of a value, so this
+module defines how EnerPy values map onto hardware words:
+
+* ``int`` — 32-bit two's complement (the paper's Java ``int``).  Python
+  integers are unbounded; the simulated hardware wraps them to 32 bits
+  exactly as a JVM would before faulting individual bits.
+* ``float`` — IEEE-754 binary32; ``double`` — binary64.  Python floats
+  are doubles, so binary32 round-trips lose precision exactly like a
+  real ``float`` register would.
+* ``bool`` — one bit.
+
+The helpers here are pure functions; fault *policies* (when to flip)
+live in the ALU/FPU/SRAM/DRAM modules.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = [
+    "INT_BITS",
+    "FLOAT_BITS",
+    "DOUBLE_BITS",
+    "BOOL_BITS",
+    "int_to_bits",
+    "bits_to_int",
+    "float_to_bits32",
+    "bits32_to_float",
+    "float_to_bits64",
+    "bits64_to_float",
+    "flip_bit_int",
+    "flip_bit_float",
+    "truncate_mantissa",
+    "bits_for_kind",
+    "value_to_bits",
+    "bits_to_value",
+]
+
+INT_BITS = 32
+FLOAT_BITS = 32
+DOUBLE_BITS = 64
+BOOL_BITS = 1
+
+_INT_MASK = (1 << INT_BITS) - 1
+_INT_SIGN = 1 << (INT_BITS - 1)
+
+#: Mantissa widths of the IEEE formats (explicit bits, excluding the
+#: hidden leading one).
+FLOAT_MANTISSA = 23
+DOUBLE_MANTISSA = 52
+
+
+def int_to_bits(value: int) -> int:
+    """A Python int as a 32-bit two's-complement bit pattern."""
+    return int(value) & _INT_MASK
+
+
+def bits_to_int(bits: int) -> int:
+    """A 32-bit two's-complement pattern back to a signed Python int."""
+    bits &= _INT_MASK
+    if bits & _INT_SIGN:
+        return bits - (1 << INT_BITS)
+    return bits
+
+
+def float_to_bits32(value: float) -> int:
+    """IEEE binary32 bit pattern of a float (rounded to single)."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        # Values outside binary32 range saturate to the right infinity,
+        # matching hardware conversion behaviour.
+        sign = 0x80000000 if math.copysign(1.0, value) < 0 else 0
+        return sign | 0x7F800000
+
+
+def bits32_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def float_to_bits64(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits64_to_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def flip_bit_int(value: int, bit: int) -> int:
+    """Flip one bit of a 32-bit integer value."""
+    return bits_to_int(int_to_bits(value) ^ (1 << (bit % INT_BITS)))
+
+
+def flip_bit_float(value: float, bit: int, double: bool = False) -> float:
+    """Flip one bit of a float's IEEE pattern (binary32 or binary64)."""
+    if double:
+        return bits64_to_float(float_to_bits64(value) ^ (1 << (bit % DOUBLE_BITS)))
+    return bits32_to_float(float_to_bits32(value) ^ (1 << (bit % FLOAT_BITS)))
+
+
+def truncate_mantissa(value: float, keep_bits: int, double: bool = False) -> float:
+    """Zero all but the top ``keep_bits`` mantissa bits (paper Sec. 4.2).
+
+    Width reduction in FP units ignores the low part of the mantissa.
+    ``keep_bits`` counts explicit mantissa bits retained; the exponent
+    and sign are untouched.  NaN and infinity pass through unchanged
+    (their mantissa encodes identity, not magnitude).
+    """
+    if math.isnan(value) or math.isinf(value) or value == 0.0:
+        return value
+    mantissa_width = DOUBLE_MANTISSA if double else FLOAT_MANTISSA
+    keep = max(0, min(int(keep_bits), mantissa_width))
+    drop = mantissa_width - keep
+    if drop <= 0:
+        if double:
+            return value
+        return bits32_to_float(float_to_bits32(value))
+    # The mantissa occupies the low bits of the IEEE word, so dropping
+    # its low ``drop`` bits is a mask on the whole pattern.
+    low_mask = (1 << drop) - 1
+    if double:
+        return bits64_to_float(float_to_bits64(value) & ~low_mask)
+    return bits32_to_float(float_to_bits32(value) & ~low_mask)
+
+
+def bits_for_kind(kind: str) -> int:
+    """Word width in bits for an EnerPy value kind."""
+    return {
+        "int": INT_BITS,
+        "float": FLOAT_BITS,
+        "double": DOUBLE_BITS,
+        "bool": BOOL_BITS,
+    }[kind]
+
+
+def value_to_bits(value, kind: str) -> int:
+    """Encode a value of the given kind as a bit pattern."""
+    if kind == "int":
+        return int_to_bits(value)
+    if kind == "float":
+        return float_to_bits32(value)
+    if kind == "double":
+        return float_to_bits64(value)
+    if kind == "bool":
+        return 1 if value else 0
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+def bits_to_value(bits: int, kind: str):
+    """Decode a bit pattern back to a value of the given kind."""
+    if kind == "int":
+        return bits_to_int(bits)
+    if kind == "float":
+        return bits32_to_float(bits)
+    if kind == "double":
+        return bits64_to_float(bits)
+    if kind == "bool":
+        return bool(bits & 1)
+    raise ValueError(f"unknown value kind {kind!r}")

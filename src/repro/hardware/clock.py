@@ -1,0 +1,42 @@
+"""Deterministic logical clock for the simulator.
+
+The paper's DRAM-decay faults and byte-second storage statistics depend
+on wall-clock time inside a JVM.  Re-hosting on a deterministic
+simulator, we advance a logical clock by one tick per simulated
+instruction and convert ticks to seconds with the configuration's
+``seconds_per_tick`` (DESIGN.md substitution 3).  Everything downstream
+— decay probabilities, byte-second accounting — reads this clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """Monotonic tick counter with a fixed seconds-per-tick rate."""
+
+    def __init__(self, seconds_per_tick: float = 1e-6) -> None:
+        if seconds_per_tick <= 0:
+            raise ValueError("seconds_per_tick must be positive")
+        self.seconds_per_tick = seconds_per_tick
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    @property
+    def seconds(self) -> float:
+        return self._ticks * self.seconds_per_tick
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance the clock (one tick per simulated instruction)."""
+        if ticks < 0:
+            raise ValueError("the logical clock cannot run backwards")
+        self._ticks += ticks
+        return self._ticks
+
+    def seconds_since(self, past_ticks: int) -> float:
+        """Elapsed simulated seconds since an earlier tick stamp."""
+        return max(0, self._ticks - past_ticks) * self.seconds_per_tick

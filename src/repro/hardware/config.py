@@ -1,0 +1,300 @@
+"""Hardware approximation configurations (paper Table 2).
+
+The paper simulates four approximation strategies at three
+aggressiveness levels:
+
+=============================== ========= ========= ==========
+Strategy                        Mild      Medium    Aggressive
+=============================== ========= ========= ==========
+DRAM per-second bit-flip prob.  1e-9      1e-5      1e-3
+Memory power saved              17%       22%       24%
+SRAM read-upset probability     10^-16.7  10^-7.4   1e-3
+SRAM write-failure probability  10^-5.59  10^-4.94  1e-3
+SRAM supply power saved         70%       80%       90%
+float mantissa bits             16        8         4
+double mantissa bits            32        16        8
+FP energy saved per operation   32%       78%       85%
+Integer timing-error prob.      1e-6      1e-4      1e-2
+Integer energy saved per op.    12%       22%       30%
+=============================== ========= ========= ==========
+
+(The Medium column is taken from the literature; starred values in the
+paper are the authors' educated guesses.  ``double`` mantissas in the
+paper's table read 32/16/8; Python floats are doubles, and EnerPy's
+``float`` maps to the paper's ``float`` unless the program opts into
+double width explicitly.)
+
+A :class:`HardwareConfig` bundles one level of every strategy plus the
+functional-unit error mode and the logical-clock rate.  Per-strategy
+ablation (paper Section 6.2) is expressed by
+:meth:`HardwareConfig.only` which zeroes out all but one mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+__all__ = [
+    "ErrorMode",
+    "Level",
+    "HardwareConfig",
+    "MILD",
+    "MEDIUM",
+    "AGGRESSIVE",
+    "BASELINE",
+    "SOFTWARE",
+    "config_for_level",
+    "STRATEGY_NAMES",
+]
+
+
+class ErrorMode(enum.Enum):
+    """Output-error model for voltage-scaled functional units (Sec. 6.2).
+
+    The paper considers three and reports that ``RANDOM`` (the most
+    realistic) roughly doubles QoS loss versus the other two (40% vs
+    25% under Aggressive).
+    """
+
+    RANDOM = "random"
+    SINGLE_BIT_FLIP = "bitflip"
+    LAST_VALUE = "lastvalue"
+
+
+class Level(enum.Enum):
+    """Aggressiveness level; ``BASELINE`` disables all approximation."""
+
+    BASELINE = "baseline"
+    MILD = "mild"
+    MEDIUM = "medium"
+    AGGRESSIVE = "aggressive"
+
+    @property
+    def bar_label(self) -> str:
+        """Figure 4's bar labels: B, 1, 2, 3."""
+        return {"baseline": "B", "mild": "1", "medium": "2", "aggressive": "3"}[self.value]
+
+
+#: Strategy identifiers used by the ablation experiments.
+STRATEGY_NAMES = ("dram", "sram_read", "sram_write", "float_width", "timing")
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareConfig:
+    """One full approximate-hardware configuration.
+
+    Fault parameters (probabilities, mantissa widths) drive injection;
+    the ``*_saving`` fields drive the Section 5.4 energy model.  A field
+    set to its no-fault value (probability 0, full mantissa) simply
+    disables that mechanism, which is how :data:`BASELINE` and the
+    ablation configs are expressed.
+    """
+
+    name: str
+
+    # --- DRAM refresh reduction -------------------------------------
+    dram_flip_per_second: float
+    dram_power_saving: float
+
+    # --- SRAM supply-voltage reduction ------------------------------
+    sram_read_upset: float
+    sram_write_failure: float
+    sram_power_saving: float
+
+    # --- Floating-point width reduction ------------------------------
+    float_mantissa_bits: int
+    double_mantissa_bits: int
+    fp_op_saving: float
+
+    # --- Integer ALU voltage scaling ---------------------------------
+    timing_error_prob: float
+    int_op_saving: float
+
+    # --- Cross-cutting knobs -----------------------------------------
+    error_mode: ErrorMode = ErrorMode.RANDOM
+    #: Logical-clock rate: seconds of simulated wall time per simulated
+    #: instruction.  The paper's DRAM decay depends on real seconds; our
+    #: deterministic clock advances one tick per instruction and this
+    #: constant converts ticks to seconds (DESIGN.md substitution 3).
+    seconds_per_tick: float = 1e-6
+    #: Approximation granularity of the memory system (Section 4.1).
+    #: The paper assumes 64-byte lines and notes finer granularity
+    #: would raise the proportion of approximate storage; the
+    #: line-size ablation bench sweeps this.
+    cache_line_bytes: int = 64
+    #: Software-substrate mechanism (Section 4): "a runtime system on
+    #: top of commodity hardware can also offer approximate execution
+    #: features (e.g., lower floating point precision, elision of
+    #: memory operations)".  With this probability an approximate
+    #: array load is elided and the last value read from the same
+    #: array is returned instead.
+    load_elision_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "dram_flip_per_second",
+            "sram_read_upset",
+            "sram_write_failure",
+            "timing_error_prob",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be a probability, got {value}")
+        for field_name in (
+            "dram_power_saving",
+            "sram_power_saving",
+            "fp_op_saving",
+            "int_op_saving",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1), got {value}")
+        if not 1 <= self.float_mantissa_bits <= 24:
+            raise ValueError("float mantissa bits must be in [1, 24]")
+        if not 1 <= self.double_mantissa_bits <= 52:
+            raise ValueError("double mantissa bits must be in [1, 52]")
+        if self.cache_line_bytes < 24:
+            raise ValueError("cache lines must hold at least a header (24 bytes)")
+        if not 0.0 <= self.load_elision_prob <= 1.0:
+            raise ValueError("load_elision_prob must be a probability")
+
+    # ------------------------------------------------------------------
+    @property
+    def approximates_anything(self) -> bool:
+        return (
+            self.dram_flip_per_second > 0
+            or self.sram_read_upset > 0
+            or self.sram_write_failure > 0
+            or self.float_mantissa_bits < 24
+            or self.double_mantissa_bits < 52
+            or self.timing_error_prob > 0
+        )
+
+    def with_error_mode(self, mode: ErrorMode) -> "HardwareConfig":
+        return dataclasses.replace(self, error_mode=mode, name=f"{self.name}:{mode.value}")
+
+    def only(self, strategy: str) -> "HardwareConfig":
+        """This config with every mechanism except ``strategy`` disabled.
+
+        Energy savings of the disabled mechanisms are zeroed too, so the
+        ablation benches report both isolated QoS impact and isolated
+        energy contribution.  Valid strategies: ``dram``, ``sram_read``,
+        ``sram_write``, ``float_width``, ``timing``.
+        """
+        if strategy not in STRATEGY_NAMES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGY_NAMES}")
+        disabled = dataclasses.asdict(BASELINE)
+        keep = {
+            "dram": ("dram_flip_per_second", "dram_power_saving"),
+            "sram_read": ("sram_read_upset", "sram_power_saving"),
+            "sram_write": ("sram_write_failure", "sram_power_saving"),
+            "float_width": ("float_mantissa_bits", "double_mantissa_bits", "fp_op_saving"),
+            "timing": ("timing_error_prob", "int_op_saving"),
+        }[strategy]
+        fields = dict(disabled)
+        for field_name in keep:
+            fields[field_name] = getattr(self, field_name)
+        fields["name"] = f"{self.name}:only-{strategy}"
+        fields["error_mode"] = self.error_mode
+        fields["seconds_per_tick"] = self.seconds_per_tick
+        fields["cache_line_bytes"] = self.cache_line_bytes
+        fields["load_elision_prob"] = self.load_elision_prob
+        return HardwareConfig(**fields)
+
+
+def _make(name: str, **kwargs) -> HardwareConfig:
+    return HardwareConfig(name=name, **kwargs)
+
+
+BASELINE = _make(
+    "baseline",
+    dram_flip_per_second=0.0,
+    dram_power_saving=0.0,
+    sram_read_upset=0.0,
+    sram_write_failure=0.0,
+    sram_power_saving=0.0,
+    float_mantissa_bits=24,
+    double_mantissa_bits=52,
+    fp_op_saving=0.0,
+    timing_error_prob=0.0,
+    int_op_saving=0.0,
+)
+
+MILD = _make(
+    "mild",
+    dram_flip_per_second=1e-9,
+    dram_power_saving=0.17,
+    sram_read_upset=10.0 ** -16.7,
+    sram_write_failure=10.0 ** -5.59,
+    sram_power_saving=0.70,
+    float_mantissa_bits=16,
+    double_mantissa_bits=32,
+    fp_op_saving=0.32,
+    timing_error_prob=1e-6,
+    int_op_saving=0.12,
+)
+
+MEDIUM = _make(
+    "medium",
+    dram_flip_per_second=1e-5,
+    dram_power_saving=0.22,
+    sram_read_upset=10.0 ** -7.4,
+    sram_write_failure=10.0 ** -4.94,
+    sram_power_saving=0.80,
+    float_mantissa_bits=8,
+    double_mantissa_bits=16,
+    fp_op_saving=0.78,
+    timing_error_prob=1e-4,
+    int_op_saving=0.22,
+)
+
+AGGRESSIVE = _make(
+    "aggressive",
+    dram_flip_per_second=1e-3,
+    dram_power_saving=0.24,
+    sram_read_upset=1e-3,
+    sram_write_failure=1e-3,
+    sram_power_saving=0.90,
+    float_mantissa_bits=4,
+    double_mantissa_bits=8,
+    fp_op_saving=0.85,
+    timing_error_prob=1e-2,
+    int_op_saving=0.30,
+)
+
+#: The software substrate: approximation on commodity hardware.  No
+#: voltage scaling or refresh reduction is available; savings come from
+#: reduced floating-point precision and elided approximate memory
+#: operations.  Savings estimates are the authors' style of educated
+#: guess (cf. the starred entries of Table 2).
+SOFTWARE = _make(
+    "software",
+    dram_flip_per_second=0.0,
+    dram_power_saving=0.08,      # elided accesses + prefetch slack
+    sram_read_upset=0.0,
+    sram_write_failure=0.0,
+    sram_power_saving=0.0,
+    float_mantissa_bits=10,      # software-truncated single precision
+    double_mantissa_bits=22,
+    fp_op_saving=0.30,
+    timing_error_prob=0.0,
+    int_op_saving=0.0,
+    load_elision_prob=0.02,
+)
+
+_LEVELS = {
+    Level.BASELINE: BASELINE,
+    Level.MILD: MILD,
+    Level.MEDIUM: MEDIUM,
+    Level.AGGRESSIVE: AGGRESSIVE,
+}
+
+
+def config_for_level(level: Level, error_mode: Optional[ErrorMode] = None) -> HardwareConfig:
+    """The canonical Table 2 configuration for an aggressiveness level."""
+    config = _LEVELS[level]
+    if error_mode is not None and error_mode is not config.error_mode:
+        config = config.with_error_mode(error_mode)
+    return config

@@ -1,0 +1,98 @@
+"""Approximate DRAM (heap storage) — paper Section 4.2.
+
+Lowering the refresh rate of DRAM lines holding approximate data saves
+17–24% of memory power at the cost of *data decay*: each bit flips with
+a per-second probability (Table 2), independently, as long as it goes
+unrefreshed.  Accessing a word effectively refreshes it (the read
+rewrites the row), so decay accumulates between accesses.
+
+The unit keeps a last-refresh tick stamp per stored word.  On each read
+of an approximate word it draws the number of flipped bits from the
+elapsed simulated time, applies them, and resets the stamp.  Writes
+reset the stamp without decay (the new value is freshly stored).
+
+Object fields and array elements of approximate type live here under
+instrumented execution (the paper's rough classification: heap = DRAM,
+stack = SRAM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware import bits
+from repro.hardware.clock import LogicalClock
+from repro.hardware.config import HardwareConfig
+from repro.hardware.rng import FaultRandom
+
+__all__ = ["ApproxDRAM"]
+
+#: Key addressing one stored word: (container id, slot).
+_Address = Tuple[int, object]
+
+
+class ApproxDRAM:
+    """Simulated DRAM with per-word refresh stamps and decay on read."""
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom, clock: LogicalClock) -> None:
+        self._config = config
+        self._rng = rng
+        self._clock = clock
+        self._refresh_stamp: Dict[_Address, int] = {}
+        self.approx_reads = 0
+        self.approx_writes = 0
+        self.precise_reads = 0
+        self.precise_writes = 0
+        self.decayed_bits = 0
+
+    # ------------------------------------------------------------------
+    def write(self, address: _Address, value, kind: str, approximate: bool):
+        """Store a word; approximate words get a fresh refresh stamp."""
+        if not approximate:
+            self.precise_writes += 1
+            return value
+        self.approx_writes += 1
+        self._refresh_stamp[address] = self._clock.ticks
+        return value
+
+    def read(self, address: _Address, value, kind: str, approximate: bool):
+        """Load a word, applying decay proportional to its idle time."""
+        if not approximate:
+            self.precise_reads += 1
+            return value
+        self.approx_reads += 1
+        probability = self._decay_probability(address)
+        self._refresh_stamp[address] = self._clock.ticks
+        if probability <= 0.0:
+            return value
+        width = bits.bits_for_kind(kind)
+        flips = self._rng.binomial_hits(width, probability)
+        if flips == 0:
+            return value
+        self.decayed_bits += flips
+        pattern = bits.value_to_bits(value, kind)
+        for _ in range(flips):
+            pattern ^= 1 << self._rng.bit_index(width)
+        return bits.bits_to_value(pattern, kind)
+
+    def forget(self, container_id: int) -> None:
+        """Drop refresh stamps for a freed container (array/object)."""
+        stale = [key for key in self._refresh_stamp if key[0] == container_id]
+        for key in stale:
+            del self._refresh_stamp[key]
+
+    # ------------------------------------------------------------------
+    def _decay_probability(self, address: _Address) -> float:
+        per_second = self._config.dram_flip_per_second
+        if per_second <= 0.0:
+            return 0.0
+        stamp = self._refresh_stamp.get(address)
+        if stamp is None:
+            # First touch: the word was just allocated; treat as fresh.
+            return 0.0
+        elapsed = self._clock.seconds_since(stamp)
+        if elapsed <= 0.0:
+            return 0.0
+        # Per-bit flip probability over the idle window: 1-(1-p)^t, with
+        # the exact exponential for fractional seconds.
+        return 1.0 - (1.0 - per_second) ** elapsed

@@ -1,0 +1,141 @@
+"""Approximate floating-point unit (paper Sections 4.2 and 5.3).
+
+Approximation mechanisms:
+
+* **Mantissa-width reduction** — operands (and the result) keep only the
+  configured number of explicit mantissa bits.  A binary32 multiplier
+  with 8-bit mantissas uses 78% less energy per operation (Tong et al.,
+  cited by the paper).
+* **Voltage-scaled timing errors** — with the configured probability the
+  operation's output is wrong, according to the active
+  :class:`~repro.hardware.config.ErrorMode` (random value, single bit
+  flip, or last value computed).
+
+Division by zero never raises on the approximate FPU: the paper's
+simulator returns NaN for approximate float division by zero so that
+approximation cannot introduce exceptions the precise program lacked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.hardware import bits
+from repro.hardware.config import ErrorMode, HardwareConfig
+from repro.hardware.rng import FaultRandom
+
+__all__ = ["ApproxFPU", "FLOAT_OPS"]
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        # Approximate FP division by zero returns NaN (paper Sec. 5.2),
+        # with the IEEE sign conventions irrelevant to the QoS metrics.
+        return math.nan
+    return a / b
+
+
+def _fmod(a: float, b: float) -> float:
+    if b == 0.0:
+        return math.nan
+    return math.fmod(a, b)
+
+
+FLOAT_OPS: Dict[str, Callable[[float, float], float]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _fdiv,
+    "mod": _fmod,
+}
+
+_COMPARE_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class ApproxFPU:
+    """Simulated floating-point unit with approximate operation support."""
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+        self._config = config
+        self._rng = rng
+        self._last_value = 0.0
+        #: Number of approximate FP operations executed (for Figure 3).
+        self.approx_ops = 0
+        #: Number of precise FP operations executed.
+        self.precise_ops = 0
+        #: Number of operations whose output was corrupted.
+        self.faulted_ops = 0
+
+    # ------------------------------------------------------------------
+    def precise_binop(self, op: str, a: float, b: float) -> float:
+        """A fully precise FP operation (normal Java semantics)."""
+        self.precise_ops += 1
+        if op in _COMPARE_OPS:
+            return _COMPARE_OPS[op](a, b)
+        if op == "div" and b == 0.0:
+            raise ZeroDivisionError("float division by zero")
+        if op == "mod" and b == 0.0:
+            raise ZeroDivisionError("float modulo by zero")
+        return FLOAT_OPS[op](a, b)
+
+    def approx_binop(self, op: str, a: float, b: float, double: bool = False) -> float:
+        """An approximate FP operation.
+
+        Applies mantissa truncation to operands and result, then
+        possibly injects a timing-error fault into the result.  Returns
+        a Python float (binary64) holding the truncated value.
+        """
+        self.approx_ops += 1
+        keep = self._config.double_mantissa_bits if double else self._config.float_mantissa_bits
+        a_t = bits.truncate_mantissa(float(a), keep, double=double)
+        b_t = bits.truncate_mantissa(float(b), keep, double=double)
+        if op in _COMPARE_OPS:
+            result = _COMPARE_OPS[op](a_t, b_t)
+            return self._maybe_fault_bool(result)
+        raw = FLOAT_OPS[op](a_t, b_t)
+        result = bits.truncate_mantissa(raw, keep, double=double)
+        result = self._maybe_fault(result, double)
+        self._last_value = result
+        return result
+
+    def approx_unop(self, op: str, a: float, double: bool = False) -> float:
+        """Approximate unary negation / absolute value."""
+        self.approx_ops += 1
+        keep = self._config.double_mantissa_bits if double else self._config.float_mantissa_bits
+        a_t = bits.truncate_mantissa(float(a), keep, double=double)
+        raw = -a_t if op == "neg" else abs(a_t)
+        result = self._maybe_fault(raw, double)
+        self._last_value = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _maybe_fault(self, value: float, double: bool) -> float:
+        if not self._rng.coin(self._config.timing_error_prob):
+            return value
+        self.faulted_ops += 1
+        mode = self._config.error_mode
+        if mode is ErrorMode.LAST_VALUE:
+            return self._last_value
+        if mode is ErrorMode.SINGLE_BIT_FLIP:
+            width = bits.DOUBLE_BITS if double else bits.FLOAT_BITS
+            return bits.flip_bit_float(value, self._rng.bit_index(width), double=double)
+        # RANDOM: an arbitrary bit pattern of the right width.
+        if double:
+            return bits.bits64_to_float(self._rng.bits(bits.DOUBLE_BITS))
+        return bits.bits32_to_float(self._rng.bits(bits.FLOAT_BITS))
+
+    def _maybe_fault_bool(self, value: bool) -> bool:
+        if not self._rng.coin(self._config.timing_error_prob):
+            return value
+        self.faulted_ops += 1
+        if self._config.error_mode is ErrorMode.LAST_VALUE:
+            return bool(self._last_value)
+        return not value

@@ -1,0 +1,77 @@
+"""Approximate SRAM (registers and data cache) — paper Section 4.2.
+
+Reducing SRAM supply voltage saves 70–90% of supply power but causes
+*read upsets* (a stored bit flips while being read) and *write failures*
+(the wrong bit is written).  Both are per-bit, per-access events; soft
+errors in quietly stored data are comparatively rare and are not
+modelled, following the paper.
+
+Registers and stack-resident locals of approximate type pass through
+this unit on every access under instrumented execution.  The unit is
+stateless apart from statistics: the faulted value is returned to (or
+stored by) the caller.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import bits
+from repro.hardware.config import HardwareConfig
+from repro.hardware.rng import FaultRandom
+
+__all__ = ["ApproxSRAM"]
+
+
+class ApproxSRAM:
+    """Simulated SRAM cell array with voltage-scaled approximate access."""
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+        self._config = config
+        self._rng = rng
+        self.approx_reads = 0
+        self.approx_writes = 0
+        self.precise_reads = 0
+        self.precise_writes = 0
+        self.read_upsets = 0
+        self.write_failures = 0
+        #: Byte-access accounting for Figure 3's SRAM fraction.
+        self.approx_byte_accesses = 0
+        self.precise_byte_accesses = 0
+
+    # ------------------------------------------------------------------
+    def read(self, value, kind: str, approximate: bool):
+        """Read a value out of SRAM, possibly suffering read upsets."""
+        width = bits.bits_for_kind(kind)
+        if not approximate:
+            self.precise_reads += 1
+            self.precise_byte_accesses += width // 8 or 1
+            return value
+        self.approx_reads += 1
+        self.approx_byte_accesses += width // 8 or 1
+        return self._corrupt(value, kind, width, self._config.sram_read_upset, is_read=True)
+
+    def write(self, value, kind: str, approximate: bool):
+        """Write a value into SRAM, possibly suffering write failures."""
+        width = bits.bits_for_kind(kind)
+        if not approximate:
+            self.precise_writes += 1
+            self.precise_byte_accesses += width // 8 or 1
+            return value
+        self.approx_writes += 1
+        self.approx_byte_accesses += width // 8 or 1
+        return self._corrupt(value, kind, width, self._config.sram_write_failure, is_read=False)
+
+    # ------------------------------------------------------------------
+    def _corrupt(self, value, kind: str, width: int, probability: float, is_read: bool):
+        if probability <= 0.0:
+            return value
+        flips = self._rng.binomial_hits(width, probability)
+        if flips == 0:
+            return value
+        if is_read:
+            self.read_upsets += flips
+        else:
+            self.write_failures += flips
+        pattern = bits.value_to_bits(value, kind)
+        for _ in range(flips):
+            pattern ^= 1 << self._rng.bit_index(width)
+        return bits.bits_to_value(pattern, kind)

@@ -1,0 +1,28 @@
+"""The approximation-aware ISA (paper Section 4.1), as a real artifact.
+
+Assembler, static validator (the ISA-level shadow of the type system's
+isolation rules), an executor wired to the same fault models as the
+EnerPy simulator, and a qualifier-directed code generator from FEnerJ
+expressions.
+"""
+
+from repro.isa.assembler import AssembledProgram, AssemblyError, assemble, disassemble
+from repro.isa.codegen import CodegenError, compile_expression
+from repro.isa.instructions import Instruction, Opcode, Register
+from repro.isa.machine import Machine, MachineResult, ValidationError, validate
+
+__all__ = [
+    "assemble",
+    "disassemble",
+    "AssembledProgram",
+    "AssemblyError",
+    "Instruction",
+    "Opcode",
+    "Register",
+    "Machine",
+    "MachineResult",
+    "validate",
+    "ValidationError",
+    "compile_expression",
+    "CodegenError",
+]

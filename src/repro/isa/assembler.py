@@ -1,0 +1,210 @@
+"""Assembler for the approximation-aware ISA.
+
+Syntax::
+
+    ; comment
+    .approx 100 50          ; mark memory [100, 150) as approximate
+    .word 100 3             ; initialise memory[100] = 3
+    loop:                   ; label
+        li   r1, 10
+        li   a2, 0.5        ; approximate register
+        fadd.a a3, a2, a2
+        mov.e r2, a3        ; endorse: approximate -> precise
+        st   r1, r0, 100    ; memory[r0 + 100] = r1
+        beqz r1, done
+        jmp  loop
+    done:
+        out  r2
+        halt
+
+Registers ``r0..r15`` are precise, ``a0..a15`` approximate; ``r0`` and
+``a0`` read as zero and ignore writes (RISC-style hard zero).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.isa.instructions import Instruction, Opcode, Register
+
+__all__ = ["AssemblyError", "AssembledProgram", "assemble"]
+
+
+class AssemblyError(ReproError):
+    """A syntax or reference error in an assembly program."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclasses.dataclass
+class AssembledProgram:
+    """Instructions plus memory initialisation and approximation map."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int]
+    #: address -> initial value.
+    memory_init: Dict[int, float]
+    #: (start, length) approximate memory regions.
+    approx_regions: List[Tuple[int, int]]
+
+    def address_is_approx(self, address: int) -> bool:
+        return any(start <= address < start + length for start, length in self.approx_regions)
+
+
+_OPCODES = {op.value: op for op in Opcode}
+
+#: opcode -> operand shape: R=register, I=immediate, L=label.
+_SHAPES: Dict[Opcode, str] = {}
+for _op in Opcode:
+    if _op in (Opcode.HALT,):
+        _SHAPES[_op] = ""
+    elif _op is Opcode.JMP:
+        _SHAPES[_op] = "L"
+    elif _op in (Opcode.BEQZ, Opcode.BNEZ):
+        _SHAPES[_op] = "RL"
+    elif _op is Opcode.LI:
+        _SHAPES[_op] = "RI"
+    elif _op in (Opcode.MOV, Opcode.MOV_E):
+        _SHAPES[_op] = "RR"
+    elif _op in (Opcode.LD, Opcode.FLD):
+        _SHAPES[_op] = "RRI"
+    elif _op in (Opcode.ST, Opcode.FST):
+        _SHAPES[_op] = "RRI"
+    elif _op is Opcode.OUT:
+        _SHAPES[_op] = "R"
+    else:
+        _SHAPES[_op] = "RRR"
+
+
+def _parse_number(text: str, line: int) -> float:
+    try:
+        if "." in text or "e" in text.lower():
+            return float(text)
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"bad number {text!r}", line) from None
+
+
+def assemble(source: str) -> AssembledProgram:
+    """Assemble source text; raises :class:`AssemblyError` on problems."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    memory_init: Dict[int, float] = {}
+    approx_regions: List[Tuple[int, int]] = []
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            continue
+
+        # Labels (possibly followed by an instruction on the same line).
+        while ":" in text.split()[0] if text else False:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"bad label {label!r}", line_number)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            labels[label] = len(instructions)
+            text = rest.strip()
+        if not text:
+            continue
+
+        # Directives.
+        if text.startswith("."):
+            parts = text.split()
+            if parts[0] == ".approx" and len(parts) == 3:
+                start = int(_parse_number(parts[1], line_number))
+                length = int(_parse_number(parts[2], line_number))
+                approx_regions.append((start, length))
+            elif parts[0] == ".word" and len(parts) == 3:
+                address = int(_parse_number(parts[1], line_number))
+                memory_init[address] = _parse_number(parts[2], line_number)
+            else:
+                raise AssemblyError(f"unknown directive {parts[0]!r}", line_number)
+            continue
+
+        # Instructions.
+        mnemonic, _, operand_text = text.partition(" ")
+        opcode = _OPCODES.get(mnemonic.lower())
+        if opcode is None:
+            raise AssemblyError(f"unknown instruction {mnemonic!r}", line_number)
+        operands = [o.strip() for o in operand_text.split(",") if o.strip()]
+        shape = _SHAPES[opcode]
+        if len(operands) != len(shape):
+            raise AssemblyError(
+                f"{opcode.value} expects {len(shape)} operand(s), got {len(operands)}",
+                line_number,
+            )
+
+        registers: List[Optional[Register]] = []
+        imm: Optional[float] = None
+        label: Optional[str] = None
+        for kind, operand in zip(shape, operands):
+            if kind == "R":
+                try:
+                    registers.append(Register.parse(operand))
+                except ValueError as error:
+                    raise AssemblyError(str(error), line_number) from None
+            elif kind == "I":
+                imm = _parse_number(operand, line_number)
+            else:  # label
+                label = operand
+
+        rd = rs1 = rs2 = None
+        if shape.startswith("RRR"):
+            rd, rs1, rs2 = registers
+        elif opcode in (Opcode.ST, Opcode.FST):
+            rs1, rs2 = registers  # value, base
+        elif shape.startswith("RR"):
+            rd, rs1 = registers
+        elif shape.startswith("R"):
+            if opcode in (Opcode.BEQZ, Opcode.BNEZ, Opcode.OUT):
+                rs1 = registers[0]
+            else:
+                rd = registers[0]
+
+        instructions.append(
+            Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm, label=label, line=line_number)
+        )
+
+    # Resolve label references.
+    for instruction in instructions:
+        if instruction.label is not None and instruction.label not in labels:
+            raise AssemblyError(
+                f"undefined label {instruction.label!r}", instruction.line
+            )
+
+    return AssembledProgram(instructions, labels, memory_init, approx_regions)
+
+
+def disassemble(program: AssembledProgram) -> str:
+    """Concrete syntax for an assembled program (re-assembleable).
+
+    Directives come first, then instructions with labels re-attached at
+    their target indices.  ``assemble(disassemble(p))`` reproduces the
+    instruction stream, label map, memory image, and region list.
+    """
+    lines: List[str] = []
+    for start, length in program.approx_regions:
+        lines.append(f".approx {start} {length}")
+    for address in sorted(program.memory_init):
+        lines.append(f".word {address} {program.memory_init[address]}")
+
+    labels_at: Dict[int, List[str]] = {}
+    for label, index in program.labels.items():
+        labels_at.setdefault(index, []).append(label)
+
+    for index, instruction in enumerate(program.instructions):
+        for label in sorted(labels_at.get(index, ())):
+            lines.append(f"{label}:")
+        lines.append(f"    {instruction}")
+    # Labels that point one past the last instruction (a bare trailing
+    # label is legal assembly: it resolves to the end of the stream).
+    for label in sorted(labels_at.get(len(program.instructions), ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

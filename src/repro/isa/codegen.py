@@ -1,0 +1,216 @@
+"""Code generation from FEnerJ expressions to the approximation-aware ISA.
+
+EnerJ's promise is that "the system automatically maps approximate
+variables to low-power storage [and] uses low-power operations": the
+qualifier on an expression decides which *instructions* and *registers*
+the compiler emits.  This module demonstrates that pathway end to end
+for the arithmetic fragment of FEnerJ: a typed expression compiles to
+ISA code where approximate-typed subexpressions live in ``a`` registers
+and use ``*.A`` instructions, precise ones in ``r`` registers with
+precise instructions, and conditions are compiled from precise
+registers only — so generated code passes the ISA validator by
+construction.
+
+Supported expressions: int/float literals, binary arithmetic,
+comparisons, conditionals, sequences, and ``endorse`` (compiled to
+``MOV.E``).  Variables and the heap are out of scope — the point is the
+qualifier-directed instruction selection, not a full backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.qualifiers import APPROX, PRECISE
+from repro.errors import ReproError
+from repro.fenerj.syntax import (
+    BinOp,
+    Endorse,
+    Expr,
+    FloatLit,
+    If,
+    IntLit,
+    Seq,
+)
+
+__all__ = ["CodegenError", "compile_expression"]
+
+
+class CodegenError(ReproError):
+    """Expression outside the compilable FEnerJ fragment."""
+
+
+_OPCODE_BY_OP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "<": "slt",
+    "==": "seq",
+}
+
+
+@dataclasses.dataclass
+class _Context:
+    lines: List[str] = dataclasses.field(default_factory=list)
+    next_precise: int = 1
+    next_approx: int = 1
+    next_label: int = 0
+
+    def alloc(self, approximate: bool) -> str:
+        if approximate:
+            if self.next_approx >= 16:
+                raise CodegenError("out of approximate registers")
+            name = f"a{self.next_approx}"
+            self.next_approx += 1
+        else:
+            if self.next_precise >= 16:
+                raise CodegenError("out of precise registers")
+            name = f"r{self.next_precise}"
+            self.next_precise += 1
+        return name
+
+    def label(self, stem: str) -> str:
+        self.next_label += 1
+        return f"{stem}{self.next_label}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+
+def _is_float(expr: Expr) -> bool:
+    """Whether an expression is float-kinded (literal-structural check)."""
+    if isinstance(expr, FloatLit):
+        return True
+    if isinstance(expr, IntLit):
+        return False
+    if isinstance(expr, BinOp):
+        if expr.op in ("<", "==", "!=", "<=", ">", ">="):
+            return False
+        return _is_float(expr.left) or _is_float(expr.right)
+    if isinstance(expr, Endorse):
+        return _is_float(expr.expr)
+    if isinstance(expr, If):
+        return _is_float(expr.then) or _is_float(expr.orelse)
+    if isinstance(expr, Seq):
+        return _is_float(expr.second)
+    return False
+
+
+def _is_approx(expr: Expr) -> bool:
+    """Whether an expression's qualifier is approximate.
+
+    Literals are precise; approximation enters through explicit casts,
+    which the arithmetic fragment spells as ``(approx int) e`` — the
+    parser produces :class:`~repro.fenerj.syntax.Cast`; since casts are
+    the only qualifier source here, we import lazily to avoid a cycle.
+    """
+    from repro.fenerj.syntax import Cast
+
+    if isinstance(expr, Cast):
+        return expr.type.qualifier is APPROX or _is_approx(expr.expr)
+    if isinstance(expr, Endorse):
+        return False
+    if isinstance(expr, BinOp):
+        return _is_approx(expr.left) or _is_approx(expr.right)
+    if isinstance(expr, If):
+        return _is_approx(expr.then) or _is_approx(expr.orelse)
+    if isinstance(expr, Seq):
+        return _is_approx(expr.second)
+    return False
+
+
+def _compile(expr: Expr, ctx: _Context) -> Tuple[str, bool, bool]:
+    """Compile; returns (register, is_float, is_approx)."""
+    from repro.fenerj.syntax import Cast
+
+    if isinstance(expr, IntLit):
+        reg = ctx.alloc(False)
+        ctx.emit(f"li {reg}, {expr.value}")
+        return reg, False, False
+    if isinstance(expr, FloatLit):
+        reg = ctx.alloc(False)
+        value = expr.value if "." in repr(expr.value) else float(expr.value)
+        ctx.emit(f"li {reg}, {value!r}")
+        return reg, True, False
+
+    if isinstance(expr, Cast):
+        reg, fp, approx = _compile(expr.expr, ctx)
+        if expr.type.qualifier is APPROX and not approx:
+            # Precise -> approximate: move into an approximate register.
+            target = ctx.alloc(True)
+            ctx.emit(f"mov {target}, {reg}")
+            return target, fp, True
+        return reg, fp, approx
+
+    if isinstance(expr, Endorse):
+        reg, fp, approx = _compile(expr.expr, ctx)
+        if approx:
+            target = ctx.alloc(False)
+            ctx.emit(f"mov.e {target}, {reg}")
+            return target, fp, False
+        return reg, fp, False
+
+    if isinstance(expr, BinOp):
+        if expr.op not in _OPCODE_BY_OP:
+            raise CodegenError(f"operator {expr.op} not in the compiled fragment")
+        left_reg, left_fp, left_approx = _compile(expr.left, ctx)
+        right_reg, right_fp, right_approx = _compile(expr.right, ctx)
+        fp = (left_fp or right_fp) and expr.op not in ("<", "==")
+        approx = left_approx or right_approx
+        mnemonic = _OPCODE_BY_OP[expr.op]
+        if fp:
+            mnemonic = "f" + mnemonic
+        if approx:
+            mnemonic += ".a"
+        target = ctx.alloc(approx)
+        ctx.emit(f"{mnemonic} {target}, {left_reg}, {right_reg}")
+        return target, fp, approx
+
+    if isinstance(expr, If):
+        cond_reg, _fp, cond_approx = _compile(expr.cond, ctx)
+        if cond_approx:
+            raise CodegenError(
+                "approximate condition cannot be compiled; endorse it first"
+            )
+        fp = _is_float(expr)
+        approx = _is_approx(expr)
+        result = ctx.alloc(approx)
+        else_label = ctx.label("else")
+        end_label = ctx.label("end")
+        ctx.emit(f"beqz {cond_reg}, {else_label}")
+        then_reg, _t_fp, _t_approx = _compile(expr.then, ctx)
+        ctx.emit(f"mov {result}, {then_reg}")
+        ctx.emit(f"jmp {end_label}")
+        ctx.emit_label(else_label)
+        else_reg, _e_fp, _e_approx = _compile(expr.orelse, ctx)
+        ctx.emit(f"mov {result}, {else_reg}")
+        ctx.emit_label(end_label)
+        return result, fp, approx
+
+    if isinstance(expr, Seq):
+        _compile(expr.first, ctx)
+        return _compile(expr.second, ctx)
+
+    raise CodegenError(f"{type(expr).__name__} not in the compiled fragment")
+
+
+def compile_expression(expr: Expr) -> str:
+    """Compile an FEnerJ expression to an ISA program ending in OUT/HALT.
+
+    Approximate results are endorsed at the boundary (output is precise
+    state), matching the ``OUT``-requires-precise validator rule.
+    """
+    ctx = _Context()
+    reg, _fp, approx = _compile(expr, ctx)
+    if approx:
+        final = ctx.alloc(False)
+        ctx.emit(f"mov.e {final}, {reg}")
+        reg = final
+    ctx.emit(f"out {reg}")
+    ctx.emit("halt")
+    return "\n".join(ctx.lines) + "\n"

@@ -1,0 +1,189 @@
+"""The approximation-aware instruction set (paper Section 4.1).
+
+The paper proposes ISA extensions where "approximate and precise
+registers are distinguished based on the register number" and
+"approximate data stored in memory is distinguished from precise data
+based on address".  This module defines a small register machine with
+exactly that structure:
+
+* 16 precise integer/float registers ``r0..r15`` and 16 approximate
+  registers ``a0..a15``;
+* precise ALU/FPU instructions (``ADD``, ``FMUL``, ...) and their
+  approximate counterparts (``ADD.A``, ``FMUL.A``, ...) — an
+  approximate instruction is *a hint*: a substrate that supports no
+  approximation executes it precisely and saves nothing (the paper's
+  forward-compatibility argument);
+* loads/stores whose approximation is decided by the *address* (the
+  assembler's ``.approx`` region directive marks memory ranges);
+* branches, whose condition register must be precise (the control-flow
+  rule of Section 2.4, enforced by the static validator).
+
+The binary layout is deliberately simple — this is an architectural
+model, not a performance ISA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+__all__ = [
+    "Register",
+    "Opcode",
+    "Instruction",
+    "NUM_REGISTERS_PER_CLASS",
+    "INT_ALU_OPS",
+    "FP_ALU_OPS",
+]
+
+NUM_REGISTERS_PER_CLASS = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class Register:
+    """A register name: class (precise ``r`` / approximate ``a``) + index."""
+
+    approximate: bool
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGISTERS_PER_CLASS:
+            raise ValueError(f"register index {self.index} out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "Register":
+        text = text.strip().lower()
+        if len(text) < 2 or text[0] not in "ra":
+            raise ValueError(f"bad register name {text!r}")
+        return cls(approximate=text[0] == "a", index=int(text[1:]))
+
+    def __str__(self) -> str:
+        prefix = "a" if self.approximate else "r"
+        return f"{prefix}{self.index}"
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes; ``*_A`` are the approximate variants."""
+
+    # Integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    ADD_A = "add.a"
+    SUB_A = "sub.a"
+    MUL_A = "mul.a"
+    DIV_A = "div.a"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FADD_A = "fadd.a"
+    FSUB_A = "fsub.a"
+    FMUL_A = "fmul.a"
+    FDIV_A = "fdiv.a"
+    # Comparisons (result 0/1 in rd).
+    SLT = "slt"
+    SEQ = "seq"
+    SLT_A = "slt.a"
+    SEQ_A = "seq.a"
+    # Data movement.
+    LI = "li"  # load immediate
+    MOV = "mov"  # register move within a class, or precise->approx
+    MOV_E = "mov.e"  # endorse: approximate->precise move
+    LD = "ld"  # load word from memory
+    ST = "st"  # store word to memory
+    FLD = "fld"
+    FST = "fst"
+    # Control.
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JMP = "jmp"
+    OUT = "out"  # append register to the output stream (precise only)
+    HALT = "halt"
+
+    @property
+    def is_approximate(self) -> bool:
+        return self.value.endswith(".a")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.value.lstrip("f") != self.value and self.value.startswith("f")
+
+    @property
+    def base_op(self) -> str:
+        """The ALU/FPU operation name for arithmetic opcodes."""
+        name = self.value.split(".")[0]
+        if name.startswith("f"):
+            name = name[1:]
+        return {"slt": "lt", "seq": "eq"}.get(name, name)
+
+
+#: Integer arithmetic/compare opcodes (precise, approximate).
+INT_ALU_OPS = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.ADD_A,
+    Opcode.SUB_A,
+    Opcode.MUL_A,
+    Opcode.DIV_A,
+    Opcode.SLT,
+    Opcode.SEQ,
+    Opcode.SLT_A,
+    Opcode.SEQ_A,
+}
+
+#: Floating-point arithmetic opcodes.
+FP_ALU_OPS = {
+    Opcode.FADD,
+    Opcode.FSUB,
+    Opcode.FMUL,
+    Opcode.FDIV,
+    Opcode.FADD_A,
+    Opcode.FSUB_A,
+    Opcode.FMUL_A,
+    Opcode.FDIV_A,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Operand use by opcode:
+
+    * arithmetic — ``rd, rs1, rs2``
+    * ``LI`` — ``rd, imm``
+    * ``MOV``/``MOV.E`` — ``rd, rs1``
+    * ``LD``/``FLD`` — ``rd, rs1 (base), imm (offset)``
+    * ``ST``/``FST`` — ``rs1 (value), rs2 (base), imm (offset)``
+    * branches — ``rs1, label``
+    * ``JMP`` — ``label``
+    * ``OUT`` — ``rs1``
+    """
+
+    opcode: Opcode
+    rd: Optional[Register] = None
+    rs1: Optional[Register] = None
+    rs2: Optional[Register] = None
+    imm: Optional[float] = None
+    label: Optional[str] = None
+    #: Source line, for diagnostics only — not part of equality, so an
+    #: assemble/disassemble round trip compares equal.
+    line: int = dataclasses.field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        for reg in (self.rd, self.rs1, self.rs2):
+            if reg is not None:
+                operands.append(str(reg))
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.label is not None:
+            operands.append(self.label)
+        return parts[0] + (" " + ", ".join(operands) if operands else "")

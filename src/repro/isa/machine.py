@@ -1,0 +1,253 @@
+"""The approximation-aware machine: validator + executor.
+
+The **validator** is the ISA-level shadow of the EnerJ type system:
+
+* branch/``OUT`` registers must be precise (the control-flow and output
+  rules of Section 2.4);
+* an approximate register may flow into a precise one only through
+  ``MOV.E`` (the ISA endorsement);
+* approximate arithmetic (``*.A``) must target an approximate register
+  (otherwise the hint silently laundered approximation into precise
+  state);
+* memory addressing registers must be precise (array-index rule).
+
+The **executor** reuses the exact fault models of the EnerPy simulator:
+approximate registers suffer SRAM read upsets / write failures,
+approximate memory regions suffer DRAM refresh decay, ``*.A``
+arithmetic goes through the voltage-scaled ALU / reduced-mantissa FPU,
+and every instruction advances the logical clock — so ISA programs and
+instrumented EnerPy programs are measured on the same substrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError, SimulationError
+from repro.hardware.alu import ApproxALU
+from repro.hardware.clock import LogicalClock
+from repro.hardware.config import BASELINE, HardwareConfig
+from repro.hardware.dram import ApproxDRAM
+from repro.hardware.fpu import ApproxFPU
+from repro.hardware.rng import FaultRandom
+from repro.hardware.sram import ApproxSRAM
+from repro.isa.assembler import AssembledProgram
+from repro.isa.instructions import FP_ALU_OPS, INT_ALU_OPS, Instruction, Opcode, Register
+
+__all__ = ["ValidationError", "validate", "Machine", "MachineResult"]
+
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+class ValidationError(ReproError):
+    """A static isolation violation in an ISA program."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+def validate(program: AssembledProgram) -> None:
+    """Statically check the isolation rules of the ISA."""
+    for instruction in program.instructions:
+        op = instruction.opcode
+        line = instruction.line
+
+        if op in (Opcode.BEQZ, Opcode.BNEZ) and instruction.rs1.approximate:
+            raise ValidationError(
+                "branch condition must be a precise register "
+                "(endorse with mov.e first)",
+                line,
+            )
+        if op is Opcode.OUT and instruction.rs1.approximate:
+            raise ValidationError(
+                "out requires a precise register (program output is precise state)",
+                line,
+            )
+        if op in INT_ALU_OPS or op in FP_ALU_OPS:
+            if op.is_approximate and not instruction.rd.approximate:
+                raise ValidationError(
+                    f"{op.value} must target an approximate register", line
+                )
+            if not op.is_approximate:
+                for source in (instruction.rs1, instruction.rs2):
+                    if source is not None and source.approximate:
+                        raise ValidationError(
+                            f"{op.value} reads approximate register {source}; "
+                            "use the .a variant or mov.e",
+                            line,
+                        )
+                if instruction.rd.approximate:
+                    # Precise op into approximate register: allowed
+                    # (precise-to-approximate subtyping).
+                    pass
+        if op is Opcode.MOV:
+            if instruction.rs1.approximate and not instruction.rd.approximate:
+                raise ValidationError(
+                    "mov from approximate to precise register; use mov.e",
+                    line,
+                )
+        if op in (Opcode.LD, Opcode.FLD, Opcode.ST, Opcode.FST):
+            base = instruction.rs2 if op in (Opcode.ST, Opcode.FST) else instruction.rs1
+            if base.approximate:
+                raise ValidationError(
+                    "memory addressing requires a precise base register", line
+                )
+        if op in (Opcode.ST, Opcode.FST):
+            # Stores to precise memory from approximate registers are an
+            # approximate-to-precise flow; they are checked dynamically
+            # because the address is data-dependent, but statically we
+            # can reject them when the offset lands in no approximate
+            # region *and* the base is the zero register (constant
+            # address).
+            if (
+                instruction.rs1.approximate
+                and instruction.rs2.index == 0
+                and not instruction.rs2.approximate
+                and not program.address_is_approx(int(instruction.imm or 0))
+            ):
+                raise ValidationError(
+                    "store of an approximate register to precise memory", line
+                )
+
+
+@dataclasses.dataclass
+class MachineResult:
+    """Outcome of one execution."""
+
+    output: List[float]
+    steps: int
+    int_ops_approx: int
+    int_ops_precise: int
+    fp_ops_approx: int
+    fp_ops_precise: int
+    faults: int
+
+
+class Machine:
+    """Executes validated programs on the simulated hardware."""
+
+    def __init__(self, config: HardwareConfig = BASELINE, seed: int = 0) -> None:
+        self.config = config
+        root = FaultRandom(seed)
+        self.clock = LogicalClock(config.seconds_per_tick)
+        self.alu = ApproxALU(config, root.spawn("isa-alu"))
+        self.fpu = ApproxFPU(config, root.spawn("isa-fpu"))
+        self.sram = ApproxSRAM(config, root.spawn("isa-sram"))
+        self.dram = ApproxDRAM(config, root.spawn("isa-dram"), self.clock)
+        self._precise_regs: List[float] = [0] * 16
+        self._approx_regs: List[float] = [0] * 16
+        self._memory: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _read_reg(self, register: Register, fp: bool) -> float:
+        if register.index == 0:
+            return 0.0 if fp else 0
+        bank = self._approx_regs if register.approximate else self._precise_regs
+        value = bank[register.index]
+        kind = "float" if fp else "int"
+        return self.sram.read(value, kind, register.approximate)
+
+    def _write_reg(self, register: Register, value, fp: bool) -> None:
+        if register.index == 0:
+            return  # hard zero
+        kind = "float" if fp else "int"
+        value = self.sram.write(value, kind, register.approximate)
+        bank = self._approx_regs if register.approximate else self._precise_regs
+        bank[register.index] = value
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: AssembledProgram,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        check: bool = True,
+    ) -> MachineResult:
+        if check:
+            validate(program)
+        for address, value in program.memory_init.items():
+            self._memory[address] = value
+
+        output: List[float] = []
+        pc = 0
+        steps = 0
+        instructions = program.instructions
+
+        while 0 <= pc < len(instructions):
+            if steps >= max_steps:
+                raise SimulationError("ISA program exceeded the step limit")
+            instruction = instructions[pc]
+            op = instruction.opcode
+            self.clock.advance()
+            steps += 1
+            pc += 1
+
+            if op is Opcode.HALT:
+                break
+            if op is Opcode.LI:
+                fp = isinstance(instruction.imm, float)
+                self._write_reg(instruction.rd, instruction.imm, fp)
+            elif op in (Opcode.MOV, Opcode.MOV_E):
+                value = self._read_reg(instruction.rs1, fp=False)
+                self._write_reg(instruction.rd, value, fp=isinstance(value, float))
+            elif op in INT_ALU_OPS:
+                left = self._read_reg(instruction.rs1, fp=False)
+                right = self._read_reg(instruction.rs2, fp=False)
+                if op.is_approximate:
+                    result = self.alu.approx_binop(op.base_op, int(left), int(right))
+                else:
+                    result = self.alu.precise_binop(op.base_op, int(left), int(right))
+                if isinstance(result, bool):
+                    result = 1 if result else 0
+                self._write_reg(instruction.rd, result, fp=False)
+            elif op in FP_ALU_OPS:
+                left = self._read_reg(instruction.rs1, fp=True)
+                right = self._read_reg(instruction.rs2, fp=True)
+                if op.is_approximate:
+                    result = self.fpu.approx_binop(op.base_op, float(left), float(right))
+                else:
+                    result = self.fpu.precise_binop(op.base_op, float(left), float(right))
+                self._write_reg(instruction.rd, result, fp=True)
+            elif op in (Opcode.LD, Opcode.FLD):
+                address = int(self._read_reg(instruction.rs1, fp=False)) + int(instruction.imm)
+                fp = op is Opcode.FLD
+                raw = self._memory.get(address, 0.0 if fp else 0)
+                approx = program.address_is_approx(address)
+                value = self.dram.read(("isa", address), raw, "float" if fp else "int", approx)
+                if value != raw:
+                    self._memory[address] = value  # sticky decay
+                self._write_reg(instruction.rd, value, fp)
+            elif op in (Opcode.ST, Opcode.FST):
+                address = int(self._read_reg(instruction.rs2, fp=False)) + int(instruction.imm)
+                fp = op is Opcode.FST
+                value = self._read_reg(instruction.rs1, fp)
+                approx = program.address_is_approx(address)
+                value = self.dram.write(("isa", address), value, "float" if fp else "int", approx)
+                self._memory[address] = value
+            elif op is Opcode.BEQZ:
+                if self._read_reg(instruction.rs1, fp=False) == 0:
+                    pc = program.labels[instruction.label]
+            elif op is Opcode.BNEZ:
+                if self._read_reg(instruction.rs1, fp=False) != 0:
+                    pc = program.labels[instruction.label]
+            elif op is Opcode.JMP:
+                pc = program.labels[instruction.label]
+            elif op is Opcode.OUT:
+                output.append(self._read_reg(instruction.rs1, fp=False))
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise SimulationError(f"unimplemented opcode {op}")
+
+        return MachineResult(
+            output=output,
+            steps=steps,
+            int_ops_approx=self.alu.approx_ops,
+            int_ops_precise=self.alu.precise_ops,
+            fp_ops_approx=self.fpu.approx_ops,
+            fp_ops_precise=self.fpu.precise_ops,
+            faults=self.alu.faulted_ops
+            + self.fpu.faulted_ops
+            + self.sram.read_upsets
+            + self.sram.write_failures
+            + self.dram.decayed_bits,
+        )

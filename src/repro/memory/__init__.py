@@ -1,0 +1,26 @@
+"""Memory-system substrate: cache-line layout and storage accounting."""
+
+from repro.memory.accounting import AllocationRecord, StorageAccountant
+from repro.memory.cacheline import CACHE_LINE_BYTES, CacheLine, LineMap
+from repro.memory.layout import (
+    ARRAY_HEADER_BYTES,
+    VTABLE_POINTER_BYTES,
+    FieldSpec,
+    field_sizes,
+    layout_array,
+    layout_object,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "CacheLine",
+    "LineMap",
+    "FieldSpec",
+    "field_sizes",
+    "layout_object",
+    "layout_array",
+    "VTABLE_POINTER_BYTES",
+    "ARRAY_HEADER_BYTES",
+    "StorageAccountant",
+    "AllocationRecord",
+]

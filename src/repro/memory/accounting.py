@@ -1,0 +1,112 @@
+"""Storage accounting in byte-ticks (paper: byte-seconds, Figure 3).
+
+Figure 3 reports, per benchmark, the fraction of DRAM and SRAM
+byte-seconds spent on approximate data.  We account deterministically:
+
+* **DRAM** (heap: arrays, object fields) — each allocation registers its
+  approximate/precise byte split (from the cache-line layout) and its
+  birth tick; on free (or end of run) its byte-ticks are
+  ``bytes × lifetime``.
+* **SRAM** (stack/registers) — residency is brief and access-driven, so
+  we charge one tick of residency per byte accessed (a byte-access
+  proxy; DESIGN.md substitution 5).  The *fraction approximate*, which
+  is what the figure reports, is preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["AllocationRecord", "StorageAccountant"]
+
+
+@dataclasses.dataclass
+class AllocationRecord:
+    """One live heap allocation being tracked."""
+
+    container_id: int
+    approx_bytes: int
+    precise_bytes: int
+    birth_tick: int
+    label: str = ""
+
+
+class StorageAccountant:
+    """Accumulates approximate/precise byte-ticks for DRAM and SRAM."""
+
+    def __init__(self) -> None:
+        self._live: Dict[int, AllocationRecord] = {}
+        self.dram_approx_byte_ticks = 0
+        self.dram_precise_byte_ticks = 0
+        self.sram_approx_byte_ticks = 0
+        self.sram_precise_byte_ticks = 0
+        self.allocations = 0
+        self.frees = 0
+
+    # ------------------------------------------------------------------
+    # DRAM (heap allocations)
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        container_id: int,
+        approx_bytes: int,
+        precise_bytes: int,
+        now_tick: int,
+        label: str = "",
+    ) -> None:
+        """Register a heap allocation (array or approximable object)."""
+        if container_id in self._live:
+            # Re-registering the same container (e.g. repeated wrapping)
+            # keeps the original birth tick — the storage was live.
+            return
+        self._live[container_id] = AllocationRecord(
+            container_id, max(0, approx_bytes), max(0, precise_bytes), now_tick, label
+        )
+        self.allocations += 1
+
+    def free(self, container_id: int, now_tick: int) -> None:
+        """Close out one allocation, charging its lifetime byte-ticks."""
+        record = self._live.pop(container_id, None)
+        if record is None:
+            return
+        lifetime = max(1, now_tick - record.birth_tick)
+        self.dram_approx_byte_ticks += record.approx_bytes * lifetime
+        self.dram_precise_byte_ticks += record.precise_bytes * lifetime
+        self.frees += 1
+
+    def close_all(self, now_tick: int) -> None:
+        """End of run: charge every still-live allocation."""
+        for container_id in list(self._live):
+            self.free(container_id, now_tick)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # SRAM (access-driven residency)
+    # ------------------------------------------------------------------
+    def touch_sram(self, byte_count: int, approximate: bool) -> None:
+        if approximate:
+            self.sram_approx_byte_ticks += byte_count
+        else:
+            self.sram_precise_byte_ticks += byte_count
+
+    # ------------------------------------------------------------------
+    # Fractions for Figure 3
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fraction(approx: int, precise: int) -> float:
+        total = approx + precise
+        if total == 0:
+            return 0.0
+        return approx / total
+
+    @property
+    def dram_approx_fraction(self) -> float:
+        return self._fraction(self.dram_approx_byte_ticks, self.dram_precise_byte_ticks)
+
+    @property
+    def sram_approx_fraction(self) -> float:
+        return self._fraction(self.sram_approx_byte_ticks, self.sram_precise_byte_ticks)

@@ -1,0 +1,120 @@
+"""Cache-line model (paper Section 4.1).
+
+The architecture supports approximation at cache-line granularity: a
+per-line bit (kept precise; <0.2% overhead at 64-byte lines) tells the
+cache controller whether to lower the line's supply voltage and the
+DRAM refresh rate for its row.  Software must therefore segregate
+approximate and precise data into different lines; a line containing
+*any* precise field must be precise, and approximate data placed there
+saves no memory energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+__all__ = ["CACHE_LINE_BYTES", "CacheLine", "LineMap"]
+
+#: The paper's assumed line size.
+CACHE_LINE_BYTES = 64
+
+
+@dataclasses.dataclass
+class CacheLine:
+    """One line of an object's layout.
+
+    ``approximate`` is the line's mode bit; ``slots`` records the
+    (name, offset, size, wanted_approx) of the fields packed into it,
+    where ``wanted_approx`` is the field's own qualifier.  A field whose
+    ``wanted_approx`` is True but whose line is precise is *demoted*: it
+    behaves precisely for storage purposes and saves no memory energy.
+    """
+
+    index: int
+    approximate: bool
+    slots: List[Tuple[str, int, int, bool]] = dataclasses.field(default_factory=list)
+    capacity: int = CACHE_LINE_BYTES
+
+    @property
+    def used_bytes(self) -> int:
+        if not self.slots:
+            return 0
+        _, offset, size, _ = self.slots[-1]
+        return offset + size
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def fits(self, size: int) -> bool:
+        return self.free_bytes >= size
+
+    def add(self, name: str, size: int, wanted_approx: bool) -> int:
+        """Append a field; returns its offset within the line."""
+        offset = self.used_bytes
+        if offset + size > self.capacity:
+            raise ValueError(f"field {name!r} ({size}B) does not fit in line {self.index}")
+        self.slots.append((name, offset, size, wanted_approx))
+        return offset
+
+
+class LineMap:
+    """The per-line approximation bitmap for one object or array.
+
+    Exposes which fields ended up in approximate storage — the quantity
+    the byte-second accounting and Figure 3 need.
+    """
+
+    def __init__(self, lines: List[CacheLine]) -> None:
+        self.lines = lines
+        self._field_line = {}
+        for line in lines:
+            for name, _offset, _size, _wanted in line.slots:
+                self._field_line[name] = line
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(line.capacity for line in self.lines)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Bytes of field data resident in approximate lines."""
+        return sum(
+            size
+            for line in self.lines
+            if line.approximate
+            for _name, _offset, size, _wanted in line.slots
+        )
+
+    @property
+    def precise_bytes(self) -> int:
+        return sum(
+            size
+            for line in self.lines
+            if not line.approximate
+            for _name, _offset, size, _wanted in line.slots
+        )
+
+    @property
+    def demoted_bytes(self) -> int:
+        """Bytes of approximate-typed fields stuck in precise lines.
+
+        These still benefit from approximate registers and operations
+        (the paper notes this explicitly) but save no storage energy.
+        """
+        return sum(
+            size
+            for line in self.lines
+            if not line.approximate
+            for _name, _offset, size, wanted in line.slots
+            if wanted
+        )
+
+    def field_is_approx_storage(self, name: str) -> bool:
+        """Whether the named field landed in an approximate line."""
+        line = self._field_line.get(name)
+        return bool(line and line.approximate)
+
+    def line_of(self, name: str) -> CacheLine:
+        return self._field_line[name]

@@ -1,0 +1,176 @@
+"""Object and array layout into cache lines (paper Section 4.1).
+
+The paper's scheme for objects mixing precise and approximate fields:
+
+1. Lay out the precise portion (including the vtable pointer)
+   contiguously; every line containing at least one precise field is
+   marked precise.
+2. Lay out approximate fields after the end of the precise data.  Those
+   that land in the trailing precise line stay precise (demoted — no
+   memory-energy saving; wasting the space would cost *more* energy).
+   The remainder go into approximate lines.
+3. Superclass fields may not be reordered in subclasses, so a subclass
+   appends its own precise-then-approximate groups after the superclass
+   layout, possibly wasting approximate-line space to put its precise
+   fields in precise lines.
+
+Arrays of approximate primitives: the first line (length + type header)
+is precise; all remaining lines are approximate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.memory.cacheline import CACHE_LINE_BYTES, CacheLine, LineMap
+
+__all__ = [
+    "FieldSpec",
+    "VTABLE_POINTER_BYTES",
+    "ARRAY_HEADER_BYTES",
+    "layout_object",
+    "layout_array",
+    "field_sizes",
+]
+
+#: Size of the object header / vtable pointer, placed first and precise.
+VTABLE_POINTER_BYTES = 8
+
+#: Array header: length word + type info, always precise (Section 2.6).
+ARRAY_HEADER_BYTES = 16
+
+#: Field sizes in bytes by EnerPy kind (Java-like widths).
+field_sizes = {"int": 4, "float": 4, "double": 8, "bool": 1, "ref": 8}
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldSpec:
+    """One declared field: name, kind (see :data:`field_sizes`), qualifier.
+
+    ``approximate`` reflects the field's *adapted* qualifier for the
+    instance being laid out — a ``@Context`` field is approximate in an
+    approximate instance and precise in a precise one.
+    """
+
+    name: str
+    kind: str
+    approximate: bool
+
+    @property
+    def size(self) -> int:
+        return field_sizes[self.kind]
+
+
+def _append_group(
+    lines: List[CacheLine],
+    fields: Sequence[FieldSpec],
+    approximate_line: bool,
+    line_bytes: int,
+) -> None:
+    """Pack fields into lines of one mode, opening new lines as needed."""
+    for field in fields:
+        if lines and lines[-1].approximate == approximate_line and lines[-1].fits(field.size):
+            lines[-1].add(field.name, field.size, field.approximate)
+            continue
+        line = CacheLine(index=len(lines), approximate=approximate_line, capacity=line_bytes)
+        line.add(field.name, field.size, field.approximate)
+        lines.append(line)
+
+
+def layout_object(
+    field_groups: Sequence[Sequence[FieldSpec]],
+    include_header: bool = True,
+    line_bytes: int = CACHE_LINE_BYTES,
+) -> LineMap:
+    """Lay out an object whose fields come in superclass-to-subclass groups.
+
+    ``field_groups`` is one sequence of :class:`FieldSpec` per class in
+    the inheritance chain, base class first; groups may not be reordered
+    across each other (paper rule), but within each group precise fields
+    are placed before approximate ones.
+    """
+    lines: List[CacheLine] = []
+    if include_header:
+        header = CacheLine(index=0, approximate=False, capacity=line_bytes)
+        header.add("__vtable__", VTABLE_POINTER_BYTES, False)
+        lines.append(header)
+
+    for group in field_groups:
+        precise_fields = [f for f in group if not f.approximate]
+        approx_fields = [f for f in group if f.approximate]
+
+        # Precise fields go into precise lines, filling the trailing
+        # precise line first if one is open.
+        _append_group(lines, precise_fields, False, line_bytes)
+
+        # Approximate fields: first fill the free space of the trailing
+        # precise line (they are demoted there), then open approximate
+        # lines for the rest.
+        remaining = list(approx_fields)
+        if lines and not lines[-1].approximate:
+            still_remaining = []
+            for field in remaining:
+                if lines[-1].fits(field.size):
+                    lines[-1].add(field.name, field.size, field.approximate)
+                else:
+                    still_remaining.append(field)
+            remaining = still_remaining
+        _append_group(lines, remaining, True, line_bytes)
+
+    return LineMap(lines)
+
+
+def layout_array(
+    length: int,
+    element_kind: str,
+    elements_approximate: bool,
+    header_bytes: int = ARRAY_HEADER_BYTES,
+    line_bytes: int = CACHE_LINE_BYTES,
+) -> Tuple[LineMap, int, int]:
+    """Lay out an array; returns (line map, approx bytes, precise bytes).
+
+    The first line holds the precise header; if the elements are
+    precise everything is precise.  If approximate, elements that share
+    the header line are demoted; later lines are approximate.
+    """
+    element_size = field_sizes[element_kind]
+    data_bytes = element_size * max(0, length)
+
+    lines: List[CacheLine] = []
+    header = CacheLine(index=0, approximate=False, capacity=line_bytes)
+    header.add("__header__", header_bytes, False)
+    lines.append(header)
+
+    if data_bytes == 0:
+        return LineMap(lines), 0, 0
+
+    if not elements_approximate:
+        remaining = data_bytes
+        index = 0
+        while remaining > 0:
+            take = min(lines[-1].free_bytes, remaining)
+            if take > 0:
+                lines[-1].add(f"__data{index}__", take, False)
+                remaining -= take
+                index += 1
+            if remaining > 0:
+                lines.append(CacheLine(index=len(lines), approximate=False, capacity=line_bytes))
+        return LineMap(lines), 0, data_bytes
+
+    # Approximate elements: fill the header line first (demoted bytes),
+    # then approximate lines.
+    demoted = min(header.free_bytes, data_bytes)
+    if demoted:
+        header.add("__data0__", demoted, True)
+    remaining = data_bytes - demoted
+    index = 1
+    while remaining > 0:
+        line = CacheLine(index=len(lines), approximate=True, capacity=line_bytes)
+        take = min(line_bytes, remaining)
+        line.add(f"__data{index}__", take, True)
+        lines.append(line)
+        remaining -= take
+        index += 1
+    line_map = LineMap(lines)
+    return line_map, line_map.approx_bytes, demoted

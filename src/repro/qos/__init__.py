@@ -1,0 +1,21 @@
+"""Quality-of-service metrics (paper Section 6, Table 3)."""
+
+from repro.qos.metrics import (
+    binary_correctness,
+    clamp01,
+    decision_fraction_error,
+    mean_entry_difference,
+    mean_normalized_difference,
+    mean_pixel_difference,
+    normalized_difference,
+)
+
+__all__ = [
+    "mean_entry_difference",
+    "normalized_difference",
+    "mean_normalized_difference",
+    "binary_correctness",
+    "decision_fraction_error",
+    "mean_pixel_difference",
+    "clamp01",
+]

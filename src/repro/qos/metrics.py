@@ -1,0 +1,132 @@
+"""Application-specific quality-of-service metrics (paper Section 6).
+
+Output error ranges from 0 (identical to the precise output) to 1
+(meaningless output).  The paper's metrics, per Table 3:
+
+* **mean entry difference** — for numeric sequences/matrices; each
+  entry-wise absolute difference is clamped to 1, and a NaN entry
+  contributes 1.
+* **normalized difference** — for scalar outputs (MonteCarlo).
+* **mean normalized difference** — entry-wise differences normalised by
+  the precise entry's magnitude (SparseMatMult).
+* **binary correctness** — 0 if the (non-numeric) output is exactly
+  correct, 1 otherwise (ZXing).
+* **fraction of correct decisions normalized to 0.5** — for boolean
+  decision workloads (jMonkeyEngine): random guessing (50% correct)
+  maps to error 1, all-correct to error 0.
+* **mean pixel difference** — image outputs, pixels normalised to [0,1]
+  (ImageJ, Raytracer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "mean_entry_difference",
+    "normalized_difference",
+    "mean_normalized_difference",
+    "binary_correctness",
+    "decision_fraction_error",
+    "mean_pixel_difference",
+    "clamp01",
+]
+
+
+def clamp01(value: float) -> float:
+    """Clamp to [0, 1]; NaN clamps to 1 (meaningless output)."""
+    if math.isnan(value):
+        return 1.0
+    return min(1.0, max(0.0, value))
+
+
+def _flatten(values) -> Iterable[float]:
+    for value in values:
+        if isinstance(value, (list, tuple)):
+            yield from _flatten(value)
+        else:
+            yield value
+
+
+def _entry_error(precise: float, approx: float) -> float:
+    if math.isnan(approx) or math.isinf(approx):
+        return 1.0
+    return clamp01(abs(float(precise) - float(approx)))
+
+
+def mean_entry_difference(precise, approx) -> float:
+    """Mean entry-wise |difference|, each entry's contribution <= 1.
+
+    Accepts nested lists (matrices are flattened); the structures must
+    have the same number of entries.
+    """
+    precise_flat = list(_flatten(precise))
+    approx_flat = list(_flatten(approx))
+    if len(precise_flat) != len(approx_flat):
+        return 1.0
+    if not precise_flat:
+        return 0.0
+    total = sum(_entry_error(p, a) for p, a in zip(precise_flat, approx_flat))
+    return total / len(precise_flat)
+
+
+def normalized_difference(precise: float, approx: float) -> float:
+    """|precise - approx| / |precise|, clamped to [0, 1]."""
+    if math.isnan(approx) or math.isinf(approx):
+        return 1.0
+    if precise == 0.0:
+        return clamp01(abs(approx))
+    return clamp01(abs(precise - approx) / abs(precise))
+
+
+def mean_normalized_difference(precise: Sequence[float], approx: Sequence[float]) -> float:
+    """Mean of per-entry normalised differences."""
+    precise_flat = list(_flatten(precise))
+    approx_flat = list(_flatten(approx))
+    if len(precise_flat) != len(approx_flat):
+        return 1.0
+    if not precise_flat:
+        return 0.0
+    total = sum(normalized_difference(p, a) for p, a in zip(precise_flat, approx_flat))
+    return total / len(precise_flat)
+
+
+def binary_correctness(precise, approx) -> float:
+    """0 if outputs are equal, 1 otherwise (ZXing's string output)."""
+    return 0.0 if precise == approx else 1.0
+
+
+def decision_fraction_error(precise: Sequence[bool], approx: Sequence[bool]) -> float:
+    """Error for boolean decision workloads, normalised to 0.5.
+
+    A decider that matches the precise decisions always has error 0; one
+    that is right only half the time (coin flipping) has error 1.
+    Fractions below 0.5 also clamp to 1 — worse than chance is still
+    meaningless output.
+    """
+    if len(precise) != len(approx):
+        return 1.0
+    if not precise:
+        return 0.0
+    correct = sum(1 for p, a in zip(precise, approx) if bool(p) == bool(a))
+    fraction = correct / len(precise)
+    return clamp01((1.0 - fraction) / 0.5)
+
+
+def mean_pixel_difference(precise, approx, max_value: float = 255.0) -> float:
+    """Mean per-pixel difference, pixels normalised by ``max_value``."""
+    precise_flat = list(_flatten(precise))
+    approx_flat = list(_flatten(approx))
+    if len(precise_flat) != len(approx_flat):
+        return 1.0
+    if not precise_flat:
+        return 0.0
+    scale = float(max_value) if max_value else 1.0
+    total = 0.0
+    for p, a in zip(precise_flat, approx_flat):
+        if isinstance(a, float) and (math.isnan(a) or math.isinf(a)):
+            total += 1.0
+            continue
+        total += clamp01(abs(float(p) - float(a)) / scale)
+    return total / len(precise_flat)

@@ -1,0 +1,358 @@
+"""The simulation context: the runtime an instrumented EnerPy program runs on.
+
+A :class:`Simulator` bundles the approximate hardware units (ALU, FPU,
+SRAM, DRAM), the logical clock, the heap registry, and storage
+accounting.  Instrumented code reaches it through the module-level hook
+functions in :mod:`repro.runtime.hooks`, which dispatch to the
+*currently active* simulator (a thread-local stack, so simulations can
+nest in tests).
+
+The paper's runtime system "records memory-footprint and
+arithmetic-operation statistics while simultaneously injecting transient
+faults to emulate approximate execution" (Section 5.2) — exactly this
+class's job.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.errors import NoActiveSimulationError, SimulationError
+from repro.hardware import bits as _bits
+from repro.hardware.alu import ApproxALU
+from repro.hardware.clock import LogicalClock
+from repro.hardware.config import BASELINE, HardwareConfig
+from repro.hardware.dram import ApproxDRAM
+from repro.hardware.fpu import ApproxFPU
+from repro.hardware.rng import FaultRandom
+from repro.hardware.sram import ApproxSRAM
+from repro.memory.accounting import StorageAccountant
+from repro.memory.layout import FieldSpec, field_sizes
+from repro.runtime.heap import HeapRegistry
+from repro.runtime.stats import RunStats
+
+__all__ = ["Simulator", "current_simulator", "active_simulator"]
+
+_tls = threading.local()
+
+
+def _stack() -> List["Simulator"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current_simulator() -> Optional["Simulator"]:
+    """The active simulator, or ``None`` outside any simulation."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def active_simulator() -> "Simulator":
+    """The active simulator; raises if none is active."""
+    simulator = current_simulator()
+    if simulator is None:
+        raise NoActiveSimulationError(
+            "no Simulator context is active; run instrumented code inside "
+            "'with Simulator(config):'"
+        )
+    return simulator
+
+
+_FLOATISH = ("float", "double")
+
+
+class Simulator:
+    """Approximation-aware execution substrate (context manager).
+
+    Example::
+
+        from repro.hardware import MEDIUM
+        from repro.runtime import Simulator
+
+        with Simulator(MEDIUM, seed=1) as sim:
+            program.main()
+        print(sim.stats().fp_approx_fraction)
+    """
+
+    def __init__(self, config: HardwareConfig = BASELINE, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        root = FaultRandom(seed)
+        self.clock = LogicalClock(config.seconds_per_tick)
+        self.alu = ApproxALU(config, root.spawn("alu"))
+        self.fpu = ApproxFPU(config, root.spawn("fpu"))
+        self.sram = ApproxSRAM(config, root.spawn("sram"))
+        self.dram = ApproxDRAM(config, root.spawn("dram"), self.clock)
+        self.heap = HeapRegistry(config.cache_line_bytes)
+        self.accountant = StorageAccountant()
+        self.endorsements = 0
+        self.elided_loads = 0
+        self._elision_rng = root.spawn("elision")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Simulator":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _stack()
+        if not stack or stack[-1] is not self:
+            raise SimulationError("Simulator context exited out of order")
+        stack.pop()
+        self.close()
+
+    def close(self) -> None:
+        """Finish accounting for all live heap containers."""
+        if self._closed:
+            return
+        for container_id, approx_bytes, precise_bytes, label in self.heap.drain():
+            self.accountant.allocate(container_id, approx_bytes, precise_bytes, 0, label)
+            self.accountant.free(container_id, self.clock.ticks)
+            self.dram.forget(container_id)
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def binop(self, op: str, kind: str, approximate: bool, left, right):
+        """Execute one arithmetic/comparison instruction."""
+        self.clock.advance()
+        if kind in _FLOATISH:
+            double = kind == "double"
+            if approximate:
+                return self.fpu.approx_binop(op, left, right, double=double)
+            return self.fpu.precise_binop(op, left, right)
+        if approximate:
+            return self.alu.approx_binop(op, left, right)
+        return self.alu.precise_binop(op, left, right)
+
+    def unop(self, op: str, kind: str, approximate: bool, operand):
+        self.clock.advance()
+        if kind in _FLOATISH:
+            if approximate:
+                return self.fpu.approx_unop(op, operand, double=kind == "double")
+            self.fpu.precise_ops += 1
+            return -operand if op == "neg" else abs(operand)
+        if approximate:
+            return self.alu.approx_unop(op, operand)
+        self.alu.precise_ops += 1
+        if op == "neg":
+            return -operand
+        if op == "abs":
+            return abs(operand)
+        return ~operand
+
+    def math_call(self, fn: str, approximate: bool, args):
+        """A math-library operation, modelled as one FP instruction.
+
+        Approximate math calls truncate operands and result to the
+        configured mantissa width, may suffer a timing-error fault, and
+        never raise domain errors (NaN is returned instead), mirroring
+        the divide-by-zero policy of the paper's simulator.
+        """
+        import math as _math
+
+        self.clock.advance()
+        if not approximate:
+            self.fpu.precise_ops += 1
+            return getattr(_math, fn)(*args)
+        self.fpu.approx_ops += 1
+        keep = self.config.float_mantissa_bits
+        truncated = [
+            _bits.truncate_mantissa(float(a), keep) if isinstance(a, (int, float)) else a
+            for a in args
+        ]
+        try:
+            raw = getattr(_math, fn)(*truncated)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            raw = _math.nan
+        if isinstance(raw, float):
+            raw = _bits.truncate_mantissa(raw, keep)
+            raw = self.fpu._maybe_fault(raw, double=False)
+        return raw
+
+    def convert(self, kind: str, approximate: bool, value):
+        """int()/float() conversion, modelled as one instruction.
+
+        Approximate int() of NaN/infinity yields zero rather than
+        raising — approximation must not introduce exceptions.
+        """
+        import math as _math
+
+        self.clock.advance()
+        if kind == "int":
+            if approximate:
+                self.alu.approx_ops += 1
+                if isinstance(value, float) and (_math.isnan(value) or _math.isinf(value)):
+                    return 0
+                return _bits.bits_to_int(_bits.int_to_bits(int(value)))
+            self.alu.precise_ops += 1
+            return int(value)
+        if approximate:
+            self.fpu.approx_ops += 1
+            return _bits.truncate_mantissa(float(value), self.config.float_mantissa_bits)
+        self.fpu.precise_ops += 1
+        return float(value)
+
+    # ------------------------------------------------------------------
+    # SRAM (locals / registers)
+    # ------------------------------------------------------------------
+    def local_read(self, value, kind: str, approximate: bool):
+        self.clock.advance()
+        result = self.sram.read(value, kind, approximate)
+        byte_count = max(1, field_sizes.get(kind, 4))
+        self.accountant.touch_sram(byte_count, approximate)
+        return result
+
+    def local_write(self, value, kind: str, approximate: bool):
+        self.clock.advance()
+        result = self.sram.write(value, kind, approximate)
+        byte_count = max(1, field_sizes.get(kind, 4))
+        self.accountant.touch_sram(byte_count, approximate)
+        return result
+
+    # ------------------------------------------------------------------
+    # Arrays (heap / DRAM)
+    # ------------------------------------------------------------------
+    def new_array(self, backing: list, element_kind: str, approximate: bool, label: str = "") -> list:
+        """Register a freshly allocated array; returns the backing list."""
+        self.clock.advance()
+        record = self.heap.register_array(backing, element_kind, approximate, label)
+        self.accountant.allocate(
+            id(backing), record.approx_bytes, record.precise_bytes, self.clock.ticks, label
+        )
+        return backing
+
+    def array_load(self, backing: list, index, kind_hint: Optional[str] = None):
+        """Load one element; approximate elements may have decayed.
+
+        Under a software substrate the load may be *elided*: the last
+        value read from this array is returned without touching memory
+        (the run's statistics still count the load — the energy model
+        sees the elision through the substrate's savings figures).
+        """
+        self.clock.advance()
+        value = backing[index]
+        record = self.heap.array_record(backing)
+        if record is None:
+            return value
+        approximate = record.elements_approximate
+        if (
+            approximate
+            and self.config.load_elision_prob > 0.0
+            and record.last_read is not None
+            and self._elision_rng.coin(self.config.load_elision_prob)
+        ):
+            self.elided_loads += 1
+            return record.last_read
+        result = self.dram.read((id(backing), index), value, record.element_kind, approximate)
+        if result is not value:
+            # Decay is sticky: the stored word itself changed.
+            backing[index] = result
+        if approximate:
+            record.last_read = result
+        return result
+
+    def array_store(self, backing: list, index, value):
+        """Store one element, refreshing its decay stamp."""
+        self.clock.advance()
+        record = self.heap.array_record(backing)
+        if record is not None:
+            value = self.dram.write(
+                (id(backing), index), value, record.element_kind, record.elements_approximate
+            )
+        backing[index] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Approximable objects (heap / DRAM)
+    # ------------------------------------------------------------------
+    def new_object(self, instance: object, qualifier_is_approx: bool, fields: List[FieldSpec]):
+        """Register an approximable instance created with a qualifier."""
+        self.clock.advance()
+        record = self.heap.register_object(instance, qualifier_is_approx, fields)
+        self.accountant.allocate(
+            id(instance),
+            record.line_map.approx_bytes,
+            record.line_map.precise_bytes,
+            self.clock.ticks,
+            type(instance).__name__,
+        )
+        return instance
+
+    def object_is_approx(self, instance: object) -> bool:
+        """The dynamic precision of an approximable instance."""
+        record = self.heap.object_record(instance)
+        return bool(record and record.qualifier_is_approx)
+
+    def field_load(self, instance: object, name: str):
+        self.clock.advance()
+        value = getattr(instance, name)
+        record = self.heap.object_record(instance)
+        if record is None or not record.approx_storage_fields.get(name, False):
+            return value
+        kind = record.field_kinds.get(name, "int")
+        if kind == "ref":
+            return value
+        result = self.dram.read((id(instance), name), value, kind, True)
+        if result is not value:
+            object.__setattr__(instance, name, result)
+        return result
+
+    def field_store(self, instance: object, name: str, value):
+        self.clock.advance()
+        record = self.heap.object_record(instance)
+        if record is not None and record.approx_storage_fields.get(name, False):
+            kind = record.field_kinds.get(name, "int")
+            if kind != "ref":
+                value = self.dram.write((id(instance), name), value, kind, True)
+        setattr(instance, name, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Endorsement
+    # ------------------------------------------------------------------
+    def endorse(self, value):
+        """Dynamic effect of ``endorse``: count it and pass the value on.
+
+        The paper notes endorsements "may have implicit runtime effects;
+        they might, for example, copy values from approximate to precise
+        memory" — in our model the copy is the return itself.
+        """
+        self.endorsements += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> RunStats:
+        """A snapshot of everything measured so far.
+
+        Heap containers still live are *not* yet charged; call
+        :meth:`close` (or leave the ``with`` block) first for final
+        numbers.
+        """
+        return RunStats(
+            int_ops_approx=self.alu.approx_ops,
+            int_ops_precise=self.alu.precise_ops,
+            fp_ops_approx=self.fpu.approx_ops,
+            fp_ops_precise=self.fpu.precise_ops,
+            dram_approx_byte_ticks=self.accountant.dram_approx_byte_ticks,
+            dram_precise_byte_ticks=self.accountant.dram_precise_byte_ticks,
+            sram_approx_byte_ticks=self.accountant.sram_approx_byte_ticks,
+            sram_precise_byte_ticks=self.accountant.sram_precise_byte_ticks,
+            fu_faults=self.alu.faulted_ops + self.fpu.faulted_ops,
+            sram_read_upsets=self.sram.read_upsets,
+            sram_write_failures=self.sram.write_failures,
+            dram_decayed_bits=self.dram.decayed_bits,
+            endorsements=self.endorsements,
+            allocations=self.accountant.allocations,
+            ticks=self.clock.ticks,
+        )

@@ -1,0 +1,150 @@
+"""Heap registry: which Python objects are simulated approximate storage.
+
+Instrumented code allocates arrays and approximable objects through the
+simulator, which records them here.  The registry keeps strong
+references for the duration of a run (runs are bounded), so ``id()``
+keys cannot be recycled while registered; the context closes every
+record into the storage accountant when it exits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.memory.cacheline import CACHE_LINE_BYTES, LineMap
+from repro.memory.layout import FieldSpec, field_sizes, layout_array, layout_object
+
+__all__ = ["ArrayRecord", "ObjectRecord", "HeapRegistry"]
+
+
+@dataclasses.dataclass
+class ArrayRecord:
+    """A registered simulated array (backed by a plain Python list)."""
+
+    backing: list
+    element_kind: str
+    elements_approximate: bool
+    line_map: LineMap
+    approx_bytes: int
+    precise_bytes: int
+    label: str = ""
+    #: Last value loaded from this array (software-substrate elision).
+    last_read: Optional[object] = None
+
+
+@dataclasses.dataclass
+class ObjectRecord:
+    """A registered approximable-class instance."""
+
+    instance: object
+    qualifier_is_approx: bool
+    line_map: LineMap
+    #: field name -> True if the field's *storage* is approximate (its
+    #: adapted qualifier is approx AND its cache line is approximate).
+    approx_storage_fields: Dict[str, bool] = dataclasses.field(default_factory=dict)
+    #: field name -> kind, for fault-model word widths.
+    field_kinds: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: field name -> True if the adapted qualifier is approx (register/
+    #: operation approximation applies even when storage is demoted).
+    approx_value_fields: Dict[str, bool] = dataclasses.field(default_factory=dict)
+
+
+class HeapRegistry:
+    """Tracks simulated heap containers by Python object identity."""
+
+    def __init__(self, line_bytes: int = CACHE_LINE_BYTES) -> None:
+        self.line_bytes = line_bytes
+        self._arrays: Dict[int, ArrayRecord] = {}
+        self._objects: Dict[int, ObjectRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Arrays
+    # ------------------------------------------------------------------
+    def register_array(
+        self,
+        backing: list,
+        element_kind: str,
+        elements_approximate: bool,
+        label: str = "",
+    ) -> ArrayRecord:
+        key = id(backing)
+        existing = self._arrays.get(key)
+        if existing is not None and existing.backing is backing:
+            return existing
+        line_map, approx_bytes, _demoted = layout_array(
+            len(backing), element_kind, elements_approximate, line_bytes=self.line_bytes
+        )
+        precise_bytes = line_map.total_bytes - approx_bytes
+        record = ArrayRecord(
+            backing=backing,
+            element_kind=element_kind,
+            elements_approximate=elements_approximate,
+            line_map=line_map,
+            approx_bytes=approx_bytes,
+            precise_bytes=precise_bytes,
+            label=label,
+        )
+        self._arrays[key] = record
+        return record
+
+    def array_record(self, backing: list) -> Optional[ArrayRecord]:
+        record = self._arrays.get(id(backing))
+        if record is not None and record.backing is backing:
+            return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Approximable objects
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        instance: object,
+        qualifier_is_approx: bool,
+        fields: List[FieldSpec],
+    ) -> ObjectRecord:
+        key = id(instance)
+        existing = self._objects.get(key)
+        if existing is not None and existing.instance is instance:
+            return existing
+        line_map = layout_object([fields], line_bytes=self.line_bytes)
+        record = ObjectRecord(
+            instance=instance,
+            qualifier_is_approx=qualifier_is_approx,
+            line_map=line_map,
+        )
+        for spec in fields:
+            record.field_kinds[spec.name] = spec.kind
+            record.approx_value_fields[spec.name] = spec.approximate
+            record.approx_storage_fields[spec.name] = (
+                spec.approximate and line_map.field_is_approx_storage(spec.name)
+            )
+        self._objects[key] = record
+        return record
+
+    def object_record(self, instance: object) -> Optional[ObjectRecord]:
+        record = self._objects.get(id(instance))
+        if record is not None and record.instance is instance:
+            return record
+        return None
+
+    # ------------------------------------------------------------------
+    def drain(self):
+        """Yield (container_id, approx_bytes, precise_bytes, label) for all
+        registered containers, clearing the registry."""
+        for key, array in self._arrays.items():
+            yield key, array.approx_bytes, array.precise_bytes, array.label or "array"
+        for key, obj in self._objects.items():
+            approx = obj.line_map.approx_bytes
+            precise = obj.line_map.precise_bytes
+            yield key, approx, precise, type(obj.instance).__name__
+        self._arrays.clear()
+        self._objects.clear()
+
+    @property
+    def array_count(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,296 @@
+"""Hook functions targeted by the instrumenting compiler.
+
+The instrumenter rewrites an EnerPy module so approximate operations and
+storage accesses call these functions.  Each hook dispatches to the
+active :class:`~repro.runtime.context.Simulator`; if none is active the
+hooks fall back to plain-Python behaviour, so instrumented code degrades
+gracefully to (counted-but-precise) execution only when explicitly
+allowed via :func:`set_fallback_precise`.
+
+Hook names are short and underscore-prefixed because they appear in
+generated code: ``_ej_binop('add', 'float', True, a, b)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NoActiveSimulationError
+from repro.memory.layout import FieldSpec
+from repro.runtime.context import Simulator, active_simulator, current_simulator
+
+__all__ = [
+    "HOOK_MODULE",
+    "HOOK_NAMES",
+    "set_fallback_precise",
+    "_ej_binop",
+    "_ej_unop",
+    "_ej_local_read",
+    "_ej_local_write",
+    "_ej_new_array",
+    "_ej_array_load",
+    "_ej_array_store",
+    "_ej_new_object",
+    "_ej_field_load",
+    "_ej_field_store",
+    "_ej_endorse",
+    "_ej_receiver_is_approx",
+    "_ej_field_specs",
+    "_ej_invoke",
+    "_ej_iter_array",
+    "_ej_math",
+    "_ej_convert",
+    "_ej_range",
+]
+
+#: Import path emitted by the instrumenter.
+HOOK_MODULE = "repro.runtime.hooks"
+
+#: Names the instrumenter may inject into a module's namespace.
+HOOK_NAMES = (
+    "_ej_binop",
+    "_ej_unop",
+    "_ej_local_read",
+    "_ej_local_write",
+    "_ej_new_array",
+    "_ej_array_load",
+    "_ej_array_store",
+    "_ej_new_object",
+    "_ej_field_load",
+    "_ej_field_store",
+    "_ej_endorse",
+    "_ej_receiver_is_approx",
+    "_ej_invoke",
+    "_ej_iter_array",
+    "_ej_math",
+    "_ej_convert",
+    "_ej_range",
+)
+
+_PLAIN_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else _java_idiv(a, b),
+    "mod": lambda a, b: a % b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_fallback_precise = False
+
+
+def _java_idiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def set_fallback_precise(enabled: bool) -> None:
+    """Allow hooks to run without an active simulator (precise, uncounted).
+
+    Off by default: running instrumented code with no simulator is
+    usually a harness bug, so the hooks raise
+    :class:`~repro.errors.NoActiveSimulationError` unless enabled.
+    """
+    global _fallback_precise
+    _fallback_precise = enabled
+
+
+def _simulator() -> Optional[Simulator]:
+    simulator = current_simulator()
+    if simulator is None and not _fallback_precise:
+        raise NoActiveSimulationError(
+            "instrumented EnerPy code executed outside a Simulator context"
+        )
+    return simulator
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def _ej_binop(op: str, kind: str, approximate: bool, left, right):
+    simulator = _simulator()
+    if simulator is None:
+        return _PLAIN_BINOPS[op](left, right)
+    return simulator.binop(op, kind, approximate, left, right)
+
+
+def _ej_unop(op: str, kind: str, approximate: bool, operand):
+    simulator = _simulator()
+    if simulator is None:
+        if op == "neg":
+            return -operand
+        if op == "abs":
+            return abs(operand)
+        return ~operand
+    return simulator.unop(op, kind, approximate, operand)
+
+
+# ----------------------------------------------------------------------
+# SRAM
+# ----------------------------------------------------------------------
+def _ej_local_read(value, kind: str, approximate: bool):
+    simulator = _simulator()
+    if simulator is None:
+        return value
+    return simulator.local_read(value, kind, approximate)
+
+
+def _ej_local_write(value, kind: str, approximate: bool):
+    simulator = _simulator()
+    if simulator is None:
+        return value
+    return simulator.local_write(value, kind, approximate)
+
+
+# ----------------------------------------------------------------------
+# Arrays
+# ----------------------------------------------------------------------
+def _ej_new_array(backing: list, element_kind: str, approximate: bool, label: str = "") -> list:
+    simulator = _simulator()
+    if simulator is None:
+        return backing
+    return simulator.new_array(backing, element_kind, approximate, label)
+
+
+def _ej_array_load(backing: list, index):
+    simulator = _simulator()
+    if simulator is None:
+        return backing[index]
+    return simulator.array_load(backing, index)
+
+
+def _ej_array_store(backing: list, index, value):
+    simulator = _simulator()
+    if simulator is None:
+        backing[index] = value
+        return value
+    return simulator.array_store(backing, index, value)
+
+
+# ----------------------------------------------------------------------
+# Approximable objects
+# ----------------------------------------------------------------------
+def _ej_field_specs(specs: List[tuple]) -> List[FieldSpec]:
+    """Build FieldSpec objects from (name, kind, approx) tuples."""
+    return [FieldSpec(name, kind, bool(approx)) for name, kind, approx in specs]
+
+
+def _ej_new_object(cls: type, qualifier_is_approx: bool, specs: List[tuple], *args):
+    """Allocate an instance with a precision qualifier.
+
+    Registration happens *before* ``__init__`` runs so that constructor
+    bodies see the instance's precision (``_ej_receiver_is_approx``)
+    and field writes during construction hit the right storage.
+    """
+    simulator = _simulator()
+    if simulator is None:
+        return cls(*args)
+    instance = cls.__new__(cls)
+    simulator.new_object(instance, qualifier_is_approx, _ej_field_specs(specs))
+    instance.__init__(*args)
+    return instance
+
+
+def _ej_field_load(instance: object, name: str):
+    simulator = _simulator()
+    if simulator is None:
+        return getattr(instance, name)
+    return simulator.field_load(instance, name)
+
+
+def _ej_field_store(instance: object, name: str, value):
+    simulator = _simulator()
+    if simulator is None:
+        setattr(instance, name, value)
+        return value
+    return simulator.field_store(instance, name, value)
+
+
+def _ej_receiver_is_approx(instance: object) -> bool:
+    """Dynamic _APPROX dispatch test for receivers of ``top``-ish type."""
+    simulator = _simulator()
+    if simulator is None:
+        return False
+    return simulator.object_is_approx(instance)
+
+
+# ----------------------------------------------------------------------
+# Endorsement
+# ----------------------------------------------------------------------
+def _ej_endorse(value):
+    simulator = _simulator()
+    if simulator is None:
+        return value
+    return simulator.endorse(value)
+
+
+# ----------------------------------------------------------------------
+# Dispatch, iteration, math, conversion
+# ----------------------------------------------------------------------
+def _ej_invoke(receiver, method: str, *args):
+    """Dynamic _APPROX dispatch for context-qualified receivers.
+
+    Inside an approximable class the receiver's precision is only known
+    at runtime: an approximate instance uses ``m_APPROX`` when the class
+    provides it (paper Section 2.5.2), otherwise the precise body.
+    """
+    if _ej_receiver_is_approx(receiver):
+        variant = getattr(receiver, method + "_APPROX", None)
+        if variant is not None:
+            return variant(*args)
+    return getattr(receiver, method)(*args)
+
+
+def _ej_iter_array(backing: list):
+    """Iterate over a simulated array, loading each element via DRAM."""
+    simulator = _simulator()
+    if simulator is None:
+        yield from backing
+        return
+    for index in range(len(backing)):
+        yield simulator.array_load(backing, index)
+
+
+def _ej_math(fn: str, approximate, *args):
+    """A math-library call on (possibly) approximate operands."""
+    simulator = _simulator()
+    if simulator is None:
+        import math
+
+        return getattr(math, fn)(*args)
+    return simulator.math_call(fn, bool(approximate), args)
+
+
+def _ej_convert(kind: str, approximate, value):
+    """int()/float() conversion of (possibly) approximate data."""
+    simulator = _simulator()
+    if simulator is None:
+        return int(value) if kind == "int" else float(value)
+    return simulator.convert(kind, bool(approximate), value)
+
+
+def _ej_range(*args):
+    """range() that charges one precise integer op per iteration.
+
+    Loop induction variables are precise control-flow work; the paper
+    notes their increments dominate the non-approximable integer
+    operations of FP-heavy benchmarks.
+    """
+    simulator = _simulator()
+    if simulator is None:
+        yield from range(*args)
+        return
+    for value in range(*args):
+        simulator.clock.advance()
+        simulator.alu.precise_ops += 1
+        yield value

@@ -1,0 +1,107 @@
+"""Aggregated execution statistics (feeds Figures 3–5 and Table 3).
+
+A :class:`RunStats` snapshot is produced by the simulator at the end of
+an instrumented run.  It is a plain value object so experiment drivers
+and benchmarks can serialise or diff it freely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["RunStats"]
+
+
+def _fraction(approx: float, precise: float) -> float:
+    total = approx + precise
+    if total == 0:
+        return 0.0
+    return approx / total
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStats:
+    """Everything measured during one simulated execution."""
+
+    # Functional-unit operation counts.
+    int_ops_approx: int = 0
+    int_ops_precise: int = 0
+    fp_ops_approx: int = 0
+    fp_ops_precise: int = 0
+
+    # Storage byte-ticks (DESIGN.md: byte-second analogue).
+    dram_approx_byte_ticks: int = 0
+    dram_precise_byte_ticks: int = 0
+    sram_approx_byte_ticks: int = 0
+    sram_precise_byte_ticks: int = 0
+
+    # Fault-injection event counts.
+    fu_faults: int = 0
+    sram_read_upsets: int = 0
+    sram_write_failures: int = 0
+    dram_decayed_bits: int = 0
+
+    # Program-level events.
+    endorsements: int = 0
+    allocations: int = 0
+    ticks: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def int_ops_total(self) -> int:
+        return self.int_ops_approx + self.int_ops_precise
+
+    @property
+    def fp_ops_total(self) -> int:
+        return self.fp_ops_approx + self.fp_ops_precise
+
+    @property
+    def ops_total(self) -> int:
+        return self.int_ops_total + self.fp_ops_total
+
+    @property
+    def fp_proportion(self) -> float:
+        """Fraction of dynamic arithmetic that is floating point (Table 3)."""
+        return _fraction(self.fp_ops_total, self.int_ops_total)
+
+    @property
+    def int_approx_fraction(self) -> float:
+        """Fraction of integer operations executed approximately (Fig. 3)."""
+        return _fraction(self.int_ops_approx, self.int_ops_precise)
+
+    @property
+    def fp_approx_fraction(self) -> float:
+        """Fraction of FP operations executed approximately (Fig. 3)."""
+        return _fraction(self.fp_ops_approx, self.fp_ops_precise)
+
+    @property
+    def dram_approx_fraction(self) -> float:
+        """Fraction of DRAM byte-ticks holding approximate data (Fig. 3)."""
+        return _fraction(self.dram_approx_byte_ticks, self.dram_precise_byte_ticks)
+
+    @property
+    def sram_approx_fraction(self) -> float:
+        """Fraction of SRAM byte-ticks holding approximate data (Fig. 3)."""
+        return _fraction(self.sram_approx_byte_ticks, self.sram_precise_byte_ticks)
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.fu_faults
+            + self.sram_read_upsets
+            + self.sram_write_failures
+            + self.dram_decayed_bits
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat dict of raw counters plus derived fractions."""
+        data = dataclasses.asdict(self)
+        data.update(
+            fp_proportion=self.fp_proportion,
+            int_approx_fraction=self.int_approx_fraction,
+            fp_approx_fraction=self.fp_approx_fraction,
+            dram_approx_fraction=self.dram_approx_fraction,
+            sram_approx_fraction=self.sram_approx_fraction,
+        )
+        return data

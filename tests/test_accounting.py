@@ -1,0 +1,85 @@
+"""Tests for byte-tick storage accounting (Figure 3's fractions)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.accounting import StorageAccountant
+
+
+class TestDRAMAccounting:
+    def test_lifetime_weighting(self):
+        acct = StorageAccountant()
+        acct.allocate(1, approx_bytes=100, precise_bytes=50, now_tick=0)
+        acct.free(1, now_tick=10)
+        assert acct.dram_approx_byte_ticks == 1000
+        assert acct.dram_precise_byte_ticks == 500
+
+    def test_close_all_charges_live_allocations(self):
+        acct = StorageAccountant()
+        acct.allocate(1, 10, 0, now_tick=0)
+        acct.allocate(2, 0, 10, now_tick=5)
+        acct.close_all(now_tick=20)
+        assert acct.live_count == 0
+        assert acct.dram_approx_byte_ticks == 200
+        assert acct.dram_precise_byte_ticks == 150
+
+    def test_double_free_is_harmless(self):
+        acct = StorageAccountant()
+        acct.allocate(1, 10, 0, 0)
+        acct.free(1, 5)
+        acct.free(1, 50)
+        assert acct.dram_approx_byte_ticks == 50
+
+    def test_reregistration_keeps_birth_tick(self):
+        acct = StorageAccountant()
+        acct.allocate(1, 10, 0, now_tick=0)
+        acct.allocate(1, 10, 0, now_tick=100)  # ignored
+        acct.free(1, now_tick=10)
+        assert acct.dram_approx_byte_ticks == 100
+
+    def test_minimum_lifetime_one_tick(self):
+        acct = StorageAccountant()
+        acct.allocate(1, 10, 5, now_tick=7)
+        acct.free(1, now_tick=7)
+        assert acct.dram_approx_byte_ticks == 10
+        assert acct.dram_precise_byte_ticks == 5
+
+    def test_fraction(self):
+        acct = StorageAccountant()
+        acct.allocate(1, 30, 10, 0)
+        acct.free(1, 1)
+        assert acct.dram_approx_fraction == 0.75
+
+    def test_empty_fraction_is_zero(self):
+        acct = StorageAccountant()
+        assert acct.dram_approx_fraction == 0.0
+        assert acct.sram_approx_fraction == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),  # approx bytes
+                st.integers(min_value=0, max_value=1000),  # precise bytes
+                st.integers(min_value=0, max_value=100),  # birth
+                st.integers(min_value=0, max_value=100),  # extra lifetime
+            ),
+            max_size=30,
+        )
+    )
+    def test_fraction_always_in_unit_interval(self, allocations):
+        acct = StorageAccountant()
+        for i, (approx, precise, birth, life) in enumerate(allocations):
+            acct.allocate(i, approx, precise, birth)
+            acct.free(i, birth + life)
+        assert 0.0 <= acct.dram_approx_fraction <= 1.0
+
+
+class TestSRAMAccounting:
+    def test_touch(self):
+        acct = StorageAccountant()
+        acct.touch_sram(4, approximate=True)
+        acct.touch_sram(4, approximate=True)
+        acct.touch_sram(8, approximate=False)
+        assert acct.sram_approx_byte_ticks == 8
+        assert acct.sram_precise_byte_ticks == 8
+        assert acct.sram_approx_fraction == 0.5

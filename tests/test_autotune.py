@@ -1,0 +1,75 @@
+"""Tests for the offline per-application autotuner (Sec. 6.2 extension)."""
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments.autotune import (
+    LEVELS,
+    TUNABLE,
+    TuneResult,
+    autotune,
+    compose_config,
+    format_tuning,
+)
+from repro.experiments.harness import mean_qos
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD
+
+
+class TestComposeConfig:
+    def test_all_off_is_baseline_parameters(self):
+        config = compose_config({s: 0 for s in TUNABLE})
+        assert not config.approximates_anything
+
+    def test_all_max_matches_aggressive_parameters(self):
+        config = compose_config({s: 3 for s in TUNABLE})
+        assert config.dram_flip_per_second == AGGRESSIVE.dram_flip_per_second
+        assert config.sram_write_failure == AGGRESSIVE.sram_write_failure
+        assert config.float_mantissa_bits == AGGRESSIVE.float_mantissa_bits
+        assert config.timing_error_prob == AGGRESSIVE.timing_error_prob
+
+    def test_heterogeneous_levels(self):
+        config = compose_config({"dram": 3, "sram": 0, "float_width": 1, "timing": 2})
+        assert config.dram_flip_per_second == AGGRESSIVE.dram_flip_per_second
+        assert config.sram_read_upset == 0.0
+        assert config.float_mantissa_bits == MILD.float_mantissa_bits
+        assert config.timing_error_prob == MEDIUM.timing_error_prob
+
+    def test_sram_is_one_knob(self):
+        config = compose_config({"dram": 0, "sram": 2, "float_width": 0, "timing": 0})
+        assert config.sram_read_upset == MEDIUM.sram_read_upset
+        assert config.sram_write_failure == MEDIUM.sram_write_failure
+        assert config.sram_power_saving == MEDIUM.sram_power_saving
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        return autotune(app_by_name("montecarlo"), qos_budget=0.05, runs=3)
+
+    def test_result_meets_budget(self, tuned):
+        assert tuned.measured_qos <= 0.05
+
+    def test_result_saves_energy(self, tuned):
+        assert 0.0 < tuned.savings < 0.6
+
+    def test_tuned_config_verifies_out_of_sample(self, tuned):
+        # Fresh fault seeds (not those used during the search) must
+        # still roughly meet the budget — tuning must not overfit.
+        spec = app_by_name("montecarlo")
+        fresh_error = mean_qos(spec, tuned.config, runs=4, workload_seed=0)
+        assert fresh_error <= 0.15
+
+    def test_some_mechanism_enabled(self, tuned):
+        assert any(level > 0 for level in tuned.levels.values())
+
+    def test_tight_budget_yields_conservative_config(self):
+        spec = app_by_name("sor")
+        tight = autotune(spec, qos_budget=0.01, runs=2)
+        loose = autotune(spec, qos_budget=0.5, runs=2)
+        assert sum(tight.levels.values()) <= sum(loose.levels.values())
+        assert tight.savings <= loose.savings + 1e-9
+
+    def test_format(self, tuned):
+        text = format_tuning([tuned], 0.05)
+        assert "MonteCarlo" in text
+        assert "QoS budget" in text

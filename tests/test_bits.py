@@ -1,0 +1,112 @@
+"""Tests for bit-level value representations used by the fault models."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware import bits
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestIntEncoding:
+    @given(int32s)
+    def test_roundtrip(self, value):
+        assert bits.bits_to_int(bits.int_to_bits(value)) == value
+
+    def test_wraps_to_32_bits(self):
+        assert bits.bits_to_int(bits.int_to_bits(2**31)) == -(2**31)
+        assert bits.bits_to_int(bits.int_to_bits(-(2**31) - 1)) == 2**31 - 1
+
+    @given(int32s, st.integers(min_value=0, max_value=31))
+    def test_flip_is_involution(self, value, bit):
+        flipped = bits.flip_bit_int(value, bit)
+        assert bits.flip_bit_int(flipped, bit) == value
+        assert flipped != value
+
+
+class TestFloatEncoding:
+    @given(floats)
+    def test_float32_roundtrip(self, value):
+        assert bits.bits32_to_float(bits.float_to_bits32(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float64_roundtrip(self, value):
+        assert bits.bits64_to_float(bits.float_to_bits64(value)) == value
+
+    def test_overflowing_float32_saturates_to_infinity(self):
+        pattern = bits.float_to_bits32(1e300)
+        assert math.isinf(bits.bits32_to_float(pattern))
+        pattern = bits.float_to_bits32(-1e300)
+        result = bits.bits32_to_float(pattern)
+        assert math.isinf(result) and result < 0
+
+    @given(floats, st.integers(min_value=0, max_value=31))
+    def test_float_flip_changes_pattern(self, value, bit):
+        flipped = bits.flip_bit_float(value, bit)
+        assert bits.float_to_bits32(flipped) != bits.float_to_bits32(value)
+
+
+class TestMantissaTruncation:
+    def test_full_width_is_identity_for_float32_values(self):
+        value = bits.bits32_to_float(bits.float_to_bits32(3.14159))
+        assert bits.truncate_mantissa(value, 24) == value
+
+    def test_truncation_reduces_precision(self):
+        value = 1.0 + 2**-20  # needs 20 mantissa bits
+        assert bits.truncate_mantissa(value, 8) == 1.0
+
+    def test_truncation_keeps_high_bits(self):
+        value = 1.5  # one mantissa bit
+        assert bits.truncate_mantissa(value, 4) == 1.5
+
+    def test_special_values_pass_through(self):
+        assert math.isnan(bits.truncate_mantissa(math.nan, 4))
+        assert math.isinf(bits.truncate_mantissa(math.inf, 4))
+        assert bits.truncate_mantissa(0.0, 4) == 0.0
+        assert bits.truncate_mantissa(-0.0, 4) == 0.0
+
+    @given(floats, st.integers(min_value=1, max_value=23))
+    def test_idempotent(self, value, keep):
+        once = bits.truncate_mantissa(value, keep)
+        assert bits.truncate_mantissa(once, keep) == once
+
+    @given(floats, st.integers(min_value=1, max_value=23))
+    def test_error_bounded_by_relative_precision(self, value, keep):
+        truncated = bits.truncate_mantissa(value, keep)
+        if abs(value) >= 2.0**-126 and not math.isinf(truncated):
+            # For normal numbers, dropping mantissa bits changes the
+            # value by at most one part in 2^(keep-1).  (Subnormals have
+            # no hidden leading one, so the relative bound does not
+            # apply to them.)
+            assert abs(truncated - value) <= abs(value) * 2.0 ** -(keep - 1)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.integers(min_value=1, max_value=51))
+    def test_double_truncation_idempotent(self, value, keep):
+        once = bits.truncate_mantissa(value, keep, double=True)
+        assert bits.truncate_mantissa(once, keep, double=True) == once
+
+    def test_sign_preserved(self):
+        assert bits.truncate_mantissa(-3.75, 8) < 0
+
+
+class TestValueCodec:
+    def test_bool_kind(self):
+        assert bits.value_to_bits(True, "bool") == 1
+        assert bits.bits_to_value(0, "bool") is False
+        assert bits.bits_for_kind("bool") == 1
+
+    @given(int32s)
+    def test_int_kind_roundtrip(self, value):
+        assert bits.bits_to_value(bits.value_to_bits(value, "int"), "int") == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_kind_roundtrip(self, value):
+        assert bits.bits_to_value(bits.value_to_bits(value, "double"), "double") == value
+
+    def test_widths(self):
+        assert bits.bits_for_kind("int") == 32
+        assert bits.bits_for_kind("float") == 32
+        assert bits.bits_for_kind("double") == 64

@@ -1,0 +1,582 @@
+"""Tests for the EnerPy static checker (paper Section 2 rules)."""
+
+import textwrap
+
+from repro.core.checker import check_modules
+
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def check_src(source: str):
+    """Check a test snippet; the EnerPy prelude is prepended after dedent."""
+    return check_modules({"m": PRELUDE + textwrap.dedent(source)})
+
+
+def codes(source: str):
+    return sorted(set(check_src(source).codes()))
+
+
+class TestFlowRules:
+    def test_approx_to_precise_assignment_rejected(self):
+        assert "flow" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                p: int = 0
+                p = a
+            """
+        )
+
+    def test_endorse_permits_the_flow(self):
+        result = check_src(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                p: int = 0
+                p = endorse(a)
+            """
+        )
+        assert result.ok
+
+    def test_precise_to_approx_allowed_by_subtyping(self):
+        result = check_src(
+            """
+            def f() -> None:
+                p: int = 1
+                a: Approx[int] = 0
+                a = p
+            """
+        )
+        assert result.ok
+
+    def test_approx_argument_to_precise_parameter_rejected(self):
+        assert "flow" in codes(
+            """
+            def callee(x: float) -> None:
+                pass
+
+            def caller() -> None:
+                a: Approx[float] = 1.0
+                callee(a)
+            """
+        )
+
+    def test_precise_argument_to_approx_parameter_ok(self):
+        result = check_src(
+            """
+            def callee(x: Approx[float]) -> None:
+                pass
+
+            def caller() -> None:
+                callee(1.0)
+            """
+        )
+        assert result.ok
+
+    def test_approx_return_from_precise_function_rejected(self):
+        assert "return-type" in codes(
+            """
+            def f() -> float:
+                a: Approx[float] = 1.0
+                return a
+            """
+        )
+
+    def test_approx_escape_to_unknown_function(self):
+        assert "approx-escape" in codes(
+            """
+            def f() -> None:
+                a: Approx[float] = 1.0
+                unknown_library_call(a)
+            """
+        )
+
+    def test_printing_approx_rejected(self):
+        assert "approx-escape" in codes(
+            """
+            def f() -> None:
+                a: Approx[float] = 1.0
+                print(a)
+            """
+        )
+
+    def test_precise_downcast_rejected(self):
+        assert "flow" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                p: int = Precise(a)
+            """
+        )
+
+
+class TestControlFlowRules:
+    def test_approx_condition_in_if_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                flag: bool = False
+                if a == 5:
+                    flag = True
+            """
+        )
+
+    def test_endorsed_condition_allowed(self):
+        result = check_src(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                flag: bool = False
+                if endorse(a == 5):
+                    flag = True
+            """
+        )
+        assert result.ok
+
+    def test_approx_while_condition_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[float] = 10.0
+                while a > 0.0:
+                    a = a - 1.0
+            """
+        )
+
+    def test_approx_ternary_condition_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                x: Approx[int] = 2 if a > 0 else 3
+            """
+        )
+
+    def test_approx_range_bound_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 10
+                total: Approx[int] = 0
+                for i in range(a):
+                    total = total + 1
+            """
+        )
+
+    def test_approx_assert_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                assert a > 0
+            """
+        )
+
+
+class TestArrayRules:
+    def test_approx_subscript_rejected(self):
+        assert "subscript" in codes(
+            """
+            def f() -> None:
+                arr: list[float] = [0.0] * 4
+                i: Approx[int] = 1
+                x: float = arr[i]
+            """
+        )
+
+    def test_endorsed_subscript_allowed(self):
+        result = check_src(
+            """
+            def f() -> None:
+                arr: list[float] = [0.0] * 4
+                i: Approx[int] = 1
+                x: float = arr[endorse(i)]
+            """
+        )
+        assert result.ok
+
+    def test_array_length_is_precise(self):
+        result = check_src(
+            """
+            def f() -> int:
+                arr: list[Approx[float]] = [0.0] * 4
+                return len(arr)
+            """
+        )
+        assert result.ok
+
+    def test_approx_array_length_rejected(self):
+        assert "subscript" in codes(
+            """
+            def f() -> None:
+                n: Approx[int] = 8
+                arr: list[float] = [0.0] * n
+            """
+        )
+
+    def test_approx_elements_to_precise_element_array_rejected(self):
+        assert "flow" in codes(
+            """
+            def f() -> None:
+                arr: list[float] = [0.0] * 4
+                a: Approx[float] = 1.0
+                arr[0] = a
+            """
+        )
+
+    def test_approx_element_array_accepts_precise_values(self):
+        result = check_src(
+            """
+            def f() -> None:
+                arr: list[Approx[float]] = [0.0] * 4
+                arr[0] = 1.0
+            """
+        )
+        assert result.ok
+
+
+class TestBidirectionalTyping:
+    def test_precise_operands_approx_target(self):
+        """a = b + c with approximate a selects the approximate operator."""
+        source = PRELUDE + textwrap.dedent(
+            """
+            def f() -> None:
+                b: float = 1.0
+                c: float = 2.0
+                a: Approx[float] = 0.0
+                a = b + c
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        binops = [f for f in result.facts.values() if f.get("role") == "binop"]
+        assert any(f["approx"] is True for f in binops)
+
+    def test_precise_target_keeps_precise_operator(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            def f() -> None:
+                b: float = 1.0
+                c: float = 2.0
+                a: float = b + c
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        binops = [f for f in result.facts.values() if f.get("role") == "binop"]
+        assert all(f["approx"] is False for f in binops)
+
+    def test_augassign_on_approx_target(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            def f() -> None:
+                a: Approx[float] = 0.0
+                a += 1.0
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        binops = [f for f in result.facts.values() if f.get("role") == "binop"]
+        assert any(f["approx"] is True for f in binops)
+
+
+class TestApproximableClasses:
+    CLASS = PRELUDE + textwrap.dedent(
+        """
+        @approximable
+        class IntPair:
+            x: Context[int]
+            y: Context[int]
+            num_additions: Approx[int]
+
+            def __init__(self, x: Context[int], y: Context[int]) -> None:
+                self.x = x
+                self.y = y
+                self.num_additions = 0
+
+            def add_to_both(self, amount: Context[int]) -> None:
+                self.x = self.x + amount
+                self.y = self.y + amount
+                self.num_additions = self.num_additions + 1
+        """
+    )
+
+    def test_paper_intpair_example_checks(self):
+        result = check_modules({"m": self.CLASS})
+        assert result.ok
+
+    def test_precise_instance_context_field_is_precise(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> int:
+                p: IntPair = IntPair(1, 2)
+                return p.x
+            """
+        )
+        assert check_modules({"m": source}).ok
+
+    def test_approx_instance_context_field_is_approx(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> int:
+                a: Approx[IntPair] = IntPair(1, 2)
+                return a.x
+            """
+        )
+        assert "return-type" in check_modules({"m": source}).codes()
+
+    def test_approx_field_approx_even_on_precise_instance(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> int:
+                p: IntPair = IntPair(1, 2)
+                return p.num_additions
+            """
+        )
+        assert "return-type" in check_modules({"m": source}).codes()
+
+    def test_approx_argument_to_precise_instance_method_rejected(self):
+        # p.add_to_both(approx) adapts Context to precise: rejected.
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> None:
+                p: IntPair = IntPair(1, 2)
+                amt: Approx[int] = 5
+                p.add_to_both(amt)
+            """
+        )
+        assert "flow" in check_modules({"m": source}).codes()
+
+    def test_approx_argument_to_approx_instance_method_ok(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> None:
+                a: Approx[IntPair] = IntPair(1, 2)
+                amt: Approx[int] = 5
+                a.add_to_both(amt)
+            """
+        )
+        assert check_modules({"m": source}).ok
+
+    def test_approx_instance_of_plain_class_rejected(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            class Plain:
+                x: int
+
+                def __init__(self) -> None:
+                    self.x = 0
+
+            def use() -> None:
+                a: Approx[Plain] = Plain()
+            """
+        )
+        assert "not-approximable" in check_modules({"m": source}).codes()
+
+    def test_context_outside_approximable_rejected(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            class Plain:
+                x: Context[int]
+            """
+        )
+        assert "context-outside" in check_modules({"m": source}).codes()
+
+    def test_precise_class_not_subtype_of_approx_class(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> None:
+                p: IntPair = IntPair(1, 2)
+                a: Approx[IntPair] = p
+            """
+        )
+        assert "incompatible" in check_modules({"m": source}).codes()
+
+    def test_write_context_field_through_top_receiver_rejected(self):
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> None:
+                t: Top[IntPair] = IntPair(1, 2)
+                t.x = 5
+            """
+        )
+        assert "lost-write" in check_modules({"m": source}).codes()
+
+    def test_read_context_field_through_top_receiver_allowed(self):
+        # Reading at lost precision is fine; only writes are unsound.
+        source = self.CLASS + textwrap.dedent(
+            """
+            def use() -> None:
+                t: Top[IntPair] = IntPair(1, 2)
+                v = t.x
+            """
+        )
+        result = check_modules({"m": source})
+        assert "lost-write" not in result.codes()
+
+
+class TestAlgorithmicApproximation:
+    FLOATSET = PRELUDE + textwrap.dedent(
+        """
+        @approximable
+        class FloatSet:
+            nums: Context[list[float]]
+
+            def __init__(self, nums: Context[list[float]]) -> None:
+                self.nums = nums
+
+            def mean(self) -> float:
+                total: float = 0.0
+                for i in range(len(self.nums)):
+                    total = total + self.nums[i]
+                return total / len(self.nums)
+
+            def mean_APPROX(self) -> Approx[float]:
+                total: Approx[float] = 0.0
+                for i in range(0, len(self.nums), 2):
+                    total = total + self.nums[i]
+                return 2 * total / len(self.nums)
+        """
+    )
+
+    def test_paper_floatset_example_checks(self):
+        assert check_modules({"m": self.FLOATSET}).ok
+
+    def test_approx_receiver_dispatches_to_variant(self):
+        source = self.FLOATSET + textwrap.dedent(
+            """
+            def use() -> float:
+                s: Approx[FloatSet] = FloatSet([1.0] * 8)
+                m: Approx[float] = s.mean()
+                return endorse(m)
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        invokes = [f for f in result.facts.values() if f.get("role") == "invoke"]
+        assert any(f["dispatch"] == "approx" and f["method"] == "mean" for f in invokes)
+
+    def test_precise_receiver_uses_precise_method(self):
+        source = self.FLOATSET + textwrap.dedent(
+            """
+            def use() -> float:
+                s: FloatSet = FloatSet([1.0] * 8)
+                return s.mean()
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        invokes = [f for f in result.facts.values() if f.get("role") == "invoke"]
+        assert not invokes
+
+    def test_approx_variant_outside_approximable_rejected(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            class Plain:
+                def m(self) -> int:
+                    return 1
+
+                def m_APPROX(self) -> Approx[int]:
+                    return 1
+            """
+        )
+        assert "not-approximable" in check_modules({"m": source}).codes()
+
+
+class TestMiscRules:
+    def test_unknown_field_rejected(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            class C:
+                x: int
+
+                def __init__(self) -> None:
+                    self.x = 0
+
+            def f() -> None:
+                c: C = C()
+                v: int = c.missing
+            """
+        )
+        assert "unknown-field" in check_modules({"m": source}).codes()
+
+    def test_unknown_method_rejected(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            class C:
+                def m(self) -> None:
+                    pass
+
+            def f() -> None:
+                c: C = C()
+                c.missing()
+            """
+        )
+        assert "unknown-method" in check_modules({"m": source}).codes()
+
+    def test_arity_mismatch(self):
+        assert "arity" in codes(
+            """
+            def callee(x: int) -> None:
+                pass
+
+            def caller() -> None:
+                callee(1, 2)
+            """
+        )
+
+    def test_plain_python_is_valid_enerpy(self):
+        # The paper's backward-compatibility claim: unannotated Java is
+        # valid EnerJ; unannotated (subset) Python is valid EnerPy.
+        result = check_src(
+            """
+            def fib(n: int) -> int:
+                if n < 2:
+                    return n
+                return fib(n - 1) + fib(n - 2)
+            """
+        )
+        assert result.ok
+
+    def test_multi_module_program(self):
+        helper = PRELUDE + textwrap.dedent(
+            """
+            def scale(x: Approx[float]) -> Approx[float]:
+                return x * 2.0
+            """
+        )
+        main = PRELUDE + textwrap.dedent(
+            """
+            from helper import scale
+
+            def run() -> float:
+                a: Approx[float] = 3.0
+                return endorse(scale(a))
+            """
+        )
+        result = check_modules({"helper": helper, "main": main})
+        assert result.ok
+
+    def test_math_with_approx_arg_marks_fact(self):
+        source = PRELUDE + "import math\n" + textwrap.dedent(
+            """
+            def f() -> float:
+                a: Approx[float] = 2.0
+                r: Approx[float] = math.sqrt(a)
+                return endorse(r)
+            """
+        )
+        result = check_modules({"m": source})
+        assert result.ok
+        assert any(f.get("role") == "math" for f in result.facts.values())
+
+    def test_approx_is_and_in_rejected(self):
+        assert "incompatible" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                flag: bool = a is None
+            """
+        )

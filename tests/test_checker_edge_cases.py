@@ -1,0 +1,379 @@
+"""Second round of checker tests: edge cases and less-travelled rules."""
+
+import textwrap
+
+from repro.core.checker import check_modules
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def check_src(source: str):
+    return check_modules({"m": PRELUDE + textwrap.dedent(source)})
+
+
+def codes(source: str):
+    return sorted(set(check_src(source).codes()))
+
+
+class TestConversions:
+    def test_int_of_approx_float_stays_approx(self):
+        assert "flow" in codes(
+            """
+            def f() -> int:
+                a: Approx[float] = 1.5
+                i: int = int(a)
+                return i
+            """
+        )
+
+    def test_int_of_approx_float_into_approx_ok(self):
+        assert check_src(
+            """
+            def f() -> int:
+                a: Approx[float] = 1.5
+                i: Approx[int] = int(a)
+                return endorse(i)
+            """
+        ).ok
+
+    def test_float_of_string_is_precise(self):
+        assert check_src(
+            """
+            def f() -> float:
+                return float("nan")
+            """
+        ).ok
+
+    def test_bool_of_approx_is_approx(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                if bool(a):
+                    pass
+            """
+        )
+
+
+class TestControlFlowVariants:
+    def test_while_else_checked(self):
+        assert check_src(
+            """
+            def f() -> int:
+                i: int = 0
+                while i < 3:
+                    i = i + 1
+                else:
+                    i = 0
+                return i
+            """
+        ).ok
+
+    def test_break_continue_allowed(self):
+        assert check_src(
+            """
+            def f() -> int:
+                total: int = 0
+                for i in range(10):
+                    if i == 3:
+                        continue
+                    if i == 7:
+                        break
+                    total = total + i
+                return total
+            """
+        ).ok
+
+    def test_boolop_of_endorsed_conditions_ok(self):
+        assert check_src(
+            """
+            def f() -> int:
+                a: Approx[int] = 1
+                if endorse(a > 0) and endorse(a < 10):
+                    return 1
+                return 0
+            """
+        ).ok
+
+    def test_approx_boolop_in_condition_rejected(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                flag: Approx[bool] = a > 0
+                other: Approx[bool] = a < 9
+                if flag and other:
+                    pass
+            """
+        )
+
+    def test_not_preserves_approximation(self):
+        assert "condition" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                if not (a > 0):
+                    pass
+            """
+        )
+
+    def test_try_except_supported(self):
+        assert check_src(
+            """
+            def f() -> int:
+                try:
+                    x: int = 1
+                except Exception:
+                    x = 2
+                return x
+            """
+        ).ok
+
+
+class TestFunctionsAndReturns:
+    def test_void_function_returning_approx_rejected(self):
+        assert "flow" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                return a
+            """
+        )
+
+    def test_missing_return_value_rejected(self):
+        assert "return-type" in codes(
+            """
+            def f() -> int:
+                return
+            """
+        )
+
+    def test_recursion_through_approx_signature(self):
+        assert check_src(
+            """
+            def fib(n: int) -> Approx[int]:
+                if n < 2:
+                    return n
+                return fib(n - 1) + fib(n - 2)
+            """
+        ).ok
+
+    def test_nested_function_rejected(self):
+        assert "unsupported" in codes(
+            """
+            def outer() -> None:
+                def inner() -> None:
+                    pass
+            """
+        )
+
+    def test_star_args_rejected(self):
+        assert "unsupported" in codes(
+            """
+            def f(*xs) -> None:
+                pass
+            """
+        )
+
+    def test_keyword_call_rejected(self):
+        assert "unsupported" in codes(
+            """
+            def g(x: int) -> None:
+                pass
+
+            def f() -> None:
+                g(x=1)
+            """
+        )
+
+
+class TestTuplesAndDynamic:
+    def test_precise_tuple_unpack_tolerated(self):
+        assert check_src(
+            """
+            def f() -> None:
+                a, b = (1, 2)
+            """
+        ).ok
+
+    def test_approx_in_tuple_rejected(self):
+        assert "unsupported" in codes(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                pair = (a, 2)
+            """
+        )
+
+    def test_dynamic_call_with_precise_args_ok(self):
+        assert check_src(
+            """
+            def f() -> None:
+                mystery_function(1, 2.0, "three")
+            """
+        ).ok
+
+    def test_string_operations_precise(self):
+        assert check_src(
+            """
+            def f() -> str:
+                s: str = "a" + "b"
+                return s
+            """
+        ).ok
+
+
+class TestClassEdgeCases:
+    def test_inherited_approximable_fields(self):
+        source = """
+        @approximable
+        class Base:
+            x: Context[int]
+
+            def __init__(self) -> None:
+                self.x = 0
+
+        @approximable
+        class Derived(Base):
+            y: Approx[int]
+
+        def use() -> int:
+            d: Approx[Derived] = Derived()
+            v: Approx[int] = d.x + d.y
+            return endorse(v)
+        """
+        result = check_src(source)
+        assert result.ok, result.sink.summary()
+
+    def test_method_on_subclass_found_in_superclass(self):
+        source = """
+        class Base:
+            def m(self) -> int:
+                return 1
+
+        class Derived(Base):
+            pass
+
+        def use() -> int:
+            d: Derived = Derived()
+            return d.m()
+        """
+        assert check_src(source).ok
+
+    def test_subclass_assignable_to_superclass(self):
+        source = """
+        class Base:
+            def m(self) -> int:
+                return 1
+
+        class Derived(Base):
+            pass
+
+        def use() -> int:
+            b: Base = Derived()
+            return b.m()
+        """
+        assert check_src(source).ok
+
+    def test_superclass_not_assignable_to_subclass(self):
+        source = """
+        class Base:
+            def m(self) -> int:
+                return 1
+
+        class Derived(Base):
+            pass
+
+        def use() -> None:
+            d: Derived = Base()
+        """
+        assert "incompatible" in set(check_src(source).codes())
+
+    def test_field_read_of_method_name(self):
+        source = """
+        class C:
+            def m(self) -> int:
+                return 1
+
+        def use() -> None:
+            c: C = C()
+            handle = c.m
+        """
+        # Reading a bound method is tolerated as dynamic/precise.
+        assert check_src(source).ok
+
+
+class TestNumericWidening:
+    def test_int_flows_into_float(self):
+        assert check_src(
+            """
+            def f() -> float:
+                x: float = 3
+                return x
+            """
+        ).ok
+
+    def test_float_does_not_flow_into_int(self):
+        assert "incompatible" in codes(
+            """
+            def f() -> int:
+                x: int = 3.5
+                return x
+            """
+        )
+
+    def test_approx_int_flows_into_approx_float(self):
+        assert check_src(
+            """
+            def f() -> float:
+                a: Approx[int] = 3
+                x: Approx[float] = a
+                return endorse(x)
+            """
+        ).ok
+
+    def test_mixed_arithmetic_promotes_to_float(self):
+        result = check_src(
+            """
+            def f() -> float:
+                return 1 + 2.5
+            """
+        )
+        assert result.ok
+
+
+class TestEndorseEdgeCases:
+    def test_endorse_of_array_endorses_elements(self):
+        assert check_src(
+            """
+            def f() -> None:
+                arr: list[Approx[float]] = [0.0] * 4
+                precise_arr: list[float] = endorse(arr)
+            """
+        ).ok
+
+    def test_endorse_arity(self):
+        assert "arity" in codes(
+            """
+            def f() -> None:
+                x = endorse(1, 2)
+            """
+        )
+
+    def test_endorse_of_precise_is_harmless(self):
+        assert check_src(
+            """
+            def f() -> int:
+                return endorse(5)
+            """
+        ).ok
+
+    def test_print_endorsed_ok(self):
+        assert check_src(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                print(endorse(a))
+            """
+        ).ok

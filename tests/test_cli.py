@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+from repro import Approx, endorse
+
+def total(n: int) -> float:
+    data: list[Approx[float]] = [0.0] * n
+    for i in range(n):
+        data[i] = 1.0 * i
+    acc: Approx[float] = 0.0
+    for i in range(n):
+        acc = acc + data[i]
+    return endorse(acc)
+"""
+
+BAD = """
+from repro import Approx
+
+def leak() -> float:
+    a: Approx[float] = 1.0
+    return a
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.py"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_accepts_well_typed(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_rejects_ill_typed(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "return-type" in out or "flow" in out
+        assert "FAILED" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent/nowhere.py"]) == 1
+
+
+class TestRunCommand:
+    def test_runs_entry(self, good_file, capsys):
+        code = main(
+            ["run", good_file, "--entry", "total", "--config", "baseline", "--args", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "output   : 45.0" in out
+        assert "energy" in out
+
+    def test_reports_stats(self, good_file, capsys):
+        main(["run", good_file, "--entry", "total", "--config", "mild", "--args", "16"])
+        out = capsys.readouterr().out
+        assert "approx" in out
+        assert "endorsements: 1" in out
+
+    def test_mobile_split(self, good_file, capsys):
+        main(
+            ["run", good_file, "--entry", "total", "--config", "mild", "--mobile",
+             "--args", "8"]
+        )
+        assert "mobile split" in capsys.readouterr().out
+
+    def test_run_rejects_ill_typed(self, bad_file, capsys):
+        assert main(["run", bad_file, "--entry", "leak"]) == 1
+
+    def test_float_argument_parsing(self, tmp_path, capsys):
+        path = tmp_path / "f.py"
+        path.write_text("def double(x: float) -> float:\n    return x * 2.0\n")
+        assert main(["run", str(path), "--entry", "double", "--config", "baseline",
+                     "--args", "1.5"]) == 0
+        assert "3.0" in capsys.readouterr().out
+
+
+class TestCensusCommand:
+    def test_counts(self, good_file, capsys):
+        assert main(["census", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "declarations" in out
+        assert "endorsement sites  : 1" in out
+
+
+class TestExperimentsCommand:
+    def test_table2(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        assert "10^-5" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figure99"])

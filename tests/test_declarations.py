@@ -1,0 +1,158 @@
+"""Tests for declaration collection and annotation parsing (pass 1)."""
+
+import ast
+
+import pytest
+
+from repro.core.declarations import (
+    ProgramDeclarations,
+    collect_declarations,
+    parse_annotation,
+)
+from repro.core.diagnostics import DiagnosticSink
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, TOP
+
+
+def parse_ann(text: str, in_approximable: bool = False):
+    sink = DiagnosticSink()
+    node = ast.parse(text, mode="eval").body
+    result = parse_annotation(node, sink, "m", in_approximable=in_approximable)
+    return result, sink
+
+
+class TestAnnotationParsing:
+    def test_plain_primitives(self):
+        for name in ("int", "float", "bool"):
+            parsed, sink = parse_ann(name)
+            assert parsed.is_primitive and parsed.name == name
+            assert parsed.qualifier is PRECISE
+            assert not sink.has_errors
+
+    def test_qualified_primitives(self):
+        parsed, _ = parse_ann("Approx[float]")
+        assert parsed.qualifier is APPROX and parsed.name == "float"
+        parsed, _ = parse_ann("Top[int]")
+        assert parsed.qualifier is TOP
+
+    def test_context_requires_approximable(self):
+        _, sink = parse_ann("Context[int]", in_approximable=False)
+        assert "context-outside" in sink.codes()
+        parsed, sink = parse_ann("Context[int]", in_approximable=True)
+        assert parsed.qualifier is CONTEXT
+        assert not sink.has_errors
+
+    def test_list_of_approx_elements(self):
+        parsed, _ = parse_ann("list[Approx[float]]")
+        assert parsed.is_array
+        assert parsed.element.qualifier is APPROX
+        assert parsed.qualifier is PRECISE  # the reference stays precise
+
+    def test_approx_list_sugar(self):
+        sugar, _ = parse_ann("Approx[list[float]]")
+        explicit, _ = parse_ann("list[Approx[float]]")
+        assert sugar == explicit
+
+    def test_string_forward_reference(self):
+        parsed, _ = parse_ann('"Vector3f"')
+        assert parsed.is_reference and parsed.name == "Vector3f"
+
+    def test_qualified_forward_reference(self):
+        parsed, _ = parse_ann('Context["Vector3f"]', in_approximable=True)
+        assert parsed.qualifier is CONTEXT and parsed.name == "Vector3f"
+
+    def test_nested_qualifiers_rejected(self):
+        _, sink = parse_ann("Approx[Approx[int]]")
+        assert "bad-annotation" in sink.codes()
+
+    def test_none_annotation_is_void(self):
+        parsed, _ = parse_ann("None")
+        assert parsed.is_void
+
+    def test_unparseable_string_reported(self):
+        _, sink = parse_ann('"not a type!!"')
+        assert "bad-annotation" in sink.codes()
+
+    def test_class_reference(self):
+        parsed, _ = parse_ann("Approx[Matrix]")
+        assert parsed.is_reference and parsed.name == "Matrix"
+        assert parsed.qualifier is APPROX
+
+
+SOURCE = """
+from repro import Approx, Context, approximable, endorse
+
+@approximable
+class Grid:
+    cells: Context[list[float]]
+    hits: Approx[int]
+
+    def __init__(self, n: int) -> None:
+        data: Context[list[float]] = [0.0] * n
+        self.cells = data
+        self.hits = 0
+
+    def probe(self) -> Context[float]:
+        return self.cells[0]
+
+    def probe_APPROX(self) -> Approx[float]:
+        return self.cells[0]
+
+class Plain(Grid):
+    extra: int
+
+def helper(x: Approx[float]) -> Approx[float]:
+    return x * 2.0
+"""
+
+
+class TestCollection:
+    @pytest.fixture(scope="class")
+    def decls(self) -> ProgramDeclarations:
+        sink = DiagnosticSink()
+        return collect_declarations({"m": ast.parse(SOURCE)}, sink)
+
+    def test_classes_collected(self, decls):
+        grid = decls.lookup_class("Grid")
+        assert grid is not None and grid.approximable
+        assert set(grid.fields) == {"cells", "hits"}
+        assert grid.fields["hits"].qualifier is APPROX
+
+    def test_subclass_chain(self, decls):
+        assert decls.subclasses == {"Plain": "Grid"}
+        # FType walks the chain.
+        assert decls.field_type("Plain", "cells") is not None
+        assert decls.field_type("Plain", "extra").is_primitive
+
+    def test_method_sig_lookup(self, decls):
+        sig = decls.method_sig("Plain", "probe")
+        assert sig is not None
+        assert sig.owner == "Grid"
+
+    def test_approx_variant_detection(self, decls):
+        assert decls.class_has_approx_variant("Grid", "probe")
+        assert not decls.class_has_approx_variant("Grid", "__init__")
+
+    def test_variant_receiver_qualifiers(self, decls):
+        grid = decls.lookup_class("Grid")
+        # probe has a variant: its body is checked precisely; the
+        # variant approximately; __init__ (no variant) contextually.
+        assert grid.methods["probe"].receiver_qualifier is PRECISE
+        assert grid.methods["probe_APPROX"].receiver_qualifier is APPROX
+        assert grid.methods["__init__"].receiver_qualifier is CONTEXT
+
+    def test_functions_collected(self, decls):
+        helper = decls.lookup_function("helper")
+        assert helper is not None
+        assert helper.params[0][1].qualifier is APPROX
+        assert helper.returns.qualifier is APPROX
+
+    def test_field_specs_for_layout(self, decls):
+        specs = dict(
+            (name, (kind, qual))
+            for name, kind, qual in decls.lookup_class("Grid").field_specs()
+        )
+        # The array-typed field is a *pointer* and pointers are never
+        # approximated (paper Section 5.1); the context qualifier lives
+        # on the elements, whose storage is the array's own.
+        assert specs["cells"] == ("ref", "precise")
+        assert specs["hits"] == ("int", "approx")

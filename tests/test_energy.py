@@ -1,0 +1,142 @@
+"""Tests for the Section 5.4 energy model."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.model import MOBILE, SERVER, EnergyParameters, estimate_energy
+from repro.errors import EnergyModelError
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.runtime.stats import RunStats
+
+
+def stats(
+    int_approx=0,
+    int_precise=0,
+    fp_approx=0,
+    fp_precise=0,
+    dram_approx=0,
+    dram_precise=0,
+    sram_approx=0,
+    sram_precise=0,
+):
+    return RunStats(
+        int_ops_approx=int_approx,
+        int_ops_precise=int_precise,
+        fp_ops_approx=fp_approx,
+        fp_ops_precise=fp_precise,
+        dram_approx_byte_ticks=dram_approx,
+        dram_precise_byte_ticks=dram_precise,
+        sram_approx_byte_ticks=sram_approx,
+        sram_precise_byte_ticks=sram_precise,
+    )
+
+
+FULLY_APPROX = stats(
+    int_approx=1000, fp_approx=1000, dram_approx=1000, sram_approx=1000
+)
+FULLY_PRECISE = stats(
+    int_precise=1000, fp_precise=1000, dram_precise=1000, sram_precise=1000
+)
+
+
+class TestBaselineInvariants:
+    def test_precise_run_consumes_unit_energy(self):
+        for config in (BASELINE, MILD, MEDIUM, AGGRESSIVE):
+            breakdown = estimate_energy(FULLY_PRECISE, config)
+            assert breakdown.total == pytest.approx(1.0)
+            assert breakdown.savings == pytest.approx(0.0)
+
+    def test_baseline_config_never_saves(self):
+        breakdown = estimate_energy(FULLY_APPROX, BASELINE)
+        assert breakdown.total == pytest.approx(1.0)
+
+    def test_empty_run_is_unit_energy(self):
+        breakdown = estimate_energy(stats(), MEDIUM)
+        assert breakdown.total == pytest.approx(1.0)
+
+
+class TestSavingsShape:
+    def test_savings_grow_with_aggressiveness(self):
+        totals = [
+            estimate_energy(FULLY_APPROX, config).total
+            for config in (MILD, MEDIUM, AGGRESSIVE)
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_savings_in_paper_band_for_full_approximation(self):
+        # The paper reports 9%-48% savings overall; a fully approximate
+        # run is the upper envelope and should comfortably beat 9%.
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            savings = estimate_energy(FULLY_APPROX, config).savings
+            assert 0.10 < savings < 0.60
+
+    def test_fetch_decode_floor(self):
+        # Even 100% approximate instructions keep their fetch/decode
+        # energy: instruction energy cannot drop below 22/37 (int).
+        breakdown = estimate_energy(
+            stats(int_approx=1000), AGGRESSIVE
+        )
+        floor = 22.0 / 37.0
+        assert breakdown.instruction_energy >= floor
+
+    def test_fp_ops_save_more_than_int_ops(self):
+        fp_run = estimate_energy(stats(fp_approx=1000), MEDIUM)
+        int_run = estimate_energy(stats(int_approx=1000), MEDIUM)
+        assert fp_run.instruction_energy < int_run.instruction_energy
+
+    def test_dram_component_scales_with_fraction(self):
+        half = estimate_energy(stats(dram_approx=500, dram_precise=500), MEDIUM)
+        full = estimate_energy(stats(dram_approx=1000), MEDIUM)
+        assert full.dram_energy < half.dram_energy < 1.0
+
+    def test_mobile_weights_cpu_more(self):
+        # With DRAM only 25% of system power, DRAM-heavy savings shrink.
+        dram_heavy = stats(dram_approx=10_000, int_precise=100)
+        server = estimate_energy(dram_heavy, MEDIUM, SERVER)
+        mobile = estimate_energy(dram_heavy, MEDIUM, MOBILE)
+        assert server.savings > mobile.savings
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_total_always_in_unit_interval(self, ia, ip, fa, fp):
+        run = stats(int_approx=ia, int_precise=ip, fp_approx=fa, fp_precise=fp,
+                    dram_approx=ia, dram_precise=ip, sram_approx=fa, sram_precise=fp)
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            total = estimate_energy(run, config).total
+            assert 0.0 < total <= 1.0 + 1e-9
+
+    def test_more_approximation_never_costs_more(self):
+        less = stats(fp_approx=100, fp_precise=900, dram_approx=100, dram_precise=900)
+        more = stats(fp_approx=900, fp_precise=100, dram_approx=900, dram_precise=100)
+        assert (
+            estimate_energy(more, MEDIUM).total < estimate_energy(less, MEDIUM).total
+        )
+
+
+class TestParameters:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(EnergyModelError):
+            EnergyParameters(cpu_share_of_system=0.5, dram_share_of_system=0.6)
+
+    def test_fetch_decode_bound(self):
+        with pytest.raises(EnergyModelError):
+            EnergyParameters(int_op_units=20.0, fetch_decode_units=22.0)
+
+    def test_sram_share_bound(self):
+        with pytest.raises(EnergyModelError):
+            EnergyParameters(sram_share_of_cpu=1.5)
+
+    def test_paper_constants(self):
+        assert SERVER.int_op_units == 37.0
+        assert SERVER.fp_op_units == 40.0
+        assert SERVER.fetch_decode_units == 22.0
+        assert SERVER.sram_share_of_cpu == 0.35
+        assert SERVER.cpu_share_of_system == 0.55
+        assert MOBILE.dram_share_of_system == 0.25

@@ -1,0 +1,150 @@
+"""Tests for the experiment infrastructure (harness, census, drivers)."""
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.experiments.annotations_census import census_app, census_sources
+from repro.experiments.harness import mean_qos, precise_output, qos_error, run_app
+from repro.experiments.table2 import format_table2, table2_rows
+from repro.hardware.config import BASELINE, MEDIUM, MILD
+
+
+class TestHarness:
+    def test_run_app_returns_output_and_stats(self):
+        spec = app_by_name("montecarlo")
+        result = run_app(spec, BASELINE, fault_seed=0, workload_seed=0)
+        assert result.output is not None
+        assert result.stats.ops_total > 0
+
+    def test_precise_output_cached(self):
+        spec = app_by_name("montecarlo")
+        first = precise_output(spec, workload_seed=0)
+        second = precise_output(spec, workload_seed=0)
+        assert first is second
+
+    def test_workload_seed_changes_input(self):
+        spec = app_by_name("montecarlo")
+        a = run_app(spec, BASELINE, 0, workload_seed=1).output
+        b = run_app(spec, BASELINE, 0, workload_seed=2).output
+        assert a != b
+
+    def test_qos_error_compares_same_workload(self):
+        spec = app_by_name("sor")
+        error = qos_error(spec, MILD, fault_seed=1, workload_seed=3)
+        assert 0.0 <= error <= 1.0
+
+    def test_mean_qos_averages(self):
+        spec = app_by_name("montecarlo")
+        assert 0.0 <= mean_qos(spec, MEDIUM, runs=3) <= 1.0
+
+    def test_mean_qos_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            mean_qos(app_by_name("montecarlo"), MEDIUM, runs=0)
+
+    def test_app_registry(self):
+        assert len(ALL_APPS) == 9
+        assert app_by_name("FFT").name == "FFT"
+        assert app_by_name("fft").name == "FFT"
+        with pytest.raises(KeyError):
+            app_by_name("nonexistent")
+
+
+class TestCensus:
+    def test_census_counts_annotations(self):
+        source = {
+            "m": (
+                "from repro import Approx, endorse\n"
+                "def f(x: Approx[float], y: int) -> Approx[float]:\n"
+                "    z: Approx[float] = x + y\n"
+                "    w = 1\n"
+                "    return endorse(z) + 0.0\n"
+            )
+        }
+        census = census_sources(source)
+        # Declarations: x, y, return, z, w  -> 5.
+        assert census.declarations == 5
+        # Annotated: x, return, z -> 3.
+        assert census.annotated == 3
+        assert census.endorsements == 1
+        assert census.lines_of_code == 5
+
+    def test_precise_annotations_do_not_count(self):
+        source = {"m": "def f(x: float) -> int:\n    return 1\n"}
+        census = census_sources(source)
+        assert census.annotated == 0
+        assert census.declarations == 2  # x and the return
+
+    def test_string_forward_reference_detected(self):
+        source = {
+            "m": (
+                "from repro import Context, approximable\n"
+                "@approximable\n"
+                "class C:\n"
+                "    def m(self, o: Context[\"C\"]) -> None:\n"
+                "        pass\n"
+            )
+        }
+        census = census_sources(source)
+        assert census.annotated >= 1
+
+    def test_shared_rand_module_excluded(self):
+        census = census_app(app_by_name("fft"))
+        # fft.py alone; the shared rand helper is library code.
+        assert census.lines_of_code < 200
+
+    def test_every_app_has_partial_annotation(self):
+        for spec in ALL_APPS:
+            census = census_app(spec)
+            assert 0.0 < census.annotated_fraction < 1.0, spec.name
+            assert census.endorsements >= 1, spec.name
+
+
+class TestTable2Driver:
+    def test_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 10
+        for row in rows:
+            assert set(row) == {"quantity", "Mild", "Medium", "Aggressive"}
+
+    def test_format_contains_levels(self):
+        text = format_table2()
+        assert "Mild" in text and "Aggressive" in text
+        assert "10^-5" in text  # medium DRAM rate
+
+
+class TestDriversSmoke:
+    """One-app smoke coverage for the heavier drivers."""
+
+    def test_figure3_row(self):
+        from repro.experiments.figure3 import figure3_row
+
+        row = figure3_row(app_by_name("montecarlo"))
+        assert row["dram_approx_fraction"] < 0.05
+        assert 0 <= row["fp_approx_fraction"] <= 1
+
+    def test_figure4_row(self):
+        from repro.experiments.figure4 import figure4_row
+
+        row = figure4_row(app_by_name("montecarlo"))
+        assert row["B"] == 1.0
+        assert row["3"] < row["B"]
+
+    def test_figure5_row(self):
+        from repro.experiments.figure5 import figure5_row
+
+        row = figure5_row(app_by_name("montecarlo"), runs=2)
+        assert 0.0 <= row["Mild"] <= 1.0
+
+    def test_table3_row(self):
+        from repro.experiments.table3 import table3_row
+
+        row = table3_row(app_by_name("montecarlo"))
+        assert row["loc"] > 0
+        assert row["endorsements"] == 1  # the paper also reports exactly 1
+
+    def test_ablation_line_sizes(self):
+        from repro.experiments.ablation import LINE_SIZES, line_size_rows
+
+        rows = line_size_rows([app_by_name("sor")])
+        fractions = [rows[0][size] for size in LINE_SIZES]
+        assert fractions == sorted(fractions, reverse=True)

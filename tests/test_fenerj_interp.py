@@ -1,0 +1,240 @@
+"""Tests for the FEnerJ big-step interpreter and checked semantics."""
+
+import pytest
+
+from repro.core.qualifiers import APPROX, PRECISE
+from repro.errors import FEnerJRuntimeError, IsolationViolation
+from repro.fenerj.interp import ApproxPolicy, Value, run_program
+from repro.fenerj.noninterference import OffsetPolicy, RandomPerturbPolicy
+from repro.fenerj.parser import parse_program
+
+
+def run(source: str, policy=None, check_isolation=True):
+    program = parse_program(source)
+    return run_program(program, policy, check_isolation)
+
+
+class TestBasicEvaluation:
+    def test_arithmetic(self):
+        result, _ = run("class C extends Object { } main C { 2 + 3 * 4 }")
+        assert result.data == 14
+        assert not result.approx
+
+    def test_float_arithmetic(self):
+        result, _ = run("class C extends Object { } main C { 1.5 + 2.25 }")
+        assert result.data == 3.75
+
+    def test_comparison_returns_int(self):
+        result, _ = run("class C extends Object { } main C { 3 < 5 }")
+        assert result.data == 1
+
+    def test_conditional(self):
+        result, _ = run(
+            "class C extends Object { } main C { if (1 < 2) { 10 } else { 20 } }"
+        )
+        assert result.data == 10
+
+    def test_sequence_returns_last(self):
+        result, _ = run("class C extends Object { } main C { 1 ; 2 ; 3 }")
+        assert result.data == 3
+
+    def test_field_defaults(self):
+        result, _ = run(
+            "class C extends Object { precise int x; } main C { this.x }"
+        )
+        assert result.data == 0
+
+    def test_field_write_and_read(self):
+        result, _ = run(
+            """
+            class C extends Object { precise int x; }
+            main C { this.x := 41 ; this.x + 1 }
+            """
+        )
+        assert result.data == 42
+
+    def test_method_call_with_params(self):
+        result, _ = run(
+            """
+            class C extends Object {
+              precise int add(precise int a, precise int b) precise { a + b }
+            }
+            main C { this.add(20, 22) }
+            """
+        )
+        assert result.data == 42
+
+    def test_new_and_cross_object_state(self):
+        result, _ = run(
+            """
+            class Cell extends Object { precise int v; }
+            class Main extends Object { precise Cell cell; }
+            main Main {
+              this.cell := new Cell() ;
+              this.cell.v := 7 ;
+              this.cell.v
+            }
+            """
+        )
+        assert result.data == 7
+
+    def test_recursion_with_fuel_limit(self):
+        source = """
+        class C extends Object {
+          precise int loop() precise { this.loop() }
+        }
+        main C { this.loop() }
+        """
+        with pytest.raises(FEnerJRuntimeError, match="fuel"):
+            run(source)
+
+    def test_null_dereference(self):
+        source = """
+        class C extends Object { precise C next; }
+        main C { this.next.next }
+        """
+        with pytest.raises(FEnerJRuntimeError, match="null"):
+            run(source)
+
+    def test_precise_division_by_zero_raises(self):
+        with pytest.raises(FEnerJRuntimeError, match="zero"):
+            run("class C extends Object { } main C { 1 / 0 }")
+
+    def test_approx_division_by_zero_is_total(self):
+        # Approximate division by zero yields 0 (int), not an exception.
+        result, _ = run(
+            """
+            class C extends Object { approx int a; }
+            main C { this.a := 1 / (this.a * 0 + 0 + (this.a == this.a) - 1) ; 5 }
+            """
+        )
+        assert result.data == 5
+
+
+class TestPrecisionDispatch:
+    PAIR = """
+    class Pair extends Object {
+      context int x;
+      precise int get() precise { 1 }
+      approx int get() approx { 2 }
+    }
+    """
+
+    def test_precise_instance_uses_precise_body(self):
+        result, _ = run(self.PAIR + "main Pair { this.get() }")
+        assert result.data == 1
+
+    def test_approx_instance_uses_approx_body(self):
+        result, _ = run(self.PAIR + "main approx Pair { (precise int) 0 ; this.get() }")
+        assert result.data == 2
+
+    def test_context_new_inherits_receiver_precision(self):
+        source = """
+        class Inner extends Object {
+          precise int tag() precise { 1 }
+          approx int tag() approx { 2 }
+        }
+        class Outer extends Object {
+          context Inner make() context { new context Inner() }
+        }
+        main approx Outer { this.make().tag() }
+        """
+        result, _ = run(source)
+        assert result.data == 2
+
+
+class TestCheckedSemantics:
+    def test_approx_tag_propagates(self):
+        result, _ = run(
+            """
+            class C extends Object { approx int a; }
+            main C { this.a := 5 ; this.a + 1 }
+            """
+        )
+        assert result.approx
+
+    def test_endorse_strips_tag(self):
+        result, _ = run(
+            """
+            class C extends Object { approx int a; }
+            main C { this.a := 5 ; endorse(this.a) }
+            """
+        )
+        assert not result.approx
+        assert result.data == 5
+
+    def test_isolation_violation_on_unchecked_program(self):
+        # Built by hand (the type checker would reject it): write an
+        # approx-tagged value into a precise slot.
+        from repro.fenerj.syntax import (
+            ClassDecl,
+            FieldDecl,
+            FieldRead,
+            FieldWrite,
+            Program,
+            Type,
+            Var,
+        )
+
+        cell = ClassDecl(
+            "C",
+            "Object",
+            (FieldDecl(Type(PRECISE, "int"), "p"), FieldDecl(Type(APPROX, "int"), "a")),
+            (),
+        )
+        program = Program(
+            classes=(cell,),
+            main_class="C",
+            main_expr=FieldWrite(Var("this"), "p", FieldRead(Var("this"), "a")),
+        )
+        with pytest.raises(IsolationViolation):
+            run_program(program)
+
+    def test_perturbation_applies_only_to_approx(self):
+        result, _ = run(
+            """
+            class C extends Object { precise int p; approx int a; }
+            main C { this.p := 1 + 1 ; this.a := 1 + 1 ; this.p }
+            """,
+            policy=OffsetPolicy(100),
+        )
+        assert result.data == 2  # the precise sum is untouched
+
+    def test_perturbation_changes_approx_slot(self):
+        _, heap = run(
+            """
+            class C extends Object { approx int a; }
+            main C { this.a := 1 + 1 }
+            """,
+            policy=OffsetPolicy(100),
+        )
+        objects = list(heap.objects().values())
+        assert objects[0].fields["a"].data >= 102  # perturbed on op and store
+
+    def test_policy_kind_mismatch_rejected(self):
+        class Broken(ApproxPolicy):
+            def perturb(self, value):
+                return Value("oops", "ref", True)
+
+        with pytest.raises(FEnerJRuntimeError, match="kind"):
+            run(
+                """
+                class C extends Object { approx int a; }
+                main C { this.a := 1 + 1 }
+                """,
+                policy=Broken(),
+            )
+
+
+class TestHeapProjection:
+    def test_projection_hides_approx_slots(self):
+        _, heap = run(
+            """
+            class C extends Object { precise int p; approx int a; }
+            main C { this.p := 1 ; this.a := 2 }
+            """
+        )
+        projection = heap.precise_projection()
+        (_, (class_name, qualifier, fields)), = projection.items()
+        assert class_name == "C"
+        assert fields == {"p": 1}

@@ -1,0 +1,156 @@
+"""Property tests: type soundness and non-interference (paper Sec. 3.3).
+
+The paper proves two properties of FEnerJ; we check them empirically on
+randomly generated well-typed programs:
+
+* **Type soundness** — evaluating a well-typed program never raises an
+  isolation violation or a stuck-state error, and the result's runtime
+  precision agrees with its static type.
+* **Non-interference** — perturbing every approximate value (the most
+  adversarial instantiation of the paper's approximating rule) never
+  changes the precise heap projection or a precise result.
+
+The negative control shows the machinery has teeth: once ``endorse``
+enters the language, interference becomes observable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qualifiers import APPROX, PRECISE
+from repro.errors import IsolationViolation
+from repro.fenerj.interp import run_program
+from repro.fenerj.noninterference import (
+    IdentityPolicy,
+    OffsetPolicy,
+    RandomPerturbPolicy,
+    check_noninterference,
+    random_program,
+)
+from repro.fenerj.typesys import TypeChecker
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestGeneratedProgramsAreWellTyped:
+    @given(seeds, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_generator_produces_well_typed_programs(self, seed, main_approx):
+        program = random_program(seed, main_approx=main_approx)
+        result_type = TypeChecker(program).check_program()
+        # The observable is a precise field read.
+        assert result_type.qualifier is PRECISE
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_endorse_variant_typechecks_permissively(self, seed):
+        program = random_program(seed, with_endorse=True)
+        TypeChecker(program, allow_endorse=True).check_program()
+
+
+class TestTypeSoundness:
+    @given(seeds, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_no_isolation_violation_under_identity(self, seed, main_approx):
+        program = random_program(seed, main_approx=main_approx)
+        TypeChecker(program).check_program()
+        result, _heap = run_program(program, IdentityPolicy(), check_isolation=True)
+        assert not result.approx  # precise observable
+
+    @given(seeds, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_no_isolation_violation_under_adversarial_policy(self, seed, policy_seed):
+        # Soundness of the checked semantics: even when every
+        # approximate value is replaced with garbage, the well-typed
+        # program never routes it into precise state.
+        program = random_program(seed)
+        TypeChecker(program).check_program()
+        policy = RandomPerturbPolicy(policy_seed, rate=1.0)
+        run_program(program, policy, check_isolation=True)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_runtime_precision_matches_static_type(self, seed):
+        program = random_program(seed, main_approx=True)
+        static = TypeChecker(program).check_program()
+        result, _ = run_program(program, OffsetPolicy(3))
+        assert result.approx == (static.qualifier is APPROX)
+
+
+class TestNonInterference:
+    @given(seeds, seeds, st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_noninterference_holds(self, seed, policy_seed, main_approx):
+        """The headline property: approximate faults never reach precise state."""
+        program = random_program(seed, main_approx=main_approx)
+        TypeChecker(program).check_program()
+        ni = check_noninterference(
+            program,
+            policy_a=IdentityPolicy(),
+            policy_b=RandomPerturbPolicy(policy_seed, rate=1.0),
+        )
+        assert not ni.interferes, ni.detail
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_two_different_fault_streams_agree_on_precise_state(self, seed):
+        program = random_program(seed)
+        ni = check_noninterference(
+            program,
+            policy_a=RandomPerturbPolicy(seed + 1, rate=1.0),
+            policy_b=RandomPerturbPolicy(seed + 2, rate=1.0),
+        )
+        assert not ni.interferes, ni.detail
+
+    def test_negative_control_endorse_interferes_somewhere(self):
+        """With endorse in the language, interference must be observable.
+
+        Not every endorsing program interferes (the endorsed value may
+        never reach the observable), but across a batch some must.
+        """
+        interfered = 0
+        for seed in range(60):
+            program = random_program(seed, with_endorse=True)
+            TypeChecker(program, allow_endorse=True).check_program()
+            ni = check_noninterference(
+                program,
+                policy_a=IdentityPolicy(),
+                policy_b=RandomPerturbPolicy(seed + 7, rate=1.0),
+            )
+            if ni.interferes:
+                interfered += 1
+        assert interfered > 0
+
+    def test_hand_written_paper_style_program(self):
+        from repro.fenerj.parser import parse_program
+
+        program = parse_program(
+            """
+            class IntPair extends Object {
+              context int x;
+              context int y;
+              approx int n;
+              precise int sum;
+              context int bump(context int amount) context {
+                this.x := this.x + amount ;
+                this.n := this.n + 1 ;
+                this.x
+              }
+            }
+            main IntPair {
+              this.bump(3) ;
+              this.bump(4) ;
+              this.sum := this.x + this.y ;
+              this.sum
+            }
+            """
+        )
+        TypeChecker(program).check_program()
+        ni = check_noninterference(
+            program, IdentityPolicy(), RandomPerturbPolicy(5, rate=1.0)
+        )
+        # The precise instance's context fields are precise: the result
+        # must be exactly 7 under every policy.
+        assert not ni.interferes
+        assert ni.result_a.data == 7
+        assert ni.result_b.data == 7

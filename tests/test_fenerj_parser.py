@@ -1,0 +1,186 @@
+"""Tests for the FEnerJ lexer and parser."""
+
+import pytest
+
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, TOP
+from repro.errors import FEnerJSyntaxError
+from repro.fenerj.lexer import tokenize
+from repro.fenerj.parser import parse_expression, parse_program
+from repro.fenerj.syntax import (
+    BinOp,
+    Cast,
+    FieldRead,
+    FieldWrite,
+    FloatLit,
+    If,
+    IntLit,
+    MethodCall,
+    New,
+    NullLit,
+    Seq,
+    Var,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("class C extends Object { approx int x; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "kw"  # class
+        assert tokens[1].kind == "ident"  # C
+        assert tokens[-1].kind == "eof"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25")
+        assert tokens[0].kind == "int" and tokens[0].text == "42"
+        assert tokens[1].kind == "float" and tokens[1].text == "3.25"
+
+    def test_field_access_after_int(self):
+        # "1.f" must not lex the dot into the number.
+        tokens = tokenize("x.f")
+        assert [t.text for t in tokens[:3]] == ["x", ".", "f"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a := b == c <= d")
+        texts = [t.text for t in tokens if t.kind == "punct"]
+        assert texts == [":=", "==", "<="]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("a // comment here\nb")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_illegal_character(self):
+        with pytest.raises(FEnerJSyntaxError):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestExpressionParser:
+    def test_literals(self):
+        assert parse_expression("null") == NullLit()
+        assert parse_expression("5") == IntLit(5)
+        assert parse_expression("2.5") == FloatLit(2.5)
+        assert parse_expression("this") == Var("this")
+        assert parse_expression("x") == Var("x")
+
+    def test_new_with_and_without_qualifier(self):
+        assert parse_expression("new C()") == New(PRECISE, "C")
+        assert parse_expression("new approx C()") == New(APPROX, "C")
+        assert parse_expression("new context C()") == New(CONTEXT, "C")
+
+    def test_field_read_chain(self):
+        expr = parse_expression("this.a.b")
+        assert expr == FieldRead(FieldRead(Var("this"), "a"), "b")
+
+    def test_field_write_right_associative(self):
+        expr = parse_expression("this.a := this.b := 1")
+        assert isinstance(expr, FieldWrite)
+        assert isinstance(expr.value, FieldWrite)
+
+    def test_write_requires_field_target(self):
+        with pytest.raises(FEnerJSyntaxError):
+            parse_expression("x := 1")
+
+    def test_method_call(self):
+        expr = parse_expression("this.m(1, 2)")
+        assert expr == MethodCall(Var("this"), "m", (IntLit(1), IntLit(2)))
+
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == BinOp("+", IntLit(1), BinOp("*", IntLit(2), IntLit(3)))
+
+    def test_comparison(self):
+        expr = parse_expression("1 + 1 == 2")
+        assert expr.op == "=="
+
+    def test_sequence_right_associative(self):
+        expr = parse_expression("1 ; 2 ; 3")
+        assert isinstance(expr, Seq)
+        assert expr.first == IntLit(1)
+        assert isinstance(expr.second, Seq)
+
+    def test_cast(self):
+        expr = parse_expression("(approx int) this.x")
+        assert isinstance(expr, Cast)
+        assert expr.type.qualifier is APPROX
+        assert expr.type.base == "int"
+
+    def test_parenthesized(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_if(self):
+        expr = parse_expression("if (1 < 2) { 3 } else { 4 }")
+        assert isinstance(expr, If)
+        assert expr.then == IntLit(3)
+
+    def test_endorse(self):
+        from repro.fenerj.syntax import Endorse
+
+        expr = parse_expression("endorse(this.a)")
+        assert isinstance(expr, Endorse)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(FEnerJSyntaxError):
+            parse_expression("1 2")
+
+
+class TestProgramParser:
+    def test_full_program(self):
+        program = parse_program(
+            """
+            class Pair extends Object {
+              context int x;
+              approx float f;
+              precise int get() precise { this.x }
+              approx int geta() approx { this.x }
+            }
+            main Pair { this.get() }
+            """
+        )
+        assert program.main_class == "Pair"
+        assert program.main_qualifier is PRECISE
+        pair = program.class_decl("Pair")
+        assert pair.superclass == "Object"
+        assert [f.name for f in pair.fields] == ["x", "f"]
+        assert pair.fields[0].type.qualifier is CONTEXT
+        assert pair.methods[0].precision is PRECISE
+        assert pair.methods[1].precision is APPROX
+
+    def test_approx_main(self):
+        program = parse_program(
+            "class C extends Object { } main approx C { 1 }"
+        )
+        assert program.main_qualifier is APPROX
+
+    def test_method_params(self):
+        program = parse_program(
+            """
+            class C extends Object {
+              precise int add(precise int a, approx int b) context { a }
+            }
+            main C { 0 }
+            """
+        )
+        method = program.class_decl("C").methods[0]
+        assert method.params[0][0].qualifier is PRECISE
+        assert method.params[1][0].qualifier is APPROX
+        assert method.precision is CONTEXT
+
+    def test_default_method_precision_is_precise(self):
+        program = parse_program(
+            "class C extends Object { precise int m() { 1 } } main C { 0 }"
+        )
+        assert program.class_decl("C").methods[0].precision is PRECISE
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(FEnerJSyntaxError):
+            parse_program("class C extends Object { }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FEnerJSyntaxError):
+            parse_program("main C { 1 } class D extends Object { }")

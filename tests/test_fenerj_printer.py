@@ -1,0 +1,92 @@
+"""Round-trip tests for the FEnerJ pretty-printer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qualifiers import APPROX, PRECISE
+from repro.fenerj.noninterference import random_program
+from repro.fenerj.parser import parse_expression, parse_program
+from repro.fenerj.printer import print_expression, print_program
+from repro.fenerj.syntax import BinOp, IntLit, Program, Seq
+
+
+class TestExpressionRoundTrip:
+    CASES = [
+        "null",
+        "42",
+        "3.5",
+        "this",
+        "x",
+        "new C()",
+        "new approx C()",
+        "this.f",
+        "this.a.b.c",
+        "this.f := 1",
+        "this.f := this.g := 2",
+        "this.m()",
+        "this.m(1, 2.5, this.f)",
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "1 - 2 - 3",
+        "1 - (2 - 3)",
+        "1 + 1 == 2",
+        "(approx int) this.f",
+        "(approx int) (1 + 2)",
+        "if (1 < 2) { 3 } else { 4 }",
+        "1 ; 2 ; 3",
+        "this.f := 1 ; this.g := 2 ; this.f",
+        "endorse(this.a)",
+        "endorse((approx int) 1 + (approx int) 2)",
+    ]
+
+    def test_cases_round_trip(self):
+        for text in self.CASES:
+            original = parse_expression(text)
+            printed = print_expression(original)
+            reparsed = parse_expression(printed)
+            assert reparsed == original, f"{text!r} -> {printed!r}"
+
+    def test_left_associativity_preserved(self):
+        # 1 - 2 - 3 is (1-2)-3 = -4, not 1-(2-3) = 2.
+        expr = parse_expression("1 - 2 - 3")
+        assert parse_expression(print_expression(expr)) == expr
+        wrapped = parse_expression("1 - (2 - 3)")
+        assert parse_expression(print_expression(wrapped)) == wrapped
+        assert wrapped != expr
+
+    def test_negative_literals_parenthesised(self):
+        expr = BinOp("+", IntLit(-1), IntLit(2))
+        assert parse_expression(print_expression(expr)) == expr
+
+
+class TestProgramRoundTrip:
+    SOURCE = """
+    class IntPair extends Object {
+      context int x;
+      approx float f;
+      precise int get(precise int which) precise { this.x + which }
+      approx int get(approx int which) approx { this.x }
+    }
+    main approx IntPair { this.get(3) ; this.x }
+    """
+
+    def test_hand_written_program(self):
+        program = parse_program(self.SOURCE)
+        printed = print_program(program)
+        assert parse_program(printed) == program
+
+    @given(st.integers(min_value=0, max_value=2000), st.booleans(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_programs_round_trip(self, seed, main_approx, with_endorse):
+        program = random_program(seed, main_approx=main_approx, with_endorse=with_endorse)
+        printed = print_program(program)
+        assert parse_program(printed) == program
+
+    def test_printed_program_still_runs_identically(self):
+        from repro.fenerj.interp import run_program
+
+        program = random_program(7)
+        reparsed = parse_program(print_program(program))
+        original_result, _ = run_program(program)
+        reparsed_result, _ = run_program(reparsed)
+        assert original_result == reparsed_result

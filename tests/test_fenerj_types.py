@@ -1,0 +1,258 @@
+"""Tests for the FEnerJ static semantics (paper Section 3.1)."""
+
+import pytest
+
+from repro.core.qualifiers import APPROX, CONTEXT, LOST, PRECISE, TOP
+from repro.errors import FEnerJTypeError
+from repro.fenerj.parser import parse_program
+from repro.fenerj.syntax import Type
+from repro.fenerj.typesys import ClassTable, TypeChecker, is_subtype
+
+
+def check(source: str, allow_endorse: bool = False):
+    program = parse_program(source)
+    return TypeChecker(program, allow_endorse=allow_endorse).check_program()
+
+
+def rejects(source: str, fragment: str = "", allow_endorse: bool = False):
+    with pytest.raises(FEnerJTypeError) as exc_info:
+        check(source, allow_endorse=allow_endorse)
+    if fragment:
+        assert fragment in str(exc_info.value)
+
+
+class TestSubtyping:
+    def test_precise_primitive_below_approx(self):
+        assert is_subtype(None, Type(PRECISE, "int"), Type(APPROX, "int"))
+        assert not is_subtype(None, Type(APPROX, "int"), Type(PRECISE, "int"))
+
+    def test_reference_qualifiers_follow_ordering_only(self):
+        assert not is_subtype(None, Type(PRECISE, "C"), Type(APPROX, "C"))
+        assert is_subtype(None, Type(PRECISE, "C"), Type(TOP, "C"))
+
+    def test_null_below_references(self):
+        assert is_subtype(None, Type(PRECISE, "$null"), Type(APPROX, "C"))
+        assert not is_subtype(None, Type(PRECISE, "$null"), Type(PRECISE, "int"))
+
+
+class TestFieldRules:
+    GOOD = """
+    class C extends Object {
+      precise int p;
+      approx int a;
+      context int c;
+    }
+    main C { %s }
+    """
+
+    def test_read_precise(self):
+        assert check(self.GOOD % "this.p") == Type(PRECISE, "int")
+
+    def test_context_adapts_through_precise_main(self):
+        assert check(self.GOOD % "this.c") == Type(PRECISE, "int")
+
+    def test_context_adapts_through_approx_main(self):
+        source = self.GOOD.replace("main C", "main approx C") % "this.c"
+        assert check(source) == Type(APPROX, "int")
+
+    def test_write_approx_to_precise_rejected(self):
+        rejects(self.GOOD % "this.p := this.a", "cannot assign")
+
+    def test_write_precise_to_approx_ok(self):
+        assert check(self.GOOD % "this.a := this.p") == Type(APPROX, "int")
+
+    def test_write_through_top_receiver_rejected(self):
+        source = """
+        class C extends Object { context int c; }
+        class D extends Object { top C ref; }
+        main D { this.ref.c := 1 }
+        """
+        rejects(source, "lost")
+
+    def test_read_through_top_receiver_gives_lost(self):
+        source = """
+        class C extends Object { context int c; }
+        class D extends Object { top C ref; }
+        main D { this.ref.c }
+        """
+        assert check(source) == Type(LOST, "int")
+
+    def test_unknown_field_rejected(self):
+        rejects(self.GOOD % "this.nope", "no field")
+
+
+class TestConditionRule:
+    def test_precise_condition_ok(self):
+        source = """
+        class C extends Object { precise int p; }
+        main C { if (this.p == 0) { 1 } else { 2 } }
+        """
+        assert check(source) == Type(PRECISE, "int")
+
+    def test_approx_condition_rejected(self):
+        source = """
+        class C extends Object { approx int a; }
+        main C { if (this.a == 0) { 1 } else { 2 } }
+        """
+        rejects(source, "precise primitive")
+
+    def test_branches_join(self):
+        source = """
+        class C extends Object { precise int p; approx int a; }
+        main C { if (this.p == 0) { this.p } else { this.a } }
+        """
+        assert check(source) == Type(APPROX, "int")
+
+
+class TestMethodRules:
+    PAIR = """
+    class Pair extends Object {
+      context int x;
+      approx int n;
+      precise int getx() precise { this.x }
+      approx int getx() approx { this.x }
+      context int bump(context int amount) context {
+        this.x := this.x + amount ; this.x
+      }
+    }
+    """
+
+    def test_precision_overloading_selects_variant(self):
+        assert check(self.PAIR + "main Pair { this.getx() }") == Type(PRECISE, "int")
+        assert check(self.PAIR + "main approx Pair { this.getx() }") == Type(APPROX, "int")
+
+    def test_adapted_parameter_rejects_approx_into_precise_instance(self):
+        source = self.PAIR + "main Pair { this.bump(this.n) }"
+        rejects(source, "does not match parameter")
+
+    def test_adapted_parameter_accepts_approx_into_approx_instance(self):
+        source = self.PAIR + "main approx Pair { this.bump(this.n) }"
+        assert check(source) == Type(APPROX, "int")
+
+    def test_body_must_match_return_type(self):
+        source = """
+        class C extends Object {
+          approx int a;
+          precise int m() precise { this.a }
+        }
+        main C { 0 }
+        """
+        rejects(source, "body has type")
+
+    def test_arity_checked(self):
+        source = self.PAIR + "main Pair { this.bump(1, 2) }"
+        rejects(source, "arguments")
+
+    def test_method_body_checked_under_its_precision(self):
+        # In the approx-precision body, a context field is approx and
+        # may not flow into a precise return type.
+        source = """
+        class C extends Object {
+          context int c;
+          precise int m() approx { this.c }
+        }
+        main C { 0 }
+        """
+        rejects(source, "body has type")
+
+
+class TestClassWellFormedness:
+    def test_duplicate_class(self):
+        rejects(
+            "class C extends Object { } class C extends Object { } main C { 1 }",
+            "duplicate class",
+        )
+
+    def test_inheritance_cycle(self):
+        rejects(
+            "class A extends B { } class B extends A { } main A { 1 }",
+            "cycle",
+        )
+
+    def test_unknown_superclass(self):
+        rejects("class A extends Ghost { } main A { 1 }", "unknown class")
+
+    def test_field_shadowing_rejected(self):
+        rejects(
+            """
+            class A extends Object { precise int x; }
+            class B extends A { approx int x; }
+            main B { 1 }
+            """,
+            "shadows",
+        )
+
+    def test_inherited_fields_visible(self):
+        source = """
+        class A extends Object { approx int x; }
+        class B extends A { }
+        main B { this.x }
+        """
+        assert check(source) == Type(APPROX, "int")
+
+    def test_override_must_match(self):
+        rejects(
+            """
+            class A extends Object { precise int m() precise { 1 } }
+            class B extends A { precise float m() precise { 1.0 } }
+            main B { 1 }
+            """,
+            "different return type",
+        )
+
+    def test_unknown_main_class(self):
+        rejects("main Ghost { 1 }", "unknown main class")
+
+
+class TestCastsAndEndorse:
+    def test_upcast_to_approx(self):
+        source = """
+        class C extends Object { precise int p; }
+        main C { (approx int) this.p }
+        """
+        assert check(source) == Type(APPROX, "int")
+
+    def test_downcast_rejected(self):
+        source = """
+        class C extends Object { approx int a; }
+        main C { (precise int) this.a }
+        """
+        rejects(source, "illegal cast")
+
+    def test_endorse_rejected_by_default(self):
+        source = """
+        class C extends Object { approx int a; }
+        main C { endorse(this.a) }
+        """
+        rejects(source, "endorse")
+
+    def test_endorse_allowed_in_permissive_mode(self):
+        source = """
+        class C extends Object { approx int a; }
+        main C { endorse(this.a) }
+        """
+        assert check(source, allow_endorse=True) == Type(PRECISE, "int")
+
+
+class TestOperators:
+    def test_approx_operand_makes_result_approx(self):
+        source = """
+        class C extends Object { precise int p; approx int a; }
+        main C { this.p + this.a }
+        """
+        assert check(source) == Type(APPROX, "int")
+
+    def test_float_promotion(self):
+        source = """
+        class C extends Object { precise float f; }
+        main C { this.f + 1 }
+        """
+        assert check(source) == Type(PRECISE, "float")
+
+    def test_comparison_yields_int(self):
+        source = "class C extends Object { } main C { 1 < 2 }"
+        assert check(source) == Type(PRECISE, "int")
+
+    def test_operator_on_reference_rejected(self):
+        source = "class C extends Object { } main C { this + 1 }"
+        rejects(source, "non-primitive")

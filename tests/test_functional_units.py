@@ -1,0 +1,182 @@
+"""Tests for the approximate ALU and FPU (fault injection and semantics)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.hardware.alu import ApproxALU
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, ErrorMode
+from repro.hardware.fpu import ApproxFPU
+from repro.hardware.rng import FaultRandom
+
+
+def make_alu(config=BASELINE, seed=0):
+    return ApproxALU(config, FaultRandom(seed))
+
+
+def make_fpu(config=BASELINE, seed=0):
+    return ApproxFPU(config, FaultRandom(seed))
+
+
+def no_fault_config(base):
+    """A config with the base's widths but zero fault probabilities."""
+    return dataclasses.replace(base, timing_error_prob=0.0, name=base.name + ":nofault")
+
+
+class TestALUSemantics:
+    def test_precise_ops_exact(self):
+        alu = make_alu()
+        assert alu.precise_binop("add", 2, 3) == 5
+        assert alu.precise_binop("mul", -4, 6) == -24
+        assert alu.precise_binop("lt", 1, 2) is True
+        assert alu.precise_ops == 3
+
+    def test_precise_divide_by_zero_raises(self):
+        alu = make_alu()
+        with pytest.raises(ZeroDivisionError):
+            alu.precise_binop("div", 1, 0)
+
+    def test_approx_divide_by_zero_returns_zero(self):
+        # Paper Section 5.2: approximation must not raise exceptions.
+        alu = make_alu()
+        assert alu.approx_binop("div", 7, 0) == 0
+        assert alu.approx_binop("mod", 7, 0) == 0
+
+    def test_approx_division_truncates_like_java(self):
+        alu = make_alu()
+        assert alu.approx_binop("div", -7, 2) == -3  # Java: trunc toward 0
+
+    def test_approx_wraps_to_32_bits(self):
+        alu = make_alu()
+        assert alu.approx_binop("add", 2**31 - 1, 1) == -(2**31)
+
+    def test_no_faults_at_baseline(self):
+        alu = make_alu(BASELINE)
+        for i in range(1000):
+            assert alu.approx_binop("add", i, 1) == i + 1
+        assert alu.faulted_ops == 0
+
+    def test_unop(self):
+        alu = make_alu()
+        assert alu.approx_unop("neg", 5) == -5
+        assert alu.approx_unop("abs", -5) == 5
+        assert alu.approx_unop("inv", 0) == -1
+
+
+class TestALUFaults:
+    def test_aggressive_injects_faults(self):
+        alu = make_alu(AGGRESSIVE, seed=42)
+        faults = 0
+        for i in range(10_000):
+            if alu.approx_binop("add", i, 1) != ((i + 1 + 2**31) % 2**32) - 2**31:
+                faults += 1
+        # P(error)=1e-2: expect ~100 faults over 10k ops.
+        assert 40 <= alu.faulted_ops <= 250
+        assert faults == alu.faulted_ops
+
+    def test_bitflip_mode_changes_one_bit(self):
+        config = AGGRESSIVE.with_error_mode(ErrorMode.SINGLE_BIT_FLIP)
+        config = dataclasses.replace(config, timing_error_prob=1.0, name="x")
+        alu = ApproxALU(config, FaultRandom(7))
+        result = alu.approx_binop("add", 8, 8)
+        xor = (result ^ 16) & 0xFFFFFFFF
+        assert xor != 0 and (xor & (xor - 1)) == 0  # exactly one bit differs
+
+    def test_lastvalue_mode_repeats_previous_result(self):
+        config = dataclasses.replace(
+            AGGRESSIVE.with_error_mode(ErrorMode.LAST_VALUE), timing_error_prob=0.0, name="x"
+        )
+        alu = ApproxALU(config, FaultRandom(7))
+        alu.approx_binop("add", 40, 2)  # last value becomes 42
+        faulty = dataclasses.replace(config, timing_error_prob=1.0, name="y")
+        alu._config = faulty
+        assert alu.approx_binop("add", 1, 1) == 42
+
+    def test_deterministic_given_seed(self):
+        results_a = [make_alu(AGGRESSIVE, seed=5).approx_binop("mul", i, 3) for i in range(50)]
+        results_b = [make_alu(AGGRESSIVE, seed=5).approx_binop("mul", i, 3) for i in range(50)]
+        # Each fresh ALU replays the same stream.
+        assert results_a == results_b
+
+
+class TestFPUSemantics:
+    def test_precise_ops_exact(self):
+        fpu = make_fpu()
+        assert fpu.precise_binop("add", 0.5, 0.25) == 0.75
+        assert fpu.precise_binop("lt", 1.0, 2.0) is True
+
+    def test_precise_divide_by_zero_raises(self):
+        fpu = make_fpu()
+        with pytest.raises(ZeroDivisionError):
+            fpu.precise_binop("div", 1.0, 0.0)
+
+    def test_approx_divide_by_zero_is_nan(self):
+        fpu = make_fpu()
+        assert math.isnan(fpu.approx_binop("div", 1.0, 0.0))
+
+    def test_mantissa_truncation_applied(self):
+        fpu = make_fpu(no_fault_config(MEDIUM))
+        # With 8 mantissa bits, 1 + 2^-20 is indistinguishable from 1.
+        result = fpu.approx_binop("add", 1.0 + 2**-20, 0.0)
+        assert result == 1.0
+
+    def test_baseline_approx_add_is_float32_exact(self):
+        fpu = make_fpu(BASELINE)
+        assert fpu.approx_binop("add", 0.5, 0.25) == 0.75
+
+    def test_counts(self):
+        fpu = make_fpu()
+        fpu.approx_binop("mul", 2.0, 3.0)
+        fpu.precise_binop("mul", 2.0, 3.0)
+        assert fpu.approx_ops == 1
+        assert fpu.precise_ops == 1
+
+
+class TestFPUFaults:
+    def test_aggressive_faults_present(self):
+        fpu = make_fpu(AGGRESSIVE, seed=11)
+        for i in range(10_000):
+            fpu.approx_binop("add", float(i), 1.0)
+        assert 40 <= fpu.faulted_ops <= 250
+
+    def test_random_mode_changes_result_distribution(self):
+        config = dataclasses.replace(AGGRESSIVE, timing_error_prob=1.0, name="x")
+        fpu = ApproxFPU(config, FaultRandom(3))
+        results = {fpu.approx_binop("add", 1.0, 1.0) for _ in range(20)}
+        assert len(results) > 5  # random patterns, not a constant
+
+    def test_approx_compare_can_fault(self):
+        config = dataclasses.replace(AGGRESSIVE, timing_error_prob=1.0, name="x")
+        fpu = ApproxFPU(config, FaultRandom(3))
+        assert fpu.approx_binop("lt", 1.0, 2.0) is False  # inverted
+
+
+class TestFaultRandom:
+    def test_coin_extremes(self):
+        rng = FaultRandom(0)
+        assert not rng.coin(0.0)
+        assert rng.coin(1.0)
+
+    def test_binomial_hits_zero_probability(self):
+        rng = FaultRandom(0)
+        assert rng.binomial_hits(64, 0.0) == 0
+        assert rng.binomial_hits(64, 1.0) == 64
+        assert rng.binomial_hits(0, 0.5) == 0
+
+    def test_binomial_hits_rate(self):
+        rng = FaultRandom(1)
+        total = sum(rng.binomial_hits(32, 0.01) for _ in range(10_000))
+        # Expectation: 10000 * 32 * 0.01 = 3200.
+        assert 2500 <= total <= 4000
+
+    def test_spawn_independent_streams(self):
+        root = FaultRandom(9)
+        a = root.spawn("alu")
+        b = root.spawn("fpu")
+        assert [a.bits(32) for _ in range(5)] != [b.bits(32) for _ in range(5)]
+
+    def test_spawn_deterministic(self):
+        a = FaultRandom(9).spawn("alu")
+        b = FaultRandom(9).spawn("alu")
+        assert [a.bits(32) for _ in range(5)] == [b.bits(32) for _ in range(5)]

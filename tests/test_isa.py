@@ -1,0 +1,331 @@
+"""Tests for the approximation-aware ISA (assembler, validator, machine)."""
+
+import pytest
+
+from repro.core.qualifiers import APPROX
+from repro.errors import SimulationError
+from repro.fenerj.parser import parse_expression
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM
+from repro.isa import (
+    AssemblyError,
+    CodegenError,
+    Machine,
+    Opcode,
+    Register,
+    ValidationError,
+    assemble,
+    compile_expression,
+    validate,
+)
+
+
+def run(source: str, config=BASELINE, seed=0):
+    program = assemble(source)
+    return Machine(config, seed=seed).run(program)
+
+
+class TestRegisters:
+    def test_parse(self):
+        assert Register.parse("r3") == Register(False, 3)
+        assert Register.parse("a15") == Register(True, 15)
+        assert str(Register.parse("A2")) == "a2"
+
+    def test_bad_names(self):
+        with pytest.raises(ValueError):
+            Register.parse("x1")
+        with pytest.raises(ValueError):
+            Register(False, 16)
+
+
+class TestAssembler:
+    def test_labels_and_jumps(self):
+        program = assemble("start:\n    jmp end\nend:\n    halt\n")
+        assert program.labels == {"start": 0, "end": 1}
+
+    def test_label_with_instruction_on_same_line(self):
+        program = assemble("loop: halt\n")
+        assert program.labels["loop"] == 0
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_directives(self):
+        program = assemble(".approx 100 8\n.word 100 42\n    halt\n")
+        assert program.approx_regions == [(100, 8)]
+        assert program.memory_init == {100: 42}
+        assert program.address_is_approx(104)
+        assert not program.address_is_approx(108)
+
+    def test_comments_ignored(self):
+        program = assemble("    li r1, 5 ; five\n    halt\n")
+        assert program.instructions[0].imm == 5
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError):
+            assemble("    frobnicate r1, r2\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError):
+            assemble("    add r1, r2\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("    jmp nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nx:\n    halt\n")
+
+    def test_float_immediates(self):
+        program = assemble("    li a1, 2.5\n    halt\n")
+        assert program.instructions[0].imm == 2.5
+
+
+class TestValidator:
+    def test_approx_branch_rejected(self):
+        with pytest.raises(ValidationError, match="branch"):
+            validate(assemble("    li a1, 1\nx:    beqz a1, x\n"))
+
+    def test_approx_out_rejected(self):
+        with pytest.raises(ValidationError, match="out"):
+            validate(assemble("    li a1, 1\n    out a1\n"))
+
+    def test_mov_approx_to_precise_rejected(self):
+        with pytest.raises(ValidationError, match="mov.e"):
+            validate(assemble("    li a1, 1\n    mov r1, a1\n"))
+
+    def test_mov_e_allowed(self):
+        validate(assemble("    li a1, 1\n    mov.e r1, a1\n    out r1\n    halt\n"))
+
+    def test_approx_op_must_target_approx_register(self):
+        with pytest.raises(ValidationError, match="approximate register"):
+            validate(assemble("    add.a r1, r2, r3\n"))
+
+    def test_precise_op_rejects_approx_sources(self):
+        with pytest.raises(ValidationError, match="reads approximate"):
+            validate(assemble("    li a1, 1\n    add r1, a1, r2\n"))
+
+    def test_precise_into_approx_register_allowed(self):
+        validate(assemble("    add a1, r1, r2\n    halt\n"))
+
+    def test_approx_base_register_rejected(self):
+        with pytest.raises(ValidationError, match="base"):
+            validate(assemble("    li a1, 100\n    ld r1, a1, 0\n"))
+
+    def test_constant_store_to_precise_memory_rejected(self):
+        with pytest.raises(ValidationError, match="precise memory"):
+            validate(assemble("    li a1, 1\n    st a1, r0, 50\n"))
+
+    def test_store_to_approx_region_allowed(self):
+        validate(assemble(".approx 50 4\n    li a1, 1\n    st a1, r0, 50\n    halt\n"))
+
+
+class TestExecution:
+    def test_arithmetic_loop(self):
+        source = """
+            li r1, 0
+            li r2, 5
+            li r3, 0
+        loop:
+            slt r4, r1, r2
+            beqz r4, done
+            add r3, r3, r1
+            li r5, 1
+            add r1, r1, r5
+            jmp loop
+        done:
+            out r3
+            halt
+        """
+        result = run(source)
+        assert result.output == [10]  # 0+1+2+3+4
+
+    def test_memory_roundtrip(self):
+        source = """
+            li r1, 7
+            st r1, r0, 100
+            ld r2, r0, 100
+            out r2
+            halt
+        """
+        assert run(source).output == [7]
+
+    def test_zero_register_is_hard_zero(self):
+        source = """
+            li r1, 5
+            add r0, r1, r1
+            out r0
+            halt
+        """
+        assert run(source).output == [0]
+
+    def test_fp_pipeline(self):
+        source = """
+            li a1, 0.5
+            fadd.a a2, a1, a1
+            fmul.a a3, a2, a2
+            mov.e r1, a3
+            out r1
+            halt
+        """
+        assert run(source).output == [1.0]
+
+    def test_ops_counted_by_precision(self):
+        source = """
+            li a1, 2
+            add.a a2, a1, a1
+            add r1, r0, r0
+            out r1
+            halt
+        """
+        result = run(source)
+        assert result.int_ops_approx == 1
+        assert result.int_ops_precise == 1
+
+    def test_step_limit(self):
+        with pytest.raises(SimulationError):
+            run("x:    jmp x\n")
+
+    def test_baseline_is_fault_free(self):
+        source = """
+            li a1, 100
+            add.a a2, a1, a1
+            mov.e r1, a2
+            out r1
+            halt
+        """
+        for seed in range(5):
+            result = run(source, BASELINE, seed)
+            assert result.output == [200]
+            assert result.faults == 0
+
+    def test_aggressive_faults_appear_in_bulk(self):
+        lines = ["    li a1, 1", "    li a2, 0"]
+        for _ in range(2000):
+            lines.append("    add.a a2, a2, a1")
+        lines += ["    mov.e r1, a2", "    out r1", "    halt"]
+        result = run("\n".join(lines), AGGRESSIVE, seed=3)
+        assert result.faults > 0
+
+    def test_approx_memory_decays_when_idle(self):
+        import dataclasses
+
+        hot = dataclasses.replace(AGGRESSIVE, seconds_per_tick=1.0, name="hot")
+        source = """
+            .approx 100 4
+            li r1, 0
+            st r1, r0, 100
+            li r2, 0
+            li r3, 20000
+        wait:
+            li r4, 1
+            add r2, r2, r4
+            slt r5, r2, r3
+            bnez r5, wait
+            ld r6, r0, 100
+            out r6
+            halt
+        """
+        result = run(source, hot, seed=1)
+        assert result.output[0] != 0  # the stored zero decayed
+
+    def test_deterministic_per_seed(self):
+        source = """
+            li a1, 3
+            mul.a a2, a1, a1
+            mov.e r1, a2
+            out r1
+            halt
+        """
+        assert run(source, MEDIUM, 4).output == run(source, MEDIUM, 4).output
+
+
+class TestCodegen:
+    def test_precise_expression(self):
+        asm = compile_expression(parse_expression("1 + 2 * 3"))
+        assert "add r" in asm and ".a" not in asm
+        assert run(asm).output == [7]
+
+    def test_approx_expression_uses_approx_instructions(self):
+        asm = compile_expression(parse_expression("(approx int) 3 + 4"))
+        assert "add.a a" in asm
+        assert "mov.e" in asm  # endorsed at the output boundary
+        assert run(asm).output == [7]
+
+    def test_endorse_compiles_to_mov_e(self):
+        asm = compile_expression(parse_expression("endorse((approx int) 5 * 2) + 1"))
+        assert "mov.e" in asm
+        assert run(asm).output == [11]
+
+    def test_conditional(self):
+        asm = compile_expression(parse_expression("if (1 < 2) { 10 } else { 20 }"))
+        assert run(asm).output == [10]
+
+    def test_float_expression(self):
+        asm = compile_expression(parse_expression("1.5 + 2.25"))
+        assert "fadd" in asm
+        assert run(asm).output == [3.75]
+
+    def test_approx_condition_rejected(self):
+        with pytest.raises(CodegenError, match="condition"):
+            compile_expression(
+                parse_expression("if ((approx int) 1 == 1) { 1 } else { 2 }")
+            )
+
+    def test_generated_code_always_validates(self):
+        # Qualifier-directed selection means the validator passes by
+        # construction.
+        for text in (
+            "1 + 2",
+            "(approx int) 1 + (approx int) 2",
+            "endorse((approx float) 1.5 * 2.0)",
+            "if (1 == 1) { (approx int) 4 } else { (approx int) 5 } ; 9",
+            "3 ; 4 ; (approx int) 5 * 5",
+        ):
+            asm = compile_expression(parse_expression(text))
+            validate(assemble(asm))
+
+    def test_sequence(self):
+        asm = compile_expression(parse_expression("1 ; 2 ; 3"))
+        assert run(asm).output == [3]
+
+
+class TestDisassembler:
+    ROUND_TRIP_SOURCES = [
+        """
+        .approx 100 16
+        .word 100 7
+            li r1, 0
+            li r2, 4
+        loop:
+            slt r3, r1, r2
+            beqz r3, done
+            ld a1, r1, 100
+            li r4, 1
+            add r1, r1, r4
+            jmp loop
+        done:
+            out r1
+            halt
+        """,
+        "    li a1, 2.5\n    fadd.a a2, a1, a1\n    mov.e r1, a2\n    out r1\n    halt\n",
+        "end:\n",  # a bare trailing label is legal
+    ]
+
+    def test_round_trip(self):
+        from repro.isa import disassemble
+
+        for source in self.ROUND_TRIP_SOURCES:
+            program = assemble(source)
+            text = disassemble(program)
+            again = assemble(text)
+            assert again.instructions == program.instructions, text
+            assert again.labels == program.labels
+            assert again.memory_init == program.memory_init
+            assert again.approx_regions == program.approx_regions
+
+    def test_round_trip_preserves_behaviour(self):
+        from repro.isa import disassemble
+
+        source = self.ROUND_TRIP_SOURCES[0]
+        original = Machine(BASELINE, seed=1).run(assemble(source))
+        reassembled = Machine(BASELINE, seed=1).run(assemble(disassemble(assemble(source))))
+        assert original.output == reassembled.output

@@ -1,0 +1,166 @@
+"""Tests for cache-line object/array layout (paper Section 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cacheline import CACHE_LINE_BYTES, CacheLine, LineMap
+from repro.memory.layout import (
+    ARRAY_HEADER_BYTES,
+    VTABLE_POINTER_BYTES,
+    FieldSpec,
+    layout_array,
+    layout_object,
+)
+
+
+def specs(*triples):
+    return [FieldSpec(name, kind, approx) for name, kind, approx in triples]
+
+
+class TestObjectLayout:
+    def test_all_precise_object_has_no_approx_lines(self):
+        line_map = layout_object([specs(("x", "int", False), ("y", "int", False))])
+        assert line_map.approx_bytes == 0
+        assert all(not line.approximate for line in line_map.lines)
+
+    def test_header_is_precise_and_first(self):
+        line_map = layout_object([specs(("x", "int", True))])
+        first = line_map.lines[0]
+        assert not first.approximate
+        assert first.slots[0][0] == "__vtable__"
+        assert first.slots[0][2] == VTABLE_POINTER_BYTES
+
+    def test_small_approx_fields_demoted_into_precise_line(self):
+        # vtable(8) + 2 precise ints (8) leaves 48 free bytes in line 0;
+        # a couple of approximate ints fit there and are demoted.
+        line_map = layout_object(
+            [specs(("p1", "int", False), ("p2", "int", False), ("a1", "int", True))]
+        )
+        assert len(line_map.lines) == 1
+        assert line_map.approx_bytes == 0
+        assert line_map.demoted_bytes == 4
+        assert not line_map.field_is_approx_storage("a1")
+
+    def test_large_approx_group_gets_approx_lines(self):
+        # 20 doubles = 160 bytes of approximate data: the 48 bytes after
+        # the header are demoted, the rest goes to approximate lines.
+        fields = [FieldSpec(f"a{i}", "double", True) for i in range(20)]
+        line_map = layout_object([[FieldSpec("p", "int", False)] + fields])
+        assert line_map.approx_bytes > 0
+        assert any(line.approximate for line in line_map.lines)
+        # Demoted + approximate bytes account for all 160 data bytes.
+        assert line_map.approx_bytes + line_map.demoted_bytes == 160
+
+    def test_precise_fields_before_approx_within_group(self):
+        line_map = layout_object(
+            [specs(("a", "float", True), ("p", "float", False))]
+        )
+        first = line_map.lines[0]
+        names = [slot[0] for slot in first.slots]
+        assert names.index("p") < names.index("a")
+
+    def test_subclass_groups_not_reordered(self):
+        base_fields = [FieldSpec(f"ba{i}", "double", True) for i in range(10)]
+        sub_fields = [FieldSpec("sp", "int", False)]
+        line_map = layout_object([base_fields, sub_fields])
+        # The subclass's precise field must come after the base group's
+        # lines, in a precise line.
+        assert not line_map.line_of("sp").approximate
+        base_line_indices = [line_map.line_of(f"ba{i}").index for i in range(10)]
+        assert line_map.line_of("sp").index >= max(base_line_indices[:1])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["int", "float", "double", "bool", "ref"]),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_every_field_lands_exactly_once(self, raw):
+        fields = [FieldSpec(f"f{i}", kind, approx) for i, (kind, approx) in enumerate(raw)]
+        line_map = layout_object([fields])
+        placed = [
+            name
+            for line in line_map.lines
+            for name, _off, _size, _w in line.slots
+            if not name.startswith("__")
+        ]
+        assert sorted(placed) == sorted(f.name for f in fields)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["int", "float", "double"]), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_precise_fields_never_in_approx_lines(self, raw):
+        fields = [FieldSpec(f"f{i}", kind, approx) for i, (kind, approx) in enumerate(raw)]
+        line_map = layout_object([fields])
+        for line in line_map.lines:
+            if line.approximate:
+                assert all(wanted for _n, _o, _s, wanted in line.slots)
+
+    def test_no_line_overflows(self):
+        fields = [FieldSpec(f"f{i}", "double", i % 2 == 0) for i in range(50)]
+        line_map = layout_object([fields])
+        for line in line_map.lines:
+            assert line.used_bytes <= CACHE_LINE_BYTES
+
+
+class TestArrayLayout:
+    def test_first_line_precise(self):
+        line_map, _approx, _demoted = layout_array(100, "float", True)
+        assert not line_map.lines[0].approximate
+
+    def test_precise_array_fully_precise(self):
+        line_map, approx, precise = layout_array(100, "float", False)
+        assert approx == 0
+        assert precise == 400
+
+    def test_approx_array_mostly_approx(self):
+        line_map, approx, demoted = layout_array(100, "float", True)
+        # 400 data bytes; 48 fit in the header line (demoted).
+        assert demoted == CACHE_LINE_BYTES - ARRAY_HEADER_BYTES
+        assert approx == 400 - demoted
+
+    def test_empty_array(self):
+        line_map, approx, demoted = layout_array(0, "int", True)
+        assert approx == 0
+        assert len(line_map.lines) == 1
+
+    @given(st.integers(min_value=0, max_value=5000), st.booleans())
+    def test_data_conservation(self, length, approximate):
+        line_map, approx, _x = layout_array(length, "int", approximate)
+        data_bytes = 4 * length
+        placed = sum(
+            size
+            for line in line_map.lines
+            for name, _o, size, _w in line.slots
+            if name.startswith("__data")
+        )
+        assert placed == data_bytes
+        assert approx <= data_bytes
+
+
+class TestCacheLinePrimitives:
+    def test_fits_and_add(self):
+        line = CacheLine(index=0, approximate=False)
+        offset = line.add("a", 60, False)
+        assert offset == 0
+        assert line.fits(4)
+        assert not line.fits(5)
+        with pytest.raises(ValueError):
+            line.add("b", 8, False)
+
+    def test_linemap_lookup(self):
+        line = CacheLine(index=0, approximate=True)
+        line.add("x", 4, True)
+        line_map = LineMap([line])
+        assert line_map.field_is_approx_storage("x")
+        assert not line_map.field_is_approx_storage("missing")
+        assert line_map.total_bytes == CACHE_LINE_BYTES

@@ -1,0 +1,40 @@
+"""Tests for the Green-style online QoS controller."""
+
+from repro.apps import app_by_name
+from repro.experiments.online_monitor import LADDER, format_trace, run_online_monitor
+
+
+class TestController:
+    def test_robust_app_climbs_the_ladder(self):
+        # MonteCarlo tolerates even Aggressive (Figure 5): the
+        # controller should push it to high levels and keep it there.
+        trace = run_online_monitor(app_by_name("montecarlo"), qos_budget=0.10, requests=20)
+        assert trace.final_level >= 2
+        assert trace.mean_level > 1.0
+
+    def test_sensitive_app_backs_off(self):
+        # SOR violates the budget at Medium (Figure 5): the controller
+        # must spend most of its time at or below Mild.
+        trace = run_online_monitor(app_by_name("sor"), qos_budget=0.05, requests=20)
+        assert trace.mean_level < 2.0
+
+    def test_violation_forces_immediate_step_down(self):
+        trace = run_online_monitor(app_by_name("sor"), qos_budget=0.05, requests=20)
+        for i, error in enumerate(trace.samples[:-1]):
+            if error > trace.qos_budget and trace.levels[i] > 0:
+                assert trace.levels[i + 1] == trace.levels[i] - 1
+
+    def test_levels_stay_on_ladder(self):
+        trace = run_online_monitor(app_by_name("imagej"), qos_budget=0.02, requests=15)
+        assert all(0 <= level < len(LADDER) for level in trace.levels)
+
+    def test_trace_is_deterministic(self):
+        first = run_online_monitor(app_by_name("lu"), qos_budget=0.05, requests=10)
+        second = run_online_monitor(app_by_name("lu"), qos_budget=0.05, requests=10)
+        assert first.levels == second.levels
+        assert first.samples == second.samples
+
+    def test_format(self):
+        trace = run_online_monitor(app_by_name("montecarlo"), qos_budget=0.1, requests=5)
+        text = format_trace(trace)
+        assert "MonteCarlo" in text and "violations" in text

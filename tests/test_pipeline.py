@@ -1,0 +1,316 @@
+"""Integration tests: check → instrument → execute on the simulator."""
+
+import textwrap
+
+import pytest
+
+from repro.core.pipeline import compile_program
+from repro.errors import TypeCheckError
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.runtime import Simulator
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def compile_src(source: str, name: str = "m"):
+    return compile_program({name: PRELUDE + textwrap.dedent(source)})
+
+
+MEAN = """
+    def mean(n: int) -> float:
+        nums: list[Approx[float]] = [0.0] * n
+        for i in range(n):
+            nums[i] = 1.0 * i
+        total: Approx[float] = 0.0
+        for i in range(n):
+            total = total + nums[i]
+        return endorse(total / n)
+"""
+
+
+class TestBasicExecution:
+    def test_baseline_preserves_semantics(self):
+        program = compile_src(MEAN)
+        with Simulator(BASELINE, seed=0):
+            assert program.call("m", "mean", 100) == 49.5
+
+    def test_rejects_ill_typed_program(self):
+        with pytest.raises(TypeCheckError) as exc_info:
+            compile_src(
+                """
+                def f() -> int:
+                    a: Approx[int] = 1
+                    return a
+                """
+            )
+        assert exc_info.value.diagnostics
+
+    def test_aggressive_execution_differs(self):
+        program = compile_src(MEAN)
+        with Simulator(BASELINE, seed=1):
+            precise = program.call("m", "mean", 200)
+        outputs = []
+        for seed in range(5):
+            with Simulator(AGGRESSIVE, seed=seed):
+                outputs.append(program.call("m", "mean", 200))
+        assert any(out != precise for out in outputs)
+
+    def test_runs_are_reproducible(self):
+        program = compile_src(MEAN)
+
+        def run(seed):
+            with Simulator(AGGRESSIVE, seed=seed):
+                return program.call("m", "mean", 100)
+
+        assert run(3) == run(3)
+
+    def test_statistics_collected(self):
+        program = compile_src(MEAN)
+        with Simulator(MEDIUM, seed=0) as sim:
+            program.call("m", "mean", 50)
+        stats = sim.stats()
+        assert stats.fp_ops_approx > 0
+        assert stats.int_ops_precise > 0  # loop induction
+        assert stats.endorsements == 1
+        assert stats.dram_approx_byte_ticks > 0
+        assert 0 < stats.fp_approx_fraction <= 1
+
+
+class TestForEachIteration:
+    def test_foreach_over_approx_array_loads_via_dram(self):
+        program = compile_src(
+            """
+            def total(n: int) -> float:
+                data: list[Approx[float]] = [0.0] * n
+                for i in range(n):
+                    data[i] = 1.0 * i
+                acc: Approx[float] = 0.0
+                for v in data:
+                    acc = acc + v
+                return endorse(acc)
+            """
+        )
+        with Simulator(BASELINE, seed=0) as sim:
+            assert program.call("m", "total", 10) == 45.0
+        # Each iterated element is a simulated DRAM load.
+        assert sim.dram.approx_reads == 10
+
+
+class TestEndorsementAndConditions:
+    def test_endorsed_condition_runs(self):
+        program = compile_src(
+            """
+            def count_above(n: int, threshold: float) -> int:
+                data: list[Approx[float]] = [0.0] * n
+                for i in range(n):
+                    data[i] = 1.0 * i
+                count: int = 0
+                for i in range(n):
+                    if endorse(data[i] > threshold):
+                        count = count + 1
+                return count
+            """
+        )
+        with Simulator(BASELINE, seed=0) as sim:
+            assert program.call("m", "count_above", 10, 4.5) == 5
+        assert sim.stats().endorsements == 10
+
+
+class TestApproximableExecution:
+    FLOATSET = """
+        @approximable
+        class FloatSet:
+            nums: Context[list[float]]
+
+            def __init__(self, n: int) -> None:
+                data: Context[list[float]] = [0.0] * n
+                for i in range(n):
+                    data[i] = 1.0 * i
+                self.nums = data
+
+            def mean(self) -> float:
+                total: float = 0.0
+                for i in range(len(self.nums)):
+                    total = total + self.nums[i]
+                return total / len(self.nums)
+
+            def mean_APPROX(self) -> Approx[float]:
+                total: Approx[float] = 0.0
+                for i in range(0, len(self.nums), 2):
+                    total = total + self.nums[i]
+                return 2 * total / len(self.nums)
+
+        def precise_mean(n: int) -> float:
+            s: FloatSet = FloatSet(n)
+            return s.mean()
+
+        def approx_mean(n: int) -> float:
+            s: Approx[FloatSet] = FloatSet(n)
+            m: Approx[float] = s.mean()
+            return endorse(m)
+    """
+
+    def test_algorithmic_approximation_dispatch(self):
+        # The approximate variant averages only the even-indexed half:
+        # for 0..9 that is (0+2+4+6+8)*2/10 = 4.0 versus 4.5 precisely.
+        program = compile_src(self.FLOATSET)
+        with Simulator(BASELINE, seed=0):
+            assert program.call("m", "precise_mean", 10) == 4.5
+            assert program.call("m", "approx_mean", 10) == 4.0
+
+    def test_plain_python_execution_ignores_annotations(self):
+        # Backward compatibility: the same source runs unmodified as
+        # plain Python and always uses the precise implementation.
+        namespace = {}
+        exec(PRELUDE + textwrap.dedent(self.FLOATSET), namespace)
+        assert namespace["precise_mean"](10) == 4.5
+        assert namespace["approx_mean"](10) == 4.5  # no dispatch
+
+    INTPAIR = """
+        @approximable
+        class IntPair:
+            x: Context[int]
+            y: Context[int]
+            num_additions: Approx[int]
+
+            def __init__(self, x: Context[int], y: Context[int]) -> None:
+                self.x = x
+                self.y = y
+                self.num_additions = 0
+
+            def add_to_both(self, amount: Context[int]) -> None:
+                self.x = self.x + amount
+                self.y = self.y + amount
+                self.num_additions = self.num_additions + 1
+
+        def use() -> int:
+            p: IntPair = IntPair(1, 2)
+            p.add_to_both(10)
+            return p.x + p.y
+    """
+
+    def test_intpair_baseline(self):
+        program = compile_src(self.INTPAIR)
+        with Simulator(BASELINE, seed=0) as sim:
+            assert program.call("m", "use") == 23
+        # One object allocated and registered.
+        assert sim.stats().allocations == 1
+
+
+class TestMultiModulePrograms:
+    def test_intra_program_import(self):
+        helper = PRELUDE + textwrap.dedent(
+            """
+            def scale(x: Approx[float]) -> Approx[float]:
+                return x * 2.0
+            """
+        )
+        main = PRELUDE + textwrap.dedent(
+            """
+            from helper import scale
+
+            def run() -> float:
+                a: Approx[float] = 3.0
+                return endorse(scale(a))
+            """
+        )
+        program = compile_program({"helper": helper, "main": main})
+        with Simulator(BASELINE, seed=0):
+            assert program.call("main", "run") == 6.0
+
+    def test_import_cycle_detected(self):
+        from repro.errors import InstrumentationError
+
+        a = PRELUDE + "from b import g\n\ndef f() -> None:\n    pass\n"
+        b = PRELUDE + "from a import f\n\ndef g() -> None:\n    pass\n"
+        with pytest.raises(InstrumentationError):
+            compile_program({"a": a, "b": b})
+
+
+class TestFaultBehaviour:
+    def test_approx_int_divide_by_zero_returns_zero(self):
+        program = compile_src(
+            """
+            def f() -> int:
+                a: Approx[int] = 10
+                b: Approx[int] = 0
+                c: Approx[int] = a // b
+                return endorse(c)
+            """
+        )
+        with Simulator(BASELINE, seed=0):
+            assert program.call("m", "f") == 0
+
+    def test_approx_float_divide_by_zero_is_nan(self):
+        import math
+
+        program = compile_src(
+            """
+            def f() -> float:
+                a: Approx[float] = 10.0
+                b: Approx[float] = 0.0
+                c: Approx[float] = a / b
+                return endorse(c)
+            """
+        )
+        with Simulator(BASELINE, seed=0):
+            assert math.isnan(program.call("m", "f"))
+
+    def test_precise_divide_by_zero_still_raises(self):
+        program = compile_src(
+            """
+            def f() -> int:
+                a: int = 10
+                b: int = 0
+                return a // b
+            """
+        )
+        with Simulator(BASELINE, seed=0):
+            with pytest.raises(ZeroDivisionError):
+                program.call("m", "f")
+
+    def test_mantissa_truncation_visible_at_medium(self):
+        program = compile_src(
+            """
+            def f() -> float:
+                a: Approx[float] = 1.0
+                b: Approx[float] = 0.00001
+                c: Approx[float] = a + b
+                return endorse(c)
+            """
+        )
+        import dataclasses
+
+        quiet = dataclasses.replace(MEDIUM, timing_error_prob=0.0, sram_read_upset=0.0,
+                                    sram_write_failure=0.0, name="quiet")
+        with Simulator(quiet, seed=0):
+            # 8 mantissa bits cannot represent 1.00001.
+            assert program.call("m", "f") == 1.0
+
+    def test_mild_mean_error_small(self):
+        program = compile_src(MEAN)
+        with Simulator(BASELINE, seed=0):
+            precise = program.call("m", "mean", 100)
+        errors = []
+        for seed in range(10):
+            with Simulator(MILD, seed=seed):
+                approx = program.call("m", "mean", 100)
+            errors.append(abs(approx - precise) / abs(precise))
+        assert sum(errors) / len(errors) < 0.05
+
+
+class TestApproxUpcast:
+    def test_upcast_forces_approx_operator(self):
+        source = PRELUDE + textwrap.dedent(
+            """
+            def f() -> float:
+                b: float = 1.0
+                c: float = 2.0
+                x: float = endorse(Approx(b) + c)
+                return x
+            """
+        )
+        program = compile_program({"m": source})
+        with Simulator(BASELINE, seed=0) as sim:
+            assert program.call("m", "f") == 3.0
+        assert sim.stats().fp_ops_approx == 1

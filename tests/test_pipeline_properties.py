@@ -1,0 +1,141 @@
+"""Property tests across the whole EnerPy pipeline.
+
+Two paper-level invariants, checked on generated programs:
+
+* **Baseline fidelity** — an instrumented program under the Baseline
+  configuration computes the same result as the plain-Python execution
+  of the same source, up to binary32 rounding of approximate float
+  operations (the simulated register width).  For integer programs the
+  match is exact.
+* **Output totality** — under any configuration, well-typed programs
+  produce outputs without raising (approximation may degrade, never
+  crash), for programs whose approximate data is endorsed before use
+  in control flow.
+"""
+
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_program
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM
+from repro.runtime import Simulator
+
+PRELUDE = "from repro import Approx, endorse\n"
+
+_INT_OPS = ["+", "-", "*"]
+
+
+@st.composite
+def int_kernel(draw):
+    """A straight-line precise integer kernel returning an int."""
+    lines = ["def kernel() -> int:"]
+    names = []
+    count = draw(st.integers(min_value=1, max_value=6))
+    for index in range(count):
+        name = f"v{index}"
+        if names and draw(st.booleans()):
+            left = draw(st.sampled_from(names))
+            right = draw(st.integers(min_value=-50, max_value=50))
+            op = draw(st.sampled_from(_INT_OPS))
+            lines.append(f"    {name}: int = {left} {op} {right}")
+        else:
+            value = draw(st.integers(min_value=-100, max_value=100))
+            lines.append(f"    {name}: int = {value}")
+        names.append(name)
+    result = draw(st.sampled_from(names))
+    lines.append(f"    return {result}")
+    return "\n".join(lines) + "\n"
+
+
+@st.composite
+def approx_kernel(draw):
+    """An approximate integer kernel whose result is endorsed."""
+    lines = ["def kernel() -> int:"]
+    names = []
+    count = draw(st.integers(min_value=1, max_value=6))
+    for index in range(count):
+        name = f"v{index}"
+        if names and draw(st.booleans()):
+            left = draw(st.sampled_from(names))
+            right = draw(st.integers(min_value=-50, max_value=50))
+            op = draw(st.sampled_from(_INT_OPS))
+            lines.append(f"    {name}: Approx[int] = {left} {op} {right}")
+        else:
+            value = draw(st.integers(min_value=-100, max_value=100))
+            lines.append(f"    {name}: Approx[int] = {value}")
+        names.append(name)
+    result = draw(st.sampled_from(names))
+    lines.append(f"    return endorse({result})")
+    return "\n".join(lines) + "\n"
+
+
+def plain_result(source: str):
+    namespace = {}
+    exec(PRELUDE + source, namespace)
+    return namespace["kernel"]()
+
+
+def instrumented_result(source: str, config, seed=0):
+    program = compile_program({"m": PRELUDE + source})
+    with Simulator(config, seed=seed):
+        return program.call("m", "kernel")
+
+
+class TestBaselineFidelity:
+    @given(int_kernel())
+    @settings(max_examples=40, deadline=None)
+    def test_precise_integer_kernels_match_plain_python(self, source):
+        assert instrumented_result(source, BASELINE) == plain_result(source)
+
+    @given(approx_kernel())
+    @settings(max_examples=40, deadline=None)
+    def test_approx_integer_kernels_match_at_baseline(self, source):
+        # Baseline injects no faults; 32-bit wrapping only matters
+        # beyond +/-2^31, which these kernels cannot reach.
+        assert instrumented_result(source, BASELINE) == plain_result(source)
+
+
+class TestOutputTotality:
+    @given(approx_kernel(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_aggressive_runs_never_raise(self, source, seed):
+        result = instrumented_result(source, AGGRESSIVE, seed=seed)
+        assert isinstance(result, int)
+
+    @given(approx_kernel(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_runs_are_seed_deterministic(self, source, seed):
+        first = instrumented_result(source, MEDIUM, seed=seed)
+        second = instrumented_result(source, MEDIUM, seed=seed)
+        assert first == second
+
+
+class TestFloatRounding:
+    def test_approx_float_results_are_binary32(self):
+        import struct
+
+        source = textwrap.dedent(
+            """
+            def kernel() -> float:
+                a: Approx[float] = 0.1
+                b: Approx[float] = 0.2
+                c: Approx[float] = a + b
+                return endorse(c)
+            """
+        )
+        result = instrumented_result(source, BASELINE)
+        # The value must be representable in binary32 exactly.
+        assert struct.unpack("<f", struct.pack("<f", result))[0] == result
+
+    def test_precise_float_results_are_double(self):
+        source = textwrap.dedent(
+            """
+            def kernel() -> float:
+                a: float = 0.1
+                b: float = 0.2
+                return a + b
+            """
+        )
+        assert instrumented_result(source, BASELINE) == 0.1 + 0.2

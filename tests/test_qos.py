@@ -1,0 +1,131 @@
+"""Tests for the application QoS metrics (paper Table 3, column 3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.qos import (
+    binary_correctness,
+    clamp01,
+    decision_fraction_error,
+    mean_entry_difference,
+    mean_normalized_difference,
+    mean_pixel_difference,
+    normalized_difference,
+)
+
+small_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestMeanEntryDifference:
+    def test_identical_is_zero(self):
+        assert mean_entry_difference([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_each_entry_clamped_to_one(self):
+        # A single wildly wrong entry contributes at most 1.
+        assert mean_entry_difference([0.0, 0.0], [1e9, 0.0]) == 0.5
+
+    def test_nan_counts_as_one(self):
+        assert mean_entry_difference([1.0], [math.nan]) == 1.0
+        assert mean_entry_difference([1.0], [math.inf]) == 1.0
+
+    def test_nested_matrices_flattened(self):
+        precise = [[1.0, 2.0], [3.0, 4.0]]
+        approx = [[1.0, 2.0], [3.0, 4.5]]
+        assert mean_entry_difference(precise, approx) == pytest.approx(0.125)
+
+    def test_length_mismatch_is_total_error(self):
+        assert mean_entry_difference([1.0, 2.0], [1.0]) == 1.0
+
+    def test_empty_outputs_identical(self):
+        assert mean_entry_difference([], []) == 0.0
+
+    @given(st.lists(small_floats, max_size=20), st.lists(small_floats, max_size=20))
+    def test_always_in_unit_interval(self, a, b):
+        assert 0.0 <= mean_entry_difference(a, b) <= 1.0
+
+    @given(st.lists(small_floats, min_size=1, max_size=20))
+    def test_self_comparison_zero(self, values):
+        assert mean_entry_difference(values, values) == 0.0
+
+
+class TestNormalizedDifference:
+    def test_exact(self):
+        assert normalized_difference(4.0, 3.0) == pytest.approx(0.25)
+
+    def test_zero_reference(self):
+        assert normalized_difference(0.0, 0.5) == 0.5
+        assert normalized_difference(0.0, 5.0) == 1.0  # clamped
+
+    def test_nan_is_one(self):
+        assert normalized_difference(1.0, math.nan) == 1.0
+
+    def test_mean_variant(self):
+        assert mean_normalized_difference([2.0, 4.0], [1.0, 4.0]) == pytest.approx(0.25)
+
+
+class TestBinaryCorrectness:
+    def test_equal_strings(self):
+        assert binary_correctness("HELLO", "HELLO") == 0.0
+
+    def test_unequal(self):
+        assert binary_correctness("HELLO", "HELLP") == 1.0
+        assert binary_correctness("HELLO", None) == 1.0
+
+
+class TestDecisionFraction:
+    def test_all_correct(self):
+        assert decision_fraction_error([True, False], [True, False]) == 0.0
+
+    def test_coin_flipping_is_total_error(self):
+        precise = [True, False, True, False]
+        approx = [True, True, False, False]  # half right
+        assert decision_fraction_error(precise, approx) == 1.0
+
+    def test_worse_than_chance_clamps(self):
+        assert decision_fraction_error([True, True], [False, False]) == 1.0
+
+    def test_quarter_wrong(self):
+        precise = [True] * 4
+        approx = [True, True, True, False]
+        assert decision_fraction_error(precise, approx) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        assert decision_fraction_error([True], []) == 1.0
+
+    def test_empty(self):
+        assert decision_fraction_error([], []) == 0.0
+
+
+class TestPixelDifference:
+    def test_identical_images(self):
+        image = [[0, 128], [255, 64]]
+        assert mean_pixel_difference(image, image) == 0.0
+
+    def test_inverted_image_is_total_error(self):
+        precise = [[0, 0], [0, 0]]
+        approx = [[255, 255], [255, 255]]
+        assert mean_pixel_difference(precise, approx) == 1.0
+
+    def test_scaling(self):
+        assert mean_pixel_difference([0], [128], max_value=255.0) == pytest.approx(128 / 255)
+
+    def test_nan_pixel(self):
+        assert mean_pixel_difference([0.5], [math.nan], max_value=1.0) == 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=50),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=50),
+    )
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= mean_pixel_difference(a, b) <= 1.0
+
+
+class TestClamp:
+    def test_basic(self):
+        assert clamp01(0.5) == 0.5
+        assert clamp01(-1.0) == 0.0
+        assert clamp01(2.0) == 1.0
+        assert clamp01(math.nan) == 1.0

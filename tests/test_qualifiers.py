@@ -1,0 +1,144 @@
+"""Tests for the precision-qualifier lattice (paper Section 3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.qualifiers import (
+    APPROX,
+    CONTEXT,
+    LOST,
+    PRECISE,
+    TOP,
+    Qualifier,
+    adapt,
+    is_subqualifier,
+    parse_qualifier,
+    qualifier_lub,
+)
+from repro.errors import QualifierError
+
+ALL = list(Qualifier)
+qualifiers = st.sampled_from(ALL)
+
+
+class TestOrdering:
+    def test_reflexive(self):
+        for q in ALL:
+            assert is_subqualifier(q, q)
+
+    def test_top_is_greatest(self):
+        for q in ALL:
+            assert is_subqualifier(q, TOP)
+
+    def test_everything_but_top_below_lost(self):
+        for q in ALL:
+            if q is TOP:
+                assert not is_subqualifier(q, LOST)
+            else:
+                assert is_subqualifier(q, LOST)
+
+    def test_precise_approx_unrelated(self):
+        assert not is_subqualifier(PRECISE, APPROX)
+        assert not is_subqualifier(APPROX, PRECISE)
+
+    def test_context_unrelated_to_precise_and_approx(self):
+        assert not is_subqualifier(CONTEXT, PRECISE)
+        assert not is_subqualifier(CONTEXT, APPROX)
+        assert not is_subqualifier(PRECISE, CONTEXT)
+        assert not is_subqualifier(APPROX, CONTEXT)
+
+    def test_lost_not_below_concrete(self):
+        assert not is_subqualifier(LOST, PRECISE)
+        assert not is_subqualifier(LOST, APPROX)
+
+    @given(qualifiers, qualifiers, qualifiers)
+    def test_transitive(self, a, b, c):
+        if is_subqualifier(a, b) and is_subqualifier(b, c):
+            assert is_subqualifier(a, c)
+
+    @given(qualifiers, qualifiers)
+    def test_antisymmetric(self, a, b):
+        if is_subqualifier(a, b) and is_subqualifier(b, a):
+            assert a is b
+
+
+class TestLub:
+    @given(qualifiers, qualifiers)
+    def test_lub_is_upper_bound(self, a, b):
+        join = qualifier_lub(a, b)
+        assert is_subqualifier(a, join)
+        assert is_subqualifier(b, join)
+
+    @given(qualifiers, qualifiers)
+    def test_lub_commutative(self, a, b):
+        assert qualifier_lub(a, b) is qualifier_lub(b, a)
+
+    @given(qualifiers)
+    def test_lub_idempotent(self, a):
+        assert qualifier_lub(a, a) is a
+
+    def test_precise_approx_join_is_lost(self):
+        assert qualifier_lub(PRECISE, APPROX) is LOST
+
+    @given(qualifiers, qualifiers, qualifiers)
+    def test_lub_is_least(self, a, b, c):
+        # Any common upper bound is above the lub.
+        if is_subqualifier(a, c) and is_subqualifier(b, c):
+            assert is_subqualifier(qualifier_lub(a, b), c)
+
+
+class TestAdaptation:
+    """The paper's context-adaptation rules (q |> q')."""
+
+    def test_context_through_precise(self):
+        assert adapt(PRECISE, CONTEXT) is PRECISE
+
+    def test_context_through_approx(self):
+        assert adapt(APPROX, CONTEXT) is APPROX
+
+    def test_context_through_context(self):
+        assert adapt(CONTEXT, CONTEXT) is CONTEXT
+
+    def test_context_through_top_is_lost(self):
+        assert adapt(TOP, CONTEXT) is LOST
+
+    def test_context_through_lost_is_lost(self):
+        assert adapt(LOST, CONTEXT) is LOST
+
+    @given(qualifiers, qualifiers)
+    def test_non_context_unchanged(self, receiver, declared):
+        if declared is not CONTEXT:
+            assert adapt(receiver, declared) is declared
+
+    @given(qualifiers)
+    def test_adaptation_never_produces_context_from_concrete(self, receiver):
+        result = adapt(receiver, CONTEXT)
+        if receiver in (PRECISE, APPROX):
+            assert result is receiver
+        elif receiver is CONTEXT:
+            assert result is CONTEXT
+        else:
+            assert result is LOST
+
+
+class TestParsingAndProperties:
+    def test_parse_roundtrip(self):
+        for q in ALL:
+            assert parse_qualifier(q.value) is q
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(QualifierError):
+            parse_qualifier("fuzzy")
+
+    def test_concrete_predicate(self):
+        assert PRECISE.is_concrete
+        assert APPROX.is_concrete
+        assert TOP.is_concrete
+        assert not CONTEXT.is_concrete
+        assert not LOST.is_concrete
+
+    def test_only_approx_may_be_approximate(self):
+        assert APPROX.may_be_approximate
+        for q in (PRECISE, TOP, CONTEXT, LOST):
+            assert not q.may_be_approximate

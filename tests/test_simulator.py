@@ -1,0 +1,191 @@
+"""Tests for the Simulator context and runtime hooks."""
+
+import math
+
+import pytest
+
+from repro.errors import NoActiveSimulationError
+from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM
+from repro.memory.layout import FieldSpec
+from repro.runtime import Simulator, current_simulator
+from repro.runtime import hooks
+
+
+class TestContextManagement:
+    def test_enter_exit(self):
+        assert current_simulator() is None
+        with Simulator(BASELINE) as sim:
+            assert current_simulator() is sim
+        assert current_simulator() is None
+
+    def test_nesting(self):
+        with Simulator(BASELINE) as outer:
+            with Simulator(MEDIUM) as inner:
+                assert current_simulator() is inner
+            assert current_simulator() is outer
+
+    def test_hooks_raise_outside_context(self):
+        with pytest.raises(NoActiveSimulationError):
+            hooks._ej_binop("add", "int", False, 1, 2)
+
+    def test_fallback_precise_mode(self):
+        hooks.set_fallback_precise(True)
+        try:
+            assert hooks._ej_binop("add", "int", True, 1, 2) == 3
+            assert hooks._ej_endorse(5) == 5
+            assert list(hooks._ej_iter_array([1, 2])) == [1, 2]
+            assert list(hooks._ej_range(3)) == [0, 1, 2]
+        finally:
+            hooks.set_fallback_precise(False)
+
+
+class TestOperations:
+    def test_binop_routing(self):
+        with Simulator(BASELINE) as sim:
+            assert sim.binop("add", "int", False, 2, 3) == 5
+            assert sim.binop("add", "float", True, 0.5, 0.25) == 0.75
+        stats = sim.stats()
+        assert stats.int_ops_precise == 1
+        assert stats.fp_ops_approx == 1
+        assert stats.ticks == 2
+
+    def test_unop(self):
+        with Simulator(BASELINE) as sim:
+            assert sim.unop("neg", "float", True, 2.0) == -2.0
+            assert sim.unop("abs", "int", False, -2) == 2
+
+    def test_convert_nan_to_int_is_zero(self):
+        with Simulator(AGGRESSIVE) as sim:
+            assert sim.convert("int", True, math.nan) == 0
+            assert sim.convert("int", True, math.inf) == 0
+
+    def test_convert_precise(self):
+        with Simulator(BASELINE) as sim:
+            assert sim.convert("int", False, 3.9) == 3
+            assert sim.convert("float", False, 3) == 3.0
+
+    def test_math_precise_and_approx(self):
+        with Simulator(BASELINE) as sim:
+            assert sim.math_call("sqrt", False, (4.0,)) == 2.0
+            assert sim.math_call("sqrt", True, (4.0,)) == 2.0
+        assert sim.stats().fp_ops_total == 2
+
+    def test_approx_math_domain_error_is_nan(self):
+        with Simulator(BASELINE) as sim:
+            assert math.isnan(sim.math_call("sqrt", True, (-1.0,)))
+
+    def test_precise_math_domain_error_raises(self):
+        with Simulator(BASELINE) as sim:
+            with pytest.raises(ValueError):
+                sim.math_call("sqrt", False, (-1.0,))
+
+
+class TestArrays:
+    def test_array_lifecycle(self):
+        with Simulator(BASELINE) as sim:
+            # 100 floats = 400 bytes: spills well past the precise
+            # header line, so most storage is approximate.
+            backing = sim.new_array([0.0] * 100, "float", approximate=True)
+            sim.array_store(backing, 3, 1.5)
+            assert sim.array_load(backing, 3) == 1.5
+        stats = sim.stats()
+        assert stats.allocations == 1
+        assert stats.dram_approx_byte_ticks > 0
+
+    def test_small_approx_array_demoted_to_precise_line(self):
+        # A 10-float array (40 bytes) fits in the free space of the
+        # precise header line — it is demoted and saves no DRAM energy
+        # (paper Section 4.1's layout rule).
+        with Simulator(BASELINE) as sim:
+            sim.new_array([0.0] * 10, "float", approximate=True)
+        stats = sim.stats()
+        assert stats.dram_approx_byte_ticks == 0
+        assert stats.dram_precise_byte_ticks > 0
+
+    def test_unregistered_list_passthrough(self):
+        with Simulator(BASELINE) as sim:
+            plain = [1, 2, 3]
+            assert sim.array_load(plain, 1) == 2
+            sim.array_store(plain, 1, 9)
+            assert plain[1] == 9
+
+    def test_precise_array_accounted_precise(self):
+        with Simulator(BASELINE) as sim:
+            sim.new_array([0] * 100, "int", approximate=False)
+        stats = sim.stats()
+        assert stats.dram_approx_byte_ticks == 0
+        assert stats.dram_precise_byte_ticks > 0
+
+    def test_decay_is_sticky(self):
+        import dataclasses
+
+        config = dataclasses.replace(AGGRESSIVE, seconds_per_tick=1.0, name="hot")
+        with Simulator(config, seed=2) as sim:
+            backing = sim.new_array([7] * 4, "int", approximate=True)
+            sim.array_store(backing, 0, 7)
+            sim.clock.advance(10_000)
+            first = sim.array_load(backing, 0)
+            # The stored word itself changed (sticky decay).
+            assert backing[0] == first
+
+
+class TestObjects:
+    class Thing:
+        def __init__(self):
+            self.x = 0.0
+            self.n = 0
+
+    def _specs(self):
+        return [FieldSpec("x", "float", True), FieldSpec("n", "int", False)]
+
+    def test_object_registration_and_fields(self):
+        with Simulator(BASELINE) as sim:
+            thing = self.Thing()
+            sim.new_object(thing, qualifier_is_approx=True, fields=self._specs())
+            assert sim.object_is_approx(thing)
+            sim.field_store(thing, "x", 2.5)
+            assert sim.field_load(thing, "x") == 2.5
+            sim.field_store(thing, "n", 3)
+            assert sim.field_load(thing, "n") == 3
+
+    def test_unregistered_object_is_precise(self):
+        with Simulator(BASELINE) as sim:
+            assert not sim.object_is_approx(object())
+
+    def test_endorse_counts(self):
+        with Simulator(BASELINE) as sim:
+            assert sim.endorse(42) == 42
+            sim.endorse(1.0)
+        assert sim.stats().endorsements == 2
+
+
+class TestStats:
+    def test_snapshot_fields(self):
+        with Simulator(MEDIUM, seed=0) as sim:
+            sim.binop("mul", "float", True, 2.0, 4.0)
+            sim.local_read(1.0, "float", True)
+            sim.local_write(2, "int", False)
+        stats = sim.stats()
+        assert stats.fp_ops_approx == 1
+        assert stats.sram_approx_byte_ticks == 4
+        assert stats.sram_precise_byte_ticks == 4
+        assert stats.sram_approx_fraction == 0.5
+        as_dict = stats.as_dict()
+        assert as_dict["fp_ops_approx"] == 1
+        assert 0 <= as_dict["sram_approx_fraction"] <= 1
+
+    def test_fp_proportion(self):
+        with Simulator(BASELINE) as sim:
+            sim.binop("add", "int", False, 1, 1)
+            sim.binop("add", "float", False, 1.0, 1.0)
+            sim.binop("add", "float", False, 1.0, 1.0)
+        assert sim.stats().fp_proportion == pytest.approx(2 / 3)
+
+    def test_deterministic_runs(self):
+        def run(seed):
+            with Simulator(AGGRESSIVE, seed=seed) as sim:
+                values = [sim.binop("add", "float", True, float(i), 1.0) for i in range(200)]
+            return values
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

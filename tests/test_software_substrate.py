@@ -1,0 +1,98 @@
+"""Tests for the software execution substrate (Section 4 alternative).
+
+The paper notes approximation need not be architectural: "a runtime
+system on top of commodity hardware can also offer approximate
+execution features (e.g., lower floating point precision, elision of
+memory operations)".  The SOFTWARE preset implements both.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments.harness import mean_qos, run_app
+from repro.hardware.config import BASELINE, SOFTWARE
+from repro.runtime import Simulator
+
+
+class TestPreset:
+    def test_no_hardware_fault_mechanisms(self):
+        # Commodity hardware: no voltage scaling, no refresh games.
+        assert SOFTWARE.timing_error_prob == 0.0
+        assert SOFTWARE.sram_read_upset == 0.0
+        assert SOFTWARE.sram_write_failure == 0.0
+        assert SOFTWARE.dram_flip_per_second == 0.0
+
+    def test_software_mechanisms_present(self):
+        assert SOFTWARE.float_mantissa_bits < 24
+        assert SOFTWARE.load_elision_prob > 0.0
+
+    def test_elision_probability_validated(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SOFTWARE, load_elision_prob=1.5)
+
+
+class TestElisionMechanism:
+    def _always_elide(self):
+        return dataclasses.replace(
+            SOFTWARE, load_elision_prob=1.0, float_mantissa_bits=24, name="elide-all"
+        )
+
+    def test_elided_load_returns_last_read(self):
+        with Simulator(self._always_elide(), seed=0) as sim:
+            backing = sim.new_array([10.0, 20.0, 30.0, 40.0] * 20, "float", True)
+            first = sim.array_load(backing, 0)  # nothing to elide yet
+            second = sim.array_load(backing, 1)  # elided -> stale 10.0
+        assert first == 10.0
+        assert second == 10.0
+        assert sim.elided_loads == 1
+
+    def test_precise_arrays_never_elided(self):
+        with Simulator(self._always_elide(), seed=0) as sim:
+            backing = sim.new_array([1, 2, 3] * 30, "int", approximate=False)
+            assert sim.array_load(backing, 2) == 3
+        assert sim.elided_loads == 0
+
+    def test_zero_probability_never_elides(self):
+        with Simulator(BASELINE, seed=0) as sim:
+            backing = sim.new_array([1.0] * 100, "float", True)
+            for i in range(100):
+                sim.array_load(backing, i)
+        assert sim.elided_loads == 0
+
+    def test_elision_rate_near_configured(self):
+        config = dataclasses.replace(SOFTWARE, load_elision_prob=0.25, name="q")
+        with Simulator(config, seed=3) as sim:
+            backing = sim.new_array([float(i) for i in range(64)], "float", True)
+            for _ in range(40):
+                for i in range(64):
+                    sim.array_load(backing, i)
+        rate = sim.elided_loads / (40 * 64)
+        assert 0.15 < rate < 0.35
+
+    def test_deterministic(self):
+        def run(seed):
+            with Simulator(SOFTWARE, seed=seed) as sim:
+                backing = sim.new_array([float(i) for i in range(64)], "float", True)
+                return [sim.array_load(backing, i) for i in range(64)]
+
+        assert run(5) == run(5)
+
+
+class TestOnApplications:
+    def test_stencil_workloads_robust(self):
+        # Neighbouring values are close: a stale read barely matters.
+        assert mean_qos(app_by_name("sor"), SOFTWARE, runs=3) < 0.1
+
+    def test_fft_is_elision_sensitive(self):
+        # Butterfly networks amplify a stale operand; the software
+        # substrate is a bad match for FFT — a finding the per-app
+        # tuning of Section 6.2 would exploit.
+        assert mean_qos(app_by_name("fft"), SOFTWARE, runs=3) > 0.2
+
+    def test_saves_energy(self):
+        from repro.energy import estimate_energy
+
+        stats = run_app(app_by_name("raytracer"), BASELINE, 0, 0).stats
+        assert 0.0 < estimate_energy(stats, SOFTWARE).savings < 0.2

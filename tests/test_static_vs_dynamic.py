@@ -1,0 +1,72 @@
+"""Tests for the static-vs-dynamic enforcement experiment."""
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.energy.model import SERVER, estimate_energy
+from repro.experiments.harness import run_app
+from repro.experiments.static_vs_dynamic import (
+    TAG_STORAGE_OVERHEAD,
+    _absolute_cost,
+    _calibrate,
+    dynamic_enforcement_stats,
+    static_vs_dynamic_rows,
+)
+from repro.hardware.config import BASELINE, MEDIUM
+from repro.runtime.stats import RunStats
+
+
+@pytest.fixture(scope="module")
+def mc_stats():
+    return run_app(app_by_name("montecarlo"), BASELINE, 0, 0).stats
+
+
+class TestMonitorCostModel:
+    def test_tag_checks_added_as_precise_int_ops(self, mc_stats):
+        monitored = dynamic_enforcement_stats(mc_stats)
+        assert (
+            monitored.int_ops_precise
+            == mc_stats.int_ops_precise + mc_stats.ops_total
+        )
+        # Approximate op counts are untouched.
+        assert monitored.fp_ops_approx == mc_stats.fp_ops_approx
+
+    def test_tag_storage_inflates_byte_ticks(self, mc_stats):
+        monitored = dynamic_enforcement_stats(mc_stats)
+        expected = int(mc_stats.sram_approx_byte_ticks * (1 + TAG_STORAGE_OVERHEAD))
+        assert monitored.sram_approx_byte_ticks == expected
+
+
+class TestCalibration:
+    def test_calibrated_model_reproduces_normalised_energy(self, mc_stats):
+        """The absolute-cost model must agree with the Section 5.4 model
+        on unmonitored runs — same stats, same config, same answer."""
+        sram_unit, dram_unit = _calibrate(mc_stats, SERVER)
+        baseline = _absolute_cost(mc_stats, BASELINE, SERVER, sram_unit, dram_unit)
+        medium = _absolute_cost(mc_stats, MEDIUM, SERVER, sram_unit, dram_unit)
+        normalised = medium / baseline
+        reference = estimate_energy(mc_stats, MEDIUM, SERVER).total
+        assert normalised == pytest.approx(reference, rel=1e-6)
+
+    def test_zero_storage_run_does_not_crash(self):
+        stats = RunStats(int_ops_precise=100)
+        sram_unit, dram_unit = _calibrate(stats, SERVER)
+        assert sram_unit == 0.0 and dram_unit == 0.0
+        assert _absolute_cost(stats, BASELINE, SERVER, 0.0, 0.0) > 0
+
+
+class TestHeadlineResult:
+    def test_dynamic_monitor_erases_savings(self):
+        """The paper's claim: dynamic checks consume the energy that
+        approximation saves.  Under our monitor model the penalty
+        exceeds the Medium-level savings for every application."""
+        rows = static_vs_dynamic_rows(MEDIUM, apps=[app_by_name("sor"), app_by_name("fft")])
+        for row in rows:
+            assert row["static"] < 1.0  # static enforcement saves energy
+            assert row["dynamic"] > row["static"]
+            savings = 1.0 - row["static"]
+            assert row["penalty"] > savings  # the monitor costs more than it saves
+
+    def test_penalty_positive_for_all_apps(self):
+        rows = static_vs_dynamic_rows(MEDIUM)
+        assert all(row["penalty"] > 0 for row in rows)

@@ -1,0 +1,153 @@
+"""Tests for the SRAM and DRAM storage fault models."""
+
+import dataclasses
+
+from repro.hardware.clock import LogicalClock
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM
+from repro.hardware.dram import ApproxDRAM
+from repro.hardware.rng import FaultRandom
+from repro.hardware.sram import ApproxSRAM
+
+
+def make_sram(config=BASELINE, seed=0):
+    return ApproxSRAM(config, FaultRandom(seed))
+
+
+def make_dram(config=BASELINE, seed=0, seconds_per_tick=1e-6):
+    clock = LogicalClock(seconds_per_tick)
+    return ApproxDRAM(config, FaultRandom(seed), clock), clock
+
+
+class TestSRAM:
+    def test_precise_access_never_corrupts(self):
+        sram = make_sram(AGGRESSIVE)
+        for i in range(1000):
+            assert sram.read(i, "int", approximate=False) == i
+            assert sram.write(i, "int", approximate=False) == i
+        assert sram.read_upsets == 0
+        assert sram.write_failures == 0
+
+    def test_baseline_approx_access_never_corrupts(self):
+        sram = make_sram(BASELINE)
+        for i in range(1000):
+            assert sram.read(i, "int", approximate=True) == i
+        assert sram.read_upsets == 0
+
+    def test_aggressive_read_upsets_occur(self):
+        sram = make_sram(AGGRESSIVE, seed=3)
+        corrupted = sum(
+            1 for i in range(5000) if sram.read(i, "int", approximate=True) != i
+        )
+        # 32 bits/read at p=1e-3: ~3% of reads corrupted.
+        assert corrupted > 20
+        assert sram.read_upsets >= corrupted
+
+    def test_medium_write_failures_rarer_than_aggressive(self):
+        def failures(config, seed):
+            sram = make_sram(config, seed)
+            for i in range(20_000):
+                sram.write(i, "int", approximate=True)
+            return sram.write_failures
+
+        assert failures(MEDIUM, 1) < failures(AGGRESSIVE, 1)
+
+    def test_byte_accounting(self):
+        sram = make_sram()
+        sram.read(1.0, "float", approximate=True)
+        sram.write(1, "int", approximate=False)
+        assert sram.approx_byte_accesses == 4
+        assert sram.precise_byte_accesses == 4
+
+    def test_counts_split_by_precision(self):
+        sram = make_sram()
+        sram.read(1, "int", True)
+        sram.read(1, "int", False)
+        sram.write(1, "int", True)
+        assert sram.approx_reads == 1
+        assert sram.precise_reads == 1
+        assert sram.approx_writes == 1
+
+
+class TestDRAM:
+    def test_fresh_write_then_immediate_read_is_clean(self):
+        dram, clock = make_dram(AGGRESSIVE)
+        dram.write(("a", 0), 42, "int", approximate=True)
+        assert dram.read(("a", 0), 42, "int", approximate=True) == 42
+
+    def test_precise_data_never_decays(self):
+        dram, clock = make_dram(AGGRESSIVE)
+        dram.write(("a", 0), 42, "int", approximate=False)
+        clock.advance(10**9)
+        assert dram.read(("a", 0), 42, "int", approximate=False) == 42
+        assert dram.decayed_bits == 0
+
+    def test_long_idle_approx_data_decays(self):
+        # 1e-3 per-bit/sec for 1000 simulated seconds: decay is certain.
+        dram, clock = make_dram(AGGRESSIVE, seed=5, seconds_per_tick=1.0)
+        dram.write(("a", 0), 0, "int", approximate=True)
+        clock.advance(1000)
+        corrupted = dram.read(("a", 0), 0, "int", approximate=True)
+        assert corrupted != 0
+        assert dram.decayed_bits > 0
+
+    def test_read_refreshes_the_word(self):
+        dram, clock = make_dram(AGGRESSIVE, seed=5, seconds_per_tick=1.0)
+        dram.write(("a", 0), 7, "int", approximate=True)
+        clock.advance(1)
+        first = dram.read(("a", 0), 7, "int", approximate=True)
+        # Immediately after a read the word is fresh again.
+        second = dram.read(("a", 0), first, "int", approximate=True)
+        assert second == first
+
+    def test_decay_probability_grows_with_idle_time(self):
+        dram, clock = make_dram(MEDIUM, seconds_per_tick=1.0)
+        dram.write(("a", 0), 0, "int", approximate=True)
+        clock.advance(1)
+        short = dram._decay_probability(("a", 0))
+        dram.write(("a", 1), 0, "int", approximate=True)
+        clock.advance(10_000)
+        long = dram._decay_probability(("a", 1))
+        assert 0 < short < long <= 1.0
+
+    def test_forget_drops_stamps(self):
+        dram, clock = make_dram(MEDIUM)
+        dram.write((123, 0), 1, "int", approximate=True)
+        dram.write((123, 1), 2, "int", approximate=True)
+        dram.write((456, 0), 3, "int", approximate=True)
+        dram.forget(123)
+        assert (123, 0) not in dram._refresh_stamp
+        assert (456, 0) in dram._refresh_stamp
+
+    def test_mild_rarely_decays(self):
+        # 1e-9 per-bit/sec over one simulated second is negligible.
+        from repro.hardware.config import MILD
+
+        dram, clock = make_dram(MILD, seed=1, seconds_per_tick=1.0)
+        for i in range(1000):
+            dram.write(("a", i), i, "int", approximate=True)
+        clock.advance(1)
+        clean = sum(1 for i in range(1000) if dram.read(("a", i), i, "int", True) == i)
+        assert clean == 1000
+
+
+class TestLogicalClock:
+    def test_advance_and_seconds(self):
+        clock = LogicalClock(seconds_per_tick=0.5)
+        clock.advance(4)
+        assert clock.ticks == 4
+        assert clock.seconds == 2.0
+
+    def test_seconds_since(self):
+        clock = LogicalClock(1e-3)
+        clock.advance(1000)
+        assert clock.seconds_since(0) == 1.0
+        assert clock.seconds_since(2000) == 0  # never negative
+
+    def test_rejects_backwards(self):
+        clock = LogicalClock()
+        import pytest
+
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            LogicalClock(0)

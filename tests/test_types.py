@@ -1,0 +1,141 @@
+"""Tests for qualified types and their subtyping (paper Sections 2.1, 2.5)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.qualifiers import APPROX, CONTEXT, LOST, PRECISE, TOP, Qualifier
+from repro.core.types import (
+    VOID,
+    adapt_type,
+    array_of,
+    contains_context,
+    contains_lost,
+    is_subtype,
+    primitive,
+    reference,
+    type_lub,
+)
+
+qualifiers = st.sampled_from(list(Qualifier))
+
+
+class TestPrimitiveSubtyping:
+    def test_precise_below_approx_for_primitives(self):
+        # The key asymmetric rule: precise int <: approx int.
+        assert is_subtype(primitive("int", PRECISE), primitive("int", APPROX))
+        assert is_subtype(primitive("float", PRECISE), primitive("float", APPROX))
+
+    def test_approx_not_below_precise(self):
+        assert not is_subtype(primitive("int", APPROX), primitive("int", PRECISE))
+
+    def test_everything_below_top_primitive(self):
+        for q in (PRECISE, APPROX):
+            assert is_subtype(primitive("float", q), primitive("float", TOP))
+
+    def test_int_widens_to_float(self):
+        assert is_subtype(primitive("int"), primitive("float"))
+        assert is_subtype(primitive("int", PRECISE), primitive("float", APPROX))
+        assert not is_subtype(primitive("float"), primitive("int"))
+
+    def test_bool_does_not_widen(self):
+        assert not is_subtype(primitive("bool"), primitive("int"))
+
+    @given(qualifiers, qualifiers)
+    def test_primitive_reflexive_per_qualifier(self, a, b):
+        sub = primitive("int", a)
+        sup = primitive("int", b)
+        if a is b:
+            assert is_subtype(sub, sup)
+
+
+class TestReferenceSubtyping:
+    def test_precise_class_not_below_approx_class(self):
+        # Mutable-reference unsoundness (paper Section 2.5): no
+        # precise-to-approx subtyping for classes.
+        assert not is_subtype(reference("C", PRECISE), reference("C", APPROX))
+        assert not is_subtype(reference("C", APPROX), reference("C", PRECISE))
+
+    def test_class_below_top_class(self):
+        assert is_subtype(reference("C", PRECISE), reference("C", TOP))
+        assert is_subtype(reference("C", APPROX), reference("C", TOP))
+
+    def test_subclassing(self):
+        subclasses = {"Sub": "Base"}
+        assert is_subtype(reference("Sub"), reference("Base"), subclasses)
+        assert not is_subtype(reference("Base"), reference("Sub"), subclasses)
+
+    def test_everything_below_object(self):
+        assert is_subtype(reference("C"), reference("object"))
+
+    def test_transitive_subclassing(self):
+        subclasses = {"C": "B", "B": "A"}
+        assert is_subtype(reference("C"), reference("A"), subclasses)
+
+
+class TestArraySubtyping:
+    def test_arrays_invariant_in_elements(self):
+        precise_elems = array_of(primitive("float", PRECISE))
+        approx_elems = array_of(primitive("float", APPROX))
+        assert not is_subtype(precise_elems, approx_elems)
+        assert not is_subtype(approx_elems, precise_elems)
+
+    def test_array_reflexive(self):
+        arr = array_of(primitive("float", APPROX))
+        assert is_subtype(arr, arr)
+
+
+class TestAdaptType:
+    def test_context_field_through_approx_receiver(self):
+        field = primitive("int", CONTEXT)
+        assert adapt_type(APPROX, field).qualifier is APPROX
+
+    def test_context_field_through_precise_receiver(self):
+        field = primitive("int", CONTEXT)
+        assert adapt_type(PRECISE, field).qualifier is PRECISE
+
+    def test_context_field_through_top_is_lost(self):
+        field = primitive("int", CONTEXT)
+        adapted = adapt_type(TOP, field)
+        assert adapted.qualifier is LOST
+        assert contains_lost(adapted)
+
+    def test_adapts_array_elements(self):
+        field = array_of(primitive("float", CONTEXT))
+        adapted = adapt_type(APPROX, field)
+        assert adapted.element.qualifier is APPROX
+
+    def test_approx_field_unchanged_by_receiver(self):
+        field = primitive("int", APPROX)
+        assert adapt_type(PRECISE, field).qualifier is APPROX
+
+    def test_contains_context(self):
+        assert contains_context(primitive("int", CONTEXT))
+        assert contains_context(array_of(primitive("int", CONTEXT)))
+        assert not contains_context(primitive("int", APPROX))
+
+
+class TestLubAndMisc:
+    def test_lub_of_precise_and_approx_primitive(self):
+        joined = type_lub(primitive("int", PRECISE), primitive("int", APPROX))
+        assert joined == primitive("int", APPROX)
+
+    def test_lub_int_float(self):
+        joined = type_lub(primitive("int"), primitive("float"))
+        assert joined is not None
+        assert joined.name == "float"
+
+    def test_lub_unrelated_classes_is_none(self):
+        assert type_lub(reference("A"), reference("B")) is None
+
+    def test_void_only_matches_void(self):
+        assert is_subtype(VOID, VOID)
+        assert not is_subtype(VOID, primitive("int"))
+        assert not is_subtype(primitive("int"), VOID)
+
+    def test_endorsed(self):
+        assert primitive("float", APPROX).endorsed().qualifier is PRECISE
+
+    def test_str_forms(self):
+        assert str(primitive("int", APPROX)) == "approx int"
+        assert "[]" in str(array_of(primitive("float")))
+        assert str(VOID) == "void"
