@@ -1,0 +1,86 @@
+"""Bench: serial vs parallel wall-clock on the Figure 5 grid.
+
+Runs the Figure 5 protocol (app x {Mild, Medium, Aggressive} x fault
+seeds) once through the serial path and once through the process-pool
+executor, records both wall-clocks in the benchmark's ``extra_info``
+(the bench trajectory's first parallelism datapoints), and asserts the
+two row sets are *bit-identical* — the executor's determinism guarantee,
+asserted rather than eyeballed.
+
+The speedup assertion scales with the machine: >= 2x at ``jobs=4`` needs
+at least four usable cores; on two cores a weaker bound is asserted; on
+one core the timings are recorded only (a process pool cannot beat the
+serial path without parallel hardware).
+
+Environment knobs:
+
+* ``REPRO_BENCH_RUNS``  — fault seeds per bar (default 3; paper: 20).
+* ``REPRO_BENCH_JOBS``  — worker count for the parallel path (default 4).
+* ``REPRO_BENCH_FULL``  — set to 1 to sweep all nine apps at 20 seeds,
+  i.e. the complete Figure 5 protocol.
+"""
+
+import os
+import time
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.experiments.figure5 import DEFAULT_RUNS, figure5_grid
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", str(DEFAULT_RUNS if FULL else 3)))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+APPS = (
+    ALL_APPS
+    if FULL
+    else [app_by_name("fft"), app_by_name("sor"), app_by_name("montecarlo")]
+)
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_bench_parallel_figure5_grid(benchmark):
+    t0 = time.perf_counter()
+    serial_rows = figure5_grid(APPS, RUNS, jobs=None)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_rows = benchmark.pedantic(
+        figure5_grid, args=(APPS, RUNS, JOBS), rounds=1, iterations=1
+    )
+    parallel_seconds = time.perf_counter() - t0
+
+    # Determinism: the parallel fan-out reproduces the serial floats
+    # exactly, bar by bar.
+    assert parallel_rows == serial_rows
+
+    cores = _usable_cores()
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    benchmark.extra_info.update(
+        serial_seconds=round(serial_seconds, 3),
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(speedup, 3),
+        jobs=JOBS,
+        runs=RUNS,
+        apps=len(APPS),
+        cores=cores,
+    )
+    print(
+        f"\nFigure 5 grid ({len(APPS)} apps x 3 levels x {RUNS} seeds): "
+        f"serial {serial_seconds:.2f}s, jobs={JOBS} {parallel_seconds:.2f}s "
+        f"-> {speedup:.2f}x on {cores} core(s)"
+    )
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at jobs={JOBS} on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+    elif cores >= 2:
+        assert speedup >= 1.2, (
+            f"expected >= 1.2x speedup at jobs={JOBS} on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

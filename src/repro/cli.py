@@ -126,9 +126,18 @@ def cmd_census(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    module.main()
+    # Drivers rewired through the parallel executor accept jobs=N; the
+    # remainder (e.g. table2) are pure formatting and stay serial.
+    if "jobs" in inspect.signature(module.main).parameters:
+        module.main(jobs=args.jobs)
+    elif args.jobs and args.jobs > 1:
+        print(f"note: {args.name} does not support --jobs; running serially")
+        module.main()
+    else:
+        module.main()
     return 0
 
 
@@ -167,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate a paper table/figure"
     )
     experiments.add_argument("name", choices=_EXPERIMENTS)
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the experiment grid across N worker processes "
+        "(default: serial; results are bit-identical either way)",
+    )
     experiments.set_defaults(fn=cmd_experiments)
 
     return parser

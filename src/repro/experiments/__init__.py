@@ -14,8 +14,15 @@ Run any driver as a module::
     python -m repro.experiments.online_monitor    # Green-style controller
 """
 
+from repro.experiments.executor import (
+    ExecutorError,
+    Job,
+    qos_errors,
+    run_jobs,
+)
 from repro.experiments.harness import (
     RunResult,
+    clear_caches,
     compiled_app,
     mean_qos,
     precise_output,
@@ -29,5 +36,10 @@ __all__ = [
     "mean_qos",
     "precise_output",
     "compiled_app",
+    "clear_caches",
     "RunResult",
+    "Job",
+    "ExecutorError",
+    "run_jobs",
+    "qos_errors",
 ]

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.energy.model import MOBILE, SERVER, estimate_energy
@@ -33,38 +33,76 @@ __all__ = [
 LINE_SIZES = (32, 64, 128, 256)
 
 
-def line_size_rows(apps: List[AppSpec] = None) -> List[Dict[str, float]]:
+def _line_size_configs():
+    return [
+        dataclasses.replace(
+            BASELINE, cache_line_bytes=line_bytes, name=f"baseline:{line_bytes}B"
+        )
+        for line_bytes in LINE_SIZES
+    ]
+
+
+def line_size_rows(
+    apps: List[AppSpec] = None, jobs: Optional[int] = None
+) -> List[Dict[str, float]]:
     """Approximate-DRAM fraction per app at each line size."""
+    specs = apps if apps is not None else ALL_APPS
+    configs = _line_size_configs()
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import Job, run_jobs
+
+        grid = [
+            Job(spec=spec, config=config, task="stats")
+            for spec in specs
+            for config in configs
+        ]
+        stats_list = run_jobs(grid, workers=jobs)
+        rows = []
+        cursor = 0
+        for spec in specs:
+            row: Dict[str, object] = {"app": spec.name}
+            for line_bytes in LINE_SIZES:
+                row[line_bytes] = stats_list[cursor].dram_approx_fraction
+                cursor += 1
+            rows.append(row)
+        return rows
     rows = []
-    for spec in apps if apps is not None else ALL_APPS:
+    for spec in specs:
         row: Dict[str, object] = {"app": spec.name}
-        for line_bytes in LINE_SIZES:
-            config = dataclasses.replace(
-                BASELINE, cache_line_bytes=line_bytes, name=f"baseline:{line_bytes}B"
-            )
+        for line_bytes, config in zip(LINE_SIZES, configs):
             stats = run_app(spec, config, fault_seed=0, workload_seed=0).stats
             row[line_bytes] = stats.dram_approx_fraction
         rows.append(row)
     return rows
 
 
-def energy_split_rows(apps: List[AppSpec] = None) -> List[Dict[str, float]]:
+def energy_split_rows(
+    apps: List[AppSpec] = None, jobs: Optional[int] = None
+) -> List[Dict[str, float]]:
     """Aggressive-level energy savings under server vs mobile splits."""
-    rows = []
-    for spec in apps if apps is not None else ALL_APPS:
-        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
-        rows.append(
-            {
-                "app": spec.name,
-                "server": estimate_energy(stats, AGGRESSIVE, SERVER).savings,
-                "mobile": estimate_energy(stats, AGGRESSIVE, MOBILE).savings,
-            }
-        )
-    return rows
+    specs = apps if apps is not None else ALL_APPS
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import Job, run_jobs
+
+        grid = [Job(spec=spec, config=BASELINE, task="stats") for spec in specs]
+        stats_list = run_jobs(grid, workers=jobs)
+    else:
+        stats_list = [
+            run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+            for spec in specs
+        ]
+    return [
+        {
+            "app": spec.name,
+            "server": estimate_energy(stats, AGGRESSIVE, SERVER).savings,
+            "mobile": estimate_energy(stats, AGGRESSIVE, MOBILE).savings,
+        }
+        for spec, stats in zip(specs, stats_list)
+    ]
 
 
 def software_substrate_rows(
-    apps: List[AppSpec] = None, runs: int = 5
+    apps: List[AppSpec] = None, runs: int = 5, jobs: Optional[int] = None
 ) -> List[Dict[str, float]]:
     """QoS and savings on the commodity-hardware software substrate.
 
@@ -83,7 +121,7 @@ def software_substrate_rows(
         rows.append(
             {
                 "app": spec.name,
-                "qos": mean_qos(spec, SOFTWARE, runs=runs),
+                "qos": mean_qos(spec, SOFTWARE, runs=runs, jobs=jobs),
                 "savings": estimate_energy(stats, SOFTWARE, SERVER).savings,
                 "elided": _elided_count(spec),
             }
@@ -139,15 +177,15 @@ def format_energy_splits(rows: List[Dict[str, float]] = None) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(jobs: Optional[int] = None) -> None:
     print("Ablation A: approximate DRAM fraction vs cache-line granularity")
-    print(format_line_sizes())
+    print(format_line_sizes(line_size_rows(jobs=jobs)))
     print()
     print("Ablation B: Aggressive energy savings, server vs mobile split")
-    print(format_energy_splits())
+    print(format_energy_splits(energy_split_rows(jobs=jobs)))
     print()
     print("Ablation C: software substrate (FP truncation + load elision)")
-    print(format_software_substrate())
+    print(format_software_substrate(software_substrate_rows(jobs=jobs)))
 
 
 if __name__ == "__main__":

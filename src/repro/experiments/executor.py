@@ -1,0 +1,317 @@
+"""Parallel experiment executor: deterministic seed fan-out over processes.
+
+Every paper artifact (Figures 3-5, Tables 2-3, the sensitivity and
+ablation sweeps) is an embarrassingly parallel grid of
+``run_app(spec, config, fault_seed, workload_seed)`` calls.  This module
+fans such a grid across a process pool while keeping the results
+*bit-identical* to the serial path:
+
+* **Jobs** are pure descriptions — ``(spec, config, fault_seed,
+  workload_seed, task)`` — so they pickle cheaply and replay anywhere.
+* **Deterministic ordering**: results come back in job-submission order
+  regardless of completion order, and aggregation (e.g. the Figure 5
+  mean over 20 fault seeds) uses the same left-to-right float summation
+  as the serial loop, so ``jobs=4`` reproduces serial floats exactly.
+* **Chunked seed partitioning**: contiguous job chunks amortise IPC;
+  chunk boundaries never change values, only scheduling.
+* **Per-worker warmup**: the compiled-program cache in
+  :mod:`repro.experiments.harness` is per-process, so each worker primes
+  it once (in the pool initializer) instead of once per job.
+* **Bounded retry**: a job that raises is retried up to
+  ``retry_budget`` times; a worker crash (pool breakage) rebuilds the
+  pool up to the same budget.  Exhausting the budget raises
+  :class:`ExecutorError` carrying the failing job's identity — partial
+  results are never silently returned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import AppSpec
+from repro.errors import ReproError
+from repro.hardware.config import HardwareConfig
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "Job",
+    "JobError",
+    "ExecutorError",
+    "run_jobs",
+    "qos_errors",
+    "stats_for_jobs",
+    "mean_of",
+    "register_task",
+    "partition",
+    "DEFAULT_RETRY_BUDGET",
+]
+
+DEFAULT_RETRY_BUDGET = 2
+
+
+class ExecutorError(ReproError):
+    """A job grid could not be completed within the retry budget."""
+
+
+class JobError(Exception):
+    """A single job failed inside a worker; carries the job identity."""
+
+    def __init__(self, message: str, app: str, config: str, fault_seed: int):
+        super().__init__(message)
+        self.app = app
+        self.config = config
+        self.fault_seed = fault_seed
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One unit of the experiment grid.
+
+    ``task`` names an entry in the task registry: ``"qos"`` computes the
+    QoS error against the precise output (a float), ``"stats"`` runs the
+    app and returns its :class:`RunStats`.
+    """
+
+    spec: AppSpec
+    config: HardwareConfig
+    fault_seed: int = 0
+    workload_seed: int = 0
+    task: str = "qos"
+
+    @property
+    def identity(self) -> str:
+        return (
+            f"app={self.spec.name!r} config={self.config.name!r} "
+            f"fault_seed={self.fault_seed}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Task registry (module-level so fork/spawn workers can resolve tasks).
+# ----------------------------------------------------------------------
+
+
+def _task_qos(job: Job) -> float:
+    from repro.experiments.harness import qos_error
+
+    return qos_error(job.spec, job.config, job.fault_seed, job.workload_seed)
+
+
+def _task_stats(job: Job) -> RunStats:
+    from repro.experiments.harness import run_app
+
+    return run_app(job.spec, job.config, job.fault_seed, job.workload_seed).stats
+
+
+_TASKS: Dict[str, Callable[[Job], object]] = {
+    "qos": _task_qos,
+    "stats": _task_stats,
+}
+
+
+def register_task(name: str, fn: Callable[[Job], object]) -> None:
+    """Register a custom task (visible to fork-started workers)."""
+    _TASKS[name] = fn
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_init(specs: Tuple[AppSpec, ...]) -> None:
+    """Prime the per-process compiled-program cache once per worker."""
+    from repro.experiments.harness import compiled_app
+
+    for spec in specs:
+        compiled_app(spec)
+
+
+def _execute_job(job: Job) -> object:
+    try:
+        task = _TASKS[job.task]
+    except KeyError:
+        raise JobError(
+            f"unknown task {job.task!r} ({job.identity})",
+            job.spec.name,
+            job.config.name,
+            job.fault_seed,
+        ) from None
+    try:
+        return task(job)
+    except JobError:
+        raise
+    except Exception as exc:
+        raise JobError(
+            f"{type(exc).__name__}: {exc} ({job.identity})",
+            job.spec.name,
+            job.config.name,
+            job.fault_seed,
+        ) from exc
+
+
+def _execute_chunk(chunk: Sequence[Job]) -> List[object]:
+    return [_execute_job(job) for job in chunk]
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+
+def partition(jobs: Sequence[Job], chunk_size: int) -> List[Sequence[Job]]:
+    """Split ``jobs`` into contiguous chunks of at most ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+
+
+def _default_chunk_size(n_jobs: int, workers: int) -> int:
+    # Roughly four waves per worker: good load balance, bounded IPC.
+    return max(1, math.ceil(n_jobs / (workers * 4)))
+
+
+def _pool_context():
+    """Prefer fork (inherits the parent's warm caches); fall back."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+    chunk_size: Optional[int] = None,
+) -> List[object]:
+    """Execute a job grid; results are in job order, serial-identical.
+
+    ``workers=None``/``0``/``1`` executes serially in-process (the
+    default, so seed behaviour is unchanged unless parallelism is asked
+    for).  ``retry_budget`` bounds both per-chunk retries after an
+    ordinary job exception and pool rebuilds after a worker crash.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if workers is None or workers <= 1:
+        return [_execute_job(job) for job in jobs]
+
+    if chunk_size is None:
+        chunk_size = _default_chunk_size(len(jobs), workers)
+    chunks = partition(jobs, chunk_size)
+    specs = _distinct_specs(jobs)
+
+    results: Dict[int, List[object]] = {}
+    attempts = {index: 0 for index in range(len(chunks))}
+    pending = set(range(len(chunks)))
+    rebuilds = 0
+    context = _pool_context()
+
+    while pending:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(specs,),
+            ) as pool:
+                while pending:
+                    futures = {
+                        pool.submit(_execute_chunk, chunks[index]): index
+                        for index in sorted(pending)
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            results[index] = future.result()
+                            pending.discard(index)
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            attempts[index] += 1
+                            if attempts[index] > retry_budget:
+                                raise _budget_error(chunks[index], exc) from exc
+        except BrokenProcessPool as exc:
+            rebuilds += 1
+            if rebuilds > retry_budget:
+                first = chunks[sorted(pending)[0]][0]
+                raise ExecutorError(
+                    f"worker pool crashed {rebuilds} times "
+                    f"(budget {retry_budget}); first pending job: "
+                    f"{first.identity}"
+                ) from exc
+            # Loop around: a fresh pool retries every pending chunk.
+
+    ordered: List[object] = []
+    for index in range(len(chunks)):
+        ordered.extend(results[index])
+    return ordered
+
+
+def _budget_error(chunk: Sequence[Job], exc: Exception) -> ExecutorError:
+    if isinstance(exc, JobError):
+        identity = f"app={exc.app!r} config={exc.config!r} fault_seed={exc.fault_seed}"
+    else:
+        identity = chunk[0].identity
+    return ExecutorError(
+        f"job failed after exhausting the retry budget: {identity}: {exc}"
+    )
+
+
+def _distinct_specs(jobs: Sequence[Job]) -> Tuple[AppSpec, ...]:
+    seen = {}
+    for job in jobs:
+        seen.setdefault(job.spec.name, job.spec)
+    return tuple(seen.values())
+
+
+# ----------------------------------------------------------------------
+# Grid helpers used by the harness and the figure drivers
+# ----------------------------------------------------------------------
+
+
+def qos_errors(
+    spec: AppSpec,
+    config: HardwareConfig,
+    fault_seeds: Sequence[int],
+    workload_seed: int = 0,
+    workers: Optional[int] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> List[float]:
+    """Per-seed QoS errors, ordered by ``fault_seeds``."""
+    jobs = [
+        Job(spec=spec, config=config, fault_seed=seed, workload_seed=workload_seed)
+        for seed in fault_seeds
+    ]
+    return run_jobs(jobs, workers=workers, retry_budget=retry_budget)
+
+
+def stats_for_jobs(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> List[RunStats]:
+    """Run ``stats`` jobs; a thin alias that documents the return type."""
+    return run_jobs(jobs, workers=workers, retry_budget=retry_budget)
+
+
+def mean_of(errors: Sequence[float]) -> float:
+    """Left-to-right mean — the exact accumulation of the serial loop."""
+    if not errors:
+        raise ValueError("mean of no errors")
+    total = 0.0
+    for error in errors:
+        total += error
+    return total / len(errors)

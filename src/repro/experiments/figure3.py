@@ -10,17 +10,17 @@ whose statistics collection is identical).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.experiments.harness import run_app
 from repro.hardware.config import BASELINE
+from repro.runtime.stats import RunStats
 
 __all__ = ["figure3_row", "figure3_rows", "format_figure3", "main"]
 
 
-def figure3_row(spec: AppSpec) -> Dict[str, float]:
-    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+def _row_from_stats(spec: AppSpec, stats: RunStats) -> Dict[str, float]:
     return {
         "app": spec.name,
         "dram_approx_fraction": stats.dram_approx_fraction,
@@ -30,7 +30,21 @@ def figure3_row(spec: AppSpec) -> Dict[str, float]:
     }
 
 
-def figure3_rows() -> List[Dict[str, float]]:
+def figure3_row(spec: AppSpec) -> Dict[str, float]:
+    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    return _row_from_stats(spec, stats)
+
+
+def figure3_rows(jobs: Optional[int] = None) -> List[Dict[str, float]]:
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import Job, run_jobs
+
+        grid = [Job(spec=spec, config=BASELINE, task="stats") for spec in ALL_APPS]
+        stats_list = run_jobs(grid, workers=jobs)
+        return [
+            _row_from_stats(spec, stats)
+            for spec, stats in zip(ALL_APPS, stats_list)
+        ]
     return [figure3_row(spec) for spec in ALL_APPS]
 
 
@@ -39,9 +53,11 @@ def _bar(fraction: float, width: int = 20) -> str:
     return "#" * filled + "." * (width - filled)
 
 
-def format_figure3(rows: List[Dict[str, float]] = None) -> str:
+def format_figure3(
+    rows: List[Dict[str, float]] = None, jobs: Optional[int] = None
+) -> str:
     if rows is None:
-        rows = figure3_rows()
+        rows = figure3_rows(jobs=jobs)
     header = (
         f"{'Application':14s} {'DRAM':>6s} {'SRAM':>6s} {'IntOp':>6s} {'FPOp':>6s}"
         f"   fraction approximate"
@@ -58,9 +74,9 @@ def format_figure3(rows: List[Dict[str, float]] = None) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(jobs: Optional[int] = None) -> None:
     print("Figure 3: proportion of approximate storage and computation")
-    print(format_figure3())
+    print(format_figure3(jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -7,16 +7,26 @@ the Section 5.4 model applied to the measured approximation fractions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.energy.model import SERVER, EnergyParameters, estimate_energy
 from repro.experiments.harness import run_app
 from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD, HardwareConfig
+from repro.runtime.stats import RunStats
 
 __all__ = ["figure4_row", "figure4_rows", "format_figure4", "main"]
 
 LEVELS = (("B", BASELINE), ("1", MILD), ("2", MEDIUM), ("3", AGGRESSIVE))
+
+
+def _row_from_stats(
+    spec: AppSpec, stats: RunStats, params: EnergyParameters
+) -> Dict[str, float]:
+    row: Dict[str, object] = {"app": spec.name}
+    for label, config in LEVELS:
+        row[label] = estimate_energy(stats, config, params).total
+    return row
 
 
 def figure4_row(spec: AppSpec, params: EnergyParameters = SERVER) -> Dict[str, float]:
@@ -26,19 +36,29 @@ def figure4_row(spec: AppSpec, params: EnergyParameters = SERVER) -> Dict[str, f
     levels differ only in the Table 2 savings the model applies.
     """
     stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
-    row: Dict[str, object] = {"app": spec.name}
-    for label, config in LEVELS:
-        row[label] = estimate_energy(stats, config, params).total
-    return row
+    return _row_from_stats(spec, stats, params)
 
 
-def figure4_rows(params: EnergyParameters = SERVER) -> List[Dict[str, float]]:
+def figure4_rows(
+    params: EnergyParameters = SERVER, jobs: Optional[int] = None
+) -> List[Dict[str, float]]:
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import Job, run_jobs
+
+        grid = [Job(spec=spec, config=BASELINE, task="stats") for spec in ALL_APPS]
+        stats_list = run_jobs(grid, workers=jobs)
+        return [
+            _row_from_stats(spec, stats, params)
+            for spec, stats in zip(ALL_APPS, stats_list)
+        ]
     return [figure4_row(spec, params) for spec in ALL_APPS]
 
 
-def format_figure4(rows: List[Dict[str, float]] = None) -> str:
+def format_figure4(
+    rows: List[Dict[str, float]] = None, jobs: Optional[int] = None
+) -> str:
     if rows is None:
-        rows = figure4_rows()
+        rows = figure4_rows(jobs=jobs)
     header = (
         f"{'Application':14s} {'B':>7s} {'Mild':>7s} {'Medium':>7s} {'Aggr':>7s}"
         f"  {'saved(3)':>9s}"
@@ -61,9 +81,9 @@ def format_figure4(rows: List[Dict[str, float]] = None) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(jobs: Optional[int] = None) -> None:
     print("Figure 4: estimated CPU/memory system energy (normalised to baseline)")
-    print(format_figure4())
+    print(format_figure4(jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -7,7 +7,11 @@ The harness is what every table/figure driver builds on:
   output and the collected :class:`~repro.runtime.stats.RunStats`.
 * :func:`qos_error` — QoS error of an approximate run against the
   precise (baseline-configuration) output for the same workload seed.
-* :func:`mean_qos` — mean error over N seeds (Figure 5 runs 20).
+* :func:`mean_qos` — mean error over N seeds (Figure 5 runs 20); with
+  ``jobs > 1`` the seeds fan out across a process pool through
+  :mod:`repro.experiments.executor` with bit-identical results.
+* :func:`clear_caches` — reset the compiled-program and precise-output
+  caches so test runs cannot leak state across configurations.
 """
 
 from __future__ import annotations
@@ -20,7 +24,15 @@ from repro.core.pipeline import CompiledProgram, compile_program
 from repro.hardware.config import BASELINE, HardwareConfig
 from repro.runtime import RunStats, Simulator
 
-__all__ = ["compiled_app", "run_app", "qos_error", "mean_qos", "RunResult"]
+__all__ = [
+    "compiled_app",
+    "run_app",
+    "qos_error",
+    "mean_qos",
+    "RunResult",
+    "precise_output",
+    "clear_caches",
+]
 
 _PROGRAM_CACHE: Dict[str, CompiledProgram] = {}
 
@@ -95,11 +107,35 @@ def mean_qos(
     config: HardwareConfig,
     runs: int = 20,
     workload_seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> float:
-    """Mean QoS error over ``runs`` fault seeds (the paper uses 20)."""
+    """Mean QoS error over ``runs`` fault seeds (the paper uses 20).
+
+    ``jobs`` > 1 fans the seeds across a process pool via
+    :func:`repro.experiments.executor.qos_errors`; the default (serial)
+    path and the parallel path accumulate per-seed errors in the same
+    left-to-right order, so the result is bit-identical either way.
+    """
     if runs <= 0:
         raise ValueError("runs must be positive")
+    fault_seeds = range(1, runs + 1)
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import mean_of, qos_errors
+
+        errors = qos_errors(spec, config, fault_seeds, workload_seed, workers=jobs)
+        return mean_of(errors)
     total = 0.0
-    for fault_seed in range(1, runs + 1):
+    for fault_seed in fault_seeds:
         total += qos_error(spec, config, fault_seed, workload_seed)
     return total / runs
+
+
+def clear_caches() -> None:
+    """Reset the compiled-program and precise-output caches.
+
+    Test suites that mutate specs or compare configurations use this to
+    guarantee no state leaks between runs; workers call it implicitly by
+    starting from a fresh (or freshly primed) process.
+    """
+    _PROGRAM_CACHE.clear()
+    _PRECISE_CACHE.clear()

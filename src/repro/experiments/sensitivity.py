@@ -14,11 +14,11 @@ Two studies from the paper's quality-of-service discussion:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import ALL_APPS
 from repro.experiments.harness import mean_qos
-from repro.hardware.config import AGGRESSIVE, STRATEGY_NAMES, ErrorMode
+from repro.hardware.config import AGGRESSIVE, STRATEGY_NAMES, ErrorMode, HardwareConfig
 
 __all__ = [
     "strategy_isolation_rows",
@@ -29,7 +29,46 @@ __all__ = [
 ]
 
 
-def strategy_isolation_rows(runs: int = 10, level=None) -> List[Dict[str, float]]:
+def _qos_sweep_rows(
+    columns: Sequence[Tuple[str, HardwareConfig]], runs: int, jobs: Optional[int]
+) -> List[Dict[str, float]]:
+    """Mean QoS per app for each labelled configuration column.
+
+    With ``jobs > 1`` the whole app x column x seed grid fans out at
+    once; each cell is averaged over its seeds in serial order, keeping
+    the numbers bit-identical to the serial sweep.
+    """
+    if jobs is not None and jobs > 1:
+        from repro.experiments.executor import Job, mean_of, run_jobs
+
+        grid = [
+            Job(spec=spec, config=config, fault_seed=fault_seed)
+            for spec in ALL_APPS
+            for _, config in columns
+            for fault_seed in range(1, runs + 1)
+        ]
+        errors = run_jobs(grid, workers=jobs)
+        rows = []
+        cursor = 0
+        for spec in ALL_APPS:
+            row: Dict[str, object] = {"app": spec.name}
+            for label, _ in columns:
+                row[label] = mean_of(errors[cursor : cursor + runs])
+                cursor += runs
+            rows.append(row)
+        return rows
+    rows = []
+    for spec in ALL_APPS:
+        row = {"app": spec.name}
+        for label, config in columns:
+            row[label] = mean_qos(spec, config, runs=runs)
+        rows.append(row)
+    return rows
+
+
+def strategy_isolation_rows(
+    runs: int = 10, level=None, jobs: Optional[int] = None
+) -> List[Dict[str, float]]:
     """Mean QoS error per app with each mechanism enabled alone.
 
     The default level is Medium — the configuration whose parameters
@@ -41,40 +80,34 @@ def strategy_isolation_rows(runs: int = 10, level=None) -> List[Dict[str, float]
     from repro.hardware.config import MEDIUM
 
     base = level if level is not None else MEDIUM
-    rows = []
-    for spec in ALL_APPS:
-        row: Dict[str, object] = {"app": spec.name}
-        for strategy in STRATEGY_NAMES:
-            config = base.only(strategy)
-            row[strategy] = mean_qos(spec, config, runs=runs)
-        rows.append(row)
-    return rows
+    columns = [(strategy, base.only(strategy)) for strategy in STRATEGY_NAMES]
+    return _qos_sweep_rows(columns, runs, jobs)
 
 
-def error_mode_rows(runs: int = 10) -> List[Dict[str, float]]:
+def error_mode_rows(
+    runs: int = 10, jobs: Optional[int] = None
+) -> List[Dict[str, float]]:
     """Mean QoS error per app under the three FU error models.
 
     Only the timing-error mechanism is enabled (Aggressive level) so the
     comparison isolates the error mode itself.
     """
-    rows = []
     timing_only = AGGRESSIVE.only("timing")
-    for spec in ALL_APPS:
-        row: Dict[str, object] = {"app": spec.name}
-        for mode in ErrorMode:
-            config = timing_only.with_error_mode(mode)
-            row[mode.value] = mean_qos(spec, config, runs=runs)
-        rows.append(row)
-    return rows
+    columns = [
+        (mode.value, timing_only.with_error_mode(mode)) for mode in ErrorMode
+    ]
+    return _qos_sweep_rows(columns, runs, jobs)
 
 
 def _mean_over_apps(rows: List[Dict[str, float]], key: str) -> float:
     return sum(row[key] for row in rows) / len(rows)
 
 
-def format_strategy_isolation(rows: List[Dict[str, float]] = None, runs: int = 10) -> str:
+def format_strategy_isolation(
+    rows: List[Dict[str, float]] = None, runs: int = 10, jobs: Optional[int] = None
+) -> str:
     if rows is None:
-        rows = strategy_isolation_rows(runs)
+        rows = strategy_isolation_rows(runs, jobs=jobs)
     header = f"{'Application':14s}" + "".join(f" {name:>12s}" for name in STRATEGY_NAMES)
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -90,9 +123,11 @@ def format_strategy_isolation(rows: List[Dict[str, float]] = None, runs: int = 1
     return "\n".join(lines)
 
 
-def format_error_modes(rows: List[Dict[str, float]] = None, runs: int = 10) -> str:
+def format_error_modes(
+    rows: List[Dict[str, float]] = None, runs: int = 10, jobs: Optional[int] = None
+) -> str:
     if rows is None:
-        rows = error_mode_rows(runs)
+        rows = error_mode_rows(runs, jobs=jobs)
     modes = [mode.value for mode in ErrorMode]
     header = f"{'Application':14s}" + "".join(f" {mode:>12s}" for mode in modes)
     lines = [header, "-" * len(header)]
@@ -108,12 +143,12 @@ def format_error_modes(rows: List[Dict[str, float]] = None, runs: int = 10) -> s
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(jobs: Optional[int] = None) -> None:
     print("Section 6.2a: QoS error with each Medium mechanism in isolation")
-    print(format_strategy_isolation())
+    print(format_strategy_isolation(jobs=jobs))
     print()
     print("Section 6.2b: QoS error under the three functional-unit error modes")
-    print(format_error_modes())
+    print(format_error_modes(jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ and benchmarks can serialise or diff it freely.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Iterable
 
 __all__ = ["RunStats"]
 
@@ -93,6 +93,33 @@ class RunStats:
             + self.sram_write_failures
             + self.dram_decayed_bits
         )
+
+    # ------------------------------------------------------------------
+    # Merging (parallel seed fan-out aggregates split ranges)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "RunStats") -> "RunStats":
+        """Field-wise sum of two snapshots.
+
+        Every field is an exact integer counter, so addition is
+        associative: merging stats from split seed ranges equals the
+        stats of the unsplit serial sequence in any grouping.
+        """
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return RunStats(
+            **{
+                field.name: getattr(self, field.name) + getattr(other, field.name)
+                for field in dataclasses.fields(self)
+            }
+        )
+
+    @classmethod
+    def merge(cls, stats: Iterable["RunStats"]) -> "RunStats":
+        """Aggregate any number of snapshots (empty input -> zero stats)."""
+        merged = cls()
+        for item in stats:
+            merged = merged + item
+        return merged
 
     def as_dict(self) -> Dict[str, float]:
         """A flat dict of raw counters plus derived fractions."""

@@ -107,3 +107,19 @@ class TestExperimentsCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiments", "figure99"])
+
+    def test_jobs_flag_accepted(self, capsys):
+        # table2 is pure formatting: --jobs falls back to serial with a note.
+        assert main(["experiments", "table2", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "does not support --jobs" in out
+        assert "10^-5" in out
+
+    def test_jobs_flag_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figure3", "--jobs", "many"])
+
+    @pytest.mark.slow
+    def test_figure3_parallel(self, capsys):
+        assert main(["experiments", "figure3", "--jobs", "2"]) == 0
+        assert "fraction approximate" in capsys.readouterr().out

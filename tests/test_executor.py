@@ -1,0 +1,266 @@
+"""Tests for the parallel experiment executor.
+
+Covers the tentpole guarantees: deterministic result ordering, serial
+vs parallel bit-identical QoS, chunked partitioning, bounded retry of
+failing jobs, pool rebuild after worker crashes, and the promise that
+partial results are never silently returned.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import executor as executor_mod
+from repro.experiments.executor import (
+    ExecutorError,
+    Job,
+    JobError,
+    mean_of,
+    partition,
+    qos_errors,
+    register_task,
+    run_jobs,
+)
+from repro.experiments.harness import mean_qos
+from repro.hardware.config import BASELINE, MEDIUM, MILD
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Shrunken workloads keep the end-to-end tests honest (same code paths
+#: as the paper grids) while fast.  Distinct names keep the harness
+#: caches of the real apps untouched.
+SMALL_APPS = {
+    "FFT": dataclasses.replace(
+        app_by_name("fft"), name="FFT@small", default_args=(64, 0)
+    ),
+    "SOR": dataclasses.replace(
+        app_by_name("sor"), name="SOR@small", default_args=(12, 4, 0)
+    ),
+    "MonteCarlo": dataclasses.replace(
+        app_by_name("montecarlo"), name="MonteCarlo@small", default_args=(2000, 0)
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Custom tasks for fault-injection tests.  Module-level so fork-started
+# workers inherit both the functions and their registration.  State is
+# shared through a scratch file (os.environ survives fork and spawn).
+# ----------------------------------------------------------------------
+
+_COUNTER_ENV = "REPRO_EXECUTOR_TEST_COUNTER"
+
+
+def _bump_counter() -> int:
+    path = os.environ[_COUNTER_ENV]
+    with open(path, "a") as handle:
+        handle.write("x")
+    return os.path.getsize(path)
+
+
+def _flaky_twice_task(job):
+    """Raises on its first two attempts for fault_seed 3, then succeeds."""
+    if job.fault_seed == 3 and _bump_counter() <= 2:
+        raise RuntimeError("transient worker failure")
+    return job.fault_seed * 10
+
+
+def _always_fails_task(job):
+    if job.fault_seed == 2:
+        raise ValueError("boom")
+    return job.fault_seed * 10
+
+
+def _crash_once_task(job):
+    """Hard-kills the worker process once, then succeeds."""
+    if job.fault_seed == 3 and _bump_counter() == 1:
+        os._exit(3)
+    return job.fault_seed * 10
+
+
+def _always_crashes_task(job):
+    os._exit(3)
+
+
+def _staggered_task(job):
+    # The first-submitted job finishes last: ordering must not follow
+    # completion order.
+    if job.fault_seed == 9:
+        time.sleep(0.4)
+    return job.fault_seed * 10
+
+
+register_task("test-flaky-twice", _flaky_twice_task)
+register_task("test-always-fails", _always_fails_task)
+register_task("test-crash-once", _crash_once_task)
+register_task("test-always-crashes", _always_crashes_task)
+register_task("test-staggered", _staggered_task)
+
+
+def _jobs_for(task, seeds):
+    spec = SMALL_APPS["MonteCarlo"]
+    return [Job(spec=spec, config=BASELINE, fault_seed=seed, task=task) for seed in seeds]
+
+
+@pytest.fixture
+def counter_file(tmp_path, monkeypatch):
+    path = tmp_path / "counter"
+    path.write_text("")
+    monkeypatch.setenv(_COUNTER_ENV, str(path))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+
+class TestPartition:
+    def test_contiguous_chunks(self):
+        jobs = _jobs_for("qos", range(7))
+        chunks = partition(jobs, 3)
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [job for chunk in chunks for job in chunk] == jobs
+
+    def test_chunk_size_one(self):
+        jobs = _jobs_for("qos", range(3))
+        assert [len(c) for c in partition(jobs, 1)] == [1, 1, 1]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            partition(_jobs_for("qos", range(3)), 0)
+
+    def test_empty_grid(self):
+        assert run_jobs([]) == []
+        assert run_jobs([], workers=4) == []
+
+    def test_mean_of_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_of([])
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+
+
+class TestSerialPath:
+    def test_results_in_job_order(self):
+        results = run_jobs(_jobs_for("test-staggered", [9, 1, 5, 3]))
+        assert results == [90, 10, 50, 30]
+
+    def test_job_error_carries_identity(self):
+        with pytest.raises(JobError) as excinfo:
+            run_jobs(_jobs_for("test-always-fails", [1, 2, 3]))
+        assert excinfo.value.fault_seed == 2
+        assert excinfo.value.app == "MonteCarlo@small"
+        assert "fault_seed=2" in str(excinfo.value)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(JobError):
+            run_jobs(_jobs_for("no-such-task", [1]))
+
+
+# ----------------------------------------------------------------------
+# Parallel ordering + fault injection
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestParallelExecution:
+    def test_ordering_independent_of_completion(self):
+        results = run_jobs(
+            _jobs_for("test-staggered", [9, 1, 5, 3]), workers=2, chunk_size=1
+        )
+        assert results == [90, 10, 50, 30]
+
+    def test_flaky_worker_retried_within_budget(self, counter_file):
+        results = run_jobs(
+            _jobs_for("test-flaky-twice", [1, 2, 3, 4]),
+            workers=2,
+            retry_budget=2,
+            chunk_size=1,
+        )
+        assert results == [10, 20, 30, 40]
+        # The flaky job really did fail twice before succeeding.
+        assert counter_file.stat().st_size == 3
+
+    def test_budget_exhaustion_surfaces_identity(self):
+        with pytest.raises(ExecutorError) as excinfo:
+            run_jobs(
+                _jobs_for("test-always-fails", [1, 2, 3]),
+                workers=2,
+                retry_budget=1,
+                chunk_size=1,
+            )
+        message = str(excinfo.value)
+        assert "MonteCarlo@small" in message
+        assert "baseline" in message
+        assert "fault_seed=2" in message
+
+    def test_failure_never_returns_partial_results(self):
+        # Three of four jobs succeed; the failure must raise, not
+        # silently shrink the result list.
+        with pytest.raises(ExecutorError):
+            run_jobs(
+                _jobs_for("test-always-fails", [1, 2, 3, 4]),
+                workers=2,
+                retry_budget=0,
+                chunk_size=1,
+            )
+
+    def test_worker_crash_rebuilds_pool(self, counter_file):
+        results = run_jobs(
+            _jobs_for("test-crash-once", [1, 2, 3, 4]),
+            workers=2,
+            retry_budget=2,
+            chunk_size=1,
+        )
+        assert results == [10, 20, 30, 40]
+
+    def test_crash_budget_exhaustion_raises(self):
+        with pytest.raises(ExecutorError) as excinfo:
+            run_jobs(
+                _jobs_for("test-always-crashes", [1, 2]),
+                workers=2,
+                retry_budget=1,
+                chunk_size=1,
+            )
+        assert "crashed" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Determinism: serial vs parallel bit-identical QoS
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestDeterminism:
+    @pytest.mark.parametrize("app", ["FFT", "SOR", "MonteCarlo"])
+    def test_mean_qos_bit_identical_across_jobs(self, app):
+        spec = SMALL_APPS[app]
+        serial = mean_qos(spec, MEDIUM, runs=8, workload_seed=1)
+        for jobs in (2, 4):
+            parallel = mean_qos(spec, MEDIUM, runs=8, workload_seed=1, jobs=jobs)
+            assert parallel == serial, (app, jobs)
+
+    def test_per_seed_errors_bit_identical(self):
+        spec = SMALL_APPS["FFT"]
+        seeds = range(1, 7)
+        serial = qos_errors(spec, MILD, seeds, workload_seed=1)
+        parallel = qos_errors(spec, MILD, seeds, workload_seed=1, workers=2)
+        assert parallel == serial
+
+    def test_chunk_size_does_not_change_values(self):
+        spec = SMALL_APPS["MonteCarlo"]
+        jobs = [
+            Job(spec=spec, config=MEDIUM, fault_seed=seed) for seed in range(1, 7)
+        ]
+        serial = run_jobs(jobs)
+        for chunk_size in (1, 2, 5):
+            assert run_jobs(jobs, workers=2, chunk_size=chunk_size) == serial

@@ -1,5 +1,7 @@
 """Tests for the experiment infrastructure (harness, census, drivers)."""
 
+import dataclasses
+
 import pytest
 
 from repro.apps import ALL_APPS, app_by_name
@@ -148,3 +150,30 @@ class TestDriversSmoke:
         rows = line_size_rows([app_by_name("sor")])
         fractions = [rows[0][size] for size in LINE_SIZES]
         assert fractions == sorted(fractions, reverse=True)
+
+
+class TestParallelDrivers:
+    """The jobs=N paths of the rewired drivers match their serial rows."""
+
+    SMALL_MC = dataclasses.replace(
+        app_by_name("montecarlo"),
+        name="MonteCarlo@driver-test",
+        default_args=(1000, 0),
+    )
+
+    @pytest.mark.slow
+    def test_figure5_grid_matches_serial_row(self):
+        from repro.experiments.figure5 import figure5_grid, figure5_row
+
+        serial = figure5_row(self.SMALL_MC, runs=3)
+        grid_serial = figure5_grid([self.SMALL_MC], runs=3)
+        grid_parallel = figure5_grid([self.SMALL_MC], runs=3, jobs=2)
+        assert grid_serial == [serial]
+        assert grid_parallel == [serial]
+
+    @pytest.mark.slow
+    def test_ablation_line_sizes_parallel_identical(self):
+        from repro.experiments.ablation import line_size_rows
+
+        spec = app_by_name("sor")
+        assert line_size_rows([spec], jobs=2) == line_size_rows([spec])

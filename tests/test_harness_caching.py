@@ -1,0 +1,106 @@
+"""Tests for the harness caches: compile-once, precise-output memoisation,
+and the clear_caches() reset hook.
+
+The session-wide caches are swapped for scratch dicts via monkeypatch so
+these tests cannot perturb (or be perturbed by) the rest of the suite.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import harness
+from repro.hardware.config import BASELINE
+
+SMALL_MC = dataclasses.replace(
+    app_by_name("montecarlo"), name="MonteCarlo@cache-test", default_args=(500, 0)
+)
+
+
+@pytest.fixture
+def fresh_caches(monkeypatch):
+    monkeypatch.setattr(harness, "_PROGRAM_CACHE", {})
+    monkeypatch.setattr(harness, "_PRECISE_CACHE", {})
+
+
+@pytest.fixture
+def counting_compile(monkeypatch, fresh_caches):
+    calls = []
+    real = harness.compile_program
+
+    def wrapper(sources):
+        calls.append(1)
+        return real(sources)
+
+    monkeypatch.setattr(harness, "compile_program", wrapper)
+    return calls
+
+
+@pytest.fixture
+def counting_run(monkeypatch, fresh_caches):
+    calls = []
+    real = harness.run_app
+
+    def wrapper(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(harness, "run_app", wrapper)
+    return calls
+
+
+class TestCompiledAppCache:
+    def test_compiles_once_per_spec(self, counting_compile):
+        first = harness.compiled_app(SMALL_MC)
+        second = harness.compiled_app(SMALL_MC)
+        assert first is second
+        assert len(counting_compile) == 1
+
+    def test_distinct_specs_compile_separately(self, counting_compile):
+        other = dataclasses.replace(SMALL_MC, name="MonteCarlo@cache-test-2")
+        harness.compiled_app(SMALL_MC)
+        harness.compiled_app(other)
+        assert len(counting_compile) == 2
+
+    def test_clear_caches_forces_recompile(self, counting_compile):
+        harness.compiled_app(SMALL_MC)
+        harness.clear_caches()
+        harness.compiled_app(SMALL_MC)
+        assert len(counting_compile) == 2
+
+
+class TestPreciseOutputCache:
+    def test_memoised_per_name_and_workload_seed(self, counting_run):
+        harness.precise_output(SMALL_MC, workload_seed=0)
+        harness.precise_output(SMALL_MC, workload_seed=0)
+        assert len(counting_run) == 1
+        harness.precise_output(SMALL_MC, workload_seed=1)
+        assert len(counting_run) == 2
+
+    def test_cached_value_is_identical_object(self, fresh_caches):
+        first = harness.precise_output(SMALL_MC, workload_seed=0)
+        second = harness.precise_output(SMALL_MC, workload_seed=0)
+        assert first is second
+
+    def test_clear_caches_forces_rerun(self, counting_run):
+        harness.precise_output(SMALL_MC, workload_seed=0)
+        harness.clear_caches()
+        harness.precise_output(SMALL_MC, workload_seed=0)
+        assert len(counting_run) == 2
+
+
+class TestClearCaches:
+    def test_resets_both_caches(self, fresh_caches):
+        harness.compiled_app(SMALL_MC)
+        harness.precise_output(SMALL_MC, workload_seed=0)
+        assert harness._PROGRAM_CACHE and harness._PRECISE_CACHE
+        harness.clear_caches()
+        assert not harness._PROGRAM_CACHE
+        assert not harness._PRECISE_CACHE
+
+    def test_results_stable_across_clear(self, fresh_caches):
+        before = harness.precise_output(SMALL_MC, workload_seed=0)
+        harness.clear_caches()
+        after = harness.precise_output(SMALL_MC, workload_seed=0)
+        assert before == after

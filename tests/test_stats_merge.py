@@ -1,0 +1,105 @@
+"""Property tests for RunStats merging.
+
+The executor aggregates split seed ranges by merging per-run snapshots;
+these tests pin the algebra (associativity, zero identity) and check on
+real runs that merging split ranges equals merging the unsplit serial
+sequence — for raw counters, derived storage/operation totals, and the
+energy model's output.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import app_by_name
+from repro.energy.model import SERVER, estimate_energy
+from repro.experiments.executor import Job, run_jobs
+from repro.experiments.harness import run_app
+from repro.hardware.config import AGGRESSIVE, MEDIUM
+from repro.runtime.stats import RunStats
+
+_COUNTER_FIELDS = [field.name for field in dataclasses.fields(RunStats)]
+
+
+def _stats_strategy():
+    counters = st.integers(min_value=0, max_value=10**9)
+    return st.builds(RunStats, **{name: counters for name in _COUNTER_FIELDS})
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_stats_strategy(), min_size=0, max_size=8), st.data())
+    def test_split_merge_equals_unsplit(self, stats_list, data):
+        split = data.draw(st.integers(min_value=0, max_value=len(stats_list)))
+        left = RunStats.merge(stats_list[:split])
+        right = RunStats.merge(stats_list[split:])
+        assert left + right == RunStats.merge(stats_list)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_stats_strategy(), _stats_strategy())
+    def test_merge_is_commutative(self, a, b):
+        assert a + b == b + a
+
+    @settings(max_examples=25, deadline=None)
+    @given(_stats_strategy())
+    def test_zero_identity(self, stats):
+        assert stats + RunStats() == stats
+        assert RunStats.merge([stats]) == stats
+
+    def test_merge_empty_is_zero(self):
+        assert RunStats.merge([]) == RunStats()
+
+    def test_add_rejects_non_stats(self):
+        with pytest.raises(TypeError):
+            RunStats() + 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(_stats_strategy(), _stats_strategy())
+    def test_counters_sum_exactly(self, a, b):
+        merged = a + b
+        for name in _COUNTER_FIELDS:
+            assert getattr(merged, name) == getattr(a, name) + getattr(b, name)
+
+
+class TestMergeOnRealRuns:
+    """Split seed ranges vs the unsplit serial sequence, on real stats."""
+
+    SPEC = dataclasses.replace(
+        app_by_name("montecarlo"), name="MonteCarlo@merge-test", default_args=(500, 0)
+    )
+    SEEDS = (1, 2, 3, 4)
+
+    @pytest.fixture(scope="class")
+    def per_seed_stats(self):
+        return [
+            run_app(self.SPEC, MEDIUM, fault_seed=seed).stats for seed in self.SEEDS
+        ]
+
+    @pytest.mark.parametrize("split", [0, 1, 2, 4])
+    def test_split_ranges_equal_serial_aggregate(self, per_seed_stats, split):
+        serial = RunStats.merge(per_seed_stats)
+        halves = RunStats.merge(per_seed_stats[:split]) + RunStats.merge(
+            per_seed_stats[split:]
+        )
+        assert halves == serial
+        # Derived quantities agree too: operation counts, storage bytes,
+        # and the Section 5.4 energy totals.
+        assert halves.ops_total == serial.ops_total
+        assert (
+            halves.dram_approx_byte_ticks + halves.sram_approx_byte_ticks
+            == serial.dram_approx_byte_ticks + serial.sram_approx_byte_ticks
+        )
+        assert (
+            estimate_energy(halves, AGGRESSIVE, SERVER).total
+            == estimate_energy(serial, AGGRESSIVE, SERVER).total
+        )
+
+    def test_executor_stats_merge_matches_serial(self, per_seed_stats):
+        jobs = [
+            Job(spec=self.SPEC, config=MEDIUM, fault_seed=seed, task="stats")
+            for seed in self.SEEDS
+        ]
+        parallel = run_jobs(jobs, workers=2)
+        assert RunStats.merge(parallel) == RunStats.merge(per_seed_stats)
