@@ -1,0 +1,200 @@
+"""Bench: observability overhead — disabled tracing must stay <10%.
+
+Two measurements back OBSERVABILITY.md's overhead table:
+
+* **Micro** — the hot SRAM access path with ``tracer=None`` against a
+  replica of the same loop with the tracer plumbing deleted (the
+  pre-observability code).  The only delta is the dormant ``is not
+  None`` branch on the faulted sub-path.  Interleaved min-of-N timing
+  of two Python classes has a noise floor of several percent on a busy
+  machine (two *identical* classes show +-7% run to run), so the budget
+  is asserted on the best of up to three independent estimator passes:
+  noise cannot fail all three, while a real hot-path regression (work
+  added before the ``flips == 0`` early-out) inflates every pass.
+* **Macro** — a full MonteCarlo run untraced vs traced into a
+  :class:`NullSink` vs traced into the default memory ring, recorded in
+  ``extra_info`` for the bench trajectory (enabled tracing is allowed
+  to cost real time; only *disabled* tracing has a budget).
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRACE_ACCESSES`` — micro loop length (default 50000).
+* ``REPRO_BENCH_TRACE_REPEATS`` — min-of-N rounds per pass (default 40).
+"""
+
+import gc
+import os
+import time
+
+from repro.apps import app_by_name
+from repro.experiments.harness import run_app
+from repro.hardware import AGGRESSIVE, bits
+from repro.hardware.config import HardwareConfig
+from repro.hardware.rng import FaultRandom
+from repro.hardware.sram import ApproxSRAM
+from repro.observability import MemorySink, NullSink, Tracer
+
+ACCESSES = int(os.environ.get("REPRO_BENCH_TRACE_ACCESSES", "50000"))
+REPEATS = int(os.environ.get("REPRO_BENCH_TRACE_REPEATS", "40"))
+OVERHEAD_BUDGET = 0.10
+ESTIMATOR_PASSES = 3
+
+
+class _PreTraceSRAM:
+    """The SRAM unit exactly as it was before the observability layer.
+
+    Kept in the benchmark (not the package) so the micro comparison
+    always measures today's unit against the branch-free original.
+    """
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+        self._config = config
+        self._rng = rng
+        self.approx_reads = 0
+        self.approx_writes = 0
+        self.precise_reads = 0
+        self.precise_writes = 0
+        self.read_upsets = 0
+        self.write_failures = 0
+        self.approx_byte_accesses = 0
+        self.precise_byte_accesses = 0
+
+    def read(self, value, kind, approximate):
+        width = bits.bits_for_kind(kind)
+        if not approximate:
+            self.precise_reads += 1
+            self.precise_byte_accesses += width // 8 or 1
+            return value
+        self.approx_reads += 1
+        self.approx_byte_accesses += width // 8 or 1
+        return self._corrupt(value, kind, width, self._config.sram_read_upset, is_read=True)
+
+    def _corrupt(self, value, kind, width, probability, is_read):
+        if probability <= 0.0:
+            return value
+        flips = self._rng.binomial_hits(width, probability)
+        if flips == 0:
+            return value
+        if is_read:
+            self.read_upsets += flips
+        else:
+            self.write_failures += flips
+        pattern = bits.value_to_bits(value, kind)
+        for _ in range(flips):
+            pattern ^= 1 << self._rng.bit_index(width)
+        return bits.bits_to_value(pattern, kind)
+
+
+def _drive(unit, accesses):
+    read = unit.read
+    value = 1.234567
+    for _ in range(accesses):
+        value = read(value, "float", True)
+        if value != value:  # keep the value finite across corruptions
+            value = 1.234567
+    return value
+
+
+def _interleaved_min_seconds(factories, accesses, repeats):
+    """min-of-N per factory, rounds interleaved so drift hits both.
+
+    GC is paused during the timed regions: a collection landing in one
+    side's loop but not the other's dwarfs the branch being measured.
+    """
+    best = [float("inf")] * len(factories)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for index, make_unit in enumerate(factories):
+                unit = make_unit()
+                t0 = time.perf_counter()
+                _drive(unit, accesses)
+                best[index] = min(best[index], time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def _one_estimator_pass():
+    baseline, current = _interleaved_min_seconds(
+        [
+            lambda: _PreTraceSRAM(AGGRESSIVE, FaultRandom(1)),
+            lambda: ApproxSRAM(AGGRESSIVE, FaultRandom(1), tracer=None),
+        ],
+        ACCESSES,
+        REPEATS,
+    )
+    return current / baseline - 1.0
+
+
+def test_bench_disabled_tracing_branch_cost(benchmark):
+    """tracer=None vs the pre-trace replica on the raw SRAM hot loop."""
+
+    def best_of_passes():
+        overheads = []
+        for _ in range(ESTIMATOR_PASSES):
+            overheads.append(_one_estimator_pass())
+            if overheads[-1] < OVERHEAD_BUDGET:
+                break  # budget demonstrated; no need to keep measuring
+        return overheads
+
+    overheads = benchmark.pedantic(best_of_passes, rounds=1, iterations=1)
+    best = min(overheads)
+    benchmark.extra_info.update(
+        accesses=ACCESSES,
+        repeats=REPEATS,
+        passes=len(overheads),
+        overhead_pcts=[round(100.0 * o, 2) for o in overheads],
+        best_overhead_pct=round(100.0 * best, 2),
+    )
+    print(
+        f"\nSRAM hot loop x{ACCESSES}, min-of-{REPEATS}: overhead per pass "
+        + ", ".join(f"{100.0 * o:+.2f}%" for o in overheads)
+        + f" -> best {100.0 * best:+.2f}%"
+    )
+    assert best < OVERHEAD_BUDGET, (
+        f"disabled tracing costs {100.0 * best:.1f}% on the SRAM hot loop "
+        f"in the best of {len(overheads)} passes "
+        f"(budget {100.0 * OVERHEAD_BUDGET:.0f}%)"
+    )
+
+
+def test_bench_trace_macro_overhead(benchmark):
+    """Full-app wall-clock: untraced vs NullSink vs the memory ring."""
+    spec = app_by_name("montecarlo")
+
+    def timed(tracer_factory):
+        best = float("inf")
+        for _ in range(3):
+            tracer = tracer_factory()
+            t0 = time.perf_counter()
+            result = run_app(spec, AGGRESSIVE, fault_seed=1, tracer=tracer)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    untraced, plain = timed(lambda: None)
+    null_sink, _ = timed(lambda: Tracer(NullSink()))
+    memory, traced = benchmark.pedantic(
+        timed, args=(lambda: Tracer(MemorySink()),), rounds=1, iterations=1
+    )
+
+    # Tracing observes without perturbing: identical outputs and stats.
+    assert traced.output == plain.output
+    assert traced.stats == plain.stats
+
+    benchmark.extra_info.update(
+        untraced_seconds=round(untraced, 3),
+        null_sink_seconds=round(null_sink, 3),
+        memory_sink_seconds=round(memory, 3),
+        null_sink_pct=round(100.0 * (null_sink / untraced - 1.0), 1),
+        memory_sink_pct=round(100.0 * (memory / untraced - 1.0), 1),
+    )
+    print(
+        f"\nMonteCarlo @ Aggressive: untraced {untraced:.3f}s, "
+        f"NullSink {null_sink:.3f}s "
+        f"({100.0 * (null_sink / untraced - 1.0):+.1f}%), "
+        f"MemorySink {memory:.3f}s "
+        f"({100.0 * (memory / untraced - 1.0):+.1f}%)"
+    )

@@ -6,10 +6,14 @@ Usage::
     python -m repro run FILE --entry F [args...]  # simulate a program
     python -m repro census FILE [FILE...]         # annotation statistics
     python -m repro experiments NAME              # regenerate a table/figure
+    python -m repro trace APP                     # traced run -> JSONL events
+    python -m repro trace-report FILE             # summarise a JSONL trace
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
 arguments under the chosen configuration, and reports the output plus
-the measured statistics and estimated energy.
+the measured statistics and estimated energy.  ``trace`` runs one of
+the ported paper applications with the observability layer attached
+(see ``OBSERVABILITY.md`` for the event schema).
 """
 
 from __future__ import annotations
@@ -124,6 +128,63 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps import app_by_name
+    from repro.observability import (
+        TraceFilter,
+        merge_trace_results,
+        traced_runs,
+        write_trace,
+    )
+
+    try:
+        spec = app_by_name(args.app)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    try:
+        trace_filter = TraceFilter.parse(args.trace_filter)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    config = _CONFIGS[args.level]
+    fault_seeds = range(args.seed, args.seed + args.runs)
+    results = traced_runs(
+        spec, config, fault_seeds, workload_seed=args.workload_seed, jobs=args.jobs
+    )
+    stats, metrics, events, dropped = merge_trace_results(results)
+
+    written = None
+    if args.trace_out:
+        written = write_trace(args.trace_out, results, trace_filter)
+
+    counters = metrics.as_dict()["counters"]
+    print(f"app       : {spec.name} @ {config.name}, fault seeds {list(fault_seeds)}")
+    print(f"events    : {len(events)} emitted, {dropped} dropped by ring buffer")
+    for kind in sorted(counters):
+        if counters[kind]:
+            print(f"  {kind:<26} {counters[kind]:>10}")
+    print(f"faults    : {stats.total_faults}, ops: {stats.ops_total}, "
+          f"cycles: {stats.ticks}")
+    if written is not None:
+        kept = "all kinds" if trace_filter.is_empty else "filtered"
+        print(f"wrote     : {written} events ({kept}) -> {args.trace_out}")
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.observability import read_trace, summarize
+
+    try:
+        trace = read_trace(args.file)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(summarize(trace, top=args.top))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib
     import inspect
@@ -171,6 +232,54 @@ def build_parser() -> argparse.ArgumentParser:
     census = commands.add_parser("census", help="annotation statistics")
     census.add_argument("files", nargs="+")
     census.set_defaults(fn=cmd_census)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a ported app with structured fault/energy tracing",
+    )
+    trace.add_argument("app", help="application name (e.g. fft, sor, montecarlo)")
+    trace.add_argument(
+        "--level",
+        choices=sorted(_CONFIGS),
+        default="medium",
+        help="approximation level (default: medium)",
+    )
+    trace.add_argument("--seed", type=int, default=1, help="first fault seed")
+    trace.add_argument(
+        "--runs", type=int, default=1, help="number of consecutive fault seeds"
+    )
+    trace.add_argument("--workload-seed", type=int, default=0)
+    trace.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the traced seeds across N worker processes "
+        "(merged traces are bit-identical to serial)",
+    )
+    trace.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the merged trace as JSONL (meta + events + summary)",
+    )
+    trace.add_argument(
+        "--trace-filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="keep only matching events in --trace-out, e.g. "
+        "component=sram,dram or kind=dram.decay (repeatable; terms AND)",
+    )
+    trace.set_defaults(fn=cmd_trace)
+
+    trace_report = commands.add_parser(
+        "trace-report", help="summarise a JSONL trace written by 'trace'"
+    )
+    trace_report.add_argument("file", help="trace file (JSONL)")
+    trace_report.add_argument(
+        "--top", type=int, default=5, help="sites/bits to list per section"
+    )
+    trace_report.set_defaults(fn=cmd_trace_report)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate a paper table/figure"

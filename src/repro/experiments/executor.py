@@ -74,7 +74,9 @@ class Job:
 
     ``task`` names an entry in the task registry: ``"qos"`` computes the
     QoS error against the precise output (a float), ``"stats"`` runs the
-    app and returns its :class:`RunStats`.
+    app and returns its :class:`RunStats`, ``"trace"`` runs it with the
+    observability tracer attached and returns a
+    :class:`repro.observability.runner.TraceResult`.
     """
 
     spec: AppSpec
@@ -108,9 +110,22 @@ def _task_stats(job: Job) -> RunStats:
     return run_app(job.spec, job.config, job.fault_seed, job.workload_seed).stats
 
 
+def _task_trace(job: Job):
+    """Traced execution: returns a full observability TraceResult.
+
+    Events, metrics and stats pickle back to the parent; per-run event
+    streams are pure functions of the job's seeds, so merged traces are
+    order-stable regardless of worker count.
+    """
+    from repro.observability.runner import traced_run
+
+    return traced_run(job.spec, job.config, job.fault_seed, job.workload_seed)
+
+
 _TASKS: Dict[str, Callable[[Job], object]] = {
     "qos": _task_qos,
     "stats": _task_stats,
+    "trace": _task_trace,
 }
 
 

@@ -65,16 +65,19 @@ def run_app(
     fault_seed: int = 0,
     workload_seed: int = 0,
     args: Optional[Tuple] = None,
+    tracer=None,
 ) -> RunResult:
     """Execute one app under one configuration.
 
     ``fault_seed`` seeds the hardware fault injection; ``workload_seed``
     selects the input data (both runs of a QoS comparison must share
-    it).
+    it).  ``tracer`` (a :class:`repro.observability.tracer.Tracer`)
+    records structured fault/energy events; tracing never perturbs the
+    simulation — outputs and stats are bit-identical either way.
     """
     program = compiled_app(spec)
     call_args = args if args is not None else _workload_args(spec, workload_seed)
-    with Simulator(config, seed=fault_seed) as simulator:
+    with Simulator(config, seed=fault_seed, tracer=tracer) as simulator:
         output = program.call(spec.entry_module, spec.entry_function, *call_args)
     return RunResult(output=output, stats=simulator.stats())
 

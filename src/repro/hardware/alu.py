@@ -66,11 +66,17 @@ _COMPARE_OPS: Dict[str, Callable[[int, int], bool]] = {
 
 
 class ApproxALU:
-    """Simulated integer ALU with approximate operation support."""
+    """Simulated integer ALU with approximate operation support.
 
-    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+    ``tracer`` (a :class:`repro.observability.tracer.Tracer`, optional)
+    receives one ``alu.timing_error`` event per faulted operation; when
+    ``None`` the fault path pays one branch.
+    """
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom, tracer=None) -> None:
         self._config = config
         self._rng = rng
+        self._tracer = tracer
         self._last_value = 0
         self.approx_ops = 0
         self.precise_ops = 0
@@ -99,10 +105,10 @@ class ApproxALU:
         a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
         b32 = bits.bits_to_int(bits.int_to_bits(int(b)))
         if op in _COMPARE_OPS:
-            return self._maybe_fault_bool(_COMPARE_OPS[op](a32, b32))
+            return self._maybe_fault_bool(_COMPARE_OPS[op](a32, b32), op)
         raw = INT_OPS[op](a32, b32)
         result = bits.bits_to_int(bits.int_to_bits(raw))
-        result = self._maybe_fault(result)
+        result = self._maybe_fault(result, op)
         self._last_value = result
         return result
 
@@ -111,26 +117,50 @@ class ApproxALU:
         a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
         raw = -a32 if op == "neg" else (abs(a32) if op == "abs" else ~a32)
         result = bits.bits_to_int(bits.int_to_bits(raw))
-        result = self._maybe_fault(result)
+        result = self._maybe_fault(result, op)
         self._last_value = result
         return result
 
     # ------------------------------------------------------------------
-    def _maybe_fault(self, value: int) -> int:
+    def _maybe_fault(self, value: int, op: str = "?") -> int:
         if not self._rng.coin(self._config.timing_error_prob):
             return value
         self.faulted_ops += 1
         mode = self._config.error_mode
+        flipped = ()
         if mode is ErrorMode.LAST_VALUE:
-            return self._last_value
-        if mode is ErrorMode.SINGLE_BIT_FLIP:
-            return bits.flip_bit_int(value, self._rng.bit_index(bits.INT_BITS))
-        return bits.bits_to_int(self._rng.bits(bits.INT_BITS))
+            result = self._last_value
+        elif mode is ErrorMode.SINGLE_BIT_FLIP:
+            position = self._rng.bit_index(bits.INT_BITS)
+            result = bits.flip_bit_int(value, position)
+            flipped = (position,)
+        else:
+            result = bits.bits_to_int(self._rng.bits(bits.INT_BITS))
+        if self._tracer is not None:
+            self._tracer.emit(
+                "alu.timing_error",
+                f"alu:{op}",
+                bits=flipped,
+                before=value,
+                after=result,
+                extra={"mode": mode.name.lower()},
+            )
+        return result
 
-    def _maybe_fault_bool(self, value: bool) -> bool:
+    def _maybe_fault_bool(self, value: bool, op: str = "?") -> bool:
         if not self._rng.coin(self._config.timing_error_prob):
             return value
         self.faulted_ops += 1
         if self._config.error_mode is ErrorMode.LAST_VALUE:
-            return bool(self._last_value & 1)
-        return not value
+            result = bool(self._last_value & 1)
+        else:
+            result = not value
+        if self._tracer is not None:
+            self._tracer.emit(
+                "alu.timing_error",
+                f"alu:{op}",
+                before=value,
+                after=result,
+                extra={"mode": self._config.error_mode.name.lower()},
+            )
+        return result

@@ -32,12 +32,25 @@ _Address = Tuple[int, object]
 
 
 class ApproxDRAM:
-    """Simulated DRAM with per-word refresh stamps and decay on read."""
+    """Simulated DRAM with per-word refresh stamps and decay on read.
 
-    def __init__(self, config: HardwareConfig, rng: FaultRandom, clock: LogicalClock) -> None:
+    ``tracer`` (a :class:`repro.observability.tracer.Tracer`, optional)
+    receives one ``dram.decay`` event per decayed read; ``identity`` on
+    :meth:`read` carries the caller's deterministic site name (heap
+    ordinals, not ``id()``) so traces are stable across processes.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        rng: FaultRandom,
+        clock: LogicalClock,
+        tracer=None,
+    ) -> None:
         self._config = config
         self._rng = rng
         self._clock = clock
+        self._tracer = tracer
         self._refresh_stamp: Dict[_Address, int] = {}
         self.approx_reads = 0
         self.approx_writes = 0
@@ -55,7 +68,7 @@ class ApproxDRAM:
         self._refresh_stamp[address] = self._clock.ticks
         return value
 
-    def read(self, address: _Address, value, kind: str, approximate: bool):
+    def read(self, address: _Address, value, kind: str, approximate: bool, identity=None):
         """Load a word, applying decay proportional to its idle time."""
         if not approximate:
             self.precise_reads += 1
@@ -71,9 +84,24 @@ class ApproxDRAM:
             return value
         self.decayed_bits += flips
         pattern = bits.value_to_bits(value, kind)
-        for _ in range(flips):
-            pattern ^= 1 << self._rng.bit_index(width)
-        return bits.bits_to_value(pattern, kind)
+        if self._tracer is None:
+            for _ in range(flips):
+                pattern ^= 1 << self._rng.bit_index(width)
+            return bits.bits_to_value(pattern, kind)
+        # Traced path: same RNG draw sequence, but the positions are kept
+        # for the event, so traced runs stay bit-identical to untraced.
+        positions = [self._rng.bit_index(width) for _ in range(flips)]
+        for position in positions:
+            pattern ^= 1 << position
+        result = bits.bits_to_value(pattern, kind)
+        self._tracer.emit(
+            "dram.decay",
+            identity if identity is not None else f"dram:{kind}",
+            bits=tuple(positions),
+            before=value,
+            after=result,
+        )
+        return result
 
     def forget(self, container_id: int) -> None:
         """Drop refresh stamps for a freed container (array/object)."""

@@ -61,11 +61,18 @@ _COMPARE_OPS: Dict[str, Callable[[float, float], bool]] = {
 
 
 class ApproxFPU:
-    """Simulated floating-point unit with approximate operation support."""
+    """Simulated floating-point unit with approximate operation support.
 
-    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+    ``tracer`` (a :class:`repro.observability.tracer.Tracer`, optional)
+    receives one ``fpu.timing_error`` event per faulted operation and
+    one ``fpu.truncation`` event whenever mantissa-width reduction
+    changed the numeric result; when ``None`` each site pays one branch.
+    """
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom, tracer=None) -> None:
         self._config = config
         self._rng = rng
+        self._tracer = tracer
         self._last_value = 0.0
         #: Number of approximate FP operations executed (for Figure 3).
         self.approx_ops = 0
@@ -99,10 +106,18 @@ class ApproxFPU:
         b_t = bits.truncate_mantissa(float(b), keep, double=double)
         if op in _COMPARE_OPS:
             result = _COMPARE_OPS[op](a_t, b_t)
-            return self._maybe_fault_bool(result)
+            return self._maybe_fault_bool(result, op)
         raw = FLOAT_OPS[op](a_t, b_t)
         result = bits.truncate_mantissa(raw, keep, double=double)
-        result = self._maybe_fault(result, double)
+        if self._tracer is not None and result != raw and raw == raw:
+            self._tracer.emit(
+                "fpu.truncation",
+                f"fpu:{op}",
+                before=raw,
+                after=result,
+                extra={"kept_bits": keep},
+            )
+        result = self._maybe_fault(result, double, op)
         self._last_value = result
         return result
 
@@ -112,30 +127,54 @@ class ApproxFPU:
         keep = self._config.double_mantissa_bits if double else self._config.float_mantissa_bits
         a_t = bits.truncate_mantissa(float(a), keep, double=double)
         raw = -a_t if op == "neg" else abs(a_t)
-        result = self._maybe_fault(raw, double)
+        result = self._maybe_fault(raw, double, op)
         self._last_value = result
         return result
 
     # ------------------------------------------------------------------
-    def _maybe_fault(self, value: float, double: bool) -> float:
+    def _maybe_fault(self, value: float, double: bool, op: str = "?") -> float:
         if not self._rng.coin(self._config.timing_error_prob):
             return value
         self.faulted_ops += 1
         mode = self._config.error_mode
+        flipped = ()
         if mode is ErrorMode.LAST_VALUE:
-            return self._last_value
-        if mode is ErrorMode.SINGLE_BIT_FLIP:
+            result = self._last_value
+        elif mode is ErrorMode.SINGLE_BIT_FLIP:
             width = bits.DOUBLE_BITS if double else bits.FLOAT_BITS
-            return bits.flip_bit_float(value, self._rng.bit_index(width), double=double)
-        # RANDOM: an arbitrary bit pattern of the right width.
-        if double:
-            return bits.bits64_to_float(self._rng.bits(bits.DOUBLE_BITS))
-        return bits.bits32_to_float(self._rng.bits(bits.FLOAT_BITS))
+            position = self._rng.bit_index(width)
+            result = bits.flip_bit_float(value, position, double=double)
+            flipped = (position,)
+        elif double:
+            # RANDOM: an arbitrary bit pattern of the right width.
+            result = bits.bits64_to_float(self._rng.bits(bits.DOUBLE_BITS))
+        else:
+            result = bits.bits32_to_float(self._rng.bits(bits.FLOAT_BITS))
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fpu.timing_error",
+                f"fpu:{op}",
+                bits=flipped,
+                before=value,
+                after=result,
+                extra={"mode": mode.name.lower()},
+            )
+        return result
 
-    def _maybe_fault_bool(self, value: bool) -> bool:
+    def _maybe_fault_bool(self, value: bool, op: str = "?") -> bool:
         if not self._rng.coin(self._config.timing_error_prob):
             return value
         self.faulted_ops += 1
         if self._config.error_mode is ErrorMode.LAST_VALUE:
-            return bool(self._last_value)
-        return not value
+            result = bool(self._last_value)
+        else:
+            result = not value
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fpu.timing_error",
+                f"fpu:{op}",
+                before=value,
+                after=result,
+                extra={"mode": self._config.error_mode.name.lower()},
+            )
+        return result

@@ -20,13 +20,34 @@ from repro.hardware.rng import FaultRandom
 
 __all__ = ["ApproxSRAM"]
 
+#: ``kind -> (word width in bits, bytes per access)`` — precomputed once:
+#: every instrumented local access funnels through read()/write(), so
+#: per-call width arithmetic is pure hot-path overhead.
+_KIND_META = {
+    kind: (bits.bits_for_kind(kind), bits.bits_for_kind(kind) // 8 or 1)
+    for kind in ("int", "float", "double", "bool")
+}
+
 
 class ApproxSRAM:
-    """Simulated SRAM cell array with voltage-scaled approximate access."""
+    """Simulated SRAM cell array with voltage-scaled approximate access.
 
-    def __init__(self, config: HardwareConfig, rng: FaultRandom) -> None:
+    ``tracer`` (a :class:`repro.observability.tracer.Tracer`, optional)
+    receives one ``sram.read_upset`` / ``sram.write_failure`` event per
+    faulted access; when ``None`` the fault path pays one branch — and
+    the access path itself is kept cheaper than the pre-observability
+    unit (precomputed kind widths, cached fault probabilities), which
+    ``benchmarks/bench_trace_overhead.py`` pins.
+    """
+
+    def __init__(self, config: HardwareConfig, rng: FaultRandom, tracer=None) -> None:
         self._config = config
         self._rng = rng
+        self._tracer = tracer
+        # Hot-path caches: the config is immutable, so its per-access
+        # probabilities can be read once instead of per call.
+        self._read_upset = config.sram_read_upset
+        self._write_failure = config.sram_write_failure
         self.approx_reads = 0
         self.approx_writes = 0
         self.precise_reads = 0
@@ -40,25 +61,25 @@ class ApproxSRAM:
     # ------------------------------------------------------------------
     def read(self, value, kind: str, approximate: bool):
         """Read a value out of SRAM, possibly suffering read upsets."""
-        width = bits.bits_for_kind(kind)
+        width, nbytes = _KIND_META[kind]
         if not approximate:
             self.precise_reads += 1
-            self.precise_byte_accesses += width // 8 or 1
+            self.precise_byte_accesses += nbytes
             return value
         self.approx_reads += 1
-        self.approx_byte_accesses += width // 8 or 1
-        return self._corrupt(value, kind, width, self._config.sram_read_upset, is_read=True)
+        self.approx_byte_accesses += nbytes
+        return self._corrupt(value, kind, width, self._read_upset, is_read=True)
 
     def write(self, value, kind: str, approximate: bool):
         """Write a value into SRAM, possibly suffering write failures."""
-        width = bits.bits_for_kind(kind)
+        width, nbytes = _KIND_META[kind]
         if not approximate:
             self.precise_writes += 1
-            self.precise_byte_accesses += width // 8 or 1
+            self.precise_byte_accesses += nbytes
             return value
         self.approx_writes += 1
-        self.approx_byte_accesses += width // 8 or 1
-        return self._corrupt(value, kind, width, self._config.sram_write_failure, is_read=False)
+        self.approx_byte_accesses += nbytes
+        return self._corrupt(value, kind, width, self._write_failure, is_read=False)
 
     # ------------------------------------------------------------------
     def _corrupt(self, value, kind: str, width: int, probability: float, is_read: bool):
@@ -72,6 +93,21 @@ class ApproxSRAM:
         else:
             self.write_failures += flips
         pattern = bits.value_to_bits(value, kind)
-        for _ in range(flips):
-            pattern ^= 1 << self._rng.bit_index(width)
-        return bits.bits_to_value(pattern, kind)
+        if self._tracer is None:
+            for _ in range(flips):
+                pattern ^= 1 << self._rng.bit_index(width)
+            return bits.bits_to_value(pattern, kind)
+        # Traced path: same RNG draw sequence, but the positions are kept
+        # for the event, so traced runs stay bit-identical to untraced.
+        positions = [self._rng.bit_index(width) for _ in range(flips)]
+        for position in positions:
+            pattern ^= 1 << position
+        result = bits.bits_to_value(pattern, kind)
+        self._tracer.emit(
+            "sram.read_upset" if is_read else "sram.write_failure",
+            f"local:{kind}",
+            bits=tuple(positions),
+            before=value,
+            after=result,
+        )
+        return result

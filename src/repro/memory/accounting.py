@@ -16,7 +16,7 @@ byte-seconds spent on approximate data.  We account deterministically:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["AllocationRecord", "StorageAccountant"]
 
@@ -65,15 +65,21 @@ class StorageAccountant:
         )
         self.allocations += 1
 
-    def free(self, container_id: int, now_tick: int) -> None:
-        """Close out one allocation, charging its lifetime byte-ticks."""
+    def free(self, container_id: int, now_tick: int) -> Optional[AllocationRecord]:
+        """Close out one allocation, charging its lifetime byte-ticks.
+
+        Returns the closed record (its byte splits and birth tick let
+        callers — the tracer's ``energy.free`` events — report what was
+        just charged), or ``None`` if the container was not live.
+        """
         record = self._live.pop(container_id, None)
         if record is None:
-            return
+            return None
         lifetime = max(1, now_tick - record.birth_tick)
         self.dram_approx_byte_ticks += record.approx_bytes * lifetime
         self.dram_precise_byte_ticks += record.precise_bytes * lifetime
         self.frees += 1
+        return record
 
     def close_all(self, now_tick: int) -> None:
         """End of run: charge every still-live allocation."""

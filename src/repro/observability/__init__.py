@@ -1,0 +1,63 @@
+"""Structured fault/energy tracing and metrics for the simulator.
+
+The observability layer threads a :class:`~repro.observability.tracer
+.Tracer` through the whole simulation stack: every fault-injection site
+(SRAM read upset / write failure, DRAM decay, ALU timing error, FPU
+timing error / mantissa truncation) and every energy-accounting update
+emits a typed :class:`~repro.observability.events.TraceEvent` into a
+pluggable :class:`~repro.observability.sink.TraceSink`, while a
+:class:`~repro.observability.metrics.MetricsRegistry` aggregates
+counters and histograms alongside :class:`~repro.runtime.stats
+.RunStats`.
+
+Tracing is strictly opt-in: a :class:`~repro.runtime.context.Simulator`
+constructed without a tracer pays only a single ``is not None`` branch
+per potential emission site (`benchmarks/bench_trace_overhead.py` pins
+the cost below 10%).
+
+The full event schema, metric catalog, and backend API are documented
+field-by-field in ``OBSERVABILITY.md`` at the repository root.
+"""
+
+from repro.observability.events import (
+    COMPONENTS,
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TraceEvent,
+    validate_event_dict,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import TraceFile, read_trace, summarize, write_trace
+from repro.observability.runner import (
+    TraceResult,
+    canonical_events,
+    merge_trace_results,
+    traced_run,
+    traced_runs,
+)
+from repro.observability.sink import JsonlSink, MemorySink, NullSink, TraceSink
+from repro.observability.tracer import TraceFilter, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "COMPONENTS",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "validate_event_dict",
+    "MetricsRegistry",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "NullSink",
+    "Tracer",
+    "TraceFilter",
+    "TraceResult",
+    "traced_run",
+    "traced_runs",
+    "merge_trace_results",
+    "canonical_events",
+    "TraceFile",
+    "write_trace",
+    "read_trace",
+    "summarize",
+]

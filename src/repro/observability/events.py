@@ -1,0 +1,194 @@
+"""The typed trace event and its wire schema.
+
+One :class:`TraceEvent` records one observable incident inside a
+simulated run: a fault injected by a hardware unit, an approximation
+applied (FPU mantissa truncation), an endorsement crossing the
+approximate/precise boundary, or an energy-accounting update.  Events
+are plain frozen dataclasses so they pickle cheaply across the parallel
+executor and serialise canonically to JSONL.
+
+Identity is *deterministic*: heap containers are named by their
+registration ordinal (``array#3``), never by ``id()``, so the event
+stream of a run depends only on ``(app, config, fault_seed,
+workload_seed)`` — bit-identical at ``--jobs 1`` and ``--jobs 4``.
+
+``OBSERVABILITY.md`` documents every field; :func:`validate_event_dict`
+is the executable form of that contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "COMPONENTS",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "validate_event_dict",
+]
+
+#: Bumped whenever the JSONL schema changes shape.
+SCHEMA_VERSION = 1
+
+#: Every component a trace event may originate from.
+COMPONENTS = ("sram", "dram", "alu", "fpu", "energy", "runtime")
+
+#: kind -> originating component.  The catalog mirrors OBSERVABILITY.md.
+EVENT_KINDS: Dict[str, str] = {
+    "sram.read_upset": "sram",
+    "sram.write_failure": "sram",
+    "dram.decay": "dram",
+    "alu.timing_error": "alu",
+    "fpu.timing_error": "fpu",
+    "fpu.truncation": "fpu",
+    "runtime.endorse": "runtime",
+    "energy.alloc": "energy",
+    "energy.free": "energy",
+}
+
+_REQUIRED_FIELDS = (
+    "v",
+    "seq",
+    "cycle",
+    "component",
+    "kind",
+    "identity",
+    "fault_seed",
+    "bits",
+    "before",
+    "after",
+)
+
+
+def _json_safe(value):
+    """A JSON-encodable rendering of a traced value.
+
+    Non-finite floats have no canonical JSON form, so they are encoded
+    as the strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``; bools,
+    ints, finite floats and strings pass through; anything else is
+    ``repr``-ed.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    return repr(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured incident inside a simulated run."""
+
+    #: Monotonic per-run sequence number (ties broken nowhere: unique).
+    seq: int
+    #: Logical-clock ticks (simulated cycles) at emission time.
+    cycle: int
+    #: Originating component, one of :data:`COMPONENTS`.
+    component: str
+    #: Dotted event type, one of :data:`EVENT_KINDS`.
+    kind: str
+    #: Deterministic site identity, e.g. ``"array#3[17]"``,
+    #: ``"local:float"``, ``"alu:mul"``.
+    identity: str
+    #: Fault seed of the run that produced the event.
+    fault_seed: int
+    #: Bit positions flipped (LSB = 0); empty when not a bit-level fault.
+    bits: Tuple[int, ...] = ()
+    #: Value before the incident (JSON-safe domain).
+    before: object = None
+    #: Value after the incident.
+    after: object = None
+    #: Optional component-specific payload (small, JSON-safe dict).
+    extra: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Canonical trace order: by fault seed, then emission order."""
+        return (self.fault_seed, self.seq)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The wire form (what one JSONL line decodes to)."""
+        data: Dict[str, object] = {
+            "v": SCHEMA_VERSION,
+            "seq": self.seq,
+            "cycle": self.cycle,
+            "component": self.component,
+            "kind": self.kind,
+            "identity": self.identity,
+            "fault_seed": self.fault_seed,
+            "bits": list(self.bits),
+            "before": _json_safe(self.before),
+            "after": _json_safe(self.after),
+        }
+        if self.extra:
+            data["extra"] = {k: _json_safe(v) for k, v in sorted(self.extra.items())}
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSONL line: sorted keys, no whitespace."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        validate_event_dict(data)
+        return cls(
+            seq=data["seq"],
+            cycle=data["cycle"],
+            component=data["component"],
+            kind=data["kind"],
+            identity=data["identity"],
+            fault_seed=data["fault_seed"],
+            bits=tuple(data["bits"]),
+            before=data["before"],
+            after=data["after"],
+            extra=dict(data["extra"]) if "extra" in data else None,
+        )
+
+
+def validate_event_dict(data: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a schema-valid event.
+
+    This is the executable contract behind OBSERVABILITY.md's schema
+    table, used by ``repro trace-report`` and the test suite.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"event must be an object, got {type(data).__name__}")
+    missing = [name for name in _REQUIRED_FIELDS if name not in data]
+    if missing:
+        raise ValueError(f"event missing fields: {', '.join(missing)}")
+    if data["v"] != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {data['v']!r}")
+    for name in ("seq", "cycle", "fault_seed"):
+        if not isinstance(data[name], int) or isinstance(data[name], bool):
+            raise ValueError(f"event field {name!r} must be an integer")
+        if name != "fault_seed" and data[name] < 0:
+            raise ValueError(f"event field {name!r} must be non-negative")
+    if data["component"] not in COMPONENTS:
+        raise ValueError(f"unknown component {data['component']!r}")
+    kind = data["kind"]
+    if kind not in EVENT_KINDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    if EVENT_KINDS[kind] != data["component"]:
+        raise ValueError(
+            f"kind {kind!r} belongs to component {EVENT_KINDS[kind]!r}, "
+            f"not {data['component']!r}"
+        )
+    if not isinstance(data["identity"], str) or not data["identity"]:
+        raise ValueError("event field 'identity' must be a non-empty string")
+    bits = data["bits"]
+    if not isinstance(bits, (list, tuple)):
+        raise ValueError("event field 'bits' must be a list")
+    for bit in bits:
+        if not isinstance(bit, int) or isinstance(bit, bool) or not 0 <= bit < 64:
+            raise ValueError(f"bit position {bit!r} out of range [0, 64)")
+    if "extra" in data and not isinstance(data["extra"], dict):
+        raise ValueError("event field 'extra' must be an object")

@@ -1,0 +1,170 @@
+"""Counters and histograms aggregated alongside :class:`RunStats`.
+
+A :class:`MetricsRegistry` is the numeric sibling of the event stream:
+where the :class:`~repro.observability.sink.TraceSink` keeps *which*
+fault hit *where*, the registry keeps totals — faults per component,
+bit-flip position histograms, endorse-site hit counts, storage-energy
+byte counters.  Registries merge exactly (integer addition, like
+:meth:`repro.runtime.stats.RunStats.merge`), so metrics aggregated from
+split seed ranges under the parallel executor equal the unsplit serial
+aggregate; ``tests/test_trace_determinism.py`` pins the algebra the way
+``tests/test_stats_merge.py`` pins the stats algebra.
+
+Metric names are dotted strings; the catalog lives in OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Histogram:
+    """A discrete histogram: integer bucket -> observation count.
+
+    Buckets are exact values (bit positions 0..63, byte counts, ...),
+    not ranges — every distribution the simulator traces is small and
+    discrete, so exactness beats bucketing.
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(self, buckets: Dict[int, int] = None) -> None:
+        self.buckets = dict(buckets) if buckets else {}
+
+    def observe(self, bucket: int, count: int = 1) -> None:
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def as_sorted_items(self):
+        return sorted(self.buckets.items())
+
+    def __repr__(self) -> str:
+        return f"Histogram({dict(self.as_sorted_items())})"
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    Lookups auto-create, so emission sites never pre-register::
+
+        registry.counter("sram.read_upset").inc()
+        registry.histogram("bitflip.position.sram").observe(bit)
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    def counter_value(self, name: str) -> int:
+        """The counter's value, zero if never incremented."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    @property
+    def counter_names(self):
+        return sorted(self._counters)
+
+    @property
+    def histogram_names(self):
+        return sorted(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Merging (mirrors RunStats.merge: exact integer addition)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Name-wise sum; associative and commutative like RunStats."""
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        merged = MetricsRegistry()
+        for source in (self, other):
+            for name, counter in source._counters.items():
+                merged.counter(name).inc(counter.value)
+            for name, histogram in source._histograms.items():
+                target = merged.histogram(name)
+                for bucket, count in histogram.buckets.items():
+                    target.observe(bucket, count)
+        return merged
+
+    @classmethod
+    def merge(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Aggregate any number of registries (empty input -> empty)."""
+        merged = cls()
+        for registry in registries:
+            merged = merged + registry
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic wire form: sorted names, sorted buckets.
+
+        Zero-valued counters are preserved (a registered-but-quiet site
+        is information); histogram buckets are keyed by stringified
+        integers so the dict round-trips through JSON unchanged.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: {
+                    str(bucket): count
+                    for bucket, count in self._histograms[name].as_sorted_items()
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).inc(int(value))
+        for name, buckets in data.get("histograms", {}).items():
+            histogram = registry.histogram(name)
+            for bucket, count in buckets.items():
+                histogram.observe(int(bucket), int(count))
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms)"
+        )

@@ -1,0 +1,217 @@
+"""Trace files: JSONL writing, reading, and summarising.
+
+A trace file (what ``repro trace --trace-out`` writes and
+``repro trace-report`` reads) is line-delimited JSON with three record
+types, discriminated by the ``type`` field:
+
+* one ``trace.meta`` header line (schema version, app, config, seeds,
+  the filter applied, event/drop counts);
+* zero or more event lines (``type`` absent — the plain
+  :class:`~repro.observability.events.TraceEvent` wire form, in
+  canonical ``(fault_seed, seq)`` order);
+* one ``trace.summary`` trailer line (merged
+  :class:`~repro.runtime.stats.RunStats` and
+  :class:`~repro.observability.metrics.MetricsRegistry` dumps).
+
+Every event line is validated against the schema on read, so a report
+over a hand-edited or version-skewed file fails loudly rather than
+summarising garbage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.observability.events import SCHEMA_VERSION, validate_event_dict
+from repro.observability.runner import TraceResult, merge_trace_results
+from repro.observability.tracer import TraceFilter
+
+__all__ = ["TraceFile", "write_trace", "read_trace", "summarize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceFile:
+    """A parsed trace file: header, validated events, trailer."""
+
+    meta: Dict[str, object]
+    events: List[Dict[str, object]]
+    summary: Optional[Dict[str, object]]
+
+
+def _dump(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(
+    target: Union[str, TextIO],
+    results: Sequence[TraceResult],
+    trace_filter: Optional[TraceFilter] = None,
+) -> int:
+    """Write a result set as a trace file; returns events written.
+
+    ``trace_filter`` selects which events land in the file (the
+    metrics/stats in the trailer always cover the *unfiltered* run, so
+    a filtered trace still carries the whole run's totals).
+    """
+    stats, metrics, events, dropped = merge_trace_results(results)
+    if trace_filter is None:
+        trace_filter = TraceFilter()
+    selected = [
+        event
+        for event in events
+        if trace_filter.accepts(event.component, event.kind)
+    ]
+    meta = {
+        "type": "trace.meta",
+        "v": SCHEMA_VERSION,
+        "app": results[0].app if results else "",
+        "config": results[0].config if results else "",
+        "fault_seeds": [result.fault_seed for result in results],
+        "workload_seed": results[0].workload_seed if results else 0,
+        "events": len(selected),
+        "events_emitted": len(events),
+        "dropped": dropped,
+        "filter": {
+            "component": sorted(trace_filter.components) if trace_filter.components else None,
+            "kind": sorted(trace_filter.kinds) if trace_filter.kinds else None,
+        },
+    }
+    summary = {
+        "type": "trace.summary",
+        "v": SCHEMA_VERSION,
+        "stats": stats.as_dict(),
+        "metrics": metrics.as_dict(),
+    }
+
+    handle = open(target, "w", encoding="utf-8") if isinstance(target, str) else target
+    try:
+        handle.write(_dump(meta) + "\n")
+        for event in selected:
+            handle.write(event.to_json() + "\n")
+        handle.write(_dump(summary) + "\n")
+    finally:
+        if isinstance(target, str):
+            handle.close()
+        else:
+            handle.flush()
+    return len(selected)
+
+
+def read_trace(path: str) -> TraceFile:
+    """Parse and validate a trace file written by :func:`write_trace`."""
+    meta: Optional[Dict[str, object]] = None
+    summary: Optional[Dict[str, object]] = None
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not JSON: {exc}") from None
+            record_type = record.get("type")
+            if record_type == "trace.meta":
+                meta = record
+            elif record_type == "trace.summary":
+                summary = record
+            elif record_type is None:
+                try:
+                    validate_event_dict(record)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{line_number}: {exc}") from None
+                events.append(record)
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record type {record_type!r}"
+                )
+    if meta is None:
+        raise ValueError(f"{path}: missing trace.meta header line")
+    return TraceFile(meta=meta, events=events, summary=summary)
+
+
+def _faults_per_kiloop(counters: Dict[str, int], ops_total: float) -> Dict[str, float]:
+    if not ops_total:
+        return {}
+    fault_kinds = (
+        "sram.read_upset",
+        "sram.write_failure",
+        "dram.decay",
+        "alu.timing_error",
+        "fpu.timing_error",
+    )
+    return {
+        kind: 1000.0 * counters[kind] / ops_total
+        for kind in fault_kinds
+        if counters.get(kind)
+    }
+
+
+def summarize(trace: TraceFile, top: int = 5) -> str:
+    """A human-readable report over one trace file."""
+    lines: List[str] = []
+    meta = trace.meta
+    seeds = meta.get("fault_seeds", [])
+    lines.append(
+        f"trace     : {meta.get('app', '?')} @ {meta.get('config', '?')}, "
+        f"{len(seeds)} run(s), fault seeds {seeds}"
+    )
+    lines.append(
+        f"events    : {len(trace.events)} in file "
+        f"({meta.get('events_emitted', '?')} emitted, {meta.get('dropped', 0)} dropped by ring)"
+    )
+
+    by_kind: Dict[str, int] = {}
+    sites: Dict[str, int] = {}
+    first_by_kind: Dict[str, Dict[str, object]] = {}
+    for event in trace.events:
+        kind = event["kind"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        sites[event["identity"]] = sites.get(event["identity"], 0) + 1
+        if kind not in first_by_kind:
+            first_by_kind[kind] = event
+    for kind in sorted(by_kind):
+        first = first_by_kind[kind]
+        lines.append(
+            f"  {kind:<20} {by_kind[kind]:>8}   first at cycle {first['cycle']} "
+            f"({first['identity']})"
+        )
+
+    hot = sorted(sites.items(), key=lambda item: (-item[1], item[0]))[:top]
+    if hot:
+        lines.append(f"top sites : " + ", ".join(f"{name} x{count}" for name, count in hot))
+
+    if trace.summary is not None:
+        stats = trace.summary.get("stats", {})
+        metrics = trace.summary.get("metrics", {})
+        counters = metrics.get("counters", {})
+        ops_total = (
+            stats.get("int_ops_approx", 0)
+            + stats.get("int_ops_precise", 0)
+            + stats.get("fp_ops_approx", 0)
+            + stats.get("fp_ops_precise", 0)
+        )
+        lines.append(f"ops       : {ops_total} total, {stats.get('ticks', 0)} cycles")
+        rates = _faults_per_kiloop(counters, ops_total)
+        if rates:
+            lines.append(
+                "faults/kop: "
+                + ", ".join(f"{kind} {rate:.3f}" for kind, rate in sorted(rates.items()))
+            )
+        histograms = metrics.get("histograms", {})
+        for name in sorted(histograms):
+            if not name.startswith("bitflip.position."):
+                continue
+            buckets = histograms[name]
+            total = sum(buckets.values())
+            worst = sorted(buckets.items(), key=lambda item: (-item[1], int(item[0])))[:top]
+            lines.append(
+                f"  {name}: {total} flips, top bits "
+                + ", ".join(f"{bit} x{count}" for bit, count in worst)
+            )
+        if counters.get("runtime.endorse"):
+            lines.append(f"endorse   : {counters['runtime.endorse']} dynamic hits")
+    return "\n".join(lines)

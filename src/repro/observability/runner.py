@@ -1,0 +1,129 @@
+"""Traced execution and deterministic multi-run merging.
+
+:func:`traced_run` is the single-run primitive: one app, one config,
+one fault seed, traced into an in-memory ring.  :func:`traced_runs`
+fans a seed range through :mod:`repro.experiments.executor` (the
+``trace`` task), so ``--jobs N`` tracing inherits the executor's
+determinism guarantees: results return in seed order and each run's
+event stream depends only on its seeds, never on scheduling.
+
+Merging is canonical: events are ordered by ``(fault_seed, seq)`` —
+each run's stream is already ``seq``-ascending, so the merged trace at
+``jobs=4`` is bit-identical to ``jobs=1`` (pinned by
+``tests/test_trace_determinism.py``).  Stats merge through
+:meth:`RunStats.merge`, metrics through :meth:`MetricsRegistry.merge`;
+both are exact integer addition, so grouping never matters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.config import HardwareConfig
+from repro.observability.events import TraceEvent
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sink import DEFAULT_CAPACITY, MemorySink
+from repro.observability.tracer import Tracer
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "TraceResult",
+    "traced_run",
+    "traced_runs",
+    "merge_trace_results",
+    "canonical_events",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceResult:
+    """Everything one traced execution produced."""
+
+    app: str
+    config: str
+    fault_seed: int
+    workload_seed: int
+    output: object
+    stats: RunStats
+    metrics: MetricsRegistry
+    events: Tuple[TraceEvent, ...]
+    #: Events evicted by the ring buffer (0 = the trace is complete).
+    dropped: int
+
+
+def traced_run(
+    spec,
+    config: HardwareConfig,
+    fault_seed: int = 0,
+    workload_seed: int = 0,
+    capacity: Optional[int] = DEFAULT_CAPACITY,
+) -> TraceResult:
+    """Run one app under one config with tracing on; return everything.
+
+    A fresh :class:`Tracer` (memory ring of ``capacity`` events) is
+    built per run, so event ``seq`` numbers always start at zero and
+    the result is a pure function of the arguments.
+    """
+    from repro.experiments.harness import run_app
+
+    sink = MemorySink(capacity)
+    tracer = Tracer(sink)
+    result = run_app(spec, config, fault_seed, workload_seed, tracer=tracer)
+    return TraceResult(
+        app=spec.name,
+        config=config.name,
+        fault_seed=fault_seed,
+        workload_seed=workload_seed,
+        output=result.output,
+        stats=result.stats,
+        metrics=tracer.metrics,
+        events=tuple(sink.events()),
+        dropped=sink.dropped,
+    )
+
+
+def traced_runs(
+    spec,
+    config: HardwareConfig,
+    fault_seeds: Sequence[int],
+    workload_seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[TraceResult]:
+    """Traced runs for a seed range, optionally fanned across processes.
+
+    Always routed through :func:`repro.experiments.executor.run_jobs`
+    (serial when ``jobs`` is ``None``/``<=1``), so the serial and
+    parallel paths execute the identical per-run code.
+    """
+    from repro.experiments.executor import Job, run_jobs
+
+    job_list = [
+        Job(
+            spec=spec,
+            config=config,
+            fault_seed=seed,
+            workload_seed=workload_seed,
+            task="trace",
+        )
+        for seed in fault_seeds
+    ]
+    return run_jobs(job_list, workers=jobs)
+
+
+def canonical_events(results: Sequence[TraceResult]) -> List[TraceEvent]:
+    """All events of a result set in canonical ``(fault_seed, seq)`` order."""
+    events: List[TraceEvent] = []
+    for result in results:
+        events.extend(result.events)
+    events.sort(key=lambda event: event.sort_key)
+    return events
+
+
+def merge_trace_results(
+    results: Sequence[TraceResult],
+) -> Tuple[RunStats, MetricsRegistry, List[TraceEvent], int]:
+    """Aggregate a result set: (stats, metrics, canonical events, dropped)."""
+    stats = RunStats.merge(result.stats for result in results)
+    metrics = MetricsRegistry.merge(result.metrics for result in results)
+    return stats, metrics, canonical_events(results), sum(r.dropped for r in results)

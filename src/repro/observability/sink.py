@@ -1,0 +1,111 @@
+"""Trace sinks: where emitted events go.
+
+Three backends cover the use cases:
+
+* :class:`MemorySink` — a bounded ring buffer (``collections.deque``)
+  holding the most recent events; the default for programmatic use and
+  for the parallel executor's ``trace`` task (events must pickle back
+  to the parent).
+* :class:`JsonlSink` — one canonical JSON line per event, streamed to a
+  file; what ``repro trace --trace-out`` writes.
+* :class:`NullSink` — swallows events while the tracer's metrics keep
+  aggregating; the cheapest way to meter a run without keeping a trace.
+
+Sinks never filter — that is the tracer's job — and never reorder:
+events arrive in emission order (``seq`` ascending within a run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import IO, List, Optional, Union
+
+from repro.observability.events import TraceEvent
+
+__all__ = ["TraceSink", "MemorySink", "JsonlSink", "NullSink", "DEFAULT_CAPACITY"]
+
+#: Default ring-buffer capacity: enough for every fault a realistic
+#: Figure 5 run injects, small enough to never matter in memory.
+DEFAULT_CAPACITY = 65536
+
+
+class TraceSink:
+    """Backend interface: override :meth:`emit` (and maybe ``close``)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; idempotent."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Swallows every event (metrics-only tracing)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class MemorySink(TraceSink):
+    """Ring-buffered in-memory sink keeping the most recent events."""
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: Events evicted by the ring (oldest-first) — observable so a
+        #: truncated trace is never mistaken for a complete one.
+        self.dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(TraceSink):
+    """Streams one canonical JSON line per event to a file.
+
+    Accepts a path (opened/owned by the sink) or an open text handle
+    (borrowed; ``close`` only flushes it).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(event.to_json())
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def write_line(self, payload: str) -> None:
+        """Write one non-event line (the meta/summary records)."""
+        self._handle.write(payload)
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()

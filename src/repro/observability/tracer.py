@@ -1,0 +1,152 @@
+"""The tracer: the one object the simulation stack emits through.
+
+A :class:`Tracer` couples a sink, a filter, and a
+:class:`~repro.observability.metrics.MetricsRegistry`.  The hardware
+units and the :class:`~repro.runtime.context.Simulator` hold a
+reference (``None`` when tracing is off, so the disabled hot path pays
+exactly one ``is not None`` branch) and call :meth:`emit` at each fault
+or accounting site.
+
+Every emission updates the metrics; the filter only gates what reaches
+the sink.  Timestamps come from the simulator's logical clock, bound by
+:meth:`attach` when the :class:`Simulator` is constructed — a tracer is
+therefore single-run: build a fresh one per ``(config, seed)`` run, as
+:func:`repro.observability.runner.traced_run` does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.observability.events import EVENT_KINDS, TraceEvent
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sink import MemorySink, TraceSink
+
+__all__ = ["Tracer", "TraceFilter"]
+
+
+class TraceFilter:
+    """Conjunctive event filter parsed from ``key=value`` terms.
+
+    Supported keys: ``component`` and ``kind``.  A value may be a
+    comma-separated list (OR within a key); multiple terms AND::
+
+        TraceFilter.parse(["component=sram,dram"])   # either component
+        TraceFilter.parse(["kind=dram.decay"])       # exactly one kind
+
+    An empty filter accepts everything.
+    """
+
+    def __init__(
+        self,
+        components: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.components = frozenset(components) if components else None
+        self.kinds = frozenset(kinds) if kinds else None
+
+    @classmethod
+    def parse(cls, terms: Optional[Iterable[str]]) -> "TraceFilter":
+        components: Optional[Tuple[str, ...]] = None
+        kinds: Optional[Tuple[str, ...]] = None
+        for term in terms or ():
+            key, sep, value = term.partition("=")
+            if not sep or not value:
+                raise ValueError(
+                    f"bad trace filter {term!r}: expected key=value "
+                    "(e.g. component=sram or kind=dram.decay)"
+                )
+            values = tuple(v.strip() for v in value.split(",") if v.strip())
+            if key == "component":
+                components = (components or ()) + values
+            elif key == "kind":
+                kinds = (kinds or ()) + values
+            else:
+                raise ValueError(
+                    f"bad trace filter key {key!r}: use 'component' or 'kind'"
+                )
+        return cls(components, kinds)
+
+    def accepts(self, component: str, kind: str) -> bool:
+        if self.components is not None and component not in self.components:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        return True
+
+    @property
+    def is_empty(self) -> bool:
+        return self.components is None and self.kinds is None
+
+
+class Tracer:
+    """Emission point shared by every traced component of one run."""
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        trace_filter: Optional[Union[TraceFilter, Iterable[str]]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        if trace_filter is None:
+            self.filter = TraceFilter()
+        elif isinstance(trace_filter, TraceFilter):
+            self.filter = trace_filter
+        else:
+            self.filter = TraceFilter.parse(trace_filter)
+        self.metrics = MetricsRegistry()
+        self.fault_seed = 0
+        self._clock = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, clock, fault_seed: int) -> None:
+        """Bind the run's logical clock and fault seed (Simulator calls)."""
+        self._clock = clock
+        self.fault_seed = fault_seed
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        identity: str,
+        bits: Tuple[int, ...] = (),
+        before=None,
+        after=None,
+        cycle: Optional[int] = None,
+        extra=None,
+    ) -> None:
+        """Record one incident: update metrics, then maybe sink an event.
+
+        ``kind`` must be in :data:`~repro.observability.events
+        .EVENT_KINDS`; the component is derived from it.  ``cycle``
+        defaults to the attached clock's current tick.
+        """
+        component = EVENT_KINDS[kind]
+        self.metrics.counter(kind).inc()
+        if bits:
+            histogram = self.metrics.histogram(f"bitflip.position.{component}")
+            for bit in bits:
+                histogram.observe(bit)
+        event = TraceEvent(
+            seq=self._seq,
+            cycle=cycle if cycle is not None else (self._clock.ticks if self._clock else 0),
+            component=component,
+            kind=kind,
+            identity=identity,
+            fault_seed=self.fault_seed,
+            bits=tuple(bits),
+            before=before,
+            after=after,
+            extra=extra,
+        )
+        self._seq += 1
+        if self.filter.accepts(component, kind):
+            self.sink.emit(event)
+
+    def close(self) -> None:
+        self.sink.close()

@@ -76,17 +76,27 @@ class Simulator:
         with Simulator(MEDIUM, seed=1) as sim:
             program.main()
         print(sim.stats().fp_approx_fraction)
+
+    Pass ``tracer`` (a :class:`repro.observability.tracer.Tracer`) to
+    record every fault-injection and energy-accounting incident as
+    structured events (see ``OBSERVABILITY.md``).  Without one, every
+    emission site costs a single ``is not None`` branch.
     """
 
-    def __init__(self, config: HardwareConfig = BASELINE, seed: int = 0) -> None:
+    def __init__(
+        self, config: HardwareConfig = BASELINE, seed: int = 0, tracer=None
+    ) -> None:
         self.config = config
         self.seed = seed
+        self.tracer = tracer
         root = FaultRandom(seed)
         self.clock = LogicalClock(config.seconds_per_tick)
-        self.alu = ApproxALU(config, root.spawn("alu"))
-        self.fpu = ApproxFPU(config, root.spawn("fpu"))
-        self.sram = ApproxSRAM(config, root.spawn("sram"))
-        self.dram = ApproxDRAM(config, root.spawn("dram"), self.clock)
+        if tracer is not None:
+            tracer.attach(self.clock, seed)
+        self.alu = ApproxALU(config, root.spawn("alu"), tracer)
+        self.fpu = ApproxFPU(config, root.spawn("fpu"), tracer)
+        self.sram = ApproxSRAM(config, root.spawn("sram"), tracer)
+        self.dram = ApproxDRAM(config, root.spawn("dram"), self.clock, tracer)
         self.heap = HeapRegistry(config.cache_line_bytes)
         self.accountant = StorageAccountant()
         self.endorsements = 0
@@ -112,10 +122,22 @@ class Simulator:
         """Finish accounting for all live heap containers."""
         if self._closed:
             return
-        for container_id, approx_bytes, precise_bytes, label in self.heap.drain():
+        now = self.clock.ticks
+        for container_id, approx_bytes, precise_bytes, label, ordinal in self.heap.drain():
             self.accountant.allocate(container_id, approx_bytes, precise_bytes, 0, label)
-            self.accountant.free(container_id, self.clock.ticks)
+            record = self.accountant.free(container_id, now)
             self.dram.forget(container_id)
+            if self.tracer is not None and record is not None:
+                lifetime = max(1, now - record.birth_tick)
+                self.tracer.emit(
+                    "energy.free",
+                    f"{label}#{ordinal}",
+                    extra={
+                        "approx_byte_ticks": record.approx_bytes * lifetime,
+                        "precise_byte_ticks": record.precise_bytes * lifetime,
+                        "lifetime_ticks": lifetime,
+                    },
+                )
         self._closed = True
 
     # ------------------------------------------------------------------
@@ -174,8 +196,16 @@ class Simulator:
         except (ValueError, OverflowError, ZeroDivisionError):
             raw = _math.nan
         if isinstance(raw, float):
-            raw = _bits.truncate_mantissa(raw, keep)
-            raw = self.fpu._maybe_fault(raw, double=False)
+            truncated_result = _bits.truncate_mantissa(raw, keep)
+            if self.tracer is not None and truncated_result != raw and raw == raw:
+                self.tracer.emit(
+                    "fpu.truncation",
+                    f"fpu:math.{fn}",
+                    before=raw,
+                    after=truncated_result,
+                    extra={"kept_bits": keep},
+                )
+            raw = self.fpu._maybe_fault(truncated_result, double=False, op=f"math.{fn}")
         return raw
 
     def convert(self, kind: str, approximate: bool, value):
@@ -209,6 +239,10 @@ class Simulator:
         result = self.sram.read(value, kind, approximate)
         byte_count = max(1, field_sizes.get(kind, 4))
         self.accountant.touch_sram(byte_count, approximate)
+        if self.tracer is not None:
+            self.tracer.metrics.counter(
+                "energy.sram.approx_bytes" if approximate else "energy.sram.precise_bytes"
+            ).inc(byte_count)
         return result
 
     def local_write(self, value, kind: str, approximate: bool):
@@ -216,6 +250,10 @@ class Simulator:
         result = self.sram.write(value, kind, approximate)
         byte_count = max(1, field_sizes.get(kind, 4))
         self.accountant.touch_sram(byte_count, approximate)
+        if self.tracer is not None:
+            self.tracer.metrics.counter(
+                "energy.sram.approx_bytes" if approximate else "energy.sram.precise_bytes"
+            ).inc(byte_count)
         return result
 
     # ------------------------------------------------------------------
@@ -228,6 +266,17 @@ class Simulator:
         self.accountant.allocate(
             id(backing), record.approx_bytes, record.precise_bytes, self.clock.ticks, label
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "energy.alloc",
+                f"{label or 'array'}#{record.ordinal}",
+                extra={
+                    "approx_bytes": record.approx_bytes,
+                    "precise_bytes": record.precise_bytes,
+                    "element_kind": element_kind,
+                    "length": len(backing),
+                },
+            )
         return backing
 
     def array_load(self, backing: list, index, kind_hint: Optional[str] = None):
@@ -251,8 +300,15 @@ class Simulator:
             and self._elision_rng.coin(self.config.load_elision_prob)
         ):
             self.elided_loads += 1
+            if self.tracer is not None:
+                self.tracer.metrics.counter("runtime.elided_load").inc()
             return record.last_read
-        result = self.dram.read((id(backing), index), value, record.element_kind, approximate)
+        identity = None
+        if self.tracer is not None:
+            identity = f"{record.label or 'array'}#{record.ordinal}[{index}]"
+        result = self.dram.read(
+            (id(backing), index), value, record.element_kind, approximate, identity
+        )
         if result is not value:
             # Decay is sticky: the stored word itself changed.
             backing[index] = result
@@ -285,6 +341,16 @@ class Simulator:
             self.clock.ticks,
             type(instance).__name__,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "energy.alloc",
+                f"{type(instance).__name__}#{record.ordinal}",
+                extra={
+                    "approx_bytes": record.line_map.approx_bytes,
+                    "precise_bytes": record.line_map.precise_bytes,
+                    "qualifier_is_approx": qualifier_is_approx,
+                },
+            )
         return instance
 
     def object_is_approx(self, instance: object) -> bool:
@@ -301,7 +367,10 @@ class Simulator:
         kind = record.field_kinds.get(name, "int")
         if kind == "ref":
             return value
-        result = self.dram.read((id(instance), name), value, kind, True)
+        identity = None
+        if self.tracer is not None:
+            identity = f"{type(instance).__name__}#{record.ordinal}.{name}"
+        result = self.dram.read((id(instance), name), value, kind, True, identity)
         if result is not value:
             object.__setattr__(instance, name, result)
         return result
@@ -327,6 +396,15 @@ class Simulator:
         memory" — in our model the copy is the return itself.
         """
         self.endorsements += 1
+        if self.tracer is not None:
+            scalar = value if isinstance(value, (bool, int, float, str)) else None
+            self.tracer.emit(
+                "runtime.endorse",
+                "endorse",
+                before=scalar,
+                after=scalar,
+                extra=None if scalar is not None else {"type": type(value).__name__},
+            )
         return value
 
     # ------------------------------------------------------------------

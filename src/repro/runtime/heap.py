@@ -31,6 +31,9 @@ class ArrayRecord:
     label: str = ""
     #: Last value loaded from this array (software-substrate elision).
     last_read: Optional[object] = None
+    #: Deterministic registration ordinal — the trace-stable identity
+    #: (``id()`` differs across processes; this does not).
+    ordinal: int = -1
 
 
 @dataclasses.dataclass
@@ -48,6 +51,8 @@ class ObjectRecord:
     #: field name -> True if the adapted qualifier is approx (register/
     #: operation approximation applies even when storage is demoted).
     approx_value_fields: Dict[str, bool] = dataclasses.field(default_factory=dict)
+    #: Deterministic registration ordinal (see :class:`ArrayRecord`).
+    ordinal: int = -1
 
 
 class HeapRegistry:
@@ -57,6 +62,9 @@ class HeapRegistry:
         self.line_bytes = line_bytes
         self._arrays: Dict[int, ArrayRecord] = {}
         self._objects: Dict[int, ObjectRecord] = {}
+        # Containers share one ordinal sequence in registration order,
+        # which is deterministic per run (unlike id()).
+        self._next_ordinal = 0
 
     # ------------------------------------------------------------------
     # Arrays
@@ -84,7 +92,9 @@ class HeapRegistry:
             approx_bytes=approx_bytes,
             precise_bytes=precise_bytes,
             label=label,
+            ordinal=self._next_ordinal,
         )
+        self._next_ordinal += 1
         self._arrays[key] = record
         return record
 
@@ -112,7 +122,9 @@ class HeapRegistry:
             instance=instance,
             qualifier_is_approx=qualifier_is_approx,
             line_map=line_map,
+            ordinal=self._next_ordinal,
         )
+        self._next_ordinal += 1
         for spec in fields:
             record.field_kinds[spec.name] = spec.kind
             record.approx_value_fields[spec.name] = spec.approximate
@@ -130,14 +142,20 @@ class HeapRegistry:
 
     # ------------------------------------------------------------------
     def drain(self):
-        """Yield (container_id, approx_bytes, precise_bytes, label) for all
-        registered containers, clearing the registry."""
+        """Yield (container_id, approx_bytes, precise_bytes, label, ordinal)
+        for all registered containers, clearing the registry."""
         for key, array in self._arrays.items():
-            yield key, array.approx_bytes, array.precise_bytes, array.label or "array"
+            yield (
+                key,
+                array.approx_bytes,
+                array.precise_bytes,
+                array.label or "array",
+                array.ordinal,
+            )
         for key, obj in self._objects.items():
             approx = obj.line_map.approx_bytes
             precise = obj.line_map.precise_bytes
-            yield key, approx, precise, type(obj.instance).__name__
+            yield key, approx, precise, type(obj.instance).__name__, obj.ordinal
         self._arrays.clear()
         self._objects.clear()
 

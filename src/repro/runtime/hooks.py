@@ -2,10 +2,12 @@
 
 The instrumenter rewrites an EnerPy module so approximate operations and
 storage accesses call these functions.  Each hook dispatches to the
-active :class:`~repro.runtime.context.Simulator`; if none is active the
-hooks fall back to plain-Python behaviour, so instrumented code degrades
-gracefully to (counted-but-precise) execution only when explicitly
-allowed via :func:`set_fallback_precise`.
+active :class:`~repro.runtime.context.Simulator` — and, through it, to
+the hardware fault models and the observability tracer when one is
+attached.  Calling a hook with *no* active simulation raises
+:class:`~repro.errors.NoActiveSimulationError`; the only exception is
+after an explicit ``set_fallback_precise(True)``, which lets
+instrumented code run as plain (uncounted, precise) Python instead.
 
 Hook names are short and underscore-prefixed because they appear in
 generated code: ``_ej_binop('add', 'float', True, a, b)``.

@@ -22,7 +22,14 @@ def _fraction(approx: float, precise: float) -> float:
 
 @dataclasses.dataclass(frozen=True)
 class RunStats:
-    """Everything measured during one simulated execution."""
+    """Everything measured during one simulated execution.
+
+    Snapshots form a commutative monoid under :meth:`merge` / ``+``
+    (field-wise exact integer addition, ``RunStats()`` as the zero), so
+    per-seed snapshots collected by the parallel executor aggregate to
+    exactly the serial totals regardless of how the seed range was
+    split; ``tests/test_stats_merge.py`` pins the algebra.
+    """
 
     # Functional-unit operation counts.
     int_ops_approx: int = 0

@@ -99,6 +99,85 @@ class TestCensusCommand:
         assert "endorsement sites  : 1" in out
 
 
+class TestTraceCommand:
+    def test_traces_montecarlo(self, capsys):
+        code = main(["trace", "montecarlo", "--level", "aggressive"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MonteCarlo @ aggressive" in out
+        assert "events" in out
+        assert "faults" in out
+
+    def test_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        from repro.observability import read_trace
+
+        path = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["trace", "montecarlo", "--level", "aggressive", "--trace-out", path]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = read_trace(path)  # read_trace validates every event line
+        assert trace.meta["fault_seeds"] == [1]
+        assert trace.events
+        assert trace.summary is not None
+
+    def test_trace_filter_restricts_file(self, tmp_path, capsys):
+        from repro.observability import read_trace
+
+        path = str(tmp_path / "filtered.jsonl")
+        code = main(
+            ["trace", "montecarlo", "--level", "aggressive", "--trace-out", path,
+             "--trace-filter", "component=fpu"]
+        )
+        assert code == 0
+        trace = read_trace(path)
+        assert trace.events
+        assert all(event["component"] == "fpu" for event in trace.events)
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["trace", "quake3"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_filter_rejected(self, capsys):
+        assert main(["trace", "montecarlo", "--trace-filter", "seed=3"]) == 1
+        assert "trace filter" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_jobs_matches_serial_file(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial.jsonl")
+        parallel = str(tmp_path / "parallel.jsonl")
+        args = ["trace", "montecarlo", "--level", "medium", "--runs", "4"]
+        assert main(args + ["--trace-out", serial]) == 0
+        assert main(args + ["--trace-out", parallel, "--jobs", "4"]) == 0
+        capsys.readouterr()
+        with open(serial) as a, open(parallel) as b:
+            assert a.read() == b.read()
+
+
+class TestTraceReportCommand:
+    def test_reports_over_written_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["trace", "montecarlo", "--level", "aggressive", "--trace-out", path]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "MonteCarlo" in out
+        assert "events" in out
+
+    def test_rejects_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        assert main(["trace-report", str(path)]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentsCommand:
     def test_table2(self, capsys):
         assert main(["experiments", "table2"]) == 0

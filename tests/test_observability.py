@@ -1,0 +1,358 @@
+"""Unit tests for the observability layer (events, sinks, metrics, tracer).
+
+End-to-end determinism of traced runs lives in
+``test_trace_determinism.py``; this file covers the building blocks and
+the schema contract that OBSERVABILITY.md documents.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.pipeline import compile_program
+from repro.hardware import AGGRESSIVE, BASELINE
+from repro.hardware.config import HardwareConfig
+from repro.observability import (
+    COMPONENTS,
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    TraceEvent,
+    TraceFilter,
+    Tracer,
+    read_trace,
+    summarize,
+    validate_event_dict,
+    write_trace,
+)
+from repro.runtime import Simulator
+
+SOURCE = """
+from repro import Approx, endorse
+
+def total(n: int) -> float:
+    data: list[Approx[float]] = [0.0] * n
+    for i in range(n):
+        data[i] = 1.0 * i
+    acc: Approx[float] = 0.0
+    for i in range(n):
+        acc = acc + data[i]
+    return endorse(acc)
+"""
+
+
+def _event(**overrides) -> TraceEvent:
+    base = dict(
+        seq=0,
+        cycle=12,
+        component="sram",
+        kind="sram.read_upset",
+        identity="local:float",
+        fault_seed=1,
+        bits=(3, 17),
+        before=1.5,
+        after=-2.5,
+    )
+    base.update(overrides)
+    return TraceEvent(**base)
+
+
+class TestTraceEvent:
+    def test_roundtrips_through_json(self):
+        event = _event(extra={"mode": "random"})
+        decoded = TraceEvent.from_dict(json.loads(event.to_json()))
+        assert decoded == event
+
+    def test_wire_form_is_schema_valid(self):
+        validate_event_dict(_event().to_dict())
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        line = _event().to_json()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+        assert ": " not in line
+
+    def test_nonfinite_floats_encode_as_strings(self):
+        data = _event(before=float("nan"), after=float("inf")).to_dict()
+        assert data["before"] == "NaN"
+        assert data["after"] == "Infinity"
+        json.dumps(data, allow_nan=False)  # representable without NaN literals
+
+    def test_sort_key_orders_by_seed_then_seq(self):
+        events = [
+            _event(fault_seed=2, seq=0),
+            _event(fault_seed=1, seq=5),
+            _event(fault_seed=1, seq=2),
+        ]
+        ordered = sorted(events, key=lambda e: e.sort_key)
+        assert [(e.fault_seed, e.seq) for e in ordered] == [(1, 2), (1, 5), (2, 0)]
+
+    def test_every_kind_maps_to_a_known_component(self):
+        assert set(EVENT_KINDS.values()) <= set(COMPONENTS)
+
+
+class TestValidation:
+    def test_rejects_missing_fields(self):
+        data = _event().to_dict()
+        del data["cycle"]
+        with pytest.raises(ValueError, match="missing fields: cycle"):
+            validate_event_dict(data)
+
+    def test_rejects_unknown_component(self):
+        with pytest.raises(ValueError, match="unknown component"):
+            validate_event_dict({**_event().to_dict(), "component": "gpu"})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event_dict({**_event().to_dict(), "kind": "sram.melted"})
+
+    def test_rejects_component_kind_mismatch(self):
+        with pytest.raises(ValueError, match="belongs to component"):
+            validate_event_dict({**_event().to_dict(), "component": "dram"})
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(ValueError, match="schema version"):
+            validate_event_dict({**_event().to_dict(), "v": SCHEMA_VERSION + 1})
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError, match="bit position"):
+            validate_event_dict({**_event().to_dict(), "bits": [64]})
+
+
+class TestSinks:
+    def test_memory_sink_keeps_emission_order(self):
+        sink = MemorySink()
+        for seq in range(5):
+            sink.emit(_event(seq=seq))
+        assert [event.seq for event in sink.events()] == [0, 1, 2, 3, 4]
+        assert sink.dropped == 0
+
+    def test_memory_sink_ring_drops_oldest(self):
+        sink = MemorySink(capacity=3)
+        for seq in range(5):
+            sink.emit(_event(seq=seq))
+        assert [event.seq for event in sink.events()] == [2, 3, 4]
+        assert sink.dropped == 2
+
+    def test_memory_sink_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_jsonl_sink_writes_one_line_per_event(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit(_event(seq=0))
+        sink.emit(_event(seq=1))
+        sink.close()
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["seq"] == 1
+
+    def test_jsonl_sink_owns_path_handles(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit(_event())
+        with open(path) as handle:
+            validate_event_dict(json.loads(handle.read()))
+
+    def test_null_sink_swallows(self):
+        NullSink().emit(_event())  # must not raise
+
+
+class TestTraceFilter:
+    def test_empty_accepts_everything(self):
+        filt = TraceFilter.parse([])
+        assert filt.is_empty
+        assert filt.accepts("sram", "sram.read_upset")
+
+    def test_component_term(self):
+        filt = TraceFilter.parse(["component=sram,dram"])
+        assert filt.accepts("sram", "sram.read_upset")
+        assert filt.accepts("dram", "dram.decay")
+        assert not filt.accepts("fpu", "fpu.truncation")
+
+    def test_kind_term(self):
+        filt = TraceFilter.parse(["kind=dram.decay"])
+        assert filt.accepts("dram", "dram.decay")
+        assert not filt.accepts("dram", "energy.alloc")
+
+    def test_terms_and_together(self):
+        filt = TraceFilter.parse(["component=sram", "kind=sram.write_failure"])
+        assert filt.accepts("sram", "sram.write_failure")
+        assert not filt.accepts("sram", "sram.read_upset")
+
+    @pytest.mark.parametrize("term", ["component", "=x", "seed=3", "component="])
+    def test_rejects_malformed_terms(self, term):
+        with pytest.raises(ValueError, match="trace filter"):
+            TraceFilter.parse([term])
+
+
+class TestMetricsRegistry:
+    def test_counters_autocreate_and_accumulate(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter_value("a") == 5
+        assert registry.counter_value("never") == 0
+
+    def test_histograms_bucket_exact_values(self):
+        registry = MetricsRegistry()
+        for bit in (3, 3, 17):
+            registry.histogram("bits").observe(bit)
+        assert registry.histogram("bits").buckets == {3: 2, 17: 1}
+        assert registry.histogram("bits").total == 3
+
+    def test_as_dict_roundtrips(self):
+        registry = MetricsRegistry()
+        registry.counter("faults").inc(2)
+        registry.histogram("bits").observe(5, 3)
+        assert MetricsRegistry.from_dict(registry.as_dict()) == registry
+
+    def test_as_dict_survives_json(self):
+        registry = MetricsRegistry()
+        registry.histogram("bits").observe(5)
+        rewired = MetricsRegistry.from_dict(json.loads(json.dumps(registry.as_dict())))
+        assert rewired == registry
+
+
+class TestTracer:
+    def test_emit_updates_metrics_and_sink(self):
+        tracer = Tracer()
+        tracer.emit("sram.read_upset", "local:int", bits=(1, 1, 9), before=3, after=7)
+        assert tracer.metrics.counter_value("sram.read_upset") == 1
+        assert tracer.metrics.histogram("bitflip.position.sram").buckets == {1: 2, 9: 1}
+        [event] = tracer.sink.events()
+        assert event.component == "sram"
+        assert event.bits == (1, 1, 9)
+
+    def test_filter_gates_sink_not_metrics(self):
+        tracer = Tracer(trace_filter=["component=dram"])
+        tracer.emit("sram.read_upset", "local:int")
+        tracer.emit("dram.decay", "array#0[3]")
+        assert tracer.metrics.counter_value("sram.read_upset") == 1
+        assert [event.kind for event in tracer.sink.events()] == ["dram.decay"]
+
+    def test_seq_counts_all_emissions(self):
+        tracer = Tracer(trace_filter=["kind=dram.decay"])
+        tracer.emit("sram.read_upset", "local:int")
+        tracer.emit("dram.decay", "array#0[0]")
+        assert tracer.events_emitted == 2
+        [event] = tracer.sink.events()
+        assert event.seq == 1  # filtered emissions still consume seq numbers
+
+    def test_attach_binds_clock_and_seed(self):
+        class FakeClock:
+            ticks = 42
+
+        tracer = Tracer()
+        tracer.attach(FakeClock(), fault_seed=9)
+        tracer.emit("runtime.endorse", "endorse")
+        [event] = tracer.sink.events()
+        assert event.cycle == 42
+        assert event.fault_seed == 9
+
+
+class TestSimulatorWiring:
+    """The tracer observes the simulation without perturbing it."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return compile_program({"demo": SOURCE})
+
+    def test_aggressive_run_emits_all_layers(self, program):
+        tracer = Tracer()
+        with Simulator(AGGRESSIVE, seed=1, tracer=tracer) as sim:
+            program.call("demo", "total", 200)
+        kinds = {event.kind for event in tracer.sink.events()}
+        assert "energy.alloc" in kinds
+        assert "energy.free" in kinds
+        assert "runtime.endorse" in kinds
+        assert kinds & {"sram.read_upset", "sram.write_failure", "fpu.timing_error"}
+        assert tracer.metrics.counter_value("energy.sram.approx_bytes") > 0
+        # Event counters agree with the RunStats fault totals.
+        stats = sim.stats()
+        assert tracer.metrics.counter_value("fpu.timing_error") == stats.fu_faults
+        assert tracer.metrics.counter_value("runtime.endorse") == stats.endorsements
+
+    def test_tracing_never_perturbs_the_run(self, program):
+        with Simulator(AGGRESSIVE, seed=7) as sim:
+            plain = program.call("demo", "total", 150)
+        plain_stats = sim.stats()
+        with Simulator(AGGRESSIVE, seed=7, tracer=Tracer()) as sim:
+            traced = program.call("demo", "total", 150)
+        assert traced == plain
+        assert sim.stats() == plain_stats
+
+    def test_baseline_run_emits_no_faults(self, program):
+        tracer = Tracer()
+        with Simulator(BASELINE, seed=1, tracer=tracer):
+            program.call("demo", "total", 50)
+        kinds = {event.kind for event in tracer.sink.events()}
+        assert kinds <= {"energy.alloc", "energy.free", "runtime.endorse"}
+
+    def test_events_are_schema_valid_and_seq_ordered(self, program):
+        tracer = Tracer()
+        with Simulator(AGGRESSIVE, seed=2, tracer=tracer):
+            program.call("demo", "total", 120)
+        events = tracer.sink.events()
+        assert [event.seq for event in events] == list(range(len(events)))
+        for event in events:
+            validate_event_dict(json.loads(event.to_json()))
+
+
+class TestTraceFileRoundtrip:
+    @pytest.fixture(scope="class")
+    def results(self):
+        import dataclasses
+
+        from repro.apps import app_by_name
+        from repro.observability import traced_runs
+
+        spec = dataclasses.replace(
+            app_by_name("montecarlo"), name="MC@obs-test", default_args=(300, 0)
+        )
+        return traced_runs(spec, AGGRESSIVE, fault_seeds=(1, 2))
+
+    def test_write_read_summarize(self, tmp_path, results):
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace(path, results)
+        trace = read_trace(path)
+        assert trace.meta["fault_seeds"] == [1, 2]
+        assert len(trace.events) == written
+        assert trace.summary is not None
+        report = summarize(trace)
+        assert "MC@obs-test" in report
+        assert "faults/kop" in report or "events" in report
+
+    def test_filtered_write_keeps_summary_unfiltered(self, tmp_path, results):
+        path = str(tmp_path / "filtered.jsonl")
+        write_trace(path, results, TraceFilter.parse(["component=energy"]))
+        trace = read_trace(path)
+        assert all(event["component"] == "energy" for event in trace.events)
+        counters = trace.summary["metrics"]["counters"]
+        assert any(not name.startswith("energy.") for name in counters if counters[name])
+
+    def test_read_rejects_corrupt_event(self, tmp_path, results):
+        path = str(tmp_path / "bad.jsonl")
+        write_trace(path, results)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        bad = json.loads(lines[1])
+        bad["component"] = "gpu"
+        lines[1] = json.dumps(bad)
+        path2 = str(tmp_path / "bad2.jsonl")
+        with open(path2, "w") as handle:
+            handle.write("\n".join(lines))
+        with pytest.raises(ValueError, match="unknown component"):
+            read_trace(path2)
+
+    def test_read_requires_meta(self, tmp_path):
+        path = str(tmp_path / "no_meta.jsonl")
+        with open(path, "w") as handle:
+            handle.write(_event().to_json() + "\n")
+        with pytest.raises(ValueError, match="trace.meta"):
+            read_trace(path)

@@ -1,0 +1,183 @@
+"""Trace determinism: parallel traced runs must equal serial ones.
+
+Two guarantees are pinned here, matching the acceptance criteria in
+OBSERVABILITY.md:
+
+* **Order-stable traces** — the canonical ``(fault_seed, seq)`` event
+  stream from ``--jobs 4`` is identical (same events, same wire bytes)
+  to ``--jobs 1`` for FFT, SOR, and MonteCarlo.
+* **Exact metric merging** — :class:`MetricsRegistry` forms the same
+  commutative monoid as :class:`RunStats` (mirroring
+  ``test_stats_merge.py``), so grouping per-run registries by worker
+  never changes the aggregate.
+
+Process-pool tests are ``slow``-marked, like the executor's own.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import app_by_name
+from repro.experiments.harness import run_app
+from repro.hardware.config import AGGRESSIVE, MEDIUM
+from repro.observability import (
+    MetricsRegistry,
+    canonical_events,
+    merge_trace_results,
+    traced_run,
+    traced_runs,
+)
+
+# Shrunk workloads: renamed specs get their own compiled-program cache
+# slots, so shrinking default_args never bleeds into other tests.
+FFT = dataclasses.replace(app_by_name("fft"), name="FFT@trace-test", default_args=(64, 0))
+SOR = dataclasses.replace(
+    app_by_name("sor"), name="SOR@trace-test", default_args=(10, 5, 0)
+)
+MONTECARLO = dataclasses.replace(
+    app_by_name("montecarlo"), name="MonteCarlo@trace-test", default_args=(500, 0)
+)
+SEEDS = (1, 2, 3, 4)
+
+
+def _wire(results):
+    """The merged trace as canonical wire lines (what --trace-out writes)."""
+    return [event.to_json() for event in canonical_events(results)]
+
+
+class TestSerialDeterminism:
+    """Cheap invariants that don't need a process pool."""
+
+    @pytest.mark.parametrize("spec", [FFT, SOR, MONTECARLO], ids=lambda s: s.name)
+    def test_traced_run_is_reproducible(self, spec):
+        first = traced_run(spec, AGGRESSIVE, fault_seed=3)
+        second = traced_run(spec, AGGRESSIVE, fault_seed=3)
+        assert first.events == second.events
+        assert first.metrics == second.metrics
+        assert first.stats == second.stats
+
+    @pytest.mark.parametrize("spec", [FFT, SOR, MONTECARLO], ids=lambda s: s.name)
+    def test_tracing_does_not_perturb_the_run(self, spec):
+        plain = run_app(spec, AGGRESSIVE, fault_seed=3)
+        traced = traced_run(spec, AGGRESSIVE, fault_seed=3)
+        assert traced.output == plain.output
+        assert traced.stats == plain.stats
+
+    def test_seq_restarts_per_run(self):
+        results = traced_runs(MONTECARLO, AGGRESSIVE, fault_seeds=SEEDS[:2])
+        for result in results:
+            assert [event.seq for event in result.events[:3]] == [0, 1, 2]
+            assert all(event.fault_seed == result.fault_seed for event in result.events)
+
+    def test_canonical_order_ignores_result_order(self):
+        results = traced_runs(MONTECARLO, AGGRESSIVE, fault_seeds=SEEDS[:3])
+        shuffled = [results[2], results[0], results[1]]
+        assert _wire(shuffled) == _wire(results)
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    """jobs=1 vs jobs=4 over real process pools, per acceptance criteria."""
+
+    @pytest.mark.parametrize("spec", [FFT, SOR, MONTECARLO], ids=lambda s: s.name)
+    def test_jobs4_trace_is_bit_identical_to_serial(self, spec):
+        serial = traced_runs(spec, AGGRESSIVE, fault_seeds=SEEDS, jobs=1)
+        parallel = traced_runs(spec, AGGRESSIVE, fault_seeds=SEEDS, jobs=4)
+        assert _wire(parallel) == _wire(serial)
+
+    def test_merged_aggregates_match_across_jobs(self):
+        serial = traced_runs(MONTECARLO, MEDIUM, fault_seeds=SEEDS, jobs=1)
+        parallel = traced_runs(MONTECARLO, MEDIUM, fault_seeds=SEEDS, jobs=4)
+        s_stats, s_metrics, s_events, s_dropped = merge_trace_results(serial)
+        p_stats, p_metrics, p_events, p_dropped = merge_trace_results(parallel)
+        assert p_stats == s_stats
+        assert p_metrics == s_metrics
+        assert p_events == s_events
+        assert p_dropped == s_dropped == 0
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry merge algebra (mirrors test_stats_merge.py)
+# ----------------------------------------------------------------------
+
+
+def _registry_strategy():
+    names = st.sampled_from(
+        ["sram.read_upset", "dram.decay", "fpu.truncation", "runtime.endorse"]
+    )
+    counters = st.dictionaries(names, st.integers(min_value=0, max_value=10**9), max_size=4)
+    buckets = st.dictionaries(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=10**6),
+        max_size=8,
+    )
+    histograms = st.dictionaries(
+        st.sampled_from(["bitflip.position.sram", "bitflip.position.alu"]),
+        buckets,
+        max_size=2,
+    )
+
+    def build(counter_map, histogram_map):
+        registry = MetricsRegistry()
+        for name, value in counter_map.items():
+            registry.counter(name).inc(value)
+        for name, bucket_map in histogram_map.items():
+            for value, count in bucket_map.items():
+                registry.histogram(name).observe(value, count)
+        return registry
+
+    return st.builds(build, counters, histograms)
+
+
+class TestMetricsMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_registry_strategy(), min_size=0, max_size=8), st.data())
+    def test_split_merge_equals_unsplit(self, registries, data):
+        split = data.draw(st.integers(min_value=0, max_value=len(registries)))
+        left = MetricsRegistry.merge(registries[:split])
+        right = MetricsRegistry.merge(registries[split:])
+        assert left + right == MetricsRegistry.merge(registries)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_registry_strategy(), _registry_strategy())
+    def test_merge_is_commutative(self, a, b):
+        assert a + b == b + a
+
+    @settings(max_examples=25, deadline=None)
+    @given(_registry_strategy())
+    def test_zero_identity(self, registry):
+        assert registry + MetricsRegistry() == registry
+        assert MetricsRegistry.merge([registry]) == registry
+
+    def test_merge_empty_is_zero(self):
+        assert MetricsRegistry.merge([]) == MetricsRegistry()
+
+    def test_add_rejects_non_registry(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry() + 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(_registry_strategy(), _registry_strategy())
+    def test_counters_and_buckets_sum_exactly(self, a, b):
+        merged = a + b
+        a_dict, b_dict = a.as_dict(), b.as_dict()
+        for name, value in merged.as_dict()["counters"].items():
+            assert value == a_dict["counters"].get(name, 0) + b_dict["counters"].get(
+                name, 0
+            )
+        for name, buckets in merged.as_dict()["histograms"].items():
+            for bit, count in buckets.items():
+                assert count == a_dict["histograms"].get(name, {}).get(bit, 0) + b_dict[
+                    "histograms"
+                ].get(name, {}).get(bit, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_registry_strategy(), _registry_strategy())
+    def test_roundtrip_commutes_with_merge(self, a, b):
+        rebuilt = MetricsRegistry.from_dict(a.as_dict()) + MetricsRegistry.from_dict(
+            b.as_dict()
+        )
+        assert rebuilt == a + b
