@@ -1,0 +1,103 @@
+"""Bench: cold vs warm campaign wall-clock against the run store.
+
+Runs the Figure 5 protocol twice against the same persistent run store
+(:mod:`repro.store`): once cold (empty store, every cell simulated and
+written through) and once warm (all in-memory caches dropped, every
+cell served from disk).  The two row sets are asserted *bit-identical*
+— the store's round-trip fidelity guarantee, asserted rather than
+eyeballed — and the warm pass is asserted >= 5x faster than the cold
+one (the acceptance bar for the resumable-campaign layer; in practice
+a warm pass does zero simulation and zero compilation, so the observed
+ratio is orders of magnitude larger).
+
+Results are recorded both in the benchmark's ``extra_info`` and as
+``BENCH_store.json`` at the repository root.
+
+Environment knobs (same family as ``bench_parallel.py``):
+
+* ``REPRO_BENCH_RUNS`` — fault seeds per bar (default 2; paper: 20).
+* ``REPRO_BENCH_JOBS`` — worker count; default 0 = serial, which keeps
+  the cold/warm ratio free of pool spin-up noise on small machines.
+* ``REPRO_BENCH_FULL`` — set to 1 for all nine apps at 20 seeds.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro import store as store_mod
+from repro.apps import ALL_APPS, app_by_name
+from repro.experiments.figure5 import DEFAULT_RUNS, figure5_grid
+from repro.experiments.harness import clear_caches
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", str(DEFAULT_RUNS if FULL else 2)))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
+APPS = (
+    ALL_APPS
+    if FULL
+    else [app_by_name("fft"), app_by_name("sor"), app_by_name("montecarlo")]
+)
+
+_RESULTS_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_store.json")
+)
+
+
+def test_bench_store_cold_vs_warm(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        clear_caches()
+        with store_mod.activated(cache_dir) as store:
+            t0 = time.perf_counter()
+            cold_rows = figure5_grid(APPS, RUNS, jobs=JOBS)
+            cold_seconds = time.perf_counter() - t0
+            entries = store.stats().entries
+
+        # Drop every in-memory cache (compiled programs, precise
+        # outputs, the store handle's decoded-entry memo) so the warm
+        # pass measures the disk store, not process-local memoisation.
+        clear_caches()
+
+        def warm_pass():
+            with store_mod.activated(cache_dir):
+                return figure5_grid(APPS, RUNS, jobs=JOBS)
+
+        t0 = time.perf_counter()
+        warm_rows = benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+        warm_seconds = time.perf_counter() - t0
+    finally:
+        clear_caches()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Round-trip fidelity: the warm campaign reproduces every QoS
+    # number exactly from stored outputs.
+    assert warm_rows == cold_rows
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    results = {
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup": round(speedup, 1),
+        "entries": entries,
+        "apps": len(APPS),
+        "runs": RUNS,
+        "jobs": JOBS or 1,
+        "rows_identical": True,
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nFigure 5 grid ({len(APPS)} apps x 3 levels x {RUNS} seeds, "
+        f"{entries} store entries): cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s -> {speedup:.0f}x"
+    )
+
+    assert speedup >= 5.0, (
+        f"warm store pass should be >= 5x faster than cold, got "
+        f"{speedup:.2f}x ({cold_seconds:.2f}s -> {warm_seconds:.2f}s)"
+    )

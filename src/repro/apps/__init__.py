@@ -36,12 +36,53 @@ class AppSpec:
     module_files: Dict[str, str]
     entry_module: str
     entry_function: str
-    #: Arguments for the entry function; the final argument is the
-    #: workload seed, replaced per run by the harness.
+    #: Arguments for the entry function.  The workload seed lives at
+    #: :attr:`workload_seed_index` and is replaced per run by the
+    #: harness (:meth:`workload_args`).
     default_args: Tuple
     #: QoS error between the precise and approximate outputs.
     qos: Callable
     qos_name: str
+    #: Index into ``default_args`` of the workload-seed slot.  Negative
+    #: indices count from the end (the historical convention was "last
+    #: argument"); validated eagerly so a mis-declared spec fails at
+    #: load time, not deep inside a campaign.
+    workload_seed_index: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.default_args:
+            raise ValueError(
+                f"app {self.name!r}: default_args must include a workload-seed slot"
+            )
+        index = self.workload_seed_index
+        if index < 0:
+            index += len(self.default_args)
+        if not 0 <= index < len(self.default_args):
+            raise ValueError(
+                f"app {self.name!r}: workload_seed_index {self.workload_seed_index} "
+                f"is out of range for {len(self.default_args)} default argument(s)"
+            )
+        seed_default = self.default_args[index]
+        if isinstance(seed_default, bool) or not isinstance(seed_default, int):
+            raise ValueError(
+                f"app {self.name!r}: the workload-seed slot (argument {index}) "
+                f"must default to an int, got {seed_default!r}"
+            )
+
+    @property
+    def seed_slot(self) -> int:
+        """The workload-seed position as a normalised (>= 0) index."""
+        index = self.workload_seed_index
+        return index + len(self.default_args) if index < 0 else index
+
+    def workload_args(self, workload_seed: int) -> Tuple:
+        """``default_args`` with the seed slot replaced by ``workload_seed``."""
+        slot = self.seed_slot
+        return (
+            self.default_args[:slot]
+            + (workload_seed,)
+            + self.default_args[slot + 1 :]
+        )
 
     def source_paths(self) -> Dict[str, str]:
         return {
@@ -71,6 +112,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="fft",
         entry_function="run_fft",
         default_args=(256, 0),
+        workload_seed_index=1,
         qos=mean_entry_difference,
         qos_name="Mean entry difference",
     ),
@@ -81,6 +123,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="sor",
         entry_function="run_sor",
         default_args=(40, 10, 0),
+        workload_seed_index=2,
         qos=mean_entry_difference,
         qos_name="Mean entry difference",
     ),
@@ -91,6 +134,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="montecarlo",
         entry_function="run_montecarlo",
         default_args=(20000, 0),
+        workload_seed_index=1,
         qos=normalized_difference,
         qos_name="Normalized difference",
     ),
@@ -104,6 +148,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="sparsematmult",
         entry_function="run_sparse_matmult",
         default_args=(200, 5, 4, 0),
+        workload_seed_index=3,
         qos=mean_normalized_difference,
         qos_name="Mean normalized difference",
     ),
@@ -114,6 +159,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="lu",
         entry_function="run_lu",
         default_args=(40, 0),
+        workload_seed_index=1,
         qos=mean_entry_difference,
         qos_name="Mean entry difference",
     ),
@@ -129,6 +175,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="decoder",
         entry_function="run_zxing",
         default_args=(12, 3, 20, 0),
+        workload_seed_index=3,
         qos=binary_correctness,
         qos_name="1 if incorrect, 0 if correct",
     ),
@@ -143,6 +190,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="triangles",
         entry_function="run_intersections",
         default_args=(400, 0),
+        workload_seed_index=1,
         qos=decision_fraction_error,
         qos_name="Fraction of correct decisions normalized to 0.5",
     ),
@@ -153,6 +201,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="floodfill",
         entry_function="run_floodfill",
         default_args=(48, 36, 0),
+        workload_seed_index=2,
         qos=_pixel_qos,
         qos_name="Mean pixel difference",
     ),
@@ -163,6 +212,7 @@ ALL_APPS: List[AppSpec] = [
         entry_module="tracer",
         entry_function="render",
         default_args=(64, 48, 0),
+        workload_seed_index=2,
         qos=_pixel_qos,
         qos_name="Mean pixel difference",
     ),

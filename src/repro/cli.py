@@ -8,12 +8,20 @@ Usage::
     python -m repro experiments NAME              # regenerate a table/figure
     python -m repro trace APP                     # traced run -> JSONL events
     python -m repro trace-report FILE             # summarise a JSONL trace
+    python -m repro cache {stats,gc,verify}       # run-store maintenance
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
 arguments under the chosen configuration, and reports the output plus
 the measured statistics and estimated energy.  ``trace`` runs one of
 the ported paper applications with the observability layer attached
 (see ``OBSERVABILITY.md`` for the event schema).
+
+``experiments`` keeps a persistent, content-addressed run cache under
+``--cache-dir`` (default ``.repro-cache/``): completed cells are never
+recomputed, an interrupted campaign resumes where it stopped
+(``--resume`` insists a cache exists), and ``--no-cache`` opts out.
+``cache`` inspects (``stats``), checks (``verify``) or prunes (``gc``)
+that store — see the "Caching & resume" section of ``EXPERIMENTS.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +44,9 @@ _CONFIGS = {
     "medium": MEDIUM,
     "aggressive": AGGRESSIVE,
 }
+
+#: Default location of the persistent run store (repro.store).
+_DEFAULT_CACHE_DIR = ".repro-cache"
 
 _EXPERIMENTS = (
     "table2",
@@ -189,17 +200,92 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib
     import inspect
 
+    from repro import store as run_store
+
+    if args.resume and args.no_cache:
+        print("error: --resume and --no-cache are contradictory", file=sys.stderr)
+        return 1
+    if args.resume and not os.path.isdir(args.cache_dir):
+        print(
+            f"error: --resume: no run store at {args.cache_dir!r} "
+            "(nothing to resume; drop --resume for a cold start)",
+            file=sys.stderr,
+        )
+        return 1
+
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    # Drivers rewired through the parallel executor accept jobs=N; the
-    # remainder (e.g. table2) are pure formatting and stay serial.
-    if "jobs" in inspect.signature(module.main).parameters:
-        module.main(jobs=args.jobs)
-    elif args.jobs and args.jobs > 1:
-        print(f"note: {args.name} does not support --jobs; running serially")
-        module.main()
-    else:
-        module.main()
+    store = None if args.no_cache else run_store.configure(args.cache_dir)
+    try:
+        # Drivers rewired through the parallel executor accept jobs=N;
+        # the remainder (e.g. table2) are pure formatting, stay serial,
+        # and never touch the store.
+        if "jobs" in inspect.signature(module.main).parameters:
+            module.main(jobs=args.jobs)
+        elif args.jobs and args.jobs > 1:
+            print(f"note: {args.name} does not support --jobs; running serially")
+            module.main()
+        else:
+            module.main()
+    finally:
+        if store is not None:
+            run_store.reset_active_store()
     return 0
+
+
+def _format_bytes(count: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count} B"
+        count /= 1024
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import RunStore, StoreError
+
+    try:
+        store = RunStore(args.cache_dir, create=False)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store     : {stats.root}")
+        print(
+            f"schema    : store v{stats.store_schema}, "
+            f"keys v{stats.key_schema}"
+        )
+        print(
+            f"entries   : {stats.entries} "
+            f"({_format_bytes(stats.total_bytes)}, "
+            f"{stats.with_trace_summary} with trace summaries)"
+        )
+        for app in sorted(stats.per_app):
+            print(f"  {app:<24} {stats.per_app[app]:>8}")
+        return 0
+
+    if args.action == "verify":
+        problems = store.verify()
+        entries = store.stats().entries
+        if problems:
+            for problem in problems:
+                print(f"BAD {problem}")
+            print(f"FAILED: {len(problems)} problem entr(y/ies)")
+            return 1
+        print(f"OK: {entries} entr(y/ies) decode and checksum cleanly")
+        return 0
+
+    if args.action == "gc":
+        result = store.gc(all_entries=args.all)
+        what = "all entries" if args.all else "stale entries"
+        print(
+            f"gc ({what}): removed {result.removed}, kept {result.kept}, "
+            f"reclaimed {_format_bytes(result.reclaimed_bytes)}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled cache action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,7 +379,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the experiment grid across N worker processes "
         "(default: serial; results are bit-identical either way)",
     )
+    experiments.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="persistent run store: completed cells are served from "
+        "here and fresh runs written through (default: %(default)s)",
+    )
+    experiments.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the run store entirely for this invocation",
+    )
+    experiments.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign: require an existing "
+        "store at --cache-dir, then skip every completed cell "
+        "(results are bit-identical to an uninterrupted run)",
+    )
     experiments.set_defaults(fn=cmd_experiments)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or prune the persistent run store"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "gc", "verify"),
+        help="stats: entry counts and sizes; verify: decode + checksum "
+        "every entry; gc: drop entries invalidated by source changes",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="run store location (default: %(default)s)",
+    )
+    cache.add_argument(
+        "--all",
+        action="store_true",
+        help="gc only: remove every entry, not just stale ones",
+    )
+    cache.set_defaults(fn=cmd_cache)
 
     return parser
 

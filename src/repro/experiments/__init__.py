@@ -28,9 +28,13 @@ from repro.experiments.harness import (
     precise_output,
     qos_error,
     run_app,
+    run_key,
 )
+from repro.experiments.runkey import RunKey
 
 __all__ = [
+    "RunKey",
+    "run_key",
     "run_app",
     "qos_error",
     "mean_qos",

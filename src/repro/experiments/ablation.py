@@ -9,6 +9,11 @@
   split (CPU 55% / DRAM 45%); in a mobile setting memory is only ~25%,
   making CPU savings more important.  The sweep recomputes Figure 4's
   Aggressive bar under both splits.
+
+Every sweep runs through the store-aware harness/executor, so with a
+persistent run store active (``repro experiments ablation
+--cache-dir ...``) completed cells are skipped transparently and an
+interrupted sweep resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -135,7 +140,7 @@ def _elided_count(spec: AppSpec) -> int:
     from repro.runtime import Simulator
 
     program = compiled_app(spec)
-    args = spec.default_args[:-1] + (0,)
+    args = spec.workload_args(0)
     with Simulator(SOFTWARE, seed=1) as simulator:
         program.call(spec.entry_module, spec.entry_function, *args)
     return simulator.elided_loads

@@ -22,6 +22,14 @@ fans such a grid across a process pool while keeping the results
   pool up to the same budget.  Exhausting the budget raises
   :class:`ExecutorError` carrying the failing job's identity — partial
   results are never silently returned.
+* **Resumable campaigns**: when a persistent run store
+  (:mod:`repro.store`) is active, the parent resolves already-completed
+  cells straight from the store before spinning up workers, fans out
+  only the misses, and workers write every completed run through the
+  store — so an interrupted ``--jobs N`` campaign resumes exactly where
+  it stopped, and a fully warm rerun never builds a pool per cached
+  cell.  Results are stitched back in job-submission order either way,
+  so caching never perturbs values or their canonical merge order.
 """
 
 from __future__ import annotations
@@ -72,6 +80,7 @@ class JobError(Exception):
 class Job:
     """One unit of the experiment grid.
 
+    A job is a :class:`~repro.experiments.runkey.RunKey` plus a task.
     ``task`` names an entry in the task registry: ``"qos"`` computes the
     QoS error against the precise output (a float), ``"stats"`` runs the
     app and returns its :class:`RunStats`, ``"trace"`` runs it with the
@@ -84,6 +93,29 @@ class Job:
     fault_seed: int = 0
     workload_seed: int = 0
     task: str = "qos"
+
+    @classmethod
+    def from_key(cls, key: "RunKey", task: str = "qos") -> "Job":
+        """A job for the run named by ``key``."""
+        return cls(
+            spec=key.spec,
+            config=key.config,
+            fault_seed=key.fault_seed,
+            workload_seed=key.workload_seed,
+            task=task,
+        )
+
+    @property
+    def key(self) -> "RunKey":
+        """The run identity (and store cache key) of this job."""
+        from repro.experiments.runkey import RunKey
+
+        return RunKey(
+            spec=self.spec,
+            config=self.config,
+            fault_seed=self.fault_seed,
+            workload_seed=self.workload_seed,
+        )
 
     @property
     def identity(self) -> str:
@@ -139,10 +171,20 @@ def register_task(name: str, fn: Callable[[Job], object]) -> None:
 # ----------------------------------------------------------------------
 
 
-def _worker_init(specs: Tuple[AppSpec, ...]) -> None:
-    """Prime the per-process compiled-program cache once per worker."""
+def _worker_init(specs: Tuple[AppSpec, ...], cache_dir: Optional[str] = None) -> None:
+    """Prime the per-worker caches: compiled programs + the run store.
+
+    With ``cache_dir`` set, every worker opens its own handle on the
+    shared on-disk store and writes completed runs through it — entries
+    are content-addressed and published atomically, so concurrent
+    writers are safe (identical keys produce identical bytes).
+    """
     from repro.experiments.harness import compiled_app
 
+    if cache_dir is not None:
+        from repro.store import configure
+
+        configure(cache_dir)
     for spec in specs:
         compiled_app(spec)
 
@@ -200,6 +242,44 @@ def _pool_context():
 
 
 # ----------------------------------------------------------------------
+# Store-backed resume: resolve completed cells without a pool
+# ----------------------------------------------------------------------
+
+_MISS = object()
+
+
+def _active_store():
+    # Imported lazily: repro.store depends on this package's RunKey.
+    from repro.store import active_store
+
+    return active_store()
+
+
+def _resolve_cached(job: Job, store) -> object:
+    """A job's result straight from the run store, or ``_MISS``.
+
+    Only tasks whose results are pure functions of stored run entries
+    resolve here: ``stats`` needs the job's own entry; ``qos`` needs
+    both the approximate entry and its baseline reference (the QoS
+    metric is recomputed from the stored outputs, which are
+    bit-identical to fresh ones, so the float matches the uncached path
+    exactly).  Traced and custom tasks always execute.
+    """
+    if job.task == "stats":
+        entry = store.get(job.key)
+        return _MISS if entry is None else entry.stats
+    if job.task == "qos":
+        entry = store.get(job.key)
+        if entry is None:
+            return _MISS
+        reference = store.get(job.key.precise_reference())
+        if reference is None:
+            return _MISS
+        return job.spec.qos(reference.output, entry.output)
+    return _MISS
+
+
+# ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
 
@@ -221,12 +301,32 @@ def run_jobs(
     if not jobs:
         return []
     if workers is None or workers <= 1:
+        # The serial path consults the store per run inside the harness.
         return [_execute_job(job) for job in jobs]
 
+    # Resume layer: serve completed cells from the active store first,
+    # then fan out only the misses.  Workers write through the same
+    # store, so an interrupted campaign leaves every finished cell
+    # behind and the next invocation starts from here.
+    store = _active_store()
+    resolved: Dict[int, object] = {}
+    if store is not None:
+        for index, job in enumerate(jobs):
+            value = _resolve_cached(job, store)
+            if value is not _MISS:
+                resolved[index] = value
+    pending_jobs = [
+        (index, job) for index, job in enumerate(jobs) if index not in resolved
+    ]
+    if not pending_jobs:
+        return [resolved[index] for index in range(len(jobs))]
+    miss_jobs = [job for _, job in pending_jobs]
+
     if chunk_size is None:
-        chunk_size = _default_chunk_size(len(jobs), workers)
-    chunks = partition(jobs, chunk_size)
-    specs = _distinct_specs(jobs)
+        chunk_size = _default_chunk_size(len(miss_jobs), workers)
+    chunks = partition(miss_jobs, chunk_size)
+    specs = _distinct_specs(miss_jobs)
+    cache_dir = store.root if store is not None else None
 
     results: Dict[int, List[object]] = {}
     attempts = {index: 0 for index in range(len(chunks))}
@@ -240,7 +340,7 @@ def run_jobs(
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(specs,),
+                initargs=(specs, cache_dir),
             ) as pool:
                 while pending:
                     futures = {
@@ -269,10 +369,12 @@ def run_jobs(
                 ) from exc
             # Loop around: a fresh pool retries every pending chunk.
 
-    ordered: List[object] = []
+    executed: List[object] = []
     for index in range(len(chunks)):
-        ordered.extend(results[index])
-    return ordered
+        executed.extend(results[index])
+    for (original_index, _), value in zip(pending_jobs, executed):
+        resolved[original_index] = value
+    return [resolved[index] for index in range(len(jobs))]
 
 
 def _budget_error(chunk: Sequence[Job], exc: Exception) -> ExecutorError:

@@ -5,7 +5,10 @@ approximate data and the fraction of integer and floating-point
 operations executed approximately.  These fractions are properties of
 the program and its annotations, not of the fault level, so one
 deterministic run per app suffices (we use the Baseline configuration,
-whose statistics collection is identical).
+whose statistics collection is identical).  The per-app baseline runs
+are served from the persistent run store when one is active — they are
+the same ``(app, baseline, seed 0)`` cells every other driver's QoS
+references use, so a warm store makes this figure free.
 """
 
 from __future__ import annotations

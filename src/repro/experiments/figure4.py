@@ -3,6 +3,8 @@
 For each application: normalised system energy for the Baseline, Mild,
 Medium and Aggressive configurations (the paper's B/1/2/3 bars), from
 the Section 5.4 model applied to the measured approximation fractions.
+The one measured run per app is store-cached like every other cell, so
+regenerating this figure against a warm run store simulates nothing.
 """
 
 from __future__ import annotations

@@ -2,6 +2,12 @@
 
 For each application: mean QoS error over N fault seeds (the paper
 averages 20 runs) under Mild, Medium and Aggressive.
+
+Each (app, level, fault_seed) cell is one
+:class:`~repro.experiments.runkey.RunKey`; with a persistent run store
+active (:mod:`repro.store`), cells completed by an earlier — possibly
+interrupted — campaign are served from disk with bit-identical floats,
+so only the missing cells are simulated.
 """
 
 from __future__ import annotations

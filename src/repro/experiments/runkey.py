@@ -1,0 +1,176 @@
+"""RunKey: the canonical identity of one simulated execution.
+
+Every artifact of the evaluation — Figure 3/4/5 cells, Table 2/3 rows,
+sensitivity and ablation sweeps — is ultimately one or more executions
+of ``(app, config, fault_seed, workload_seed)``.  Before this module
+that tuple was threaded ad hoc through :func:`~repro.experiments.
+harness.run_app` keyword lists, :class:`~repro.experiments.executor.
+Job` grids and :mod:`repro.observability.runner`.  A :class:`RunKey`
+names the tuple once, and doubles as the cache key of the persistent
+run store (:mod:`repro.store`):
+
+* :attr:`RunKey.digest` is a canonical SHA-256 over the *content* that
+  determines the run — app name + source digest, entry point, resolved
+  workload arguments, the full :class:`~repro.hardware.config.
+  HardwareConfig` parameter set (its cosmetic ``name`` excluded), both
+  seeds, and the key-schema version.  Editing an app's source or any
+  config parameter therefore changes the digest, which is the store's
+  entire invalidation story: stale entries simply never match again.
+* Deterministic across processes and machines: digests involve only
+  file bytes and canonical JSON, never object ids or wall-clock time.
+
+Old keyword signatures (``run_app(spec, config, fault_seed=...,
+workload_seed=...)``) keep working as thin wrappers that build a
+RunKey internally; new code should construct keys directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Tuple
+
+from repro.apps import AppSpec, load_sources
+from repro.hardware.config import BASELINE, HardwareConfig
+
+__all__ = [
+    "RunKey",
+    "KEY_SCHEMA_VERSION",
+    "source_digest",
+    "config_fingerprint",
+    "config_digest",
+]
+
+#: Version of the digest material layout.  Bump whenever the fields
+#: folded into :attr:`RunKey.digest` change meaning — every previously
+#: stored entry then misses, which is exactly the safe behaviour.
+KEY_SCHEMA_VERSION = 1
+
+# Source digests are memoised per (name, module layout): hashing file
+# bytes is cheap but campaigns compute millions of keys.
+_SOURCE_DIGESTS: Dict[Tuple, str] = {}
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def source_digest(spec: AppSpec) -> str:
+    """SHA-256 over the app's module names and file contents."""
+    memo_key = (spec.name, tuple(sorted(spec.source_paths().items())))
+    cached = _SOURCE_DIGESTS.get(memo_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for module, source in sorted(load_sources(spec).items()):
+        digest.update(module.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.encode("utf-8"))
+        digest.update(b"\x00")
+    value = digest.hexdigest()
+    _SOURCE_DIGESTS[memo_key] = value
+    return value
+
+
+def config_fingerprint(config: HardwareConfig) -> Dict[str, object]:
+    """The config's semantic parameters as a JSON-safe dict.
+
+    The cosmetic ``name`` is excluded: two configs with identical fault
+    and savings parameters are the same hardware, whatever they are
+    called, and content addressing should treat them as one.  Floats
+    pass through ``repr`` via JSON, so the fingerprint is exact.
+    """
+    fields = dataclasses.asdict(config)
+    fields.pop("name")
+    fields["error_mode"] = config.error_mode.value
+    return fields
+
+
+def config_digest(config: HardwareConfig) -> str:
+    """SHA-256 of the config fingerprint (memoised; configs are frozen)."""
+    cached = _CONFIG_DIGESTS.get(config)
+    if cached is None:
+        cached = hashlib.sha256(
+            _canonical_json(config_fingerprint(config)).encode("utf-8")
+        ).hexdigest()
+        _CONFIG_DIGESTS[config] = cached
+    return cached
+
+
+_CONFIG_DIGESTS: Dict[HardwareConfig, str] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class RunKey:
+    """The full identity of one simulated execution.
+
+    ``fault_seed`` seeds the hardware fault injection; ``workload_seed``
+    selects the input data (both runs of a QoS comparison share it).
+    """
+
+    spec: AppSpec
+    config: HardwareConfig
+    fault_seed: int = 0
+    workload_seed: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def workload_args(self) -> Tuple:
+        """The resolved entry arguments for this key's workload seed."""
+        return self.spec.workload_args(self.workload_seed)
+
+    def precise_reference(self) -> "RunKey":
+        """The baseline run this key's QoS is measured against.
+
+        Fault seed 0 under the no-fault baseline configuration, same
+        workload seed — the exact convention of
+        :func:`repro.experiments.harness.precise_output`.
+        """
+        return RunKey(
+            spec=self.spec,
+            config=BASELINE,
+            fault_seed=0,
+            workload_seed=self.workload_seed,
+        )
+
+    # ------------------------------------------------------------------
+    def digest_material(self) -> Dict[str, object]:
+        """Everything folded into :attr:`digest`, as a JSON-safe dict."""
+        return {
+            "schema": KEY_SCHEMA_VERSION,
+            "app": self.spec.name,
+            "source": source_digest(self.spec),
+            "entry": [self.spec.entry_module, self.spec.entry_function],
+            "args": list(self.workload_args),
+            "qos": self.spec.qos_name,
+            "config": config_fingerprint(self.config),
+            "fault_seed": self.fault_seed,
+            "workload_seed": self.workload_seed,
+        }
+
+    @property
+    def digest(self) -> str:
+        """The canonical content digest (the run store's file name)."""
+        return hashlib.sha256(
+            _canonical_json(self.digest_material()).encode("utf-8")
+        ).hexdigest()
+
+    @property
+    def identity(self) -> str:
+        """Human-readable identity for error messages and logs."""
+        return (
+            f"app={self.spec.name!r} config={self.config.name!r} "
+            f"fault_seed={self.fault_seed} workload_seed={self.workload_seed}"
+        )
+
+    def metadata(self) -> Dict[str, object]:
+        """The store-manifest view of this key (for stats/gc tooling)."""
+        return {
+            "app": self.spec.name,
+            "config": self.config.name,
+            "fault_seed": self.fault_seed,
+            "workload_seed": self.workload_seed,
+            "source_digest": source_digest(self.spec),
+            "config_digest": config_digest(self.config),
+        }

@@ -10,6 +10,10 @@ Two studies from the paper's quality-of-service discussion:
 * **Error modes** — single bit flip and last-value FU errors cause
   significantly less QoS loss than the (most realistic) random-value
   model (the paper reports roughly 25% vs 40%).
+
+Both sweeps share their baseline-reference cells with Figure 5 in the
+persistent run store (config digests identify the ablated configs), so
+a warm store only simulates the mechanism-isolated cells themselves.
 """
 
 from __future__ import annotations

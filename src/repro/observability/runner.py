@@ -54,33 +54,80 @@ class TraceResult:
 
 def traced_run(
     spec,
-    config: HardwareConfig,
+    config: Optional[HardwareConfig] = None,
     fault_seed: int = 0,
     workload_seed: int = 0,
     capacity: Optional[int] = DEFAULT_CAPACITY,
 ) -> TraceResult:
     """Run one app under one config with tracing on; return everything.
 
+    Accepts either the historical ``(spec, config, fault_seed,
+    workload_seed)`` keywords or a single
+    :class:`~repro.experiments.runkey.RunKey` as the first argument.
+
     A fresh :class:`Tracer` (memory ring of ``capacity`` events) is
     built per run, so event ``seq`` numbers always start at zero and
     the result is a pure function of the arguments.
+
+    Traced runs always execute (events cannot be reconstructed from the
+    run store), but when a store is active the run's output, stats and
+    a compact trace *summary* are written through alongside — so a
+    traced cell still warms the campaign cache, and later ``repro
+    cache stats`` can report which cells have been traced.
     """
-    from repro.experiments.harness import run_app
+    from repro.experiments.harness import run_key
+    from repro.experiments.runkey import RunKey
+
+    if isinstance(spec, RunKey):
+        key = spec
+        if config is not None or fault_seed or workload_seed:
+            raise TypeError(
+                "traced_run(RunKey, ...) takes no config or seed arguments; "
+                "they are part of the key"
+            )
+    else:
+        if config is None:
+            raise TypeError("traced_run(spec, ...) requires a HardwareConfig")
+        key = RunKey(
+            spec=spec,
+            config=config,
+            fault_seed=fault_seed,
+            workload_seed=workload_seed,
+        )
 
     sink = MemorySink(capacity)
     tracer = Tracer(sink)
-    result = run_app(spec, config, fault_seed, workload_seed, tracer=tracer)
-    return TraceResult(
-        app=spec.name,
-        config=config.name,
-        fault_seed=fault_seed,
-        workload_seed=workload_seed,
+    result = run_key(key, tracer=tracer)
+    events = tuple(sink.events())
+    trace_result = TraceResult(
+        app=key.spec.name,
+        config=key.config.name,
+        fault_seed=key.fault_seed,
+        workload_seed=key.workload_seed,
         output=result.output,
         stats=result.stats,
         metrics=tracer.metrics,
-        events=tuple(sink.events()),
+        events=events,
         dropped=sink.dropped,
     )
+    _store_trace_summary(key, trace_result)
+    return trace_result
+
+
+def _store_trace_summary(key, trace_result: TraceResult) -> None:
+    """Write a traced run through the active store, summary attached."""
+    from repro.store import active_store
+
+    store = active_store()
+    if store is None:
+        return
+    counters = trace_result.metrics.as_dict()["counters"]
+    summary = {
+        "events": len(trace_result.events),
+        "dropped": trace_result.dropped,
+        "counters": {kind: count for kind, count in counters.items() if count},
+    }
+    store.put(key, trace_result.output, trace_result.stats, trace_summary=summary)
 
 
 def traced_runs(

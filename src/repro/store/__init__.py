@@ -1,0 +1,104 @@
+"""Persistent run store + resumable campaign layer (see `store.py`).
+
+The store is *opt-in* and process-wide: exactly one :class:`RunStore`
+may be active at a time.  When one is active, the experiment harness
+writes every completed run through it and serves repeats from it, so
+campaign drivers transparently skip already-completed cells and an
+interrupted campaign resumes exactly where it stopped.
+
+Typical programmatic use::
+
+    from repro import store
+
+    with store.activated(".repro-cache"):
+        figure5_rows(jobs=4)       # cells cached / served transparently
+
+The CLI equivalents are ``repro experiments ... --cache-dir/--resume``
+and the ``repro cache {stats,gc,verify}`` maintenance commands.  No
+store is active by default, so library behaviour is unchanged unless a
+caller (or the CLI) opts in.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.store.codec import UnsupportedValue
+from repro.store.store import (
+    STORE_SCHEMA_VERSION,
+    GCResult,
+    RunStore,
+    StoreEntry,
+    StoreError,
+    StoreStats,
+    current_suite_digests,
+)
+
+__all__ = [
+    "RunStore",
+    "StoreEntry",
+    "StoreStats",
+    "GCResult",
+    "StoreError",
+    "UnsupportedValue",
+    "STORE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "active_store",
+    "set_active_store",
+    "configure",
+    "reset_active_store",
+    "activated",
+    "current_suite_digests",
+]
+
+#: Where the CLI keeps its cache unless told otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_ACTIVE: Optional[RunStore] = None
+
+
+def active_store() -> Optional[RunStore]:
+    """The process-wide store consulted by the harness (or ``None``)."""
+    return _ACTIVE
+
+
+def set_active_store(store: Optional[RunStore]) -> Optional[RunStore]:
+    """Install ``store`` as the active store; returns the previous one.
+
+    The previous store is *not* closed — callers that want to restore
+    it later (see :func:`activated`) own its lifecycle.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+def configure(cache_dir: str, create: bool = True) -> RunStore:
+    """Open (creating if needed) a store at ``cache_dir`` and activate it."""
+    store = RunStore(cache_dir, create=create)
+    previous = set_active_store(store)
+    if previous is not None and previous is not store:
+        previous.close()
+    return store
+
+
+def reset_active_store() -> None:
+    """Close and deactivate the active store (harness ``clear_caches``)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None
+
+
+@contextlib.contextmanager
+def activated(cache_dir: str, create: bool = True) -> Iterator[RunStore]:
+    """Context manager: activate a store, restore the previous on exit."""
+    store = RunStore(cache_dir, create=create)
+    previous = set_active_store(store)
+    try:
+        yield store
+    finally:
+        set_active_store(previous)
+        store.close()

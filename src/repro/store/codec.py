@@ -1,0 +1,100 @@
+"""Fidelity-preserving serialization for stored run results.
+
+Plain JSON cannot round-trip Python values bit-identically: tuples
+collapse into lists, dict keys are forced to strings, and ``bytes``
+have no representation at all.  The store's determinism contract —
+a cached campaign replays *byte-identical* outputs — needs exact
+round-trips, so composite values are written in a small tagged form:
+
+====================== =========================================
+Python value           encoded as
+====================== =========================================
+None, bool, int, str   itself
+float                  itself (JSON uses ``repr``: exact round
+                       trip, including -0.0, inf and nan)
+list                   ``{"L": [items]}``
+tuple                  ``{"T": [items]}``
+dict                   ``{"D": [[key, value], ...]}``
+bytes                  ``{"B": "<hex>"}``
+complex                ``{"C": [real, imag]}``
+====================== =========================================
+
+Because *every* dict is encoded as a ``{"D": ...}`` wrapper, the
+single-letter tag keys can never collide with user data.  Anything
+else (arbitrary objects, sets, ...) raises :class:`UnsupportedValue` —
+callers treat that as "this run is not cacheable", never as an error
+that aborts the run itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["encode", "decode", "dumps", "loads", "canonical_dumps", "UnsupportedValue"]
+
+_TAGS = ("L", "T", "D", "B", "C")
+
+
+class UnsupportedValue(TypeError):
+    """A value outside the codec's exact-round-trip domain."""
+
+
+def encode(value):
+    """Translate ``value`` into the tagged JSON-safe representation."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, list):
+        return {"L": [encode(item) for item in value]}
+    if isinstance(value, tuple):
+        return {"T": [encode(item) for item in value]}
+    if isinstance(value, dict):
+        return {"D": [[encode(key), encode(item)] for key, item in value.items()]}
+    if isinstance(value, (bytes, bytearray)):
+        return {"B": bytes(value).hex()}
+    if isinstance(value, complex):
+        return {"C": [value.real, value.imag]}
+    raise UnsupportedValue(
+        f"cannot store a {type(value).__name__} value bit-identically"
+    )
+
+
+def decode(value):
+    """Invert :func:`encode`; raises ``ValueError`` on malformed input."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, dict):
+        if len(value) != 1:
+            raise ValueError(f"malformed tagged value: {value!r}")
+        tag, payload = next(iter(value.items()))
+        if tag == "L":
+            return [decode(item) for item in payload]
+        if tag == "T":
+            return tuple(decode(item) for item in payload)
+        if tag == "D":
+            return {decode(key): decode(item) for key, item in payload}
+        if tag == "B":
+            return bytes.fromhex(payload)
+        if tag == "C":
+            return complex(payload[0], payload[1])
+        raise ValueError(f"unknown codec tag {tag!r}")
+    raise ValueError(f"malformed stored value: {value!r}")
+
+
+def dumps(value) -> str:
+    """Encode and serialise in one step."""
+    return json.dumps(encode(value))
+
+
+def loads(text: str):
+    """Parse and decode in one step."""
+    return decode(json.loads(text))
+
+
+def canonical_dumps(value) -> str:
+    """Deterministic serialisation (sorted keys, no whitespace).
+
+    Used for checksummable payload material; ``nan`` is permitted (it
+    serialises as the JSON-extension token ``NaN``, which ``json.loads``
+    parses back exactly).
+    """
+    return json.dumps(encode(value), sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,425 @@
+"""The persistent, content-addressed run-result store.
+
+Layout under the store root (default ``.repro-cache/``)::
+
+    manifest.json              {"store_schema": 1, "key_schema": 1}
+    objects/<dd>/<digest>.json one entry per completed run
+
+``<digest>`` is :attr:`repro.experiments.runkey.RunKey.digest` — a
+canonical SHA-256 over app name + source digest, the resolved workload
+arguments, the full hardware-config parameter set, both seeds, and the
+key-schema version.  ``<dd>`` is its first two hex digits (256-way
+sharding keeps directory listings cheap at campaign scale).
+
+Each entry file holds one JSON object::
+
+    {
+      "v": 1,                    # entry-schema version
+      "digest": "<key digest>",  # self-describing for verify/gc
+      "key": {...},              # human-readable key metadata
+      "output": <tagged value>,  # repro.store.codec encoding
+      "stats": {...},            # RunStats counters
+      "trace_summary": null|{...},
+      "payload_sha256": "..."    # checksum over output+stats
+    }
+
+Guarantees:
+
+* **Bit-identical round trips** — outputs go through the tagged codec
+  (tuples stay tuples, floats round-trip via ``repr``), stats rebuild
+  into the exact :class:`~repro.runtime.stats.RunStats`.
+* **Crash safety** — entries are written to a temporary file and
+  published with ``os.replace``; a campaign killed mid-write leaves at
+  worst an orphaned ``*.tmp`` file, never a readable-but-wrong entry.
+  Readers treat undecodable or checksum-failing entries as misses.
+* **Invalidation by construction** — a source or config change yields
+  a different digest, so stale entries are never *returned*; they only
+  occupy disk until :meth:`RunStore.gc` collects them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.runtime.stats import RunStats
+from repro.store import codec
+
+__all__ = [
+    "RunStore",
+    "StoreEntry",
+    "StoreStats",
+    "GCResult",
+    "StoreError",
+    "STORE_SCHEMA_VERSION",
+]
+
+#: Version of the entry-file layout (independent of the key schema,
+#: which is folded into the digest itself).
+STORE_SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_OBJECTS = "objects"
+
+
+class StoreError(Exception):
+    """The store root exists but is not a usable run store."""
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One cached run, decoded: everything ``run_app`` would return."""
+
+    output: object
+    stats: RunStats
+    trace_summary: Optional[dict] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view for ``repro cache stats``."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    per_app: Dict[str, int]
+    with_trace_summary: int
+    store_schema: int
+    key_schema: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GCResult:
+    """Outcome of a garbage-collection pass."""
+
+    removed: int
+    kept: int
+    reclaimed_bytes: int
+
+
+def _payload_checksum(encoded_output, stats_dict) -> str:
+    material = json.dumps(
+        {"output": encoded_output, "stats": stats_dict},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class RunStore:
+    """A content-addressed, sharded, crash-safe run-result store."""
+
+    def __init__(self, root: str, create: bool = True) -> None:
+        from repro.experiments.runkey import KEY_SCHEMA_VERSION
+
+        self.root = os.path.abspath(root)
+        self._objects = os.path.join(self.root, _OBJECTS)
+        self._memo: Dict[str, StoreEntry] = {}
+        self._closed = False
+        manifest_path = os.path.join(self.root, _MANIFEST)
+        if os.path.isfile(manifest_path):
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+                self._manifest = dict(manifest)
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"{self.root}: unreadable store manifest: {exc}"
+                ) from exc
+            if self._manifest.get("store_schema") != STORE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"{self.root}: store schema "
+                    f"{self._manifest.get('store_schema')!r} is not the "
+                    f"supported version {STORE_SCHEMA_VERSION}"
+                )
+        elif create:
+            self._manifest = {
+                "store_schema": STORE_SCHEMA_VERSION,
+                "key_schema": KEY_SCHEMA_VERSION,
+            }
+            os.makedirs(self._objects, exist_ok=True)
+            self._atomic_write(
+                manifest_path, json.dumps(self._manifest, sort_keys=True) + "\n"
+            )
+        else:
+            raise StoreError(f"{self.root}: no run store here (no {_MANIFEST})")
+
+    # ------------------------------------------------------------------
+    # Paths and low-level IO
+    # ------------------------------------------------------------------
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self._objects, digest[:2], f"{digest}.json")
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"{self.root}: store is closed")
+
+    # ------------------------------------------------------------------
+    # The content-addressed API
+    # ------------------------------------------------------------------
+    def get(self, key) -> Optional[StoreEntry]:
+        """The cached entry for a :class:`RunKey`, or ``None`` on miss.
+
+        Undecodable, checksum-failing or schema-mismatched entries are
+        misses — a corrupted cache degrades to recomputation, never to
+        wrong results.
+        """
+        self._check_open()
+        digest = key.digest
+        entry = self._memo.get(digest)
+        if entry is not None:
+            return entry
+        payload = self._read_payload(self._entry_path(digest))
+        if payload is None:
+            return None
+        entry = self._decode_entry(payload, expect_digest=digest)
+        if entry is not None:
+            self._memo[digest] = entry
+        return entry
+
+    def put(
+        self,
+        key,
+        output,
+        stats: RunStats,
+        trace_summary: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Persist one completed run; returns its digest.
+
+        Returns ``None`` (and stores nothing) when the output falls
+        outside the codec's exact-round-trip domain — an uncacheable
+        run is not an error.  Re-putting an existing digest overwrites
+        with identical content (runs are pure functions of their key),
+        except that an existing trace summary is preserved when the new
+        write carries none.
+        """
+        self._check_open()
+        try:
+            encoded_output = codec.encode(output)
+        except codec.UnsupportedValue:
+            return None
+        digest = key.digest
+        if trace_summary is None:
+            existing = self._memo.get(digest)
+            if existing is None:
+                payload = self._read_payload(self._entry_path(digest))
+                if payload is not None:
+                    existing = self._decode_entry(payload, expect_digest=digest)
+            if existing is not None and existing.trace_summary is not None:
+                trace_summary = existing.trace_summary
+        stats_dict = dataclasses.asdict(stats)
+        payload = {
+            "v": STORE_SCHEMA_VERSION,
+            "digest": digest,
+            "key": key.metadata(),
+            "output": encoded_output,
+            "stats": stats_dict,
+            "trace_summary": trace_summary,
+            "payload_sha256": _payload_checksum(encoded_output, stats_dict),
+        }
+        self._atomic_write(self._entry_path(digest), json.dumps(payload) + "\n")
+        self._memo[digest] = StoreEntry(
+            output=output, stats=stats, trace_summary=trace_summary
+        )
+        return digest
+
+    def contains(self, key) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_payload(path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _decode_entry(
+        payload: dict, expect_digest: Optional[str] = None
+    ) -> Optional[StoreEntry]:
+        if payload.get("v") != STORE_SCHEMA_VERSION:
+            return None
+        if expect_digest is not None and payload.get("digest") != expect_digest:
+            return None
+        try:
+            stats_dict = payload["stats"]
+            checksum = _payload_checksum(payload["output"], stats_dict)
+            if checksum != payload.get("payload_sha256"):
+                return None
+            output = codec.decode(payload["output"])
+            stats = RunStats(**stats_dict)
+        except (KeyError, TypeError, ValueError):
+            return None
+        summary = payload.get("trace_summary")
+        if summary is not None and not isinstance(summary, dict):
+            return None
+        return StoreEntry(output=output, stats=stats, trace_summary=summary)
+
+    # ------------------------------------------------------------------
+    # Maintenance: stats / verify / gc
+    # ------------------------------------------------------------------
+    def _iter_entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self._objects):
+            return
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def stats(self) -> StoreStats:
+        """Aggregate entry counts and sizes (``repro cache stats``)."""
+        self._check_open()
+        entries = 0
+        total_bytes = 0
+        with_summary = 0
+        per_app: Dict[str, int] = {}
+        for path in self._iter_entry_paths():
+            payload = self._read_payload(path)
+            if payload is None:
+                continue
+            entries += 1
+            total_bytes += os.path.getsize(path)
+            app = (payload.get("key") or {}).get("app", "<unknown>")
+            per_app[app] = per_app.get(app, 0) + 1
+            if payload.get("trace_summary") is not None:
+                with_summary += 1
+        return StoreStats(
+            root=self.root,
+            entries=entries,
+            total_bytes=total_bytes,
+            per_app=per_app,
+            with_trace_summary=with_summary,
+            store_schema=self._manifest.get("store_schema", STORE_SCHEMA_VERSION),
+            key_schema=self._manifest.get("key_schema", 0),
+        )
+
+    def verify(self) -> List[str]:
+        """Re-check every entry; returns a list of problem descriptions.
+
+        An empty list means every entry decodes, its checksum matches,
+        and its file name agrees with its self-declared digest.
+        """
+        self._check_open()
+        problems: List[str] = []
+        for path in self._iter_entry_paths():
+            name = os.path.basename(path)[: -len(".json")]
+            payload = self._read_payload(path)
+            if payload is None:
+                problems.append(f"{name}: unreadable or not JSON")
+                continue
+            if payload.get("digest") != name:
+                problems.append(
+                    f"{name}: file name does not match stored digest "
+                    f"{payload.get('digest')!r}"
+                )
+                continue
+            if self._decode_entry(payload, expect_digest=name) is None:
+                problems.append(f"{name}: schema/checksum mismatch or undecodable")
+        return problems
+
+    def gc(
+        self,
+        current_digests: Optional[Dict[str, str]] = None,
+        all_entries: bool = False,
+    ) -> GCResult:
+        """Remove stale entries; returns what was reclaimed.
+
+        ``current_digests`` maps app name -> current source digest
+        (defaults to the registered suite).  An entry is stale when it
+        is unreadable, uses an old entry schema, or belongs to a known
+        app whose sources have changed since the entry was written.
+        Entries for apps the registry does not know (e.g. test-local
+        specs) are kept unless ``all_entries`` wipes everything.
+        """
+        self._check_open()
+        if current_digests is None:
+            current_digests = current_suite_digests()
+        removed = 0
+        kept = 0
+        reclaimed = 0
+        for path in self._iter_entry_paths():
+            size = os.path.getsize(path)
+            if all_entries:
+                stale = True
+            else:
+                payload = self._read_payload(path)
+                if payload is None or payload.get("v") != STORE_SCHEMA_VERSION:
+                    stale = True
+                else:
+                    key_meta = payload.get("key") or {}
+                    app = key_meta.get("app")
+                    current = current_digests.get(app)
+                    stale = (
+                        current is not None
+                        and key_meta.get("source_digest") != current
+                    )
+            if stale:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    kept += 1
+                    continue
+                removed += 1
+                reclaimed += size
+            else:
+                kept += 1
+        self._memo.clear()
+        return GCResult(removed=removed, kept=kept, reclaimed_bytes=reclaimed)
+
+    # ------------------------------------------------------------------
+    def clear_memo(self) -> None:
+        """Drop the in-process decoded-entry memo (disk is untouched)."""
+        self._memo.clear()
+
+    def close(self) -> None:
+        """Mark the handle unusable (the on-disk store stays valid)."""
+        self._memo.clear()
+        self._closed = True
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"RunStore({self.root!r}, {state})"
+
+
+def current_suite_digests() -> Dict[str, str]:
+    """App name -> current source digest for the registered suite."""
+    from repro.apps import ALL_APPS
+    from repro.experiments.runkey import source_digest
+
+    return {spec.name: source_digest(spec) for spec in ALL_APPS}

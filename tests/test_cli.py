@@ -179,6 +179,13 @@ class TestTraceReportCommand:
 
 
 class TestExperimentsCommand:
+    @pytest.fixture(autouse=True)
+    def isolated_cwd(self, tmp_path, monkeypatch):
+        # `experiments` keeps a run store under ./.repro-cache by
+        # default; run from a scratch directory so tests never write
+        # into the repository.
+        monkeypatch.chdir(tmp_path)
+
     def test_table2(self, capsys):
         assert main(["experiments", "table2"]) == 0
         assert "10^-5" in capsys.readouterr().out

@@ -1,0 +1,194 @@
+"""Tests for the RunKey API: canonical digests, invalidation triggers,
+the explicit workload-seed slot on AppSpec, and the backward-compatible
+keyword wrappers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import Job, RunKey, harness
+from repro.experiments.runkey import config_digest, config_fingerprint, source_digest
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, ErrorMode
+
+MC = dataclasses.replace(
+    app_by_name("montecarlo"), name="MC@runkey-test", default_args=(400, 0)
+)
+
+
+def _write_app(tmp_path, body, name="tinyapp"):
+    """A minimal on-disk EnerPy app whose source the test controls."""
+    path = tmp_path / f"{name}.py"
+    path.write_text(body)
+    spec = app_by_name("montecarlo")
+    return dataclasses.replace(
+        spec,
+        name=f"Tiny@{name}",
+        # source_paths() joins against the apps dir; an absolute path
+        # survives the join unchanged, so tests can point anywhere.
+        module_files={"tiny": str(path)},
+        entry_module="tiny",
+        entry_function="main",
+        default_args=(3, 0),
+    )
+
+
+TINY_SOURCE = """
+def main(n: int, seed: int) -> float:
+    total = 0.0
+    for i in range(n):
+        total = total + i + seed
+    return total
+"""
+
+
+class TestDigest:
+    def test_deterministic_across_instances(self):
+        a = RunKey(spec=MC, config=MEDIUM, fault_seed=3, workload_seed=1)
+        b = RunKey(spec=MC, config=MEDIUM, fault_seed=3, workload_seed=1)
+        assert a is not b
+        assert a.digest == b.digest
+        assert len(a.digest) == 64
+        assert set(a.digest) <= set("0123456789abcdef")
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"fault_seed": 4},
+            {"workload_seed": 2},
+            {"config": AGGRESSIVE},
+        ],
+    )
+    def test_each_component_changes_digest(self, change):
+        base = RunKey(spec=MC, config=MEDIUM, fault_seed=3, workload_seed=1)
+        changed = dataclasses.replace(base, **change)
+        assert base.digest != changed.digest
+
+    def test_default_args_change_digest(self):
+        smaller = dataclasses.replace(MC, default_args=(200, 0))
+        a = RunKey(spec=MC, config=MEDIUM)
+        b = RunKey(spec=smaller, config=MEDIUM)
+        assert a.digest != b.digest
+
+    def test_source_change_changes_digest(self, tmp_path):
+        spec = _write_app(tmp_path, TINY_SOURCE)
+        before = RunKey(spec=spec, config=MEDIUM).digest
+        (tmp_path / "tinyapp.py").write_text(TINY_SOURCE + "\n# edited\n")
+        edited = dataclasses.replace(spec, name="Tiny@edited")
+        after = RunKey(spec=edited, config=MEDIUM).digest
+        assert before != after
+
+    def test_config_name_is_cosmetic(self):
+        renamed = dataclasses.replace(MEDIUM, name="medium-renamed")
+        a = RunKey(spec=MC, config=MEDIUM)
+        b = RunKey(spec=MC, config=renamed)
+        assert a.digest == b.digest
+
+    def test_error_mode_is_semantic(self):
+        flipped = MEDIUM.with_error_mode(ErrorMode.SINGLE_BIT_FLIP)
+        assert (
+            RunKey(spec=MC, config=MEDIUM).digest
+            != RunKey(spec=MC, config=flipped).digest
+        )
+
+    def test_precise_reference(self):
+        key = RunKey(spec=MC, config=AGGRESSIVE, fault_seed=7, workload_seed=2)
+        reference = key.precise_reference()
+        assert reference.config == BASELINE
+        assert reference.fault_seed == 0
+        assert reference.workload_seed == 2
+        assert reference.spec is key.spec
+
+    def test_metadata_names_digests(self):
+        key = RunKey(spec=MC, config=MEDIUM, fault_seed=1)
+        meta = key.metadata()
+        assert meta["app"] == MC.name
+        assert meta["source_digest"] == source_digest(MC)
+        assert meta["config_digest"] == config_digest(MEDIUM)
+
+    def test_config_fingerprint_excludes_name(self):
+        fingerprint = config_fingerprint(MEDIUM)
+        assert "name" not in fingerprint
+        assert fingerprint["error_mode"] == "random"
+
+
+class TestSeedSlot:
+    def test_all_registered_apps_declare_their_slot(self):
+        from repro.apps import ALL_APPS
+
+        for spec in ALL_APPS:
+            assert spec.workload_seed_index == len(spec.default_args) - 1
+            assert spec.workload_args(99)[spec.seed_slot] == 99
+
+    def test_workload_args_replaces_declared_slot(self):
+        spec = dataclasses.replace(MC, default_args=(7, 400), workload_seed_index=0)
+        assert spec.workload_args(5) == (5, 400)
+
+    def test_negative_index_counts_from_end(self):
+        assert MC.workload_seed_index == 1  # set explicitly in the registry
+        legacy = dataclasses.replace(MC, workload_seed_index=-1)
+        assert legacy.seed_slot == 1
+        assert legacy.workload_args(9) == (400, 9)
+
+    def test_empty_default_args_rejected(self):
+        with pytest.raises(ValueError, match="workload-seed slot"):
+            dataclasses.replace(MC, default_args=())
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            dataclasses.replace(MC, workload_seed_index=2)
+
+    def test_non_int_seed_default_rejected(self):
+        with pytest.raises(ValueError, match="must default to an int"):
+            dataclasses.replace(MC, default_args=(400, 1.5))
+
+    def test_bool_seed_default_rejected(self):
+        with pytest.raises(ValueError, match="must default to an int"):
+            dataclasses.replace(MC, default_args=(400, True))
+
+    def test_harness_workload_args_delegates(self):
+        assert harness._workload_args(MC, 3) == MC.workload_args(3)
+
+
+class TestCompatWrappers:
+    def test_run_app_accepts_runkey(self):
+        key = RunKey(spec=MC, config=BASELINE, workload_seed=1)
+        via_key = harness.run_app(key)
+        via_kwargs = harness.run_app(MC, BASELINE, 0, 1)
+        assert via_key.output == via_kwargs.output
+        assert via_key.stats == via_kwargs.stats
+
+    def test_run_app_rejects_key_plus_config(self):
+        key = RunKey(spec=MC, config=BASELINE)
+        with pytest.raises(TypeError, match="part of the key"):
+            harness.run_app(key, BASELINE)
+
+    def test_run_app_requires_config_for_spec(self):
+        with pytest.raises(TypeError, match="requires a HardwareConfig"):
+            harness.run_app(MC)
+
+    def test_qos_error_accepts_runkey(self):
+        key = RunKey(spec=MC, config=MEDIUM, fault_seed=2)
+        assert harness.qos_error(key) == harness.qos_error(MC, MEDIUM, 2, 0)
+
+    def test_job_key_round_trip(self):
+        job = Job(spec=MC, config=MEDIUM, fault_seed=5, workload_seed=1, task="stats")
+        key = job.key
+        assert (key.spec, key.config, key.fault_seed, key.workload_seed) == (
+            MC,
+            MEDIUM,
+            5,
+            1,
+        )
+        rebuilt = Job.from_key(key, task="stats")
+        assert rebuilt == job
+
+    def test_traced_run_accepts_runkey(self):
+        from repro.observability.runner import traced_run
+
+        key = RunKey(spec=MC, config=MEDIUM, fault_seed=1)
+        via_key = traced_run(key)
+        via_kwargs = traced_run(MC, MEDIUM, 1, 0)
+        assert via_key.output == via_kwargs.output
+        assert via_key.events == via_kwargs.events

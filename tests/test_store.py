@@ -1,0 +1,433 @@
+"""Tests for the persistent run store.
+
+Pins the tentpole guarantees: bit-identical round trips (codec and
+whole entries), invalidation on source/config digest change, crash-safe
+corruption handling, harness write-through and cache-hit behaviour,
+``clear_caches()`` closing the active store, gc/verify/stats
+maintenance, and the ``repro cache`` CLI surface.
+"""
+
+import dataclasses
+import json
+import math
+import os
+
+import pytest
+
+from repro import store as store_mod
+from repro.apps import app_by_name
+from repro.cli import main
+from repro.experiments import RunKey, harness
+from repro.hardware.config import MEDIUM, MILD
+from repro.runtime.stats import RunStats
+from repro.store import RunStore, StoreError, codec
+
+MC = dataclasses.replace(
+    app_by_name("montecarlo"), name="MC@store-test", default_args=(400, 0)
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "cache")) as run_store:
+        yield run_store
+
+
+@pytest.fixture
+def active(store):
+    previous = store_mod.set_active_store(store)
+    yield store
+    store_mod.set_active_store(previous)
+
+
+def _key(config=MEDIUM, fault_seed=1, workload_seed=0, spec=MC):
+    return RunKey(
+        spec=spec, config=config, fault_seed=fault_seed, workload_seed=workload_seed
+    )
+
+
+STATS = RunStats(int_ops_approx=3, fp_ops_precise=7, ticks=42, endorsements=1)
+
+
+class TestCodec:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        10**40,
+        "text",
+        1.5,
+        -0.0,
+        float("inf"),
+        [1, 2, 3],
+        (1, 2, 3),
+        {"a": 1, 2: "b"},
+        {"L": "tag-collision-as-key-value"},
+        b"\x00\xff\x7f",
+        complex(1.5, -2.5),
+        [(1, [2.5, (None,)]), {"deep": {"deeper": (b"x",)}}],
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=[repr(c)[:40] for c in CASES])
+    def test_round_trip_value_and_type(self, value):
+        restored = codec.loads(codec.dumps(value))
+        assert restored == value
+        assert type(restored) is type(value)
+
+    def test_tuple_stays_tuple_inside_list(self):
+        restored = codec.loads(codec.dumps([("a", 1)]))
+        assert isinstance(restored[0], tuple)
+
+    def test_int_and_float_stay_distinct(self):
+        restored = codec.loads(codec.dumps([1, 1.0]))
+        assert type(restored[0]) is int
+        assert type(restored[1]) is float
+
+    def test_nan_round_trips(self):
+        restored = codec.loads(codec.dumps(float("nan")))
+        assert math.isnan(restored)
+
+    def test_float_bit_identity(self):
+        values = [0.1 + 0.2, 1e-323, -0.0, 2**53 + 1.0]
+        restored = codec.loads(codec.dumps(values))
+        assert [v.hex() for v in restored] == [v.hex() for v in values]
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(codec.UnsupportedValue):
+            codec.dumps({"bad": object()})
+
+    def test_malformed_tagged_value_rejected(self):
+        with pytest.raises(ValueError):
+            codec.decode({"X": []})
+        with pytest.raises(ValueError):
+            codec.decode({"L": [], "T": []})
+
+
+class TestRoundTrip:
+    def test_entry_round_trip_is_bit_identical(self, store):
+        key = _key()
+        output = [(1, 2.5), {"pixels": (255, 0, 128)}, float("nan"), -0.0]
+        store.put(key, output, STATS)
+        store.clear_memo()  # force the disk path, not the memo
+        entry = store.get(key)
+        assert entry is not None
+        assert entry.stats == STATS
+        assert isinstance(entry.output[0], tuple)
+        assert math.isnan(entry.output[2])
+        assert entry.output[3].hex() == (-0.0).hex()
+        assert entry.output[:2] == output[:2]
+
+    def test_real_run_round_trip(self, store):
+        key = _key(config=MILD, fault_seed=2)
+        fresh = harness.run_key(key)
+        store.put(key, fresh.output, fresh.stats)
+        store.clear_memo()
+        entry = store.get(key)
+        assert entry.output == fresh.output
+        assert entry.stats == fresh.stats
+
+    def test_miss_returns_none(self, store):
+        assert store.get(_key(fault_seed=999)) is None
+        assert not store.contains(_key(fault_seed=999))
+
+    def test_uncacheable_output_is_skipped_not_fatal(self, store):
+        digest = store.put(_key(), object(), STATS)
+        assert digest is None
+        assert store.get(_key()) is None
+
+    def test_put_preserves_existing_trace_summary(self, store):
+        key = _key()
+        store.put(key, [1], STATS, trace_summary={"events": 5})
+        store.put(key, [1], STATS)  # plain re-put must not drop it
+        store.clear_memo()
+        assert store.get(key).trace_summary == {"events": 5}
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, store):
+        store.put(_key(config=MEDIUM), [1], STATS)
+        assert store.get(_key(config=MILD)) is None
+
+    def test_source_change_misses(self, store, tmp_path):
+        source = tmp_path / "app.py"
+        source.write_text("def main(n, seed):\n    return n + seed\n")
+        spec = dataclasses.replace(
+            MC,
+            name="Tiny@invalidation",
+            module_files={"tiny": str(source)},
+            entry_module="tiny",
+            entry_function="main",
+            default_args=(3, 0),
+        )
+        store.put(_key(spec=spec), [1], STATS)
+        assert store.get(_key(spec=spec)) is not None
+        source.write_text("def main(n, seed):\n    return n - seed\n")
+        edited = dataclasses.replace(spec, name="Tiny@invalidation-edited")
+        assert store.get(_key(spec=edited)) is None
+
+    def test_corrupt_entry_is_a_miss(self, store):
+        key = _key()
+        store.put(key, [1, 2], STATS)
+        store.clear_memo()
+        path = store._entry_path(key.digest)
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert store.get(key) is None
+
+    def test_tampered_payload_fails_checksum(self, store):
+        key = _key()
+        store.put(key, [1, 2], STATS)
+        store.clear_memo()
+        path = store._entry_path(key.digest)
+        payload = json.load(open(path))
+        payload["output"] = {"L": [9, 9]}  # bit-rot / manual edit
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert store.get(key) is None
+        problems = store.verify()
+        assert len(problems) == 1 and "checksum" in problems[0]
+
+
+class TestHarnessIntegration:
+    def test_write_through_and_hit(self, active):
+        key = _key(fault_seed=3)
+        first = harness.run_key(key)
+        assert active.contains(key)
+        second = harness.run_key(key)
+        assert second.output == first.output
+        assert second.stats == first.stats
+
+    def test_hit_equals_fresh_run_without_store(self, active):
+        key = _key(fault_seed=4)
+        cached = harness.run_key(key)
+        cached_again = harness.run_key(key)
+        store_mod.set_active_store(None)
+        try:
+            fresh = harness.run_key(key)
+        finally:
+            store_mod.set_active_store(active)
+        assert cached_again.output == cached.output == fresh.output
+        assert cached_again.stats == cached.stats == fresh.stats
+
+    def test_args_override_bypasses_store(self, active):
+        key = _key(fault_seed=5)
+        harness.run_key(key, args=(100, 0))
+        assert not active.contains(key)
+
+    def test_tracer_bypasses_plain_lookup(self, active):
+        # traced_run writes through (with a summary) via the runner,
+        # but run_key itself must not serve a traced request from cache.
+        from repro.observability.sink import MemorySink
+        from repro.observability.tracer import Tracer
+
+        key = _key(config=MEDIUM, fault_seed=6)
+        plain = harness.run_key(key)
+        traced = harness.run_key(key, tracer=Tracer(MemorySink()))
+        assert traced.output == plain.output
+        assert traced.stats == plain.stats
+
+    def test_qos_error_identical_with_and_without_store(self, active):
+        key = _key(config=MEDIUM, fault_seed=7)
+        with_store = harness.qos_error(key)
+        warm = harness.qos_error(key)
+        store_mod.set_active_store(None)
+        harness._PRECISE_CACHE.clear()
+        try:
+            without = harness.qos_error(key)
+        finally:
+            store_mod.set_active_store(active)
+        assert with_store == warm == without
+
+    def test_traced_run_stores_summary(self, active):
+        from repro.observability.runner import traced_run
+
+        key = _key(config=MEDIUM, fault_seed=8)
+        result = traced_run(key)
+        active.clear_memo()
+        entry = active.get(key)
+        assert entry is not None
+        assert entry.output == result.output
+        assert entry.trace_summary is not None
+        assert entry.trace_summary["events"] == len(result.events)
+        assert entry.trace_summary["dropped"] == result.dropped
+
+    def test_clear_caches_closes_active_store(self, store):
+        previous = store_mod.set_active_store(store)
+        try:
+            harness.clear_caches()
+            assert store_mod.active_store() is None
+            with pytest.raises(StoreError, match="closed"):
+                store.get(_key())
+        finally:
+            store_mod.set_active_store(previous)
+
+
+class TestExecutorResume:
+    def test_parallel_grid_served_from_store(self, active):
+        from repro.experiments.executor import Job, run_jobs
+
+        jobs = [
+            Job(spec=MC, config=config, fault_seed=seed)
+            for config in (MILD, MEDIUM)
+            for seed in (1, 2)
+        ]
+        serial = run_jobs(jobs)  # fills the store via the harness
+        for job in jobs:
+            assert active.contains(job.key)
+        # All cells cached -> the "parallel" call must resolve without
+        # ever building a pool (workers=64 would otherwise be absurd).
+        warm = run_jobs(jobs, workers=64)
+        assert warm == serial
+
+    def test_partial_store_mixes_cached_and_fresh(self, active):
+        from repro.experiments.executor import Job, run_jobs
+
+        jobs = [Job(spec=MC, config=MEDIUM, fault_seed=seed) for seed in (1, 2, 3)]
+        run_jobs([jobs[0]])  # cache exactly one cell
+        mixed = run_jobs(jobs, workers=2)
+        store_mod.set_active_store(None)
+        harness._PRECISE_CACHE.clear()
+        try:
+            fresh = run_jobs(jobs)
+        finally:
+            store_mod.set_active_store(active)
+        assert mixed == fresh
+
+
+class TestMaintenance:
+    def _populate(self, store, seeds=(1, 2, 3)):
+        for seed in seeds:
+            key = _key(fault_seed=seed)
+            store.put(key, [seed, (seed, 2.5)], STATS)
+
+    def test_stats_counts_entries(self, store):
+        self._populate(store)
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.per_app == {MC.name: 3}
+        assert stats.total_bytes > 0
+        assert stats.store_schema == store_mod.STORE_SCHEMA_VERSION
+
+    def test_verify_clean_store(self, store):
+        self._populate(store)
+        assert store.verify() == []
+
+    def test_verify_flags_misnamed_entry(self, store):
+        self._populate(store, seeds=(1,))
+        key = _key(fault_seed=1)
+        path = store._entry_path(key.digest)
+        bogus = os.path.join(os.path.dirname(path), "ab" * 32 + ".json")
+        os.rename(path, bogus)
+        problems = store.verify()
+        assert len(problems) == 1 and "does not match" in problems[0]
+
+    def test_gc_keeps_unknown_apps_removes_stale(self, store):
+        self._populate(store, seeds=(1, 2))
+        # An entry whose app IS known to the registry but whose source
+        # digest is outdated must be collected.
+        real = app_by_name("montecarlo")
+        stale_key = _key(spec=real, fault_seed=9)
+        store.put(stale_key, [1], STATS)
+        result = store.gc(
+            current_digests={real.name: "0" * 64}  # pretend sources moved on
+        )
+        assert result.removed == 1
+        assert result.kept == 2
+        assert result.reclaimed_bytes > 0
+        store.clear_memo()
+        assert store.get(stale_key) is None
+        assert store.get(_key(fault_seed=1)) is not None
+
+    def test_gc_all_wipes_everything(self, store):
+        self._populate(store)
+        result = store.gc(all_entries=True)
+        assert result.removed == 3
+        assert store.stats().entries == 0
+
+    def test_gc_against_live_registry_keeps_current_entries(self, store):
+        real = app_by_name("montecarlo")
+        key = _key(spec=real, fault_seed=1)
+        store.put(key, [1], STATS)
+        result = store.gc()  # current digests: nothing is stale
+        assert result.removed == 0
+        assert store.get(key) is not None
+
+    def test_open_missing_store_without_create(self, tmp_path):
+        with pytest.raises(StoreError, match="no run store"):
+            RunStore(str(tmp_path / "nowhere"), create=False)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "cache"
+        RunStore(str(root)).close()
+        manifest = root / "manifest.json"
+        manifest.write_text(json.dumps({"store_schema": 999}))
+        with pytest.raises(StoreError, match="schema"):
+            RunStore(str(root))
+
+
+class TestCacheCLI:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        root = str(tmp_path / "cache")
+        with RunStore(root) as store:
+            for seed in (1, 2):
+                store.put(_key(fault_seed=seed), [seed], STATS)
+        return root
+
+    def test_stats(self, populated, capsys):
+        assert main(["cache", "stats", "--cache-dir", populated]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 2" in out
+        assert MC.name in out
+
+    def test_verify_clean(self, populated, capsys):
+        assert main(["cache", "verify", "--cache-dir", populated]) == 0
+        assert "OK: 2" in capsys.readouterr().out
+
+    def test_verify_corrupt_fails(self, populated, capsys):
+        store = RunStore(populated)
+        path = store._entry_path(_key(fault_seed=1).digest)
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        assert main(["cache", "verify", "--cache-dir", populated]) == 1
+        out = capsys.readouterr().out
+        assert "BAD" in out and "FAILED" in out
+
+    def test_gc_all(self, populated, capsys):
+        assert main(["cache", "gc", "--cache-dir", populated, "--all"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert RunStore(populated).stats().entries == 0
+
+    def test_gc_default_keeps_test_entries(self, populated, capsys):
+        # Apps unknown to the registry (test-local specs) are kept.
+        assert main(["cache", "gc", "--cache-dir", populated]) == 0
+        assert "removed 0, kept 2" in capsys.readouterr().out
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "stats", "--cache-dir", missing]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_experiments_resume_requires_existing_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "table2", "--resume"]) == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_experiments_resume_conflicts_with_no_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "table2", "--resume", "--no-cache"]) == 1
+        assert "contradictory" in capsys.readouterr().err
+
+    def test_experiments_creates_store_by_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "table2"]) == 0
+        assert (tmp_path / ".repro-cache" / "manifest.json").is_file()
+        # ... and a subsequent --resume is now satisfied.
+        assert main(["experiments", "table2", "--resume"]) == 0
+
+    def test_experiments_no_cache_leaves_no_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "table2", "--no-cache"]) == 0
+        assert not (tmp_path / ".repro-cache").exists()

@@ -1,0 +1,171 @@
+"""Kill-and-resume determinism for store-backed campaigns.
+
+The tentpole promise: a campaign interrupted partway through (SIGKILL,
+no cleanup) resumes against the same cache directory and produces rows
+bit-identical to an uninterrupted run — and the row values are the same
+at ``--jobs 1`` and ``--jobs 4``, warm or cold.
+
+The campaign runs in a real subprocess (its own process group, so the
+kill also takes out the pool workers mid-write) over shrunken specs;
+the parent polls the store's object count to time the kill near 50%.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method"),
+]
+
+#: 3 apps x 2 configs x 8 fault seeds = 48 QoS cells (+3 baseline
+#: references) — long enough to interrupt reliably, small enough to
+#: finish in seconds.
+CAMPAIGN_SCRIPT = """
+import dataclasses, json, sys
+
+from repro import store as store_mod
+from repro.apps import app_by_name
+from repro.experiments.executor import Job, run_jobs
+from repro.hardware.config import MEDIUM, MILD
+
+SMALL = [
+    dataclasses.replace(app_by_name("fft"), name="FFT@resume", default_args=(64, 0)),
+    dataclasses.replace(app_by_name("sor"), name="SOR@resume", default_args=(12, 4, 0)),
+    dataclasses.replace(
+        app_by_name("montecarlo"), name="MC@resume", default_args=(2000, 0)
+    ),
+]
+
+def main(cache_dir, jobs):
+    store_mod.configure(cache_dir)
+    grid = [
+        Job(spec=spec, config=config, fault_seed=fault_seed)
+        for spec in SMALL
+        for config in (MILD, MEDIUM)
+        for fault_seed in range(1, 9)
+    ]
+    rows = run_jobs(grid, workers=jobs)
+    print(json.dumps(rows))
+
+if __name__ == "__main__":
+    main(sys.argv[1], int(sys.argv[2]))
+"""
+
+TOTAL_QOS_CELLS = 3 * 2 * 8
+
+
+def _script_path(tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("script") / "campaign.py"
+    path.write_text(CAMPAIGN_SCRIPT)
+    return str(path)
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def _run_campaign(script: str, cache_dir: str, jobs: int):
+    completed = subprocess.run(
+        [sys.executable, script, cache_dir, str(jobs)],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+def _entry_count(cache_dir: str) -> int:
+    objects = os.path.join(cache_dir, "objects")
+    if not os.path.isdir(objects):
+        return 0
+    return sum(
+        1
+        for shard in os.listdir(objects)
+        if os.path.isdir(os.path.join(objects, shard))
+        for name in os.listdir(os.path.join(objects, shard))
+        if name.endswith(".json")
+    )
+
+
+@pytest.fixture(scope="module")
+def script(tmp_path_factory):
+    return _script_path(tmp_path_factory)
+
+
+@pytest.fixture(scope="module")
+def expected_rows(script, tmp_path_factory):
+    """Ground truth: one uninterrupted cold campaign at --jobs 4."""
+    cache = str(tmp_path_factory.mktemp("cold") / "cache")
+    return _run_campaign(script, cache, jobs=4)
+
+
+class TestKillAndResume:
+    def test_sigkill_midway_then_resume_bit_identical(
+        self, script, expected_rows, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        process = subprocess.Popen(
+            [sys.executable, script, cache, "4"],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,  # own group: the kill reaps workers too
+        )
+        deadline = time.monotonic() + 300
+        try:
+            # Kill near 50% completion — mid-campaign, workers mid-write.
+            while process.poll() is None and time.monotonic() < deadline:
+                if _entry_count(cache) >= TOTAL_QOS_CELLS // 2:
+                    os.killpg(process.pid, signal.SIGKILL)
+                    break
+                time.sleep(0.02)
+        finally:
+            process.wait(timeout=60)
+        assert process.returncode != 0, "campaign finished before the kill landed"
+
+        survivors = _entry_count(cache)
+        assert survivors >= TOTAL_QOS_CELLS // 2  # completed cells persisted
+
+        resumed = _run_campaign(script, cache, jobs=4)
+        assert resumed == expected_rows
+        # The resumed run only simulated the missing cells; everything
+        # that survived the kill was reused, not recomputed.
+        assert _entry_count(cache) >= survivors
+
+    def test_warm_rerun_is_identical(self, script, expected_rows, tmp_path_factory):
+        cache = str(tmp_path_factory.mktemp("warm") / "cache")
+        cold = _run_campaign(script, cache, jobs=4)
+        warm = _run_campaign(script, cache, jobs=4)
+        assert cold == expected_rows
+        assert warm == expected_rows
+
+    def test_jobs_1_matches_jobs_4(self, script, expected_rows, tmp_path):
+        cache = str(tmp_path / "cache")
+        serial = _run_campaign(script, cache, jobs=1)
+        assert serial == expected_rows
+
+    def test_serial_resume_of_parallel_remnant(self, script, expected_rows, tmp_path):
+        # A store half-filled by a parallel campaign must serve a serial
+        # one identically (and vice versa — the key has no job count).
+        cache = str(tmp_path / "cache")
+        _run_campaign(script, cache, jobs=4)
+        serial_warm = _run_campaign(script, cache, jobs=1)
+        assert serial_warm == expected_rows
