@@ -1,0 +1,152 @@
+"""Bench: the resident simulation daemon vs a cold ``repro run``.
+
+The service's reason to exist is amortisation: a cold CLI invocation
+pays interpreter start-up, the checker + instrumenter, the precise
+baseline run and the approximate run for *every* query, while the
+daemon pays all of that once at boot and answers subsequent queries
+from warm workers and the run store.
+
+This bench measures both sides honestly:
+
+* **cold** — full ``python -m repro run`` subprocesses on the FFT
+  sources (the exact workflow a script without the daemon would use),
+  averaged over a few invocations;
+* **warm** — per-request latency of ``ServiceClient.submit`` against a
+  resident daemon whose store already holds the queried cells (the
+  steady state of a campaign: every repeated cell is a hit).
+
+The warm path is asserted **>= 5x** faster than the cold one (the
+acceptance bar; in practice a store hit is sub-millisecond against a
+cold run of seconds, so the observed ratio is orders of magnitude
+larger).  Results are recorded in ``extra_info`` and as
+``BENCH_service.json`` at the repository root.
+
+Environment knobs:
+
+* ``REPRO_BENCH_COLD_RUNS`` — cold subprocess invocations (default 2).
+* ``REPRO_BENCH_WARM_RUNS`` — warm submits averaged (default 20).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.apps import app_by_name
+from repro.experiments.harness import clear_caches
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+
+COLD_RUNS = int(os.environ.get("REPRO_BENCH_COLD_RUNS", "2"))
+WARM_RUNS = int(os.environ.get("REPRO_BENCH_WARM_RUNS", "20"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+FFT = app_by_name("fft")
+
+
+def _cold_repro_run(seed: int) -> float:
+    """One full cold CLI simulation; returns its wall-clock seconds."""
+    sources = list(FFT.source_paths().values())
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "run",
+        *sources,
+        "--module",
+        FFT.entry_module,
+        "--entry",
+        FFT.entry_function,
+        "--config",
+        "medium",
+        "--seed",
+        str(seed),
+        "--quiet-output",
+        "--args",
+        *[str(arg) for arg in FFT.default_args],
+    ]
+    t0 = time.perf_counter()
+    completed = subprocess.run(
+        command, capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=600
+    )
+    elapsed = time.perf_counter() - t0
+    assert completed.returncode == 0, completed.stderr
+    return elapsed
+
+
+def test_bench_service_warm_vs_cold_run(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    seeds = list(range(1, WARM_RUNS + 1))
+    try:
+        cold_seconds = sum(_cold_repro_run(seed) for seed in seeds[:COLD_RUNS])
+        cold_mean = cold_seconds / COLD_RUNS
+
+        clear_caches()
+        config = ServiceConfig(
+            port=0, workers=2, warm_apps=("fft",), cache_dir=cache_dir
+        )
+        with SimulationServer(config) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+                # Populate the store (and the daemon's warm state): the
+                # batch misses fan across the worker pool.
+                first_pass = client.submit_batch(
+                    [
+                        {"app": "fft", "config": "medium", "fault_seed": seed}
+                        for seed in seeds
+                    ]
+                )
+                assert all(not result.cached for result in first_pass)
+
+                def warm_pass():
+                    return [
+                        client.submit("fft", "medium", fault_seed=seed)
+                        for seed in seeds
+                    ]
+
+                t0 = time.perf_counter()
+                warm_results = benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+                warm_seconds = time.perf_counter() - t0
+                warm_mean = warm_seconds / len(seeds)
+                hit_ratio = client.metrics()["derived"]["hit_ratio"]
+    finally:
+        clear_caches()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Steady state: every repeated cell is a store hit, and the daemon's
+    # answers agree with the first (executed) pass bit for bit.
+    assert all(result.cached for result in warm_results)
+    assert [r.qos for r in warm_results] == [r.qos for r in first_pass]
+    assert hit_ratio > 0
+
+    speedup = cold_mean / warm_mean if warm_mean else float("inf")
+    results = {
+        "cold_run_seconds_mean": round(cold_mean, 4),
+        "cold_runs": COLD_RUNS,
+        "warm_submit_seconds_mean": round(warm_mean, 6),
+        "warm_submits": len(seeds),
+        "speedup": round(speedup, 1),
+        "hit_ratio": hit_ratio,
+        "answers_identical": True,
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nservice warm submit ({len(seeds)} hits): {warm_mean * 1000:.2f} ms/query, "
+        f"cold `repro run`: {cold_mean:.2f}s -> {speedup:.0f}x"
+    )
+
+    assert speedup >= 5.0, (
+        f"warm daemon submits should be >= 5x faster than cold `repro run`, "
+        f"got {speedup:.2f}x ({cold_mean:.3f}s -> {warm_mean:.3f}s)"
+    )

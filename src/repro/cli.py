@@ -9,6 +9,8 @@ Usage::
     python -m repro trace APP                     # traced run -> JSONL events
     python -m repro trace-report FILE             # summarise a JSONL trace
     python -m repro cache {stats,gc,verify}       # run-store maintenance
+    python -m repro serve                         # simulation daemon
+    python -m repro submit APP                    # query a running daemon
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
 arguments under the chosen configuration, and reports the output plus
@@ -22,6 +24,12 @@ recomputed, an interrupted campaign resumes where it stopped
 (``--resume`` insists a cache exists), and ``--no-cache`` opts out.
 ``cache`` inspects (``stats``), checks (``verify``) or prunes (``gc``)
 that store — see the "Caching & resume" section of ``EXPERIMENTS.md``.
+
+``serve`` boots the long-lived simulation daemon (warm worker pool,
+bounded admission queue, live ``/metrics``; see ``SERVICE.md``), and
+``submit`` sends single or batched QoS queries to a running daemon.
+``experiments --via-service HOST:PORT`` routes a driver's QoS queries
+through the daemon instead of simulating locally.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.energy import MOBILE, SERVER, estimate_energy
 from repro.errors import ReproError, TypeCheckError
 from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
 from repro.runtime import Simulator
+from repro.service.config import DEFAULT_PORT as _DEFAULT_SERVICE_PORT
 
 _CONFIGS = {
     "baseline": BASELINE,
@@ -196,6 +205,18 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_host_port(text: str):
+    """``HOST:PORT`` (or bare ``PORT``) -> (host, port); raises ValueError."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid HOST:PORT {text!r}") from None
+    return host, port
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     import importlib
     import inspect
@@ -213,6 +234,19 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         )
         return 1
 
+    route_client = None
+    if args.via_service:
+        from repro.service import ServiceClient
+        from repro.service.routing import clear_service_route, set_service_route
+
+        try:
+            host, port = _parse_host_port(args.via_service)
+        except ValueError as error:
+            print(f"error: --via-service: {error}", file=sys.stderr)
+            return 1
+        route_client = ServiceClient(host, port)
+        set_service_route(route_client)
+
     module = importlib.import_module(f"repro.experiments.{args.name}")
     store = None if args.no_cache else run_store.configure(args.cache_dir)
     try:
@@ -227,8 +261,134 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         else:
             module.main()
     finally:
+        if route_client is not None:
+            clear_service_route()
+            route_client.close()
         if store is not None:
             run_store.reset_active_store()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.service import ServiceConfig, SimulationServer
+
+    if args.warm_apps == "none":
+        warm_apps = ()
+    else:
+        warm_apps = tuple(name.strip() for name in args.warm_apps.split(",") if name.strip())
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_bound=args.queue_bound,
+            default_deadline_ms=args.default_deadline_ms,
+            drain_timeout_s=args.drain_timeout,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            warm_apps=warm_apps,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.dump_config:
+        print(json.dumps(config.as_dict(), indent=2, sort_keys=True))
+        return 0
+
+    server = SimulationServer(config)
+    host, port = server.start()
+    print(
+        f"repro-serve: listening on {host}:{port} "
+        f"({config.workers} workers, queue bound {config.queue_bound}, "
+        f"store {config.cache_dir or 'disabled'})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        server.initiate_drain()
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    stop.wait()
+    print("repro-serve: draining...", flush=True)
+    drained = server.drain()
+    server.stop()
+    if not drained:
+        print("repro-serve: drain timed out; some requests were abandoned", flush=True)
+        return 1
+    print("repro-serve: drained cleanly", flush=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    seeds = range(args.seed, args.seed + args.runs)
+    with ServiceClient(args.host, args.port) as client:
+        if args.runs == 1:
+            results = [
+                client.submit(
+                    args.app,
+                    args.level,
+                    fault_seed=args.seed,
+                    workload_seed=args.workload_seed,
+                    want_trace_summary=args.trace_summary,
+                    deadline_ms=args.deadline_ms,
+                )
+            ]
+        else:
+            items = [
+                {
+                    "app": args.app,
+                    "config": args.level,
+                    "fault_seed": seed,
+                    "workload_seed": args.workload_seed,
+                    "want_trace_summary": args.trace_summary,
+                    **({"deadline_ms": args.deadline_ms} if args.deadline_ms else {}),
+                }
+                for seed in seeds
+            ]
+            results = client.submit_batch(items)
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "app": r.app,
+                        "config": r.config,
+                        "fault_seed": r.fault_seed,
+                        "workload_seed": r.workload_seed,
+                        "qos": r.qos,
+                        "cached": r.cached,
+                        "server_ms": r.server_ms,
+                        "trace_summary": r.trace_summary,
+                    }
+                    for r in results
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    hits = sum(1 for r in results if r.cached)
+    for r in results:
+        origin = "store" if r.cached else "worker"
+        print(
+            f"seed {r.fault_seed:>4}  qos {r.qos:<22.17g} "
+            f"[{origin}, {r.server_ms:.1f} ms]"
+        )
+    mean = sum(r.qos for r in results) / len(results)
+    print(
+        f"{r.app} @ {r.config}: mean qos {mean:.6g} over {len(results)} seed(s) "
+        f"({hits} served from store)"
+    )
     return 0
 
 
@@ -398,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
         "store at --cache-dir, then skip every completed cell "
         "(results are bit-identical to an uninterrupted run)",
     )
+    experiments.add_argument(
+        "--via-service",
+        metavar="HOST:PORT",
+        default=None,
+        help="route QoS queries through a running 'repro serve' daemon "
+        "(bit-identical results; see SERVICE.md)",
+    )
     experiments.set_defaults(fn=cmd_experiments)
 
     cache = commands.add_parser(
@@ -421,6 +588,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="gc only: remove every entry, not just stale ones",
     )
     cache.set_defaults(fn=cmd_cache)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived simulation daemon (see SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=_DEFAULT_SERVICE_PORT,
+        help="TCP port (0 binds an ephemeral port; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="resident warm worker processes (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-queue depth; requests beyond it are rejected "
+        "with a backpressure error (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=int,
+        default=30_000,
+        metavar="MS",
+        help="deadline for requests that carry none; 0 disables "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="SIGTERM shutdown: seconds to wait for queued and "
+        "in-flight requests (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="run store served inline on hits and written through on "
+        "misses (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a run store (every request executes)",
+    )
+    serve.add_argument(
+        "--warm-apps",
+        default="all",
+        metavar="NAMES",
+        help="comma-separated apps to compile once at boot, 'all' or "
+        "'none' (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--dump-config",
+        action="store_true",
+        help="print the effective service config as JSON and exit "
+        "(for reproducible deployments)",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="send QoS queries to a running simulation daemon",
+    )
+    submit.add_argument("app", help="application name (e.g. fft, sor, montecarlo)")
+    submit.add_argument(
+        "--level",
+        choices=("aggressive", "baseline", "medium", "mild", "software"),
+        default="medium",
+        help="approximation level (default: %(default)s)",
+    )
+    submit.add_argument("--seed", type=int, default=1, help="first fault seed")
+    submit.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="consecutive fault seeds submitted as one batch",
+    )
+    submit.add_argument("--workload-seed", type=int, default=0)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=_DEFAULT_SERVICE_PORT)
+    submit.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="per-request deadline (default: the daemon's)",
+    )
+    submit.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="also request the compact trace summary per run",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    submit.set_defaults(fn=cmd_submit)
 
     return parser
 

@@ -164,6 +164,14 @@ def precise_output(spec: AppSpec, workload_seed: int = 0):
     return _PRECISE_CACHE[key]
 
 
+def _service_route():
+    # Imported lazily: the service layer is optional and depends on
+    # this module for execution.
+    from repro.service.routing import active_service_route
+
+    return active_service_route()
+
+
 def qos_error(
     spec: Union[AppSpec, RunKey],
     config: Optional[HardwareConfig] = None,
@@ -174,6 +182,12 @@ def qos_error(
 
     Accepts either the historical ``(spec, config, fault_seed,
     workload_seed)`` keywords or a single :class:`RunKey`.
+
+    When a service route is installed (``repro experiments
+    --via-service``) and the key is expressible on the wire protocol,
+    the query goes to the running daemon instead of simulating locally;
+    daemon answers are bit-identical, so the float is the same either
+    way.
     """
     if isinstance(spec, RunKey):
         key = spec
@@ -186,6 +200,9 @@ def qos_error(
             fault_seed=fault_seed,
             workload_seed=workload_seed,
         )
+    route = _service_route()
+    if route is not None and route.accepts(key):
+        return route.qos(key)
     reference = precise_output(key.spec, key.workload_seed)
     approx = run_key(key).output
     return key.spec.qos(reference, approx)
@@ -208,6 +225,19 @@ def mean_qos(
     if runs <= 0:
         raise ValueError("runs must be positive")
     fault_seeds = range(1, runs + 1)
+    route = _service_route()
+    if route is not None:
+        keys = [
+            RunKey(spec=spec, config=config, fault_seed=s, workload_seed=workload_seed)
+            for s in fault_seeds
+        ]
+        if route.accepts(keys[0]):
+            # One batched round trip: the daemon answers cached cells
+            # inline and fans misses across its warm workers.  Same
+            # left-to-right accumulation, so the mean is bit-identical.
+            from repro.experiments.executor import mean_of
+
+            return mean_of(route.qos_batch(keys))
     if jobs is not None and jobs > 1:
         from repro.experiments.executor import mean_of, qos_errors
 
@@ -227,7 +257,11 @@ def clear_caches() -> None:
     guarantee no state leaks between runs; workers call it implicitly by
     starting from a fresh (or freshly primed) process.  Closing (rather
     than merely forgetting) the store makes any still-held handle fail
-    loudly instead of silently serving results across a reset.
+    loudly instead of silently serving results across a reset — unless
+    the holder took its own reference via :meth:`RunStore.share` (the
+    simulation daemon does), in which case only the active-store
+    reference is dropped and the shared handle stays usable.  The call
+    is idempotent: resetting twice, or with no store active, is a no-op.
     """
     from repro.store import reset_active_store
 

@@ -1,0 +1,58 @@
+"""The simulation service: a long-lived batching daemon + client library.
+
+``repro serve`` boots a :class:`SimulationServer` — a resident process
+with warm worker processes, a bounded admission queue, request
+coalescing, store-backed inline hits and a live metrics endpoint — and
+``repro submit`` / :class:`ServiceClient` talk to it over
+newline-delimited JSON on TCP.  See SERVICE.md for the protocol
+schema, the metrics catalog and capacity-tuning guidance.
+
+Layer map:
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, every knob.
+* :mod:`repro.service.protocol` — wire schema, named configs, errors.
+* :mod:`repro.service.workers` — the warm, crash-isolated worker pool.
+* :mod:`repro.service.server` — admission, coalescing, deadlines,
+  metrics, the TCP/HTTP front end.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+* :mod:`repro.service.routing` — optional harness routing
+  (``repro experiments --via-service``).
+"""
+
+from repro.service.client import (
+    ServiceBackpressure,
+    ServiceClient,
+    ServiceDeadline,
+    ServiceError,
+    ServiceRequestFailed,
+    SubmitResult,
+)
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.protocol import CONFIGS, PROTOCOL_VERSION
+from repro.service.routing import (
+    ServiceRoute,
+    active_service_route,
+    clear_service_route,
+    routed,
+    set_service_route,
+)
+from repro.service.server import SimulationServer
+
+__all__ = [
+    "ServiceConfig",
+    "SimulationServer",
+    "ServiceClient",
+    "SubmitResult",
+    "ServiceError",
+    "ServiceBackpressure",
+    "ServiceDeadline",
+    "ServiceRequestFailed",
+    "ServiceRoute",
+    "set_service_route",
+    "clear_service_route",
+    "active_service_route",
+    "routed",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "CONFIGS",
+]

@@ -1,0 +1,247 @@
+"""Blocking client for the simulation daemon.
+
+A :class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.server` over one TCP connection::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7737) as client:
+        result = client.submit("fft", "medium", fault_seed=3)
+        print(result.qos, result.cached)
+        results = client.submit_batch(
+            [{"app": "sor", "config": "mild", "fault_seed": s} for s in range(1, 21)]
+        )
+
+Structured daemon errors surface as typed exceptions:
+:class:`ServiceBackpressure` (queue full — carries ``retry_after_s``),
+:class:`ServiceDeadline`, and :class:`ServiceRequestFailed` for
+everything else.  All inherit :class:`ServiceError`, a
+:class:`~repro.errors.ReproError`, so CLI entry points report them as
+ordinary errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.service.config import DEFAULT_PORT
+from repro.service.protocol import (
+    ERROR_DEADLINE,
+    ERROR_DRAINING,
+    ERROR_OVERLOADED,
+    decode_line,
+    encode_line,
+)
+
+__all__ = [
+    "ServiceClient",
+    "SubmitResult",
+    "ServiceError",
+    "ServiceBackpressure",
+    "ServiceDeadline",
+    "ServiceRequestFailed",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for daemon-reported and transport failures."""
+
+
+class ServiceBackpressure(ServiceError):
+    """The daemon rejected the request (admission queue full/draining)."""
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDeadline(ServiceError):
+    """The request's deadline expired before a result was available."""
+
+
+class ServiceRequestFailed(ServiceError):
+    """Any other structured failure; carries the daemon's error code."""
+
+    def __init__(self, message: str, code: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclasses.dataclass(frozen=True)
+class SubmitResult:
+    """One answered simulation request."""
+
+    app: str
+    config: str
+    fault_seed: int
+    workload_seed: int
+    qos: float
+    cached: bool
+    digest: str
+    total_faults: int
+    ops: int
+    endorsements: int
+    trace_summary: Optional[dict]
+    server_ms: Optional[float]
+
+    @classmethod
+    def from_wire(cls, result: dict) -> "SubmitResult":
+        return cls(
+            app=result["app"],
+            config=result["config"],
+            fault_seed=result["fault_seed"],
+            workload_seed=result["workload_seed"],
+            qos=result["qos"],
+            cached=result["cached"],
+            digest=result["digest"],
+            total_faults=result.get("total_faults", 0),
+            ops=result.get("ops", 0),
+            endorsements=result.get("endorsements", 0),
+            trace_summary=result.get("trace_summary"),
+            server_ms=result.get("server_ms"),
+        )
+
+
+def _raise_for_error(error: dict) -> None:
+    code = error.get("code", "unknown")
+    message = error.get("message", "request failed")
+    if code in (ERROR_OVERLOADED, ERROR_DRAINING):
+        raise ServiceBackpressure(
+            f"{code}: {message}", retry_after_s=error.get("retry_after_s")
+        )
+    if code == ERROR_DEADLINE:
+        raise ServiceDeadline(message)
+    raise ServiceRequestFailed(f"{code}: {message}", code=code)
+
+
+class ServiceClient:
+    """A blocking connection to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 300.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach simulation daemon at {host}:{port}: {exc} "
+                f"(is 'repro serve' running?)"
+            ) from exc
+        self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, message: Dict[str, object]) -> dict:
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        try:
+            self._sock.sendall(encode_line(message))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceError(f"daemon connection failed: {exc}") from exc
+        if not line:
+            raise ServiceError("daemon closed the connection mid-request")
+        response = decode_line(line)
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        app: str,
+        config: str = "medium",
+        fault_seed: int = 0,
+        workload_seed: int = 0,
+        want_trace_summary: bool = False,
+        deadline_ms: Optional[int] = None,
+    ) -> SubmitResult:
+        """One simulation request; blocks until answered or failed."""
+        message: Dict[str, object] = {
+            "op": "submit",
+            "app": app,
+            "config": config,
+            "fault_seed": fault_seed,
+            "workload_seed": workload_seed,
+            "want_trace_summary": want_trace_summary,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        response = self._roundtrip(message)
+        if not response.get("ok"):
+            _raise_for_error(response.get("error") or {})
+        return SubmitResult.from_wire(response["result"])
+
+    def submit_batch(
+        self,
+        items: Iterable[Dict[str, object]],
+        raise_on_error: bool = True,
+    ) -> List[Union[SubmitResult, dict]]:
+        """A batch of requests; one round trip, answered in item order.
+
+        With ``raise_on_error`` (the default) the first failed item
+        raises its typed exception; otherwise failed items come back as
+        their raw ``{"code", "message", ...}`` error dicts in place.
+        """
+        items = list(items)
+        response = self._roundtrip({"op": "batch", "items": items})
+        if not response.get("ok"):
+            _raise_for_error(response.get("error") or {})
+        results: List[Union[SubmitResult, dict]] = []
+        for item in response["results"]:
+            if item.get("ok"):
+                results.append(SubmitResult.from_wire(item["result"]))
+            elif raise_on_error:
+                _raise_for_error(item.get("error") or {})
+            else:
+                results.append(item.get("error") or {})
+        return results
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        response = self._roundtrip({"op": "healthz"})
+        return response["healthz"]
+
+    def metrics(self) -> dict:
+        response = self._roundtrip({"op": "metrics"})
+        return response["metrics"]
+
+    def server_config(self) -> dict:
+        response = self._roundtrip({"op": "config"})
+        return response["config"]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,77 @@
+"""Service configuration: every capacity knob of the simulation daemon.
+
+A :class:`ServiceConfig` is a frozen value object so a running daemon's
+effective configuration can be dumped (``repro serve --dump-config``),
+checked into a deployment, and fed back verbatim.  All limits are
+validated eagerly — a daemon must fail at boot, not under load.
+
+The knobs, and what they trade (see SERVICE.md, "Capacity tuning"):
+
+* ``workers`` — resident simulation processes.  More workers raise
+  miss throughput linearly until the machine's cores are saturated.
+* ``queue_bound`` — admission-queue depth.  Requests beyond it are
+  rejected with a backpressure error (429-style) instead of queueing
+  unboundedly; the bound times mean service latency is the worst-case
+  queueing delay a client can observe.
+* ``default_deadline_ms`` — applied to requests that carry no deadline
+  of their own; ``0`` disables the default (requests wait forever).
+* ``retry_budget`` — how many times a request is re-dispatched after a
+  worker crash before it fails (mirrors the executor's policy).
+* ``drain_timeout_s`` — how long a SIGTERM shutdown waits for queued
+  and in-flight requests before giving up and exiting anyway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ServiceConfig", "DEFAULT_PORT"]
+
+#: Default TCP port of the simulation daemon (unassigned by IANA).
+DEFAULT_PORT = 7737
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Effective configuration of one :class:`SimulationServer`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (tests, benchmarks).
+    port: int = DEFAULT_PORT
+    #: Resident warm worker processes serving store misses.
+    workers: int = 2
+    #: Admission-queue bound; requests beyond it are rejected.
+    queue_bound: int = 64
+    #: Deadline applied to requests without one (0 = none).
+    default_deadline_ms: int = 30_000
+    #: Re-dispatches after a worker crash before the request fails.
+    retry_budget: int = 2
+    #: Graceful-shutdown budget for draining queued/in-flight work.
+    drain_timeout_s: float = 30.0
+    #: Run-store directory (``None`` disables the store: every request
+    #: is a miss and nothing persists — useful only for testing).
+    cache_dir: Optional[str] = ".repro-cache"
+    #: App names whose compiled programs are built once at boot and
+    #: inherited by every worker; ``("all",)`` warms the whole suite.
+    warm_apps: Tuple[str, ...] = ("all",)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        if self.default_deadline_ms < 0:
+            raise ValueError("default_deadline_ms must be >= 0 (0 = no deadline)")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe dump (``repro serve --dump-config``)."""
+        data = dataclasses.asdict(self)
+        data["warm_apps"] = list(self.warm_apps)
+        return data

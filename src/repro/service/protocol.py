@@ -1,0 +1,226 @@
+"""Wire protocol of the simulation daemon: newline-delimited JSON.
+
+One request per line, one response line per request, over a plain TCP
+connection.  Every message is a JSON object; requests carry an ``op``
+and an optional client-chosen ``id`` that the response echoes::
+
+    -> {"op": "submit", "id": 1, "app": "fft", "config": "medium",
+        "fault_seed": 3, "workload_seed": 0}
+    <- {"id": 1, "ok": true, "result": {"qos": 0.0021, "cached": true, ...}}
+
+    -> {"op": "batch", "id": 2, "items": [{...}, {...}]}
+    <- {"id": 2, "ok": true, "results": [{"ok": true, "result": {...}},
+                                         {"ok": false, "error": {...}}]}
+
+Failures are structured::
+
+    <- {"id": 1, "ok": false,
+        "error": {"code": "overloaded", "message": "...", "retry_after_s": 0.4}}
+
+The daemon additionally answers minimal ``HTTP GET`` requests for
+``/healthz``, ``/metrics`` and ``/config`` on the same port (so
+``curl`` works against a running daemon); the bodies are the same JSON
+payloads as the ``healthz`` / ``metrics`` / ``config`` ops.
+
+The full schema — every op, field, error code and metric — is
+documented in SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Optional
+
+from repro.apps import app_by_name
+from repro.hardware.config import (
+    AGGRESSIVE,
+    BASELINE,
+    MEDIUM,
+    MILD,
+    SOFTWARE,
+    HardwareConfig,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CONFIGS",
+    "CRASH_APP",
+    "crash_requests_allowed",
+    "ProtocolError",
+    "SimRequest",
+    "ok_response",
+    "error_response",
+    "encode_line",
+    "decode_line",
+    "ERROR_BAD_REQUEST",
+    "ERROR_OVERLOADED",
+    "ERROR_DEADLINE",
+    "ERROR_DRAINING",
+    "ERROR_WORKER_CRASHED",
+    "ERROR_INTERNAL",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Named hardware configurations a request may ask for.
+CONFIGS: Dict[str, HardwareConfig] = {
+    "baseline": BASELINE,
+    "mild": MILD,
+    "medium": MEDIUM,
+    "aggressive": AGGRESSIVE,
+    "software": SOFTWARE,
+}
+
+# Error codes (the "429-style" vocabulary of the daemon).
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_OVERLOADED = "overloaded"          # admission queue full; retry later
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_DRAINING = "draining"              # daemon is shutting down
+ERROR_WORKER_CRASHED = "worker_crashed"  # retry budget exhausted
+ERROR_INTERNAL = "internal"
+
+#: Test-only sentinel app: a worker receiving it dies immediately, so
+#: the crash-isolation path can be exercised deterministically.  Only
+#: honoured when the environment opts in.
+CRASH_APP = "__crash__"
+_CRASH_ENV = "REPRO_SERVICE_ALLOW_CRASH"
+
+
+def crash_requests_allowed() -> bool:
+    return os.environ.get(_CRASH_ENV) == "1"
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be admitted; carries its error code."""
+
+    def __init__(self, message: str, code: str = ERROR_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclasses.dataclass(frozen=True)
+class SimRequest:
+    """One validated simulation request (a single or batch item)."""
+
+    app: str
+    config: str
+    fault_seed: int = 0
+    workload_seed: int = 0
+    want_trace_summary: bool = False
+    #: Per-request deadline; ``None`` falls back to the server default.
+    deadline_ms: Optional[int] = None
+
+    @classmethod
+    def from_wire(cls, item: object) -> "SimRequest":
+        """Parse and validate one wire item; raises :class:`ProtocolError`."""
+        if not isinstance(item, dict):
+            raise ProtocolError(f"request item must be an object, got {type(item).__name__}")
+        app = item.get("app")
+        if not isinstance(app, str) or not app:
+            raise ProtocolError("missing or invalid 'app' (expected a string)")
+        config = item.get("config", "medium")
+        if config not in CONFIGS:
+            raise ProtocolError(
+                f"unknown config {config!r}; expected one of {sorted(CONFIGS)}"
+            )
+        if app == CRASH_APP:
+            if not crash_requests_allowed():
+                raise ProtocolError(f"unknown application {app!r}")
+        else:
+            try:
+                app = app_by_name(app).name
+            except KeyError as exc:
+                raise ProtocolError(str(exc.args[0])) from None
+        fault_seed = item.get("fault_seed", 0)
+        workload_seed = item.get("workload_seed", 0)
+        for name, value in (("fault_seed", fault_seed), ("workload_seed", workload_seed)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"{name!r} must be an integer, got {value!r}")
+        want = item.get("want_trace_summary", False)
+        if not isinstance(want, bool):
+            raise ProtocolError("'want_trace_summary' must be a boolean")
+        deadline_ms = item.get("deadline_ms")
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
+                raise ProtocolError("'deadline_ms' must be an integer (milliseconds)")
+            if deadline_ms <= 0:
+                raise ProtocolError("'deadline_ms' must be positive")
+        return cls(
+            app=app,
+            config=config,
+            fault_seed=fault_seed,
+            workload_seed=workload_seed,
+            want_trace_summary=want,
+            deadline_ms=deadline_ms,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_crash_probe(self) -> bool:
+        return self.app == CRASH_APP
+
+    def resolve_key(self):
+        """The :class:`~repro.experiments.runkey.RunKey` this names."""
+        from repro.experiments.runkey import RunKey
+
+        return RunKey(
+            spec=app_by_name(self.app),
+            config=CONFIGS[self.config],
+            fault_seed=self.fault_seed,
+            workload_seed=self.workload_seed,
+        )
+
+    def task_payload(self) -> Dict[str, object]:
+        """The picklable form dispatched to a worker process."""
+        return {
+            "app": self.app,
+            "config": self.config,
+            "fault_seed": self.fault_seed,
+            "workload_seed": self.workload_seed,
+            "want_trace_summary": self.want_trace_summary,
+        }
+
+
+# ----------------------------------------------------------------------
+# Response/message framing helpers
+# ----------------------------------------------------------------------
+
+
+def ok_response(request_id, result_key: str, payload) -> Dict[str, object]:
+    response: Dict[str, object] = {"ok": True, result_key: payload}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(
+    request_id, code: str, message: str, **extra
+) -> Dict[str, object]:
+    error: Dict[str, object] = {"code": code, "message": message}
+    error.update(extra)
+    response: Dict[str, object] = {"ok": False, "error": error}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def encode_line(message: Dict[str, object]) -> bytes:
+    """One message as a newline-terminated JSON line.
+
+    Floats serialise via ``repr`` (Python's ``json``), so QoS values
+    round-trip bit-identically through the wire — the daemon's answers
+    equal the serial harness's floats exactly.
+    """
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request line must be a JSON object")
+    return message

@@ -1,0 +1,106 @@
+"""Optional routing of harness QoS queries through a running daemon.
+
+When a route is installed (``repro experiments --via-service`` does
+this), :func:`repro.experiments.harness.qos_error` sends eligible
+queries to the daemon instead of simulating locally, and
+:func:`~repro.experiments.harness.mean_qos` ships its whole seed range
+as one batch — the daemon answers cached cells inline and fans misses
+across its warm workers.  Daemon answers are bit-identical to local
+execution (same code, same seeds, exact float transport), so routing
+never changes results, only where the work happens.
+
+Eligibility is conservative: only registered suite apps under the
+named protocol configurations route; anything else (test-local specs,
+ablation configs, explicit argument overrides) silently falls back to
+local execution.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence
+
+__all__ = [
+    "ServiceRoute",
+    "set_service_route",
+    "clear_service_route",
+    "active_service_route",
+    "routed",
+]
+
+_ROUTE: Optional["ServiceRoute"] = None
+
+
+class ServiceRoute:
+    """A harness-side view of one :class:`ServiceClient` connection."""
+
+    def __init__(self, client) -> None:
+        self._client = client
+
+    # ------------------------------------------------------------------
+    def accepts(self, key) -> bool:
+        """Whether this run can be named on the wire protocol."""
+        from repro.apps import app_by_name
+        from repro.service.protocol import CONFIGS
+
+        config_name = getattr(key.config, "name", None)
+        if CONFIGS.get(config_name) != key.config:
+            return False
+        try:
+            return app_by_name(key.spec.name) == key.spec
+        except KeyError:
+            return False
+
+    def qos(self, key) -> float:
+        """The daemon-computed QoS error for one run."""
+        return self._client.submit(
+            key.spec.name,
+            key.config.name,
+            fault_seed=key.fault_seed,
+            workload_seed=key.workload_seed,
+        ).qos
+
+    def qos_batch(self, keys: Sequence) -> List[float]:
+        """Per-key QoS errors for a seed range, one batched round trip."""
+        results = self._client.submit_batch(
+            [
+                {
+                    "app": key.spec.name,
+                    "config": key.config.name,
+                    "fault_seed": key.fault_seed,
+                    "workload_seed": key.workload_seed,
+                }
+                for key in keys
+            ]
+        )
+        return [result.qos for result in results]
+
+
+def set_service_route(client) -> ServiceRoute:
+    """Install a route over ``client``; returns it."""
+    global _ROUTE
+    _ROUTE = ServiceRoute(client)
+    return _ROUTE
+
+
+def clear_service_route() -> None:
+    global _ROUTE
+    _ROUTE = None
+
+
+def active_service_route() -> Optional[ServiceRoute]:
+    """The installed route, or ``None`` (the default: local execution)."""
+    return _ROUTE
+
+
+@contextlib.contextmanager
+def routed(client) -> Iterator[ServiceRoute]:
+    """Context manager: install a route, restore the previous on exit."""
+    global _ROUTE
+    previous = _ROUTE
+    route = ServiceRoute(client)
+    _ROUTE = route
+    try:
+        yield route
+    finally:
+        _ROUTE = previous

@@ -1,0 +1,570 @@
+"""The simulation daemon: a long-lived, batching front end for the harness.
+
+``repro serve`` turns the repository from a batch tool into a server:
+one resident process owns the warm state every cold CLI invocation
+rebuilds (compiled programs, precise-output memos, an open run-store
+handle) and answers simulation requests over newline-delimited JSON
+(see :mod:`repro.service.protocol` and SERVICE.md).
+
+Request path, in order:
+
+1. **Admission** — while draining, or when the bounded queue is full,
+   the request is rejected immediately with a structured backpressure
+   error carrying a ``retry_after_s`` hint (429-style; clients never
+   hang on an overloaded daemon).
+2. **Hit path** — a request whose :class:`RunKey` (and its precise
+   reference) is already in the run store is answered inline from the
+   serving thread: no queue, no worker, microseconds.
+3. **Coalescing** — identical in-flight misses (same key digest and
+   trace flag) share one execution; late arrivals wait on the first
+   request's result.
+4. **Dispatch** — misses go to the warm worker pool
+   (:mod:`repro.service.workers`); results are written through the
+   store, so every miss is the last miss for that key.
+5. **Deadlines** — a request expired while queued is failed without
+   occupying a worker; a waiter whose deadline passes mid-execution
+   gets a ``deadline_exceeded`` response while the execution completes
+   in the background and still warms the store (graceful cancellation:
+   work is never wasted, only the wait is abandoned).
+
+Live introspection: the same TCP port answers minimal ``HTTP GET``
+requests for ``/healthz``, ``/metrics`` (the PR-2
+:class:`~repro.observability.metrics.MetricsRegistry`, plus live
+gauges and derived p50/p99 latency) and ``/config``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_DRAINING,
+    ERROR_OVERLOADED,
+    ERROR_WORKER_CRASHED,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SimRequest,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.service.workers import WorkerPool, warm_specs_for
+
+__all__ = ["SimulationServer"]
+
+
+def _percentile(buckets: Dict[int, int], q: float) -> Optional[float]:
+    """The q-quantile of an exact integer histogram (None if empty)."""
+    total = sum(buckets.values())
+    if not total:
+        return None
+    rank = q * (total - 1)
+    seen = 0
+    for bucket, count in sorted(buckets.items()):
+        seen += count
+        if seen > rank:
+            return float(bucket)
+    return float(max(buckets))  # pragma: no cover - numeric safety net
+
+
+class _Task:
+    """One queued miss: dispatch payload + completion rendezvous."""
+
+    __slots__ = (
+        "server",
+        "payload",
+        "coalesce_key",
+        "deadline_at",
+        "enqueued_at",
+        "event",
+        "response",
+    )
+
+    def __init__(self, server, payload, coalesce_key, deadline_at) -> None:
+        self.server = server
+        self.payload = payload
+        self.coalesce_key = coalesce_key
+        self.deadline_at = deadline_at
+        self.enqueued_at = time.monotonic()
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+
+    # Duck-typed interface consumed by WorkerPool -----------------------
+    def expired(self) -> bool:
+        return self.deadline_at is not None and time.monotonic() > self.deadline_at
+
+    def complete_ok(self, result: dict) -> None:
+        self.server._task_finished(self, {"ok": True, "result": result}, ok=True)
+
+    def fail_deadline(self, queued: bool = False) -> None:
+        where = "while queued" if queued else "mid-execution"
+        self.server._task_finished(
+            self,
+            error_response(None, ERROR_DEADLINE, f"deadline expired {where}"),
+        )
+
+    def fail_crash(self, message: str) -> None:
+        self.server._task_finished(
+            self, error_response(None, ERROR_WORKER_CRASHED, message), crash=True
+        )
+
+    def fail_worker_error(self, error: dict) -> None:
+        self.server._task_finished(self, {"ok": False, "error": error})
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    simulation_server: "SimulationServer" = None  # set by SimulationServer
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: NDJSON request/response, or a single HTTP GET."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server = self.server.simulation_server
+        line = self.rfile.readline()
+        if line.startswith(b"GET "):
+            self._handle_http_get(server, line)
+            return
+        while line:
+            stripped = line.strip()
+            if stripped:
+                try:
+                    message = decode_line(stripped)
+                except ProtocolError as exc:
+                    self._send(error_response(None, exc.code, str(exc)))
+                else:
+                    self._send(server.handle_message(message))
+            try:
+                line = self.rfile.readline()
+            except OSError:
+                return
+
+    def _send(self, response: dict) -> None:  # pragma: no cover
+        try:
+            self.wfile.write(encode_line(response))
+            self.wfile.flush()
+        except OSError:
+            pass
+
+    def _handle_http_get(self, server, request_line: bytes) -> None:  # pragma: no cover
+        while True:  # consume request headers
+            header = self.rfile.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        try:
+            path = request_line.split()[1].decode("ascii", "replace")
+        except IndexError:
+            path = "/"
+        payloads = {
+            "/healthz": server.healthz_payload,
+            "/metrics": server.metrics_payload,
+            "/config": server.config_payload,
+        }
+        builder = payloads.get(path.rstrip("/") or path)
+        if builder is None:
+            status, payload = "404 Not Found", {"error": f"unknown path {path!r}"}
+        else:
+            status, payload = "200 OK", builder()
+        body = (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            self.wfile.write(head + body)
+            self.wfile.flush()
+        except OSError:
+            pass
+
+
+class SimulationServer:
+    """The resident daemon behind ``repro serve``.
+
+    Construct with a :class:`ServiceConfig`, :meth:`start` to boot the
+    warm worker pool and begin serving, :meth:`initiate_drain` +
+    :meth:`drain` + :meth:`stop` (or the ``with`` statement) to shut
+    down.  :meth:`handle_message` is the transport-free core — tests
+    drive it directly, the TCP handler is a thin wrapper.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._store = None
+        if config.cache_dir is not None:
+            from repro.store import RunStore, active_store
+
+            # If the process already has the same store active (an
+            # in-process server next to the harness), take a shared
+            # reference so a harness clear_caches() cannot close the
+            # daemon's handle out from under it.
+            active = active_store()
+            if active is not None and os.path.abspath(active.root) == os.path.abspath(
+                config.cache_dir
+            ):
+                self._store = active.share()
+            else:
+                self._store = RunStore(config.cache_dir)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=config.queue_bound)
+        self._inflight: Dict[object, _Task] = {}
+        self._inflight_lock = threading.Lock()
+        self._pool = WorkerPool(
+            self._queue,
+            size=config.workers,
+            cache_dir=config.cache_dir,
+            warm_apps=config.warm_apps,
+            retry_budget=config.retry_budget,
+            on_restart=lambda: self._inc("service.worker_restarts"),
+        )
+        self._tcp: Optional[_TCPServer] = None
+        self._tcp_thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self._ema_ms: Optional[float] = None  # smoothed miss service time
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Warm up, start workers and the TCP listener; returns address."""
+        from repro.experiments.harness import compiled_app
+
+        # Compile once at boot, in the parent: fork-started workers
+        # inherit this cache outright, so no worker compiles anything.
+        for spec in warm_specs_for(self.config.warm_apps):
+            compiled_app(spec)
+        self._pool.start()
+        self._tcp = _TCPServer((self.config.host, self.config.port), _Handler)
+        self._tcp.simulation_server = self
+        self._tcp_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._tcp_thread.start()
+        self._started_at = time.monotonic()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._tcp is None:
+            raise RuntimeError("server is not started")
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def initiate_drain(self) -> None:
+        """Stop admitting new requests; queued/in-flight work continues."""
+        self._draining = True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until queued + in-flight work is finished (or timeout)."""
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            if self._queue.empty() and self._pool.in_flight_count() == 0:
+                return True
+            time.sleep(0.02)
+        return self._queue.empty() and self._pool.in_flight_count() == 0
+
+    def stop(self) -> None:
+        """Tear everything down (listener, workers, store handle)."""
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+            self._tcp = None
+        self._pool.stop()
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "SimulationServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.initiate_drain()
+        self.drain(timeout=5)
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe_latency(self, started_at: float) -> float:
+        elapsed_ms = (time.monotonic() - started_at) * 1000.0
+        with self._metrics_lock:
+            self.metrics.histogram("service.latency_ms").observe(int(elapsed_ms))
+        return elapsed_ms
+
+    # ------------------------------------------------------------------
+    # The transport-free request core
+    # ------------------------------------------------------------------
+    def handle_message(self, message: dict) -> dict:
+        op = message.get("op")
+        request_id = message.get("id")
+        if op == "submit":
+            try:
+                request = SimRequest.from_wire(message)
+            except ProtocolError as exc:
+                self._inc("service.bad_requests")
+                return error_response(request_id, exc.code, str(exc))
+            response = self._submit_and_wait(request)
+            if request_id is not None:
+                response = dict(response, id=request_id)
+            return response
+        if op == "batch":
+            return self._handle_batch(message, request_id)
+        if op == "healthz":
+            return ok_response(request_id, "healthz", self.healthz_payload())
+        if op == "metrics":
+            return ok_response(request_id, "metrics", self.metrics_payload())
+        if op == "config":
+            return ok_response(request_id, "config", self.config_payload())
+        self._inc("service.bad_requests")
+        return error_response(
+            request_id, ERROR_BAD_REQUEST, f"unknown op {op!r}"
+        )
+
+    def _handle_batch(self, message: dict, request_id) -> dict:
+        items = message.get("items")
+        if not isinstance(items, list) or not items:
+            self._inc("service.bad_requests")
+            return error_response(
+                request_id, ERROR_BAD_REQUEST, "'items' must be a non-empty list"
+            )
+        self._inc("service.batches_total")
+        # Phase 1 — admit everything up front: hits answer inline,
+        # misses enqueue immediately so the worker pool chews the whole
+        # batch concurrently (this is the batching win: total wall
+        # clock is the slowest miss, not the sum).
+        admitted: List[Tuple[object, Optional[SimRequest], float]] = []
+        for item in items:
+            started_at = time.monotonic()
+            try:
+                request = SimRequest.from_wire(item)
+            except ProtocolError as exc:
+                self._inc("service.bad_requests")
+                admitted.append(
+                    (error_response(None, exc.code, str(exc)), None, started_at)
+                )
+                continue
+            admitted.append((self._admit(request, started_at), request, started_at))
+        # Phase 2 — gather, in item order.
+        results = []
+        for outcome, request, started_at in admitted:
+            if isinstance(outcome, _Task):
+                results.append(self._await_task(outcome, request, started_at))
+            else:
+                results.append(outcome)
+        return ok_response(request_id, "results", results)
+
+    def _submit_and_wait(self, request: SimRequest) -> dict:
+        started_at = time.monotonic()
+        outcome = self._admit(request, started_at)
+        if isinstance(outcome, _Task):
+            return self._await_task(outcome, request, started_at)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _admit(self, request: SimRequest, started_at: float):
+        """Admission control: a response dict, or a :class:`_Task` to await."""
+        self._inc("service.requests_total")
+        if self._draining:
+            self._inc("service.rejected_draining")
+            return error_response(
+                None, ERROR_DRAINING, "daemon is draining; resubmit elsewhere"
+            )
+        if not request.is_crash_probe and self._store is not None:
+            hit = self._lookup_hit(request)
+            if hit is not None:
+                self._inc("service.hits")
+                hit["server_ms"] = round(self._observe_latency(started_at), 3)
+                return {"ok": True, "result": hit}
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None and self.config.default_deadline_ms:
+            deadline_ms = self.config.default_deadline_ms
+        deadline_at = started_at + deadline_ms / 1000.0 if deadline_ms else None
+        coalesce_key: object
+        if request.is_crash_probe:
+            coalesce_key = object()  # crash probes never coalesce
+        else:
+            coalesce_key = (request.resolve_key().digest, request.want_trace_summary)
+        with self._inflight_lock:
+            existing = self._inflight.get(coalesce_key)
+            if existing is not None:
+                self._inc("service.coalesced")
+                return existing
+            task = _Task(self, request.task_payload(), coalesce_key, deadline_at)
+            try:
+                self._queue.put_nowait(task)
+            except queue.Full:
+                self._inc("service.rejected")
+                return error_response(
+                    None,
+                    ERROR_OVERLOADED,
+                    f"admission queue full ({self.config.queue_bound} deep)",
+                    retry_after_s=self._retry_after_hint(),
+                )
+            self._inflight[coalesce_key] = task
+        return task
+
+    def _retry_after_hint(self) -> float:
+        """A back-off hint: roughly one queue drain at recent latency."""
+        ema_ms = self._ema_ms if self._ema_ms is not None else 1000.0
+        depth = self._queue.qsize() or self.config.queue_bound
+        hint = depth * (ema_ms / 1000.0) / max(1, self.config.workers)
+        return round(min(60.0, max(0.05, hint)), 3)
+
+    def _lookup_hit(self, request: SimRequest) -> Optional[dict]:
+        """Answer from the run store, or ``None`` when execution is needed."""
+        from repro.store import StoreError
+
+        key = request.resolve_key()
+        try:
+            entry = self._store.get(key)
+            if entry is None:
+                return None
+            if request.want_trace_summary and entry.trace_summary is None:
+                return None  # must execute to produce events
+            reference = self._store.get(key.precise_reference())
+            if reference is None:
+                return None
+        except StoreError:
+            return None
+        qos = key.spec.qos(reference.output, entry.output)
+        return {
+            "app": key.spec.name,
+            "config": request.config,
+            "fault_seed": key.fault_seed,
+            "workload_seed": key.workload_seed,
+            "qos": qos,
+            "cached": True,
+            "digest": key.digest,
+            "total_faults": entry.stats.total_faults,
+            "ops": entry.stats.ops_total,
+            "endorsements": entry.stats.endorsements,
+            "trace_summary": entry.trace_summary if request.want_trace_summary else None,
+        }
+
+    def _await_task(self, task: _Task, request: SimRequest, started_at: float) -> dict:
+        """Wait for a task's completion under this waiter's own deadline."""
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None and self.config.default_deadline_ms:
+            deadline_ms = self.config.default_deadline_ms
+        timeout = None
+        if deadline_ms:
+            timeout = max(0.0, started_at + deadline_ms / 1000.0 - time.monotonic())
+        if not task.event.wait(timeout):
+            # The execution continues and will warm the store; only
+            # this waiter gives up (graceful cancellation).
+            self._inc("service.deadline_expired")
+            return error_response(
+                None, ERROR_DEADLINE, "deadline expired awaiting execution"
+            )
+        response = dict(task.response)
+        # Count deadline errors exactly once per answered waiter: the
+        # queued-expiry path marks the task, but the increment happens
+        # here, where the error is actually returned (a waiter that
+        # already timed out above was counted above).
+        error = response.get("error")
+        if isinstance(error, dict) and error.get("code") == ERROR_DEADLINE:
+            self._inc("service.deadline_expired")
+        return response
+
+    # ------------------------------------------------------------------
+    def _task_finished(
+        self,
+        task: _Task,
+        response: dict,
+        ok: bool = False,
+        crash: bool = False,
+    ) -> None:
+        with self._inflight_lock:
+            current = self._inflight.get(task.coalesce_key)
+            if current is task:
+                del self._inflight[task.coalesce_key]
+        if ok:
+            self._inc("service.misses")
+            elapsed_ms = self._observe_latency(task.enqueued_at)
+            previous = self._ema_ms
+            self._ema_ms = (
+                elapsed_ms if previous is None else 0.8 * previous + 0.2 * elapsed_ms
+            )
+            response = dict(response)
+            response["result"] = dict(
+                response["result"], server_ms=round(elapsed_ms, 3)
+            )
+        elif crash:
+            self._inc("service.worker_crash_failures")
+        task.response = response
+        task.event.set()
+
+    # ------------------------------------------------------------------
+    # Introspection payloads (ops and HTTP GET share these)
+    # ------------------------------------------------------------------
+    def _uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return round(time.monotonic() - self._started_at, 3)
+
+    def healthz_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "serving",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": self._uptime_s(),
+            "workers_alive": self._pool.alive_count(),
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def metrics_payload(self) -> dict:
+        with self._metrics_lock:
+            data = self.metrics.as_dict()
+            latency_buckets = dict(
+                self.metrics.histogram("service.latency_ms").buckets
+            )
+        counters = data["counters"]
+        hits = counters.get("service.hits", 0)
+        misses = counters.get("service.misses", 0)
+        answered = hits + misses
+        return {
+            "counters": counters,
+            "histograms": data["histograms"],
+            "gauges": {
+                "queue_depth": self._queue.qsize(),
+                "in_flight": self._pool.in_flight_count(),
+                "workers_alive": self._pool.alive_count(),
+                "uptime_s": self._uptime_s(),
+                "draining": self._draining,
+            },
+            "derived": {
+                "hit_ratio": round(hits / answered, 6) if answered else None,
+                "latency_ms": {
+                    "p50": _percentile(latency_buckets, 0.50),
+                    "p99": _percentile(latency_buckets, 0.99),
+                },
+            },
+        }
+
+    def config_payload(self) -> dict:
+        payload = self.config.as_dict()
+        payload["protocol"] = PROTOCOL_VERSION
+        payload["store"] = self._store.root if self._store is not None else None
+        if self._tcp is not None:
+            payload["address"] = list(self.address)
+        return payload

@@ -1,0 +1,347 @@
+"""The daemon's resident worker pool: warm, crash-isolated processes.
+
+Each worker is a long-lived child process holding the expensive state a
+cold ``repro run`` pays for on every invocation: the compiled-program
+cache (built once at boot — with a ``fork`` start method the workers
+inherit the parent's pre-warmed cache outright), the precise-output
+memo, and an open run-store handle that every completed simulation is
+written through.
+
+Isolation and lifecycle:
+
+* One manager thread per worker slot pulls tasks off the shared
+  admission queue and speaks to its worker over a duplex pipe; a task
+  is only ever in one worker, so a **worker death fails only the
+  requests it was executing**.
+* A dead worker is respawned (and re-warmed) on demand; the doomed
+  request is re-dispatched up to ``retry_budget`` times — the same
+  bounded policy as :mod:`repro.experiments.executor` — before it is
+  failed with a ``worker_crashed`` error.
+* Tasks whose deadline expired while queued are failed without ever
+  occupying a worker.
+
+The pool knows nothing about sockets or JSON: it consumes task objects
+(duck-typed; see ``SimulationServer._Task``) exposing ``payload``,
+``expired()`` and the completion callbacks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkerPool", "warm_specs_for"]
+
+#: Sentinel shutting down one manager thread.
+_STOP = object()
+
+#: How long a freshly spawned worker may take to warm up and report
+#: ready before the pool gives up on it.
+_READY_TIMEOUT_S = 120.0
+
+
+def warm_specs_for(warm_apps: Sequence[str]):
+    """Resolve the ``warm_apps`` config knob to concrete AppSpecs."""
+    from repro.apps import ALL_APPS, app_by_name
+
+    if any(name == "all" for name in warm_apps):
+        return list(ALL_APPS)
+    return [app_by_name(name) for name in warm_apps]
+
+
+# ----------------------------------------------------------------------
+# Worker process side
+# ----------------------------------------------------------------------
+
+
+def _execute_service_task(payload: dict) -> dict:
+    """Run one simulation request inside a worker; returns a wire dict.
+
+    The QoS is computed exactly as :func:`repro.experiments.harness.
+    qos_error` computes it — precise reference first, then the
+    approximate run — so daemon answers are bit-identical to the serial
+    harness.  With a store active (the pool opens one per worker) both
+    runs write through, so every miss warms the campaign cache.
+    """
+    from repro.experiments.harness import precise_output, run_key
+    from repro.service.protocol import CONFIGS, CRASH_APP, ERROR_INTERNAL
+    from repro.apps import app_by_name
+    from repro.experiments.runkey import RunKey
+
+    if payload["app"] == CRASH_APP:
+        # Deterministic crash probe (tests only; gated at admission).
+        os._exit(13)
+
+    spec = app_by_name(payload["app"])
+    config = CONFIGS[payload["config"]]
+    key = RunKey(
+        spec=spec,
+        config=config,
+        fault_seed=payload["fault_seed"],
+        workload_seed=payload["workload_seed"],
+    )
+    try:
+        reference = precise_output(spec, key.workload_seed)
+        if payload.get("want_trace_summary"):
+            from repro.observability.runner import traced_run
+
+            traced = traced_run(key)
+            output, stats = traced.output, traced.stats
+            counters = traced.metrics.as_dict()["counters"]
+            summary = {
+                "events": len(traced.events),
+                "dropped": traced.dropped,
+                "counters": {k: v for k, v in counters.items() if v},
+            }
+        else:
+            result = run_key(key)
+            output, stats = result.output, result.stats
+            summary = None
+        qos = spec.qos(reference, output)
+    except Exception as exc:  # a worker must survive any request
+        return {
+            "ok": False,
+            "error": {
+                "code": ERROR_INTERNAL,
+                "message": f"{type(exc).__name__}: {exc}",
+            },
+        }
+    return {
+        "ok": True,
+        "result": {
+            "app": spec.name,
+            "config": config.name,
+            "fault_seed": key.fault_seed,
+            "workload_seed": key.workload_seed,
+            "qos": qos,
+            "cached": False,
+            "digest": key.digest,
+            "total_faults": stats.total_faults,
+            "ops": stats.ops_total,
+            "endorsements": stats.endorsements,
+            "trace_summary": summary,
+        },
+    }
+
+
+def _worker_main(
+    conn, cache_dir: Optional[str], warm_app_names: Tuple[str, ...]
+) -> None:
+    """Worker process entry: warm caches, open the store, serve tasks."""
+    from repro.experiments import harness
+
+    if cache_dir is not None:
+        from repro.store import configure
+
+        configure(cache_dir)
+    # A forked worker inherits whatever precise-output memo the parent
+    # had built up.  Drop it: references must be (re)computed *through
+    # the store*, because the server's inline hit path needs the
+    # baseline entry on disk — a memo-served reference would never be
+    # written and that key could never become a hit.
+    harness._PRECISE_CACHE.clear()
+    for spec in warm_specs_for(warm_app_names):
+        harness.compiled_app(spec)
+    conn.send({"ready": True, "pid": os.getpid()})
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        conn.send(_execute_service_task(payload))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    """One slot's process + pipe (parent end)."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+
+
+class WorkerPool:
+    """Fixed-size pool of warm worker processes fed by a shared queue."""
+
+    def __init__(
+        self,
+        tasks: "queue.Queue",
+        size: int,
+        cache_dir: Optional[str],
+        warm_apps: Sequence[str],
+        retry_budget: int = 2,
+        on_restart: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._tasks = tasks
+        self._size = size
+        self._cache_dir = cache_dir
+        self._warm_apps = tuple(warm_apps)
+        self._retry_budget = retry_budget
+        self._on_restart = on_restart or (lambda: None)
+        self._context = self._pick_context()
+        self._workers: List[Optional[_Worker]] = [None] * size
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._stopping = False
+
+    @staticmethod
+    def _pick_context():
+        # fork inherits the parent's pre-warmed compiled-program cache;
+        # spawn (the fallback) re-warms in _worker_main instead.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn and warm every worker, then start the manager threads."""
+        for slot in range(self._size):
+            self._workers[slot] = self._spawn()
+        for slot in range(self._size):
+            thread = threading.Thread(
+                target=self._manage, args=(slot,), name=f"repro-serve-worker-{slot}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop managers and terminate workers (pending tasks excepted:
+        call only once the admission queue is drained)."""
+        self._stopping = True
+        for _ in self._threads:
+            self._tasks.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10)
+        with self._lock:
+            workers, self._workers = self._workers, [None] * self._size
+        for worker in workers:
+            if worker is not None:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+                worker.kill()
+
+    # ------------------------------------------------------------------
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(
+                1 for worker in self._workers if worker is not None and worker.alive()
+            )
+
+    def in_flight_count(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._cache_dir, self._warm_apps),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        if not parent_conn.poll(_READY_TIMEOUT_S):
+            worker.kill()
+            raise RuntimeError("worker did not report ready in time")
+        ready = parent_conn.recv()
+        if not (isinstance(ready, dict) and ready.get("ready")):
+            worker.kill()
+            raise RuntimeError(f"worker sent unexpected ready message: {ready!r}")
+        return worker
+
+    def _ensure_worker(self, slot: int) -> Optional[_Worker]:
+        with self._lock:
+            worker = self._workers[slot]
+        if worker is not None and worker.alive():
+            return worker
+        if self._stopping:
+            return None
+        if worker is not None:
+            worker.kill()
+        try:
+            fresh = self._spawn()
+        except Exception:
+            with self._lock:
+                self._workers[slot] = None
+            return None
+        with self._lock:
+            self._workers[slot] = fresh
+        if worker is not None:
+            self._on_restart()
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _manage(self, slot: int) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is _STOP:
+                return
+            if task.expired():
+                task.fail_deadline(queued=True)
+                continue
+            self._run_task(slot, task)
+
+    def _run_task(self, slot: int, task) -> None:
+        with self._lock:
+            self._in_flight += 1
+        try:
+            attempts = 0
+            while True:
+                worker = self._ensure_worker(slot)
+                if worker is None:
+                    task.fail_crash("worker could not be (re)started")
+                    return
+                try:
+                    worker.conn.send(task.payload)
+                    result = worker.conn.recv()
+                    break
+                except (EOFError, OSError):
+                    # The worker died mid-request: fail over, bounded.
+                    worker.kill()
+                    with self._lock:
+                        self._workers[slot] = None
+                    self._on_restart()
+                    attempts += 1
+                    if attempts > self._retry_budget:
+                        task.fail_crash(
+                            f"worker died {attempts} time(s) executing this "
+                            f"request (retry budget {self._retry_budget})"
+                        )
+                        return
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+        if result.get("ok"):
+            task.complete_ok(result["result"])
+        else:
+            task.fail_worker_error(result.get("error") or {})

@@ -85,7 +85,12 @@ def configure(cache_dir: str, create: bool = True) -> RunStore:
 
 
 def reset_active_store() -> None:
-    """Close and deactivate the active store (harness ``clear_caches``)."""
+    """Close and deactivate the active store (harness ``clear_caches``).
+
+    Idempotent.  ``close()`` drops one reference: a holder that called
+    :meth:`RunStore.share` before installing the store (the simulation
+    daemon's lifecycle) keeps a usable handle across the reset.
+    """
     global _ACTIVE
     if _ACTIVE is not None:
         _ACTIVE.close()

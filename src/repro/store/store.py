@@ -39,12 +39,19 @@ Guarantees:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX advisory locks; publication degrades gracefully without.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.runtime.stats import RunStats
 from repro.store import codec
@@ -64,6 +71,7 @@ STORE_SCHEMA_VERSION = 1
 
 _MANIFEST = "manifest.json"
 _OBJECTS = "objects"
+_LOCK_FILE = ".lock"
 
 
 class StoreError(Exception):
@@ -120,6 +128,8 @@ class RunStore:
         self._objects = os.path.join(self.root, _OBJECTS)
         self._memo: Dict[str, StoreEntry] = {}
         self._closed = False
+        self._refs = 1
+        self._ref_lock = threading.Lock()
         manifest_path = os.path.join(self.root, _MANIFEST)
         if os.path.isfile(manifest_path):
             try:
@@ -176,6 +186,29 @@ class RunStore:
         if self._closed:
             raise StoreError(f"{self.root}: store is closed")
 
+    @contextlib.contextmanager
+    def _publication_lock(self):
+        """Exclusive advisory lock serialising entry publication.
+
+        ``put`` is a read-modify-write sequence (an existing trace
+        summary is preserved across overwrites), so two writers
+        publishing the same digest must not interleave.  ``flock``
+        locks per open file description: taking it through a fresh
+        ``open()`` each time excludes both threads of one process and
+        separate worker processes.  Platforms without ``fcntl`` fall
+        back to the atomic-rename guarantee alone (identical bytes,
+        last writer wins).
+        """
+        if fcntl is None:
+            yield
+            return
+        with open(os.path.join(self.root, _LOCK_FILE), "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     # ------------------------------------------------------------------
     # The content-addressed API
     # ------------------------------------------------------------------
@@ -221,25 +254,36 @@ class RunStore:
         except codec.UnsupportedValue:
             return None
         digest = key.digest
-        if trace_summary is None:
-            existing = self._memo.get(digest)
-            if existing is None:
-                payload = self._read_payload(self._entry_path(digest))
-                if payload is not None:
-                    existing = self._decode_entry(payload, expect_digest=digest)
-            if existing is not None and existing.trace_summary is not None:
-                trace_summary = existing.trace_summary
         stats_dict = dataclasses.asdict(stats)
-        payload = {
-            "v": STORE_SCHEMA_VERSION,
-            "digest": digest,
-            "key": key.metadata(),
-            "output": encoded_output,
-            "stats": stats_dict,
-            "trace_summary": trace_summary,
-            "payload_sha256": _payload_checksum(encoded_output, stats_dict),
-        }
-        self._atomic_write(self._entry_path(digest), json.dumps(payload) + "\n")
+        with self._publication_lock():
+            if trace_summary is None:
+                existing = self._memo.get(digest)
+                if existing is None:
+                    payload = self._read_payload(self._entry_path(digest))
+                    if payload is not None:
+                        existing = self._decode_entry(payload, expect_digest=digest)
+                if existing is not None and existing.trace_summary is not None:
+                    trace_summary = existing.trace_summary
+            payload = {
+                "v": STORE_SCHEMA_VERSION,
+                "digest": digest,
+                "key": key.metadata(),
+                "output": encoded_output,
+                "stats": stats_dict,
+                "trace_summary": trace_summary,
+                "payload_sha256": _payload_checksum(encoded_output, stats_dict),
+            }
+            try:
+                self._atomic_write(
+                    self._entry_path(digest), json.dumps(payload) + "\n"
+                )
+            except OSError:
+                # A lost publication race (e.g. a platform where rename
+                # cannot replace an existing file): a peer's bytes are
+                # identical by construction, so the entry is published
+                # either way — unless nothing exists, the failure is real.
+                if not os.path.exists(self._entry_path(digest)):
+                    raise
         self._memo[digest] = StoreEntry(
             output=output, stats=stats, trace_summary=trace_summary
         )
@@ -401,10 +445,35 @@ class RunStore:
         """Drop the in-process decoded-entry memo (disk is untouched)."""
         self._memo.clear()
 
+    def share(self) -> "RunStore":
+        """Take another reference on this handle; returns the handle.
+
+        Each ``share()`` must be balanced by a ``close()``; the handle
+        only becomes unusable when the last reference is closed.  A
+        long-lived owner (e.g. the simulation daemon) shares the handle
+        it installs as the process-wide active store, so a
+        ``clear_caches()`` reset — which closes the active store —
+        cannot close the owner's handle out from under it.
+        """
+        with self._ref_lock:
+            self._check_open()
+            self._refs += 1
+        return self
+
     def close(self) -> None:
-        """Mark the handle unusable (the on-disk store stays valid)."""
-        self._memo.clear()
-        self._closed = True
+        """Drop one reference; the last close marks the handle unusable.
+
+        Idempotent: closing an already-closed handle is a no-op (the
+        on-disk store stays valid either way).
+        """
+        with self._ref_lock:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._memo.clear()
+            self._closed = True
 
     def __enter__(self) -> "RunStore":
         return self

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -209,3 +210,35 @@ class TestExperimentsCommand:
     def test_figure3_parallel(self, capsys):
         assert main(["experiments", "figure3", "--jobs", "2"]) == 0
         assert "fraction approximate" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_dump_config_prints_effective_json(self, capsys):
+        assert main(["serve", "--dump-config", "--workers", "3", "--port", "0"]) == 0
+        config = json.loads(capsys.readouterr().out)
+        assert config["workers"] == 3
+        assert config["port"] == 0
+        assert config["warm_apps"] == ["all"]
+
+    def test_dump_config_reflects_no_cache(self, capsys):
+        assert main(["serve", "--dump-config", "--no-cache"]) == 0
+        assert json.loads(capsys.readouterr().out)["cache_dir"] is None
+
+    def test_invalid_knobs_fail_at_boot(self, capsys):
+        assert main(["serve", "--dump-config", "--workers", "0"]) == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_is_an_error(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["submit", "fft", "--port", str(free_port)]) == 1
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_via_service_rejects_bad_address(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments", "table2", "--via-service", "nowhere"]) == 1
+        assert "--via-service" in capsys.readouterr().err

@@ -30,6 +30,7 @@ DOC_FILES = [
     "DESIGN.md",
     "EXPERIMENTS.md",
     "OBSERVABILITY.md",
+    "SERVICE.md",
     "ROADMAP.md",
 ]
 

@@ -104,3 +104,39 @@ class TestClearCaches:
         harness.clear_caches()
         after = harness.precise_output(SMALL_MC, workload_seed=0)
         assert before == after
+
+    def test_idempotent_with_and_without_active_store(self, fresh_caches, tmp_path):
+        from repro import store as store_mod
+        from repro.store import RunStore
+
+        harness.clear_caches()  # no store active: must be a no-op
+        harness.clear_caches()
+        previous = store_mod.set_active_store(RunStore(str(tmp_path / "cache")))
+        try:
+            harness.clear_caches()
+            assert store_mod.active_store() is None
+            harness.clear_caches()  # second reset after close: still fine
+        finally:
+            store_mod.set_active_store(previous)
+
+    def test_shared_store_handle_survives_clear(self, fresh_caches, tmp_path):
+        # The simulation daemon holds a share()d reference to the store
+        # it installs; a harness reset must not close it underneath.
+        from repro import store as store_mod
+        from repro.store import RunStore
+        from repro.hardware.config import MEDIUM
+
+        store = RunStore(str(tmp_path / "cache"))
+        previous = store_mod.set_active_store(store.share())
+        try:
+            harness.clear_caches()
+            harness.clear_caches()  # idempotence with a live shared holder
+            key = harness.RunKey(
+                spec=SMALL_MC, config=MEDIUM, fault_seed=1, workload_seed=0
+            )
+            result = harness.run_key(key)  # no store active: plain run
+            store.put(key, result.output, result.stats)  # handle still open
+            assert store.get(key).output == result.output
+        finally:
+            store_mod.set_active_store(previous)
+            store.close()

@@ -1,0 +1,448 @@
+"""In-process tests for the simulation service (repro/service/).
+
+Pins the tentpole guarantees:
+
+* protocol validation and framing (exact float round trips),
+* store hits answered inline, misses executed by warm workers and
+  written through (second ask is a hit),
+* a **mixed hit/miss batch of 32 requests whose answers are
+  bit-identical to the serial harness** (the acceptance bar),
+* request coalescing of identical in-flight misses,
+* bounded admission with structured backpressure instead of hanging,
+* per-request deadlines with graceful cancellation,
+* crash-isolated workers (a worker death fails only its request, the
+  pool respawns, the restart counter moves),
+* live healthz/metrics/config over both the JSON ops and HTTP GET,
+* harness routing (`--via-service`) returning bit-identical floats.
+
+The daemon here runs in-process (`SimulationServer` + real sockets);
+the subprocess lifecycle — boot, SIGTERM drain, exit code — is covered
+by ``tests/test_service_lifecycle.py``.
+"""
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import harness
+from repro.hardware.config import MEDIUM
+from repro.service import (
+    ServiceBackpressure,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDeadline,
+    ServiceError,
+    ServiceRequestFailed,
+    SimulationServer,
+    routed,
+)
+from repro.service.protocol import (
+    CRASH_APP,
+    ProtocolError,
+    SimRequest,
+    decode_line,
+    encode_line,
+)
+
+FFT = app_by_name("fft")
+
+#: Fault-seed ranges are partitioned across tests so hit/miss
+#: expectations against the module-scoped server stay deterministic.
+BATCH_SEEDS = range(1, 33)  # the 32-request acceptance batch
+SEED_MISS_THEN_HIT = 201
+SEED_TRACE = 202
+SEED_DEADLINE = 203
+SEED_COALESCE = 204
+SEED_AFTER_CRASH = 205
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("service") / "cache")
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        queue_bound=64,
+        warm_apps=("fft",),
+        cache_dir=cache_dir,
+        default_deadline_ms=120_000,
+    )
+    srv = SimulationServer(config)
+    srv.start()
+    yield srv
+    srv.initiate_drain()
+    srv.drain(timeout=30)
+    srv.stop()
+    harness.clear_caches()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port) as connection:
+        yield connection
+
+
+def _counter(server, name):
+    return server.metrics_payload()["counters"].get(name, 0)
+
+
+class TestProtocol:
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "no-such-app", "config": "medium"})
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "fft", "config": "warp-speed"})
+
+    def test_rejects_non_integer_seeds(self):
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "fft", "fault_seed": "3"})
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "fft", "fault_seed": True})
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "fft", "deadline_ms": 0})
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": "fft", "deadline_ms": "soon"})
+
+    def test_crash_probe_gated_by_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_ALLOW_CRASH", raising=False)
+        with pytest.raises(ProtocolError):
+            SimRequest.from_wire({"app": CRASH_APP})
+        monkeypatch.setenv("REPRO_SERVICE_ALLOW_CRASH", "1")
+        assert SimRequest.from_wire({"app": CRASH_APP}).is_crash_probe
+
+    def test_canonicalises_app_name(self):
+        request = SimRequest.from_wire({"app": "fft", "config": "mild"})
+        assert request.app == FFT.name
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1234567890123456789 / 3.0
+        line = encode_line({"qos": value})
+        assert decode_line(line)["qos"] == value
+
+
+class TestIntrospection:
+    def test_healthz(self, server, client):
+        health = client.healthz()
+        assert health["status"] == "serving"
+        assert health["workers_alive"] == 2
+        assert health["protocol"] == 1
+
+    def test_config(self, server, client):
+        config = client.server_config()
+        assert config["workers"] == 2
+        assert config["store"] == server.config.cache_dir
+        assert tuple(config["address"]) == server.address
+
+    def test_metrics_shape(self, client):
+        metrics = client.metrics()
+        assert set(metrics) == {"counters", "histograms", "gauges", "derived"}
+        assert "queue_depth" in metrics["gauges"]
+        assert "p99" in metrics["derived"]["latency_ms"]
+
+    def test_http_get_endpoints(self, server):
+        host, port = server.address
+        for path, expect in (
+            ("/healthz", b'"status"'),
+            ("/metrics", b'"counters"'),
+            ("/config", b'"workers"'),
+        ):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode("ascii"))
+                data = sock.makefile("rb").read()
+            assert data.startswith(b"HTTP/1.0 200 OK"), path
+            assert expect in data
+            body = data.split(b"\r\n\r\n", 1)[1]
+            json.loads(body)  # the body is the op's JSON payload
+
+    def test_http_get_unknown_path_is_404(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+            data = sock.makefile("rb").read()
+        assert data.startswith(b"HTTP/1.0 404")
+
+    def test_unknown_op_is_bad_request(self, server):
+        response = server.handle_message({"op": "dance", "id": 9})
+        assert response == {
+            "ok": False,
+            "error": {"code": "bad_request", "message": "unknown op 'dance'"},
+            "id": 9,
+        }
+
+
+class TestSubmit:
+    def test_bad_app_is_structured_error(self, client):
+        with pytest.raises(ServiceRequestFailed) as excinfo:
+            client.submit("no-such-app")
+        assert excinfo.value.code == "bad_request"
+
+    def test_miss_then_hit(self, server, client):
+        first = client.submit("fft", "medium", fault_seed=SEED_MISS_THEN_HIT)
+        assert first.cached is False
+        assert first.app == FFT.name and first.config == "medium"
+        assert isinstance(first.qos, float)
+        assert len(first.digest) == 64
+        assert first.ops > 0 and first.server_ms is not None
+
+        second = client.submit("fft", "medium", fault_seed=SEED_MISS_THEN_HIT)
+        assert second.cached is True
+        assert second.qos == first.qos  # bit-identical from the store
+        assert second.digest == first.digest
+
+    def test_trace_summary_forces_execution_then_caches(self, server, client):
+        first = client.submit(
+            "fft", "medium", fault_seed=SEED_TRACE, want_trace_summary=True
+        )
+        assert first.cached is False
+        assert first.trace_summary is not None
+        assert first.trace_summary["events"] > 0
+
+        second = client.submit(
+            "fft", "medium", fault_seed=SEED_TRACE, want_trace_summary=True
+        )
+        assert second.cached is True
+        assert second.trace_summary == first.trace_summary
+        assert second.qos == first.qos
+
+
+class TestBatchBitIdentity:
+    """The acceptance bar: >=32 mixed hit/miss, bit-identical answers."""
+
+    def test_mixed_batch_matches_serial_harness(self, server, client):
+        from repro import store as store_mod
+
+        seeds = list(BATCH_SEEDS)
+        half = seeds[: len(seeds) // 2]
+
+        # Pre-compute half the cells through the serial harness into the
+        # daemon's own store directory, so the batch is genuinely mixed:
+        # the first half answers from the store, the second half goes to
+        # the warm workers.  Drop the in-memory memos first: the server's
+        # hit path needs the precise *baseline entry on disk*, which a
+        # memo-served reference would never write.
+        harness.clear_caches()
+        serial = {}
+        with store_mod.activated(server.config.cache_dir):
+            for seed in half:
+                serial[seed] = harness.qos_error(FFT, MEDIUM, fault_seed=seed)
+
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "medium", "fault_seed": seed}
+                for seed in seeds
+            ]
+        )
+        assert len(results) == len(seeds) >= 32
+        by_seed = {result.fault_seed: result for result in results}
+        assert [result.fault_seed for result in results] == seeds  # item order
+        assert all(by_seed[seed].cached for seed in half)
+        assert not any(by_seed[seed].cached for seed in seeds[len(half):])
+
+        # The other half of the serial reference is computed locally
+        # with *no* store: a fresh simulation, nothing shared with the
+        # daemon but the code itself.
+        for seed in seeds[len(half):]:
+            serial[seed] = harness.qos_error(FFT, MEDIUM, fault_seed=seed)
+
+        for seed in seeds:
+            assert by_seed[seed].qos == serial[seed], (
+                f"seed {seed}: daemon {by_seed[seed].qos!r} != "
+                f"serial {serial[seed]!r}"
+            )
+
+    def test_batch_reports_partial_errors_in_place(self, client):
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "medium", "fault_seed": 1},
+                {"app": "no-such-app"},
+            ],
+            raise_on_error=False,
+        )
+        assert results[0].qos == pytest.approx(results[0].qos)  # a result
+        assert results[1]["code"] == "bad_request"
+
+    def test_empty_batch_is_bad_request(self, server):
+        response = server.handle_message({"op": "batch", "items": []})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+
+class TestCoalescing:
+    def test_identical_inflight_misses_share_one_task(self, server):
+        coalesced_before = _counter(server, "service.coalesced")
+        request = SimRequest.from_wire(
+            {"app": "fft", "config": "medium", "fault_seed": SEED_COALESCE}
+        )
+        now = time.monotonic()
+        first = server._admit(request, now)
+        second = server._admit(request, now)
+        try:
+            assert second is first  # the same in-flight task object
+            assert _counter(server, "service.coalesced") == coalesced_before + 1
+        finally:
+            assert first.event.wait(60)
+        assert first.response["ok"] is True
+
+    def test_concurrent_clients_get_identical_answers(self, server):
+        host, port = server.address
+        answers = []
+
+        def ask():
+            with ServiceClient(host, port) as connection:
+                answers.append(
+                    connection.submit("fft", "mild", fault_seed=SEED_COALESCE)
+                )
+
+        threads = [threading.Thread(target=ask) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(answers) == 3
+        assert len({answer.qos for answer in answers}) == 1
+        assert len({answer.digest for answer in answers}) == 1
+
+
+class TestBackpressureAndDeadlines:
+    def test_full_queue_rejects_with_retry_hint(self, tmp_path):
+        # A deliberately tiny daemon: one worker, a queue of one, no
+        # store (so every request is a miss and must occupy capacity).
+        config = ServiceConfig(
+            port=0, workers=1, queue_bound=1, warm_apps=("fft",), cache_dir=None
+        )
+        with SimulationServer(config) as srv:
+            host, port = srv.address
+            with ServiceClient(host, port) as connection:
+                outcomes = connection.submit_batch(
+                    [
+                        {"app": "fft", "config": "medium", "fault_seed": seed}
+                        for seed in range(1, 9)
+                    ],
+                    raise_on_error=False,
+                )
+            ok = [o for o in outcomes if not isinstance(o, dict)]
+            rejected = [o for o in outcomes if isinstance(o, dict)]
+            assert ok, "some requests must be admitted"
+            assert rejected, "an 8-deep burst must overflow a 1-deep queue"
+            for error in rejected:
+                assert error["code"] == "overloaded"
+                assert error["retry_after_s"] > 0
+            assert _counter(srv, "service.rejected") == len(rejected)
+
+            # Draining rejects new work outright (structured, no hang).
+            srv.initiate_drain()
+            with ServiceClient(host, port) as connection:
+                with pytest.raises(ServiceBackpressure):
+                    connection.submit("fft", "medium", fault_seed=99)
+
+    def test_deadline_expires_but_execution_warms_store(self, server, client):
+        expired_before = _counter(server, "service.deadline_expired")
+        with pytest.raises(ServiceDeadline):
+            client.submit("fft", "medium", fault_seed=SEED_DEADLINE, deadline_ms=1)
+        assert _counter(server, "service.deadline_expired") == expired_before + 1
+        # Graceful cancellation: only the wait was abandoned.  The run
+        # completed in the background, so asking again succeeds (and is
+        # typically already a store hit).
+        result = client.submit("fft", "medium", fault_seed=SEED_DEADLINE)
+        assert isinstance(result.qos, float)
+
+    def test_metrics_track_hits_and_latency(self, server, client):
+        metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["service.requests_total"] > 0
+        assert counters["service.hits"] > 0
+        assert counters["service.misses"] > 0
+        assert 0.0 < metrics["derived"]["hit_ratio"] < 1.0
+        assert metrics["derived"]["latency_ms"]["p50"] is not None
+        assert metrics["derived"]["latency_ms"]["p99"] >= metrics["derived"][
+            "latency_ms"
+        ]["p50"]
+        assert metrics["gauges"]["workers_alive"] == 2
+
+
+class TestCrashIsolation:
+    def test_worker_death_fails_request_and_pool_recovers(
+        self, server, client, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVICE_ALLOW_CRASH", "1")
+        restarts_before = _counter(server, "service.worker_restarts")
+        with pytest.raises(ServiceRequestFailed) as excinfo:
+            client.submit(CRASH_APP, "medium")
+        assert excinfo.value.code == "worker_crashed"
+        # Each attempt killed a worker: retry_budget=2 means 3 deaths,
+        # each observed by the pool as a restart.
+        assert (
+            _counter(server, "service.worker_restarts")
+            == restarts_before + server.config.retry_budget + 1
+        )
+        assert (
+            _counter(server, "service.worker_crash_failures") >= 1
+        )
+        # The pool respawns on demand: real work still succeeds, and a
+        # two-miss batch occupies both slots, so the full complement
+        # comes back.
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "medium", "fault_seed": seed}
+                for seed in (SEED_AFTER_CRASH, SEED_AFTER_CRASH + 1)
+            ]
+        )
+        assert all(result.cached is False for result in results)
+        assert client.healthz()["workers_alive"] == 2
+
+    def test_crash_probe_rejected_without_opt_in(self, client, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_ALLOW_CRASH", raising=False)
+        with pytest.raises(ServiceRequestFailed) as excinfo:
+            client.submit(CRASH_APP, "medium")
+        assert excinfo.value.code == "bad_request"
+
+
+class TestRouting:
+    def test_eligibility_is_conservative(self):
+        from repro.service.routing import ServiceRoute
+
+        route = ServiceRoute(client=None)
+        good = harness.RunKey(spec=FFT, config=MEDIUM, fault_seed=1, workload_seed=0)
+        assert route.accepts(good)
+
+        local_spec = dataclasses.replace(FFT, name="FFT@local-test")
+        assert not route.accepts(dataclasses.replace(good, spec=local_spec))
+
+        ablation = dataclasses.replace(MEDIUM, name="custom-ablation")
+        assert not route.accepts(dataclasses.replace(good, config=ablation))
+
+    def test_routed_mean_qos_is_bit_identical(self, server):
+        local = harness.mean_qos(FFT, MEDIUM, runs=3)
+        host, port = server.address
+        with ServiceClient(host, port) as connection:
+            with routed(connection):
+                via_daemon = harness.mean_qos(FFT, MEDIUM, runs=3)
+        assert via_daemon == local
+        assert harness.mean_qos(FFT, MEDIUM, runs=3) == local  # route cleared
+
+    def test_routed_qos_error_single_key(self, server):
+        local = harness.qos_error(FFT, MEDIUM, fault_seed=2)
+        host, port = server.address
+        with ServiceClient(host, port) as connection:
+            with routed(connection):
+                assert harness.qos_error(FFT, MEDIUM, fault_seed=2) == local
+
+
+class TestClientErrors:
+    def test_connection_refused_is_helpful(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServiceError, match="repro serve"):
+            ServiceClient("127.0.0.1", free_port, connect_timeout=0.5)

@@ -1,0 +1,146 @@
+"""Lifecycle tests for the daemon as an actual subprocess.
+
+``tests/test_service.py`` drives an in-process ``SimulationServer``;
+here the real ``python -m repro serve`` process is booted on an
+ephemeral port and exercised the way an operator would: parse the
+listening line, query it with the client and the ``repro submit`` CLI,
+then SIGTERM it and insist on a clean drain and exit code 0.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+_LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def _spawn_daemon(tmp_path, *extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--warm-apps",
+            "fft",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = process.stdout.readline()
+    match = _LISTENING.search(line)
+    if not match:
+        process.kill()
+        rest = process.stdout.read()
+        raise AssertionError(f"no listening line; daemon said: {line!r} {rest!r}")
+    return process, match.group(1), int(match.group(2))
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    process, host, port = _spawn_daemon(tmp_path)
+    try:
+        yield process, host, port
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
+        process.wait(timeout=10)
+
+
+def test_boot_serve_submit_sigterm_drain(daemon):
+    process, host, port = daemon
+
+    with ServiceClient(host, port) as client:
+        assert client.healthz()["status"] == "serving"
+        first = client.submit("fft", "medium", fault_seed=7)
+        assert first.cached is False
+        second = client.submit("fft", "medium", fault_seed=7)
+        assert second.cached is True
+        assert second.qos == first.qos
+
+    # The submit CLI against the same daemon (JSON mode): answered from
+    # the store the daemon just warmed.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "submit",
+            "fft",
+            "--level",
+            "medium",
+            "--seed",
+            "7",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    payload = json.loads(completed.stdout)
+    assert payload[0]["cached"] is True
+    assert payload[0]["qos"] == first.qos
+
+    # SIGTERM: drain then exit 0, telling the operator what happened.
+    process.send_signal(signal.SIGTERM)
+    assert process.wait(timeout=60) == 0
+    transcript = process.stdout.read()
+    assert "draining" in transcript
+    assert "drained cleanly" in transcript
+
+
+def test_sigterm_mid_flight_still_drains(daemon):
+    process, host, port = daemon
+
+    # Leave a request in flight, then immediately ask for shutdown: the
+    # daemon must finish the work it admitted before exiting 0.
+    import threading
+
+    answers = []
+
+    def ask():
+        with ServiceClient(host, port) as client:
+            answers.append(client.submit("fft", "medium", fault_seed=11))
+
+    thread = threading.Thread(target=ask)
+    thread.start()
+    time.sleep(0.15)  # let the request reach the admission queue
+    process.send_signal(signal.SIGTERM)
+    thread.join(timeout=60)
+    assert process.wait(timeout=60) == 0
+    assert answers and answers[0].cached is False
+    assert "drained cleanly" in process.stdout.read()

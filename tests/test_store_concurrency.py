@@ -1,0 +1,142 @@
+"""Concurrent-writer safety and handle refcounting for the run store.
+
+The simulation daemon introduces two new store usage patterns that the
+original single-process campaigns never exercised:
+
+* several writers (worker processes, plus the daemon's own handle)
+  publishing entries into the same store directory at once, and
+* a long-lived handle that must survive a harness ``clear_caches()``
+  reset (``RunStore.share`` / refcounted ``close``).
+
+These tests pin both: racing same-key and distinct-key writers always
+leave a clean, verifiable store, and the share/close discipline behaves
+like a proper refcount (double close included).
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import store as store_mod
+from repro.apps import app_by_name
+from repro.experiments import RunKey
+from repro.runtime.stats import RunStats
+from repro.store import RunStore, StoreError
+
+MC = dataclasses.replace(
+    app_by_name("montecarlo"), name="MC@concurrency-test", default_args=(300, 0)
+)
+
+STATS = RunStats(int_ops_approx=5, fp_ops_precise=2, ticks=99, endorsements=3)
+
+
+def _key(fault_seed=1):
+    from repro.hardware.config import MEDIUM
+
+    return RunKey(spec=MC, config=MEDIUM, fault_seed=fault_seed, workload_seed=0)
+
+
+def _hammer(threads):
+    errors = []
+
+    def run(fn):
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    workers = [threading.Thread(target=run, args=(fn,)) for fn in threads]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    return errors
+
+
+class TestConcurrentWriters:
+    def test_same_key_same_handle(self, tmp_path):
+        with RunStore(str(tmp_path / "cache")) as store:
+            key = _key()
+            errors = _hammer(
+                [lambda: store.put(key, [1.0, 2.0], STATS) for _ in range(8)]
+            )
+            assert errors == []
+            entry = store.get(key)
+            assert entry is not None and entry.output == [1.0, 2.0]
+            assert store.verify() == []
+
+    def test_same_key_distinct_handles(self, tmp_path):
+        # Two independent handles on one directory model two processes
+        # (the daemon plus a concurrently running `repro experiments`).
+        root = str(tmp_path / "cache")
+        with RunStore(root) as a, RunStore(root) as b:
+            key = _key()
+            errors = _hammer(
+                [lambda: a.put(key, "payload", STATS) for _ in range(4)]
+                + [lambda: b.put(key, "payload", STATS) for _ in range(4)]
+            )
+            assert errors == []
+            assert a.get(key).output == "payload"
+            assert b.get(key).output == "payload"
+            assert a.verify() == []
+
+    def test_distinct_keys_race_cleanly(self, tmp_path):
+        with RunStore(str(tmp_path / "cache")) as store:
+            keys = [_key(fault_seed=s) for s in range(1, 9)]
+            errors = _hammer(
+                [lambda k=k: store.put(k, k.fault_seed, STATS) for k in keys]
+            )
+            assert errors == []
+            for key in keys:
+                assert store.get(key).output == key.fault_seed
+            assert store.stats().entries == len(keys)
+            assert store.verify() == []
+
+    def test_put_preserves_existing_trace_summary_under_lock(self, tmp_path):
+        with RunStore(str(tmp_path / "cache")) as store:
+            key = _key()
+            summary = {"events": 7, "dropped": 0, "counters": {}}
+            store.put(key, 1.5, STATS, trace_summary=summary)
+            # A plain (summary-less) republish of the same run must not
+            # wipe the richer entry, even when racing.
+            errors = _hammer([lambda: store.put(key, 1.5, STATS) for _ in range(6)])
+            assert errors == []
+            assert store.get(key).trace_summary == summary
+
+
+class TestHandleRefcounting:
+    def test_share_keeps_handle_open_across_close(self, tmp_path):
+        store = RunStore(str(tmp_path / "cache"))
+        assert store.share() is store
+        store.close()  # drops the shared ref; one ref remains
+        store.put(_key(), 3.25, STATS)
+        assert store.get(_key()).output == 3.25
+        store.close()  # last ref: now actually closed
+        with pytest.raises(StoreError):
+            store.get(_key())
+
+    def test_double_close_does_not_raise(self, tmp_path):
+        store = RunStore(str(tmp_path / "cache"))
+        store.close()
+        store.close()  # idempotent, satellite requirement
+        with pytest.raises(StoreError):
+            store.put(_key(), 0, STATS)
+
+    def test_share_after_close_is_an_error(self, tmp_path):
+        store = RunStore(str(tmp_path / "cache"))
+        store.close()
+        with pytest.raises(StoreError):
+            store.share()
+
+    def test_reset_active_store_spares_shared_holder(self, tmp_path):
+        store = RunStore(str(tmp_path / "cache"))
+        previous = store_mod.set_active_store(store.share())
+        try:
+            store_mod.reset_active_store()  # closes the active reference
+            assert store_mod.active_store() is None
+            store.put(_key(), "survivor", STATS)  # holder's ref still live
+            assert store.get(_key()).output == "survivor"
+        finally:
+            store_mod.set_active_store(previous)
+            store.close()
