@@ -1,0 +1,45 @@
+"""Whole-program approximation-flow analysis (``repro lint`` / ``repro analyze``).
+
+Static analyses layered on top of the checker's facts:
+
+* :mod:`repro.analysis.flowgraph` — the interprocedural
+  approximation-flow graph every analysis consumes;
+* :mod:`repro.analysis.reliability` — static per-op corruption bounds
+  composed from the hardware fault model, plus the dynamic soundness
+  check against traced runs;
+* :mod:`repro.analysis.lints` — the endorsement audit (AF001–AF005);
+* :mod:`repro.analysis.inference` — checker-validated ``@Approx``
+  relaxation suggestions;
+* :mod:`repro.analysis.report` — text/JSON rendering shared by the CLI.
+
+See ANALYSIS.md for the model and the lint catalog.
+"""
+
+from repro.analysis.flowgraph import FlowGraph, FlowNode, build_flow_graph
+from repro.analysis.inference import Suggestion, infer_relaxations
+from repro.analysis.lints import Finding, LINT_CODES, run_lints
+from repro.analysis.reliability import (
+    ReliabilityBound,
+    SoundnessRecord,
+    app_reliability,
+    observed_fault_impact,
+    reliability_bound,
+    soundness_check,
+)
+
+__all__ = [
+    "FlowGraph",
+    "FlowNode",
+    "build_flow_graph",
+    "Finding",
+    "LINT_CODES",
+    "run_lints",
+    "ReliabilityBound",
+    "SoundnessRecord",
+    "app_reliability",
+    "observed_fault_impact",
+    "reliability_bound",
+    "soundness_check",
+    "Suggestion",
+    "infer_relaxations",
+]

@@ -1,0 +1,946 @@
+"""Interprocedural approximation-flow graph (analysis pass 3).
+
+The checker (:mod:`repro.core.checker`) verifies EnerJ's isolation
+property locally and records per-node *facts*; this module consumes a
+:class:`~repro.core.checker.CheckResult` and stitches those facts into a
+whole-program def-use graph:
+
+* **storage nodes** — one per local/parameter (flow-insensitive: every
+  binding of ``fn``'s local ``x`` is the same node), per class field
+  (class-global: all instances alias), per array allocation site, and
+  one ``return`` node per function;
+* **operation nodes** — one per arithmetic/comparison/conversion/math
+  fact the instrumenter would rewrite;
+* **endorsement nodes** — one per ``endorse(...)`` site; taint flows
+  *through* an endorsement (its inputs stay in the graph) even though
+  the checker launders the qualifier;
+* **sink nodes** — ``control`` (if/while/ternary/assert conditions and
+  ``range`` bounds), ``index`` (subscript indices) and ``unchecked``
+  (arguments escaping to un-checked code such as ``print`` or unknown
+  callees).
+
+Edges follow value flow: operand -> operation -> stored target, argument
+-> parameter, returned value -> return node -> call site.  Array-typed
+arguments additionally get a reverse (alias) edge so element writes in
+the callee reach the caller's view of the array.  *Implicit* flows are
+tracked too: any store executed under a condition whose value derives
+from approximate data gets an edge from the condition's sources — this
+is what connects MonteCarlo's precise ``under_curve`` counter (and hence
+its output) to the approximate coordinates that gate it.
+
+Everything is deterministic: node identifiers are derived from source
+positions and qualified names, adjacency is kept in sorted order, and
+reachability visits nodes in sorted order, so two runs over the same
+program produce bit-identical graphs regardless of hash seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.annotations import APPROX_SUFFIX
+from repro.core.checker import CheckResult
+from repro.core.declarations import ClassInfo, FunctionSig, parse_annotation
+from repro.core.diagnostics import DiagnosticSink
+from repro.core.qualifiers import APPROX, CONTEXT, PRECISE, TOP, Qualifier
+from repro.core.types import QualifiedType, primitive, reference
+
+__all__ = ["FlowNode", "FlowGraph", "build_flow_graph"]
+
+#: Node kinds that denote stored program state (lints and the reliability
+#: bound treat these as fault-bearing storage).
+STORAGE_KINDS = frozenset({"local", "param", "field", "alloc"})
+
+#: Sink kinds (lint queries).
+SINK_KINDS = frozenset({"control", "index", "unchecked"})
+
+#: Qualifier precedence when merging re-bindings of the same node:
+#: once possibly approximate, always possibly approximate.
+_QUAL_RANK = {"approx": 3, "context": 2, "top": 1, "precise": 0}
+
+
+@dataclasses.dataclass
+class FlowNode:
+    """One vertex of the approximation-flow graph."""
+
+    ident: str
+    kind: str  # local|param|field|return|alloc|op|endorse|upcast|new|sink
+    module: str
+    line: int
+    column: int
+    qualifier: str  # precise|approx|context|top
+    mechanism: str  # sram|dram|alu|fpu|none
+    label: str
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind in STORAGE_KINDS
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind == "sink"
+
+    @property
+    def may_approx(self) -> bool:
+        """Whether values here can be approximate at run time."""
+        return self.qualifier in ("approx", "context")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class FlowGraph:
+    """A deterministic directed graph over :class:`FlowNode` vertices."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, FlowNode] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        ident: str,
+        kind: str,
+        module: str,
+        line: int,
+        column: int,
+        qualifier: str,
+        mechanism: str,
+        label: str,
+    ) -> str:
+        existing = self.nodes.get(ident)
+        if existing is None:
+            self.nodes[ident] = FlowNode(
+                ident, kind, module, line, column, qualifier, mechanism, label
+            )
+            self._succ.setdefault(ident, set())
+            self._pred.setdefault(ident, set())
+            return ident
+        # Merge re-bindings: keep the first source position, widen the
+        # qualifier (approx wins), keep the first concrete mechanism.
+        if _QUAL_RANK.get(qualifier, 0) > _QUAL_RANK.get(existing.qualifier, 0):
+            existing.qualifier = qualifier
+        if existing.mechanism == "none" and mechanism != "none":
+            existing.mechanism = mechanism
+        return ident
+
+    def add_edge(self, src: str, dst: str) -> None:
+        if src == dst:
+            return
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"edge endpoints must exist: {src} -> {dst}")
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    # ------------------------------------------------------------------
+    # Queries (all outputs sorted for determinism)
+    # ------------------------------------------------------------------
+    def successors(self, ident: str) -> List[str]:
+        return sorted(self._succ.get(ident, ()))
+
+    def predecessors(self, ident: str) -> List[str]:
+        return sorted(self._pred.get(ident, ()))
+
+    def out_degree(self, ident: str) -> int:
+        return len(self._succ.get(ident, ()))
+
+    def in_degree(self, ident: str) -> int:
+        return len(self._pred.get(ident, ()))
+
+    def node_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(
+            (src, dst) for src, dsts in self._succ.items() for dst in dsts
+        )
+
+    def _reach(self, roots: Iterable[str], adjacency: Dict[str, Set[str]]) -> List[str]:
+        frontier = sorted(set(roots) & set(self.nodes))
+        seen: Set[str] = set(frontier)
+        while frontier:
+            nxt: Set[str] = set()
+            for ident in frontier:
+                nxt.update(adjacency.get(ident, ()))
+            frontier = sorted(nxt - seen)
+            seen.update(frontier)
+        return sorted(seen)
+
+    def forward(self, roots: Iterable[str]) -> List[str]:
+        """All nodes reachable from ``roots`` (inclusive), sorted."""
+        return self._reach(roots, self._succ)
+
+    def backward(self, roots: Iterable[str]) -> List[str]:
+        """All nodes that reach ``roots`` (inclusive), sorted."""
+        return self._reach(roots, self._pred)
+
+    def sinks(self, label: Optional[str] = None) -> List[str]:
+        """Sink node idents, optionally restricted to one sink label."""
+        out = []
+        for ident in self.node_ids():
+            node = self.nodes[ident]
+            if node.is_sink and (label is None or node.label == label):
+                out.append(ident)
+        return out
+
+    def storage_nodes(self) -> List[str]:
+        return [i for i in self.node_ids() if self.nodes[i].is_storage]
+
+    def endorsements(self) -> List[str]:
+        return [i for i in self.node_ids() if self.nodes[i].kind == "endorse"]
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [self.nodes[i].to_dict() for i in self.node_ids()],
+            "edges": [list(edge) for edge in self.edges()],
+        }
+
+
+# ----------------------------------------------------------------------
+# Qualifier / mechanism classification
+# ----------------------------------------------------------------------
+def _qual_name(qualifier: Qualifier) -> str:
+    if qualifier is APPROX:
+        return "approx"
+    if qualifier is CONTEXT:
+        return "context"
+    if qualifier is TOP:
+        return "top"
+    return "precise"
+
+
+def _storage_profile(declared: QualifiedType) -> Tuple[str, str]:
+    """(qualifier, mechanism) for a stored value of the given type.
+
+    Primitive locals live in SRAM; array *elements* live in the DRAM
+    heap, so an array-holding node carries its element qualifier and the
+    ``dram`` mechanism (each holder over-counts residency, which is
+    sound for an upper bound).  Plain references carry no storage of
+    their own — their fields are separate nodes.
+    """
+    if declared.is_primitive:
+        return _qual_name(declared.qualifier), "sram"
+    if declared.is_array and declared.element is not None:
+        element = declared.element
+        if element.is_primitive:
+            return _qual_name(element.qualifier), "dram"
+        return _qual_name(element.qualifier), "none"
+    if declared.is_reference:
+        return _qual_name(declared.qualifier), "none"
+    return "precise", "none"
+
+
+def _op_mechanism(kind: str) -> str:
+    return "fpu" if kind == "float" else "alu"
+
+
+def _fact_qual(flag) -> str:
+    if flag is True:
+        return "approx"
+    if flag == "context":
+        return "context"
+    return "precise"
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class _GraphBuilder:
+    """Walks checked function bodies and emits graph nodes/edges.
+
+    Mirrors the checker's supported statement/expression subset; the
+    checker has already rejected anything outside it, so unknown shapes
+    here simply contribute no flow.
+    """
+
+    def __init__(self, result: CheckResult) -> None:
+        self.result = result
+        self.decls = result.declarations
+        self.graph = FlowGraph()
+        self._module = ""
+        self._fn = ""  # qualified function name within the module
+        self._sig: Optional[FunctionSig] = None
+        self._owner: Optional[ClassInfo] = None
+        self._locals: Dict[str, QualifiedType] = {}
+        #: Stack of control-dependency source lists (implicit flows).
+        self._control: List[List[str]] = []
+        self._math_names: Set[str] = set()
+
+    # -- identifiers ----------------------------------------------------
+    def _site(self, node: ast.AST) -> str:
+        return f"{self._module}:{getattr(node, 'lineno', 0)}:{getattr(node, 'col_offset', 0)}"
+
+    def _local_id(self, name: str) -> str:
+        return f"local:{self._module}.{self._fn}.{name}"
+
+    def _return_id(self, module: str, fn: str) -> str:
+        return f"return:{module}.{fn}"
+
+    # -- node helpers ---------------------------------------------------
+    def _ensure_local(
+        self, name: str, declared: QualifiedType, node: ast.AST, kind: str = "local"
+    ) -> str:
+        qualifier, mechanism = _storage_profile(declared)
+        ident = self._local_id(name)
+        self.graph.add_node(
+            ident,
+            kind,
+            self._module,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            qualifier,
+            mechanism,
+            f"{self._fn}.{name}",
+        )
+        self._locals[name] = declared
+        return ident
+
+    def _field_node(self, class_name: str, attr: str, node: ast.AST) -> Optional[str]:
+        """The class-global node for a field, keyed by its declaring class."""
+        info = self.decls.lookup_class(class_name)
+        declaring = None
+        while info is not None:
+            if attr in info.fields:
+                declaring = info
+                break
+            info = self.decls.lookup_class(info.base) if info.base else None
+        if declaring is None:
+            return None
+        declared = declaring.fields[attr]
+        qualifier, mechanism = _storage_profile(declared)
+        if declared.is_primitive:
+            mechanism = "dram"  # object fields live in the heap
+        ident = f"field:{declaring.name}.{attr}"
+        self.graph.add_node(
+            ident,
+            "field",
+            declaring.module,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            qualifier,
+            mechanism,
+            f"{declaring.name}.{attr}",
+        )
+        return ident
+
+    def _sink(self, label: str, node: ast.AST, sources: Sequence[str]) -> None:
+        if not sources:
+            return
+        ident = f"{label}:{self._site(node)}"
+        self.graph.add_node(
+            ident,
+            "sink",
+            self._module,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            "precise",
+            "none",
+            label,
+        )
+        for src in sorted(set(sources)):
+            self.graph.add_edge(src, ident)
+
+    def _op_node(self, node: ast.AST, fact: dict, sources: Sequence[str]) -> str:
+        role = fact["role"]
+        kind = fact.get("kind", "float")
+        name = fact.get("op") or fact.get("fn") or role
+        mechanism = "fpu" if role == "math" else _op_mechanism(kind)
+        ident = f"op:{self._site(node)}:{name}"
+        self.graph.add_node(
+            ident,
+            "op",
+            self._module,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            _fact_qual(fact.get("approx")),
+            mechanism,
+            f"{role} {name}",
+        )
+        for src in sorted(set(sources)):
+            self.graph.add_edge(src, ident)
+        return ident
+
+    def _function_nodes(self, sig: FunctionSig, qualname: str) -> Tuple[List[str], Optional[str]]:
+        """Parameter node idents and the return node ident (or None)."""
+        saved_module, saved_fn = self._module, self._fn
+        self._module, self._fn = sig.module, qualname
+        params = []
+        for pname, ptype in sig.params:
+            qualifier, mechanism = _storage_profile(ptype)
+            ident = self._local_id(pname)
+            self.graph.add_node(
+                ident,
+                "param",
+                sig.module,
+                sig.node.lineno,
+                sig.node.col_offset,
+                qualifier,
+                mechanism,
+                f"{qualname}.{pname}",
+            )
+            params.append(ident)
+        ret = None
+        if not sig.returns.is_void:
+            qualifier, mechanism = _storage_profile(sig.returns)
+            ret = self._return_id(sig.module, qualname)
+            self.graph.add_node(
+                ret,
+                "return",
+                sig.module,
+                sig.node.lineno,
+                sig.node.col_offset,
+                qualifier,
+                "none",
+                f"{qualname} return",
+            )
+        self._module, self._fn = saved_module, saved_fn
+        return params, ret
+
+    @staticmethod
+    def _qualname(sig: FunctionSig) -> str:
+        return f"{sig.owner}.{sig.name}" if sig.owner else sig.name
+
+    def _type_of(self, node: ast.expr) -> Optional[QualifiedType]:
+        return self.result.types.get(id(node))
+
+    # -- entry points ---------------------------------------------------
+    def build(self) -> FlowGraph:
+        for module_name in sorted(self.result.modules):
+            tree = self.result.modules[module_name]
+            self._module = module_name
+            self._math_names = {
+                alias.asname or "math"
+                for stmt in ast.walk(tree)
+                if isinstance(stmt, ast.Import)
+                for alias in stmt.names
+                if alias.name == "math"
+            }
+            for stmt in tree.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    sig = self.decls.lookup_function(stmt.name)
+                    if sig is not None and sig.node is stmt:
+                        self._build_function(sig)
+                elif isinstance(stmt, ast.ClassDef):
+                    info = self.decls.lookup_class(stmt.name)
+                    if info is not None and info.node is stmt:
+                        for method in info.methods.values():
+                            self._build_function(method, owner=info)
+        return self.graph
+
+    def _build_function(self, sig: FunctionSig, owner: Optional[ClassInfo] = None) -> None:
+        self._module = sig.module
+        self._fn = self._qualname(sig)
+        self._sig = sig
+        self._owner = owner
+        self._locals = {}
+        self._control = []
+        params, _ = self._function_nodes(sig, self._fn)
+        for (pname, ptype), ident in zip(sig.params, params):
+            self._locals[pname] = ptype
+        if owner is not None:
+            self._locals["self"] = reference(owner.name, sig.receiver_qualifier or PRECISE)
+        self._block(sig.node.body)
+        self._sig = None
+        self._owner = None
+
+    # -- statements -----------------------------------------------------
+    def _block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+            if handler is not None:
+                handler(stmt)
+
+    def _control_sources(self) -> List[str]:
+        out: List[str] = []
+        for frame in self._control:
+            out.extend(frame)
+        return out
+
+    def _store_local(self, name: str, declared: QualifiedType, node: ast.AST, sources: Sequence[str]) -> str:
+        ident = self._ensure_local(name, declared, node)
+        for src in sorted(set(list(sources) + self._control_sources())):
+            self.graph.add_edge(src, ident)
+        return ident
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            return
+        throwaway = DiagnosticSink()
+        in_approximable = bool(self._owner and self._owner.approximable)
+        declared = parse_annotation(
+            stmt.annotation, throwaway, self._module, in_approximable=in_approximable
+        )
+        sources = self._expr(stmt.value) if stmt.value is not None else []
+        self._store_local(stmt.target.id, declared, stmt.target, sources)
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        sources = self._expr(stmt.value)
+        if isinstance(target, ast.Name):
+            declared = self._locals.get(target.id)
+            if declared is None:
+                declared = self._type_of(stmt.value)
+            if declared is None:
+                declared = reference("dynamic", PRECISE)
+            self._store_local(target.id, declared, target, sources)
+            return
+        if isinstance(target, ast.Subscript):
+            self._store_subscript(target, sources)
+            return
+        if isinstance(target, ast.Attribute):
+            self._store_attribute(target, sources)
+            return
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self._store_local(
+                        element.id, reference("dynamic", PRECISE), element, sources
+                    )
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
+        value_sources = self._expr(stmt.value)
+        target = stmt.target
+        fact = self.result.facts.get(id(stmt))
+        if isinstance(target, ast.Name):
+            declared = self._locals.get(target.id)
+            if declared is None:
+                return
+            target_ident = self._ensure_local(target.id, declared, target)
+            read_sources = [target_ident]
+        elif isinstance(target, ast.Subscript):
+            read_sources = self._expr_Subscript(target)
+            target_ident = None
+        elif isinstance(target, ast.Attribute):
+            read_sources = self._expr_Attribute(target)
+            target_ident = None
+        else:
+            return
+        combined = read_sources + value_sources
+        if fact is not None and fact.get("role") in ("binop", "compare"):
+            combined = [self._op_node(stmt, fact, combined)]
+        if isinstance(target, ast.Name):
+            self._store_local(target.id, self._locals[target.id], target, combined)
+        elif isinstance(target, ast.Subscript):
+            self._store_subscript(target, combined)
+        elif isinstance(target, ast.Attribute):
+            self._store_attribute(target, combined)
+
+    def _store_subscript(self, target: ast.Subscript, sources: Sequence[str]) -> None:
+        container = self._expr(target.value)
+        index_sources = self._expr(target.slice)
+        self._sink("index", target.slice, index_sources)
+        for holder in container:
+            for src in sorted(set(list(sources) + self._control_sources())):
+                self.graph.add_edge(src, holder)
+
+    def _store_attribute(self, target: ast.Attribute, sources: Sequence[str]) -> None:
+        receiver_sources = self._expr(target.value)
+        receiver_type = self._type_of(target.value)
+        field = None
+        if receiver_type is not None and receiver_type.is_reference:
+            field = self._field_node(receiver_type.name, target.attr, target)
+        if field is None:
+            return
+        for src in sorted(set(list(sources) + self._control_sources() + receiver_sources)):
+            self.graph.add_edge(src, field)
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        sources = self._expr(stmt.test)
+        self._sink("control", stmt.test, sources)
+        self._control.append(sources)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+        self._control.pop()
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        sources = self._expr(stmt.test)
+        self._sink("control", stmt.test, sources)
+        self._control.append(sources)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+        self._control.pop()
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            return
+        iter_node = stmt.iter
+        control: List[str] = []
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+        ):
+            for arg in iter_node.args:
+                bound_sources = self._expr(arg)
+                self._sink("control", arg, bound_sources)
+                control.extend(bound_sources)
+            self._ensure_local(stmt.target.id, primitive("int"), stmt.target)
+        else:
+            iterable_sources = self._expr(iter_node)
+            iterable_type = self._type_of(iter_node)
+            if iterable_type is not None and iterable_type.is_array and iterable_type.element is not None:
+                self._store_local(
+                    stmt.target.id, iterable_type.element, stmt.target, iterable_sources
+                )
+            else:
+                self._store_local(
+                    stmt.target.id, reference("dynamic", PRECISE), stmt.target, iterable_sources
+                )
+        self._control.append(control)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+        self._control.pop()
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        if self._sig is None or stmt.value is None:
+            return
+        sources = self._expr(stmt.value)
+        if self._sig.returns.is_void:
+            return
+        ret = self._return_id(self._module, self._fn)
+        if ret not in self.graph.nodes:
+            return
+        for src in sorted(set(sources + self._control_sources())):
+            self.graph.add_edge(src, ret)
+
+    def _stmt_Expr(self, stmt: ast.Expr) -> None:
+        self._expr(stmt.value)
+
+    def _stmt_Assert(self, stmt: ast.Assert) -> None:
+        sources = self._expr(stmt.test)
+        self._sink("control", stmt.test, sources)
+        if stmt.msg is not None:
+            self._expr(stmt.msg)
+
+    def _stmt_Raise(self, stmt: ast.Raise) -> None:
+        if stmt.exc is not None:
+            self._expr(stmt.exc)
+
+    def _stmt_Try(self, stmt: ast.Try) -> None:
+        self._block(stmt.body)
+        for handler in stmt.handlers:
+            self._block(handler.body)
+        self._block(stmt.orelse)
+        self._block(stmt.finalbody)
+
+    # -- expressions ----------------------------------------------------
+    def _expr(self, node: Optional[ast.expr]) -> List[str]:
+        if node is None:
+            return []
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is None:
+            return []
+        return handler(node)
+
+    def _expr_Constant(self, node: ast.Constant) -> List[str]:
+        return []
+
+    def _expr_Name(self, node: ast.Name) -> List[str]:
+        if node.id in self._locals:
+            declared = self._locals[node.id]
+            return [self._ensure_local(node.id, declared, node)]
+        return []
+
+    def _expr_BinOp(self, node: ast.BinOp) -> List[str]:
+        left = self._expr(node.left)
+        right = self._expr(node.right)
+        fact = self.result.facts.get(id(node))
+        if fact is not None and fact.get("role") in ("binop", "compare"):
+            return [self._op_node(node, fact, left + right)]
+        if fact is not None and fact.get("role") == "alloc":
+            return [self._alloc_node(node, fact, left + right)]
+        return left + right
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp) -> List[str]:
+        operand = self._expr(node.operand)
+        fact = self.result.facts.get(id(node))
+        if fact is not None and fact.get("role") == "unop":
+            return [self._op_node(node, fact, operand)]
+        return operand
+
+    def _expr_Compare(self, node: ast.Compare) -> List[str]:
+        sources = self._expr(node.left)
+        for comparator in node.comparators:
+            sources.extend(self._expr(comparator))
+        fact = self.result.facts.get(id(node))
+        if fact is not None and fact.get("role") == "compare":
+            return [self._op_node(node, fact, sources)]
+        return sources
+
+    def _expr_BoolOp(self, node: ast.BoolOp) -> List[str]:
+        sources: List[str] = []
+        for value in node.values:
+            sources.extend(self._expr(value))
+        return sources
+
+    def _expr_IfExp(self, node: ast.IfExp) -> List[str]:
+        test_sources = self._expr(node.test)
+        self._sink("control", node.test, test_sources)
+        body = self._expr(node.body)
+        orelse = self._expr(node.orelse)
+        # The selected value is control-dependent on the test.
+        return body + orelse + test_sources
+
+    def _alloc_node(self, node: ast.expr, fact: dict, sources: Sequence[str]) -> str:
+        ident = f"alloc:{self._site(node)}"
+        self.graph.add_node(
+            ident,
+            "alloc",
+            self._module,
+            node.lineno,
+            node.col_offset,
+            _fact_qual(fact.get("approx")),
+            "dram",
+            f"alloc {fact.get('kind', '?')}[]",
+        )
+        for src in sorted(set(sources)):
+            self.graph.add_edge(src, ident)
+        return ident
+
+    def _expr_List(self, node: ast.List) -> List[str]:
+        sources: List[str] = []
+        for element in node.elts:
+            sources.extend(self._expr(element))
+        fact = self.result.facts.get(id(node))
+        if fact is not None and fact.get("role") == "alloc":
+            return [self._alloc_node(node, fact, sources)]
+        return sources
+
+    def _expr_Tuple(self, node: ast.Tuple) -> List[str]:
+        sources: List[str] = []
+        for element in node.elts:
+            sources.extend(self._expr(element))
+        return sources
+
+    def _expr_Subscript(self, node: ast.Subscript) -> List[str]:
+        container = self._expr(node.value)
+        index_sources = self._expr(node.slice)
+        self._sink("index", node.slice, index_sources)
+        # The loaded element's value lives in (and flows from) the
+        # array-holding node(s).
+        return container
+
+    def _expr_Attribute(self, node: ast.Attribute) -> List[str]:
+        receiver_sources = self._expr(node.value)
+        receiver_type = self._type_of(node.value)
+        if receiver_type is None:
+            return receiver_sources
+        if receiver_type.is_array and node.attr == "length":
+            return []
+        if receiver_type.is_reference and receiver_type.name not in (
+            "dynamic",
+            "str",
+            "null",
+            "__math__",
+        ):
+            field = self._field_node(receiver_type.name, node.attr, node)
+            if field is not None:
+                return [field]
+        return receiver_sources
+
+    # -- calls ----------------------------------------------------------
+    def _expr_Call(self, node: ast.Call) -> List[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._call_by_name(node, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(node, func)
+        return []
+
+    def _endorse_node(self, node: ast.Call, sources: Sequence[str]) -> str:
+        ident = f"endorse:{self._site(node)}"
+        self.graph.add_node(
+            ident,
+            "endorse",
+            self._module,
+            node.lineno,
+            node.col_offset,
+            "precise",
+            "none",
+            "endorse",
+        )
+        for src in sorted(set(sources)):
+            self.graph.add_edge(src, ident)
+        return ident
+
+    def _call_by_name(self, node: ast.Call, name: str) -> List[str]:
+        if name == "endorse" and len(node.args) == 1:
+            sources = self._expr(node.args[0])
+            return [self._endorse_node(node, sources)]
+        if name in ("Approx", "Top") and len(node.args) == 1:
+            sources = self._expr(node.args[0])
+            ident = f"upcast:{self._site(node)}"
+            self.graph.add_node(
+                ident,
+                "upcast",
+                self._module,
+                node.lineno,
+                node.col_offset,
+                "approx" if name == "Approx" else "top",
+                "none",
+                name,
+            )
+            for src in sorted(set(sources)):
+                self.graph.add_edge(src, ident)
+            return [ident]
+        if name in ("int", "float", "bool", "abs"):
+            sources: List[str] = []
+            for arg in node.args:
+                sources.extend(self._expr(arg))
+            fact = self.result.facts.get(id(node))
+            if fact is not None and fact.get("role") in ("convert", "unop-call"):
+                return [self._op_node(node, fact, sources)]
+            return sources
+        if name in ("min", "max"):
+            sources = []
+            for arg in node.args:
+                sources.extend(self._expr(arg))
+            return sources
+        if name == "len":
+            for arg in node.args:
+                self._expr(arg)
+            return []
+        if name == "range":
+            for arg in node.args:
+                bound_sources = self._expr(arg)
+                self._sink("control", arg, bound_sources)
+            return []
+        if name == "print":
+            for arg in node.args:
+                arg_sources = self._expr(arg)
+                self._sink("unchecked", arg, arg_sources)
+            return []
+
+        sig = self.decls.lookup_function(name)
+        if sig is not None:
+            return self._apply_call(node, [sig])
+
+        info = self.decls.lookup_class(name)
+        if info is not None:
+            return self._apply_constructor(node, info)
+
+        # Unknown callee: arguments escape to unchecked code.
+        for arg in node.args:
+            arg_sources = self._expr(arg)
+            self._sink("unchecked", arg, arg_sources)
+        return []
+
+    def _call_method(self, node: ast.Call, func: ast.Attribute) -> List[str]:
+        receiver_node = func.value
+        if isinstance(receiver_node, ast.Name) and receiver_node.id in self._math_names:
+            sources: List[str] = []
+            for arg in node.args:
+                sources.extend(self._expr(arg))
+            fact = self.result.facts.get(id(node))
+            if fact is not None and fact.get("role") == "math":
+                return [self._op_node(node, fact, sources)]
+            return sources
+
+        receiver_sources = self._expr(receiver_node)
+        receiver_type = self._type_of(receiver_node)
+        if receiver_type is None or not receiver_type.is_reference or receiver_type.name in (
+            "dynamic",
+            "str",
+            "null",
+        ):
+            for arg in node.args:
+                arg_sources = self._expr(arg)
+                self._sink("unchecked", arg, arg_sources)
+            return []
+
+        base_sig = self.decls.method_sig(receiver_type.name, func.attr)
+        if base_sig is None:
+            return []
+        targets = [base_sig]
+        fact = self.result.facts.get(id(node))
+        if fact is not None and fact.get("role") == "invoke":
+            variant = self.decls.method_sig(receiver_type.name, func.attr + APPROX_SUFFIX)
+            if fact.get("dispatch") == "approx" and variant is not None:
+                targets = [variant]
+            elif fact.get("dispatch") == "context" and variant is not None:
+                targets = [base_sig, variant]
+        return self._apply_call(node, targets, receiver_sources=receiver_sources)
+
+    def _apply_call(
+        self,
+        node: ast.Call,
+        targets: List[FunctionSig],
+        receiver_sources: Optional[List[str]] = None,
+    ) -> List[str]:
+        results: List[str] = []
+        arg_sources = [self._expr(arg) for arg in node.args]
+        for sig in targets:
+            qualname = self._qualname(sig)
+            params, ret = self._function_nodes(sig, qualname)
+            for (pname, ptype), sources, param_ident in zip(
+                sig.params, arg_sources, params
+            ):
+                for src in sorted(set(sources)):
+                    self.graph.add_edge(src, param_ident)
+                # Array arguments alias: element writes in the callee are
+                # visible through the caller's holder node and vice versa.
+                if ptype.is_array:
+                    for src in sorted(set(sources)):
+                        self.graph.add_edge(param_ident, src)
+            if receiver_sources:
+                # The receiver's own state reaches the callee via `self`
+                # field nodes (class-global), so no extra edge is needed;
+                # but an approximate receiver's method *result* depends
+                # on the receiver reference itself for arrays held in
+                # locals.
+                pass
+            if ret is not None:
+                results.append(ret)
+        return results
+
+    def _apply_constructor(self, node: ast.Call, info: ClassInfo) -> List[str]:
+        init = self.decls.method_sig(info.name, "__init__")
+        arg_sources = [self._expr(arg) for arg in node.args]
+        if init is not None:
+            qualname = self._qualname(init)
+            params, _ = self._function_nodes(init, qualname)
+            for (pname, ptype), sources, param_ident in zip(
+                init.params, arg_sources, params
+            ):
+                for src in sorted(set(sources)):
+                    self.graph.add_edge(src, param_ident)
+                if ptype.is_array:
+                    for src in sorted(set(sources)):
+                        self.graph.add_edge(param_ident, src)
+        fact = self.result.facts.get(id(node))
+        qualifier = _fact_qual(fact.get("approx")) if fact else "precise"
+        ident = f"new:{self._site(node)}"
+        self.graph.add_node(
+            ident,
+            "new",
+            self._module,
+            node.lineno,
+            node.col_offset,
+            qualifier,
+            "none",
+            f"new {info.name}",
+        )
+        # The instance's observable state includes everything written to
+        # its fields; connect field nodes to the instance node so the
+        # cone of a returned object includes its contents.
+        for attr in sorted(info.fields):
+            field = self._field_node(info.name, attr, node)
+            if field is not None:
+                self.graph.add_edge(field, ident)
+        return [ident]
+
+
+def build_flow_graph(result: CheckResult) -> FlowGraph:
+    """Build the whole-program approximation-flow graph.
+
+    ``result`` must come from :func:`repro.core.checker.check_modules`
+    over the *same* AST objects (facts are keyed by node identity).
+    """
+    return _GraphBuilder(result).build()

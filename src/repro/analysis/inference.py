@@ -1,0 +1,299 @@
+"""Annotation inference: checker-validated ``@Approx`` relaxations.
+
+The paper's annotation burden is manual (Table 3); this pass proposes
+relaxations mechanically.  A *candidate* is any explicitly annotated
+precise primitive declaration — a local, parameter, return type, or
+field of bare type ``int``/``float``/``bool`` or ``list[...]`` thereof.
+
+For each candidate the flow graph answers two questions statically:
+
+1. **Must it stay precise?**  If the candidate's forward cone reaches a
+   ``control``/``index``/``unchecked`` sink, relaxing it would need new
+   endorsements; such candidates are skipped (the checker would reject
+   them anyway — this pre-filter just avoids pointless re-checks).
+2. **What must relax with it?**  Every explicitly annotated precise
+   declaration in the forward cone receives the candidate's values, so
+   the EnerJ flow rule forces it approximate too.  The candidate plus
+   these companions form the *relaxation closure*.
+
+Each closure is then validated the only way that actually counts: the
+annotations are textually rewritten (``T`` -> ``Approx[T]``) and the
+whole mutated program is re-run through :func:`check_modules`.  Only
+closures that re-check cleanly are emitted.  The ``rand`` module is
+never touched — the PRNG must stay exact for reproducibility (the same
+reason the census excludes it).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flowgraph import FlowGraph, build_flow_graph
+from repro.core.checker import CheckResult, check_modules
+
+__all__ = ["Suggestion", "infer_relaxations"]
+
+_PRIMITIVES = {"int", "float", "bool"}
+
+#: Upper bound on checker re-runs per program.
+MAX_CANDIDATES = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """An explicitly annotated precise declaration that might relax."""
+
+    ident: str  # flow-graph node ident
+    module: str
+    kind: str  # "local" | "param" | "return" | "field"
+    name: str  # variable/parameter/field name, or function name for returns
+    annotation: ast.expr
+    line: int
+    column: int
+
+    @property
+    def sort_key(self):
+        return (self.module, self.line, self.column, self.name)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suggestion:
+    """One validated relaxation: a primary declaration plus its closure."""
+
+    module: str
+    line: int
+    column: int
+    kind: str
+    name: str
+    current: str
+    proposed: str
+    #: Declarations that must relax together with the primary one
+    #: ("module:line:column name" labels, sorted).
+    companions: Tuple[str, ...]
+    validated: bool
+
+    @property
+    def sort_key(self):
+        return (self.module, self.line, self.column, self.name)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self) | {"companions": list(self.companions)}
+
+    def __str__(self) -> str:
+        extra = f" (with {len(self.companions)} companion(s))" if self.companions else ""
+        return (
+            f"{self.module}:{self.line}:{self.column}: {self.kind} {self.name}: "
+            f"{self.current} -> {self.proposed}{extra}"
+        )
+
+
+def _annotation_eligible(node: Optional[ast.expr]) -> bool:
+    """Bare ``int``/``float``/``bool`` or ``list`` of those — no qualifiers."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _PRIMITIVES
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        if node.value.id in ("list", "List"):
+            return _annotation_eligible(node.slice)
+    return False
+
+
+def _collect_candidates(
+    modules: Dict[str, ast.Module], skip_modules: Set[str]
+) -> Dict[str, Candidate]:
+    """All eligible declarations keyed by flow-graph node ident."""
+    candidates: Dict[str, Candidate] = {}
+
+    def add(ident: str, module: str, kind: str, name: str, annotation: ast.expr) -> None:
+        if ident not in candidates:
+            candidates[ident] = Candidate(
+                ident,
+                module,
+                kind,
+                name,
+                annotation,
+                annotation.lineno,
+                annotation.col_offset,
+            )
+
+    def visit_function(module: str, fn: ast.FunctionDef, qualname: str) -> None:
+        for arg in list(fn.args.posonlyargs) + list(fn.args.args):
+            if arg.arg == "self":
+                continue
+            if _annotation_eligible(arg.annotation):
+                add(
+                    f"local:{module}.{qualname}.{arg.arg}",
+                    module,
+                    "param",
+                    arg.arg,
+                    arg.annotation,
+                )
+        if _annotation_eligible(fn.returns):
+            add(f"return:{module}.{qualname}", module, "return", fn.name, fn.returns)
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if _annotation_eligible(stmt.annotation):
+                    add(
+                        f"local:{module}.{qualname}.{stmt.target.id}",
+                        module,
+                        "local",
+                        stmt.target.id,
+                        stmt.annotation,
+                    )
+
+    for module in sorted(modules):
+        if module in skip_modules:
+            continue
+        tree = modules[module]
+        for stmt in tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                visit_function(module, stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, ast.FunctionDef):
+                        visit_function(module, item, f"{stmt.name}.{item.name}")
+                    elif isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        if _annotation_eligible(item.annotation):
+                            add(
+                                f"field:{stmt.name}.{item.target.id}",
+                                module,
+                                "field",
+                                item.target.id,
+                                item.annotation,
+                            )
+    return candidates
+
+
+def _closure(
+    graph: FlowGraph, candidates: Dict[str, Candidate], root: str
+) -> Optional[List[Candidate]]:
+    """The relaxation closure of ``root``, or None if it must stay precise.
+
+    ``None`` means the forward cone reaches a precision-mandatory sink
+    (control flow, array index, unchecked escape) or flows into precise
+    storage we cannot rewrite (an unannotated parameter or a foreign
+    module's declaration).
+    """
+    cone = graph.forward([root])
+    closure = [candidates[root]]
+    for ident in cone:
+        if ident == root:
+            continue
+        node = graph.nodes[ident]
+        if node.is_sink:
+            return None
+        if node.may_approx or node.qualifier == "top":
+            continue  # already approximate: nothing to rewrite
+        if ident in candidates:
+            closure.append(candidates[ident])
+            continue
+        if node.kind == "param":
+            # A precise parameter outside the candidate set (unannotated,
+            # qualified, or in a skipped module) would reject the flow.
+            return None
+        if node.kind == "return" and node.qualifier == "precise":
+            # Returns only appear for non-void functions; a non-candidate
+            # precise primitive return cannot be rewritten.  Reference/
+            # array returns adapt, so only block primitive-ish ones:
+            # mechanism is "none" either way, so be conservative.
+            return None
+        # Precise locals without annotations re-infer from their values;
+        # precise ops re-derive; fields are always annotated (so always
+        # in `candidates` when eligible).
+        if node.kind == "field":
+            return None
+    return closure
+
+
+def _mutate_sources(
+    sources: Dict[str, str], closure: Sequence[Candidate]
+) -> Optional[Dict[str, str]]:
+    """Rewrite each closure annotation ``T`` -> ``Approx[T]`` textually."""
+    by_module: Dict[str, List[Candidate]] = {}
+    for cand in closure:
+        by_module.setdefault(cand.module, []).append(cand)
+    mutated = dict(sources)
+    for module, cands in by_module.items():
+        lines = sources[module].splitlines(keepends=True)
+        # Apply bottom-up so earlier spans stay valid.
+        for cand in sorted(cands, key=lambda c: (-c.annotation.lineno, -c.annotation.col_offset)):
+            ann = cand.annotation
+            if ann.end_lineno != ann.lineno or ann.end_col_offset is None:
+                return None
+            row = lines[ann.lineno - 1]
+            start, end = ann.col_offset, ann.end_col_offset
+            lines[ann.lineno - 1] = (
+                row[:start] + "Approx[" + row[start:end] + "]" + row[end:]
+            )
+        mutated[module] = "".join(lines)
+    return mutated
+
+
+def infer_relaxations(
+    sources: Dict[str, str],
+    result: Optional[CheckResult] = None,
+    graph: Optional[FlowGraph] = None,
+    skip_modules: Sequence[str] = ("rand",),
+    max_candidates: int = MAX_CANDIDATES,
+) -> List[Suggestion]:
+    """Propose checker-validated ``@Approx`` relaxations for a program.
+
+    Returns only *validated* suggestions (mutated program re-checks
+    clean), sorted by (module, line, column, name).
+    """
+    if result is None:
+        result = check_modules(sources)
+    if not result.ok:
+        raise ValueError(f"cannot infer over a program with errors: {result.codes()}")
+    if graph is None:
+        graph = build_flow_graph(result)
+
+    candidates = _collect_candidates(result.modules, set(skip_modules))
+    suggestions: List[Suggestion] = []
+    ordered = sorted(candidates.values(), key=lambda c: c.sort_key)
+    budget = max_candidates
+    for candidate in ordered:
+        if candidate.ident not in graph.nodes:
+            continue  # never used; relaxing buys nothing
+        if graph.nodes[candidate.ident].may_approx:
+            continue
+        if budget <= 0:
+            break
+        closure = _closure(graph, candidates, candidate.ident)
+        if closure is None:
+            continue
+        mutated = _mutate_sources(sources, closure)
+        if mutated is None:
+            continue
+        budget -= 1
+        recheck = check_modules(mutated)
+        if not recheck.ok:
+            continue
+        source_line = sources[candidate.module].splitlines()[candidate.line - 1]
+        current = source_line[candidate.annotation.col_offset : candidate.annotation.end_col_offset]
+        companions = tuple(
+            sorted(
+                f"{c.module}:{c.line}:{c.column} {c.name}"
+                for c in closure
+                if c.ident != candidate.ident
+            )
+        )
+        suggestions.append(
+            Suggestion(
+                module=candidate.module,
+                line=candidate.line,
+                column=candidate.column,
+                kind=candidate.kind,
+                name=candidate.name,
+                current=current,
+                proposed=f"Approx[{current}]",
+                companions=companions,
+                validated=True,
+            )
+        )
+    return sorted(suggestions, key=lambda s: s.sort_key)

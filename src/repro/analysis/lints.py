@@ -1,0 +1,222 @@
+"""The endorsement audit: lint findings over the approximation-flow graph.
+
+Lint catalog (stable codes; see ANALYSIS.md):
+
+==========  ==========================================================
+code        meaning
+==========  ==========================================================
+AF001       an endorsement launders approximate taint into control flow
+AF002       an endorsement launders approximate taint into an array index
+AF003       endorsed approximate data escapes into unchecked code
+AF004       dead approximation: @Approx storage never touched by an
+            approximate operation (energy risk without energy benefit)
+AF005       wide endorsement: a single endorse site launders taint from
+            many distinct approximate storage locations
+==========  ==========================================================
+
+All findings are advisory (severity ``info`` or ``warning``): every
+linted program has already passed the checker, so nothing here is a
+type error.  AF001–AF003 rank severity by *taint width* — the number of
+distinct approximate storage nodes in the endorsement's backward cone —
+because an endorsement guarding one counter is routine (MonteCarlo's
+single endorse) while one laundering a whole matrix into a branch is
+exactly the risky pattern the paper warns about (Section 2.4).
+
+Findings are deterministically ordered by (module, line, column, code).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.analysis.flowgraph import FlowGraph, FlowNode, build_flow_graph
+from repro.core.checker import CheckResult, check_modules
+
+__all__ = ["Finding", "LINT_CODES", "WIDE_ENDORSE_THRESHOLD", "run_lints"]
+
+LINT_CODES: Dict[str, str] = {
+    "AF001": "endorsement feeds control flow",
+    "AF002": "endorsement feeds an array index",
+    "AF003": "endorsed data escapes to unchecked code",
+    "AF004": "dead approximation",
+    "AF005": "wide endorsement",
+}
+
+#: AF005 fires when one endorse site launders taint from at least this
+#: many distinct approximate storage locations.
+WIDE_ENDORSE_THRESHOLD = 8
+
+#: AF001-AF003 escalate from info to warning at this taint width.
+_WARN_WIDTH = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding, deterministically sortable."""
+
+    code: str
+    severity: str  # "info" | "warning"
+    module: str
+    line: int
+    column: int
+    message: str
+    site: str  # flow-graph node ident the finding anchors on
+    width: int = 0
+
+    @property
+    def sort_key(self):
+        return (self.module, self.line, self.column, self.code, self.site)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.module}:{self.line}:{self.column}: {self.severity}: "
+            f"[{self.code}] {self.message}"
+        )
+
+
+def _taint_width(graph: FlowGraph, endorse_id: str) -> int:
+    """Distinct approximate storage locations laundered by one endorse."""
+    cone = graph.backward([endorse_id])
+    return sum(
+        1
+        for ident in cone
+        if graph.nodes[ident].is_storage and graph.nodes[ident].may_approx
+    )
+
+
+def _severity(width: int) -> str:
+    return "warning" if width >= _WARN_WIDTH else "info"
+
+
+def _endorse_findings(graph: FlowGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    for endorse_id in graph.endorsements():
+        node = graph.nodes[endorse_id]
+        width = _taint_width(graph, endorse_id)
+        forward = graph.forward([endorse_id])
+        reached = {
+            graph.nodes[ident].label
+            for ident in forward
+            if graph.nodes[ident].is_sink
+        }
+        plural = "s" if width != 1 else ""
+        if "control" in reached:
+            findings.append(
+                Finding(
+                    "AF001",
+                    _severity(width),
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"endorsement gates control flow with taint from "
+                    f"{width} approximate location{plural}",
+                    endorse_id,
+                    width,
+                )
+            )
+        if "index" in reached:
+            findings.append(
+                Finding(
+                    "AF002",
+                    _severity(width),
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"endorsement flows into an array index with taint from "
+                    f"{width} approximate location{plural}",
+                    endorse_id,
+                    width,
+                )
+            )
+        if "unchecked" in reached:
+            findings.append(
+                Finding(
+                    "AF003",
+                    _severity(width),
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"endorsed value escapes to unchecked code with taint from "
+                    f"{width} approximate location{plural}",
+                    endorse_id,
+                    width,
+                )
+            )
+        if width >= WIDE_ENDORSE_THRESHOLD:
+            findings.append(
+                Finding(
+                    "AF005",
+                    "warning",
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"wide endorsement: launders {width} approximate "
+                    f"locations (threshold {WIDE_ENDORSE_THRESHOLD})",
+                    endorse_id,
+                    width,
+                )
+            )
+    return findings
+
+
+def _dead_approx_findings(graph: FlowGraph) -> List[Finding]:
+    """AF004: approximate storage never reached by an approximate op.
+
+    Approximate storage costs reliability (it is fault-injected) — if no
+    approximate operation ever consumes or produces its values, the
+    annotation buys energy on storage alone and the declaration deserves
+    a second look.
+    """
+    findings: List[Finding] = []
+    for ident in graph.storage_nodes():
+        node = graph.nodes[ident]
+        if not node.may_approx or node.qualifier == "context":
+            # Context storage is precise on precise instances; leave it
+            # to the owning class's callers.
+            continue
+        neighborhood = set(graph.forward([ident])) | set(graph.backward([ident]))
+        touched = any(
+            graph.nodes[other].kind == "op" and graph.nodes[other].may_approx
+            for other in neighborhood
+        )
+        if not touched:
+            findings.append(
+                Finding(
+                    "AF004",
+                    "info",
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"dead approximation: {node.label} is @Approx storage "
+                    f"but no approximate operation ever touches it",
+                    ident,
+                )
+            )
+    return findings
+
+
+def run_lints(
+    result: Optional[CheckResult] = None,
+    graph: Optional[FlowGraph] = None,
+    sources: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """Run the endorsement audit; returns deterministically sorted findings.
+
+    Accepts a prebuilt graph, a check result, or raw sources (checked
+    here).  Programs with checker errors cannot be linted — the graph
+    would be built over ill-typed flows.
+    """
+    if graph is None:
+        if result is None:
+            if sources is None:
+                raise ValueError("run_lints needs sources, a CheckResult, or a FlowGraph")
+            result = check_modules(sources)
+        if not result.ok:
+            raise ValueError(f"cannot lint a program with checker errors: {result.codes()}")
+        graph = build_flow_graph(result)
+    findings = _endorse_findings(graph) + _dead_approx_findings(graph)
+    return sorted(findings, key=lambda f: f.sort_key)

@@ -1,0 +1,275 @@
+"""Static reliability bounds over the approximation-flow graph.
+
+For each QoS-relevant output (an app's entry-function return value) the
+analysis computes an **upper bound on the per-operation corruption
+probability**: the chance that any single dynamic operation's
+contribution to the output is disturbed by a stochastic hardware fault
+under a given :class:`~repro.hardware.config.HardwareConfig` (the
+paper's Table 2 rates).
+
+Composition (union bound along all flow paths): every fault that can
+disturb the output must land on some node of the output's backward
+dependency cone — an approximate SRAM local, a DRAM-resident array or
+field, or an approximate ALU/FPU operation (implicit flows through
+endorsed conditions are part of the cone; see flowgraph.py).  Each such
+node ``n`` contributes ``rate(n) * uses(n)`` where ``rate`` is the
+per-access fault probability of its mechanism and ``uses`` counts its
+static uses (in- plus out-degree, at least 1): one dynamic op touches at
+most that many distinct (node, use) fault opportunities per executed
+op.  The bound is the capped sum — crude, but sound in the direction
+that matters and orders of magnitude tighter than 1.0 at the Mild and
+Medium settings.
+
+DRAM residency is not statically knowable, so the bound charges each
+array/field holder a full :data:`ASSUMED_RESIDENCY_SECONDS` of decay —
+generous against the microsecond-per-op tick model (`seconds_per_tick`).
+Deterministic FPU mantissa truncation is *not* a stochastic fault and is
+excluded (it is reported separately via ``fp_mantissa_bits``).
+
+The **soundness check** replays PR-2 traced runs and asserts the
+dynamically observed fault-impact frequency (stochastic faults per
+executed op, :func:`observed_fault_impact`) never exceeds the static
+bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flowgraph import FlowGraph, build_flow_graph
+from repro.apps import AppSpec, load_sources
+from repro.core.checker import check_modules
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD, HardwareConfig
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "ASSUMED_RESIDENCY_SECONDS",
+    "BITS_PER_VALUE",
+    "NodeContribution",
+    "ReliabilityBound",
+    "SoundnessRecord",
+    "reliability_bound",
+    "app_reliability",
+    "observed_fault_impact",
+    "soundness_check",
+]
+
+#: Charged DRAM residency per array/field holder node (seconds).  One
+#: simulated second is ~10^6 ops at ``seconds_per_tick = 1e-6`` — far
+#: beyond any bundled workload, so decay is never under-charged.
+ASSUMED_RESIDENCY_SECONDS = 1.0
+
+#: Bits charged per stored value (the simulator's word width).
+BITS_PER_VALUE = 64
+
+#: Named hardware levels the CLI and campaigns iterate.
+LEVELS: Dict[str, HardwareConfig] = {
+    "mild": MILD,
+    "medium": MEDIUM,
+    "aggressive": AGGRESSIVE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeContribution:
+    """One flow-graph node's share of the bound."""
+
+    ident: str
+    mechanism: str
+    rate: float
+    uses: int
+    contribution: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityBound:
+    """The static bound for one output at one hardware level."""
+
+    app: str
+    output: str
+    level: str
+    bound: float
+    saturated: bool
+    cone_nodes: int
+    approx_cone_nodes: int
+    by_mechanism: Dict[str, float]
+    top_contributors: Tuple[NodeContribution, ...]
+    #: Deterministic precision loss (not part of the stochastic bound).
+    fp_mantissa_bits: int
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "output": self.output,
+            "level": self.level,
+            "bound": self.bound,
+            "saturated": self.saturated,
+            "cone_nodes": self.cone_nodes,
+            "approx_cone_nodes": self.approx_cone_nodes,
+            "by_mechanism": dict(sorted(self.by_mechanism.items())),
+            "top_contributors": [c.to_dict() for c in self.top_contributors],
+            "fp_mantissa_bits": self.fp_mantissa_bits,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SoundnessRecord:
+    """One dynamic-vs-static comparison."""
+
+    app: str
+    level: str
+    fault_seed: int
+    observed: float
+    bound: float
+
+    @property
+    def sound(self) -> bool:
+        return self.observed <= self.bound
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["sound"] = self.sound
+        return data
+
+
+def node_rate(
+    mechanism: str,
+    config: HardwareConfig,
+    residency_seconds: float = ASSUMED_RESIDENCY_SECONDS,
+) -> float:
+    """Per-access stochastic fault probability for one mechanism."""
+    if mechanism == "sram":
+        return config.sram_read_upset + config.sram_write_failure
+    if mechanism == "dram":
+        return min(
+            1.0, BITS_PER_VALUE * config.dram_flip_per_second * residency_seconds
+        )
+    if mechanism in ("alu", "fpu"):
+        return config.timing_error_prob
+    return 0.0
+
+
+def reliability_bound(
+    graph: FlowGraph,
+    output_id: str,
+    config: HardwareConfig,
+    app: str = "",
+    level: str = "",
+    residency_seconds: float = ASSUMED_RESIDENCY_SECONDS,
+    top: int = 5,
+) -> ReliabilityBound:
+    """Bound the per-op corruption probability of one output node.
+
+    Only may-approximate nodes (qualifier ``approx`` or ``context``)
+    contribute: precise state is never fault-injected by the simulator,
+    mirroring the paper's hardware model.  Summation runs in sorted
+    node-id order so the result is bit-identical across runs.
+    """
+    cone = graph.backward([output_id]) if output_id in graph.nodes else []
+    contributions: List[NodeContribution] = []
+    by_mechanism: Dict[str, float] = {}
+    for ident in cone:  # already sorted
+        node = graph.nodes[ident]
+        if not node.may_approx:
+            continue
+        rate = node_rate(node.mechanism, config, residency_seconds)
+        if rate == 0.0:
+            continue
+        uses = max(1, graph.in_degree(ident) + graph.out_degree(ident))
+        contribution = rate * uses
+        contributions.append(
+            NodeContribution(ident, node.mechanism, rate, uses, contribution)
+        )
+        by_mechanism[node.mechanism] = (
+            by_mechanism.get(node.mechanism, 0.0) + contribution
+        )
+    total = sum(c.contribution for c in contributions)  # sorted-ident order
+    saturated = total >= 1.0
+    ranked = sorted(
+        contributions, key=lambda c: (-c.contribution, c.ident)
+    )[: max(0, top)]
+    approx_nodes = sum(1 for i in cone if graph.nodes[i].may_approx)
+    return ReliabilityBound(
+        app=app,
+        output=output_id,
+        level=level,
+        bound=min(1.0, total),
+        saturated=saturated,
+        cone_nodes=len(cone),
+        approx_cone_nodes=approx_nodes,
+        by_mechanism=by_mechanism,
+        top_contributors=tuple(ranked),
+        fp_mantissa_bits=config.float_mantissa_bits,
+    )
+
+
+def app_output_id(spec: AppSpec) -> str:
+    return f"return:{spec.entry_module}.{spec.entry_function}"
+
+
+def app_reliability(
+    spec: AppSpec,
+    levels: Optional[Sequence[str]] = None,
+    graph: Optional[FlowGraph] = None,
+) -> List[ReliabilityBound]:
+    """Reliability bounds for one app's QoS output at the named levels."""
+    if graph is None:
+        result = check_modules(load_sources(spec))
+        if not result.ok:
+            raise ValueError(f"{spec.name}: sources do not check: {result.codes()}")
+        graph = build_flow_graph(result)
+    names = list(levels) if levels is not None else list(LEVELS)
+    bounds = []
+    for name in names:
+        config = LEVELS[name]
+        bounds.append(
+            reliability_bound(
+                graph, app_output_id(spec), config, app=spec.name, level=name
+            )
+        )
+    return bounds
+
+
+def observed_fault_impact(stats: RunStats) -> float:
+    """Dynamically observed stochastic faults per executed operation.
+
+    ``total_faults`` counts exactly the stochastic events (FU timing
+    errors, SRAM read upsets and write failures, DRAM bit decay);
+    deterministic mantissa truncation is excluded by construction.
+    """
+    return stats.total_faults / max(1, stats.ops_total)
+
+
+def soundness_check(
+    spec: AppSpec,
+    levels: Optional[Sequence[str]] = None,
+    fault_seeds: Sequence[int] = (1,),
+    workload_seed: int = 0,
+) -> List[SoundnessRecord]:
+    """Replay traced runs and compare observed fault impact to the bound."""
+    from repro.observability.runner import traced_run
+
+    bounds = {b.level: b for b in app_reliability(spec, levels)}
+    records = []
+    for level in sorted(bounds):
+        for fault_seed in fault_seeds:
+            traced = traced_run(
+                spec,
+                LEVELS[level],
+                fault_seed=fault_seed,
+                workload_seed=workload_seed,
+            )
+            records.append(
+                SoundnessRecord(
+                    app=spec.name,
+                    level=level,
+                    fault_seed=fault_seed,
+                    observed=observed_fault_impact(traced.stats),
+                    bound=bounds[level].bound,
+                )
+            )
+    return records

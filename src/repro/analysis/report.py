@@ -1,0 +1,132 @@
+"""Rendering for the analysis CLI (``repro lint`` / ``repro analyze``).
+
+All JSON output is canonical — ``sort_keys=True``, two-space indent,
+trailing newline — so committed baselines diff cleanly and two runs of
+the same analysis produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.lints import Finding
+from repro.analysis.reliability import ReliabilityBound, SoundnessRecord
+from repro.analysis.inference import Suggestion
+from repro.core.diagnostics import Diagnostic
+
+__all__ = [
+    "canonical_json",
+    "lint_payload",
+    "render_lint_text",
+    "reliability_payload",
+    "render_reliability_text",
+    "diagnostics_payload",
+]
+
+#: Version stamp for every machine-readable payload; bump on breaking
+#: shape changes so baseline drift is explicit, never silent.
+PAYLOAD_VERSION = 1
+
+
+def canonical_json(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+def lint_payload(
+    app: str,
+    findings: Sequence[Finding],
+    suggestions: Sequence[Suggestion] = (),
+) -> dict:
+    return {
+        "version": PAYLOAD_VERSION,
+        "app": app,
+        "findings": [f.to_dict() for f in findings],
+        "suggestions": [s.to_dict() for s in suggestions],
+    }
+
+
+def render_lint_text(
+    app: str,
+    findings: Sequence[Finding],
+    suggestions: Sequence[Suggestion] = (),
+) -> str:
+    lines = [f"{app}: {len(findings)} finding(s)"]
+    for finding in findings:
+        lines.append(f"  {finding}")
+    if suggestions:
+        lines.append(f"{app}: {len(suggestions)} validated relaxation(s)")
+        for suggestion in suggestions:
+            lines.append(f"  {suggestion}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# repro analyze reliability
+# ----------------------------------------------------------------------
+def reliability_payload(
+    app: str,
+    bounds: Sequence[ReliabilityBound],
+    soundness: Optional[Sequence[SoundnessRecord]] = None,
+) -> dict:
+    payload: Dict = {
+        "version": PAYLOAD_VERSION,
+        "app": app,
+        "bounds": [b.to_dict() for b in bounds],
+    }
+    if soundness is not None:
+        payload["soundness"] = [r.to_dict() for r in soundness]
+    return payload
+
+
+def render_reliability_text(
+    app: str,
+    bounds: Sequence[ReliabilityBound],
+    soundness: Optional[Sequence[SoundnessRecord]] = None,
+) -> str:
+    lines = [f"{app}: static per-op corruption bounds"]
+    for bound in bounds:
+        saturated = " (saturated)" if bound.saturated else ""
+        lines.append(
+            f"  {bound.level:10s} bound={bound.bound:.3e}{saturated}  "
+            f"cone={bound.cone_nodes} nodes ({bound.approx_cone_nodes} approx)  "
+            f"fp-mantissa={bound.fp_mantissa_bits}b"
+        )
+        for mechanism in sorted(bound.by_mechanism):
+            lines.append(
+                f"      {mechanism:5s} {bound.by_mechanism[mechanism]:.3e}"
+            )
+    if soundness:
+        lines.append(f"{app}: dynamic soundness check")
+        for record in soundness:
+            verdict = "ok" if record.sound else "VIOLATION"
+            lines.append(
+                f"  {record.level:10s} seed={record.fault_seed} "
+                f"observed={record.observed:.3e} <= bound={record.bound:.3e}  {verdict}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# repro check --format json (shared diagnostic shape)
+# ----------------------------------------------------------------------
+def diagnostics_payload(path: str, ok: bool, diagnostics: Sequence[Diagnostic]) -> dict:
+    return {
+        "version": PAYLOAD_VERSION,
+        "path": path,
+        "ok": ok,
+        "diagnostics": [
+            {
+                "code": d.code,
+                "message": d.message,
+                "line": d.line,
+                "column": d.column,
+                "module": d.module,
+                "severity": d.severity.value,
+            }
+            for d in diagnostics
+        ],
+    }

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro check FILE [FILE...]          # static qualifier check
+    python -m repro lint [APP...]                 # endorsement audit + inference
+    python -m repro analyze reliability [APP...]  # static corruption bounds
     python -m repro run FILE --entry F [args...]  # simulate a program
     python -m repro census FILE [FILE...]         # annotation statistics
     python -m repro experiments NAME              # regenerate a table/figure
@@ -30,6 +32,15 @@ bounded admission queue, live ``/metrics``; see ``SERVICE.md``), and
 ``submit`` sends single or batched QoS queries to a running daemon.
 ``experiments --via-service HOST:PORT`` routes a driver's QoS queries
 through the daemon instead of simulating locally.
+
+``lint`` and ``analyze`` run the whole-program approximation-flow
+analyses over the ported apps (see ``ANALYSIS.md``): the endorsement
+audit plus checker-validated ``@Approx`` relaxation suggestions, and
+static per-op corruption bounds with an optional dynamic soundness
+check (``--verify``).  Both share the exit-code contract of ``check``:
+0 on success, 1 on failure (checker errors, baseline drift, or a
+soundness violation), and both emit canonical JSON under
+``--format json`` — byte-identical across runs and under ``--jobs``.
 """
 
 from __future__ import annotations
@@ -93,6 +104,14 @@ def _parse_value(text: str):
 
 def cmd_check(args: argparse.Namespace) -> int:
     result = check_modules(_load_sources(args.files))
+    if args.format == "json":
+        from repro.analysis.report import canonical_json, diagnostics_payload
+
+        payload = diagnostics_payload(
+            " ".join(args.files), result.ok, result.diagnostics
+        )
+        print(canonical_json(payload), end="")
+        return 0 if result.ok else 1
     for diagnostic in result.diagnostics:
         print(diagnostic)
     if result.ok:
@@ -102,6 +121,190 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 0
     print(f"FAILED: {len(result.sink.errors)} error(s)")
     return 1
+
+
+# ----------------------------------------------------------------------
+# Approximation-flow analysis (repro lint / repro analyze)
+# ----------------------------------------------------------------------
+def _resolve_apps(names: List[str]) -> List[str]:
+    """CLI app arguments -> canonical spec names (default: every app)."""
+    from repro.apps import ALL_APPS, app_by_name
+
+    if not names:
+        return [spec.name for spec in ALL_APPS]
+    return [app_by_name(name).name for name in names]
+
+
+def _fan_out(worker, items: list, jobs) -> list:
+    """``map(worker, items)``, optionally across processes.
+
+    Results come back in item order either way, so output is
+    byte-identical to the serial path (the analyses themselves are
+    deterministic; parallelism only reorders wall-clock completion).
+    """
+    if not jobs or jobs <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - platform dependent
+        context = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        return list(pool.map(worker, items))
+
+
+def _lint_one(item):
+    """Worker: (app name, suggest?) -> (findings, suggestions)."""
+    name, suggest = item
+    from repro.analysis import infer_relaxations, run_lints
+    from repro.analysis.flowgraph import build_flow_graph
+    from repro.apps import app_by_name, load_sources
+
+    spec = app_by_name(name)
+    sources = load_sources(spec)
+    result = check_modules(sources)
+    if not result.ok:
+        raise ReproError(f"{spec.name}: sources fail the checker: {result.codes()}")
+    graph = build_flow_graph(result)
+    findings = run_lints(graph=graph)
+    suggestions = (
+        infer_relaxations(sources, result=result, graph=graph) if suggest else []
+    )
+    return findings, suggestions
+
+
+def _analyze_one(item):
+    """Worker: (app name, levels, verify?, seeds) -> (bounds, soundness)."""
+    name, levels, verify, seeds = item
+    from repro.analysis import app_reliability, soundness_check
+    from repro.apps import app_by_name
+
+    spec = app_by_name(name)
+    bounds = app_reliability(spec, levels)
+    records = None
+    if verify:
+        records = soundness_check(
+            spec, levels, fault_seeds=tuple(range(1, seeds + 1))
+        )
+    return bounds, records
+
+
+def _baseline_path(directory: str, app: str) -> str:
+    return os.path.join(directory, f"{app.lower()}.json")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.report import canonical_json, lint_payload, render_lint_text
+
+    try:
+        apps = _resolve_apps(args.apps)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    if args.write_baselines and not args.baseline_dir:
+        print("error: --write-baselines requires --baseline-dir", file=sys.stderr)
+        return 1
+
+    suggest = not args.no_suggest
+    results = _fan_out(_lint_one, [(name, suggest) for name in apps], args.jobs)
+    payloads = {
+        name: lint_payload(name, findings, suggestions)
+        for name, (findings, suggestions) in zip(apps, results)
+    }
+
+    if args.write_baselines:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in apps:
+            path = _baseline_path(args.baseline_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(payloads[name]))
+            print(f"wrote {path}")
+        return 0
+
+    if args.baseline_dir:
+        drifted = []
+        for name in apps:
+            path = _baseline_path(args.baseline_dir, name)
+            current = canonical_json(payloads[name])
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    committed = handle.read()
+            except FileNotFoundError:
+                print(f"{name}: MISSING baseline {path}")
+                drifted.append(name)
+                continue
+            if committed != current:
+                print(f"{name}: DRIFT against {path}")
+                drifted.append(name)
+            else:
+                print(f"{name}: ok ({len(payloads[name]['findings'])} finding(s))")
+        if drifted:
+            print(
+                f"FAILED: {len(drifted)} app(s) drifted; regenerate with "
+                "'repro lint --baseline-dir DIR --write-baselines'"
+            )
+            return 1
+        return 0
+
+    if args.format == "json":
+        if len(apps) == 1:
+            print(canonical_json(payloads[apps[0]]), end="")
+        else:
+            print(canonical_json({"apps": [payloads[name] for name in apps]}), end="")
+        return 0
+
+    blocks = [
+        render_lint_text(name, findings, suggestions)
+        for name, (findings, suggestions) in zip(apps, results)
+    ]
+    print("\n\n".join(blocks))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.report import (
+        canonical_json,
+        reliability_payload,
+        render_reliability_text,
+    )
+
+    try:
+        apps = _resolve_apps(args.apps)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+
+    levels = args.level or None
+    items = [(name, levels, args.verify, args.seeds) for name in apps]
+    results = _fan_out(_analyze_one, items, args.jobs)
+
+    violations = 0
+    for _, records in results:
+        if records:
+            violations += sum(1 for record in records if not record.sound)
+
+    if args.format == "json":
+        payloads = [
+            reliability_payload(name, bounds, records)
+            for name, (bounds, records) in zip(apps, results)
+        ]
+        document = payloads[0] if len(apps) == 1 else {"apps": payloads}
+        print(canonical_json(document), end="")
+    else:
+        blocks = [
+            render_reliability_text(name, bounds, records)
+            for name, (bounds, records) in zip(apps, results)
+        ]
+        print("\n\n".join(blocks))
+        if args.verify:
+            checked = sum(len(records or ()) for _, records in results)
+            if violations:
+                print(f"FAILED: {violations}/{checked} soundness record(s) violated")
+            else:
+                print(f"OK: {checked} soundness record(s), observed <= bound")
+    return 1 if violations else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -457,7 +660,96 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="statically check EnerPy modules")
     check.add_argument("files", nargs="+", help="EnerPy source files")
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: canonical diagnostics payload on stdout; the exit "
+        "code stays 0 iff the modules are well-typed",
+    )
     check.set_defaults(fn=cmd_check)
+
+    lint = commands.add_parser(
+        "lint",
+        help="audit endorsements and suggest @Approx relaxations (ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "apps", nargs="*", help="ported app names, e.g. fft sor (default: all)"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: canonical payload, byte-identical across runs",
+    )
+    lint.add_argument(
+        "--no-suggest",
+        action="store_true",
+        help="skip annotation inference (faster; findings only)",
+    )
+    lint.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        help="compare canonical JSON against DIR/<app>.json and exit "
+        "nonzero on drift (the CI analysis lane)",
+    )
+    lint.add_argument(
+        "--write-baselines",
+        action="store_true",
+        help="write DIR/<app>.json instead of comparing",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan apps across N processes (output identical to serial)",
+    )
+    lint.set_defaults(fn=cmd_lint)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="static reliability bounds for app QoS outputs (ANALYSIS.md)",
+    )
+    analyze.add_argument(
+        "what", choices=("reliability",), help="analysis to run"
+    )
+    analyze.add_argument(
+        "apps", nargs="*", help="ported app names (default: all)"
+    )
+    analyze.add_argument(
+        "--level",
+        action="append",
+        choices=("mild", "medium", "aggressive"),
+        help="hardware level to bound (repeatable; default: all three)",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: canonical payload, byte-identical across runs",
+    )
+    analyze.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay traced runs and fail unless observed fault impact "
+        "stays within every static bound",
+    )
+    analyze.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="--verify replays fault seeds 1..N per level (default: 1)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan apps across N processes (output identical to serial)",
+    )
+    analyze.set_defaults(fn=cmd_analyze)
 
     run = commands.add_parser("run", help="simulate an EnerPy program")
     run.add_argument("files", nargs="+", help="EnerPy source files")

@@ -54,11 +54,21 @@ class Diagnostic:
         return f"{where}: {self.severity.value}: [{self.code}] {self.message}"
 
 
+def _diagnostic_order(diagnostic: Diagnostic):
+    return (diagnostic.module, diagnostic.line, diagnostic.column, diagnostic.code)
+
+
 class DiagnosticSink:
-    """Collects diagnostics during a checking pass."""
+    """Collects diagnostics during a checking pass.
+
+    ``diagnostics`` is always sorted by (module, line, column, code),
+    independent of emission order, so checker output and the ``--format
+    json`` payloads are byte-identical across runs and refactors of the
+    checker's traversal order.
+    """
 
     def __init__(self) -> None:
-        self.diagnostics: List[Diagnostic] = []
+        self._diagnostics: List[Diagnostic] = []
 
     def error(self, code: str, message: str, node=None, module: str = "") -> None:
         self._add(code, message, node, module, Severity.ERROR)
@@ -69,7 +79,11 @@ class DiagnosticSink:
     def _add(self, code: str, message: str, node, module: str, severity: Severity) -> None:
         line = getattr(node, "lineno", 0) if node is not None else 0
         column = getattr(node, "col_offset", 0) if node is not None else 0
-        self.diagnostics.append(Diagnostic(code, message, line, column, module, severity))
+        self._diagnostics.append(Diagnostic(code, message, line, column, module, severity))
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return sorted(self._diagnostics, key=_diagnostic_order)
 
     @property
     def errors(self) -> List[Diagnostic]:

@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.apps import AppSpec, load_sources
+from repro.core.declarations import parse_annotation
+from repro.core.diagnostics import DiagnosticSink
+from repro.core.qualifiers import PRECISE
+from repro.core.types import QualifiedType
 
 __all__ = ["AnnotationCensus", "census_app", "census_sources"]
-
-_QUALIFIER_NAMES = {"Approx", "Context", "Top"}
 
 
 @dataclasses.dataclass
@@ -51,19 +53,31 @@ class AnnotationCensus:
         self.endorsements += other.endorsements
 
 
-def _mentions_qualifier(annotation: ast.expr) -> bool:
-    for node in ast.walk(annotation):
-        if isinstance(node, ast.Name) and node.id in _QUALIFIER_NAMES:
-            return True
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            # String forward references: re-parse and scan.
-            try:
-                inner = ast.parse(node.value, mode="eval").body
-            except SyntaxError:
-                continue
-            if _mentions_qualifier(inner):
-                return True
+def _non_default(parsed: Optional[QualifiedType]) -> bool:
+    """True when any qualifier in the parsed type is not ``@Precise``."""
+    if parsed is None:
+        return False
+    if parsed.qualifier is not PRECISE:
+        return True
+    if parsed.is_array:
+        return _non_default(parsed.element)
     return False
+
+
+def _mentions_qualifier(annotation: ast.expr) -> bool:
+    """Does the annotation carry a non-default precision qualifier?
+
+    Delegates to the checker's own :func:`parse_annotation` — the census
+    and the type system agree by construction on what counts as
+    annotated (string forward references, ``Approx[list[T]]`` sugar),
+    and ``Precise[...]`` stays a non-count because it parses to the
+    default qualifier.  Malformed annotations parse to the precise
+    dynamic fallback and are not counted; the throwaway sink swallows
+    their diagnostics (the checker proper reports them).
+    """
+    scratch = DiagnosticSink()
+    parsed = parse_annotation(annotation, scratch, "<census>", in_approximable=True)
+    return _non_default(parsed)
 
 
 def _count_lines(source: str) -> int:

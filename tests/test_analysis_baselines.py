@@ -1,0 +1,99 @@
+"""Golden-baseline tests for `repro lint` / `repro analyze` output.
+
+The committed files under tests/baselines/lint/ (and reliability.json)
+are the analysis lane's contract: any change to the flow graph, the
+lint catalog, the inference closure rules, or the hardware rates shows
+up here as a reviewable diff.  Regenerate with::
+
+    repro lint --baseline-dir tests/baselines/lint --write-baselines
+    repro analyze reliability --format json > tests/baselines/reliability.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import infer_relaxations, run_lints
+from repro.analysis.flowgraph import build_flow_graph
+from repro.analysis.report import PAYLOAD_VERSION, canonical_json, lint_payload
+from repro.apps import ALL_APPS, load_sources
+from repro.cli import main
+from repro.core.checker import check_modules
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines", "lint")
+RELIABILITY_BASELINE = os.path.join(
+    os.path.dirname(__file__), "baselines", "reliability.json"
+)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestLintBaselines:
+    @pytest.mark.parametrize("spec", ALL_APPS, ids=lambda s: s.name)
+    def test_app_matches_committed_baseline(self, spec):
+        sources = load_sources(spec)
+        result = check_modules(sources)
+        assert result.ok
+        graph = build_flow_graph(result)
+        findings = run_lints(graph=graph)
+        suggestions = infer_relaxations(sources, result=result, graph=graph)
+        current = canonical_json(lint_payload(spec.name, findings, suggestions))
+        path = os.path.join(BASELINE_DIR, f"{spec.name.lower()}.json")
+        assert current == _read(path), (
+            f"{spec.name}: lint output drifted from {path}; regenerate "
+            "with 'repro lint --baseline-dir tests/baselines/lint "
+            "--write-baselines' and review the diff"
+        )
+
+    def test_baselines_cover_exactly_the_bundled_apps(self):
+        committed = {
+            name[: -len(".json")]
+            for name in os.listdir(BASELINE_DIR)
+            if name.endswith(".json")
+        }
+        assert committed == {spec.name.lower() for spec in ALL_APPS}
+
+    def test_baselines_are_canonical_and_versioned(self):
+        for name in sorted(os.listdir(BASELINE_DIR)):
+            if not name.endswith(".json"):
+                continue
+            raw = _read(os.path.join(BASELINE_DIR, name))
+            payload = json.loads(raw)
+            assert payload["version"] == PAYLOAD_VERSION
+            assert canonical_json(payload) == raw  # canonical round-trip
+
+
+class TestReliabilityBaseline:
+    def test_all_apps_match_committed_bounds(self, capsys):
+        assert main(["analyze", "reliability", "--format", "json"]) == 0
+        current = capsys.readouterr().out
+        assert current == _read(RELIABILITY_BASELINE), (
+            f"reliability bounds drifted from {RELIABILITY_BASELINE}; "
+            "regenerate with 'repro analyze reliability --format json' "
+            "and review the diff"
+        )
+
+
+class TestJobsDeterminism:
+    def test_lint_jobs_output_is_byte_identical(self, capsys):
+        apps = ["fft", "montecarlo", "lu"]
+        assert main(["lint", *apps, "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["lint", *apps, "--format", "json", "--jobs", "3"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+
+    def test_analyze_jobs_output_is_byte_identical(self, capsys):
+        apps = ["sor", "sparsematmult"]
+        assert main(["analyze", "reliability", *apps, "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["analyze", "reliability", *apps, "--format", "json", "--jobs", "2"])
+            == 0
+        )
+        fanned = capsys.readouterr().out
+        assert serial == fanned

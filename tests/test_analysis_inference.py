@@ -1,0 +1,169 @@
+"""Tests for checker-validated @Approx relaxation inference."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import infer_relaxations
+from repro.apps import app_by_name, load_sources
+from repro.core.checker import check_modules
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+SCIMARK_KERNELS = ["fft", "sor", "montecarlo", "sparsematmult", "lu"]
+
+
+def infer_src(source: str):
+    return infer_relaxations({"m": PRELUDE + textwrap.dedent(source)})
+
+
+class TestSyntheticPrograms:
+    def test_relaxable_local_is_suggested_and_validated(self):
+        suggestions = infer_src(
+            """
+            def f() -> Approx[float]:
+                x: float = 1.0
+                y: Approx[float] = x * 2.0
+                return y
+            """
+        )
+        assert any(s.name == "x" and s.kind == "local" for s in suggestions)
+        assert all(s.validated for s in suggestions)
+        (x,) = [s for s in suggestions if s.name == "x"]
+        assert x.current == "float"
+        assert x.proposed == "Approx[float]"
+
+    def test_index_variable_is_never_suggested(self):
+        suggestions = infer_src(
+            """
+            def f() -> Approx[float]:
+                arr: list[Approx[float]] = [0.0] * 8
+                i: int = 3
+                return arr[i]
+            """
+        )
+        assert not any(s.name == "i" for s in suggestions)
+
+    def test_condition_variable_is_never_suggested(self):
+        suggestions = infer_src(
+            """
+            def f() -> int:
+                gate: int = 1
+                count: int = 0
+                if gate > 0:
+                    count = 1
+                return count
+            """
+        )
+        assert not any(s.name == "gate" for s in suggestions)
+
+    def test_closure_includes_downstream_declarations(self):
+        # Relaxing `x` forces `y` (and f's return) approximate too; the
+        # suggestion must carry them as companions, not fail validation.
+        suggestions = infer_src(
+            """
+            def f() -> float:
+                x: float = 1.0
+                y: float = x * 2.0
+                return y
+            """
+        )
+        by_name = {s.name: s for s in suggestions}
+        if "x" in by_name:
+            assert by_name["x"].companions  # y and/or the return
+            assert by_name["x"].validated
+
+    def test_mutation_survives_aliasing_annotations(self):
+        # A list annotation relaxes via the Approx[list[T]] sugar.
+        suggestions = infer_src(
+            """
+            def fill(out: list[float]) -> None:
+                for i in range(len(out)):
+                    out[i] = 1.0 * i
+
+            def f() -> Approx[float]:
+                data: list[Approx[float]] = [0.0] * 4
+                acc: Approx[float] = 0.0
+                for i in range(4):
+                    acc = acc + data[i]
+                return acc
+            """
+        )
+        for suggestion in suggestions:
+            assert suggestion.proposed == f"Approx[{suggestion.current}]"
+
+    def test_ill_typed_program_is_rejected(self):
+        with pytest.raises(ValueError):
+            infer_relaxations(
+                {
+                    "m": PRELUDE
+                    + "def f() -> int:\n    a: Approx[int] = 1\n    return a\n"
+                }
+            )
+
+    def test_suggestions_are_sorted_and_deterministic(self):
+        source = {
+            "m": PRELUDE
+            + textwrap.dedent(
+                """
+                def f() -> Approx[float]:
+                    b: float = 2.0
+                    a: float = 1.0
+                    c: Approx[float] = a * b
+                    return c
+                """
+            )
+        }
+        first = infer_relaxations(source)
+        second = infer_relaxations(source)
+        assert first == second
+        keys = [s.sort_key for s in first]
+        assert keys == sorted(keys)
+
+
+class TestAppInference:
+    @pytest.mark.parametrize("name", SCIMARK_KERNELS)
+    def test_each_scimark_kernel_yields_a_validated_relaxation(self, name):
+        spec = app_by_name(name)
+        sources = load_sources(spec)
+        result = check_modules(sources)
+        assert result.ok
+        suggestions = infer_relaxations(sources, result=result)
+        assert suggestions, f"{spec.name}: no validated relaxation found"
+        assert all(s.validated for s in suggestions)
+
+    def test_rand_module_is_never_touched(self):
+        spec = app_by_name("montecarlo")
+        sources = load_sources(spec)
+        for suggestion in infer_relaxations(sources):
+            assert suggestion.module != "rand"
+
+    def test_suggested_mutations_recheck_cleanly_when_applied(self):
+        # Apply one suggestion's full closure textually and re-check —
+        # the public promise of `validated=True`.
+        from repro.analysis.inference import (
+            _closure,
+            _collect_candidates,
+            _mutate_sources,
+        )
+        from repro.analysis.flowgraph import build_flow_graph
+
+        spec = app_by_name("montecarlo")
+        sources = load_sources(spec)
+        result = check_modules(sources)
+        graph = build_flow_graph(result)
+        candidates = _collect_candidates(result.modules, {"rand"})
+        validated_any = False
+        for ident in sorted(candidates):
+            if ident not in graph.nodes or graph.nodes[ident].may_approx:
+                continue
+            closure = _closure(graph, candidates, ident)
+            if closure is None:
+                continue
+            mutated = _mutate_sources(sources, closure)
+            if mutated is None:
+                continue
+            if check_modules(mutated).ok:
+                validated_any = True
+                break
+        assert validated_any

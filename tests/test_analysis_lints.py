@@ -1,0 +1,148 @@
+"""Tests for the endorsement audit (AF001-AF005, ANALYSIS.md)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LINT_CODES, run_lints
+from repro.analysis.lints import WIDE_ENDORSE_THRESHOLD
+from repro.apps import app_by_name, load_sources
+from repro.core.checker import check_modules
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def lint_src(source: str):
+    return run_lints(sources={"m": PRELUDE + textwrap.dedent(source)})
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+class TestEndorsementFindings:
+    def test_endorse_into_control_flow_is_af001(self):
+        findings = lint_src(
+            """
+            def f() -> int:
+                a: Approx[float] = 0.5
+                count: int = 0
+                if endorse(a < 1.0):
+                    count = 1
+                return count
+            """
+        )
+        assert "AF001" in codes_of(findings)
+
+    def test_endorse_into_array_index_is_af002(self):
+        findings = lint_src(
+            """
+            def f() -> float:
+                arr: list[float] = [0.0] * 8
+                i: Approx[int] = 3
+                return arr[endorse(i)]
+            """
+        )
+        assert "AF002" in codes_of(findings)
+
+    def test_endorse_escaping_to_unchecked_is_af003(self):
+        findings = lint_src(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                print(endorse(a))
+            """
+        )
+        assert "AF003" in codes_of(findings)
+
+    def test_plain_data_endorse_raises_no_sink_finding(self):
+        findings = lint_src(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                y: float = endorse(x)
+                return y
+            """
+        )
+        assert not {"AF001", "AF002", "AF003"} & set(codes_of(findings))
+
+    def test_wide_endorsement_is_af005_warning(self):
+        names = [f"x{i}" for i in range(WIDE_ENDORSE_THRESHOLD)]
+        lines = ["def f() -> int:", "    count: int = 0"]
+        lines += [f"    {n}: Approx[float] = {i}.0" for i, n in enumerate(names)]
+        total = " + ".join(names)
+        lines += [f"    if endorse({total} > 1.0):", "        count = 1", "    return count"]
+        findings = run_lints(sources={"m": PRELUDE + "\n".join(lines) + "\n"})
+        wide = [f for f in findings if f.code == "AF005"]
+        assert wide
+        assert all(f.severity == "warning" for f in wide)
+        assert all(f.width >= WIDE_ENDORSE_THRESHOLD for f in wide)
+
+    def test_dead_approximation_is_af004(self):
+        # Approx storage whose values only ever move through copies:
+        # no approximate arithmetic ever touches it.
+        findings = lint_src(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                return endorse(x)
+            """
+        )
+        assert "AF004" in codes_of(findings)
+
+    def test_arithmetic_clears_af004(self):
+        findings = lint_src(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                y: Approx[float] = x * 2.0
+                return endorse(y)
+            """
+        )
+        assert "AF004" not in codes_of(findings)
+
+
+class TestLintContract:
+    def test_findings_are_sorted(self):
+        spec = app_by_name("raytracer")
+        result = check_modules(load_sources(spec))
+        findings = run_lints(result=result)
+        keys = [f.sort_key for f in findings]
+        assert keys == sorted(keys)
+
+    def test_codes_are_catalogued(self):
+        spec = app_by_name("zxing")
+        result = check_modules(load_sources(spec))
+        for finding in run_lints(result=result):
+            assert finding.code in LINT_CODES
+            assert finding.severity in ("info", "warning")
+
+    def test_deterministic_across_invocations(self):
+        spec = app_by_name("lu")
+        sources = load_sources(spec)
+        first = run_lints(result=check_modules(sources))
+        second = run_lints(result=check_modules(sources))
+        assert first == second
+
+    def test_ill_typed_program_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_lints(
+                sources={
+                    "m": PRELUDE
+                    + "def f() -> int:\n    a: Approx[int] = 1\n    return a\n"
+                }
+            )
+
+    def test_needs_some_input(self):
+        with pytest.raises(ValueError):
+            run_lints()
+
+    def test_montecarlo_single_endorse_is_narrow_info(self):
+        # The paper's own example: one endorsement guarding the hit
+        # counter is routine, not a warning.
+        spec = app_by_name("montecarlo")
+        findings = run_lints(result=check_modules(load_sources(spec)))
+        af001 = [f for f in findings if f.code == "AF001"]
+        assert len(af001) == 1
+        assert af001[0].severity == "info"
+        assert "AF005" not in codes_of(findings)

@@ -1,0 +1,136 @@
+"""Tests for static reliability bounds and their dynamic soundness."""
+
+import pytest
+
+from repro.analysis import app_reliability, observed_fault_impact, soundness_check
+from repro.analysis.flowgraph import build_flow_graph
+from repro.analysis.reliability import (
+    ASSUMED_RESIDENCY_SECONDS,
+    BITS_PER_VALUE,
+    LEVELS,
+    app_output_id,
+    node_rate,
+    reliability_bound,
+)
+from repro.apps import ALL_APPS, app_by_name, load_sources
+from repro.core.checker import check_modules
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD
+
+
+class TestNodeRates:
+    def test_sram_rate_is_read_plus_write(self):
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            assert node_rate("sram", config) == pytest.approx(
+                config.sram_read_upset + config.sram_write_failure
+            )
+
+    def test_dram_rate_charges_full_residency(self):
+        for config in (MILD, MEDIUM, AGGRESSIVE):
+            expected = min(
+                1.0,
+                BITS_PER_VALUE
+                * config.dram_flip_per_second
+                * ASSUMED_RESIDENCY_SECONDS,
+            )
+            assert node_rate("dram", config) == pytest.approx(expected)
+
+    def test_functional_units_share_timing_rate(self):
+        assert node_rate("alu", MEDIUM) == MEDIUM.timing_error_prob
+        assert node_rate("fpu", MEDIUM) == MEDIUM.timing_error_prob
+
+    def test_unknown_mechanism_is_free(self):
+        assert node_rate("none", AGGRESSIVE) == 0.0
+
+
+class TestBounds:
+    @pytest.fixture(scope="class")
+    def montecarlo(self):
+        spec = app_by_name("montecarlo")
+        result = check_modules(load_sources(spec))
+        assert result.ok
+        return spec, build_flow_graph(result)
+
+    def test_bounds_grow_with_hardware_aggressiveness(self, montecarlo):
+        spec, graph = montecarlo
+        output = app_output_id(spec)
+        mild = reliability_bound(graph, output, MILD)
+        medium = reliability_bound(graph, output, MEDIUM)
+        aggressive = reliability_bound(graph, output, AGGRESSIVE)
+        assert 0.0 < mild.bound < medium.bound < aggressive.bound <= 1.0
+
+    def test_cone_includes_implicitly_flowing_approx_state(self, montecarlo):
+        # MonteCarlo's output depends on approximate coordinates only
+        # through an endorsed condition; the bound is meaningless if the
+        # cone misses them.
+        spec, graph = montecarlo
+        bound = reliability_bound(graph, app_output_id(spec), MILD)
+        assert bound.approx_cone_nodes > 0
+        assert bound.bound > 0.0
+
+    def test_contributors_are_ranked_and_bounded(self, montecarlo):
+        spec, graph = montecarlo
+        bound = reliability_bound(graph, app_output_id(spec), MEDIUM, top=3)
+        assert len(bound.top_contributors) <= 3
+        values = [c.contribution for c in bound.top_contributors]
+        assert values == sorted(values, reverse=True)
+        assert sum(c.contribution for c in bound.top_contributors) <= bound.bound + 1e-12
+
+    def test_by_mechanism_sums_to_uncapped_bound(self, montecarlo):
+        spec, graph = montecarlo
+        bound = reliability_bound(graph, app_output_id(spec), MILD)
+        assert not bound.saturated
+        assert sum(bound.by_mechanism.values()) == pytest.approx(bound.bound)
+
+    def test_missing_output_gives_empty_bound(self, montecarlo):
+        _, graph = montecarlo
+        bound = reliability_bound(graph, "return:nowhere.nothing", MILD)
+        assert bound.bound == 0.0
+        assert bound.cone_nodes == 0
+
+    def test_mantissa_bits_reported_not_summed(self, montecarlo):
+        spec, graph = montecarlo
+        for level, config in LEVELS.items():
+            bound = reliability_bound(graph, app_output_id(spec), config, level=level)
+            assert bound.fp_mantissa_bits == config.float_mantissa_bits
+
+    @pytest.mark.parametrize("spec", ALL_APPS, ids=lambda s: s.name)
+    def test_every_app_has_a_positive_bound(self, spec):
+        bounds = app_reliability(spec)
+        assert len(bounds) == len(LEVELS)
+        for bound in bounds:
+            assert 0.0 < bound.bound <= 1.0
+
+    def test_bounds_are_deterministic(self):
+        spec = app_by_name("fft")
+        first = [b.to_dict() for b in app_reliability(spec)]
+        second = [b.to_dict() for b in app_reliability(spec)]
+        assert first == second
+
+
+class TestSoundness:
+    def test_observed_fault_impact_handles_zero_ops(self):
+        class Stats:
+            total_faults = 0
+            ops_total = 0
+
+        assert observed_fault_impact(Stats()) == 0.0
+
+    @pytest.mark.parametrize("name", ["montecarlo", "sor", "sparsematmult"])
+    def test_observed_never_exceeds_bound(self, name):
+        # The acceptance property on the cheap kernels; the CI analysis
+        # lane replays every app via `repro analyze reliability --verify`.
+        spec = app_by_name(name)
+        records = soundness_check(spec, fault_seeds=(1, 2))
+        assert records
+        for record in records:
+            assert record.sound, (
+                f"{record.app}@{record.level} seed {record.fault_seed}: "
+                f"observed {record.observed:.3e} > bound {record.bound:.3e}"
+            )
+
+    def test_record_serialization_carries_verdict(self):
+        spec = app_by_name("montecarlo")
+        record = soundness_check(spec, levels=["mild"])[0]
+        data = record.to_dict()
+        assert data["sound"] is True
+        assert data["observed"] <= data["bound"]

@@ -1,5 +1,6 @@
 """Second round of checker tests: edge cases and less-travelled rules."""
 
+import ast
 import textwrap
 
 from repro.core.checker import check_modules
@@ -377,3 +378,178 @@ class TestEndorseEdgeCases:
                 print(endorse(a))
             """
         ).ok
+
+
+class TestFactEmission:
+    """The instrumentation facts the flow graph consumes (ANALYSIS.md).
+
+    Facts are keyed by AST node identity, so these tests walk the
+    checked module tree and assert the fact landed on the *right* node
+    with the right shape — the contract ``repro.analysis.flowgraph``
+    builds on.
+    """
+
+    def _checked(self, source: str):
+        result = check_src(source)
+        assert result.ok, result.codes()
+        return result
+
+    @staticmethod
+    def _nodes(result, kind):
+        return [n for n in ast.walk(result.modules["m"]) if isinstance(n, kind)]
+
+    def test_augmented_assignment_emits_binop_on_statement(self):
+        result = self._checked(
+            """
+            def f() -> None:
+                x: Approx[int] = 1
+                x += 2
+            """
+        )
+        (aug,) = self._nodes(result, ast.AugAssign)
+        fact = result.facts[id(aug)]
+        assert fact == {"role": "binop", "op": "add", "kind": "int", "approx": True}
+        # The target records the implicit read of the old value (the
+        # last fact on the Name node; the store precedes it).
+        assert result.facts[id(aug.target)] == {
+            "role": "local-load",
+            "kind": "int",
+            "approx": True,
+            "name": "x",
+        }
+
+    def test_ternary_emits_compare_endorse_and_store_facts(self):
+        result = self._checked(
+            """
+            def f() -> None:
+                a: Approx[int] = 1
+                b: Approx[int] = 2
+                c: Approx[int] = a if endorse(a > b) else b
+            """
+        )
+        (compare,) = self._nodes(result, ast.Compare)
+        fact = result.facts[id(compare)]
+        assert fact["role"] == "compare"
+        assert fact["op"] == "gt"
+        assert fact["approx"] is True
+        endorse_calls = [
+            n
+            for n in self._nodes(result, ast.Call)
+            if isinstance(n.func, ast.Name) and n.func.id == "endorse"
+        ]
+        (endorse_call,) = endorse_calls
+        assert result.facts[id(endorse_call)] == {"role": "endorse"}
+        stores = [
+            f
+            for f in result.facts.values()
+            if f.get("role") == "local-store" and f.get("name") == "c"
+        ]
+        assert stores and all(f["approx"] is True for f in stores)
+
+    def test_approx_dispatch_emits_invoke_fact_on_call_node(self):
+        result = self._checked(
+            """
+            @approximable
+            class FloatSet:
+                nums: Context[list[float]]
+
+                def __init__(self, nums: Context[list[float]]) -> None:
+                    self.nums = nums
+
+                def mean(self) -> float:
+                    total: float = 0.0
+                    for i in range(len(self.nums)):
+                        total = total + self.nums[i]
+                    return total / len(self.nums)
+
+                def mean_APPROX(self) -> Approx[float]:
+                    total: Approx[float] = 0.0
+                    for i in range(0, len(self.nums), 2):
+                        total = total + self.nums[i]
+                    return 2 * total / len(self.nums)
+
+            def use() -> float:
+                s: Approx[FloatSet] = FloatSet([1.0] * 8)
+                m: Approx[float] = s.mean()
+                return endorse(m)
+            """
+        )
+        calls = [
+            n
+            for n in self._nodes(result, ast.Call)
+            if isinstance(n.func, ast.Attribute) and n.func.attr == "mean"
+        ]
+        (call,) = calls
+        assert result.facts[id(call)] == {
+            "role": "invoke",
+            "dispatch": "approx",
+            "method": "mean",
+        }
+
+    def test_context_receiver_dispatch_is_context(self):
+        result = self._checked(
+            """
+            @approximable
+            class FloatSet:
+                nums: Context[list[float]]
+
+                def __init__(self, nums: Context[list[float]]) -> None:
+                    self.nums = nums
+
+                def head(self) -> Context[float]:
+                    return self.nums[0]
+
+                def head_APPROX(self) -> Approx[float]:
+                    return self.nums[0]
+
+                def twice_head(self) -> Context[float]:
+                    return 2.0 * self.head()
+            """
+        )
+        calls = [
+            n
+            for n in self._nodes(result, ast.Call)
+            if isinstance(n.func, ast.Attribute) and n.func.attr == "head"
+        ]
+        (call,) = calls
+        assert result.facts[id(call)] == {
+            "role": "invoke",
+            "dispatch": "context",
+            "method": "head",
+        }
+
+    def test_endorse_inside_subscript_index(self):
+        result = self._checked(
+            """
+            def f() -> float:
+                arr: list[float] = [0.0] * 8
+                i: Approx[int] = 3
+                return arr[endorse(i)]
+            """
+        )
+        endorse_calls = [
+            n
+            for n in self._nodes(result, ast.Call)
+            if isinstance(n.func, ast.Name) and n.func.id == "endorse"
+        ]
+        (endorse_call,) = endorse_calls
+        assert result.facts[id(endorse_call)] == {"role": "endorse"}
+        # `list[float]` in the annotation is also an ast.Subscript; only
+        # the actual array access carries the fact.
+        subscript_facts = [
+            result.facts[id(n)]
+            for n in self._nodes(result, ast.Subscript)
+            if id(n) in result.facts
+        ]
+        (fact,) = subscript_facts
+        assert fact["role"] == "subscript"
+
+    def test_approx_index_without_endorse_rejected(self):
+        assert "subscript" in codes(
+            """
+            def f() -> float:
+                arr: list[float] = [0.0] * 8
+                i: Approx[int] = 3
+                return arr[i]
+            """
+        )

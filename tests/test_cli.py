@@ -242,3 +242,115 @@ class TestServeCLI:
         monkeypatch.chdir(tmp_path)
         assert main(["experiments", "table2", "--via-service", "nowhere"]) == 1
         assert "--via-service" in capsys.readouterr().err
+
+
+class TestCheckJson:
+    def test_good_file_json_payload(self, good_file, capsys):
+        assert main(["check", good_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+        assert payload["path"] == good_file
+
+    def test_bad_file_json_payload_and_nonzero_exit(self, bad_file, capsys):
+        assert main(["check", bad_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["severity"] == "error"
+        assert {"code", "message", "line", "column", "module"} <= set(diagnostic)
+
+    def test_json_is_canonical(self, bad_file, capsys):
+        assert main(["check", bad_file, "--format", "json"]) == 1
+        first = capsys.readouterr().out
+        assert main(["check", bad_file, "--format", "json"]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert json.dumps(payload, indent=2, sort_keys=True) + "\n" == first
+
+
+class TestLintCommand:
+    def test_lints_single_app_text(self, capsys):
+        assert main(["lint", "montecarlo", "--no-suggest"]) == 0
+        out = capsys.readouterr().out
+        assert "MonteCarlo" in out
+        assert "AF001" in out
+
+    def test_suggestions_included_by_default(self, capsys):
+        assert main(["lint", "montecarlo"]) == 0
+        assert "validated relaxation" in capsys.readouterr().out
+
+    def test_json_single_app_is_payload_object(self, capsys):
+        assert main(["lint", "montecarlo", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "MonteCarlo"
+        assert isinstance(payload["findings"], list)
+        assert isinstance(payload["suggestions"], list)
+
+    def test_json_multiple_apps_wrapped(self, capsys):
+        assert main(["lint", "sor", "fft", "--format", "json", "--no-suggest"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["app"] for p in payload["apps"]] == ["SOR", "FFT"]
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["lint", "nosuchapp"]) == 1
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_baseline_roundtrip_and_drift(self, tmp_path, capsys):
+        baseline_dir = str(tmp_path / "baselines")
+        assert main(
+            ["lint", "montecarlo", "--baseline-dir", baseline_dir, "--write-baselines"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", "montecarlo", "--baseline-dir", baseline_dir]) == 0
+        assert "ok" in capsys.readouterr().out
+        # Corrupt the baseline: the compare must fail loudly.
+        path = tmp_path / "baselines" / "montecarlo.json"
+        path.write_text(path.read_text().replace("AF001", "AF999"))
+        assert main(["lint", "montecarlo", "--baseline-dir", baseline_dir]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_missing_baseline_fails(self, tmp_path, capsys):
+        assert main(["lint", "montecarlo", "--baseline-dir", str(tmp_path / "nope")]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_write_baselines_requires_dir(self, capsys):
+        assert main(["lint", "montecarlo", "--write-baselines"]) == 1
+        assert "--baseline-dir" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_reliability_text_lists_levels(self, capsys):
+        assert main(["analyze", "reliability", "montecarlo"]) == 0
+        out = capsys.readouterr().out
+        for level in ("mild", "medium", "aggressive"):
+            assert level in out
+
+    def test_level_filter(self, capsys):
+        assert main(["analyze", "reliability", "montecarlo", "--level", "mild"]) == 0
+        out = capsys.readouterr().out
+        assert "mild" in out
+        assert "aggressive" not in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(
+            ["analyze", "reliability", "montecarlo", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "MonteCarlo"
+        levels = [b["level"] for b in payload["bounds"]]
+        assert levels == ["mild", "medium", "aggressive"]
+        for bound in payload["bounds"]:
+            assert 0.0 < bound["bound"] <= 1.0
+
+    def test_verify_reports_soundness(self, capsys):
+        assert main(["analyze", "reliability", "montecarlo", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "soundness" in out
+        assert "OK" in out
+        assert "VIOLATION" not in out
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["analyze", "reliability", "nosuchapp"]) == 1
+        assert "nosuchapp" in capsys.readouterr().err

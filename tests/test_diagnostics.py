@@ -1,0 +1,66 @@
+"""Regression tests for deterministic diagnostic ordering."""
+
+import ast
+
+from repro.core.diagnostics import Diagnostic, DiagnosticSink, Severity
+
+
+def _node(line: int, column: int = 0):
+    node = ast.Pass()
+    node.lineno = line
+    node.col_offset = column
+    return node
+
+
+class TestDeterministicOrdering:
+    def test_diagnostics_sorted_regardless_of_emission_order(self):
+        sink = DiagnosticSink()
+        sink.error("flow", "third", _node(30), module="zeta")
+        sink.error("flow", "first", _node(2), module="alpha")
+        sink.warning("overload", "second", _node(10), module="alpha")
+        ordered = sink.diagnostics
+        assert [(d.module, d.line) for d in ordered] == [
+            ("alpha", 2),
+            ("alpha", 10),
+            ("zeta", 30),
+        ]
+
+    def test_same_site_orders_by_column_then_code(self):
+        sink = DiagnosticSink()
+        sink.error("subscript", "b", _node(5, 8), module="m")
+        sink.error("condition", "a", _node(5, 8), module="m")
+        sink.error("condition", "c", _node(5, 2), module="m")
+        assert [(d.column, d.code) for d in sink.diagnostics] == [
+            (2, "condition"),
+            (8, "condition"),
+            (8, "subscript"),
+        ]
+
+    def test_errors_and_codes_follow_sorted_order(self):
+        sink = DiagnosticSink()
+        sink.error("flow", "late", _node(9), module="m")
+        sink.warning("overload", "warn", _node(1), module="m")
+        sink.error("condition", "early", _node(3), module="m")
+        assert sink.codes() == ["condition", "flow"]
+        assert [d.severity for d in sink.errors] == [Severity.ERROR, Severity.ERROR]
+        assert sink.has_errors
+
+    def test_summary_renders_in_sorted_order(self):
+        sink = DiagnosticSink()
+        sink.error("flow", "second", _node(20), module="m")
+        sink.error("flow", "first", _node(1), module="m")
+        lines = sink.summary().splitlines()
+        assert "first" in lines[0]
+        assert "second" in lines[1]
+
+    def test_summary_limit_still_counts_hidden(self):
+        sink = DiagnosticSink()
+        for line in (3, 1, 2):
+            sink.error("flow", f"at {line}", _node(line), module="m")
+        summary = sink.summary(limit=1)
+        assert "at 1" in summary
+        assert "2 more" in summary
+
+    def test_diagnostic_str_is_stable(self):
+        diagnostic = Diagnostic("flow", "msg", 4, 2, "mod")
+        assert str(diagnostic) == "mod:4:2: error: [flow] msg"

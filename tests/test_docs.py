@@ -31,6 +31,7 @@ DOC_FILES = [
     "EXPERIMENTS.md",
     "OBSERVABILITY.md",
     "SERVICE.md",
+    "ANALYSIS.md",
     "ROADMAP.md",
 ]
 
@@ -127,6 +128,19 @@ def test_documented_cli_surface_exists(name):
             if flag not in known:
                 problems.append(f"{command} does not accept {flag}: {line}")
     assert not problems, f"{name}:\n" + "\n".join(problems)
+
+
+def test_analysis_lint_catalog_matches_doc():
+    """ANALYSIS.md documents every lint code with its meaning."""
+    from repro.analysis import LINT_CODES
+    from repro.analysis.report import PAYLOAD_VERSION
+
+    text = _read("ANALYSIS.md")
+    for code in LINT_CODES:
+        assert f"`{code}`" in text, f"lint code {code} undocumented"
+    assert f"`\"version\": {PAYLOAD_VERSION}`" in text or (
+        f"version {PAYLOAD_VERSION}" in text
+    ), "payload version undocumented"
 
 
 def test_observability_schema_constants_match_doc():

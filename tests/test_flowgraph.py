@@ -1,0 +1,185 @@
+"""Tests for the interprocedural approximation-flow graph (ANALYSIS.md)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flowgraph import (
+    FlowGraph,
+    FlowNode,
+    SINK_KINDS,
+    STORAGE_KINDS,
+    build_flow_graph,
+)
+from repro.apps import ALL_APPS, app_by_name, load_sources
+from repro.core.checker import check_modules
+
+PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
+
+
+def graph_of(source: str) -> FlowGraph:
+    result = check_modules({"m": PRELUDE + textwrap.dedent(source)})
+    assert result.ok, result.codes()
+    return build_flow_graph(result)
+
+
+class TestGraphPrimitives:
+    def test_add_edge_requires_known_endpoints(self):
+        graph = FlowGraph()
+        graph.add_node("a", "local", "m", 1, 0, "approx", "sram", "a")
+        with pytest.raises(KeyError):
+            graph.add_edge("a", "missing")
+
+    def test_rebinding_widens_qualifier(self):
+        graph = FlowGraph()
+        graph.add_node("x", "local", "m", 1, 0, "precise", "sram", "x")
+        graph.add_node("x", "local", "m", 2, 0, "approx", "sram", "x")
+        assert graph.nodes["x"].qualifier == "approx"
+        graph.add_node("x", "local", "m", 3, 0, "precise", "sram", "x")
+        assert graph.nodes["x"].qualifier == "approx"  # never narrows
+
+    def test_reachability_is_sorted_and_reflexive(self):
+        graph = FlowGraph()
+        for ident in ("c", "a", "b"):
+            graph.add_node(ident, "local", "m", 1, 0, "approx", "sram", ident)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert graph.forward(["a"]) == ["a", "b", "c"]
+        assert graph.backward(["c"]) == ["a", "b", "c"]
+        assert graph.forward(["c"]) == ["c"]
+
+
+class TestBuiltGraphs:
+    def test_local_storage_profile(self):
+        graph = graph_of(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                return endorse(x)
+            """
+        )
+        node = graph.nodes["local:m.f.x"]
+        assert node.kind == "local"
+        assert node.qualifier == "approx"
+        assert node.mechanism == "sram"
+        assert node.may_approx
+
+    def test_array_storage_is_dram_with_element_qualifier(self):
+        graph = graph_of(
+            """
+            def f() -> float:
+                data: list[Approx[float]] = [0.0] * 4
+                acc: Approx[float] = data[0]
+                return endorse(acc)
+            """
+        )
+        node = graph.nodes["local:m.f.data"]
+        assert node.mechanism == "dram"
+        assert node.qualifier == "approx"
+
+    def test_dataflow_reaches_return(self):
+        graph = graph_of(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                y: Approx[float] = x * 2.0
+                return endorse(y)
+            """
+        )
+        cone = graph.backward(["return:m.f"])
+        assert "local:m.f.x" in cone
+        assert "local:m.f.y" in cone
+
+    def test_implicit_flow_through_condition(self):
+        # The MonteCarlo shape: a precise counter incremented under an
+        # endorsed approximate condition must still be in the
+        # condition's forward cone (the bound is unsound otherwise).
+        graph = graph_of(
+            """
+            def f() -> int:
+                a: Approx[float] = 0.5
+                count: int = 0
+                if endorse(a < 1.0):
+                    count = count + 1
+                return count
+            """
+        )
+        assert "local:m.f.count" in graph.forward(["local:m.f.a"])
+        cone = graph.backward(["return:m.f"])
+        assert "local:m.f.a" in cone
+
+    def test_interprocedural_argument_to_return(self):
+        graph = graph_of(
+            """
+            def helper(v: Approx[float]) -> Approx[float]:
+                return v * 2.0
+
+            def f() -> float:
+                x: Approx[float] = 1.0
+                y: Approx[float] = helper(x)
+                return endorse(y)
+            """
+        )
+        forward = graph.forward(["local:m.f.x"])
+        assert "local:m.helper.v" in forward
+        assert "return:m.helper" in forward
+        assert "return:m.f" in forward
+
+    def test_endorse_nodes_are_listed(self):
+        graph = graph_of(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                return endorse(x)
+            """
+        )
+        endorsements = graph.endorsements()
+        assert len(endorsements) == 1
+        assert endorsements[0].startswith("endorse:m:")
+
+    def test_unchecked_escape_becomes_sink(self):
+        graph = graph_of(
+            """
+            def f() -> None:
+                x: Approx[int] = 1
+                print(endorse(x))
+            """
+        )
+        sinks = graph.sinks("unchecked")
+        assert sinks
+        assert all(graph.nodes[s].is_sink for s in sinks)
+        assert all(graph.nodes[s].label in SINK_KINDS for s in sinks)
+
+    def test_storage_nodes_are_storage_kinds(self):
+        graph = graph_of(
+            """
+            def f() -> float:
+                x: Approx[float] = 1.0
+                return endorse(x)
+            """
+        )
+        for ident in graph.storage_nodes():
+            assert graph.nodes[ident].kind in STORAGE_KINDS
+
+
+class TestAppGraphs:
+    @pytest.mark.parametrize("spec", ALL_APPS, ids=lambda s: s.name)
+    def test_every_app_builds_and_output_cone_is_approximate(self, spec):
+        result = check_modules(load_sources(spec))
+        assert result.ok, f"{spec.name}: {result.codes()}"
+        graph = build_flow_graph(result)
+        assert graph.nodes
+        output = f"return:{spec.entry_module}.{spec.entry_function}"
+        assert output in graph.nodes, f"{spec.name}: no output node {output}"
+        cone = graph.backward([output])
+        approx = [i for i in cone if graph.nodes[i].may_approx]
+        assert approx, f"{spec.name}: no approximate node reaches the output"
+
+    def test_graph_construction_is_deterministic(self):
+        spec = app_by_name("montecarlo")
+        result_a = check_modules(load_sources(spec))
+        result_b = check_modules(load_sources(spec))
+        graph_a = build_flow_graph(result_a)
+        graph_b = build_flow_graph(result_b)
+        assert graph_a.node_ids() == graph_b.node_ids()
+        assert graph_a.edges() == graph_b.edges()
