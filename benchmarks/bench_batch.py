@@ -1,0 +1,134 @@
+"""Bench: serial vs batched fault injection on a cold seed campaign.
+
+Runs a cold QoS campaign (lockstep apps x ``REPRO_BENCH_BATCH`` fault
+seeds at Mild — the Figure 3/5 workload shape: thousands of
+near-identical simulations differing only in fault seed) once through
+the serial path and once through the batched fault-injection engine
+(:func:`repro.experiments.harness.run_keys_batch`), which sweeps a whole
+seed block in one instrumented execution.
+
+Hygiene, mirroring ``bench_parallel.py``: before any timing the two
+paths are asserted QoS-identical on a probe block, and after timing the
+full campaigns are asserted bit-identical float for float — the batch
+engine's determinism guarantee (pinned in depth by
+``tests/test_batch_differential.py``), asserted rather than eyeballed.
+
+The acceptance bar asserts >= 10x at a batch width >= 32 — only with
+the numpy engine; the pure-Python fallback lanes are for correctness
+and portability, not speed, so without numpy the timings are recorded
+but the bar is not enforced.  Results land in the benchmark's
+``extra_info`` and as ``BENCH_batch.json`` at the repository root,
+including lanes-per-second for both paths.
+
+Environment knobs (same family as ``bench_parallel.py``):
+
+* ``REPRO_BENCH_BATCH`` — fault seeds per block (default 64; the
+  acceptance bar applies at >= 32).
+* ``REPRO_BENCH_FULL``  — set to 1 to add SOR (a longer lockstep app).
+"""
+
+import json
+import os
+import struct
+import time
+
+from repro.apps import app_by_name
+from repro.experiments.harness import clear_caches, precise_output, run_key, run_keys_batch
+from repro.experiments.runkey import RunKey
+from repro.hardware.config import MILD
+from repro.hardware.rng import BatchFaultRandom
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+BATCH = int(os.environ.get("REPRO_BENCH_BATCH", "64"))
+# Apps whose control flow stays lane-uniform under Mild faults, so the
+# batched execution actually sweeps all lanes at once.  Apps that branch
+# on approximate data (e.g. MonteCarlo) diverge and fall back to serial
+# reruns — correct, but not what a throughput benchmark should measure.
+APP_NAMES = ("fft", "sparsematmult", "sor") if FULL else ("fft", "sparsematmult")
+
+_RESULTS_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_batch.json")
+)
+
+
+def _campaign_keys(spec):
+    return [
+        RunKey(spec=spec, config=MILD, fault_seed=seed, workload_seed=0)
+        for seed in range(1, BATCH + 1)
+    ]
+
+
+def _qos_list(spec, results):
+    reference = precise_output(spec, 0)
+    return [spec.qos(reference, result.output) for result in results]
+
+
+def _bits(values):
+    return [struct.pack("<d", value) for value in values]
+
+
+def test_bench_batch_seed_campaign(benchmark):
+    specs = [app_by_name(name) for name in APP_NAMES]
+    engine = BatchFaultRandom([0, 1]).engine
+    clear_caches()
+
+    # Hygiene first: prove serial and batch QoS identical on a probe
+    # block (this also warms the compiled-program caches, so the timed
+    # passes below compare simulation cost, not compilation).
+    for spec in specs:
+        probe = _campaign_keys(spec)[:4]
+        serial_probe = _qos_list(spec, [run_key(key) for key in probe])
+        batch_probe = _qos_list(spec, run_keys_batch(probe))
+        assert _bits(serial_probe) == _bits(batch_probe), spec.name
+
+    t0 = time.perf_counter()
+    serial_qos = {
+        spec.name: _qos_list(spec, [run_key(key) for key in _campaign_keys(spec)])
+        for spec in specs
+    }
+    serial_seconds = time.perf_counter() - t0
+
+    def batch_pass():
+        return {
+            spec.name: _qos_list(spec, run_keys_batch(_campaign_keys(spec)))
+            for spec in specs
+        }
+
+    t0 = time.perf_counter()
+    batch_qos = benchmark.pedantic(batch_pass, rounds=1, iterations=1)
+    batch_seconds = time.perf_counter() - t0
+
+    # Full-campaign determinism: every per-seed float is bit-identical.
+    for spec in specs:
+        assert _bits(serial_qos[spec.name]) == _bits(batch_qos[spec.name]), spec.name
+
+    lanes = len(specs) * BATCH
+    speedup = serial_seconds / batch_seconds if batch_seconds else float("inf")
+    results = {
+        "engine": engine,
+        "batch": BATCH,
+        "apps": list(APP_NAMES),
+        "lanes": lanes,
+        "serial_seconds": round(serial_seconds, 3),
+        "batch_seconds": round(batch_seconds, 3),
+        "serial_lanes_per_second": round(lanes / serial_seconds, 1),
+        "batch_lanes_per_second": round(lanes / batch_seconds, 1),
+        "speedup": round(speedup, 2),
+        "qos_identical": True,
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nSeed campaign ({len(specs)} apps x {BATCH} seeds, {engine} engine): "
+        f"serial {serial_seconds:.2f}s ({lanes / serial_seconds:.1f} lanes/s), "
+        f"batch {batch_seconds:.2f}s ({lanes / batch_seconds:.1f} lanes/s) "
+        f"-> {speedup:.1f}x"
+    )
+
+    if engine == "numpy" and BATCH >= 32:
+        assert speedup >= 10.0, (
+            f"expected >= 10x from the batched engine at batch={BATCH}, "
+            f"got {speedup:.2f}x ({serial_seconds:.2f}s -> {batch_seconds:.2f}s)"
+        )

@@ -453,16 +453,21 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     module = importlib.import_module(f"repro.experiments.{args.name}")
     store = None if args.no_cache else run_store.configure(args.cache_dir)
     try:
-        # Drivers rewired through the parallel executor accept jobs=N;
-        # the remainder (e.g. table2) are pure formatting, stay serial,
+        # Drivers rewired through the parallel executor accept jobs=N,
+        # and seed-sweep drivers additionally accept batch=N; the
+        # remainder (e.g. table2) are pure formatting, stay serial,
         # and never touch the store.
-        if "jobs" in inspect.signature(module.main).parameters:
-            module.main(jobs=args.jobs)
+        parameters = inspect.signature(module.main).parameters
+        kwargs = {}
+        if "jobs" in parameters:
+            kwargs["jobs"] = args.jobs
         elif args.jobs and args.jobs > 1:
             print(f"note: {args.name} does not support --jobs; running serially")
-            module.main()
-        else:
-            module.main()
+        if "batch" in parameters:
+            kwargs["batch"] = args.batch
+        elif args.batch and args.batch > 1:
+            print(f"note: {args.name} does not support --batch; running unbatched")
+        module.main(**kwargs)
     finally:
         if route_client is not None:
             clear_service_route()
@@ -830,6 +835,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan the experiment grid across N worker processes "
         "(default: serial; results are bit-identical either way)",
+    )
+    experiments.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep fault-seed blocks of size N through one batched "
+        "simulation each (default: unbatched; results are "
+        "bit-identical either way, see DESIGN.md)",
     )
     experiments.add_argument(
         "--cache-dir",

@@ -212,8 +212,70 @@ def _execute_job(job: Job) -> object:
         ) from exc
 
 
-def _execute_chunk(chunk: Sequence[Job]) -> List[object]:
-    return [_execute_job(job) for job in chunk]
+def _execute_chunk(chunk: Sequence[Job], batch: Optional[int] = None) -> List[object]:
+    """Execute a chunk, optionally batching compatible adjacent jobs.
+
+    With ``batch`` > 1, consecutive ``qos``/``stats`` jobs that share
+    app, config and workload seed (the shape every figure grid produces)
+    are swept in blocks of up to ``batch`` fault seeds through one
+    :func:`~repro.experiments.harness.run_keys_batch` execution.  Jobs
+    are never reordered, so results stay in submission order and the
+    figure drivers' left-to-right accumulation is untouched.  When a
+    service route is active, jobs keep going through it one by one —
+    ``--via-service`` intent wins over local batching.
+    """
+    if batch is None or batch <= 1:
+        return [_execute_job(job) for job in chunk]
+    from repro.experiments.harness import _service_route
+
+    if _service_route() is not None:
+        return [_execute_job(job) for job in chunk]
+    results: List[object] = []
+    index = 0
+    n = len(chunk)
+    while index < n:
+        job = chunk[index]
+        if job.task not in ("qos", "stats"):
+            results.append(_execute_job(job))
+            index += 1
+            continue
+        block = [job]
+        while len(block) < batch and index + len(block) < n:
+            nxt = chunk[index + len(block)]
+            if (
+                nxt.task == job.task
+                and nxt.spec.name == job.spec.name
+                and nxt.config == job.config
+                and nxt.workload_seed == job.workload_seed
+            ):
+                block.append(nxt)
+            else:
+                break
+        results.extend(_execute_block(block))
+        index += len(block)
+    return results
+
+
+def _execute_block(block: Sequence[Job]) -> List[object]:
+    """One batched seed block; falls back to per-job execution on error.
+
+    The per-job fallback reruns the block through :func:`_execute_job`,
+    so a deterministic failure surfaces as the same :class:`JobError`
+    (with the right job identity) the serial path would raise.
+    """
+    from repro.experiments.harness import precise_output, run_keys_batch
+
+    job = block[0]
+    try:
+        run_results = run_keys_batch([j.key for j in block])
+        if job.task == "stats":
+            return [result.stats for result in run_results]
+        reference = precise_output(job.spec, job.workload_seed)
+        return [job.spec.qos(reference, result.output) for result in run_results]
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        return [_execute_job(j) for j in block]
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +351,7 @@ def run_jobs(
     workers: Optional[int] = None,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
     chunk_size: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> List[object]:
     """Execute a job grid; results are in job order, serial-identical.
 
@@ -296,13 +359,16 @@ def run_jobs(
     default, so seed behaviour is unchanged unless parallelism is asked
     for).  ``retry_budget`` bounds both per-chunk retries after an
     ordinary job exception and pool rebuilds after a worker crash.
+    ``batch`` > 1 sweeps compatible adjacent seed jobs through the
+    batched fault-injection engine (see :func:`_execute_chunk`); results
+    stay bit-identical, pinned by ``tests/test_batch_differential.py``.
     """
     jobs = list(jobs)
     if not jobs:
         return []
     if workers is None or workers <= 1:
         # The serial path consults the store per run inside the harness.
-        return [_execute_job(job) for job in jobs]
+        return _execute_chunk(jobs, batch)
 
     # Resume layer: serve completed cells from the active store first,
     # then fan out only the misses.  Workers write through the same
@@ -324,6 +390,10 @@ def run_jobs(
 
     if chunk_size is None:
         chunk_size = _default_chunk_size(len(miss_jobs), workers)
+        if batch is not None and batch > 1:
+            # Keep seed blocks whole: a chunk smaller than the batch
+            # size would fragment every block.
+            chunk_size = max(chunk_size, batch)
     chunks = partition(miss_jobs, chunk_size)
     specs = _distinct_specs(miss_jobs)
     cache_dir = store.root if store is not None else None
@@ -344,7 +414,7 @@ def run_jobs(
             ) as pool:
                 while pending:
                     futures = {
-                        pool.submit(_execute_chunk, chunks[index]): index
+                        pool.submit(_execute_chunk, chunks[index], batch): index
                         for index in sorted(pending)
                     }
                     for future in as_completed(futures):
@@ -406,22 +476,24 @@ def qos_errors(
     workload_seed: int = 0,
     workers: Optional[int] = None,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
+    batch: Optional[int] = None,
 ) -> List[float]:
     """Per-seed QoS errors, ordered by ``fault_seeds``."""
     jobs = [
         Job(spec=spec, config=config, fault_seed=seed, workload_seed=workload_seed)
         for seed in fault_seeds
     ]
-    return run_jobs(jobs, workers=workers, retry_budget=retry_budget)
+    return run_jobs(jobs, workers=workers, retry_budget=retry_budget, batch=batch)
 
 
 def stats_for_jobs(
     jobs: Sequence[Job],
     workers: Optional[int] = None,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
+    batch: Optional[int] = None,
 ) -> List[RunStats]:
     """Run ``stats`` jobs; a thin alias that documents the return type."""
-    return run_jobs(jobs, workers=workers, retry_budget=retry_budget)
+    return run_jobs(jobs, workers=workers, retry_budget=retry_budget, batch=batch)
 
 
 def mean_of(errors: Sequence[float]) -> float:

@@ -34,23 +34,30 @@ LEVELS = (("Mild", MILD), ("Medium", MEDIUM), ("Aggressive", AGGRESSIVE))
 
 
 def figure5_row(
-    spec: AppSpec, runs: int = DEFAULT_RUNS, jobs: Optional[int] = None
+    spec: AppSpec,
+    runs: int = DEFAULT_RUNS,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> Dict[str, float]:
     row: Dict[str, object] = {"app": spec.name}
     for label, config in LEVELS:
-        row[label] = mean_qos(spec, config, runs=runs, jobs=jobs)
+        row[label] = mean_qos(spec, config, runs=runs, jobs=jobs, batch=batch)
     return row
 
 
 def figure5_grid(
-    specs: Sequence[AppSpec], runs: int, jobs: Optional[int] = None
+    specs: Sequence[AppSpec],
+    runs: int,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """All rows from one flat app x level x fault-seed job grid.
 
     With ``jobs > 1`` the whole grid is fanned out at once (better load
     balance than per-row pools); each (app, level) bar is then averaged
     over its seeds in serial order, so the numbers are bit-identical to
-    :func:`figure5_row`.
+    :func:`figure5_row`.  ``batch`` > 1 additionally sweeps each cell's
+    seed block through the batched fault-injection engine.
     """
     from repro.experiments.executor import Job, mean_of, run_jobs
 
@@ -60,7 +67,7 @@ def figure5_grid(
         for _, config in LEVELS
         for fault_seed in range(1, runs + 1)
     ]
-    errors = run_jobs(grid, workers=jobs)
+    errors = run_jobs(grid, workers=jobs, batch=batch)
     rows: List[Dict[str, float]] = []
     cursor = 0
     for spec in specs:
@@ -73,20 +80,23 @@ def figure5_grid(
 
 
 def figure5_rows(
-    runs: int = DEFAULT_RUNS, jobs: Optional[int] = None
+    runs: int = DEFAULT_RUNS,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     if jobs is not None and jobs > 1:
-        return figure5_grid(ALL_APPS, runs, jobs)
-    return [figure5_row(spec, runs) for spec in ALL_APPS]
+        return figure5_grid(ALL_APPS, runs, jobs, batch=batch)
+    return [figure5_row(spec, runs, batch=batch) for spec in ALL_APPS]
 
 
 def format_figure5(
     rows: List[Dict[str, float]] = None,
     runs: int = DEFAULT_RUNS,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> str:
     if rows is None:
-        rows = figure5_rows(runs, jobs=jobs)
+        rows = figure5_rows(runs, jobs=jobs, batch=batch)
     header = f"{'Application':14s} {'Mild':>8s} {'Medium':>8s} {'Aggressive':>11s}"
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -97,9 +107,9 @@ def format_figure5(
     return "\n".join(lines)
 
 
-def main(jobs: Optional[int] = None) -> None:
+def main(jobs: Optional[int] = None, batch: Optional[int] = None) -> None:
     print(f"Figure 5: output error, mean over {DEFAULT_RUNS} runs")
-    print(format_figure5(jobs=jobs))
+    print(format_figure5(jobs=jobs, batch=batch))
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from repro.runtime import RunStats, Simulator
 __all__ = [
     "compiled_app",
     "run_key",
+    "run_keys_batch",
     "run_app",
     "qos_error",
     "mean_qos",
@@ -114,6 +115,92 @@ def run_key(
     if store is not None:
         store.put(key, result.output, result.stats)
     return result
+
+
+def run_keys_batch(keys, engine: str = "auto") -> "list[RunResult]":
+    """Execute a block of runs in one batched simulation.
+
+    ``keys`` must share the app, config and workload seed and differ
+    only in ``fault_seed`` — the shape :func:`mean_qos` and the figure
+    drivers produce.  One :class:`~repro.runtime.batch.BatchSimulator`
+    execution sweeps all the fault seeds at once; per-lane results are
+    bit-identical to :func:`run_key` per seed (pinned by
+    ``tests/test_batch_differential.py``).
+
+    The run store is honoured exactly like the serial path: cached
+    lanes are served without simulating, only the misses run batched,
+    and every fresh lane is written through under its own key.
+
+    Correct-by-fallback: configurations the batch engine cannot model
+    (load elision) and executions whose lanes diverge into precise
+    control flow (``LaneDivergenceError``, or any other failure of the
+    batched attempt) are rerun serially through :func:`run_key`, so a
+    batch call never changes results — only, usually, their cost.
+    """
+    keys = list(keys)
+    if not keys:
+        return []
+    first = keys[0]
+    for key in keys[1:]:
+        if (
+            key.spec.name != first.spec.name
+            or key.config != first.config
+            or key.workload_seed != first.workload_seed
+        ):
+            raise ValueError(
+                "run_keys_batch needs keys sharing app, config and "
+                "workload seed (only fault_seed may vary)"
+            )
+    if len(keys) == 1:
+        # A single lane is exactly a serial run; route it through the
+        # pre-batch path so batch=1 is trivially bit-identical.
+        return [run_key(keys[0])]
+    store = _active_store()
+    results: Dict[int, RunResult] = {}
+    pending = list(range(len(keys)))
+    if store is not None:
+        pending = []
+        for index, key in enumerate(keys):
+            entry = store.get(key)
+            if entry is not None:
+                results[index] = RunResult(output=entry.output, stats=entry.stats)
+            else:
+                pending.append(index)
+    if pending:
+        pending_keys = [keys[index] for index in pending]
+        try:
+            fresh = _run_keys_batch_fresh(pending_keys, engine)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # Serial fallback: run_key consults and fills the store
+            # itself, so no extra write-through below.
+            for index, key in zip(pending, pending_keys):
+                results[index] = run_key(key)
+            return [results[index] for index in range(len(keys))]
+        for index, result in zip(pending, fresh):
+            results[index] = result
+            if store is not None:
+                store.put(keys[index], result.output, result.stats)
+    return [results[index] for index in range(len(keys))]
+
+
+def _run_keys_batch_fresh(keys, engine: str) -> "list[RunResult]":
+    """One batched execution of ``keys`` (no store interaction)."""
+    from repro.runtime.batch import BatchSimulator, unlane
+
+    first = keys[0]
+    program = compiled_app(first.spec)
+    seeds = [key.fault_seed for key in keys]
+    call_args = first.workload_args
+    with BatchSimulator(first.config, seeds, engine=engine) as simulator:
+        output = program.call(
+            first.spec.entry_module, first.spec.entry_function, *call_args
+        )
+    return [
+        RunResult(output=unlane(output, lane), stats=simulator.lane_stats(lane))
+        for lane in range(len(keys))
+    ]
 
 
 def run_app(
@@ -214,6 +301,7 @@ def mean_qos(
     runs: int = 20,
     workload_seed: int = 0,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> float:
     """Mean QoS error over ``runs`` fault seeds (the paper uses 20).
 
@@ -221,6 +309,13 @@ def mean_qos(
     :func:`repro.experiments.executor.qos_errors`; the default (serial)
     path and the parallel path accumulate per-seed errors in the same
     left-to-right order, so the result is bit-identical either way.
+
+    ``batch`` > 1 submits the seeds in blocks of that size through
+    :func:`run_keys_batch`, so one instrumented execution serves a whole
+    seed block (``repro experiments --batch N``).  Batching composes
+    with ``jobs``: each worker then executes its chunk in seed blocks.
+    Per-seed results — and therefore the mean — are bit-identical to
+    the serial path.
     """
     if runs <= 0:
         raise ValueError("runs must be positive")
@@ -241,7 +336,22 @@ def mean_qos(
     if jobs is not None and jobs > 1:
         from repro.experiments.executor import mean_of, qos_errors
 
-        errors = qos_errors(spec, config, fault_seeds, workload_seed, workers=jobs)
+        errors = qos_errors(
+            spec, config, fault_seeds, workload_seed, workers=jobs, batch=batch
+        )
+        return mean_of(errors)
+    if batch is not None and batch > 1:
+        from repro.experiments.executor import mean_of
+
+        reference = precise_output(spec, workload_seed)
+        keys = [
+            RunKey(spec=spec, config=config, fault_seed=s, workload_seed=workload_seed)
+            for s in fault_seeds
+        ]
+        errors = []
+        for start in range(0, len(keys), batch):
+            for result in run_keys_batch(keys[start : start + batch]):
+                errors.append(spec.qos(reference, result.output))
         return mean_of(errors)
     total = 0.0
     for fault_seed in fault_seeds:

@@ -7,7 +7,7 @@ mantissa-width reduction), each with the Table 2 Mild / Medium /
 Aggressive parameterisations.
 """
 
-from repro.hardware.alu import ApproxALU
+from repro.hardware.alu import ApproxALU, BatchApproxALU
 from repro.hardware.clock import LogicalClock
 from repro.hardware.config import (
     AGGRESSIVE,
@@ -20,18 +20,26 @@ from repro.hardware.config import (
     Level,
     config_for_level,
 )
-from repro.hardware.dram import ApproxDRAM
-from repro.hardware.fpu import ApproxFPU
-from repro.hardware.rng import FaultRandom
-from repro.hardware.sram import ApproxSRAM
+from repro.hardware.dram import ApproxDRAM, BatchApproxDRAM
+from repro.hardware.fpu import ApproxFPU, BatchApproxFPU
+from repro.hardware.lanes import LaneDivergenceError, LaneValues
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
+from repro.hardware.sram import ApproxSRAM, BatchApproxSRAM
 
 __all__ = [
     "ApproxALU",
     "ApproxFPU",
     "ApproxSRAM",
     "ApproxDRAM",
+    "BatchApproxALU",
+    "BatchApproxFPU",
+    "BatchApproxSRAM",
+    "BatchApproxDRAM",
+    "LaneValues",
+    "LaneDivergenceError",
     "LogicalClock",
     "FaultRandom",
+    "BatchFaultRandom",
     "HardwareConfig",
     "ErrorMode",
     "Level",

@@ -23,9 +23,10 @@ from typing import Callable, Dict
 
 from repro.hardware import bits
 from repro.hardware.config import ErrorMode, HardwareConfig
-from repro.hardware.rng import FaultRandom
+from repro.hardware.lanes import LaneValues, lane_value
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
 
-__all__ = ["ApproxALU", "INT_OPS"]
+__all__ = ["ApproxALU", "BatchApproxALU", "INT_OPS"]
 
 
 def _idiv(a: int, b: int) -> int:
@@ -164,3 +165,139 @@ class ApproxALU:
                 extra={"mode": self._config.error_mode.name.lower()},
             )
         return result
+
+
+class BatchApproxALU(ApproxALU):
+    """Lane-vectorized integer ALU: one op draws a fault coin per lane.
+
+    Operands may be scalars (lanes still converged) or
+    :class:`LaneValues` (diverged by an earlier fault); either way each
+    lane computes exactly what its serial run would, and the timing-error
+    coin/draw sequence per lane matches :class:`ApproxALU` word for
+    word.  ``_last_value`` is stored as scalar-or-LaneValues, read
+    per-lane by the LAST_VALUE error mode.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        rng: BatchFaultRandom,
+        tracers=None,
+        lanes: int = 1,
+    ) -> None:
+        super().__init__(config, rng, tracer=None)
+        self._tracers = tracers
+        self._lanes = lanes
+        self.faulted_ops = [0] * lanes
+
+    # precise_binop is inherited: plain Python semantics work on
+    # LaneValues through its per-lane arithmetic dunders.
+
+    def approx_binop(self, op: str, a, b):
+        self.approx_ops += 1
+        if isinstance(a, LaneValues) or isinstance(b, LaneValues):
+            return self._approx_binop_lanes(op, a, b)
+        a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
+        b32 = bits.bits_to_int(bits.int_to_bits(int(b)))
+        if op in _COMPARE_OPS:
+            return self._maybe_fault_bool(_COMPARE_OPS[op](a32, b32), op)
+        raw = INT_OPS[op](a32, b32)
+        result = bits.bits_to_int(bits.int_to_bits(raw))
+        result = self._maybe_fault(result, op)
+        self._last_value = result
+        return result
+
+    def _approx_binop_lanes(self, op: str, a, b):
+        n = self._lanes
+        a_lanes = a.values if isinstance(a, LaneValues) else [a] * n
+        b_lanes = b.values if isinstance(b, LaneValues) else [b] * n
+        a32 = [bits.bits_to_int(bits.int_to_bits(int(v))) for v in a_lanes]
+        b32 = [bits.bits_to_int(bits.int_to_bits(int(v))) for v in b_lanes]
+        if op in _COMPARE_OPS:
+            fn = _COMPARE_OPS[op]
+            compared = LaneValues([fn(x, y) for x, y in zip(a32, b32)])
+            return self._maybe_fault_bool(compared, op)
+        fn = INT_OPS[op]
+        raw = [fn(x, y) for x, y in zip(a32, b32)]
+        result = LaneValues([bits.bits_to_int(bits.int_to_bits(v)) for v in raw])
+        result = self._maybe_fault(result, op)
+        self._last_value = result
+        return result
+
+    def approx_unop(self, op: str, a):
+        self.approx_ops += 1
+        if isinstance(a, LaneValues):
+            lanes32 = [bits.bits_to_int(bits.int_to_bits(int(v))) for v in a.values]
+            raw = [
+                -v if op == "neg" else (abs(v) if op == "abs" else ~v)
+                for v in lanes32
+            ]
+            result = LaneValues([bits.bits_to_int(bits.int_to_bits(v)) for v in raw])
+        else:
+            a32 = bits.bits_to_int(bits.int_to_bits(int(a)))
+            raw = -a32 if op == "neg" else (abs(a32) if op == "abs" else ~a32)
+            result = bits.bits_to_int(bits.int_to_bits(raw))
+        result = self._maybe_fault(result, op)
+        self._last_value = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _maybe_fault(self, value, op: str = "?"):
+        fired = self._rng.coin_fired(self._config.timing_error_prob)
+        if not fired:
+            return value
+        mode = self._config.error_mode
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane in fired:
+            self.faulted_ops[lane] += 1
+            before = lane_values[lane]
+            flipped = ()
+            if mode is ErrorMode.LAST_VALUE:
+                result = lane_value(self._last_value, lane)
+            elif mode is ErrorMode.SINGLE_BIT_FLIP:
+                position = self._rng.bit_index(bits.INT_BITS, (lane,))[0]
+                result = bits.flip_bit_int(before, position)
+                flipped = (position,)
+            else:
+                result = bits.bits_to_int(self._rng.bits(bits.INT_BITS, (lane,))[0])
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    "alu.timing_error",
+                    f"alu:{op}",
+                    bits=flipped,
+                    before=before,
+                    after=result,
+                    extra={"mode": mode.name.lower()},
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)
+
+    def _maybe_fault_bool(self, value, op: str = "?"):
+        fired = self._rng.coin_fired(self._config.timing_error_prob)
+        if not fired:
+            return value
+        last_value_mode = self._config.error_mode is ErrorMode.LAST_VALUE
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane in fired:
+            self.faulted_ops[lane] += 1
+            before = lane_values[lane]
+            if last_value_mode:
+                result = bool(lane_value(self._last_value, lane) & 1)
+            else:
+                result = not before
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    "alu.timing_error",
+                    f"alu:{op}",
+                    before=before,
+                    after=result,
+                    extra={"mode": self._config.error_mode.name.lower()},
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)

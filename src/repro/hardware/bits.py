@@ -37,7 +37,18 @@ __all__ = [
     "bits_for_kind",
     "value_to_bits",
     "bits_to_value",
+    "truncate_mantissa_lanes",
+    "truncate_mantissa_array",
+    "flip_bit_int_lanes",
+    "flip_bit_float_lanes",
+    "value_to_bits_lanes",
+    "bits_to_value_lanes",
 ]
+
+try:  # pragma: no cover - both paths pinned by tests/test_bits.py
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 INT_BITS = 32
 FLOAT_BITS = 32
@@ -159,4 +170,140 @@ def bits_to_value(bits: int, kind: str):
         return bits64_to_float(bits)
     if kind == "bool":
         return bool(bits & 1)
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Lane-wise variants (batch fault injection)
+# ----------------------------------------------------------------------
+# Each `*_lanes` helper maps its scalar counterpart over a sequence of
+# per-lane values, returning a plain list of Python scalars so downstream
+# code stays dtype-free.  With numpy present the map runs on packed
+# uint32/uint64 lanes; without it (the `[batch]` extra absent) a scalar
+# loop produces the same results, so the two paths are interchangeable —
+# tests/test_bits.py pins them bit-for-bit against each other.
+
+
+def _lanes_f32(values):
+    """Pack float64 lanes into binary32 patterns (overflow saturates)."""
+    with _np.errstate(over="ignore", invalid="ignore"):
+        return _np.asarray(values, dtype=_np.float64).astype(_np.float32)
+
+
+def _lanes_f64(values_f32):
+    """Widen binary32 lanes back to float64 (quietening NaNs silently)."""
+    with _np.errstate(invalid="ignore"):
+        return values_f32.astype(_np.float64)
+
+
+def truncate_mantissa_array(values, keep_bits: int, double: bool = False):
+    """Array-in/array-out core of :func:`truncate_mantissa_lanes`.
+
+    Requires numpy.  Accepts a float64 ndarray or any sequence; returns
+    a float64 ndarray that never aliases mutable caller state unless it
+    is bitwise unchanged from the input.  The batch FPU calls this
+    directly to keep operand/result vectors in array form across an
+    operation instead of round-tripping through Python lists.
+    """
+    arr = values if isinstance(values, _np.ndarray) else _np.asarray(values, dtype=_np.float64)
+    if arr.dtype != _np.float64:
+        arr = arr.astype(_np.float64)
+    mantissa_width = DOUBLE_MANTISSA if double else FLOAT_MANTISSA
+    keep = max(0, min(int(keep_bits), mantissa_width))
+    drop = mantissa_width - keep
+    if double:
+        if drop <= 0:
+            return arr
+        mask = _np.uint64(~((1 << drop) - 1) & 0xFFFFFFFFFFFFFFFF)
+        out = (arr.view(_np.uint64) & mask).view(_np.float64)
+    else:
+        # One errstate entry covering both casts (this is a hot path;
+        # entering errstate twice via the _lanes helpers measurably
+        # slows the batch FPU).
+        with _np.errstate(over="ignore", invalid="ignore"):
+            patterns = arr.astype(_np.float32).view(_np.uint32)
+            if drop > 0:
+                patterns &= _np.uint32(~((1 << drop) - 1) & 0xFFFFFFFF)
+            out = patterns.view(_np.float32).astype(_np.float64)
+    # NaN, infinity and zero pass through *untouched* (original float64
+    # pattern), exactly like the scalar helper.
+    passthrough = ~_np.isfinite(arr) | (arr == 0.0)
+    if passthrough.any():
+        out[passthrough] = arr[passthrough]
+    return out
+
+
+def truncate_mantissa_lanes(values, keep_bits: int, double: bool = False) -> list:
+    """:func:`truncate_mantissa` over a vector of per-lane values."""
+    if _np is None:
+        return [truncate_mantissa(value, keep_bits, double) for value in values]
+    return truncate_mantissa_array(values, keep_bits, double).tolist()
+
+
+def flip_bit_int_lanes(values, bit_positions) -> list:
+    """:func:`flip_bit_int` with a per-lane bit position per value."""
+    if _np is None:
+        return [flip_bit_int(v, b) for v, b in zip(values, bit_positions)]
+    patterns = (_np.asarray(values, dtype=_np.int64) & _INT_MASK).astype(_np.uint32)
+    shifts = (_np.asarray(bit_positions, dtype=_np.int64) % INT_BITS).astype(_np.uint32)
+    flipped = patterns ^ (_np.uint32(1) << shifts)
+    return flipped.view(_np.int32).astype(_np.int64).tolist()
+
+
+def flip_bit_float_lanes(values, bit_positions, double: bool = False) -> list:
+    """:func:`flip_bit_float` with a per-lane bit position per value."""
+    if _np is None:
+        return [flip_bit_float(v, b, double) for v, b in zip(values, bit_positions)]
+    if double:
+        patterns = _np.asarray(values, dtype=_np.float64).view(_np.uint64)
+        shifts = (_np.asarray(bit_positions, dtype=_np.int64) % DOUBLE_BITS).astype(
+            _np.uint64
+        )
+        return (patterns ^ (_np.uint64(1) << shifts)).view(_np.float64).tolist()
+    patterns = _lanes_f32(values).view(_np.uint32)
+    shifts = (_np.asarray(bit_positions, dtype=_np.int64) % FLOAT_BITS).astype(
+        _np.uint32
+    )
+    flipped = patterns ^ (_np.uint32(1) << shifts)
+    return _lanes_f64(flipped.view(_np.float32)).tolist()
+
+
+def value_to_bits_lanes(values, kind: str) -> list:
+    """:func:`value_to_bits` over a vector of per-lane values."""
+    if _np is None or kind == "bool":
+        return [value_to_bits(value, kind) for value in values]
+    if kind == "int":
+        return (
+            (_np.asarray(values, dtype=_np.int64) & _INT_MASK)
+            .astype(_np.uint32)
+            .tolist()
+        )
+    if kind == "float":
+        return _lanes_f32(values).view(_np.uint32).tolist()
+    if kind == "double":
+        return _np.asarray(values, dtype=_np.float64).view(_np.uint64).tolist()
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+def bits_to_value_lanes(patterns, kind: str) -> list:
+    """:func:`bits_to_value` over a vector of per-lane bit patterns."""
+    if _np is None or kind == "bool":
+        return [bits_to_value(pattern, kind) for pattern in patterns]
+    if kind == "int":
+        return (
+            (_np.asarray(patterns, dtype=_np.uint64) & _np.uint64(_INT_MASK))
+            .astype(_np.uint32)
+            .view(_np.int32)
+            .astype(_np.int64)
+            .tolist()
+        )
+    if kind == "float":
+        packed = (
+            (_np.asarray(patterns, dtype=_np.uint64) & _np.uint64(0xFFFFFFFF))
+            .astype(_np.uint32)
+            .view(_np.float32)
+        )
+        return _lanes_f64(packed).tolist()
+    if kind == "double":
+        return _np.asarray(patterns, dtype=_np.uint64).view(_np.float64).tolist()
     raise ValueError(f"unknown value kind {kind!r}")

@@ -23,9 +23,10 @@ from typing import Dict, Tuple
 from repro.hardware import bits
 from repro.hardware.clock import LogicalClock
 from repro.hardware.config import HardwareConfig
-from repro.hardware.rng import FaultRandom
+from repro.hardware.lanes import LaneValues
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
 
-__all__ = ["ApproxDRAM"]
+__all__ = ["ApproxDRAM", "BatchApproxDRAM"]
 
 #: Key addressing one stored word: (container id, slot).
 _Address = Tuple[int, object]
@@ -124,3 +125,65 @@ class ApproxDRAM:
         # Per-bit flip probability over the idle window: 1-(1-p)^t, with
         # the exact exponential for fractional seconds.
         return 1.0 - (1.0 - per_second) ** elapsed
+
+
+class BatchApproxDRAM(ApproxDRAM):
+    """Lane-vectorized DRAM: one read draws decay for every seed lane.
+
+    Refresh stamps are keyed by (container, slot) and driven by the
+    logical clock, both lane-uniform, so the stamp table stays shared;
+    only the decayed bit counts and decayed values are per-lane.  The
+    per-lane draw order matches the serial unit's exactly (see
+    :class:`~repro.hardware.sram.BatchApproxSRAM`).
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        rng: BatchFaultRandom,
+        clock: LogicalClock,
+        tracers=None,
+        lanes: int = 1,
+    ) -> None:
+        super().__init__(config, rng, clock, tracer=None)
+        self._tracers = tracers
+        self._lanes = lanes
+        self.decayed_bits = [0] * lanes
+
+    def read(self, address: _Address, value, kind: str, approximate: bool, identity=None):
+        if not approximate:
+            self.precise_reads += 1
+            return value
+        self.approx_reads += 1
+        probability = self._decay_probability(address)
+        self._refresh_stamp[address] = self._clock.ticks
+        if probability <= 0.0:
+            return value
+        width = bits.bits_for_kind(kind)
+        hits = self._rng.binomial_hits(width, probability)
+        if not hits:
+            return value
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane, flips in hits.items():
+            self.decayed_bits[lane] += flips
+            before = lane_values[lane]
+            pattern = bits.value_to_bits(before, kind)
+            positions = [
+                self._rng.bit_index(width, (lane,))[0] for _ in range(flips)
+            ]
+            for position in positions:
+                pattern ^= 1 << position
+            result = bits.bits_to_value(pattern, kind)
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    "dram.decay",
+                    identity if identity is not None else f"dram:{kind}",
+                    bits=tuple(positions),
+                    before=before,
+                    after=result,
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)

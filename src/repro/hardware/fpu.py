@@ -23,9 +23,15 @@ from typing import Callable, Dict
 
 from repro.hardware import bits
 from repro.hardware.config import ErrorMode, HardwareConfig
-from repro.hardware.rng import FaultRandom
+from repro.hardware.lanes import LaneValues, lane_value
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
 
-__all__ = ["ApproxFPU", "FLOAT_OPS"]
+__all__ = ["ApproxFPU", "BatchApproxFPU", "FLOAT_OPS"]
+
+try:  # pragma: no cover - exercised with and without the [batch] extra
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 def _fdiv(a: float, b: float) -> float:
@@ -48,6 +54,39 @@ FLOAT_OPS: Dict[str, Callable[[float, float], float]] = {
     "mul": lambda a, b: a * b,
     "div": _fdiv,
     "mod": _fmod,
+}
+
+def _vdiv_lanes(a, b):
+    out = a / b
+    zero = b == 0.0
+    if zero.any():
+        out[zero] = _np.nan
+    return out
+
+
+def _vmod_lanes(a, b):
+    zero = b == 0.0
+    if (_np.isinf(a) & ~zero).any():
+        # math.fmod raises for an infinite dividend where np.fmod gives
+        # NaN; abort the batch so the serial rerun reproduces the raise.
+        raise ValueError("math domain error")
+    out = _np.fmod(a, b)
+    if zero.any():
+        out[zero] = _np.nan
+    return out
+
+
+#: FLOAT_OPS over float64 lane arrays.  IEEE binary64 arithmetic is the
+#: same elementwise, so each lane's result is bit-identical to the
+#: scalar op; div/mod replicate the NaN-for-zero-divisor convention.
+#: Callers wrap these in ``errstate`` — overflow to inf and inf-inf to
+#: NaN are silent in Python scalar arithmetic and must stay silent here.
+_VECTOR_FLOAT_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _vdiv_lanes,
+    "mod": _vmod_lanes,
 }
 
 _COMPARE_OPS: Dict[str, Callable[[float, float], bool]] = {
@@ -178,3 +217,176 @@ class ApproxFPU:
                 extra={"mode": self._config.error_mode.name.lower()},
             )
         return result
+
+
+class BatchApproxFPU(ApproxFPU):
+    """Lane-vectorized FPU: one op truncates and draws faults per lane.
+
+    Mantissa truncation is applied through the ``*_lanes`` helpers in
+    :mod:`repro.hardware.bits` when operands have diverged; truncation
+    events go to each lane's own tracer (all lanes when converged — one
+    execution *is* all N serial executions).  The timing-error draw
+    order per lane matches :class:`ApproxFPU` word for word.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        rng: BatchFaultRandom,
+        tracers=None,
+        lanes: int = 1,
+    ) -> None:
+        super().__init__(config, rng, tracer=None)
+        self._tracers = tracers
+        self._lanes = lanes
+        self.faulted_ops = [0] * lanes
+
+    # precise_binop is inherited.  With diverged operands the zero-divisor
+    # checks collapse through LaneValues.__bool__: lane-mixed zero
+    # divisors raise LaneDivergenceError, which the batch harness turns
+    # into a serial rerun.
+
+    def approx_binop(self, op: str, a, b, double: bool = False):
+        self.approx_ops += 1
+        keep = self._config.double_mantissa_bits if double else self._config.float_mantissa_bits
+        if isinstance(a, LaneValues) or isinstance(b, LaneValues):
+            return self._approx_binop_lanes(op, a, b, double, keep)
+        a_t = bits.truncate_mantissa(float(a), keep, double=double)
+        b_t = bits.truncate_mantissa(float(b), keep, double=double)
+        if op in _COMPARE_OPS:
+            result = _COMPARE_OPS[op](a_t, b_t)
+            return self._maybe_fault_bool(result, op)
+        raw = FLOAT_OPS[op](a_t, b_t)
+        result = bits.truncate_mantissa(raw, keep, double=double)
+        if self._tracers is not None and result != raw and raw == raw:
+            for tracer in self._tracers:
+                tracer.emit(
+                    "fpu.truncation",
+                    f"fpu:{op}",
+                    before=raw,
+                    after=result,
+                    extra={"kept_bits": keep},
+                )
+        result = self._maybe_fault(result, double, op)
+        self._last_value = result
+        return result
+
+    def _approx_binop_lanes(self, op: str, a, b, double: bool, keep: int):
+        n = self._lanes
+        a_lanes = a.values if isinstance(a, LaneValues) else [a] * n
+        b_lanes = b.values if isinstance(b, LaneValues) else [b] * n
+        if _np is not None:
+            # Vectorized path: truncate both operand vectors in one
+            # array pass and run the op lane-parallel.  Elementwise
+            # float64 results equal the scalar path bit for bit.
+            with _np.errstate(all="ignore"):
+                both = bits.truncate_mantissa_array(
+                    list(a_lanes) + list(b_lanes), keep, double
+                )
+                a_t, b_t = both[:n], both[n:]
+                if op in _COMPARE_OPS:
+                    compared = LaneValues(_COMPARE_OPS[op](a_t, b_t).tolist())
+                    return self._maybe_fault_bool(compared, op)
+                raw_arr = _VECTOR_FLOAT_OPS[op](a_t, b_t)
+                raw = raw_arr.tolist()
+                truncated = bits.truncate_mantissa_array(raw_arr, keep, double).tolist()
+        else:
+            a_t = bits.truncate_mantissa_lanes([float(v) for v in a_lanes], keep, double)
+            b_t = bits.truncate_mantissa_lanes([float(v) for v in b_lanes], keep, double)
+            if op in _COMPARE_OPS:
+                fn = _COMPARE_OPS[op]
+                compared = LaneValues([fn(x, y) for x, y in zip(a_t, b_t)])
+                return self._maybe_fault_bool(compared, op)
+            fn = FLOAT_OPS[op]
+            raw = [fn(x, y) for x, y in zip(a_t, b_t)]
+            truncated = bits.truncate_mantissa_lanes(raw, keep, double)
+        if self._tracers is not None:
+            for lane, tracer in enumerate(self._tracers):
+                if truncated[lane] != raw[lane] and raw[lane] == raw[lane]:
+                    tracer.emit(
+                        "fpu.truncation",
+                        f"fpu:{op}",
+                        before=raw[lane],
+                        after=truncated[lane],
+                        extra={"kept_bits": keep},
+                    )
+        result = self._maybe_fault(LaneValues(truncated), double, op)
+        self._last_value = result
+        return result
+
+    def approx_unop(self, op: str, a, double: bool = False):
+        self.approx_ops += 1
+        keep = self._config.double_mantissa_bits if double else self._config.float_mantissa_bits
+        if isinstance(a, LaneValues):
+            a_t = bits.truncate_mantissa_lanes([float(v) for v in a.values], keep, double)
+            raw = LaneValues([-v if op == "neg" else abs(v) for v in a_t])
+        else:
+            a_t = bits.truncate_mantissa(float(a), keep, double=double)
+            raw = -a_t if op == "neg" else abs(a_t)
+        result = self._maybe_fault(raw, double, op)
+        self._last_value = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _maybe_fault(self, value, double: bool, op: str = "?"):
+        fired = self._rng.coin_fired(self._config.timing_error_prob)
+        if not fired:
+            return value
+        mode = self._config.error_mode
+        width = bits.DOUBLE_BITS if double else bits.FLOAT_BITS
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane in fired:
+            self.faulted_ops[lane] += 1
+            before = lane_values[lane]
+            flipped = ()
+            if mode is ErrorMode.LAST_VALUE:
+                result = lane_value(self._last_value, lane)
+            elif mode is ErrorMode.SINGLE_BIT_FLIP:
+                position = self._rng.bit_index(width, (lane,))[0]
+                result = bits.flip_bit_float(before, position, double=double)
+                flipped = (position,)
+            elif double:
+                result = bits.bits64_to_float(self._rng.bits(bits.DOUBLE_BITS, (lane,))[0])
+            else:
+                result = bits.bits32_to_float(self._rng.bits(bits.FLOAT_BITS, (lane,))[0])
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    "fpu.timing_error",
+                    f"fpu:{op}",
+                    bits=flipped,
+                    before=before,
+                    after=result,
+                    extra={"mode": mode.name.lower()},
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)
+
+    def _maybe_fault_bool(self, value, op: str = "?"):
+        fired = self._rng.coin_fired(self._config.timing_error_prob)
+        if not fired:
+            return value
+        last_value_mode = self._config.error_mode is ErrorMode.LAST_VALUE
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane in fired:
+            self.faulted_ops[lane] += 1
+            before = lane_values[lane]
+            if last_value_mode:
+                result = bool(lane_value(self._last_value, lane))
+            else:
+                result = not before
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    "fpu.timing_error",
+                    f"fpu:{op}",
+                    before=before,
+                    after=result,
+                    extra={"mode": self._config.error_mode.name.lower()},
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)

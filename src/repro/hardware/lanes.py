@@ -1,0 +1,175 @@
+"""Per-lane value containers for batch fault injection.
+
+The batch engine (DESIGN.md "Batched fault drawing") runs one
+instrumented execution for N fault seeds at once.  EnerJ's type system
+keeps control flow precise, so all lanes execute the same instruction
+stream; values diverge only downstream of a per-lane fault.  A
+:class:`LaneValues` wraps the diverged per-lane values of one program
+variable and maps arithmetic over the lanes, which is semantically
+exact: each lane's serial run would compute the identical pure
+operation on its own value.
+
+Contexts that *must* produce one scalar — ``bool()`` for a branch,
+``__index__`` for subscripting, ``int()``/``float()``/``hash()`` —
+collapse: if every lane agrees the scalar is returned, otherwise
+:class:`LaneDivergenceError` aborts the batch and the harness reruns
+the lanes serially (correct-by-fallback; see
+``repro.experiments.harness.run_keys_batch``).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["LaneDivergenceError", "LaneValues", "lane_value", "unlane"]
+
+
+class LaneDivergenceError(SimulationError):
+    """Batch lanes disagree where a single scalar is required.
+
+    Raised when diverged lanes reach precise control flow (a branch, an
+    index, a precise conversion).  Recoverable: the batch harness
+    catches it and falls back to serial per-seed execution.
+    """
+
+
+def _same(a, b) -> bool:
+    # NaN-tolerant agreement: a lane-uniform NaN must still collapse.
+    return a == b or (a != a and b != b)
+
+
+def _binary(op):
+    def forward(self, other):
+        if isinstance(other, LaneValues):
+            return LaneValues([op(a, b) for a, b in zip(self.values, other.values)])
+        return LaneValues([op(a, other) for a in self.values])
+
+    return forward
+
+
+def _rbinary(op):
+    def reflected(self, other):
+        if isinstance(other, LaneValues):
+            return LaneValues([op(b, a) for a, b in zip(self.values, other.values)])
+        return LaneValues([op(other, a) for a in self.values])
+
+    return reflected
+
+
+def _unary(op):
+    def forward(self):
+        return LaneValues([op(a) for a in self.values])
+
+    return forward
+
+
+class LaneValues:
+    """One program value, diverged across batch lanes.
+
+    ``values[i]`` is the value lane ``i`` holds.  Arithmetic and
+    comparisons map per lane (comparisons return LaneValues of bools);
+    scalar-demanding protocols collapse or raise
+    :class:`LaneDivergenceError`.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[object]) -> None:
+        self.values: List[object] = list(values)
+
+    # -- collapse-or-raise scalar protocols ----------------------------
+    def collapse(self):
+        """The common scalar of all lanes, or LaneDivergenceError."""
+        values = self.values
+        first = values[0]
+        for value in values:
+            if not _same(value, first):
+                raise LaneDivergenceError(
+                    "batch lanes diverged where a single value is required "
+                    f"(lane values: {values!r})"
+                )
+        return first
+
+    def __bool__(self) -> bool:
+        return bool(self.collapse())
+
+    def __int__(self) -> int:
+        return int(self.collapse())
+
+    def __index__(self) -> int:
+        return operator.index(self.collapse())
+
+    def __float__(self) -> float:
+        return float(self.collapse())
+
+    def __hash__(self) -> int:
+        return hash(self.collapse())
+
+    def __repr__(self) -> str:
+        return f"LaneValues({self.values!r})"
+
+    # -- per-lane arithmetic -------------------------------------------
+    __add__ = _binary(operator.add)
+    __radd__ = _rbinary(operator.add)
+    __sub__ = _binary(operator.sub)
+    __rsub__ = _rbinary(operator.sub)
+    __mul__ = _binary(operator.mul)
+    __rmul__ = _rbinary(operator.mul)
+    __truediv__ = _binary(operator.truediv)
+    __rtruediv__ = _rbinary(operator.truediv)
+    __floordiv__ = _binary(operator.floordiv)
+    __rfloordiv__ = _rbinary(operator.floordiv)
+    __mod__ = _binary(operator.mod)
+    __rmod__ = _rbinary(operator.mod)
+    __pow__ = _binary(operator.pow)
+    __rpow__ = _rbinary(operator.pow)
+    __and__ = _binary(operator.and_)
+    __rand__ = _rbinary(operator.and_)
+    __or__ = _binary(operator.or_)
+    __ror__ = _rbinary(operator.or_)
+    __xor__ = _binary(operator.xor)
+    __rxor__ = _rbinary(operator.xor)
+    __lshift__ = _binary(operator.lshift)
+    __rlshift__ = _rbinary(operator.lshift)
+    __rshift__ = _binary(operator.rshift)
+    __rrshift__ = _rbinary(operator.rshift)
+    __neg__ = _unary(operator.neg)
+    __pos__ = _unary(operator.pos)
+    __abs__ = _unary(operator.abs)
+    __invert__ = _unary(operator.invert)
+
+    # -- per-lane comparisons (truthiness collapses later) -------------
+    __eq__ = _binary(operator.eq)
+    __ne__ = _binary(operator.ne)
+    __lt__ = _binary(operator.lt)
+    __le__ = _binary(operator.le)
+    __gt__ = _binary(operator.gt)
+    __ge__ = _binary(operator.ge)
+
+
+def lane_value(value, lane: int):
+    """Lane ``lane``'s view of a possibly-diverged value."""
+    if isinstance(value, LaneValues):
+        return value.values[lane]
+    return value
+
+
+def unlane(obj, lane: int):
+    """Deep-project one lane out of a structure of (possibly) LaneValues.
+
+    Used to split a batch run's output into the per-seed outputs the
+    serial path would have produced.  Containers are rebuilt (lists,
+    tuples, dicts recursed); anything else passes through by reference.
+    """
+    if isinstance(obj, LaneValues):
+        return obj.values[lane]
+    if isinstance(obj, list):
+        return [unlane(item, lane) for item in obj]
+    if isinstance(obj, tuple):
+        return tuple(unlane(item, lane) for item in obj)
+    if isinstance(obj, dict):
+        return {key: unlane(value, lane) for key, value in obj.items()}
+    return obj

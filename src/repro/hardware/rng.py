@@ -1,19 +1,46 @@
-"""Deterministic random source for fault injection.
+"""Deterministic random sources for fault injection.
 
 All stochastic behaviour in the simulator flows through one
 :class:`FaultRandom` instance owned by the active simulation context, so
 a run is exactly reproducible from its seed.  This replaces the paper's
 nondeterministic physical faults with a seedable equivalent — the same
 code path, made deterministic for testing (see DESIGN.md substitutions).
+
+:class:`BatchFaultRandom` is the vectorized counterpart used by the
+batch fault-injection engine (DESIGN.md "Batched fault drawing"): one
+instance carries N independent lanes, where lane ``i``'s draw stream is
+bit-identical to ``FaultRandom(seeds[i])``'s.  Two engines provide the
+draws:
+
+* ``numpy`` — a lane-parallel MT19937.  Each lane's generator state is
+  lifted straight from ``random.Random(seed).getstate()`` (so seeding
+  is exactly CPython's, including ``init_by_array``), and generation
+  (twist + temper) is replayed with array operations across all lanes
+  at once.  ``coin``/``bit_index``/``bits`` reproduce CPython's word
+  consumption exactly — ``random()`` is two tempered words,
+  ``getrandbits(k)`` is ``word >> (32 - k)``, ``randrange(n)`` is the
+  rejection loop over ``getrandbits(n.bit_length())``.
+* ``python`` — N plain :class:`FaultRandom` instances, looped.  The
+  fallback when numpy (the ``[batch]`` extra) is not installed;
+  bit-identical by construction.
+
+The draw-count discipline is the reproducibility contract: a batch
+primitive consumes, per lane, exactly the words the serial primitive
+consumes, so lane streams never depend on what other lanes drew.
 """
 
 from __future__ import annotations
 
 import random
 import zlib
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["FaultRandom"]
+__all__ = ["FaultRandom", "BatchFaultRandom"]
+
+try:  # pragma: no cover - exercised via both engine parametrizations
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 class FaultRandom:
@@ -26,10 +53,23 @@ class FaultRandom:
     def coin(self, probability: float) -> bool:
         """True with the given probability.
 
-        Probabilities at or below zero never fire; at or above one they
-        always fire.  This is the single primitive every fault model
-        uses, which keeps the draw count (and thus reproducibility)
-        easy to reason about.
+        This is the single primitive every fault model uses, which
+        keeps the draw count (and thus reproducibility) easy to reason
+        about.  The edge-case contract — shared verbatim by
+        :class:`BatchFaultRandom` and pinned by
+        ``tests/test_batch_differential.py`` — is:
+
+        * ``probability <= 0.0`` (including ``-inf``): never fires and
+          consumes **no** draw;
+        * ``probability >= 1.0`` (including ``+inf``): always fires and
+          consumes **no** draw (note ``1.0 - (1.0 - p) ** n`` can round
+          to exactly ``1.0``, so this branch is reachable from
+          :meth:`binomial_hits`);
+        * ``NaN``: both comparisons above are false, so the draw path
+          runs — one ``random()`` is consumed and the ``< NaN``
+          comparison makes the coin never fire.  A NaN probability is a
+          caller bug, but it must not silently desynchronise the draw
+          stream, so the consumed draw is contractual.
         """
         if probability <= 0.0:
             return False
@@ -81,5 +121,375 @@ class FaultRandom:
         stable across runs.
         """
         base = self.seed if self.seed is not None else 0
-        child_seed = zlib.crc32(f"{base}:{label}".encode("utf-8")) & 0xFFFFFFFF
-        return FaultRandom(child_seed)
+        return FaultRandom(_child_seed(base, label))
+
+
+def _child_seed(base: int, label: str) -> int:
+    """The :meth:`FaultRandom.spawn` seed derivation, shared with batch."""
+    return zlib.crc32(f"{base}:{label}".encode("utf-8")) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Batch lanes
+# ----------------------------------------------------------------------
+
+#: MT19937 constants (CPython _randommodule.c).
+_MT_N = 624
+_MT_M = 397
+
+
+class _PythonLanes:
+    """Fallback engine: one :class:`FaultRandom` per lane, looped.
+
+    Bit-identity with the serial source is by construction — every
+    primitive delegates to the lane's own ``FaultRandom``, so the draw
+    stream cannot drift.  Used when numpy (the ``[batch]`` extra) is
+    absent, and as the oracle in the differential tests.
+    """
+
+    name = "python"
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        self._lanes = [FaultRandom(seed) for seed in seeds]
+
+    def _selected(self, lanes: Optional[Sequence[int]]) -> Sequence[int]:
+        return range(len(self._lanes)) if lanes is None else lanes
+
+    def coin(self, probability: float, lanes: Optional[Sequence[int]]) -> List[bool]:
+        sources = self._lanes
+        return [sources[lane].coin(probability) for lane in self._selected(lanes)]
+
+    def coin_fired(
+        self, probability: float, lanes: Optional[Sequence[int]]
+    ) -> Tuple[int, ...]:
+        sources = self._lanes
+        return tuple(
+            lane for lane in self._selected(lanes) if sources[lane].coin(probability)
+        )
+
+    def bit_index(self, width: int, lanes: Optional[Sequence[int]]) -> List[int]:
+        sources = self._lanes
+        return [sources[lane].bit_index(width) for lane in self._selected(lanes)]
+
+    def bits(self, width: int, lanes: Optional[Sequence[int]]) -> List[int]:
+        sources = self._lanes
+        return [sources[lane].bits(width) for lane in self._selected(lanes)]
+
+    def uniform(
+        self, low: float, high: float, lanes: Optional[Sequence[int]]
+    ) -> List[float]:
+        sources = self._lanes
+        return [sources[lane].uniform(low, high) for lane in self._selected(lanes)]
+
+
+class _NumpyLanes:
+    """Vectorized engine: lane-parallel MT19937 on packed uint32 rows.
+
+    State layout: ``_mt`` is the raw (lanes, 624) generator state,
+    ``_buf`` the tempered outputs of the current block, ``_pos`` the
+    per-lane cursor into it.  While every draw touches all lanes the
+    cursors stay in lockstep and words come from one cheap column
+    slice; the first subset draw (a fault path touching only some
+    lanes) desynchronises the cursors and subsequent draws gather
+    per-lane.  Either way each lane consumes words in exactly the
+    serial order, which is the whole reproducibility argument.
+    """
+
+    name = "numpy"
+
+    _UPPER = None  # class-level numpy constants, filled lazily below
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        np = _np
+        states = []
+        positions = []
+        for seed in seeds:
+            # random.Random(seed).getstate() hands us CPython's exact
+            # post-seed MT19937 state — init_by_array included — so the
+            # vectorized generator never reimplements seeding.
+            words = random.Random(seed).getstate()[1]
+            states.append(words[:_MT_N])
+            positions.append(words[_MT_N])
+        self._mt = np.array(states, dtype=np.uint32)
+        # Tempered outputs are stored transposed — (624, lanes) — so the
+        # lockstep draw is a contiguous row view rather than a strided
+        # column copy (the single hottest line under profiling).
+        self._buf = np.ascontiguousarray(self._temper(self._mt.copy()).T)
+        self._all = np.arange(len(seeds))
+        self._pos = np.array(positions, dtype=np.int64)
+        self._synced = bool((self._pos == self._pos[0]).all())
+        self._p = int(self._pos[0]) if self._synced else 0
+
+    # -- generation ----------------------------------------------------
+    @staticmethod
+    def _temper(y):
+        y ^= y >> 11
+        y ^= (y << 7) & _np.uint32(0x9D2C5680)
+        y ^= (y << 15) & _np.uint32(0xEFC60000)
+        y ^= y >> 18
+        return y
+
+    @staticmethod
+    def _twist(mt) -> None:
+        """One MT19937 state transition, in place, on (k, 624) rows.
+
+        The C loop reads ``mt[i + M mod N]`` values it already wrote on
+        the same pass, so the vectorized replay runs in dependency
+        order: ranges whose wrapped reads land in an already-updated
+        range, finishing with index N-1 (which reads the fresh
+        ``mt[0]``).
+        """
+        np = _np
+        upper = np.uint32(0x80000000)
+        lower = np.uint32(0x7FFFFFFF)
+        matrix = np.uint32(0x9908B0DF)
+        one = np.uint32(1)
+        n, m = _MT_N, _MT_M
+        for start, stop in ((0, n - m), (n - m, 2 * (n - m)), (2 * (n - m), n - 1)):
+            y = (mt[:, start:stop] & upper) | (mt[:, start + 1 : stop + 1] & lower)
+            mt[:, start:stop] = (
+                mt[:, (start + m) % n : (start + m) % n + (stop - start)]
+                ^ (y >> one)
+                ^ ((y & one) * matrix)
+            )
+        y = (mt[:, n - 1] & upper) | (mt[:, 0] & lower)
+        mt[:, n - 1] = mt[:, m - 1] ^ (y >> one) ^ ((y & one) * matrix)
+
+    def _refill_all(self) -> None:
+        self._twist(self._mt)
+        self._buf = _np.ascontiguousarray(self._temper(self._mt.copy()).T)
+        if self._synced:
+            self._p = 0
+        else:
+            self._pos[:] = 0
+
+    def _refill_rows(self, rows) -> None:
+        block = self._mt[rows]
+        self._twist(block)
+        self._mt[rows] = block
+        self._buf[:, rows] = self._temper(block.copy()).T
+        self._pos[rows] = 0
+
+    def _desync(self) -> None:
+        if self._synced:
+            self._pos[:] = self._p
+            self._synced = False
+
+    def _draw_all(self):
+        """The next tempered word of every lane (lockstep fast path)."""
+        if self._synced:
+            if self._p >= _MT_N:
+                self._refill_all()
+            word = self._buf[self._p]
+            self._p += 1
+            return word
+        return self._draw_rows(self._all)
+
+    def _draw_rows(self, rows):
+        """The next tempered word of each lane in ``rows`` (gather path)."""
+        self._desync()
+        pos = self._pos[rows]
+        exhausted = rows[pos >= _MT_N]
+        if exhausted.size:
+            self._refill_rows(exhausted)
+            pos = self._pos[rows]
+        words = self._buf[pos, rows]
+        self._pos[rows] = pos + 1
+        return words
+
+    def _draw(self, lanes):
+        if lanes is self._all and self._synced:
+            return self._draw_all()
+        return self._draw_rows(lanes)
+
+    def _lane_rows(self, lanes: Sequence[int]):
+        if lanes is None:
+            return self._all
+        rows = _np.asarray(lanes, dtype=_np.int64)
+        if self._synced and rows.size == self._all.size:
+            return self._all
+        return rows
+
+    # -- CPython-compatible primitives ---------------------------------
+    def _random(self, rows):
+        """Per-lane ``random.Random.random()``: two words, 53-bit float."""
+        if rows is self._all:
+            if self._synced:
+                # Lockstep fast path: both words of every lane come from
+                # two adjacent buffer rows, no per-draw dispatch.
+                p = self._p
+                if p + 2 <= _MT_N:
+                    self._p = p + 2
+                    a = self._buf[p] >> 5
+                    b = self._buf[p + 1] >> 6
+                    return (
+                        a.astype(_np.float64) * 67108864.0 + b.astype(_np.float64)
+                    ) * (1.0 / 9007199254740992.0)
+            else:
+                # Desynced all-lanes path (after any single-lane fault):
+                # gather both words per lane in one pass when no lane's
+                # cursor straddles the block boundary.
+                pos = self._pos
+                if int(pos.max()) + 2 <= _MT_N:
+                    a = self._buf[pos, self._all] >> 5
+                    b = self._buf[pos + 1, self._all] >> 6
+                    pos += 2
+                    return (
+                        a.astype(_np.float64) * 67108864.0 + b.astype(_np.float64)
+                    ) * (1.0 / 9007199254740992.0)
+        a = self._draw(rows) >> 5
+        b = self._draw(rows) >> 6
+        return (a.astype(_np.float64) * 67108864.0 + b.astype(_np.float64)) * (
+            1.0 / 9007199254740992.0
+        )
+
+    def _getrandbits(self, k: int, rows):
+        np = _np
+        if k <= 32:
+            return (self._draw(rows) >> (32 - k)).astype(np.uint64)
+        low = self._draw(rows).astype(np.uint64)
+        high = self._draw(rows).astype(np.uint64)
+        if k < 64:
+            high >>= 64 - k
+        return low | (high << np.uint64(32))
+
+    def coin(self, probability: float, lanes: Optional[Sequence[int]]) -> List[bool]:
+        rows = self._lane_rows(lanes)
+        if probability <= 0.0:
+            return [False] * int(rows.size)
+        if probability >= 1.0:
+            return [True] * int(rows.size)
+        # NaN falls through (both guards false): the draw is consumed
+        # and `< NaN` is elementwise false — the FaultRandom contract.
+        return (self._random(rows) < probability).tolist()
+
+    def coin_fired(
+        self, probability: float, lanes: Optional[Sequence[int]]
+    ) -> Tuple[int, ...]:
+        rows = self._lane_rows(lanes)
+        if probability <= 0.0:
+            return ()
+        if probability >= 1.0:
+            return tuple(rows.tolist())
+        mask = self._random(rows) < probability
+        if not mask.any():
+            # The overwhelmingly common outcome for Table 2 fault rates;
+            # skipping list materialisation here is the batch engine's
+            # single biggest win.
+            return ()
+        return tuple(rows[mask].tolist())
+
+    def bit_index(self, width: int, lanes: Sequence[int]) -> List[int]:
+        np = _np
+        rows = self._lane_rows(lanes)
+        k = width.bit_length()
+        out = np.zeros(rows.size, dtype=np.uint64)
+        pending = np.ones(rows.size, dtype=bool)
+        while pending.any():
+            drawn = self._getrandbits(k, rows[pending])
+            out[pending] = drawn
+            pending[pending] = drawn >= width
+        return out.tolist()
+
+    def bits(self, width: int, lanes: Sequence[int]) -> List[int]:
+        return self._getrandbits(width, self._lane_rows(lanes)).tolist()
+
+    def uniform(self, low: float, high: float, lanes: Sequence[int]) -> List[float]:
+        rows = self._lane_rows(lanes)
+        return (low + (high - low) * self._random(rows)).tolist()
+
+
+class BatchFaultRandom:
+    """N independent fault-draw lanes; lane i mirrors FaultRandom(seeds[i]).
+
+    The public methods mirror :class:`FaultRandom`'s but return one
+    value per lane.  ``lanes`` arguments restrict a draw to a subset of
+    lanes (identified by index), consuming words only on those lanes —
+    the batch fault models use this so that, e.g., only lanes whose
+    aggregate coin fired pay the per-bit draws, exactly like their
+    serial counterparts.
+
+    ``engine`` selects the draw backend: ``"numpy"`` (vectorized MT19937
+    lanes), ``"python"`` (looped FaultRandom instances), or ``"auto"``
+    (numpy when importable).  Both engines are bit-identical; the
+    differential suite runs against each.
+    """
+
+    def __init__(self, seeds: Sequence[int], engine: str = "auto") -> None:
+        if not seeds:
+            raise ValueError("BatchFaultRandom needs at least one lane seed")
+        self.seeds: Tuple[int, ...] = tuple(
+            seed if seed is not None else 0 for seed in seeds
+        )
+        self.lanes = len(self.seeds)
+        if engine == "auto":
+            engine = "numpy" if _np is not None else "python"
+        if engine == "numpy":
+            if _np is None:
+                raise RuntimeError(
+                    "BatchFaultRandom(engine='numpy') requires numpy; "
+                    "install the [batch] extra or use engine='python'"
+                )
+            self._engine = _NumpyLanes(self.seeds)
+        elif engine == "python":
+            self._engine = _PythonLanes(self.seeds)
+        else:
+            raise ValueError(f"unknown BatchFaultRandom engine {engine!r}")
+        self.engine = self._engine.name
+        self._all_lanes = tuple(range(self.lanes))
+
+    # ------------------------------------------------------------------
+    def coin(self, probability: float, lanes: Optional[Sequence[int]] = None) -> List[bool]:
+        """Per-lane coins; the FaultRandom edge-case contract applies."""
+        return self._engine.coin(probability, lanes)
+
+    def coin_fired(
+        self, probability: float, lanes: Optional[Sequence[int]] = None
+    ) -> Tuple[int, ...]:
+        """The lane indices whose coin fired (the fault models' shape)."""
+        return self._engine.coin_fired(probability, lanes)
+
+    def bit_index(
+        self, width: int, lanes: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """A uniform bit position in ``[0, width)`` per requested lane."""
+        return self._engine.bit_index(width, lanes)
+
+    def bits(self, width: int, lanes: Optional[Sequence[int]] = None) -> List[int]:
+        """A uniform ``width``-bit pattern per requested lane."""
+        return self._engine.bits(width, lanes)
+
+    def uniform(
+        self, low: float, high: float, lanes: Optional[Sequence[int]] = None
+    ) -> List[float]:
+        return self._engine.uniform(low, high, lanes)
+
+    def binomial_hits(
+        self, trials: int, probability: float, lanes: Optional[Sequence[int]] = None
+    ) -> Dict[int, int]:
+        """Per-lane Bernoulli success counts, as a ``{lane: hits > 0}`` map.
+
+        Mirrors :meth:`FaultRandom.binomial_hits` draw for draw: one
+        aggregate any-hit coin on every requested lane, then
+        ``trials - 1`` coins on (only) the lanes whose aggregate fired.
+        """
+        if probability <= 0.0 or trials <= 0:
+            return {}
+        if probability >= 1.0:
+            selected = self._all_lanes if lanes is None else lanes
+            return {lane: trials for lane in selected}
+        any_prob = 1.0 - (1.0 - probability) ** trials
+        fired = self._engine.coin_fired(any_prob, lanes)
+        if not fired:
+            return {}
+        hits = {lane: 1 for lane in fired}
+        for _ in range(trials - 1):
+            for lane in self._engine.coin_fired(probability, fired):
+                hits[lane] += 1
+        return hits
+
+    def spawn(self, label: str) -> "BatchFaultRandom":
+        """Per-lane child sources (the FaultRandom.spawn derivation)."""
+        return BatchFaultRandom(
+            [_child_seed(seed, label) for seed in self.seeds], engine=self.engine
+        )

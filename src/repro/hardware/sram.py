@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from repro.hardware import bits
 from repro.hardware.config import HardwareConfig
-from repro.hardware.rng import FaultRandom
+from repro.hardware.lanes import LaneValues
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
 
-__all__ = ["ApproxSRAM"]
+__all__ = ["ApproxSRAM", "BatchApproxSRAM"]
 
 #: ``kind -> (word width in bits, bytes per access)`` — precomputed once:
 #: every instrumented local access funnels through read()/write(), so
@@ -111,3 +112,61 @@ class ApproxSRAM:
             after=result,
         )
         return result
+
+
+class BatchApproxSRAM(ApproxSRAM):
+    """Lane-vectorized SRAM: one access draws faults for every seed lane.
+
+    Control flow is lane-uniform (EnerJ keeps it precise), so the
+    access-count statistics stay shared scalars; only the *fault*
+    counters and the faulted values are per-lane.  Per lane, the draw
+    sequence is exactly the serial unit's — the aggregate binomial coin
+    on all lanes, then per-bit position draws only on the lanes whose
+    coin fired (:meth:`BatchFaultRandom.binomial_hits`).
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        rng: BatchFaultRandom,
+        tracers=None,
+        lanes: int = 1,
+    ) -> None:
+        super().__init__(config, rng, tracer=None)
+        self._tracers = tracers
+        self._lanes = lanes
+        self.read_upsets = [0] * lanes
+        self.write_failures = [0] * lanes
+
+    def _corrupt(self, value, kind: str, width: int, probability: float, is_read: bool):
+        if probability <= 0.0:
+            return value
+        hits = self._rng.binomial_hits(width, probability)
+        if not hits:
+            return value
+        counters = self.read_upsets if is_read else self.write_failures
+        event_kind = "sram.read_upset" if is_read else "sram.write_failure"
+        if isinstance(value, LaneValues):
+            lane_values = list(value.values)
+        else:
+            lane_values = [value] * self._lanes
+        for lane, flips in hits.items():
+            counters[lane] += flips
+            before = lane_values[lane]
+            pattern = bits.value_to_bits(before, kind)
+            positions = [
+                self._rng.bit_index(width, (lane,))[0] for _ in range(flips)
+            ]
+            for position in positions:
+                pattern ^= 1 << position
+            result = bits.bits_to_value(pattern, kind)
+            if self._tracers is not None:
+                self._tracers[lane].emit(
+                    event_kind,
+                    f"local:{kind}",
+                    bits=tuple(positions),
+                    before=before,
+                    after=result,
+                )
+            lane_values[lane] = result
+        return LaneValues(lane_values)

@@ -31,6 +31,7 @@ __all__ = [
     "TraceResult",
     "traced_run",
     "traced_runs",
+    "traced_runs_batch",
     "merge_trace_results",
     "canonical_events",
 ]
@@ -156,6 +157,77 @@ def traced_runs(
         for seed in fault_seeds
     ]
     return run_jobs(job_list, workers=jobs)
+
+
+def traced_runs_batch(
+    spec,
+    config: HardwareConfig,
+    fault_seeds: Sequence[int],
+    workload_seed: int = 0,
+    capacity: Optional[int] = DEFAULT_CAPACITY,
+    engine: str = "auto",
+) -> List[TraceResult]:
+    """Traced runs for a seed block through one batched execution.
+
+    One :class:`~repro.runtime.batch.BatchSimulator` execution produces
+    every seed's :class:`TraceResult` at once; each lane's event stream,
+    metrics and stats are bit-identical to :func:`traced_run` of that
+    seed (pinned by ``tests/test_batch_differential.py``).  A single
+    seed, a configuration the batch engine rejects, or any failure of
+    the batched attempt falls back to per-seed :func:`traced_run` —
+    batching never changes a trace, only its cost.
+    """
+    from repro.experiments.runkey import RunKey
+    from repro.runtime.batch import BatchSimulator, unlane
+
+    fault_seeds = list(fault_seeds)
+    if not fault_seeds:
+        return []
+    keys = [
+        RunKey(
+            spec=spec,
+            config=config,
+            fault_seed=seed,
+            workload_seed=workload_seed,
+        )
+        for seed in fault_seeds
+    ]
+    if len(keys) > 1:
+        from repro.experiments.harness import compiled_app
+
+        try:
+            # Sinks and tracers are built inside the attempt so an
+            # aborted batch discards its partial streams entirely.
+            sinks = [MemorySink(capacity) for _ in keys]
+            tracers = [Tracer(sink) for sink in sinks]
+            program = compiled_app(spec)
+            with BatchSimulator(
+                config, fault_seeds, tracers=tracers, engine=engine
+            ) as simulator:
+                output = program.call(
+                    spec.entry_module, spec.entry_function, *keys[0].workload_args
+                )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            return [traced_run(key, capacity=capacity) for key in keys]
+        results = []
+        for lane, key in enumerate(keys):
+            trace_result = TraceResult(
+                app=spec.name,
+                config=config.name,
+                fault_seed=key.fault_seed,
+                workload_seed=workload_seed,
+                output=unlane(output, lane),
+                stats=simulator.lane_stats(lane),
+                metrics=tracers[lane].metrics,
+                events=tuple(sinks[lane].events()),
+                dropped=sinks[lane].dropped,
+            )
+            _store_trace_summary(key, trace_result)
+            results.append(trace_result)
+        return results
+    return [traced_run(key, capacity=capacity) for key in keys]
 
 
 def canonical_events(results: Sequence[TraceResult]) -> List[TraceEvent]:

@@ -1,11 +1,15 @@
 """Runtime library: simulator context, statistics, and compiler hooks."""
 
+from repro.runtime.batch import BatchSimulator, LaneDivergenceError, LaneValues
 from repro.runtime.context import Simulator, active_simulator, current_simulator
 from repro.runtime.heap import ArrayRecord, HeapRegistry, ObjectRecord
 from repro.runtime.stats import RunStats
 
 __all__ = [
     "Simulator",
+    "BatchSimulator",
+    "LaneValues",
+    "LaneDivergenceError",
     "active_simulator",
     "current_simulator",
     "RunStats",

@@ -1,0 +1,287 @@
+"""Batch simulation context: one execution, N fault-seed lanes.
+
+:class:`BatchSimulator` runs the instrumented program once while
+injecting faults for a whole vector of fault seeds, producing — lane
+for lane — exactly what N serial :class:`~repro.runtime.context.
+Simulator` runs would produce (outputs, stats, trace event streams; see
+DESIGN.md "Batched fault drawing" and ``tests/test_batch_differential.
+py``).  The speedup comes from sharing the interpreter work: control
+flow is lane-uniform (EnerJ keeps it precise), so the program executes
+once and only fault draws and faulted values are per-lane.
+
+When lanes diverge where a single scalar is required (a branch on a
+faulted value), :class:`~repro.hardware.lanes.LaneDivergenceError`
+aborts the batch; callers (``run_keys_batch``) rerun the lanes
+serially, so divergence costs speed, never correctness.
+
+Tracing: pass one :class:`~repro.observability.tracer.Tracer` per lane.
+Lane-uniform emissions (energy accounting, converged truncations) fan
+out to every lane tracer through :class:`_FanTracer`; per-lane fault
+events go straight to the faulted lane's tracer.  Each lane's stream is
+byte-identical to its serial run's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.hardware import bits as _bits
+from repro.hardware.alu import BatchApproxALU
+from repro.hardware.config import HardwareConfig
+from repro.hardware.dram import BatchApproxDRAM
+from repro.hardware.fpu import BatchApproxFPU
+from repro.hardware.lanes import LaneDivergenceError, LaneValues, lane_value, unlane
+from repro.hardware.rng import BatchFaultRandom
+from repro.hardware.sram import BatchApproxSRAM
+from repro.runtime.context import Simulator
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "BatchSimulator",
+    "LaneDivergenceError",
+    "LaneValues",
+    "lane_value",
+    "unlane",
+]
+
+
+class _FanCounter:
+    """One counter handle that increments the same counter in every lane."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters) -> None:
+        self._counters = counters
+
+    def inc(self, amount: int = 1) -> None:
+        for counter in self._counters:
+            counter.inc(amount)
+
+
+class _FanMetrics:
+    """Metrics facade fanning counter increments to every lane registry."""
+
+    __slots__ = ("_registries",)
+
+    def __init__(self, registries) -> None:
+        self._registries = registries
+
+    def counter(self, name: str) -> _FanCounter:
+        return _FanCounter([registry.counter(name) for registry in self._registries])
+
+
+class _FanTracer:
+    """Tracer facade that replays lane-uniform emissions on every lane.
+
+    The base :class:`Simulator` emits energy-accounting events and SRAM
+    byte counters through ``self.tracer``; those sites are lane-uniform
+    (control flow and allocation sizes do not diverge), so fanning the
+    same emission to each lane's tracer reproduces what each serial run
+    would have recorded — with each lane's own ``seq`` numbering and
+    fault seed.
+    """
+
+    def __init__(self, tracers, seeds) -> None:
+        self._tracers = tracers
+        self._seeds = seeds
+        self.metrics = _FanMetrics([tracer.metrics for tracer in tracers])
+
+    def attach(self, clock, fault_seed) -> None:
+        # Each lane tracer stamps events with its *own* seed, not the
+        # batch representative the base Simulator passes in.
+        for tracer, seed in zip(self._tracers, self._seeds):
+            tracer.attach(clock, seed)
+
+    def emit(self, kind, identity, bits=(), before=None, after=None, cycle=None, extra=None):
+        for tracer in self._tracers:
+            tracer.emit(
+                kind,
+                identity,
+                bits=bits,
+                before=before,
+                after=after,
+                cycle=cycle,
+                extra=extra,
+            )
+
+
+class BatchSimulator(Simulator):
+    """A :class:`Simulator` sweeping a vector of fault seeds at once.
+
+    ``seeds`` gives one fault seed per lane.  ``tracers`` (optional) is
+    one Tracer per lane.  ``engine`` selects the
+    :class:`BatchFaultRandom` backend (``"auto"``/``"numpy"``/
+    ``"python"``).
+
+    Use :meth:`lane_stats` for per-lane statistics; :meth:`stats`
+    raises, because a single RunStats cannot describe N lanes.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        seeds: Sequence[int],
+        tracers=None,
+        engine: str = "auto",
+    ) -> None:
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ValueError("BatchSimulator needs at least one fault seed")
+        if config.load_elision_prob > 0.0:
+            # Load elision consults a per-run RNG on a lane-uniform
+            # branch; modelling it per-lane would diverge control flow
+            # on every elision.  Callers fall back to serial execution.
+            raise SimulationError(
+                "batch execution does not support configurations with "
+                "load elision (software substrates); run seeds serially"
+            )
+        if tracers is not None and len(tracers) != len(seeds):
+            raise ValueError("need exactly one tracer per lane")
+        fan = _FanTracer(tracers, seeds) if tracers is not None else None
+        super().__init__(config, seed=seeds[0], tracer=fan)
+        self.seeds = seeds
+        self.lanes = len(seeds)
+        self._tracers = tracers
+        root = BatchFaultRandom(seeds, engine=engine)
+        self.engine = root.engine
+        # Replace the serial units with their batch counterparts; the
+        # spawn labels match Simulator.__init__ so lane i's unit streams
+        # equal FaultRandom(seeds[i]).spawn(label)'s.
+        self.alu = BatchApproxALU(config, root.spawn("alu"), tracers, self.lanes)
+        self.fpu = BatchApproxFPU(config, root.spawn("fpu"), tracers, self.lanes)
+        self.sram = BatchApproxSRAM(config, root.spawn("sram"), tracers, self.lanes)
+        self.dram = BatchApproxDRAM(
+            config, root.spawn("dram"), self.clock, tracers, self.lanes
+        )
+
+    # ------------------------------------------------------------------
+    # Overrides for sites where the base implementation assumes scalars
+    # ------------------------------------------------------------------
+    def math_call(self, fn: str, approximate: bool, args):
+        if not any(isinstance(arg, LaneValues) for arg in args):
+            return super().math_call(fn, approximate, args)
+        import math as _math
+
+        self.clock.advance()
+        n = self.lanes
+        columns = [
+            arg.values if isinstance(arg, LaneValues) else [arg] * n for arg in args
+        ]
+        fn_obj = getattr(_math, fn)
+        if not approximate:
+            self.fpu.precise_ops += 1
+            return LaneValues(
+                [fn_obj(*[column[lane] for column in columns]) for lane in range(n)]
+            )
+        self.fpu.approx_ops += 1
+        keep = self.config.float_mantissa_bits
+        truncated_columns = []
+        for arg, column in zip(args, columns):
+            # Value kinds are lane-uniform; probe lane 0 like the serial
+            # isinstance check probes the scalar.
+            if isinstance(column[0], (int, float)):
+                truncated_columns.append(
+                    _bits.truncate_mantissa_lanes([float(v) for v in column], keep)
+                )
+            else:
+                truncated_columns.append(column)
+        raws = []
+        for lane in range(n):
+            try:
+                raws.append(fn_obj(*[column[lane] for column in truncated_columns]))
+            except (ValueError, OverflowError, ZeroDivisionError):
+                raws.append(_math.nan)
+        if not isinstance(raws[0], float):
+            return LaneValues(raws)
+        truncated = _bits.truncate_mantissa_lanes(raws, keep)
+        if self._tracers is not None:
+            for lane, tracer in enumerate(self._tracers):
+                if truncated[lane] != raws[lane] and raws[lane] == raws[lane]:
+                    tracer.emit(
+                        "fpu.truncation",
+                        f"fpu:math.{fn}",
+                        before=raws[lane],
+                        after=truncated[lane],
+                        extra={"kept_bits": keep},
+                    )
+        return self.fpu._maybe_fault(
+            LaneValues(truncated), double=False, op=f"math.{fn}"
+        )
+
+    def convert(self, kind: str, approximate: bool, value):
+        if not isinstance(value, LaneValues):
+            return super().convert(kind, approximate, value)
+        import math as _math
+
+        self.clock.advance()
+        values = value.values
+        if kind == "int":
+            if approximate:
+                self.alu.approx_ops += 1
+                converted = []
+                for v in values:
+                    if isinstance(v, float) and (_math.isnan(v) or _math.isinf(v)):
+                        converted.append(0)
+                    else:
+                        converted.append(_bits.bits_to_int(_bits.int_to_bits(int(v))))
+                return LaneValues(converted)
+            self.alu.precise_ops += 1
+            return LaneValues([int(v) for v in values])
+        if approximate:
+            self.fpu.approx_ops += 1
+            return LaneValues(
+                _bits.truncate_mantissa_lanes(
+                    [float(v) for v in values], self.config.float_mantissa_bits
+                )
+            )
+        self.fpu.precise_ops += 1
+        return LaneValues([float(v) for v in values])
+
+    def endorse(self, value):
+        if not isinstance(value, LaneValues):
+            return super().endorse(value)
+        self.endorsements += 1
+        if self._tracers is not None:
+            for tracer, lane_v in zip(self._tracers, value.values):
+                scalar = lane_v if isinstance(lane_v, (bool, int, float, str)) else None
+                tracer.emit(
+                    "runtime.endorse",
+                    "endorse",
+                    before=scalar,
+                    after=scalar,
+                    extra=None if scalar is not None else {"type": type(lane_v).__name__},
+                )
+        return value
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> RunStats:
+        raise SimulationError(
+            "BatchSimulator has per-lane statistics; use lane_stats(lane)"
+        )
+
+    def lane_stats(self, lane: int) -> RunStats:
+        """The RunStats lane ``lane``'s serial run would have produced.
+
+        Operation/byte counters are lane-uniform (shared); only the
+        fault counters differ per lane.
+        """
+        return RunStats(
+            int_ops_approx=self.alu.approx_ops,
+            int_ops_precise=self.alu.precise_ops,
+            fp_ops_approx=self.fpu.approx_ops,
+            fp_ops_precise=self.fpu.precise_ops,
+            dram_approx_byte_ticks=self.accountant.dram_approx_byte_ticks,
+            dram_precise_byte_ticks=self.accountant.dram_precise_byte_ticks,
+            sram_approx_byte_ticks=self.accountant.sram_approx_byte_ticks,
+            sram_precise_byte_ticks=self.accountant.sram_precise_byte_ticks,
+            fu_faults=self.alu.faulted_ops[lane] + self.fpu.faulted_ops[lane],
+            sram_read_upsets=self.sram.read_upsets[lane],
+            sram_write_failures=self.sram.write_failures[lane],
+            dram_decayed_bits=self.dram.decayed_bits[lane],
+            endorsements=self.endorsements,
+            allocations=self.accountant.allocations,
+            ticks=self.clock.ticks,
+        )

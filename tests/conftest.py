@@ -1,0 +1,31 @@
+"""Shared test configuration.
+
+The batch fault-injection engine's numpy lanes are optional (the
+``[batch]`` extra).  Tests exercising the numpy engine must *skip*, not
+fail, when numpy is absent — the pure-Python fallback engine keeps the
+simulator fully functional, so a numpy-less environment is a supported
+configuration, and the differential suite still runs against the
+``python`` engine there.
+"""
+
+import pytest
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY,
+    reason="numpy not installed (the [batch] extra); "
+    "the pure-Python engine tests still cover this path",
+)
+
+#: Engine parametrization for the batch differential tests: the
+#: pure-Python engine always runs; the numpy engine skips when absent.
+BATCH_ENGINES = [
+    pytest.param("python", id="python-engine"),
+    pytest.param("numpy", marks=requires_numpy, id="numpy-engine"),
+]

@@ -1,0 +1,86 @@
+"""Hypothesis strategies for the batch differential tests.
+
+The batch fault-injection engine's contract is lane-wise bit-identity
+with :class:`~repro.hardware.rng.FaultRandom`: lane ``i`` of
+``BatchFaultRandom(seeds)`` must produce exactly the draw stream of
+``FaultRandom(seeds[i])``, whatever interleaving of primitives a fault
+model issues.  These strategies generate that input space — seed
+vectors, probabilities (including the NaN/infinity edge cases of the
+coin contract), and random *draw programs*: sequences of primitive
+calls, some restricted to lane subsets, that the differential test
+replays against both the batch engine and a per-lane serial oracle.
+
+Lane subsets are always ascending: that is the only shape the fault
+models produce (``coin_fired`` returns lane indices in ascending order,
+and subsequent subset draws reuse those tuples verbatim).
+"""
+
+from hypothesis import strategies as st
+
+__all__ = [
+    "seeds",
+    "seed_vectors",
+    "probabilities",
+    "edge_probabilities",
+    "draw_programs",
+]
+
+#: Any seed CPython's MT19937 accepts cheaply.
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: A batch of at least two lanes (one lane routes through the serial path).
+seed_vectors = st.lists(seeds, min_size=2, max_size=6)
+
+#: The coin-contract edge cases, always worth mixing into a program.
+edge_probabilities = st.sampled_from(
+    [0.0, 1.0, -1.0, 2.0, float("nan"), float("inf"), float("-inf")]
+)
+
+probabilities = st.one_of(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    edge_probabilities,
+)
+
+_widths = st.integers(min_value=1, max_value=64)
+
+
+def _lane_subsets(lane_count):
+    """Ascending, duplicate-free lane subsets (or None = all lanes)."""
+    return st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=0, max_value=lane_count - 1),
+            min_size=1,
+            max_size=lane_count,
+            unique=True,
+        ).map(lambda chosen: tuple(sorted(chosen))),
+    )
+
+
+@st.composite
+def draw_programs(draw, lane_count, max_ops=12):
+    """A random sequence of draw-primitive calls for ``lane_count`` lanes.
+
+    Each op is a tuple ``(name, lanes, *args)`` where ``lanes`` is
+    ``None`` (all lanes) or an ascending tuple of lane indices.
+    """
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_ops))):
+        lanes = draw(_lane_subsets(lane_count))
+        kind = draw(
+            st.sampled_from(["coin", "coin_fired", "bit_index", "bits", "uniform", "binomial"])
+        )
+        if kind in ("coin", "coin_fired"):
+            ops.append((kind, lanes, draw(probabilities)))
+        elif kind == "bit_index":
+            ops.append((kind, lanes, draw(st.integers(min_value=1, max_value=64))))
+        elif kind == "bits":
+            ops.append((kind, lanes, draw(_widths)))
+        elif kind == "uniform":
+            low = draw(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+            span = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+            ops.append((kind, lanes, low, low + span))
+        else:
+            trials = draw(st.integers(min_value=0, max_value=8))
+            ops.append((kind, lanes, trials, draw(probabilities)))
+    return ops

@@ -1,0 +1,435 @@
+"""Differential harness pinning the batch engine against serial runs.
+
+The batch fault-injection engine's one promise is *bit-identity*:
+``batch(N)`` over a fault-seed vector must equal N serial runs —
+identical faulted bit patterns (the draw streams), identical trace
+event streams, identical energy accounting and identical QoS — with
+batching changing only the cost of a campaign, never its results.
+
+Three layers of evidence, cheapest first:
+
+1. **Draw streams** — randomized programs of fault-draw primitives
+   (hypothesis, :mod:`tests.strategies`) replayed against a per-lane
+   :class:`FaultRandom` oracle, on both engines; plus the pinned coin
+   edge-case contract (NaN / non-positive / saturated probabilities)
+   shared by the scalar and batch sources.
+2. **Whole runs** — outputs, stats, energy breakdowns and traced event
+   streams of batched executions compared field-for-field (floats by
+   bit pattern, so NaN-bearing outputs compare exactly) against serial
+   runs of the same keys, including the fallback paths (load-elision
+   configs, lane divergence) and the degenerate ``batch=1``.
+3. **Campaign plumbing** — ``mean_qos``/executor grids with ``batch``
+   set, and slow-lane sweeps: the full 9-app x 3-level grid and a
+   fuzz lane drawing random (app, level, seed-vector) campaigns.
+"""
+
+import json
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.energy import estimate_energy
+from repro.errors import SimulationError
+from repro.experiments.executor import Job, run_jobs
+from repro.experiments.harness import (
+    compiled_app,
+    mean_qos,
+    precise_output,
+    run_key,
+    run_keys_batch,
+)
+from repro.experiments.runkey import RunKey
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD, SOFTWARE
+from repro.hardware.lanes import LaneDivergenceError
+from repro.hardware.rng import BatchFaultRandom, FaultRandom
+from repro.observability.runner import traced_run, traced_runs_batch
+from repro.runtime.batch import BatchSimulator
+
+from tests import strategies as batch_strategies
+from tests.conftest import BATCH_ENGINES, requires_numpy
+
+LEVELS = [
+    pytest.param(MILD, id="mild"),
+    pytest.param(MEDIUM, id="medium"),
+    pytest.param(AGGRESSIVE, id="aggressive"),
+]
+
+
+def canon(value):
+    """A bit-exact comparison key: floats by their binary64 pattern.
+
+    ``==`` is the wrong comparator for differential runs — NaN outputs
+    would compare unequal to themselves and ``-0.0 == 0.0`` would mask
+    a sign flip — so every float is compared by its packed bytes.
+    """
+    if isinstance(value, float):
+        return ("f64", struct.pack("<d", value))
+    if isinstance(value, (list, tuple)):
+        return tuple(canon(item) for item in value)
+    if isinstance(value, dict):
+        return {key: canon(item) for key, item in value.items()}
+    return value
+
+
+def assert_results_identical(serial, batch, context=""):
+    assert len(serial) == len(batch), context
+    for lane, (expected, got) in enumerate(zip(serial, batch)):
+        assert canon(expected.output) == canon(got.output), f"{context} lane {lane} output"
+        assert expected.stats == got.stats, f"{context} lane {lane} stats"
+
+
+_SERIAL_CACHE = {}
+
+
+def serial_results(spec, config, fault_seeds):
+    """Serial :func:`run_key` results, memoized across parametrizations."""
+    results = []
+    for seed in fault_seeds:
+        cache_key = (spec.name, config.name, seed)
+        if cache_key not in _SERIAL_CACHE:
+            _SERIAL_CACHE[cache_key] = run_key(
+                RunKey(spec=spec, config=config, fault_seed=seed, workload_seed=0)
+            )
+        results.append(_SERIAL_CACHE[cache_key])
+    return results
+
+
+def campaign_keys(spec, config, fault_seeds):
+    return [
+        RunKey(spec=spec, config=config, fault_seed=seed, workload_seed=0)
+        for seed in fault_seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# Layer 1: draw streams (BatchFaultRandom vs per-lane FaultRandom)
+# ----------------------------------------------------------------------
+
+
+def _replay_op(op, batch, oracles):
+    """One program op on both sources; returns (batch_value, oracle_value)."""
+    name, lanes, *args = op
+    selected = range(len(oracles)) if lanes is None else lanes
+    if name == "coin":
+        return batch.coin(args[0], lanes), [oracles[lane].coin(args[0]) for lane in selected]
+    if name == "coin_fired":
+        return (
+            tuple(batch.coin_fired(args[0], lanes)),
+            tuple(lane for lane in selected if oracles[lane].coin(args[0])),
+        )
+    if name == "bit_index":
+        return batch.bit_index(args[0], lanes), [
+            oracles[lane].bit_index(args[0]) for lane in selected
+        ]
+    if name == "bits":
+        return batch.bits(args[0], lanes), [oracles[lane].bits(args[0]) for lane in selected]
+    if name == "uniform":
+        low, high = args
+        return (
+            canon(list(batch.uniform(low, high, lanes))),
+            canon([oracles[lane].uniform(low, high) for lane in selected]),
+        )
+    assert name == "binomial"
+    trials, probability = args
+    oracle_hits = {}
+    for lane in selected:
+        hits = oracles[lane].binomial_hits(trials, probability)
+        if hits:
+            oracle_hits[lane] = hits
+    return dict(batch.binomial_hits(trials, probability, lanes)), oracle_hits
+
+
+class TestDrawStreams:
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_random_programs_match_serial_oracle(self, engine, data):
+        lane_seeds = data.draw(batch_strategies.seed_vectors)
+        program = data.draw(batch_strategies.draw_programs(len(lane_seeds)))
+        batch = BatchFaultRandom(lane_seeds, engine=engine)
+        oracles = [FaultRandom(seed) for seed in lane_seeds]
+        for step, op in enumerate(program):
+            got, want = _replay_op(op, batch, oracles)
+            assert got == want, f"step {step}: {op}"
+        # The cursors must agree after the whole program too: one final
+        # all-lanes draw proves no lane silently consumed extra words.
+        assert canon(list(batch.uniform(0.0, 1.0))) == canon(
+            [oracle.uniform(0.0, 1.0) for oracle in oracles]
+        )
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_spawn_matches_serial_derivation(self, engine):
+        lane_seeds = [7, 99, 2**31]
+        child = BatchFaultRandom(lane_seeds, engine=engine).spawn("fpu")
+        oracles = [FaultRandom(seed).spawn("fpu") for seed in lane_seeds]
+        assert child.bits(32) == [oracle.bits(32) for oracle in oracles]
+        assert canon(list(child.uniform(0.0, 1.0))) == canon(
+            [oracle.uniform(0.0, 1.0) for oracle in oracles]
+        )
+
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_desync_then_lockstep_draws_stay_aligned(self, engine):
+        # A subset draw desynchronises the lane cursors; later all-lane
+        # draws must still produce each lane's own serial stream.
+        lane_seeds = [1, 2, 3, 4]
+        batch = BatchFaultRandom(lane_seeds, engine=engine)
+        oracles = [FaultRandom(seed) for seed in lane_seeds]
+        batch.bits(8, lanes=(2,))
+        oracles[2].bits(8)
+        for _ in range(3):
+            assert canon(list(batch.uniform(0.0, 1.0))) == canon(
+                [oracle.uniform(0.0, 1.0) for oracle in oracles]
+            )
+
+
+# ----------------------------------------------------------------------
+# Layer 1b: the coin edge-case contract, scalar and batch alike
+# ----------------------------------------------------------------------
+
+COIN_SOURCES = [
+    pytest.param("scalar", id="scalar"),
+    pytest.param("batch-python", id="batch-python"),
+    pytest.param("batch-numpy", marks=requires_numpy, id="batch-numpy"),
+]
+
+
+def _coin_source(kind):
+    """(coin, probe): per-lane coins and a probe consuming one draw/lane."""
+    if kind == "scalar":
+        source = FaultRandom(123)
+        return (
+            lambda probability: (source.coin(probability),),
+            lambda: canon((source.uniform(0.0, 1.0),)),
+        )
+    source = BatchFaultRandom([123, 321], engine=kind.split("-")[1])
+    return (
+        lambda probability: tuple(source.coin(probability)),
+        lambda: canon(tuple(source.uniform(0.0, 1.0))),
+    )
+
+
+class TestCoinContract:
+    """The pinned FaultRandom.coin edge cases (see its docstring)."""
+
+    @pytest.mark.parametrize("kind", COIN_SOURCES)
+    @pytest.mark.parametrize(
+        "probability", [0.0, -0.25, float("-inf")], ids=["zero", "negative", "neg-inf"]
+    )
+    def test_nonpositive_never_fires_and_consumes_no_draw(self, kind, probability):
+        coin, probe = _coin_source(kind)
+        _, untouched_probe = _coin_source(kind)
+        assert not any(coin(probability))
+        assert probe() == untouched_probe()
+
+    @pytest.mark.parametrize("kind", COIN_SOURCES)
+    @pytest.mark.parametrize(
+        "probability", [1.0, 2.0, float("inf")], ids=["one", "two", "inf"]
+    )
+    def test_saturated_always_fires_and_consumes_no_draw(self, kind, probability):
+        coin, probe = _coin_source(kind)
+        _, untouched_probe = _coin_source(kind)
+        assert all(coin(probability))
+        assert probe() == untouched_probe()
+
+    @pytest.mark.parametrize("kind", COIN_SOURCES)
+    def test_nan_never_fires_but_consumes_exactly_one_draw(self, kind):
+        coin, probe = _coin_source(kind)
+        _, reference_probe = _coin_source(kind)
+        assert not any(coin(float("nan")))
+        reference_probe()  # discard one draw per lane on the reference
+        assert probe() == reference_probe()
+
+
+# ----------------------------------------------------------------------
+# Layer 2: whole runs (outputs, stats, energy, traces, fallbacks)
+# ----------------------------------------------------------------------
+
+FAST_CASES = [
+    pytest.param("fft", MILD, id="fft-mild"),
+    pytest.param("fft", AGGRESSIVE, id="fft-aggressive"),
+    pytest.param("montecarlo", MILD, id="montecarlo-mild"),  # diverges -> fallback
+]
+
+
+class TestWholeRunDifferential:
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    @pytest.mark.parametrize("app,config", FAST_CASES)
+    def test_batch_matches_serial(self, app, config, engine):
+        spec = app_by_name(app)
+        seeds = (11, 12, 13)
+        serial = serial_results(spec, config, seeds)
+        batch = run_keys_batch(campaign_keys(spec, config, seeds), engine=engine)
+        assert_results_identical(serial, batch, f"{app}/{config.name}/{engine}")
+
+    def test_energy_accounting_identical(self):
+        spec = app_by_name("fft")
+        seeds = (11, 12, 13)
+        serial = serial_results(spec, MILD, seeds)
+        batch = run_keys_batch(campaign_keys(spec, MILD, seeds))
+        for expected, got in zip(serial, batch):
+            assert estimate_energy(expected.stats, MILD) == estimate_energy(got.stats, MILD)
+
+    def test_batch_of_one_is_exactly_the_serial_path(self):
+        key = RunKey(spec=app_by_name("fft"), config=MILD, fault_seed=11, workload_seed=0)
+        [batched] = run_keys_batch([key])
+        expected = serial_results(key.spec, MILD, (11,))[0]
+        assert canon(batched.output) == canon(expected.output)
+        assert batched.stats == expected.stats
+
+    def test_mixed_key_blocks_rejected(self):
+        spec = app_by_name("fft")
+        keys = [
+            RunKey(spec=spec, config=MILD, fault_seed=1, workload_seed=0),
+            RunKey(spec=spec, config=AGGRESSIVE, fault_seed=2, workload_seed=0),
+        ]
+        with pytest.raises(ValueError):
+            run_keys_batch(keys)
+
+    def test_load_elision_config_is_rejected_then_falls_back(self):
+        # SOFTWARE's load elision replays a *stale value*, which a
+        # single lockstep execution cannot model; the BatchSimulator
+        # refuses it up front and run_keys_batch reruns serially.
+        with pytest.raises(SimulationError):
+            BatchSimulator(SOFTWARE, [1, 2])
+        spec = app_by_name("fft")
+        seeds = (5, 6)
+        serial = serial_results(spec, SOFTWARE, seeds)
+        batch = run_keys_batch(campaign_keys(spec, SOFTWARE, seeds))
+        assert_results_identical(serial, batch, "fft/Software fallback")
+
+    def test_divergent_control_flow_raises_inside_batch(self):
+        # MonteCarlo branches on approximate data, so its lanes diverge;
+        # the raw batched execution must refuse (run_keys_batch then
+        # falls back serially, pinned by test_batch_matches_serial).
+        spec = app_by_name("montecarlo")
+        program = compiled_app(spec)
+        with pytest.raises(LaneDivergenceError):
+            with BatchSimulator(MILD, [11, 12]):
+                program.call(spec.entry_module, spec.entry_function, *spec.workload_args(0))
+
+
+def _event_key(event):
+    return tuple(canon(getattr(event, name)) for name in event.__dataclass_fields__)
+
+
+class TestTraceDifferential:
+    @pytest.mark.parametrize("engine", BATCH_ENGINES)
+    def test_event_streams_identical(self, engine):
+        spec = app_by_name("fft")
+        seeds = [21, 22, 23]
+        serial = [traced_run(spec, MILD, seed) for seed in seeds]
+        batch = traced_runs_batch(spec, MILD, seeds, engine=engine)
+        for expected, got in zip(serial, batch):
+            assert expected.stats == got.stats
+            assert expected.dropped == got.dropped
+            assert expected.metrics.as_dict() == got.metrics.as_dict()
+            assert len(expected.events) == len(got.events)
+            for left, right in zip(expected.events, got.events):
+                assert _event_key(left) == _event_key(right)
+
+    def test_divergent_app_falls_back_to_serial_traces(self):
+        spec = app_by_name("montecarlo")
+        seeds = [21, 22]
+        serial = [traced_run(spec, MILD, seed) for seed in seeds]
+        batch = traced_runs_batch(spec, MILD, seeds)
+        for expected, got in zip(serial, batch):
+            assert expected.stats == got.stats
+            assert [_event_key(e) for e in expected.events] == [
+                _event_key(e) for e in got.events
+            ]
+
+
+# ----------------------------------------------------------------------
+# Layer 3: campaign plumbing (mean_qos, executor grids) and slow sweeps
+# ----------------------------------------------------------------------
+
+
+class TestCampaignPlumbing:
+    def test_mean_qos_batch_is_bit_identical(self):
+        spec = app_by_name("fft")
+        serial = mean_qos(spec, MILD, runs=6)
+        for batch in (1, 3, 6, 16):
+            assert struct.pack("<d", serial) == struct.pack(
+                "<d", mean_qos(spec, MILD, runs=6, batch=batch)
+            ), f"batch={batch}"
+
+    def test_run_jobs_batched_grid_matches_serial(self):
+        fft, sor = app_by_name("fft"), app_by_name("sor")
+        grid = (
+            [Job(spec=fft, config=MILD, fault_seed=seed) for seed in range(1, 6)]
+            + [Job(spec=fft, config=MEDIUM, fault_seed=seed, task="stats") for seed in (1, 2)]
+            + [Job(spec=sor, config=MILD, fault_seed=seed) for seed in (1, 2, 3)]
+        )
+        serial = run_jobs(grid)
+        batched = run_jobs(grid, batch=4)
+        assert canon(serial) == canon(batched)
+
+    @pytest.mark.slow
+    def test_run_jobs_pool_with_batch_matches_serial(self):
+        spec = app_by_name("fft")
+        grid = [Job(spec=spec, config=MILD, fault_seed=seed) for seed in range(1, 9)]
+        serial = run_jobs(grid)
+        pooled = run_jobs(grid, workers=2, batch=4)
+        assert canon(serial) == canon(pooled)
+
+
+@pytest.mark.slow
+class TestExhaustiveGrid:
+    """The full differential: every app at every approximation level."""
+
+    @pytest.mark.parametrize("config", LEVELS)
+    @pytest.mark.parametrize("app", [spec.name for spec in ALL_APPS])
+    def test_app_level_cell(self, app, config):
+        spec = app_by_name(app)
+        seeds = (31, 32, 33)
+        serial = serial_results(spec, config, seeds)
+        batch = run_keys_batch(campaign_keys(spec, config, seeds))
+        assert_results_identical(serial, batch, f"{app}/{config.name}")
+
+
+def _trace_summary(result):
+    """The store's compact trace summary (runner._store_trace_summary)."""
+    counters = result.metrics.as_dict()["counters"]
+    return {
+        "events": len(result.events),
+        "dropped": result.dropped,
+        "counters": {kind: count for kind, count in counters.items() if count},
+    }
+
+
+@pytest.mark.slow
+def test_fuzz_random_campaigns():
+    """Random (app, level, seed-vector) campaigns, batch vs serial.
+
+    Beyond the parametrized grid this varies the *shape* of a campaign:
+    seed vectors of random length and content, so lockstep runs, partial
+    divergences and fallbacks are all drawn blind.  QoS is compared by
+    bit pattern and traces by their canonical JSON summary bytes.
+    """
+    rng = random.Random(0x20110604)  # PLDI'11, why not
+    levels = [MILD, MEDIUM, AGGRESSIVE]
+    for _ in range(5):
+        spec = rng.choice(ALL_APPS)
+        config = rng.choice(levels)
+        seeds = rng.sample(range(1, 500), rng.randint(2, 4))
+        context = f"{spec.name}/{config.name}/{seeds}"
+
+        serial = [run_key(key) for key in campaign_keys(spec, config, seeds)]
+        batch = run_keys_batch(campaign_keys(spec, config, seeds))
+        assert_results_identical(serial, batch, context)
+
+        reference = precise_output(spec, 0)
+        serial_qos = [spec.qos(reference, result.output) for result in serial]
+        batch_qos = [spec.qos(reference, result.output) for result in batch]
+        assert canon(serial_qos) == canon(batch_qos), context
+
+        serial_traces = [traced_run(spec, config, seed) for seed in seeds]
+        batch_traces = traced_runs_batch(spec, config, seeds)
+        for expected, got in zip(serial_traces, batch_traces):
+            expected_bytes = json.dumps(_trace_summary(expected), sort_keys=True).encode()
+            got_bytes = json.dumps(_trace_summary(got), sort_keys=True).encode()
+            assert expected_bytes == got_bytes, context

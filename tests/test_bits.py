@@ -1,11 +1,21 @@
-"""Tests for bit-level value representations used by the fault models."""
+"""Tests for bit-level value representations used by the fault models.
 
+The scalar helpers are the reference semantics; the ``*_lanes`` vector
+helpers (and :func:`bits.truncate_mantissa_array`, the batch FPU's
+array-form core) must match them bit for bit on every lane, with or
+without numpy — :class:`TestLaneHelpers` pins both paths against the
+scalar loop.
+"""
+
+import contextlib
 import math
 
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hardware import bits
+
+from tests.conftest import HAVE_NUMPY
 
 int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
 floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
@@ -110,3 +120,133 @@ class TestValueCodec:
         assert bits.bits_for_kind("int") == 32
         assert bits.bits_for_kind("float") == 32
         assert bits.bits_for_kind("double") == 64
+
+
+# ----------------------------------------------------------------------
+# Vector (lane) helpers vs the scalar reference
+# ----------------------------------------------------------------------
+
+# Lane values may be NaN or infinity mid-run (faulted floats), so the
+# lane strategies include them and comparisons go through bit patterns.
+lane_floats = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=32), min_size=1, max_size=8
+)
+lane_doubles = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True), min_size=1, max_size=8
+)
+lane_ints = st.lists(int32s, min_size=1, max_size=8)
+
+
+def _f64_patterns(values):
+    return [bits.float_to_bits64(value) for value in values]
+
+
+@contextlib.contextmanager
+def _without_numpy():
+    """Force the lanes helpers down their pure-Python scalar loop."""
+    saved = bits._np
+    bits._np = None
+    try:
+        yield
+    finally:
+        bits._np = saved
+
+
+class TestLaneHelpers:
+    @given(st.data())
+    def test_flip_bit_int_lanes_matches_scalar(self, data):
+        values = data.draw(lane_ints)
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=31),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        expected = [bits.flip_bit_int(v, b) for v, b in zip(values, positions)]
+        assert bits.flip_bit_int_lanes(values, positions) == expected
+        # Involution through the vector path as well.
+        assert bits.flip_bit_int_lanes(expected, positions) == values
+
+    @given(st.data(), st.booleans())
+    def test_flip_bit_float_lanes_matches_scalar(self, data, double):
+        values = data.draw(lane_doubles if double else lane_floats)
+        width = 64 if double else 32
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=width - 1),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        expected = [bits.flip_bit_float(v, b, double) for v, b in zip(values, positions)]
+        flipped = bits.flip_bit_float_lanes(values, positions, double)
+        assert _f64_patterns(flipped) == _f64_patterns(expected)
+
+    @given(lane_ints)
+    def test_int_codec_lanes_roundtrip(self, values):
+        patterns = bits.value_to_bits_lanes(values, "int")
+        assert patterns == [bits.value_to_bits(v, "int") for v in values]
+        assert bits.bits_to_value_lanes(patterns, "int") == values
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=8))
+    def test_bool_codec_lanes_roundtrip(self, values):
+        patterns = bits.value_to_bits_lanes(values, "bool")
+        assert patterns == [1 if v else 0 for v in values]
+        assert bits.bits_to_value_lanes(patterns, "bool") == values
+
+    @given(st.data(), st.sampled_from(["float", "double"]))
+    def test_float_codec_lanes_match_scalar(self, data, kind):
+        values = data.draw(lane_doubles if kind == "double" else lane_floats)
+        patterns = bits.value_to_bits_lanes(values, kind)
+        assert patterns == [bits.value_to_bits(v, kind) for v in values]
+        decoded = bits.bits_to_value_lanes(patterns, kind)
+        expected = [bits.bits_to_value(p, kind) for p in patterns]
+        assert _f64_patterns(decoded) == _f64_patterns(expected)
+
+    @given(st.data(), st.booleans(), st.integers(min_value=0, max_value=52))
+    def test_truncate_mantissa_lanes_matches_scalar(self, data, double, keep):
+        values = data.draw(lane_doubles if double else lane_floats)
+        expected = [bits.truncate_mantissa(v, keep, double) for v in values]
+        truncated = bits.truncate_mantissa_lanes(values, keep, double)
+        assert _f64_patterns(truncated) == _f64_patterns(expected)
+        # Idempotence holds lane-wise too.
+        again = bits.truncate_mantissa_lanes(truncated, keep, double)
+        assert _f64_patterns(again) == _f64_patterns(truncated)
+
+    @given(st.data(), st.booleans(), st.integers(min_value=0, max_value=52))
+    def test_truncate_mantissa_array_matches_scalar(self, data, double, keep):
+        if not HAVE_NUMPY:
+            return  # the array core explicitly requires numpy
+        values = data.draw(lane_doubles if double else lane_floats)
+        out = bits.truncate_mantissa_array(values, keep, double)
+        expected = [bits.truncate_mantissa(v, keep, double) for v in values]
+        assert _f64_patterns(out.tolist()) == _f64_patterns(expected)
+
+    @given(st.data(), st.booleans(), st.integers(min_value=0, max_value=52))
+    def test_lanes_helpers_identical_without_numpy(self, data, double, keep):
+        """The numpy and scalar-loop paths are interchangeable bit for bit."""
+        values = data.draw(lane_doubles if double else lane_floats)
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(64 if double else 32) - 1),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        with_np = {
+            "trunc": bits.truncate_mantissa_lanes(values, keep, double),
+            "flip": bits.flip_bit_float_lanes(values, positions, double),
+            "codec": bits.value_to_bits_lanes(values, "double" if double else "float"),
+        }
+        with _without_numpy():
+            without_np = {
+                "trunc": bits.truncate_mantissa_lanes(values, keep, double),
+                "flip": bits.flip_bit_float_lanes(values, positions, double),
+                "codec": bits.value_to_bits_lanes(
+                    values, "double" if double else "float"
+                ),
+            }
+        assert _f64_patterns(with_np["trunc"]) == _f64_patterns(without_np["trunc"])
+        assert _f64_patterns(with_np["flip"]) == _f64_patterns(without_np["flip"])
+        assert with_np["codec"] == without_np["codec"]

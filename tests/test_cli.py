@@ -202,6 +202,16 @@ class TestExperimentsCommand:
         assert "does not support --jobs" in out
         assert "10^-5" in out
 
+    def test_batch_flag_accepted(self, capsys):
+        # table2 runs nothing: --batch falls back to unbatched with a note.
+        assert main(["experiments", "table2", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "does not support --batch" in out
+
+    def test_batch_flag_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figure5", "--batch", "many"])
+
     def test_jobs_flag_rejects_garbage(self):
         with pytest.raises(SystemExit):
             main(["experiments", "figure3", "--jobs", "many"])
