@@ -1,0 +1,157 @@
+"""Bench: a fleet of two daemons vs one daemon on a cold campaign.
+
+The fabric's reason to exist is horizontal scale: a cold campaign
+(every cell a store miss) is embarrassingly parallel across run keys,
+so sharding it over two nodes should approach twice one node's
+throughput — the coordinator adds routing, not work.
+
+Both sides are measured honestly and identically:
+
+* **single** — one ``repro serve`` daemon with ``WORKERS`` warm
+  workers and a fresh store, answering the campaign as one ``batch``;
+* **fleet** — two such daemons (fresh stores) behind a
+  :class:`~repro.fabric.FabricCoordinator`, answering the *same*
+  campaign through the same :class:`~repro.service.ServiceClient`
+  code path.
+
+The headline number is cold-campaign **throughput** (items/second).
+Bit-identity of the two answer sets is asserted unconditionally; the
+speedup bar scales with the machine, following the
+``bench_parallel.py`` precedent — on a single core there is no
+parallelism to win (the workers time-slice), so only the full
+multi-core environments enforce the ``>= 1.7x`` acceptance bar.
+Results land in ``extra_info`` and ``BENCH_fabric.json``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FABRIC_ITEMS`` — campaign size (default 16).
+* ``REPRO_BENCH_FABRIC_WORKERS`` — workers per daemon (default 2).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments.harness import clear_caches
+from repro.fabric import FabricConfig, FabricCoordinator
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+
+ITEMS = int(os.environ.get("REPRO_BENCH_FABRIC_ITEMS", "16"))
+WORKERS = int(os.environ.get("REPRO_BENCH_FABRIC_WORKERS", "2"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_fabric.json")
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _campaign():
+    return [
+        {"app": "fft", "config": "medium", "fault_seed": seed}
+        for seed in range(1, ITEMS + 1)
+    ]
+
+
+def _node(root: str, index: int) -> SimulationServer:
+    server = SimulationServer(
+        ServiceConfig(
+            port=0,
+            workers=WORKERS,
+            warm_apps=("fft",),
+            cache_dir=os.path.join(root, f"node{index}"),
+            default_deadline_ms=0,
+        )
+    )
+    server.start()
+    return server
+
+
+def _timed_batch(host: str, port: int):
+    with ServiceClient(host, port, timeout=600.0) as client:
+        t0 = time.perf_counter()
+        results = client.submit_batch(_campaign())
+        elapsed = time.perf_counter() - t0
+    assert all(not result.cached for result in results), "campaign was not cold"
+    return [result.qos for result in results], elapsed
+
+
+def test_bench_fabric_fleet_vs_single_node(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-fabric-")
+    try:
+        # Side 1 — one daemon, cold store.
+        clear_caches()
+        single = _node(root, 0)
+        try:
+            single_qos, single_seconds = _timed_batch(*single.address)
+        finally:
+            single.stop()
+
+        # Side 2 — two fresh daemons behind a coordinator.
+        clear_caches()
+        nodes = [_node(root, index) for index in (1, 2)]
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                nodes=tuple("%s:%d" % node.address for node in nodes),
+                port=0,
+                hedge_ms=None,
+            )
+        )
+        coordinator.start()
+        try:
+
+            def fleet_pass():
+                return _timed_batch(*coordinator.address)
+
+            fleet_qos, fleet_seconds = benchmark.pedantic(
+                fleet_pass, rounds=1, iterations=1
+            )
+        finally:
+            coordinator.stop()
+            for node in nodes:
+                node.stop()
+    finally:
+        clear_caches()
+        shutil.rmtree(root, ignore_errors=True)
+
+    # The fleet reproduces the single node (and thus the serial
+    # harness, per tests/test_fabric_fleet.py) bit for bit.
+    assert fleet_qos == single_qos
+
+    cores = _usable_cores()
+    speedup = single_seconds / fleet_seconds if fleet_seconds else float("inf")
+    results = {
+        "items": ITEMS,
+        "workers_per_node": WORKERS,
+        "cores": cores,
+        "single_node_seconds": round(single_seconds, 3),
+        "fleet_of_2_seconds": round(fleet_seconds, 3),
+        "single_node_items_per_s": round(ITEMS / single_seconds, 3),
+        "fleet_items_per_s": round(ITEMS / fleet_seconds, 3),
+        "speedup": round(speedup, 3),
+        "answers_identical": True,
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\ncold campaign ({ITEMS} items): single node {single_seconds:.2f}s, "
+        f"fleet of 2 {fleet_seconds:.2f}s -> {speedup:.2f}x on {cores} core(s)"
+    )
+
+    if cores >= 4:
+        assert speedup >= 1.7, (
+            f"a fleet of 2 should answer a cold campaign >= 1.7x faster than "
+            f"one node on {cores} cores, got {speedup:.2f}x"
+        )
+    elif cores >= 2:
+        assert speedup >= 1.1, (
+            f"expected >= 1.1x cold-campaign speedup on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

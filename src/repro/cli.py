@@ -12,7 +12,8 @@ Usage::
     python -m repro trace-report FILE             # summarise a JSONL trace
     python -m repro cache {stats,gc,verify}       # run-store maintenance
     python -m repro serve                         # simulation daemon
-    python -m repro submit APP                    # query a running daemon
+    python -m repro submit APP                    # query a daemon or fleet
+    python -m repro fabric {serve,shards}         # campaign coordinator
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
 arguments under the chosen configuration, and reports the output plus
@@ -29,9 +30,15 @@ that store — see the "Caching & resume" section of ``EXPERIMENTS.md``.
 
 ``serve`` boots the long-lived simulation daemon (warm worker pool,
 bounded admission queue, live ``/metrics``; see ``SERVICE.md``), and
-``submit`` sends single or batched QoS queries to a running daemon.
+``submit`` sends single or batched QoS queries to a running daemon —
+or, with ``--fleet HOST:PORT``, to a fabric coordinator.
 ``experiments --via-service HOST:PORT`` routes a driver's QoS queries
-through the daemon instead of simulating locally.
+through the daemon instead of simulating locally;
+``--via-fleet HOST:PORT`` does the same through a ``fabric serve``
+coordinator, falling back to local execution if the fleet is lost
+mid-campaign.  ``fabric serve`` shards campaigns across a fleet of
+daemons by consistent hashing (``fabric shards`` prints the map); the
+wire protocol and failure semantics are specified in ``FABRIC.md``.
 
 ``lint`` and ``analyze`` run the whole-program approximation-flow
 analyses over the ported apps (see ``ANALYSIS.md``): the endorsement
@@ -57,6 +64,11 @@ from repro.errors import ReproError, TypeCheckError
 from repro.hardware import AGGRESSIVE, BASELINE, MEDIUM, MILD
 from repro.runtime import Simulator
 from repro.service.config import DEFAULT_PORT as _DEFAULT_SERVICE_PORT
+
+# Imported lazily elsewhere; these two are argparse defaults, constant
+# and dependency-free (repro.fabric pulls in the service layer).
+_DEFAULT_FABRIC_PORT = 7747
+_DEFAULT_VNODES = 64
 
 _CONFIGS = {
     "baseline": BASELINE,
@@ -437,18 +449,31 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         )
         return 1
 
+    if args.via_service and args.via_fleet:
+        print(
+            "error: --via-service and --via-fleet are mutually exclusive "
+            "(a coordinator speaks the daemon protocol; pick one address)",
+            file=sys.stderr,
+        )
+        return 1
+
     route_client = None
-    if args.via_service:
+    if args.via_service or args.via_fleet:
         from repro.service import ServiceClient
         from repro.service.routing import clear_service_route, set_service_route
 
+        flag = "--via-fleet" if args.via_fleet else "--via-service"
         try:
-            host, port = _parse_host_port(args.via_service)
+            host, port = _parse_host_port(args.via_fleet or args.via_service)
         except ValueError as error:
-            print(f"error: --via-service: {error}", file=sys.stderr)
+            print(f"error: {flag}: {error}", file=sys.stderr)
             return 1
+        # A fleet route survives losing its coordinator mid-campaign:
+        # the harness falls back to local execution (and --jobs/--batch
+        # still compose).  --via-service stays strict — one explicit
+        # daemon going away is an error worth hearing about.
         route_client = ServiceClient(host, port)
-        set_service_route(route_client)
+        set_service_route(route_client, fallback_local=bool(args.via_fleet))
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     store = None if args.no_cache else run_store.configure(args.cache_dir)
@@ -538,8 +563,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient
 
+    host, port = args.host, args.port
+    if args.fleet:
+        # A coordinator answers the same submit/batch protocol, so the
+        # only difference is where the connection points.
+        try:
+            host, port = _parse_host_port(args.fleet)
+        except ValueError as error:
+            print(f"error: --fleet: {error}", file=sys.stderr)
+            return 1
     seeds = range(args.seed, args.seed + args.runs)
-    with ServiceClient(args.host, args.port) as client:
+    with ServiceClient(host, port) as client:
         if args.runs == 1:
             results = [
                 client.submit(
@@ -597,6 +631,82 @@ def cmd_submit(args: argparse.Namespace) -> int:
         f"{r.app} @ {r.config}: mean qos {mean:.6g} over {len(results)} seed(s) "
         f"({hits} served from store)"
     )
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.fabric import FabricConfig, FabricCoordinator, ShardMap
+
+    nodes = tuple(args.node or ())
+
+    if args.action == "shards":
+        # Pure computation, no network: the same map every process
+        # derives (tests/test_fabric.py pins cross-process determinism).
+        if not nodes:
+            print("error: fabric shards requires at least one --node", file=sys.stderr)
+            return 1
+        try:
+            shard_map = ShardMap(list(nodes), vnodes=args.vnodes)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        payload = shard_map.as_dict()
+        if args.digest:
+            payload["assignments"] = {
+                digest: shard_map.assign(digest) for digest in args.digest
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.action != "serve":
+        raise AssertionError(f"unhandled fabric action {args.action!r}")
+
+    try:
+        config = FabricConfig(
+            nodes=nodes,
+            host=args.host,
+            port=args.port,
+            vnodes=args.vnodes,
+            hedge_ms=None if args.hedge_ms < 0 else args.hedge_ms,
+            timeout_s=args.timeout,
+            connect_timeout_s=args.connect_timeout,
+            drain_timeout_s=args.drain_timeout,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.dump_config:
+        print(json.dumps(config.as_dict(), indent=2, sort_keys=True))
+        return 0
+
+    coordinator = FabricCoordinator(config)
+    host, port = coordinator.start()
+    print(
+        f"repro-fabric: coordinating {len(config.nodes)} node(s) on "
+        f"{host}:{port} (vnodes {config.vnodes}, hedge "
+        f"{'off' if config.hedge_ms is None else f'{config.hedge_ms} ms'})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        coordinator.initiate_drain()
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    stop.wait()
+    print("repro-fabric: draining...", flush=True)
+    drained = coordinator.drain()
+    coordinator.stop()
+    if not drained:
+        print("repro-fabric: drain timed out; some requests were abandoned", flush=True)
+        return 1
+    print("repro-fabric: drained cleanly", flush=True)
     return 0
 
 
@@ -871,6 +981,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="route QoS queries through a running 'repro serve' daemon "
         "(bit-identical results; see SERVICE.md)",
     )
+    experiments.add_argument(
+        "--via-fleet",
+        metavar="HOST:PORT",
+        default=None,
+        help="route QoS queries through a running 'repro fabric serve' "
+        "coordinator; if the fleet is lost mid-campaign the remaining "
+        "cells execute locally (bit-identical either way; see FABRIC.md)",
+    )
     experiments.set_defaults(fn=cmd_experiments)
 
     cache = commands.add_parser(
@@ -987,6 +1105,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=_DEFAULT_SERVICE_PORT)
     submit.add_argument(
+        "--fleet",
+        metavar="HOST:PORT",
+        default=None,
+        help="submit to a 'repro fabric serve' coordinator instead of a "
+        "single daemon (overrides --host/--port; same wire protocol)",
+    )
+    submit.add_argument(
         "--deadline-ms",
         type=int,
         default=None,
@@ -1002,6 +1127,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     submit.set_defaults(fn=cmd_submit)
+
+    fabric = commands.add_parser(
+        "fabric",
+        help="coordinate a fleet of simulation daemons (see FABRIC.md)",
+    )
+    fabric.add_argument(
+        "action",
+        choices=("serve", "shards"),
+        help="serve: run the campaign coordinator; shards: print the "
+        "consistent-hash shard map for a node list (no network)",
+    )
+    fabric.add_argument(
+        "--node",
+        action="append",
+        metavar="HOST:PORT",
+        help="a fleet daemon's address (repeat once per node)",
+    )
+    fabric.add_argument("--host", default="127.0.0.1")
+    fabric.add_argument(
+        "--port",
+        type=int,
+        default=_DEFAULT_FABRIC_PORT,
+        help="coordinator TCP port (0 binds an ephemeral port; "
+        "default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--vnodes",
+        type=int,
+        default=_DEFAULT_VNODES,
+        metavar="N",
+        help="ring points per node; more points = finer keyspace "
+        "balance (default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--hedge-ms",
+        type=int,
+        default=15_000,
+        metavar="MS",
+        help="straggler deadline before a group re-dispatches to the "
+        "ring successor; 0 hedges immediately, negative disables "
+        "(default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-dispatch ceiling before items fail fleet_unavailable "
+        "(default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-node connect budget at boot; an unreachable node is "
+        "a hard error (default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="SIGTERM shutdown: seconds to wait for in-flight "
+        "dispatches (default: %(default)s)",
+    )
+    fabric.add_argument(
+        "--digest",
+        action="append",
+        metavar="SHA256",
+        help="shards only: also print the home node of each digest "
+        "(repeatable)",
+    )
+    fabric.add_argument(
+        "--dump-config",
+        action="store_true",
+        help="print the effective fabric config as JSON and exit",
+    )
+    fabric.set_defaults(fn=cmd_fabric)
 
     return parser
 

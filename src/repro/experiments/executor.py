@@ -178,9 +178,18 @@ def _worker_init(specs: Tuple[AppSpec, ...], cache_dir: Optional[str] = None) ->
     shared on-disk store and writes completed runs through it — entries
     are content-addressed and published atomically, so concurrent
     writers are safe (identical keys produce identical bytes).
+
+    Any service route inherited from the parent (fork start method
+    copies module globals) is cleared first: workers execute locally
+    by design, and N processes multiplexing the parent's one daemon
+    socket would corrupt the NDJSON stream (interleaved request ids).
+    ``--via-service``/``--via-fleet`` routing happens in the parent,
+    before jobs are ever fanned out.
     """
     from repro.experiments.harness import compiled_app
+    from repro.service.routing import clear_service_route
 
+    clear_service_route()
     if cache_dir is not None:
         from repro.store import configure
 
@@ -221,14 +230,17 @@ def _execute_chunk(chunk: Sequence[Job], batch: Optional[int] = None) -> List[ob
     :func:`~repro.experiments.harness.run_keys_batch` execution.  Jobs
     are never reordered, so results stay in submission order and the
     figure drivers' left-to-right accumulation is untouched.  When a
-    service route is active, jobs keep going through it one by one —
-    ``--via-service`` intent wins over local batching.
+    usable service route is active, jobs keep going through it one by
+    one — ``--via-service``/``--via-fleet`` intent wins over local
+    batching; a route that lost its fleet mid-campaign no longer
+    counts, so local batching resumes for the remaining chunks.
     """
     if batch is None or batch <= 1:
         return [_execute_job(job) for job in chunk]
     from repro.experiments.harness import _service_route
 
-    if _service_route() is not None:
+    route = _service_route()
+    if route is not None and not getattr(route, "lost", False):
         return [_execute_job(job) for job in chunk]
     results: List[object] = []
     index = 0

@@ -15,10 +15,18 @@ The harness is what every table/figure driver builds on:
   precise (baseline-configuration) output for the same workload seed.
 * :func:`mean_qos` — mean error over N seeds (Figure 5 runs 20); with
   ``jobs > 1`` the seeds fan out across a process pool through
-  :mod:`repro.experiments.executor` with bit-identical results.
+  :mod:`repro.experiments.executor`, and ``batch > 1`` sweeps seed
+  blocks through one vectorized execution each — bit-identical results
+  either way.
 * :func:`clear_caches` — reset the compiled-program and precise-output
   caches *and* close the active run store, so test runs cannot leak
   state across configurations.
+
+When a service route is installed (:mod:`repro.service.routing`;
+``repro experiments --via-service`` or ``--via-fleet``), eligible
+:func:`qos_error` / :func:`mean_qos` queries go to a running daemon or
+fabric coordinator instead of simulating locally — same floats, pinned
+by ``tests/test_service.py`` and ``tests/test_fabric_fleet.py``.
 """
 
 from __future__ import annotations
@@ -271,10 +279,12 @@ def qos_error(
     workload_seed)`` keywords or a single :class:`RunKey`.
 
     When a service route is installed (``repro experiments
-    --via-service``) and the key is expressible on the wire protocol,
-    the query goes to the running daemon instead of simulating locally;
-    daemon answers are bit-identical, so the float is the same either
-    way.
+    --via-service`` or ``--via-fleet``) and the key is expressible on
+    the wire protocol, the query goes to the running daemon (or fabric
+    coordinator) instead of simulating locally; routed answers are
+    bit-identical, so the float is the same either way.  A fallback
+    route (``--via-fleet``) that loses its service mid-query returns
+    ``None`` once and goes quiet; the run then executes locally.
     """
     if isinstance(spec, RunKey):
         key = spec
@@ -289,7 +299,9 @@ def qos_error(
         )
     route = _service_route()
     if route is not None and route.accepts(key):
-        return route.qos(key)
+        value = route.qos(key)
+        if value is not None:
+            return value
     reference = precise_output(key.spec, key.workload_seed)
     approx = run_key(key).output
     return key.spec.qos(reference, approx)
@@ -328,11 +340,16 @@ def mean_qos(
         ]
         if route.accepts(keys[0]):
             # One batched round trip: the daemon answers cached cells
-            # inline and fans misses across its warm workers.  Same
+            # inline and fans misses across its warm workers (a fabric
+            # coordinator fans them across its fleet).  Same
             # left-to-right accumulation, so the mean is bit-identical.
             from repro.experiments.executor import mean_of
 
-            return mean_of(route.qos_batch(keys))
+            errors = route.qos_batch(keys)
+            if errors is not None:
+                return mean_of(errors)
+            # The service was lost mid-campaign (fallback routes only):
+            # fall through, so --jobs/--batch compose locally from here.
     if jobs is not None and jobs > 1:
         from repro.experiments.executor import mean_of, qos_errors
 

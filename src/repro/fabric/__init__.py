@@ -1,0 +1,53 @@
+"""Distributed campaign fabric: shard a RunKey grid over a daemon fleet.
+
+The fabric is the horizontal-scale layer above the PR-4 simulation
+daemon (:mod:`repro.service`).  One coordinator process
+(``repro fabric serve``) fronts a fleet of ordinary ``repro serve``
+nodes, each with its own run store, and makes them answer campaigns as
+if they were one daemon:
+
+- :mod:`repro.fabric.hashring` — the consistent-hash :class:`ShardMap`
+  assigning every RunKey digest a home node (and a deterministic
+  succession order for failover), stable under node join/leave.
+- :mod:`repro.fabric.client` — :class:`FleetClient`, the coordinator's
+  multi-connection fan-out: one pipelined work channel plus one
+  control channel per node, hedged re-dispatch of stragglers, and
+  store-entry replication over ``store_pull``/``store_push``.
+- :mod:`repro.fabric.coordinator` — :class:`FabricCoordinator`, a TCP
+  server speaking a superset of the daemon's NDJSON protocol (so the
+  plain :class:`~repro.service.ServiceClient` and harness routing work
+  unchanged against it), plus fleet-wide ``/metrics`` aggregation.
+- :mod:`repro.fabric.protocol` — the wire-protocol catalog (message
+  types, error codes, metric names) that FABRIC.md documents and
+  ``tests/test_docs.py`` holds in sync.
+
+Layer map: ``fabric`` sits above ``service`` (it is a client of many
+daemons and a server of the same protocol) and below nothing — the
+harness reaches it through the ordinary service route
+(``repro experiments --via-fleet HOST:PORT``).  Every answer is
+bit-identical to the serial harness; FABRIC.md specifies the protocol,
+shard map exchange, and failure semantics.
+"""
+
+from repro.fabric.client import FleetClient, FleetError, NodeAddress
+from repro.fabric.coordinator import FabricConfig, FabricCoordinator
+from repro.fabric.hashring import ShardMap
+from repro.fabric.protocol import (
+    FABRIC_PROTOCOL_VERSION,
+    ERROR_CODES,
+    MESSAGE_TYPES,
+    METRIC_NAMES,
+)
+
+__all__ = [
+    "FABRIC_PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "MESSAGE_TYPES",
+    "METRIC_NAMES",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FleetClient",
+    "FleetError",
+    "NodeAddress",
+    "ShardMap",
+]

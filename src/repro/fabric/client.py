@@ -1,0 +1,592 @@
+"""The coordinator's fan-out: pipelined connections to a daemon fleet.
+
+A :class:`FleetClient` owns, per node, **two** TCP connections to the
+PR-4 daemon (which serves each connection's lines strictly in order):
+
+- the **work channel** carries ``batch`` dispatches — pipelined, so
+  several coordinator threads can have batches in flight on one node
+  and responses return FIFO;
+- the **control channel** carries everything latency-sensitive
+  (``healthz``/``metrics``/``config``/``store_pull``/``store_push``),
+  which must never queue behind a multi-second batch.
+
+On top of the channels sits the sharded dispatch loop
+(:meth:`FleetClient.submit_items`):
+
+1. every item's RunKey digest is computed locally and grouped by its
+   home node under the current :class:`~repro.fabric.hashring.ShardMap`;
+2. all groups dispatch concurrently (one ``batch`` per home node);
+3. a group still unanswered after the **hedge deadline** is re-sent to
+   the home's ring successor and the first complete answer wins (the
+   answers are interchangeable: runs are pure functions of their key,
+   and daemons coalesce/store-deduplicate, so duplicate execution is
+   wasted work at worst, never wrong results);
+4. a node whose connection dies is marked dead, the shard map is
+   rebuilt over the survivors (consistent hashing: only the dead
+   node's keys move), and its unanswered items re-dispatch — the
+   **failover** path;
+5. when a non-home node answers a group, the resulting store entries
+   (plus their precise-reference entries) are **replicated** to the
+   home shard over the control channels, so the fleet converges on
+   every key living where the map says it lives.
+
+Per-item results come back daemon-shaped (``{"ok": ..., "result" |
+"error": ...}``) in input order; transport failures never surface as
+exceptions from ``submit_items`` unless the whole fleet is gone.
+FABRIC.md documents the protocol and these semantics; the counters
+emitted through ``on_event`` are catalogued in
+:mod:`repro.fabric.protocol`.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.hashring import DEFAULT_VNODES, ShardMap
+from repro.fabric.protocol import ERROR_FLEET_UNAVAILABLE, OP_STORE_PULL, OP_STORE_PUSH
+from repro.service.client import ServiceError
+from repro.service.protocol import (
+    ERROR_DRAINING,
+    ProtocolError,
+    SimRequest,
+    decode_line,
+    encode_line,
+    error_response,
+)
+
+__all__ = ["FleetClient", "FleetError", "NodeAddress"]
+
+
+class FleetError(ServiceError):
+    """A fleet-level failure (unreachable node at boot, fleet lost)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeAddress:
+    """One daemon's address; its ``label`` is the shard-map identity."""
+
+    host: str
+    port: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeAddress":
+        host, _, port = text.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"expected HOST:PORT, got {text!r}")
+        return cls(host=host, port=int(port))
+
+
+class _Pending:
+    """One in-flight request: a rendezvous for its response line."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+        self.error: Optional[Exception] = None
+
+    def done(self) -> bool:
+        return self.event.is_set()
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        return self.event.wait(timeout)
+
+
+class _Channel:
+    """One pipelined NDJSON connection with a reader thread.
+
+    Sends are serialised by a lock; responses are matched FIFO against
+    the pending queue (the daemon answers one connection's lines in
+    order) and the echoed ``id`` is verified.  A transport failure
+    fails every pending request and marks the channel dead.
+    """
+
+    def __init__(self, address: NodeAddress, purpose: str, connect_timeout: float) -> None:
+        self.address = address
+        try:
+            self._sock = socket.create_connection(
+                (address.host, address.port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise FleetError(
+                f"cannot reach fleet node {address.label} ({purpose} channel): "
+                f"{exc} (is 'repro serve' running there?)"
+            ) from exc
+        self._sock.settimeout(None)  # the reader thread blocks; hedging times out
+        self._reader_file = self._sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: "collections.deque[Tuple[int, _Pending]]" = collections.deque()
+        self._next_id = 0
+        self.alive = True
+        self._reader = threading.Thread(
+            target=self._reader_loop,
+            name=f"fabric-{purpose}-{address.label}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, object]) -> _Pending:
+        """Send one message; returns immediately with its rendezvous."""
+        pending = _Pending()
+        with self._send_lock:
+            if not self.alive:
+                pending.error = FleetError(
+                    f"fleet node {self.address.label} is down"
+                )
+                pending.event.set()
+                return pending
+            self._next_id += 1
+            request_id = self._next_id
+            with self._pending_lock:
+                self._pending.append((request_id, pending))
+            try:
+                self._sock.sendall(encode_line(dict(message, id=request_id)))
+            except OSError as exc:
+                self._fail_all(FleetError(
+                    f"fleet node {self.address.label} send failed: {exc}"
+                ))
+        return pending
+
+    def roundtrip(self, message: Dict[str, object], timeout: Optional[float]) -> dict:
+        """Send and block for the response (control-channel traffic)."""
+        pending = self.request(message)
+        if not pending.wait(timeout):
+            raise FleetError(
+                f"fleet node {self.address.label} did not answer within {timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        return pending.response
+
+    # ------------------------------------------------------------------
+    def _reader_loop(self) -> None:
+        while True:
+            try:
+                line = self._reader_file.readline()
+            except OSError as exc:
+                self._fail_all(FleetError(
+                    f"fleet node {self.address.label} read failed: {exc}"
+                ))
+                return
+            if not line:
+                self._fail_all(FleetError(
+                    f"fleet node {self.address.label} closed the connection"
+                ))
+                return
+            try:
+                response = decode_line(line)
+            except ProtocolError as exc:
+                self._fail_all(FleetError(
+                    f"fleet node {self.address.label} sent garbage: {exc}"
+                ))
+                return
+            with self._pending_lock:
+                expected = self._pending.popleft() if self._pending else None
+            if expected is None or response.get("id") != expected[0]:
+                self._fail_all(FleetError(
+                    f"fleet node {self.address.label} answered out of order "
+                    f"(got id {response.get('id')!r})"
+                ))
+                return
+            expected[1].response = response
+            expected[1].event.set()
+
+    def retire(self, error: Exception) -> None:
+        """Mark the channel dead from outside the reader thread.
+
+        Used when the node itself announces it is leaving (a
+        ``draining`` refusal): the socket may still be open, but no
+        further traffic should be sent on it.
+        """
+        with self._send_lock:
+            self._fail_all(error)
+
+    def _fail_all(self, error: Exception) -> None:
+        self.alive = False
+        with self._pending_lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        for _, entry in pending:
+            entry.error = error
+            entry.event.set()
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _Node:
+    """One fleet member: its address and two channels."""
+
+    def __init__(self, address: NodeAddress, connect_timeout: float) -> None:
+        self.address = address
+        self.label = address.label
+        self.work = _Channel(address, "work", connect_timeout)
+        self.control = _Channel(address, "control", connect_timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self.work.alive and self.control.alive
+
+    def close(self) -> None:
+        self.work.close()
+        self.control.close()
+
+
+class _WorkItem:
+    """One campaign item with its routing identity."""
+
+    __slots__ = ("index", "item", "digest", "ref_digest", "rounds")
+
+    def __init__(self, index: int, item: dict, digest: str, ref_digest: Optional[str]) -> None:
+        self.index = index
+        self.item = item
+        self.digest = digest
+        self.ref_digest = ref_digest
+        self.rounds = 0
+
+
+def _routing_digest(item: dict) -> Tuple[str, Optional[str]]:
+    """(shard digest, precise-reference digest) for one wire item.
+
+    Raises :class:`~repro.service.protocol.ProtocolError` for items the
+    daemon would reject anyway.  Crash probes (test-only) cannot
+    resolve a RunKey; they shard on a hash of their seed instead and
+    never replicate.
+    """
+    request = SimRequest.from_wire(item)
+    if request.is_crash_probe:
+        material = f"crash:{request.fault_seed}:{request.workload_seed}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest(), None
+    try:
+        key = request.resolve_key()
+    except KeyError as exc:
+        # from_wire only checks shape; an unknown app name surfaces here.
+        raise ProtocolError(str(exc.args[0] if exc.args else exc)) from None
+    return key.digest, key.precise_reference().digest
+
+
+class FleetClient:
+    """Sharded, hedged, replicating access to a fleet of daemons.
+
+    ``on_event(name, amount)`` receives the counter increments
+    catalogued in :data:`repro.fabric.protocol.METRIC_NAMES`; the
+    coordinator points it at its metrics registry.
+    """
+
+    #: Poll interval while racing a hedged dispatch against its home.
+    _RACE_TICK_S = 0.01
+
+    def __init__(
+        self,
+        addresses: Sequence[NodeAddress],
+        vnodes: int = DEFAULT_VNODES,
+        hedge_s: Optional[float] = 15.0,
+        timeout: Optional[float] = 300.0,
+        connect_timeout: float = 5.0,
+        on_event: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        if not addresses:
+            raise FleetError("a fleet needs at least one node")
+        labels = [address.label for address in addresses]
+        if len(set(labels)) != len(labels):
+            raise FleetError(f"duplicate fleet nodes: {sorted(labels)}")
+        self.hedge_s = hedge_s
+        self.timeout = timeout
+        self.vnodes = vnodes
+        self._on_event = on_event or (lambda name, amount: None)
+        self._nodes: Dict[str, _Node] = {}
+        try:
+            for address in addresses:
+                self._nodes[address.label] = _Node(address, connect_timeout)
+        except FleetError:
+            self.close()
+            raise
+        self._map_lock = threading.Lock()
+        self._map = ShardMap(list(self._nodes), vnodes=vnodes)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _event(self, name: str, amount: int = 1) -> None:
+        self._on_event(name, amount)
+
+    def alive_labels(self) -> List[str]:
+        return [label for label, node in self._nodes.items() if node.alive]
+
+    def shard_map(self) -> ShardMap:
+        """The current map (over live nodes), rebuilt after deaths."""
+        with self._map_lock:
+            alive = self.alive_labels()
+            if not alive:
+                raise FleetError("every fleet node is down")
+            if set(alive) != set(self._map.nodes):
+                # Consistent hashing: this rebuild moves only the dead
+                # nodes' keys — every warm store keeps its shard.
+                self._map = ShardMap(alive, vnodes=self.vnodes)
+            return self._map
+
+    def _retire_node(self, label: str) -> None:
+        """Drop a node that announced it is draining (leaving the fleet)."""
+        reason = FleetError(f"fleet node {label} is draining")
+        node = self._nodes[label]
+        node.work.retire(reason)
+        node.control.retire(reason)
+        self._event("fabric.node_errors")
+
+    def _successor(self, shard_map: ShardMap, digest: str, after: str) -> Optional[str]:
+        """The first live node after ``after`` in the succession order."""
+        for label in shard_map.succession(digest):
+            if label != after and self._nodes[label].alive:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    # The sharded dispatch loop
+    # ------------------------------------------------------------------
+    def submit_items(self, items: Sequence[dict]) -> List[dict]:
+        """Run every item on its home shard; results in input order.
+
+        Each result is daemon-shaped: ``{"ok": True, "result": {...}}``
+        or ``{"ok": False, "error": {...}}``.  Items that every live
+        node failed to answer carry the ``fleet_unavailable`` code.
+        """
+        results: List[Optional[dict]] = [None] * len(items)
+        work: List[_WorkItem] = []
+        for index, item in enumerate(items):
+            try:
+                digest, ref_digest = _routing_digest(item)
+            except ProtocolError as exc:
+                self._event("fabric.bad_requests")
+                results[index] = error_response(None, exc.code, str(exc))
+                continue
+            work.append(_WorkItem(index, item, digest, ref_digest))
+        self._event("fabric.items_total", len(work))
+
+        max_rounds = len(self._nodes) + 1
+        while work:
+            try:
+                shard_map = self.shard_map()
+            except FleetError as exc:
+                for entry in work:
+                    results[entry.index] = error_response(
+                        None, ERROR_FLEET_UNAVAILABLE, str(exc)
+                    )
+                break
+            groups: Dict[str, List[_WorkItem]] = {}
+            for entry in work:
+                entry.rounds += 1
+                if entry.rounds > max_rounds:
+                    results[entry.index] = error_response(
+                        None,
+                        ERROR_FLEET_UNAVAILABLE,
+                        f"no fleet node answered after {max_rounds} dispatch rounds",
+                    )
+                    continue
+                groups.setdefault(shard_map.assign(entry.digest), []).append(entry)
+            if not groups:
+                break
+            # Phase 1 — dispatch every group concurrently.
+            dispatched = []
+            for home, members in sorted(groups.items()):
+                node = self._nodes[home]
+                pending = node.work.request(
+                    {"op": "batch", "items": [m.item for m in members]}
+                )
+                dispatched.append((home, members, pending))
+            # Phase 2 — collect, hedging stragglers.
+            work = []
+            for home, members, pending in dispatched:
+                retry = self._collect_group(shard_map, home, members, pending, results)
+                work.extend(retry)
+        return [
+            result
+            if result is not None
+            else error_response(None, ERROR_FLEET_UNAVAILABLE, "item was never answered")
+            for result in results
+        ]
+
+    def _collect_group(
+        self,
+        shard_map: ShardMap,
+        home: str,
+        members: List[_WorkItem],
+        pending: _Pending,
+        results: List[Optional[dict]],
+    ) -> List[_WorkItem]:
+        """Wait for one group, hedging and failing over; returns retries."""
+        deadline = time.monotonic() + self.timeout if self.timeout else None
+        hedge_pending: Optional[_Pending] = None
+        hedge_label: Optional[str] = None
+        if self.hedge_s is not None and not pending.wait(self.hedge_s):
+            hedge_label = self._successor(shard_map, members[0].digest, home)
+            if hedge_label is not None:
+                self._event("fabric.hedged", len(members))
+                hedge_pending = self._nodes[hedge_label].work.request(
+                    {"op": "batch", "items": [m.item for m in members]}
+                )
+        winner_label: Optional[str] = None
+        winner: Optional[_Pending] = None
+        while True:
+            if pending.done() and pending.error is None:
+                winner_label, winner = home, pending
+                break
+            if hedge_pending is not None and hedge_pending.done() and hedge_pending.error is None:
+                winner_label, winner = hedge_label, hedge_pending
+                break
+            home_failed = pending.done() and pending.error is not None
+            hedge_failed = hedge_pending is None or (
+                hedge_pending.done() and hedge_pending.error is not None
+            )
+            if home_failed and hedge_failed:
+                self._event("fabric.node_errors")
+                self._event("fabric.failovers", len(members))
+                return members  # the dead channel already marked its node
+            if deadline is not None and time.monotonic() > deadline:
+                for entry in members:
+                    results[entry.index] = error_response(
+                        None,
+                        ERROR_FLEET_UNAVAILABLE,
+                        f"fleet node {home} did not answer within {self.timeout}s",
+                    )
+                return []
+            # Race tick: wait on the likelier channel briefly.
+            (hedge_pending if home_failed else pending).wait(self._RACE_TICK_S)
+        response = winner.response
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            if error.get("code") == ERROR_DRAINING:
+                # "resubmit elsewhere" — the coordinator IS the
+                # resubmitter.  Retire the node (it is leaving the
+                # fleet) so the shard map rebuilds without it, and
+                # fail this group over to the survivors.
+                self._retire_node(winner_label)
+                self._event("fabric.failovers", len(members))
+                return members
+            # Any other structured whole-batch refusal (bad items):
+            # relay it per item — the node is alive and authoritative.
+            self._event("fabric.node_errors")
+            for entry in members:
+                results[entry.index] = {"ok": False, "error": dict(error)}
+            return []
+        answers = response.get("results")
+        if not isinstance(answers, list) or len(answers) != len(members):
+            self._event("fabric.node_errors")
+            self._event("fabric.failovers", len(members))
+            return members
+        # Admission is per item, so a node that started draining
+        # mid-batch refuses item-by-item inside an ok envelope.
+        retries: List[_WorkItem] = []
+        for entry, answer in zip(members, answers):
+            if (
+                not answer.get("ok")
+                and (answer.get("error") or {}).get("code") == ERROR_DRAINING
+            ):
+                retries.append(entry)
+            else:
+                results[entry.index] = answer
+        if retries:
+            self._retire_node(winner_label)
+            self._event("fabric.failovers", len(retries))
+        if winner_label != home:
+            self._replicate_group(winner_label, home, members, answers)
+        return retries
+
+    # ------------------------------------------------------------------
+    # Store-entry replication (misrouted answers find their home shard)
+    # ------------------------------------------------------------------
+    def _replicate_group(
+        self,
+        source: str,
+        home: str,
+        members: List[_WorkItem],
+        answers: List[dict],
+    ) -> None:
+        """Copy a group's entries (and references) to the home shard."""
+        if not self._nodes[home].alive:
+            return
+        digests: List[str] = []
+        seen = set()
+        for entry, answer in zip(members, answers):
+            if not answer.get("ok"):
+                continue
+            for digest in (entry.digest, entry.ref_digest):
+                if digest is not None and digest not in seen:
+                    seen.add(digest)
+                    digests.append(digest)
+        for digest in digests:
+            if not self.replicate_entry(digest, source, home):
+                self._event("fabric.replication_failures")
+            else:
+                self._event("fabric.replicated_entries")
+
+    def replicate_entry(self, digest: str, source: str, target: str) -> bool:
+        """Pull ``digest`` from ``source`` and push it to ``target``."""
+        try:
+            pulled = self._nodes[source].control.roundtrip(
+                {"op": OP_STORE_PULL, "digest": digest}, self.timeout
+            )
+            entry = pulled.get("entry") if pulled.get("ok") else None
+            if entry is None:
+                return False
+            pushed = self._nodes[target].control.roundtrip(
+                {"op": OP_STORE_PUSH, "entry": entry}, self.timeout
+            )
+            return bool(pushed.get("ok")) and bool(pushed.get("stored"))
+        except (FleetError, KeyError):
+            return False
+
+    # ------------------------------------------------------------------
+    # Control-plane fan-out
+    # ------------------------------------------------------------------
+    def _control_payload(self, op: str, field: str, timeout: float) -> Dict[str, dict]:
+        """One control op against every live node; label -> payload/error."""
+        payloads: Dict[str, dict] = {}
+        for label, node in sorted(self._nodes.items()):
+            if not node.alive:
+                payloads[label] = {"error": "node is down"}
+                continue
+            try:
+                response = node.control.roundtrip({"op": op}, timeout)
+            except FleetError as exc:
+                payloads[label] = {"error": str(exc)}
+                continue
+            if response.get("ok"):
+                payloads[label] = response.get(field)
+            else:
+                payloads[label] = {"error": response.get("error")}
+        return payloads
+
+    def fleet_healthz(self, timeout: float = 5.0) -> Dict[str, dict]:
+        return self._control_payload("healthz", "healthz", timeout)
+
+    def fleet_metrics(self, timeout: float = 30.0) -> Dict[str, dict]:
+        return self._control_payload("metrics", "metrics", timeout)
+
+    def fleet_config(self, timeout: float = 5.0) -> Dict[str, dict]:
+        return self._control_payload("config", "config", timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for node in self._nodes.values():
+            node.close()

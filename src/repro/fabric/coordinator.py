@@ -1,0 +1,401 @@
+"""The campaign coordinator: one daemon-shaped front for a whole fleet.
+
+``repro fabric serve`` boots a :class:`FabricCoordinator`: a TCP
+server that speaks the **same NDJSON protocol as a single daemon**
+(:mod:`repro.service.protocol`) — ``submit``, ``batch``, ``healthz``,
+``metrics``, ``config``, plus the coordinator-only ``shards`` op — and
+answers by sharding the work across its fleet through a
+:class:`~repro.fabric.client.FleetClient`.  Because the wire surface
+is a superset of the daemon's, everything that can talk to
+``repro serve`` (the :class:`~repro.service.ServiceClient`,
+``repro submit``, harness routing, ``curl``) talks to a coordinator
+unchanged; the transport (:class:`~repro.service.server._Handler`) is
+reused outright rather than reimplemented.
+
+What the coordinator adds over a lone daemon:
+
+- **Sharding** — every item executes on the home node its RunKey
+  digest hashes to, so each node's run store warms exactly its shard
+  of the keyspace (FABRIC.md § shard map).
+- **Hedging & failover** — stragglers re-dispatch to the ring
+  successor after the hedge deadline; dead nodes' keys move (and only
+  those keys move) to the survivors.
+- **Replication** — entries answered off their home shard are copied
+  home over ``store_pull``/``store_push``.
+- **Fleet metrics** — ``/metrics`` merges every node's
+  :class:`~repro.observability.metrics.MetricsRegistry` (the PR-2
+  monoid: exact integer addition) with the coordinator's own
+  ``fabric.*`` counters, and nests per-node gauges.
+
+Results are bit-identical to the serial harness: nodes answer from
+the same store/execution code paths the harness uses, and the
+coordinator never transforms a result payload, only routes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.fabric.client import FleetClient, FleetError, NodeAddress
+from repro.fabric.hashring import DEFAULT_VNODES
+from repro.fabric.protocol import (
+    ERROR_FLEET_UNAVAILABLE,
+    FABRIC_PROTOCOL_VERSION,
+    OP_SHARDS,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DRAINING,
+    error_response,
+    ok_response,
+)
+from repro.service.server import _Handler, _TCPServer, _percentile
+
+__all__ = ["DEFAULT_FABRIC_PORT", "FabricConfig", "FabricCoordinator"]
+
+#: One above the daemon's default port: a laptop fleet is
+#: ``repro serve --port 7737``, ``--port 7738``, … with the
+#: coordinator on the next round number up.
+DEFAULT_FABRIC_PORT = 7747
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricConfig:
+    """Validated coordinator configuration (``repro fabric serve``)."""
+
+    nodes: Tuple[str, ...]
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_FABRIC_PORT
+    #: Ring points per node (see :mod:`repro.fabric.hashring`).
+    vnodes: int = DEFAULT_VNODES
+    #: Straggler hedge deadline; ``0`` hedges immediately, ``None``
+    #: never hedges.  Milliseconds, like the daemon's deadline knob.
+    hedge_ms: Optional[int] = 15000
+    #: Per-dispatch ceiling before an item fails fleet_unavailable.
+    timeout_s: float = 300.0
+    connect_timeout_s: float = 5.0
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ReproError("fabric: at least one --node is required")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ReproError(f"fabric: duplicate nodes: {sorted(self.nodes)}")
+        for node in self.nodes:
+            try:
+                NodeAddress.parse(node)
+            except ValueError as exc:
+                raise ReproError(f"fabric: {exc}") from None
+        if self.port < 0 or self.port > 65535:
+            raise ReproError(f"fabric: invalid port {self.port}")
+        if self.vnodes < 1:
+            raise ReproError("fabric: --vnodes must be >= 1")
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise ReproError("fabric: --hedge-ms must be >= 0")
+        if self.timeout_s <= 0:
+            raise ReproError("fabric: timeout must be positive")
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["nodes"] = list(self.nodes)
+        return payload
+
+
+class FabricCoordinator:
+    """The resident coordinator behind ``repro fabric serve``.
+
+    Mirrors the daemon's lifecycle surface (:meth:`start`,
+    :meth:`initiate_drain`, :meth:`drain`, :meth:`stop`, the ``with``
+    statement) so ``repro fabric serve`` reuses the signal-driven
+    serve loop of ``repro serve``.  :meth:`handle_message` is the
+    transport-free core, exactly like
+    :class:`~repro.service.server.SimulationServer`.
+    """
+
+    def __init__(self, config: FabricConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._fleet: Optional[FleetClient] = None
+        self._tcp: Optional[_TCPServer] = None
+        self._tcp_thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._started_at: Optional[float] = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Connect to every node, then start the listener.
+
+        An unreachable node at boot is a hard error (a typo'd --node
+        must not silently shrink the fleet); nodes lost *after* boot
+        fail over instead.
+        """
+        hedge_s = (
+            self.config.hedge_ms / 1000.0 if self.config.hedge_ms is not None else None
+        )
+        self._fleet = FleetClient(
+            [NodeAddress.parse(node) for node in self.config.nodes],
+            vnodes=self.config.vnodes,
+            hedge_s=hedge_s,
+            timeout=self.config.timeout_s,
+            connect_timeout=self.config.connect_timeout_s,
+            on_event=self._inc,
+        )
+        self._tcp = _TCPServer((self.config.host, self.config.port), _Handler)
+        self._tcp.simulation_server = self
+        self._tcp_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-fabric-accept", daemon=True
+        )
+        self._tcp_thread.start()
+        self._started_at = time.monotonic()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._tcp is None:
+            raise RuntimeError("coordinator is not started")
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def initiate_drain(self) -> None:
+        self._draining = True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    return True
+            time.sleep(0.02)
+        with self._inflight_lock:
+            return self._inflight == 0
+
+    def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+            self._tcp = None
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
+
+    def __enter__(self) -> "FabricCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.initiate_drain()
+        self.drain(timeout=5)
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe_latency(self, started_at: float) -> None:
+        elapsed_ms = (time.monotonic() - started_at) * 1000.0
+        with self._metrics_lock:
+            self.metrics.histogram("fabric.latency_ms").observe(int(elapsed_ms))
+
+    # ------------------------------------------------------------------
+    # The transport-free request core (duck-typed like SimulationServer)
+    # ------------------------------------------------------------------
+    def handle_message(self, message: dict) -> dict:
+        op = message.get("op")
+        request_id = message.get("id")
+        if op == "submit":
+            return self._handle_submit(message, request_id)
+        if op == "batch":
+            return self._handle_batch(message, request_id)
+        if op == "healthz":
+            return ok_response(request_id, "healthz", self.healthz_payload())
+        if op == "metrics":
+            return ok_response(request_id, "metrics", self.metrics_payload())
+        if op == "config":
+            return ok_response(request_id, "config", self.config_payload())
+        if op == OP_SHARDS:
+            return ok_response(request_id, OP_SHARDS, self.shards_payload())
+        self._inc("fabric.bad_requests")
+        return error_response(request_id, ERROR_BAD_REQUEST, f"unknown op {op!r}")
+
+    def _admitted(self):
+        """Draining gate + in-flight accounting for one client request."""
+        if self._draining:
+            return error_response(
+                None, ERROR_DRAINING, "coordinator is draining; resubmit elsewhere"
+            )
+        if self._fleet is None:
+            return error_response(
+                None, ERROR_FLEET_UNAVAILABLE, "coordinator is not connected to a fleet"
+            )
+        return None
+
+    def _handle_submit(self, message: dict, request_id) -> dict:
+        started_at = time.monotonic()
+        self._inc("fabric.requests_total")
+        rejected = self._admitted()
+        if rejected is not None:
+            return dict(rejected, id=request_id) if request_id is not None else rejected
+        item = {
+            name: value
+            for name, value in message.items()
+            if name not in ("op", "id")
+        }
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            answer = self._fleet.submit_items([item])[0]
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+        self._observe_latency(started_at)
+        response = dict(answer)
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _handle_batch(self, message: dict, request_id) -> dict:
+        started_at = time.monotonic()
+        self._inc("fabric.requests_total")
+        self._inc("fabric.batches_total")
+        rejected = self._admitted()
+        if rejected is not None:
+            return dict(rejected, id=request_id) if request_id is not None else rejected
+        items = message.get("items")
+        if not isinstance(items, list) or not items:
+            self._inc("fabric.bad_requests")
+            return error_response(
+                request_id, ERROR_BAD_REQUEST, "'items' must be a non-empty list"
+            )
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            answers = self._fleet.submit_items(items)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+        self._observe_latency(started_at)
+        return ok_response(request_id, "results", answers)
+
+    # ------------------------------------------------------------------
+    # Introspection payloads (NDJSON ops and HTTP GET share these)
+    # ------------------------------------------------------------------
+    def _uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return round(time.monotonic() - self._started_at, 3)
+
+    def healthz_payload(self) -> dict:
+        nodes = self._fleet.fleet_healthz() if self._fleet is not None else {}
+        alive = [label for label, payload in nodes.items() if "error" not in payload]
+        return {
+            "status": "draining" if self._draining else "serving",
+            "role": "coordinator",
+            "protocol": FABRIC_PROTOCOL_VERSION,
+            "uptime_s": self._uptime_s(),
+            "nodes_alive": len(alive),
+            "nodes_total": len(self.config.nodes),
+            "nodes": nodes,
+        }
+
+    def metrics_payload(self) -> dict:
+        """Fleet-wide metrics: the per-node registries merged exactly.
+
+        Counters and histograms are :class:`MetricsRegistry` monoids,
+        so the merged numbers equal what one giant daemon would have
+        counted; per-node gauges/derived values (queue depth, hit
+        ratio) do not form a monoid and are nested per node instead.
+        """
+        node_payloads = self._fleet.fleet_metrics() if self._fleet is not None else {}
+        registries: List[MetricsRegistry] = []
+        per_node: Dict[str, dict] = {}
+        nodes_merged = 0
+        for label, payload in sorted(node_payloads.items()):
+            if "error" in payload and "counters" not in payload:
+                per_node[label] = payload
+                continue
+            registries.append(
+                MetricsRegistry.from_dict(
+                    {
+                        "counters": payload.get("counters", {}),
+                        "histograms": payload.get("histograms", {}),
+                    }
+                )
+            )
+            nodes_merged += 1
+            per_node[label] = {
+                "gauges": payload.get("gauges", {}),
+                "derived": payload.get("derived", {}),
+            }
+        with self._metrics_lock:
+            own = MetricsRegistry.from_dict(self.metrics.as_dict())
+            latency_buckets = dict(self.metrics.histogram("fabric.latency_ms").buckets)
+        merged = MetricsRegistry.merge(registries + [own]).as_dict()
+        counters = merged["counters"]
+        hits = counters.get("service.hits", 0)
+        misses = counters.get("service.misses", 0)
+        answered = hits + misses
+        return {
+            "counters": counters,
+            "histograms": merged["histograms"],
+            "gauges": {
+                "nodes_total": len(self.config.nodes),
+                "nodes_merged": nodes_merged,
+                "uptime_s": self._uptime_s(),
+                "draining": self._draining,
+            },
+            "nodes": per_node,
+            "derived": {
+                "fleet_hit_ratio": round(hits / answered, 6) if answered else None,
+                "fabric_latency_ms": {
+                    "p50": _percentile(latency_buckets, 0.50),
+                    "p99": _percentile(latency_buckets, 0.99),
+                },
+            },
+        }
+
+    def config_payload(self) -> dict:
+        payload = self.config.as_dict()
+        payload["protocol"] = FABRIC_PROTOCOL_VERSION
+        payload["role"] = "coordinator"
+        if self._tcp is not None:
+            payload["address"] = list(self.address)
+        return payload
+
+    def shards_payload(self) -> dict:
+        """The live shard map (the ``shards`` op / ``GET /shards``)."""
+        if self._fleet is None:
+            return {"nodes": [], "vnodes": self.config.vnodes, "alive": {}}
+        try:
+            shard_map = self._fleet.shard_map()
+        except FleetError:
+            return {
+                "nodes": [],
+                "vnodes": self.config.vnodes,
+                "alive": {label: False for label in self.config.nodes},
+            }
+        payload = shard_map.as_dict()
+        alive = set(self._fleet.alive_labels())
+        payload["alive"] = {label: label in alive for label in self.config.nodes}
+        return payload
+
+    def http_payloads(self) -> dict:
+        return {
+            "/healthz": self.healthz_payload,
+            "/metrics": self.metrics_payload,
+            "/config": self.config_payload,
+            "/shards": self.shards_payload,
+        }

@@ -1,0 +1,124 @@
+"""Consistent hashing: RunKey digests onto fleet nodes, stably.
+
+A :class:`ShardMap` places every node at ``vnodes`` pseudo-random
+points on a ring (SHA-256 of ``"node-label#replica"``), and assigns a
+RunKey digest to the first node point at or after the digest's own
+ring position.  Two properties make this the right shard function for
+a campaign fabric (both pinned by ``tests/test_fabric.py``):
+
+- **Determinism** — placement depends only on node labels and the
+  digest, both already canonical SHA-256 material, so every process
+  (coordinator, tests, an operator's one-liner) computes the same map.
+  No ``PYTHONHASHSEED`` sensitivity, no randomness.
+- **Stability** — removing a node reassigns *only* the keys that were
+  homed on it; adding a node steals ~1/N of the keyspace from the
+  others and moves nothing else.  A fleet resize therefore invalidates
+  almost none of the warm per-node stores.
+
+:meth:`ShardMap.succession` yields the distinct-node failover order
+for a digest (home first, then successive ring points), which is the
+hedge/re-dispatch order of :class:`repro.fabric.client.FleetClient`
+and the replication target order documented in FABRIC.md.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_VNODES", "ShardMap"]
+
+#: Ring points per node.  64 keeps the keyspace share per node within
+#: a few percent of 1/N for small fleets while the ring stays tiny
+#: (N*64 sorted ints) — see the balance test in tests/test_fabric.py.
+DEFAULT_VNODES = 64
+
+
+def _ring_position(material: str) -> int:
+    """A point on the ring: the first 8 bytes of SHA-256, big-endian."""
+    return int.from_bytes(
+        hashlib.sha256(material.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardMap:
+    """An immutable consistent-hash ring over a set of node labels.
+
+    ``nodes`` are opaque labels (the fabric uses ``"host:port"``
+    strings); duplicates are rejected.  The map itself never talks to
+    the network — liveness is the caller's concern, the map only
+    answers "where does this digest live, and who is next in line".
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = DEFAULT_VNODES) -> None:
+        labels = list(nodes)
+        if not labels:
+            raise ValueError("a ShardMap needs at least one node")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate node labels: {sorted(labels)}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.nodes: Tuple[str, ...] = tuple(sorted(labels))
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for label in self.nodes:
+            for replica in range(vnodes):
+                points.append((_ring_position(f"{label}#{replica}"), label))
+        # Ties (astronomically unlikely 64-bit collisions) break by
+        # label so the ring order is still a pure function of inputs.
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    # ------------------------------------------------------------------
+    def _start_index(self, digest: str) -> int:
+        position = _ring_position(digest)
+        index = bisect.bisect_left(self._positions, position)
+        return index % len(self._points)
+
+    def assign(self, digest: str) -> str:
+        """The home node label for a RunKey digest."""
+        return self._points[self._start_index(digest)][1]
+
+    def succession(self, digest: str) -> Iterator[str]:
+        """Distinct node labels in failover order (home node first)."""
+        seen = set()
+        start = self._start_index(digest)
+        for offset in range(len(self._points)):
+            label = self._points[(start + offset) % len(self._points)][1]
+            if label not in seen:
+                seen.add(label)
+                yield label
+                if len(seen) == len(self.nodes):
+                    return
+
+    def assign_many(self, digests: Sequence[str]) -> Dict[str, List[str]]:
+        """Group digests by home node (node label -> digests, in order)."""
+        groups: Dict[str, List[str]] = {}
+        for digest in digests:
+            groups.setdefault(self.assign(digest), []).append(digest)
+        return groups
+
+    # ------------------------------------------------------------------
+    def without(self, node: str) -> "ShardMap":
+        """The map after ``node`` leaves (same vnodes)."""
+        if node not in self.nodes:
+            raise ValueError(f"{node!r} is not in this map")
+        remaining = [label for label in self.nodes if label != node]
+        return ShardMap(remaining, vnodes=self.vnodes)
+
+    def with_node(self, node: str) -> "ShardMap":
+        """The map after ``node`` joins (same vnodes)."""
+        return ShardMap(list(self.nodes) + [node], vnodes=self.vnodes)
+
+    def as_dict(self) -> dict:
+        """The wire form served by the coordinator's ``shards`` op."""
+        return {
+            "nodes": list(self.nodes),
+            "vnodes": self.vnodes,
+            "hash": "sha256-64bit",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardMap(nodes={list(self.nodes)}, vnodes={self.vnodes})"

@@ -1,0 +1,94 @@
+"""The fabric wire-protocol catalog: every message type, error, metric.
+
+The coordinator speaks a **superset** of the daemon protocol
+(:mod:`repro.service.protocol`): the same NDJSON framing, the same
+``submit``/``batch``/``healthz``/``metrics``/``config`` ops with the
+same shapes, plus one coordinator-only op (``shards``, the shard-map
+exchange).  That superset design is what lets the plain
+:class:`~repro.service.ServiceClient` — and therefore the entire
+``--via-service`` harness routing — point at a coordinator unchanged.
+
+Node-facing traffic (coordinator -> daemon) is the plain daemon
+protocol plus the two store-exchange ops ``store_pull``/``store_push``
+added alongside the fabric.
+
+This module is deliberately data-only: the catalogs below are the
+single source of truth for what the fabric emits, and
+``tests/test_docs.py`` asserts every entry appears in FABRIC.md — the
+spec cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_DRAINING,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_WORKER_CRASHED,
+    OP_STORE_PULL,
+    OP_STORE_PUSH,
+    PROTOCOL_VERSION,
+)
+
+__all__ = [
+    "FABRIC_PROTOCOL_VERSION",
+    "OP_SHARDS",
+    "ERROR_FLEET_UNAVAILABLE",
+    "MESSAGE_TYPES",
+    "ERROR_CODES",
+    "METRIC_NAMES",
+]
+
+#: The fabric speaks daemon protocol version N as its baseline; its own
+#: version counts the coordinator extensions (shards op, fleet errors).
+FABRIC_PROTOCOL_VERSION = 1
+
+assert PROTOCOL_VERSION == 1, "bump FABRIC_PROTOCOL_VERSION review on daemon bumps"
+
+#: Coordinator-only op: the current shard map (nodes, vnodes, hash fn).
+OP_SHARDS = "shards"
+
+#: Every node in a key's succession order failed (or none are left).
+ERROR_FLEET_UNAVAILABLE = "fleet_unavailable"
+
+#: Every message type the coordinator answers, with the client-facing
+#: response field.  Keys are the wire ``op`` values.
+MESSAGE_TYPES = {
+    "submit": "one simulation request -> {ok, result} (daemon-shaped)",
+    "batch": "a list of items -> {ok, results} in item order",
+    "healthz": "fleet liveness -> {ok, healthz} incl. per-node status",
+    "metrics": "merged fleet metrics -> {ok, metrics}",
+    "config": "coordinator config -> {ok, config}",
+    OP_SHARDS: "the consistent-hash shard map -> {ok, shards}",
+    OP_STORE_PULL: "node-facing: raw entry for a digest -> {ok, entry}",
+    OP_STORE_PUSH: "node-facing: install a raw entry -> {ok, stored}",
+}
+
+#: Every structured error code a coordinator response may carry.  The
+#: daemon codes pass through verbatim when a node's answer is relayed.
+ERROR_CODES = {
+    ERROR_BAD_REQUEST: "malformed request (relayed or coordinator-side)",
+    ERROR_OVERLOADED: "a node's admission queue is full (relayed)",
+    ERROR_DEADLINE: "deadline expired (relayed)",
+    ERROR_DRAINING: "node or coordinator is shutting down",
+    ERROR_WORKER_CRASHED: "a node exhausted its crash-retry budget (relayed)",
+    ERROR_INTERNAL: "unexpected coordinator-side failure",
+    ERROR_FLEET_UNAVAILABLE: "every node in the succession order failed",
+}
+
+#: Every counter/histogram the coordinator's metrics payload adds on
+#: top of the merged per-node registries.
+METRIC_NAMES = {
+    "fabric.requests_total": "client requests admitted (submit items count 1 each)",
+    "fabric.batches_total": "batch ops received",
+    "fabric.items_total": "individual simulation items dispatched to nodes",
+    "fabric.bad_requests": "requests rejected before dispatch",
+    "fabric.hedged": "items re-dispatched to a successor on hedge deadline",
+    "fabric.failovers": "items answered by a non-home node after a node error",
+    "fabric.node_errors": "node-level transport/protocol failures observed",
+    "fabric.replicated_entries": "store entries copied to their home shard",
+    "fabric.replication_failures": "replication attempts that failed",
+    "fabric.latency_ms": "histogram: coordinator-side item latency",
+}

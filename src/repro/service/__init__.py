@@ -16,7 +16,12 @@ Layer map:
   metrics, the TCP/HTTP front end.
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
 * :mod:`repro.service.routing` — optional harness routing
-  (``repro experiments --via-service``).
+  (``repro experiments --via-service`` / ``--via-fleet``).
+
+One daemon is one node; :mod:`repro.fabric` shards campaigns across a
+whole fleet of them behind a coordinator that speaks this same
+protocol (FABRIC.md), including the ``store_pull``/``store_push``
+entry-exchange ops the daemon answers for replication.
 """
 
 from repro.service.client import (

@@ -32,6 +32,8 @@ from repro.service.protocol import (
     ERROR_DEADLINE,
     ERROR_DRAINING,
     ERROR_OVERLOADED,
+    OP_STORE_PULL,
+    OP_STORE_PUSH,
     decode_line,
     encode_line,
 )
@@ -212,6 +214,31 @@ class ServiceClient:
             else:
                 results.append(item.get("error") or {})
         return results
+
+    # ------------------------------------------------------------------
+    def store_pull(self, digest: str) -> Optional[dict]:
+        """The daemon's raw store entry for ``digest``, or ``None``.
+
+        The returned payload is self-validating (digest + checksum) and
+        installable into any store via :meth:`store_push` /
+        :meth:`repro.store.RunStore.put_raw` — the fabric's replication
+        primitive (FABRIC.md).
+        """
+        response = self._roundtrip({"op": OP_STORE_PULL, "digest": digest})
+        if not response.get("ok"):
+            _raise_for_error(response.get("error") or {})
+        return response.get("entry")
+
+    def store_push(self, entry: dict) -> bool:
+        """Install a raw entry payload into the daemon's store.
+
+        ``True`` when the daemon holds the entry afterwards; ``False``
+        when it refused it (invalid payload, or a storeless daemon).
+        """
+        response = self._roundtrip({"op": OP_STORE_PUSH, "entry": entry})
+        if not response.get("ok"):
+            _raise_for_error(response.get("error") or {})
+        return bool(response.get("stored"))
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:

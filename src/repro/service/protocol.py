@@ -22,6 +22,11 @@ The daemon additionally answers minimal ``HTTP GET`` requests for
 ``curl`` works against a running daemon); the bodies are the same JSON
 payloads as the ``healthz`` / ``metrics`` / ``config`` ops.
 
+Two store-exchange ops (``store_pull`` / ``store_push``) move raw,
+self-validating store entries between nodes; they exist for the fabric
+coordinator's replication path (FABRIC.md) but are plain daemon ops
+any client may use.
+
 The full schema — every op, field, error code and metric — is
 documented in SERVICE.md.
 """
@@ -45,6 +50,8 @@ from repro.hardware.config import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "OP_STORE_PULL",
+    "OP_STORE_PUSH",
     "CONFIGS",
     "CRASH_APP",
     "crash_requests_allowed",
@@ -63,6 +70,10 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Store-exchange ops (raw entry replication between nodes).
+OP_STORE_PULL = "store_pull"
+OP_STORE_PUSH = "store_push"
 
 #: Named hardware configurations a request may ask for.
 CONFIGS: Dict[str, HardwareConfig] = {

@@ -1,18 +1,28 @@
 """Optional routing of harness QoS queries through a running daemon.
 
-When a route is installed (``repro experiments --via-service`` does
-this), :func:`repro.experiments.harness.qos_error` sends eligible
-queries to the daemon instead of simulating locally, and
-:func:`~repro.experiments.harness.mean_qos` ships its whole seed range
-as one batch — the daemon answers cached cells inline and fans misses
-across its warm workers.  Daemon answers are bit-identical to local
-execution (same code, same seeds, exact float transport), so routing
-never changes results, only where the work happens.
+When a route is installed (``repro experiments --via-service`` and
+``--via-fleet`` do this), :func:`repro.experiments.harness.qos_error`
+sends eligible queries to the daemon instead of simulating locally,
+and :func:`~repro.experiments.harness.mean_qos` ships its whole seed
+range as one batch — the daemon answers cached cells inline and fans
+misses across its warm workers (or, for a fabric coordinator, across
+its whole fleet).  Daemon answers are bit-identical to local execution
+(same code, same seeds, exact float transport), so routing never
+changes results, only where the work happens.
 
 Eligibility is conservative: only registered suite apps under the
 named protocol configurations route; anything else (test-local specs,
 ablation configs, explicit argument overrides) silently falls back to
 local execution.
+
+A route built with ``fallback_local=True`` (the ``--via-fleet``
+default) additionally survives losing its service mid-campaign: the
+first :class:`~repro.service.ServiceError` marks the route *lost*, the
+query returns ``None``, and the harness re-runs it locally — from then
+on :meth:`ServiceRoute.accepts` answers ``False`` and the campaign
+continues on local execution (``--batch``/``--jobs`` still compose).
+Without the flag a service loss raises, which is the right behaviour
+for ``--via-service`` pointed at one explicit daemon.
 """
 
 from __future__ import annotations
@@ -32,14 +42,28 @@ _ROUTE: Optional["ServiceRoute"] = None
 
 
 class ServiceRoute:
-    """A harness-side view of one :class:`ServiceClient` connection."""
+    """A harness-side view of one :class:`ServiceClient` connection.
 
-    def __init__(self, client) -> None:
+    The client may point at a single daemon or a fabric coordinator —
+    the wire surface is identical (FABRIC.md), so the route cannot and
+    need not tell the difference.
+    """
+
+    def __init__(self, client, fallback_local: bool = False) -> None:
         self._client = client
+        self._fallback_local = fallback_local
+        self._lost = False
 
     # ------------------------------------------------------------------
+    @property
+    def lost(self) -> bool:
+        """True once the service failed and local execution took over."""
+        return self._lost
+
     def accepts(self, key) -> bool:
         """Whether this run can be named on the wire protocol."""
+        if self._lost:
+            return False
         from repro.apps import app_by_name
         from repro.service.protocol import CONFIGS
 
@@ -51,35 +75,60 @@ class ServiceRoute:
         except KeyError:
             return False
 
-    def qos(self, key) -> float:
-        """The daemon-computed QoS error for one run."""
-        return self._client.submit(
-            key.spec.name,
-            key.config.name,
-            fault_seed=key.fault_seed,
-            workload_seed=key.workload_seed,
-        ).qos
+    def _on_service_error(self, error: Exception) -> None:
+        """Mark the route lost, or re-raise for strict routes."""
+        if not self._fallback_local:
+            raise error
+        self._lost = True
 
-    def qos_batch(self, keys: Sequence) -> List[float]:
-        """Per-key QoS errors for a seed range, one batched round trip."""
-        results = self._client.submit_batch(
-            [
-                {
-                    "app": key.spec.name,
-                    "config": key.config.name,
-                    "fault_seed": key.fault_seed,
-                    "workload_seed": key.workload_seed,
-                }
-                for key in keys
-            ]
-        )
+    def qos(self, key) -> Optional[float]:
+        """The daemon-computed QoS error for one run.
+
+        ``None`` means the service was lost mid-query and the caller
+        should execute locally (only possible with ``fallback_local``).
+        """
+        from repro.service.client import ServiceError
+
+        try:
+            return self._client.submit(
+                key.spec.name,
+                key.config.name,
+                fault_seed=key.fault_seed,
+                workload_seed=key.workload_seed,
+            ).qos
+        except ServiceError as error:
+            self._on_service_error(error)
+            return None
+
+    def qos_batch(self, keys: Sequence) -> Optional[List[float]]:
+        """Per-key QoS errors for a seed range, one batched round trip.
+
+        ``None`` signals a lost service exactly like :meth:`qos`.
+        """
+        from repro.service.client import ServiceError
+
+        try:
+            results = self._client.submit_batch(
+                [
+                    {
+                        "app": key.spec.name,
+                        "config": key.config.name,
+                        "fault_seed": key.fault_seed,
+                        "workload_seed": key.workload_seed,
+                    }
+                    for key in keys
+                ]
+            )
+        except ServiceError as error:
+            self._on_service_error(error)
+            return None
         return [result.qos for result in results]
 
 
-def set_service_route(client) -> ServiceRoute:
+def set_service_route(client, fallback_local: bool = False) -> ServiceRoute:
     """Install a route over ``client``; returns it."""
     global _ROUTE
-    _ROUTE = ServiceRoute(client)
+    _ROUTE = ServiceRoute(client, fallback_local=fallback_local)
     return _ROUTE
 
 
@@ -94,11 +143,11 @@ def active_service_route() -> Optional[ServiceRoute]:
 
 
 @contextlib.contextmanager
-def routed(client) -> Iterator[ServiceRoute]:
+def routed(client, fallback_local: bool = False) -> Iterator[ServiceRoute]:
     """Context manager: install a route, restore the previous on exit."""
     global _ROUTE
     previous = _ROUTE
-    route = ServiceRoute(client)
+    route = ServiceRoute(client, fallback_local=fallback_local)
     _ROUTE = route
     try:
         yield route

@@ -51,6 +51,8 @@ from repro.service.protocol import (
     ERROR_DRAINING,
     ERROR_OVERLOADED,
     ERROR_WORKER_CRASHED,
+    OP_STORE_PULL,
+    OP_STORE_PUSH,
     PROTOCOL_VERSION,
     ProtocolError,
     SimRequest,
@@ -168,12 +170,7 @@ class _Handler(socketserver.StreamRequestHandler):
             path = request_line.split()[1].decode("ascii", "replace")
         except IndexError:
             path = "/"
-        payloads = {
-            "/healthz": server.healthz_payload,
-            "/metrics": server.metrics_payload,
-            "/config": server.config_payload,
-        }
-        builder = payloads.get(path.rstrip("/") or path)
+        builder = server.http_payloads().get(path.rstrip("/") or path)
         if builder is None:
             status, payload = "404 Not Found", {"error": f"unknown path {path!r}"}
         else:
@@ -336,6 +333,10 @@ class SimulationServer:
             return ok_response(request_id, "metrics", self.metrics_payload())
         if op == "config":
             return ok_response(request_id, "config", self.config_payload())
+        if op == OP_STORE_PULL:
+            return self._handle_store_pull(message, request_id)
+        if op == OP_STORE_PUSH:
+            return self._handle_store_push(message, request_id)
         self._inc("service.bad_requests")
         return error_response(
             request_id, ERROR_BAD_REQUEST, f"unknown op {op!r}"
@@ -462,6 +463,59 @@ class SimulationServer:
             "trace_summary": entry.trace_summary if request.want_trace_summary else None,
         }
 
+    # ------------------------------------------------------------------
+    # Store-entry exchange (the fabric's replication primitive)
+    # ------------------------------------------------------------------
+    def _handle_store_pull(self, message: dict, request_id) -> dict:
+        """Answer ``store_pull``: the raw entry for a digest, or ``null``.
+
+        A miss is not an error — the fabric probes shards that may or
+        may not hold an entry yet.  A daemon without a store answers
+        ``null`` for everything.
+        """
+        digest = message.get("digest")
+        if not isinstance(digest, str) or not digest:
+            self._inc("service.bad_requests")
+            return error_response(
+                request_id, ERROR_BAD_REQUEST, "missing or invalid 'digest'"
+            )
+        self._inc("service.store_pulls")
+        payload = None
+        if self._store is not None:
+            from repro.store import StoreError
+
+            try:
+                payload = self._store.get_raw(digest)
+            except StoreError:
+                payload = None
+        return ok_response(request_id, "entry", payload)
+
+    def _handle_store_push(self, message: dict, request_id) -> dict:
+        """Answer ``store_push``: install a raw entry into this store.
+
+        The payload is self-validating (digest + checksum), so a
+        corrupt or mismatched push is refused with ``stored: false``
+        rather than poisoning the store.  Pushing to a storeless daemon
+        is also ``stored: false`` — the caller treats it as a failed
+        replication, never a protocol error.
+        """
+        entry = message.get("entry")
+        if not isinstance(entry, dict):
+            self._inc("service.bad_requests")
+            return error_response(
+                request_id, ERROR_BAD_REQUEST, "missing or invalid 'entry' (expected an object)"
+            )
+        self._inc("service.store_pushes")
+        stored = False
+        if self._store is not None:
+            from repro.store import StoreError
+
+            try:
+                stored = self._store.put_raw(entry)
+            except StoreError:
+                stored = False
+        return ok_response(request_id, "stored", stored)
+
     def _await_task(self, task: _Task, request: SimRequest, started_at: float) -> dict:
         """Wait for a task's completion under this waiter's own deadline."""
         deadline_ms = request.deadline_ms
@@ -568,3 +622,12 @@ class SimulationServer:
         if self._tcp is not None:
             payload["address"] = list(self.address)
         return payload
+
+    def http_payloads(self) -> dict:
+        """``HTTP GET`` path -> payload builder (shared with the fabric
+        coordinator, which serves the same paths plus ``/shards``)."""
+        return {
+            "/healthz": self.healthz_payload,
+            "/metrics": self.metrics_payload,
+            "/config": self.config_payload,
+        }

@@ -109,6 +109,13 @@ class GCResult:
     reclaimed_bytes: int
 
 
+def _is_digest(value: object) -> bool:
+    """True when ``value`` is a well-formed SHA-256 hex digest."""
+    if not isinstance(value, str) or len(value) != 64:
+        return False
+    return all(ch in "0123456789abcdef" for ch in value)
+
+
 def _payload_checksum(encoded_output, stats_dict) -> str:
     material = json.dumps(
         {"output": encoded_output, "stats": stats_dict},
@@ -439,6 +446,68 @@ class RunStore:
                 kept += 1
         self._memo.clear()
         return GCResult(removed=removed, kept=kept, reclaimed_bytes=reclaimed)
+
+    # ------------------------------------------------------------------
+    # Raw entry exchange (the fabric's store replication primitive)
+    # ------------------------------------------------------------------
+    def get_raw(self, digest: str) -> Optional[dict]:
+        """The raw wire-safe entry payload for ``digest``, or ``None``.
+
+        Unlike :meth:`get`, no :class:`RunKey` is needed — the digest
+        alone names the entry, which is what lets one store hand an
+        entry to another (``store_pull``/``store_push`` in the fabric's
+        node exchange) without either side re-deriving the key.  The
+        payload is validated (digest match + checksum) before being
+        returned, so a pulled entry is always installable.
+        """
+        self._check_open()
+        if not _is_digest(digest):
+            return None
+        payload = self._read_payload(self._entry_path(digest))
+        if payload is None:
+            return None
+        if self._decode_entry(payload, expect_digest=digest) is None:
+            return None
+        return payload
+
+    def put_raw(self, payload: object) -> bool:
+        """Install a raw entry payload produced by :meth:`get_raw`.
+
+        The payload must be self-consistent — schema version, a
+        64-hex-digit ``digest``, a matching ``payload_sha256`` checksum,
+        and decodable output/stats — or nothing is written and ``False``
+        is returned.  Content addressing makes this safe: a validated
+        payload's bytes are the same bytes any node would have produced
+        for that digest.  An existing entry is kept (first write wins)
+        unless the incoming payload adds a trace summary the resident
+        entry lacks.
+        """
+        self._check_open()
+        if not isinstance(payload, dict):
+            return False
+        digest = payload.get("digest")
+        if not _is_digest(digest):
+            return False
+        entry = self._decode_entry(payload, expect_digest=digest)
+        if entry is None:
+            return False
+        with self._publication_lock():
+            existing_payload = self._read_payload(self._entry_path(digest))
+            if existing_payload is not None:
+                existing = self._decode_entry(existing_payload, expect_digest=digest)
+                if existing is not None and (
+                    existing.trace_summary is not None or entry.trace_summary is None
+                ):
+                    return True
+            try:
+                self._atomic_write(
+                    self._entry_path(digest), json.dumps(payload) + "\n"
+                )
+            except OSError:
+                if not os.path.exists(self._entry_path(digest)):
+                    raise
+        self._memo[digest] = entry
+        return True
 
     # ------------------------------------------------------------------
     def clear_memo(self) -> None:

@@ -31,6 +31,7 @@ DOC_FILES = [
     "EXPERIMENTS.md",
     "OBSERVABILITY.md",
     "SERVICE.md",
+    "FABRIC.md",
     "ANALYSIS.md",
     "ROADMAP.md",
 ]
@@ -141,6 +142,29 @@ def test_analysis_lint_catalog_matches_doc():
     assert f"`\"version\": {PAYLOAD_VERSION}`" in text or (
         f"version {PAYLOAD_VERSION}" in text
     ), "payload version undocumented"
+
+
+def test_fabric_protocol_catalog_matches_doc():
+    """FABRIC.md documents every fabric message type, error code and
+    metric name — the wire-protocol spec cannot drift from the code."""
+    from repro.fabric.protocol import (
+        ERROR_CODES,
+        FABRIC_PROTOCOL_VERSION,
+        MESSAGE_TYPES,
+        METRIC_NAMES,
+    )
+
+    text = _read("FABRIC.md")
+    for op in MESSAGE_TYPES:
+        assert f"`{op}`" in text, f"fabric op {op} undocumented"
+    for code in ERROR_CODES:
+        assert f"`{code}`" in text, f"fabric error code {code} undocumented"
+    for metric in METRIC_NAMES:
+        assert f"`{metric}`" in text, f"fabric metric {metric} undocumented"
+    assert (
+        f"protocol version {FABRIC_PROTOCOL_VERSION}" in text
+        or f"`\"protocol\": {FABRIC_PROTOCOL_VERSION}`" in text
+    ), "fabric protocol version undocumented"
 
 
 def test_observability_schema_constants_match_doc():

@@ -1,0 +1,221 @@
+"""Unit tests for the fabric's consistent-hash shard map.
+
+Pins the properties FABRIC.md promises operators:
+
+* **Determinism** — assignment is a pure function of (node labels,
+  vnodes, digest): identical within a process, across instances, and
+  across *separate Python processes* (no ``PYTHONHASHSEED``
+  sensitivity — SHA-256 all the way down).
+* **Stability under leave** — removing a node reassigns exactly the
+  keys that were homed on it, and every one of them lands on a
+  surviving node; no other key moves.
+* **Stability under join** — adding a node moves keys only *to* the
+  new node (~1/N of the keyspace), never between existing nodes.
+* **Succession** — the failover order starts at the home node, visits
+  every node exactly once, and is itself deterministic.
+* **Balance** — with the default 64 vnodes no node's share of a large
+  keyspace collapses or explodes.
+
+Also covers :class:`NodeAddress` parsing, :class:`FabricConfig`
+validation, and the CLI-vs-package default-constant agreement.
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import cli
+from repro.errors import ReproError
+from repro.fabric import FabricConfig, NodeAddress, ShardMap
+from repro.fabric.coordinator import DEFAULT_FABRIC_PORT
+from repro.fabric.hashring import DEFAULT_VNODES
+
+NODES = ["10.0.0.1:7737", "10.0.0.2:7737", "10.0.0.3:7737", "10.0.0.4:7737"]
+
+
+def _digests(count, salt=""):
+    return [
+        hashlib.sha256(f"{salt}key-{index}".encode()).hexdigest()
+        for index in range(count)
+    ]
+
+
+class TestAssignment:
+    def test_deterministic_within_process(self):
+        digests = _digests(200)
+        first = ShardMap(NODES)
+        second = ShardMap(list(reversed(NODES)))  # order must not matter
+        for digest in digests:
+            assert first.assign(digest) == second.assign(digest)
+
+    def test_deterministic_across_processes(self):
+        """A separate interpreter computes the identical assignment map."""
+        digests = _digests(50)
+        local = {digest: ShardMap(NODES).assign(digest) for digest in digests}
+        script = (
+            "import json,sys;"
+            "from repro.fabric import ShardMap;"
+            "nodes,digests=json.loads(sys.argv[1]);"
+            "m=ShardMap(nodes);"
+            "print(json.dumps({d:m.assign(d) for d in digests}))"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script, json.dumps([NODES, digests])],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert json.loads(output) == local
+
+    def test_cli_shards_matches_package(self):
+        """``repro fabric shards`` prints the same map the package computes."""
+        digests = _digests(8)
+        argv = ["fabric", "shards"]
+        for node in NODES:
+            argv += ["--node", node]
+        for digest in digests:
+            argv += ["--digest", digest]
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert cli.main(argv) == 0
+        payload = json.loads(buffer.getvalue())
+        shard_map = ShardMap(NODES)
+        assert payload["nodes"] == list(shard_map.nodes)
+        assert payload["vnodes"] == DEFAULT_VNODES
+        assert payload["assignments"] == {
+            digest: shard_map.assign(digest) for digest in digests
+        }
+
+    def test_assign_many_groups_in_order(self):
+        digests = _digests(40)
+        shard_map = ShardMap(NODES)
+        groups = shard_map.assign_many(digests)
+        assert sorted(d for group in groups.values() for d in group) == sorted(digests)
+        for node, group in groups.items():
+            # Each group preserves input order and homes where assign says.
+            assert group == [d for d in digests if shard_map.assign(d) == node]
+
+
+class TestStability:
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        digests = _digests(500)
+        before = ShardMap(NODES)
+        departed = NODES[1]
+        after = before.without(departed)
+        for digest in digests:
+            home = before.assign(digest)
+            new_home = after.assign(digest)
+            if home == departed:
+                assert new_home != departed
+            else:
+                assert new_home == home, "a surviving node's key moved"
+
+    def test_leave_moves_keys_to_ring_successors(self):
+        """Orphaned keys land on their pre-departure ring successor."""
+        digests = _digests(500)
+        before = ShardMap(NODES)
+        departed = NODES[2]
+        after = before.without(departed)
+        for digest in digests:
+            if before.assign(digest) != departed:
+                continue
+            succession = [n for n in before.succession(digest) if n != departed]
+            assert after.assign(digest) == succession[0]
+
+    def test_join_moves_keys_only_to_the_new_node(self):
+        digests = _digests(1000)
+        before = ShardMap(NODES)
+        joined = "10.0.0.9:7737"
+        after = before.with_node(joined)
+        moved = 0
+        for digest in digests:
+            home = before.assign(digest)
+            new_home = after.assign(digest)
+            if new_home != home:
+                assert new_home == joined, "a key moved between existing nodes"
+                moved += 1
+        # ~1/(N+1) of the keyspace: allow generous sampling slack.
+        expected = len(digests) / (len(NODES) + 1)
+        assert expected * 0.4 < moved < expected * 1.9
+
+    def test_balance_with_default_vnodes(self):
+        digests = _digests(4000)
+        counts = {
+            node: len(group)
+            for node, group in ShardMap(NODES).assign_many(digests).items()
+        }
+        assert set(counts) == set(NODES), "a node owns no keyspace at all"
+        fair = len(digests) / len(NODES)
+        for node, count in counts.items():
+            assert fair * 0.45 < count < fair * 1.8, (node, count)
+
+
+class TestSuccession:
+    def test_succession_starts_at_home_and_covers_every_node(self):
+        shard_map = ShardMap(NODES)
+        for digest in _digests(50):
+            order = list(shard_map.succession(digest))
+            assert order[0] == shard_map.assign(digest)
+            assert sorted(order) == sorted(NODES)
+
+    def test_succession_is_deterministic(self):
+        digests = _digests(20)
+        first = ShardMap(NODES)
+        second = ShardMap(NODES)
+        for digest in digests:
+            assert list(first.succession(digest)) == list(second.succession(digest))
+
+    def test_single_node_ring(self):
+        shard_map = ShardMap(["solo:1"])
+        digest = _digests(1)[0]
+        assert shard_map.assign(digest) == "solo:1"
+        assert list(shard_map.succession(digest)) == ["solo:1"]
+
+
+class TestValidation:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+        with pytest.raises(ValueError):
+            ShardMap(["a:1", "a:1"])
+        with pytest.raises(ValueError):
+            ShardMap(["a:1"], vnodes=0)
+
+    def test_without_unknown_node(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a:1"]).without("b:2")
+
+    def test_node_address_parsing(self):
+        address = NodeAddress.parse("127.0.0.1:7737")
+        assert (address.host, address.port) == ("127.0.0.1", 7737)
+        assert address.label == "127.0.0.1:7737"
+        for bad in ("7737", "host:", ":7737", "host:port"):
+            with pytest.raises(ValueError):
+                NodeAddress.parse(bad)
+
+    def test_fabric_config_validation(self):
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=())
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=("a:1", "a:1"))
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=("not-an-address",))
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=("a:1",), vnodes=0)
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=("a:1",), hedge_ms=-5)
+        with pytest.raises(ReproError):
+            FabricConfig(nodes=("a:1",), timeout_s=0)
+        config = FabricConfig(nodes=("a:1", "b:2"), hedge_ms=None)
+        assert config.as_dict()["nodes"] == ["a:1", "b:2"]
+
+    def test_cli_defaults_match_package_constants(self):
+        """The argparse defaults must not drift from the fabric package."""
+        assert cli._DEFAULT_FABRIC_PORT == DEFAULT_FABRIC_PORT
+        assert cli._DEFAULT_VNODES == DEFAULT_VNODES

@@ -1,0 +1,372 @@
+"""Multi-node integration tests for the campaign fabric.
+
+A real two-daemon fleet (in-process :class:`SimulationServer`s on real
+sockets, each with its own run store) behind an in-process
+:class:`FabricCoordinator`, pinning the tentpole guarantees:
+
+* a **mixed hit/miss multi-node campaign answers bit-identical to the
+  serial harness** (the acceptance bar), through both the raw
+  ``batch`` op and harness routing (``--via-fleet``),
+* a figure5 row computed through the fleet equals the serial row
+  float for float,
+* items shard across both nodes' stores (each node warms its shard),
+* with the hedge deadline at zero, every entry ends up on its **home
+  shard** no matter which node answered (store-entry replication),
+* killing a node mid-campaign: the survivors answer the rest of the
+  campaign, still bit-identical (consistent hashing moves only the
+  dead node's keys),
+* losing the whole fleet mid-campaign: a ``fallback_local`` route goes
+  quiet and the harness finishes locally, still bit-identical,
+* fleet-wide ``/metrics`` merge exactly one registry per node plus the
+  coordinator's own ``fabric.*`` counters,
+* ``store_pull``/``store_push`` round entries between nodes through
+  the public client.
+
+Fault-seed ranges are partitioned across tests (the module fleet's
+stores persist across tests by design).
+"""
+
+import os
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import harness
+from repro.experiments.runkey import RunKey
+from repro.fabric import FabricConfig, FabricCoordinator, ShardMap
+from repro.hardware import MEDIUM, MILD
+from repro.service import ServiceClient, ServiceConfig, SimulationServer, routed
+from repro.service.routing import clear_service_route
+
+FFT = app_by_name("fft")
+
+#: Seed partitions against the module-scoped fleet.
+BATCH_SEEDS = range(1, 17)  # the mixed hit/miss acceptance batch
+ROUTE_SEEDS = 4  # mean_qos via routed(); seeds 1..4 (warm by then)
+FIGURE5_RUNS = 3  # figure5 row via fleet; seeds 1..3 per level
+SEED_SUBMIT = 101
+SEED_PULL_PUSH = 102
+
+
+def _serial_qos(spec, config, fault_seed):
+    """The ground truth: plain local harness execution (no store)."""
+    return harness.qos_error(spec, config, fault_seed=fault_seed)
+
+
+def _make_node(tmp_root, index):
+    config = ServiceConfig(
+        port=0,
+        workers=1,
+        warm_apps=("fft",),
+        cache_dir=os.path.join(tmp_root, f"node{index}"),
+        default_deadline_ms=120_000,
+    )
+    server = SimulationServer(config)
+    server.start()
+    return server
+
+
+def _make_fleet(tmp_root, count=2, hedge_ms=None, **fabric_kwargs):
+    servers = [_make_node(tmp_root, index) for index in range(count)]
+    nodes = tuple("%s:%d" % server.address for server in servers)
+    coordinator = FabricCoordinator(
+        FabricConfig(
+            nodes=nodes, host="127.0.0.1", port=0, hedge_ms=hedge_ms, **fabric_kwargs
+        )
+    )
+    coordinator.start()
+    return coordinator, servers
+
+
+def _stop_fleet(coordinator, servers):
+    coordinator.initiate_drain()
+    coordinator.drain(timeout=10)
+    coordinator.stop()
+    for server in servers:
+        server.initiate_drain()
+        server.drain(timeout=10)
+        server.stop()
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    tmp_root = str(tmp_path_factory.mktemp("fabric-fleet"))
+    coordinator, servers = _make_fleet(tmp_root, count=2)
+    yield coordinator, servers
+    _stop_fleet(coordinator, servers)
+    harness.clear_caches()
+
+
+@pytest.fixture
+def client(fleet):
+    coordinator, _ = fleet
+    host, port = coordinator.address
+    with ServiceClient(host, port) as connection:
+        yield connection
+
+
+@pytest.fixture
+def private_fleet(tmp_path):
+    """A function-scoped fleet for destructive tests (node kills)."""
+    created = []
+
+    def factory(count=2, hedge_ms=None, **kwargs):
+        coordinator, servers = _make_fleet(
+            str(tmp_path), count=count, hedge_ms=hedge_ms, **kwargs
+        )
+        created.append((coordinator, servers))
+        return coordinator, servers
+
+    yield factory
+    import contextlib
+
+    for coordinator, servers in created:
+        # Some tests stop their fleet mid-test; teardown must tolerate that.
+        with contextlib.suppress(Exception):
+            _stop_fleet(coordinator, servers)
+    clear_service_route()
+    harness.clear_caches()
+
+
+class TestBitIdentity:
+    def test_mixed_hit_miss_batch_matches_serial(self, fleet, client):
+        """The acceptance bar: cold half, warm half, all bits equal."""
+        warm = [s for s in BATCH_SEEDS if s % 2 == 0]
+        client.submit_batch(
+            [{"app": "fft", "config": "medium", "fault_seed": s} for s in warm]
+        )
+        results = client.submit_batch(
+            [{"app": "fft", "config": "medium", "fault_seed": s} for s in BATCH_SEEDS]
+        )
+        cached = {r.fault_seed: r.cached for r in results}
+        assert all(cached[s] for s in warm), "pre-warmed cells must hit"
+        serial = [_serial_qos(FFT, MEDIUM, s) for s in BATCH_SEEDS]
+        assert [r.qos for r in results] == serial
+
+    def test_entries_shard_across_both_stores(self, fleet, client):
+        """After the batch test, each node's store holds its shard."""
+        coordinator, servers = fleet
+        shard_map = ShardMap(list(coordinator.config.nodes))
+        by_label = {"%s:%d" % server.address: server for server in servers}
+        homed = {label: 0 for label in by_label}
+        for seed in BATCH_SEEDS:
+            key = RunKey(spec=FFT, config=MEDIUM, fault_seed=seed, workload_seed=0)
+            homed[shard_map.assign(key.digest)] += 1
+        assert all(count > 0 for count in homed.values()), (
+            "seed range too small: one node owns the whole sample"
+        )
+        for label, server in by_label.items():
+            entries = server._store.stats().entries
+            assert entries > 0, f"{label} executed nothing"
+
+    def test_routed_mean_qos_matches_serial(self, fleet, client):
+        """--via-fleet semantics: harness routing through the coordinator."""
+        serial = sum(_serial_qos(FFT, MEDIUM, s) for s in range(1, ROUTE_SEEDS + 1))
+        serial /= ROUTE_SEEDS
+        with routed(client, fallback_local=True):
+            fleet_mean = harness.mean_qos(FFT, MEDIUM, runs=ROUTE_SEEDS)
+        assert fleet_mean == serial
+
+    def test_figure5_row_matches_serial(self, fleet, client):
+        from repro.experiments.figure5 import figure5_row
+
+        serial_row = figure5_row(FFT, runs=FIGURE5_RUNS)
+        with routed(client, fallback_local=True):
+            fleet_row = figure5_row(FFT, runs=FIGURE5_RUNS)
+        assert fleet_row == serial_row
+
+    def test_single_submit_matches_serial(self, fleet, client):
+        result = client.submit("fft", "medium", fault_seed=SEED_SUBMIT)
+        assert result.qos == _serial_qos(FFT, MEDIUM, SEED_SUBMIT)
+        again = client.submit("fft", "medium", fault_seed=SEED_SUBMIT)
+        assert again.cached and again.qos == result.qos
+
+
+class TestReplication:
+    def test_zero_hedge_replicates_to_home_shard(self, private_fleet):
+        """hedge_ms=0 dispatches home + successor; either way the home
+        node's store must end up holding every entry (directly or via
+        store_pull/store_push replication)."""
+        coordinator, servers = private_fleet(count=2, hedge_ms=0)
+        host, port = coordinator.address
+        seeds = range(301, 309)
+        with ServiceClient(host, port) as client:
+            results = client.submit_batch(
+                [{"app": "fft", "config": "mild", "fault_seed": s} for s in seeds]
+            )
+        assert [r.qos for r in results] == [
+            _serial_qos(FFT, MILD, s) for s in seeds
+        ]
+        shard_map = ShardMap(list(coordinator.config.nodes))
+        by_label = {"%s:%d" % server.address: server for server in servers}
+        for seed in seeds:
+            key = RunKey(spec=FFT, config=MILD, fault_seed=seed, workload_seed=0)
+            home = by_label[shard_map.assign(key.digest)]
+            assert home._store.get_raw(key.digest) is not None, (
+                f"seed {seed}: home shard lacks the entry"
+            )
+            assert home._store.get_raw(key.precise_reference().digest) is not None, (
+                f"seed {seed}: home shard lacks the precise reference"
+            )
+
+    def test_store_pull_push_roundtrip_via_client(self, fleet):
+        _, servers = fleet
+        node_a, node_b = servers
+        key = RunKey(spec=FFT, config=MEDIUM, fault_seed=SEED_PULL_PUSH, workload_seed=0)
+        result = harness.run_key(key)
+        digest = node_a._store.put(key, result.output, result.stats)
+        with ServiceClient(*node_a.address) as client_a:
+            payload = client_a.store_pull(digest)
+            assert payload is not None and payload["digest"] == digest
+            assert client_a.store_pull("ff" * 32) is None
+        with ServiceClient(*node_b.address) as client_b:
+            assert client_b.store_push(payload) is True
+            assert client_b.store_pull(digest) == payload
+            corrupt = dict(payload, payload_sha256="0" * 64)
+            assert client_b.store_push(corrupt) is False
+
+
+class TestFailover:
+    def test_kill_one_node_mid_campaign_stays_bit_identical(self, private_fleet):
+        coordinator, servers = private_fleet(count=2)
+        host, port = coordinator.address
+        first_half = range(401, 409)
+        second_half = range(409, 417)
+        serial = {s: _serial_qos(FFT, MEDIUM, s) for s in (*first_half, *second_half)}
+        with ServiceClient(host, port) as client:
+            before = client.submit_batch(
+                [{"app": "fft", "config": "medium", "fault_seed": s} for s in first_half]
+            )
+            assert [r.qos for r in before] == [serial[s] for s in first_half]
+            # One node dies mid-campaign; the survivor inherits its keys.
+            victim = servers[0]
+            victim.initiate_drain()
+            victim.drain(timeout=10)
+            victim.stop()
+            after = client.submit_batch(
+                [{"app": "fft", "config": "medium", "fault_seed": s} for s in second_half]
+            )
+            assert [r.qos for r in after] == [serial[s] for s in second_half]
+            # The full campaign re-asked end to end still matches serial
+            # (survivor store + re-execution of the victim's lost keys).
+            full = client.submit_batch(
+                [
+                    {"app": "fft", "config": "medium", "fault_seed": s}
+                    for s in (*first_half, *second_half)
+                ]
+            )
+            assert [r.qos for r in full] == [
+                serial[s] for s in (*first_half, *second_half)
+            ]
+            health = client.healthz()
+            assert health["nodes_alive"] == 1
+            metrics = client.metrics()
+            assert metrics["counters"].get("fabric.failovers", 0) > 0
+
+    def test_fleet_loss_falls_back_to_local_execution(self, private_fleet):
+        coordinator, servers = private_fleet(count=2)
+        host, port = coordinator.address
+        serial = sum(_serial_qos(FFT, MEDIUM, s) for s in range(1, 4)) / 3
+        client = ServiceClient(host, port)
+        try:
+            with routed(client, fallback_local=True) as route:
+                assert harness.mean_qos(FFT, MEDIUM, runs=3) == serial
+                assert not route.lost
+                # The entire fabric disappears mid-campaign.
+                _stop_fleet(coordinator, servers)
+                assert harness.mean_qos(FFT, MEDIUM, runs=3) == serial
+                assert route.lost
+                # Later queries skip the wire entirely.
+                key = RunKey(spec=FFT, config=MEDIUM, fault_seed=1, workload_seed=0)
+                assert not route.accepts(key)
+        finally:
+            client.close()
+
+    def test_strict_route_raises_on_fleet_loss(self, private_fleet):
+        from repro.service import ServiceError
+
+        coordinator, servers = private_fleet(count=1)
+        host, port = coordinator.address
+        client = ServiceClient(host, port)
+        try:
+            with routed(client):  # --via-service semantics: no fallback
+                _stop_fleet(coordinator, servers)
+                with pytest.raises(ServiceError):
+                    harness.mean_qos(FFT, MEDIUM, runs=2)
+        finally:
+            client.close()
+
+
+class TestObservability:
+    def test_metrics_merge_node_registries_and_fabric_counters(self, fleet, client):
+        coordinator, servers = fleet
+        merged = client.metrics()
+        node_counters = [
+            server.metrics_payload()["counters"] for server in servers
+        ]
+        for name in ("service.requests_total", "service.hits", "service.misses"):
+            expected = sum(counters.get(name, 0) for counters in node_counters)
+            assert merged["counters"].get(name, 0) == expected
+        assert merged["counters"]["fabric.batches_total"] >= 1
+        assert merged["counters"]["fabric.items_total"] >= len(list(BATCH_SEEDS))
+        assert merged["gauges"]["nodes_merged"] == len(servers)
+        labels = {"%s:%d" % server.address for server in servers}
+        assert set(merged["nodes"]) == labels
+        for label in labels:
+            assert "gauges" in merged["nodes"][label]
+
+    def test_healthz_and_shards_payloads(self, fleet, client):
+        coordinator, _ = fleet
+        health = client.healthz()
+        assert health["role"] == "coordinator"
+        assert health["nodes_alive"] == health["nodes_total"] == 2
+        shards = coordinator.shards_payload()
+        assert set(shards["nodes"]) == set(coordinator.config.nodes)
+        assert all(shards["alive"].values())
+
+    def test_http_get_surface(self, fleet):
+        import json
+        import urllib.request
+
+        coordinator, _ = fleet
+        host, port = coordinator.address
+        for path in ("healthz", "metrics", "config", "shards"):
+            with urllib.request.urlopen(f"http://{host}:{port}/{path}") as response:
+                payload = json.load(response)
+            assert payload, path
+        config = json.load(
+            urllib.request.urlopen(f"http://{host}:{port}/config")
+        )
+        assert config["role"] == "coordinator"
+        assert list(config["nodes"]) == list(coordinator.config.nodes)
+
+
+class TestCoordinatorErrors:
+    def test_unknown_op_and_bad_batch(self, fleet):
+        coordinator, _ = fleet
+        response = coordinator.handle_message({"op": "warp", "id": 9})
+        assert not response["ok"] and response["id"] == 9
+        assert response["error"]["code"] == "bad_request"
+        response = coordinator.handle_message({"op": "batch", "id": 10, "items": []})
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+    def test_invalid_item_fails_inline_without_dispatch(self, fleet, client):
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "medium", "fault_seed": SEED_SUBMIT},
+                {"app": "no-such-app", "config": "medium"},
+            ],
+            raise_on_error=False,
+        )
+        assert results[0].qos == _serial_qos(FFT, MEDIUM, SEED_SUBMIT)
+        assert results[1]["code"] == "bad_request"
+
+    def test_draining_coordinator_rejects(self, private_fleet):
+        coordinator, _ = private_fleet(count=1)
+        coordinator.initiate_drain()
+        response = coordinator.handle_message(
+            {"op": "submit", "id": 1, "app": "fft", "config": "medium"}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "draining"
