@@ -27,7 +27,7 @@ import os
 import time
 
 from repro.apps import app_by_name
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_app
 from repro.hardware import AGGRESSIVE, bits
 from repro.hardware.config import HardwareConfig
 from repro.hardware.rng import FaultRandom
@@ -170,7 +170,10 @@ def test_bench_trace_macro_overhead(benchmark):
         for _ in range(3):
             tracer = tracer_factory()
             t0 = time.perf_counter()
-            result = run_app(spec, AGGRESSIVE, fault_seed=1, tracer=tracer)
+            result = run_app(
+                RunKey(spec=spec, config=AGGRESSIVE, fault_seed=1, workload_seed=0),
+                tracer=tracer,
+            )
             best = min(best, time.perf_counter() - t0)
         return best, result
 

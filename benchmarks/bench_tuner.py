@@ -1,0 +1,147 @@
+"""Bench: the online QoS autotuner vs uniform Table-2 levels.
+
+Two claims back the budget-based submit redesign, measured honestly:
+
+* **frontier quality** — converging a controller under a QoS budget
+  finds a heterogeneous per-mechanism configuration whose modeled
+  energy is at or below the cheapest *uniform* Table-2 level that
+  also meets the budget (the best a pre-v2 client could pick), while
+  the measured mean QoS stays within budget;
+* **amortisation** — the controller's probes are ordinary run-store
+  cells, so budget submits against a daemon whose store is warm are
+  answered at store-hit speed: a whole convergence replays in
+  milliseconds per observation instead of a simulation each.
+
+Results land in ``extra_info`` and ``BENCH_tuner.json`` at the
+repository root.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TUNER_BUDGET`` — the QoS error budget (default 0.05).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro import store as run_store
+from repro.apps import app_by_name
+from repro.energy.model import SERVER, estimate_energy
+from repro.experiments.harness import clear_caches, mean_qos
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+from repro.tuner import MAX_OBSERVATIONS, TRIAL_SAMPLES, OnlineTuner, converge
+from repro.tuner.search import compose_config, levels_energy
+
+BUDGET = float(os.environ.get("REPRO_BENCH_TUNER_BUDGET", "0.05"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+_RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_tuner.json")
+
+FFT = app_by_name("fft")
+
+# Most aggressive first: the first level whose measured QoS meets the
+# budget is the cheapest uniform choice a fixed-config client has.
+UNIFORM_LADDER = (("aggressive", AGGRESSIVE), ("medium", MEDIUM), ("mild", MILD))
+
+
+def _cheapest_uniform(stats, budget):
+    """The lowest-energy uniform Table-2 level meeting ``budget``."""
+    for name, config in UNIFORM_LADDER:
+        if mean_qos(FFT, config, runs=TRIAL_SAMPLES) <= budget:
+            return name, estimate_energy(stats, config, SERVER).total
+    return "baseline", 1.0
+
+
+def test_bench_tuner_budget_vs_uniform(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-tuner-")
+    run_store.configure(cache_dir)
+    try:
+        # -- frontier quality: one cold convergence under the budget.
+        t0 = time.perf_counter()
+        tuner = converge(OnlineTuner(FFT, BUDGET))
+        cold_seconds = time.perf_counter() - t0
+        state = tuner.state
+        assert state.converged and state.observations <= MAX_OBSERVATIONS
+
+        stats = tuner.baseline_stats()
+        levels = state.levels_dict()
+        tuned_energy = levels_energy(stats, levels)
+        measured = mean_qos(
+            FFT, compose_config(levels, name="tuned:FFT"), runs=TRIAL_SAMPLES
+        )
+        uniform_name, uniform_energy = _cheapest_uniform(stats, BUDGET)
+
+        # -- amortisation: a daemon on the now-warm store answers the
+        # same convergence from store hits.
+        clear_caches()
+        config = ServiceConfig(
+            port=0, workers=2, warm_apps=("fft",), cache_dir=cache_dir
+        )
+        with SimulationServer(config) as server:
+            host, port = server.address
+            with ServiceClient(host, port) as client:
+
+                def warm_pass():
+                    return [
+                        client.submit("fft", qos_budget=BUDGET)
+                        for _ in range(state.observations)
+                    ]
+
+                t0 = time.perf_counter()
+                answers = benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+                warm_seconds = time.perf_counter() - t0
+    finally:
+        clear_caches()
+        run_store.reset_active_store()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # The daemon's controller replays the offline convergence
+    # bit-identically: same budget, same probe schedule, same state.
+    assert answers[-1].tuner["state_digest"] == state.digest
+
+    cold_per_obs = cold_seconds / state.observations
+    warm_per_obs = warm_seconds / state.observations
+    speedup = cold_per_obs / warm_per_obs if warm_per_obs else float("inf")
+    savings = (uniform_energy - tuned_energy) / uniform_energy * 100.0
+
+    results = {
+        "app": FFT.name,
+        "qos_budget": BUDGET,
+        "levels": levels,
+        "tuned_energy": round(tuned_energy, 6),
+        "uniform_level": uniform_name,
+        "uniform_energy": round(uniform_energy, 6),
+        "energy_savings_vs_uniform_pct": round(savings, 2),
+        "measured_qos": measured,
+        "within_budget": measured <= BUDGET,
+        "observations": state.observations,
+        "explored": state.explored,
+        "pruned_static": state.pruned,
+        "cold_converge_seconds": round(cold_seconds, 3),
+        "warm_submit_seconds_mean": round(warm_per_obs, 6),
+        "speedup": round(speedup, 1),
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\ntuner budget {BUDGET}: energy {tuned_energy:.4f} vs uniform "
+        f"{uniform_name} {uniform_energy:.4f} ({savings:+.1f}%), qos "
+        f"{measured:.4f}, {state.observations} obs; warm submit "
+        f"{warm_per_obs * 1000:.1f} ms vs cold {cold_per_obs * 1000:.0f} ms "
+        f"-> {speedup:.0f}x"
+    )
+
+    assert measured <= BUDGET + 1e-12, "tuned config violates its budget"
+    assert tuned_energy <= uniform_energy + 1e-9, (
+        "tuned config should not cost more than the cheapest uniform level"
+    )
+    assert state.pruned > 0, "static bounds pruned nothing"
+    assert speedup >= 3.0, (
+        f"warm budget submits should amortise the convergence, got "
+        f"{speedup:.2f}x ({cold_per_obs:.3f}s -> {warm_per_obs:.3f}s)"
+    )

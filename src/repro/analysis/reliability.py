@@ -50,6 +50,7 @@ __all__ = [
     "ReliabilityBound",
     "SoundnessRecord",
     "reliability_bound",
+    "app_flow_graph",
     "app_reliability",
     "observed_fault_impact",
     "soundness_check",
@@ -211,6 +212,19 @@ def app_output_id(spec: AppSpec) -> str:
     return f"return:{spec.entry_module}.{spec.entry_function}"
 
 
+def app_flow_graph(spec: AppSpec) -> FlowGraph:
+    """The checked approximation-flow graph of one app's sources.
+
+    Shared by :func:`app_reliability` and the online tuner
+    (:mod:`repro.tuner`), which evaluates bounds for many composed
+    configs against one graph.
+    """
+    result = check_modules(load_sources(spec))
+    if not result.ok:
+        raise ValueError(f"{spec.name}: sources do not check: {result.codes()}")
+    return build_flow_graph(result)
+
+
 def app_reliability(
     spec: AppSpec,
     levels: Optional[Sequence[str]] = None,
@@ -218,10 +232,7 @@ def app_reliability(
 ) -> List[ReliabilityBound]:
     """Reliability bounds for one app's QoS output at the named levels."""
     if graph is None:
-        result = check_modules(load_sources(spec))
-        if not result.ok:
-            raise ValueError(f"{spec.name}: sources do not check: {result.codes()}")
-        graph = build_flow_graph(result)
+        graph = app_flow_graph(spec)
     names = list(levels) if levels is not None else list(LEVELS)
     bounds = []
     for name in names:

@@ -13,6 +13,7 @@ Usage::
     python -m repro cache {stats,gc,verify}       # run-store maintenance
     python -m repro serve                         # simulation daemon
     python -m repro submit APP                    # query a daemon or fleet
+    python -m repro tune [APP...]                 # online QoS-budget frontier
     python -m repro fabric {serve,shards}         # campaign coordinator
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
@@ -449,31 +450,21 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         )
         return 1
 
-    if args.via_service and args.via_fleet:
-        print(
-            "error: --via-service and --via-fleet are mutually exclusive "
-            "(a coordinator speaks the daemon protocol; pick one address)",
-            file=sys.stderr,
+    from repro.experiments.executor import ExecutionPlan
+
+    # One resolver for the routing/parallelism flag surface; the same
+    # documented precedence (route, then jobs, then batch) the harness
+    # applies per query.
+    try:
+        plan = ExecutionPlan.resolve(
+            via_service=args.via_service,
+            via_fleet=args.via_fleet,
+            jobs=args.jobs,
+            batch=args.batch,
         )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
-
-    route_client = None
-    if args.via_service or args.via_fleet:
-        from repro.service import ServiceClient
-        from repro.service.routing import clear_service_route, set_service_route
-
-        flag = "--via-fleet" if args.via_fleet else "--via-service"
-        try:
-            host, port = _parse_host_port(args.via_fleet or args.via_service)
-        except ValueError as error:
-            print(f"error: {flag}: {error}", file=sys.stderr)
-            return 1
-        # A fleet route survives losing its coordinator mid-campaign:
-        # the harness falls back to local execution (and --jobs/--batch
-        # still compose).  --via-service stays strict — one explicit
-        # daemon going away is an error worth hearing about.
-        route_client = ServiceClient(host, port)
-        set_service_route(route_client, fallback_local=bool(args.via_fleet))
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     store = None if args.no_cache else run_store.configure(args.cache_dir)
@@ -483,20 +474,12 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         # remainder (e.g. table2) are pure formatting, stay serial,
         # and never touch the store.
         parameters = inspect.signature(module.main).parameters
-        kwargs = {}
-        if "jobs" in parameters:
-            kwargs["jobs"] = args.jobs
-        elif args.jobs and args.jobs > 1:
-            print(f"note: {args.name} does not support --jobs; running serially")
-        if "batch" in parameters:
-            kwargs["batch"] = args.batch
-        elif args.batch and args.batch > 1:
-            print(f"note: {args.name} does not support --batch; running unbatched")
-        module.main(**kwargs)
+        kwargs, notes = plan.driver_kwargs(parameters)
+        for note in notes:
+            print(f"note: {args.name} does not support {note}")
+        with plan.activate():
+            module.main(**kwargs)
     finally:
-        if route_client is not None:
-            clear_service_route()
-            route_client.close()
         if store is not None:
             run_store.reset_active_store()
     return 0
@@ -572,15 +555,52 @@ def cmd_submit(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: --fleet: {error}", file=sys.stderr)
             return 1
-    seeds = range(args.seed, args.seed + args.runs)
+    if args.deadline_ms is not None and args.deadline_ms < 0:
+        print(
+            "error: --deadline-ms must be >= 0 (0 means no deadline)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.qos_budget is not None:
+        if args.level is not None:
+            print(
+                "error: --level and --qos-budget are mutually exclusive: "
+                "submit a fixed configuration or a budget, not both",
+                file=sys.stderr,
+            )
+            return 1
+        if args.seed is not None or args.workload_seed is not None:
+            print(
+                "error: --seed/--workload-seed do not apply under "
+                "--qos-budget (the daemon's online tuner owns the "
+                "sampling schedule)",
+                file=sys.stderr,
+            )
+            return 1
+        with ServiceClient(host, port) as client:
+            results = [
+                client.submit(
+                    args.app,
+                    qos_budget=args.qos_budget,
+                    want_trace_summary=args.trace_summary,
+                    deadline_ms=args.deadline_ms,
+                )
+                for _ in range(args.runs)
+            ]
+        return _print_submit_results(args, results, budget=True)
+
+    level = args.level if args.level is not None else "medium"
+    seed = args.seed if args.seed is not None else 1
+    workload_seed = args.workload_seed if args.workload_seed is not None else 0
+    seeds = range(seed, seed + args.runs)
     with ServiceClient(host, port) as client:
         if args.runs == 1:
             results = [
                 client.submit(
                     args.app,
-                    args.level,
-                    fault_seed=args.seed,
-                    workload_seed=args.workload_seed,
+                    level,
+                    fault_seed=seed,
+                    workload_seed=workload_seed,
                     want_trace_summary=args.trace_summary,
                     deadline_ms=args.deadline_ms,
                 )
@@ -589,48 +609,122 @@ def cmd_submit(args: argparse.Namespace) -> int:
             items = [
                 {
                     "app": args.app,
-                    "config": args.level,
-                    "fault_seed": seed,
-                    "workload_seed": args.workload_seed,
+                    "config": level,
+                    "fault_seed": fault_seed,
+                    "workload_seed": workload_seed,
                     "want_trace_summary": args.trace_summary,
-                    **({"deadline_ms": args.deadline_ms} if args.deadline_ms else {}),
+                    **(
+                        {"deadline_ms": args.deadline_ms}
+                        if args.deadline_ms is not None
+                        else {}
+                    ),
                 }
-                for seed in seeds
+                for fault_seed in seeds
             ]
             results = client.submit_batch(items)
+    return _print_submit_results(args, results, budget=False)
+
+
+def _print_submit_results(args: argparse.Namespace, results, budget: bool) -> int:
+    import json
 
     if args.json:
-        print(
-            json.dumps(
-                [
+        payload = []
+        for r in results:
+            row = {
+                "app": r.app,
+                "config": r.config,
+                "fault_seed": r.fault_seed,
+                "workload_seed": r.workload_seed,
+                "qos": r.qos,
+                "cached": r.cached,
+                "server_ms": r.server_ms,
+                "trace_summary": r.trace_summary,
+            }
+            if budget:
+                row.update(
                     {
-                        "app": r.app,
-                        "config": r.config,
-                        "fault_seed": r.fault_seed,
-                        "workload_seed": r.workload_seed,
-                        "qos": r.qos,
-                        "cached": r.cached,
-                        "server_ms": r.server_ms,
-                        "trace_summary": r.trace_summary,
+                        "qos_budget": r.qos_budget,
+                        "levels": r.levels,
+                        "energy": r.energy,
+                        "within_budget": r.within_budget,
+                        "tuner": r.tuner,
                     }
-                    for r in results
-                ],
-                indent=2,
-            )
-        )
+                )
+            payload.append(row)
+        print(json.dumps(payload, indent=2))
         return 0
     hits = sum(1 for r in results if r.cached)
     for r in results:
         origin = "store" if r.cached else "worker"
-        print(
-            f"seed {r.fault_seed:>4}  qos {r.qos:<22.17g} "
-            f"[{origin}, {r.server_ms:.1f} ms]"
-        )
+        if budget:
+            levels = ",".join(f"{k}={v}" for k, v in sorted(r.levels.items()))
+            flag = "ok" if r.within_budget else "OVER"
+            print(
+                f"seed {r.fault_seed:>4}  qos {r.qos:<22.17g} {flag:<4} "
+                f"energy {r.energy:.3f}  [{levels}] "
+                f"[{origin}, {r.server_ms:.1f} ms]"
+            )
+        else:
+            print(
+                f"seed {r.fault_seed:>4}  qos {r.qos:<22.17g} "
+                f"[{origin}, {r.server_ms:.1f} ms]"
+            )
     mean = sum(r.qos for r in results) / len(results)
-    print(
-        f"{r.app} @ {r.config}: mean qos {mean:.6g} over {len(results)} seed(s) "
-        f"({hits} served from store)"
-    )
+    if budget:
+        last = results[-1].tuner or {}
+        print(
+            f"{results[-1].app} @ budget {results[-1].qos_budget:g}: mean qos "
+            f"{mean:.6g} over {len(results)} request(s) "
+            f"({hits} served from store; phase {last.get('phase')}, "
+            f"{last.get('observations')} observation(s))"
+        )
+    else:
+        print(
+            f"{results[-1].app} @ {results[-1].config}: mean qos {mean:.6g} "
+            f"over {len(results)} seed(s) ({hits} served from store)"
+        )
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro import store as run_store
+    from repro.tuner import DEFAULT_BUDGETS, app_frontier, format_frontier
+
+    try:
+        apps = _resolve_apps(args.apps)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    budgets = tuple(args.budget) if args.budget else DEFAULT_BUDGETS
+    if any(budget <= 0 for budget in budgets):
+        print("error: --budget must be positive (a QoS error budget)", file=sys.stderr)
+        return 1
+
+    from repro.apps import app_by_name
+
+    store = None if args.no_cache else run_store.configure(args.cache_dir)
+    try:
+        frontier = {
+            name: app_frontier(app_by_name(name), budgets) for name in apps
+        }
+    finally:
+        if store is not None:
+            run_store.reset_active_store()
+
+    if args.format == "json":
+        from repro.analysis.report import canonical_json
+
+        payload = {
+            "budgets": list(budgets),
+            "apps": {
+                name: [point.to_dict() for point in points]
+                for name, points in frontier.items()
+            },
+        }
+        print(canonical_json(payload), end="")
+        return 0
+    print(format_frontier(frontier))
     return 0
 
 
@@ -1090,18 +1184,31 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--level",
         choices=("aggressive", "baseline", "medium", "mild", "software"),
-        default="medium",
-        help="approximation level (default: %(default)s)",
+        default=None,
+        help="approximation level (default: medium; mutually exclusive "
+        "with --qos-budget)",
     )
-    submit.add_argument("--seed", type=int, default=1, help="first fault seed")
+    submit.add_argument(
+        "--qos-budget",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="QoS error budget: the daemon's online tuner picks the "
+        "approximation levels (protocol v2; mutually exclusive with "
+        "--level and --seed)",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=None, help="first fault seed (default: 1)"
+    )
     submit.add_argument(
         "--runs",
         type=int,
         default=1,
         metavar="N",
-        help="consecutive fault seeds submitted as one batch",
+        help="consecutive fault seeds submitted as one batch (under "
+        "--qos-budget: consecutive budget requests)",
     )
-    submit.add_argument("--workload-seed", type=int, default=0)
+    submit.add_argument("--workload-seed", type=int, default=None)
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=_DEFAULT_SERVICE_PORT)
     submit.add_argument(
@@ -1116,7 +1223,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="MS",
-        help="per-request deadline (default: the daemon's)",
+        help="per-request deadline; 0 explicitly disables the daemon's "
+        "default deadline (default: the daemon's)",
     )
     submit.add_argument(
         "--trace-summary",
@@ -1127,6 +1235,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     submit.set_defaults(fn=cmd_submit)
+
+    tune = commands.add_parser(
+        "tune",
+        help="online autotuner: energy-vs-guaranteed-quality frontier "
+        "per app (see SERVICE.md)",
+    )
+    tune.add_argument(
+        "apps", nargs="*", help="ported app names, e.g. fft sor (default: all)"
+    )
+    tune.add_argument(
+        "--budget",
+        action="append",
+        type=float,
+        metavar="Q",
+        help="QoS error budget to converge under (repeatable; default "
+        "ladder: 0.01 0.02 0.05 0.10)",
+    )
+    tune.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: canonical frontier payload, byte-identical across runs",
+    )
+    tune.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="persistent run store backing the tuner's probes "
+        "(default: %(default)s)",
+    )
+    tune.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the run store (every probe simulates)",
+    )
+    tune.set_defaults(fn=cmd_tune)
 
     fabric = commands.add_parser(
         "fabric",

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.energy.model import MOBILE, SERVER, estimate_energy
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_key
 from repro.hardware.config import AGGRESSIVE, BASELINE
 
 __all__ = [
@@ -75,7 +75,9 @@ def line_size_rows(
     for spec in specs:
         row: Dict[str, object] = {"app": spec.name}
         for line_bytes, config in zip(LINE_SIZES, configs):
-            stats = run_app(spec, config, fault_seed=0, workload_seed=0).stats
+            stats = run_key(
+                RunKey(spec=spec, config=config, fault_seed=0, workload_seed=0)
+            ).stats
             row[line_bytes] = stats.dram_approx_fraction
         rows.append(row)
     return rows
@@ -93,7 +95,9 @@ def energy_split_rows(
         stats_list = run_jobs(grid, workers=jobs)
     else:
         stats_list = [
-            run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+            run_key(
+                RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+            ).stats
             for spec in specs
         ]
     return [
@@ -122,7 +126,9 @@ def software_substrate_rows(
 
     rows = []
     for spec in apps if apps is not None else ALL_APPS:
-        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+        stats = run_key(
+            RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+        ).stats
         rows.append(
             {
                 "app": spec.name,

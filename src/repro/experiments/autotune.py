@@ -14,6 +14,12 @@ error stays within budget, and preferring the upgrade with the best
 estimated energy improvement.  The result is a heterogeneous
 configuration — e.g. Aggressive DRAM with Mild functional units — that
 a uniform Table 2 level cannot express.
+
+The search space and its primitives (level ladder, single-step
+upgrades, energy preference order) live in :mod:`repro.tuner.search`,
+shared with the *online* tuner (:mod:`repro.tuner.controller`) that
+drives the same search from per-request QoS feedback instead of
+offline ``mean_qos`` campaigns.
 """
 
 from __future__ import annotations
@@ -22,52 +28,17 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps import ALL_APPS, AppSpec
-from repro.energy.model import SERVER, estimate_energy
-from repro.experiments.harness import mean_qos, run_app
-from repro.hardware.config import (
-    AGGRESSIVE,
-    BASELINE,
-    MEDIUM,
-    MILD,
-    STRATEGY_NAMES,
-    HardwareConfig,
+from repro.experiments.harness import RunKey, mean_qos, run_key
+from repro.hardware.config import BASELINE, HardwareConfig
+from repro.tuner.search import (  # noqa: F401  (re-exported search surface)
+    LEVELS,
+    TUNABLE,
+    candidate_upgrades,
+    compose_config,
+    levels_energy,
 )
 
 __all__ = ["compose_config", "autotune", "TuneResult", "autotune_suite", "format_tuning", "main"]
-
-#: Level ladder indexed by the tuner (0 = off).
-LEVELS = (BASELINE, MILD, MEDIUM, AGGRESSIVE)
-
-#: Tunable mechanisms.  Unlike the ablation study's five strategies,
-#: SRAM read upsets and write failures are one knob here: both are
-#: consequences of the same supply-voltage reduction, so a config with
-#: them at different levels is not physically realisable.
-TUNABLE = ("dram", "sram", "float_width", "timing")
-
-_STRATEGY_FIELDS = {
-    "dram": ("dram_flip_per_second", "dram_power_saving"),
-    "sram": ("sram_read_upset", "sram_write_failure", "sram_power_saving"),
-    "float_width": ("float_mantissa_bits", "double_mantissa_bits", "fp_op_saving"),
-    "timing": ("timing_error_prob", "int_op_saving"),
-}
-
-
-def compose_config(levels: Dict[str, int], name: str = "tuned") -> HardwareConfig:
-    """Build a heterogeneous config from per-mechanism level indices."""
-    fields = dataclasses.asdict(BASELINE)
-    for strategy, level_index in levels.items():
-        source = LEVELS[level_index]
-        for field_name in _STRATEGY_FIELDS[strategy]:
-            # A mechanism at a higher level may not *lower* a shared
-            # saving another mechanism already raised (sram_read and
-            # sram_write share the supply-power saving).
-            value = getattr(source, field_name)
-            if field_name.endswith("_saving"):
-                fields[field_name] = max(fields[field_name], value)
-            else:
-                fields[field_name] = value
-    fields["name"] = name
-    return HardwareConfig(**fields)
 
 
 @dataclasses.dataclass
@@ -99,7 +70,9 @@ def autotune(
     commits the one with the lowest estimated energy; stops when no
     upgrade is admissible.
     """
-    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    stats = run_key(
+        RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+    ).stats
     levels = {strategy: 0 for strategy in TUNABLE}
     evaluations = 0
     current_energy = 1.0
@@ -107,18 +80,13 @@ def autotune(
 
     while True:
         best: Optional[Tuple[str, float, float]] = None  # strategy, energy, qos
-        for strategy in TUNABLE:
-            if levels[strategy] >= max_level:
-                continue
-            candidate_levels = dict(levels)
-            candidate_levels[strategy] += 1
-            candidate = compose_config(candidate_levels)
-            energy = estimate_energy(stats, candidate, SERVER).total
+        for strategy, candidate_levels in candidate_upgrades(levels, max_level):
+            energy = levels_energy(stats, candidate_levels)
             if energy >= current_energy - 1e-9:
                 # No energy benefit (e.g. the app has no FP work):
                 # raising the level only adds error.
                 continue
-            qos = mean_qos(spec, candidate, runs=runs)
+            qos = mean_qos(spec, compose_config(candidate_levels), runs=runs)
             evaluations += 1
             if qos <= qos_budget and (best is None or energy < best[1]):
                 best = (strategy, energy, qos)
@@ -146,17 +114,18 @@ def autotune_suite(
 
 
 def format_tuning(results: List[TuneResult], qos_budget: float) -> str:
+    from repro.tuner.search import LEVEL_NAMES
+
     header = (
         f"{'Application':14s} "
         + "".join(f" {name:>11s}" for name in TUNABLE)
         + f" {'QoS':>7s} {'saved':>7s} {'evals':>6s}"
     )
-    level_names = ("off", "mild", "med", "aggr")
     lines = [f"QoS budget: {qos_budget}", header, "-" * len(header)]
     for result in results:
         lines.append(
             f"{result.app:14s} "
-            + "".join(f" {level_names[result.levels[n]]:>11s}" for n in TUNABLE)
+            + "".join(f" {LEVEL_NAMES[result.levels[n]]:>11s}" for n in TUNABLE)
             + f" {result.measured_qos:>7.3f} {result.savings:>7.1%} "
             f"{result.evaluations:>6d}"
         )

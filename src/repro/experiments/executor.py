@@ -34,12 +34,13 @@ fans such a grid across a process pool while keeping the results
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.apps import AppSpec
 from repro.errors import ReproError
@@ -47,6 +48,7 @@ from repro.hardware.config import HardwareConfig
 from repro.runtime.stats import RunStats
 
 __all__ = [
+    "ExecutionPlan",
     "Job",
     "JobError",
     "ExecutorError",
@@ -60,6 +62,146 @@ __all__ = [
 ]
 
 DEFAULT_RETRY_BUDGET = 2
+
+
+# ----------------------------------------------------------------------
+# The execution plan: one resolver for the routing/parallelism surface
+# ----------------------------------------------------------------------
+
+
+def _parse_endpoint(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) -> ``(host, port)``."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid HOST:PORT {text!r}") from None
+    return host, port
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """Where — and how wide — a campaign executes.
+
+    The single resolver for the ``--via-service`` / ``--via-fleet`` /
+    ``--jobs`` / ``--batch`` surface, shared by the CLI
+    (``repro experiments``) and the harness
+    (:func:`repro.experiments.harness.mean_qos`), so the flags compose
+    with one documented precedence instead of per-call-site folklore.
+
+    Precedence, highest first:
+
+    1. **Routing** (``via``).  With a route installed, every eligible
+       query goes to the daemon (``service``) or fabric coordinator
+       (``fleet``); local parallelism applies only to queries the route
+       declines.  ``service`` routes are strict — a service error
+       raises; ``fleet`` routes mark themselves *lost* on the first
+       error and the campaign continues locally, where ``jobs`` and
+       ``batch`` resume composing.
+    2. **Jobs**.  Process fan-out for locally executed queries.
+    3. **Batch**.  Vectorized fault-seed blocks; inside each worker
+       process when composed with ``jobs``.
+
+    ``jobs``/``batch`` are normalized at resolve time: values ``<= 1``
+    mean "off" and are stored as ``None``, so ``plan.jobs is not None``
+    is the one idiom for "parallelism was actually requested".
+    """
+
+    via: str = "local"  # "local" | "service" | "fleet"
+    host: Optional[str] = None
+    port: Optional[int] = None
+    jobs: Optional[int] = None
+    batch: Optional[int] = None
+
+    @classmethod
+    def resolve(
+        cls,
+        via_service: Optional[str] = None,
+        via_fleet: Optional[str] = None,
+        jobs: Optional[int] = None,
+        batch: Optional[int] = None,
+    ) -> "ExecutionPlan":
+        """Collapse raw flag values into one validated plan.
+
+        Raises :class:`ValueError` (with the offending flag named) for
+        contradictory flags or a malformed endpoint address.
+        """
+        if via_service and via_fleet:
+            raise ValueError(
+                "--via-service and --via-fleet are mutually exclusive "
+                "(a coordinator speaks the daemon protocol; pick one address)"
+            )
+        via, host, port = "local", None, None
+        address = via_fleet or via_service
+        if address:
+            via = "fleet" if via_fleet else "service"
+            try:
+                host, port = _parse_endpoint(address)
+            except ValueError as error:
+                flag = "--via-fleet" if via_fleet else "--via-service"
+                raise ValueError(f"{flag}: {error}") from None
+        return cls(
+            via=via,
+            host=host,
+            port=port,
+            jobs=jobs if jobs is not None and jobs > 1 else None,
+            batch=batch if batch is not None and batch > 1 else None,
+        )
+
+    @property
+    def routed(self) -> bool:
+        return self.via != "local"
+
+    @property
+    def fallback_local(self) -> bool:
+        """Fleet routes survive losing their coordinator mid-campaign."""
+        return self.via == "fleet"
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator[object]:
+        """Install this plan's service route for the duration.
+
+        Yields the installed :class:`~repro.service.routing.ServiceRoute`
+        (``None`` for local plans, which make this a no-op); the route
+        and its client are torn down on exit.
+        """
+        if not self.routed:
+            yield None
+            return
+        from repro.service import ServiceClient
+        from repro.service.routing import routed
+
+        client = ServiceClient(self.host, self.port)
+        try:
+            with routed(client, fallback_local=self.fallback_local) as route:
+                yield route
+        finally:
+            client.close()
+
+    def driver_kwargs(
+        self, parameters
+    ) -> Tuple[Dict[str, int], List[str]]:
+        """The ``jobs=``/``batch=`` kwargs a driver ``main()`` accepts.
+
+        ``parameters`` is the driver signature's parameter mapping.
+        Returns ``(kwargs, notes)`` where ``notes`` names requested
+        flags the driver cannot honour (pure-formatting drivers such as
+        table2 take neither and simply stay serial).
+        """
+        kwargs: Dict[str, int] = {}
+        notes: List[str] = []
+        for flag, value, fallback in (
+            ("jobs", self.jobs, "running serially"),
+            ("batch", self.batch, "running unbatched"),
+        ):
+            if flag in parameters:
+                if value is not None:
+                    kwargs[flag] = value
+            elif value is not None:
+                notes.append(f"--{flag} ({fallback})")
+        return kwargs, notes
 
 
 class ExecutorError(ReproError):
@@ -133,13 +275,13 @@ class Job:
 def _task_qos(job: Job) -> float:
     from repro.experiments.harness import qos_error
 
-    return qos_error(job.spec, job.config, job.fault_seed, job.workload_seed)
+    return qos_error(job.key)
 
 
 def _task_stats(job: Job) -> RunStats:
-    from repro.experiments.harness import run_app
+    from repro.experiments.harness import run_key
 
-    return run_app(job.spec, job.config, job.fault_seed, job.workload_seed).stats
+    return run_key(job.key).stats
 
 
 def _task_trace(job: Job):

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_key
 from repro.hardware.config import BASELINE
 from repro.runtime.stats import RunStats
 
@@ -34,7 +34,9 @@ def _row_from_stats(spec: AppSpec, stats: RunStats) -> Dict[str, float]:
 
 
 def figure3_row(spec: AppSpec) -> Dict[str, float]:
-    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    stats = run_key(
+        RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+    ).stats
     return _row_from_stats(spec, stats)
 
 

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.energy.model import SERVER, EnergyParameters, estimate_energy
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_key
 from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD, HardwareConfig
 from repro.runtime.stats import RunStats
 
@@ -37,7 +37,9 @@ def figure4_row(spec: AppSpec, params: EnergyParameters = SERVER) -> Dict[str, f
     Statistics are measured once (they are level-independent); the
     levels differ only in the Table 2 savings the model applies.
     """
-    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    stats = run_key(
+        RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+    ).stats
     return _row_from_stats(spec, stats, params)
 
 

@@ -32,6 +32,7 @@ by ``tests/test_service.py`` and ``tests/test_fabric_fleet.py``.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, Optional, Tuple, Union
 
 from repro.apps import AppSpec, load_sources
@@ -80,6 +81,11 @@ def _workload_args(spec: AppSpec, workload_seed: int) -> Tuple:
     workload seed"; the slot is now declared explicitly (and validated
     at load time) on :class:`AppSpec` itself.
     """
+    warnings.warn(
+        "_workload_args() is deprecated; use AppSpec.workload_args()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return spec.workload_args(workload_seed)
 
 
@@ -221,12 +227,14 @@ def run_app(
 ) -> RunResult:
     """Execute one app under one configuration.
 
-    The historical keyword spelling of :func:`run_key`, kept as a thin
-    wrapper: ``run_app(spec, config, fault_seed, workload_seed)``
-    builds the equivalent :class:`RunKey` and delegates.  A
-    :class:`RunKey` is also accepted directly as the first argument
-    (in which case the seed keywords must be left at their defaults).
-    New code should call :func:`run_key`.
+    The historical (pre-RunKey) keyword spelling of :func:`run_key`,
+    kept as a thin wrapper: ``run_app(spec, config, fault_seed,
+    workload_seed)`` builds the equivalent :class:`RunKey` and
+    delegates — and warns, because the keyword spelling has no stable
+    run identity (no digest, no store addressing).  A :class:`RunKey`
+    is also accepted directly as the first argument (in which case the
+    seed keywords must be left at their defaults); that form stays
+    silent.  New code should call :func:`run_key`.
     """
     if isinstance(spec, RunKey):
         if config is not None or fault_seed or workload_seed:
@@ -237,6 +245,13 @@ def run_app(
         return run_key(spec, args=args, tracer=tracer)
     if config is None:
         raise TypeError("run_app(spec, ...) requires a HardwareConfig")
+    warnings.warn(
+        "run_app(spec, config, fault_seed=..., workload_seed=...) is "
+        "deprecated; build a RunKey and call run_key() (or pass the "
+        "RunKey to run_app)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     key = RunKey(
         spec=spec, config=config, fault_seed=fault_seed, workload_seed=workload_seed
     )
@@ -255,7 +270,9 @@ def precise_output(spec: AppSpec, workload_seed: int = 0):
     """
     key = (spec.name, workload_seed)
     if key not in _PRECISE_CACHE:
-        _PRECISE_CACHE[key] = run_app(spec, BASELINE, 0, workload_seed).output
+        _PRECISE_CACHE[key] = run_app(
+            RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=workload_seed)
+        ).output
     return _PRECISE_CACHE[key]
 
 
@@ -328,9 +345,16 @@ def mean_qos(
     with ``jobs``: each worker then executes its chunk in seed blocks.
     Per-seed results — and therefore the mean — are bit-identical to
     the serial path.
+
+    Routing, jobs and batch are applied in the documented
+    :class:`~repro.experiments.executor.ExecutionPlan` precedence:
+    an installed route wins, then process fan-out, then seed batching.
     """
     if runs <= 0:
         raise ValueError("runs must be positive")
+    from repro.experiments.executor import ExecutionPlan
+
+    plan = ExecutionPlan.resolve(jobs=jobs, batch=batch)
     fault_seeds = range(1, runs + 1)
     route = _service_route()
     if route is not None:
@@ -350,14 +374,19 @@ def mean_qos(
                 return mean_of(errors)
             # The service was lost mid-campaign (fallback routes only):
             # fall through, so --jobs/--batch compose locally from here.
-    if jobs is not None and jobs > 1:
+    if plan.jobs is not None:
         from repro.experiments.executor import mean_of, qos_errors
 
         errors = qos_errors(
-            spec, config, fault_seeds, workload_seed, workers=jobs, batch=batch
+            spec,
+            config,
+            fault_seeds,
+            workload_seed,
+            workers=plan.jobs,
+            batch=plan.batch,
         )
         return mean_of(errors)
-    if batch is not None and batch > 1:
+    if plan.batch is not None:
         from repro.experiments.executor import mean_of
 
         reference = precise_output(spec, workload_seed)
@@ -366,13 +395,20 @@ def mean_qos(
             for s in fault_seeds
         ]
         errors = []
-        for start in range(0, len(keys), batch):
-            for result in run_keys_batch(keys[start : start + batch]):
+        for start in range(0, len(keys), plan.batch):
+            for result in run_keys_batch(keys[start : start + plan.batch]):
                 errors.append(spec.qos(reference, result.output))
         return mean_of(errors)
     total = 0.0
     for fault_seed in fault_seeds:
-        total += qos_error(spec, config, fault_seed, workload_seed)
+        total += qos_error(
+            RunKey(
+                spec=spec,
+                config=config,
+                fault_seed=fault_seed,
+                workload_seed=workload_seed,
+            )
+        )
     return total / runs
 
 

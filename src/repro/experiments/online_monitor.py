@@ -19,7 +19,7 @@ import dataclasses
 from typing import Dict, List
 
 from repro.apps import ALL_APPS, AppSpec
-from repro.experiments.harness import qos_error
+from repro.experiments.harness import RunKey, qos_error
 from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD
 
 __all__ = ["MonitorTrace", "run_online_monitor", "format_trace", "main"]
@@ -69,7 +69,9 @@ def run_online_monitor(
 
     for request in range(requests):
         config = LADDER[level]
-        error = qos_error(spec, config, fault_seed=request + 1, workload_seed=0)
+        error = qos_error(
+            RunKey(spec=spec, config=config, fault_seed=request + 1, workload_seed=0)
+        )
         levels.append(level)
         samples.append(error)
         if error > qos_budget:

@@ -34,7 +34,7 @@ from typing import Dict, List, Tuple
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.energy.model import SERVER, EnergyParameters
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_key
 from repro.hardware.config import BASELINE, MEDIUM, HardwareConfig
 from repro.runtime.stats import RunStats
 
@@ -130,7 +130,9 @@ def static_vs_dynamic_rows(
     """Energy with static enforcement vs. with a dynamic monitor."""
     rows = []
     for spec in apps if apps is not None else ALL_APPS:
-        stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+        stats = run_key(
+            RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+        ).stats
         sram_unit, dram_unit = _calibrate(stats, params)
         baseline_cost = _absolute_cost(stats, BASELINE, params, sram_unit, dram_unit)
 

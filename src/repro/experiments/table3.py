@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from repro.apps import ALL_APPS, AppSpec
 from repro.experiments.annotations_census import census_app
-from repro.experiments.harness import run_app
+from repro.experiments.harness import RunKey, run_key
 from repro.hardware.config import BASELINE
 
 __all__ = ["table3_rows", "format_table3", "main"]
@@ -20,7 +20,9 @@ __all__ = ["table3_rows", "format_table3", "main"]
 
 def table3_row(spec: AppSpec) -> Dict[str, object]:
     census = census_app(spec)
-    stats = run_app(spec, BASELINE, fault_seed=0, workload_seed=0).stats
+    stats = run_key(
+        RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+    ).stats
     return {
         "app": spec.name,
         "description": spec.description,

@@ -30,6 +30,15 @@ On top of the channels sits the sharded dispatch loop
    home shard over the control channels, so the fleet converges on
    every key living where the map says it lives.
 
+Budget items (protocol v2 ``qos_budget`` submits) ride the same loop
+with two deliberate differences: they shard on their **controller
+identity** (app + budget) so one online tuner per identity sees every
+request, and their groups are **never hedged** — controller state is
+not idempotent, so racing two nodes would fork the feedback loop.
+After a budget group answers, the controller's content-addressed state
+is standby-replicated to the ring successor over the same
+``store_pull``/``store_push`` ops as run entries.
+
 Per-item results come back daemon-shaped (``{"ok": ..., "result" |
 "error": ...}``) in input order; transport failures never surface as
 exceptions from ``submit_items`` unless the whole fleet is gone.
@@ -256,34 +265,58 @@ class _Node:
 class _WorkItem:
     """One campaign item with its routing identity."""
 
-    __slots__ = ("index", "item", "digest", "ref_digest", "rounds")
+    __slots__ = ("index", "item", "digest", "ref_digest", "budget", "rounds")
 
-    def __init__(self, index: int, item: dict, digest: str, ref_digest: Optional[str]) -> None:
+    def __init__(
+        self,
+        index: int,
+        item: dict,
+        digest: str,
+        ref_digest: Optional[str],
+        budget: bool = False,
+    ) -> None:
         self.index = index
         self.item = item
         self.digest = digest
         self.ref_digest = ref_digest
+        self.budget = budget
         self.rounds = 0
 
 
-def _routing_digest(item: dict) -> Tuple[str, Optional[str]]:
-    """(shard digest, precise-reference digest) for one wire item.
+def _routing_digest(item: dict) -> Tuple[str, Optional[str], bool]:
+    """(shard digest, precise-reference digest, budget?) for one item.
 
     Raises :class:`~repro.service.protocol.ProtocolError` for items the
     daemon would reject anyway.  Crash probes (test-only) cannot
     resolve a RunKey; they shard on a hash of their seed instead and
     never replicate.
+
+    Budget items (v2) shard on their **controller identity** — app and
+    budget, the immutable fields of the tuner state — so every budget
+    request for one (app, budget) lands on the same home daemon and
+    feeds one controller.  Their reference digest is the app's baseline
+    profile key, which the home shard needs for QoS references anyway.
     """
     request = SimRequest.from_wire(item)
     if request.is_crash_probe:
         material = f"crash:{request.fault_seed}:{request.workload_seed}"
-        return hashlib.sha256(material.encode("utf-8")).hexdigest(), None
+        return hashlib.sha256(material.encode("utf-8")).hexdigest(), None, False
+    if request.is_budget:
+        from repro.apps import app_by_name
+        from repro.experiments.runkey import RunKey
+        from repro.hardware.config import BASELINE
+
+        spec = app_by_name(request.app)
+        material = f"tuner:{spec.name}:{request.qos_budget!r}"
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        reference = RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+        return digest, reference.digest, True
     try:
         key = request.resolve_key()
     except KeyError as exc:
         # from_wire only checks shape; an unknown app name surfaces here.
         raise ProtocolError(str(exc.args[0] if exc.args else exc)) from None
-    return key.digest, key.precise_reference().digest
+    return key.digest, key.precise_reference().digest, False
 
 
 class FleetClient:
@@ -375,12 +408,12 @@ class FleetClient:
         work: List[_WorkItem] = []
         for index, item in enumerate(items):
             try:
-                digest, ref_digest = _routing_digest(item)
+                digest, ref_digest, budget = _routing_digest(item)
             except ProtocolError as exc:
                 self._event("fabric.bad_requests")
                 results[index] = error_response(None, exc.code, str(exc))
                 continue
-            work.append(_WorkItem(index, item, digest, ref_digest))
+            work.append(_WorkItem(index, item, digest, ref_digest, budget))
         self._event("fabric.items_total", len(work))
 
         max_rounds = len(self._nodes) + 1
@@ -393,7 +426,11 @@ class FleetClient:
                         None, ERROR_FLEET_UNAVAILABLE, str(exc)
                     )
                 break
-            groups: Dict[str, List[_WorkItem]] = {}
+            # Budget items group apart from fixed-config items (the
+            # (home, budget?) key): a controller's feedback loop is not
+            # idempotent, so budget groups are never hedged — a hedge
+            # would drive two divergent controllers for one identity.
+            groups: Dict[Tuple[str, bool], List[_WorkItem]] = {}
             for entry in work:
                 entry.rounds += 1
                 if entry.rounds > max_rounds:
@@ -403,21 +440,24 @@ class FleetClient:
                         f"no fleet node answered after {max_rounds} dispatch rounds",
                     )
                     continue
-                groups.setdefault(shard_map.assign(entry.digest), []).append(entry)
+                home = shard_map.assign(entry.digest)
+                groups.setdefault((home, entry.budget), []).append(entry)
             if not groups:
                 break
             # Phase 1 — dispatch every group concurrently.
             dispatched = []
-            for home, members in sorted(groups.items()):
+            for (home, budget), members in sorted(groups.items()):
                 node = self._nodes[home]
                 pending = node.work.request(
                     {"op": "batch", "items": [m.item for m in members]}
                 )
-                dispatched.append((home, members, pending))
+                dispatched.append((home, budget, members, pending))
             # Phase 2 — collect, hedging stragglers.
             work = []
-            for home, members, pending in dispatched:
-                retry = self._collect_group(shard_map, home, members, pending, results)
+            for home, budget, members, pending in dispatched:
+                retry = self._collect_group(
+                    shard_map, home, members, pending, results, allow_hedge=not budget
+                )
                 work.extend(retry)
         return [
             result
@@ -433,12 +473,13 @@ class FleetClient:
         members: List[_WorkItem],
         pending: _Pending,
         results: List[Optional[dict]],
+        allow_hedge: bool = True,
     ) -> List[_WorkItem]:
         """Wait for one group, hedging and failing over; returns retries."""
         deadline = time.monotonic() + self.timeout if self.timeout else None
         hedge_pending: Optional[_Pending] = None
         hedge_label: Optional[str] = None
-        if self.hedge_s is not None and not pending.wait(self.hedge_s):
+        if allow_hedge and self.hedge_s is not None and not pending.wait(self.hedge_s):
             hedge_label = self._successor(shard_map, members[0].digest, home)
             if hedge_label is not None:
                 self._event("fabric.hedged", len(members))
@@ -510,6 +551,8 @@ class FleetClient:
             self._event("fabric.failovers", len(retries))
         if winner_label != home:
             self._replicate_group(winner_label, home, members, answers)
+        elif any(entry.budget for entry in members):
+            self._replicate_tuner_states(shard_map, winner_label, members, answers)
         return retries
 
     # ------------------------------------------------------------------
@@ -530,7 +573,14 @@ class FleetClient:
         for entry, answer in zip(members, answers):
             if not answer.get("ok"):
                 continue
-            for digest in (entry.digest, entry.ref_digest):
+            # A budget item's routing digest names its controller, not a
+            # store entry; the executed probe's digest is in the answer.
+            run_digest = (
+                (answer.get("result") or {}).get("digest")
+                if entry.budget
+                else entry.digest
+            )
+            for digest in (run_digest, entry.ref_digest):
                 if digest is not None and digest not in seen:
                     seen.add(digest)
                     digests.append(digest)
@@ -539,6 +589,38 @@ class FleetClient:
                 self._event("fabric.replication_failures")
             else:
                 self._event("fabric.replicated_entries")
+
+    def _replicate_tuner_states(
+        self,
+        shard_map: ShardMap,
+        source: str,
+        members: List[_WorkItem],
+        answers: List[dict],
+    ) -> None:
+        """Standby-copy controller states to each identity's successor.
+
+        Budget groups are never hedged, so their answers always come
+        from the home shard; replicating the post-observation state to
+        the ring successor means a home failover resumes a warm
+        controller (the successor adopts whichever snapshot has seen
+        more observations) instead of re-exploring from scratch.
+        """
+        seen = set()
+        for entry, answer in zip(members, answers):
+            if not entry.budget or not answer.get("ok"):
+                continue
+            tuner = (answer.get("result") or {}).get("tuner") or {}
+            state_digest = tuner.get("state_digest")
+            if not state_digest or state_digest in seen:
+                continue
+            seen.add(state_digest)
+            target = self._successor(shard_map, entry.digest, source)
+            if target is None:
+                continue
+            if self.replicate_entry(state_digest, source, target):
+                self._event("fabric.replicated_tuner_states")
+            else:
+                self._event("fabric.replication_failures")
 
     def replicate_entry(self, digest: str, source: str, target: str) -> bool:
         """Pull ``digest`` from ``source`` and push it to ``target``."""

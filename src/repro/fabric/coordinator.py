@@ -22,6 +22,13 @@ What the coordinator adds over a lone daemon:
   those keys move) to the survivors.
 - **Replication** — entries answered off their home shard are copied
   home over ``store_pull``/``store_push``.
+- **Budget routing (protocol v2)** — ``{app, qos_budget}`` submits
+  shard on their controller identity (app + budget), so one home
+  daemon's online tuner sees every request for that identity; budget
+  groups are never hedged, and each answered group's controller state
+  is standby-replicated to the ring successor.  A protocol-1 node that
+  receives a budget item answers a clean ``unsupported_op`` error,
+  which the coordinator relays verbatim.
 - **Fleet metrics** — ``/metrics`` merges every node's
   :class:`~repro.observability.metrics.MetricsRegistry` (the PR-2
   monoid: exact integer addition) with the coordinator's own

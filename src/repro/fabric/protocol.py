@@ -26,6 +26,7 @@ from repro.service.protocol import (
     ERROR_DRAINING,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
+    ERROR_UNSUPPORTED,
     ERROR_WORKER_CRASHED,
     OP_STORE_PULL,
     OP_STORE_PUSH,
@@ -43,9 +44,11 @@ __all__ = [
 
 #: The fabric speaks daemon protocol version N as its baseline; its own
 #: version counts the coordinator extensions (shards op, fleet errors).
-FABRIC_PROTOCOL_VERSION = 1
+#: v2 routes budget submits (``qos_budget``) to the app's home shard
+#: and replicates online-tuner controller states alongside run entries.
+FABRIC_PROTOCOL_VERSION = 2
 
-assert PROTOCOL_VERSION == 1, "bump FABRIC_PROTOCOL_VERSION review on daemon bumps"
+assert PROTOCOL_VERSION == 2, "bump FABRIC_PROTOCOL_VERSION review on daemon bumps"
 
 #: Coordinator-only op: the current shard map (nodes, vnodes, hash fn).
 OP_SHARDS = "shards"
@@ -56,14 +59,15 @@ ERROR_FLEET_UNAVAILABLE = "fleet_unavailable"
 #: Every message type the coordinator answers, with the client-facing
 #: response field.  Keys are the wire ``op`` values.
 MESSAGE_TYPES = {
-    "submit": "one simulation request -> {ok, result} (daemon-shaped)",
+    "submit": "one simulation request (fixed config, or qos_budget routed "
+    "to the app's home shard) -> {ok, result} (daemon-shaped)",
     "batch": "a list of items -> {ok, results} in item order",
     "healthz": "fleet liveness -> {ok, healthz} incl. per-node status",
     "metrics": "merged fleet metrics -> {ok, metrics}",
     "config": "coordinator config -> {ok, config}",
     OP_SHARDS: "the consistent-hash shard map -> {ok, shards}",
-    OP_STORE_PULL: "node-facing: raw entry for a digest -> {ok, entry}",
-    OP_STORE_PUSH: "node-facing: install a raw entry -> {ok, stored}",
+    OP_STORE_PULL: "node-facing: raw entry or tuner state for a digest -> {ok, entry}",
+    OP_STORE_PUSH: "node-facing: install a raw entry or tuner state -> {ok, stored}",
 }
 
 #: Every structured error code a coordinator response may carry.  The
@@ -75,6 +79,7 @@ ERROR_CODES = {
     ERROR_DRAINING: "node or coordinator is shutting down",
     ERROR_WORKER_CRASHED: "a node exhausted its crash-retry budget (relayed)",
     ERROR_INTERNAL: "unexpected coordinator-side failure",
+    ERROR_UNSUPPORTED: "a budget item reached a protocol-1 node (relayed; never a hang)",
     ERROR_FLEET_UNAVAILABLE: "every node in the succession order failed",
 }
 
@@ -89,6 +94,7 @@ METRIC_NAMES = {
     "fabric.failovers": "items answered by a non-home node after a node error",
     "fabric.node_errors": "node-level transport/protocol failures observed",
     "fabric.replicated_entries": "store entries copied to their home shard",
+    "fabric.replicated_tuner_states": "online-tuner states copied to their home shard",
     "fabric.replication_failures": "replication attempts that failed",
     "fabric.latency_ms": "histogram: coordinator-side item latency",
 }

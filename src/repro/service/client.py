@@ -74,7 +74,13 @@ class ServiceRequestFailed(ServiceError):
 
 @dataclasses.dataclass(frozen=True)
 class SubmitResult:
-    """One answered simulation request."""
+    """One answered simulation request.
+
+    The v2 budget fields (``qos_budget`` through ``tuner``) are ``None``
+    on fixed-config answers; a budget answer's ``config`` is the
+    composed ``tuned:<app>`` name and its ``levels``/``energy`` describe
+    the vector the online controller actually ran.
+    """
 
     app: str
     config: str
@@ -88,6 +94,11 @@ class SubmitResult:
     endorsements: int
     trace_summary: Optional[dict]
     server_ms: Optional[float]
+    qos_budget: Optional[float] = None
+    levels: Optional[Dict[str, int]] = None
+    energy: Optional[float] = None
+    within_budget: Optional[bool] = None
+    tuner: Optional[dict] = None
 
     @classmethod
     def from_wire(cls, result: dict) -> "SubmitResult":
@@ -104,6 +115,11 @@ class SubmitResult:
             endorsements=result.get("endorsements", 0),
             trace_summary=result.get("trace_summary"),
             server_ms=result.get("server_ms"),
+            qos_budget=result.get("qos_budget"),
+            levels=result.get("levels"),
+            energy=result.get("energy"),
+            within_budget=result.get("within_budget"),
+            tuner=result.get("tuner"),
         )
 
 
@@ -168,21 +184,41 @@ class ServiceClient:
     def submit(
         self,
         app: str,
-        config: str = "medium",
+        config: Optional[str] = None,
         fault_seed: int = 0,
         workload_seed: int = 0,
         want_trace_summary: bool = False,
         deadline_ms: Optional[int] = None,
+        qos_budget: Optional[float] = None,
     ) -> SubmitResult:
-        """One simulation request; blocks until answered or failed."""
+        """One simulation request; blocks until answered or failed.
+
+        Name *either* a fixed ``config`` (default ``"medium"``, the v1
+        form) *or* a ``qos_budget`` — the daemon's online tuner then
+        chooses the levels and seeds, so a budget submit may not carry
+        ``config`` or explicit seeds.  ``deadline_ms=0`` explicitly
+        disables the server's default deadline (v2).
+        """
         message: Dict[str, object] = {
             "op": "submit",
             "app": app,
-            "config": config,
-            "fault_seed": fault_seed,
-            "workload_seed": workload_seed,
             "want_trace_summary": want_trace_summary,
         }
+        if qos_budget is not None:
+            if config is not None:
+                raise ServiceError(
+                    "submit() takes a fixed config or a qos_budget, not both"
+                )
+            if fault_seed or workload_seed:
+                raise ServiceError(
+                    "budget submits take no seeds: the online tuner owns "
+                    "the sampling schedule"
+                )
+            message["qos_budget"] = qos_budget
+        else:
+            message["config"] = config if config is not None else "medium"
+            message["fault_seed"] = fault_seed
+            message["workload_seed"] = workload_seed
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
         response = self._roundtrip(message)

@@ -26,6 +26,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Tuple
 
+from repro.service.protocol import PROTOCOL_VERSION
+
 __all__ = ["ServiceConfig", "DEFAULT_PORT"]
 
 #: Default TCP port of the simulation daemon (unassigned by IANA).
@@ -55,6 +57,11 @@ class ServiceConfig:
     #: App names whose compiled programs are built once at boot and
     #: inherited by every worker; ``("all",)`` warms the whole suite.
     warm_apps: Tuple[str, ...] = ("all",)
+    #: Highest protocol version this daemon speaks.  Pinning to ``1``
+    #: makes the daemon behave like a pre-v2 node: budget submits are
+    #: answered with an ``unsupported_op`` error envelope and no online
+    #: tuner is instantiated (compatibility testing, staged rollouts).
+    max_protocol: int = PROTOCOL_VERSION
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -69,6 +76,10 @@ class ServiceConfig:
             raise ValueError("drain_timeout_s must be >= 0")
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if not 1 <= self.max_protocol <= PROTOCOL_VERSION:
+            raise ValueError(
+                f"max_protocol must be in [1, {PROTOCOL_VERSION}], got {self.max_protocol}"
+            )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe dump (``repro serve --dump-config``)."""

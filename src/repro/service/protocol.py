@@ -17,26 +17,43 @@ Failures are structured::
     <- {"id": 1, "ok": false,
         "error": {"code": "overloaded", "message": "...", "retry_after_s": 0.4}}
 
+**Protocol version 2** redesigns ``submit`` around intent: a request
+names *either* a fixed configuration (``{"app", "config"}``, the v1
+shape, still accepted and answered bit-identically) *or* a QoS budget
+(``{"app", "qos_budget": 0.05}``), letting the daemon's online tuner
+(:mod:`repro.tuner`) choose the per-mechanism approximation levels.
+Budget requests may not carry ``config`` or seeds — the controller
+owns the sampling schedule — and their results add ``qos_budget``,
+``levels``, ``energy``, ``within_budget`` and a ``tuner`` block to the
+v1 result fields.  A daemon pinned to protocol 1 (or any pre-v2
+daemon) answers budget submits with a clean ``unsupported_op`` error
+envelope, never a hang.  ``deadline_ms`` gained an explicit zero: v1
+rejected ``0``; v2 defines ``0`` as *no deadline* (overriding the
+server default) and still rejects negatives.
+
 The daemon additionally answers minimal ``HTTP GET`` requests for
 ``/healthz``, ``/metrics`` and ``/config`` on the same port (so
 ``curl`` works against a running daemon); the bodies are the same JSON
 payloads as the ``healthz`` / ``metrics`` / ``config`` ops.
 
 Two store-exchange ops (``store_pull`` / ``store_push``) move raw,
-self-validating store entries between nodes; they exist for the fabric
-coordinator's replication path (FABRIC.md) but are plain daemon ops
-any client may use.
+self-validating payloads between nodes: run-store entries, and (v2)
+online-tuner controller states, distinguished by their ``kind``
+marker.  They exist for the fabric coordinator's replication path
+(FABRIC.md) but are plain daemon ops any client may use.
 
 The full schema — every op, field, error code and metric — is
-documented in SERVICE.md.
+documented in SERVICE.md; the catalogs at the bottom of this module
+are drift-pinned to it by ``tests/test_docs.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.apps import app_by_name
 from repro.hardware.config import (
@@ -67,9 +84,15 @@ __all__ = [
     "ERROR_DRAINING",
     "ERROR_WORKER_CRASHED",
     "ERROR_INTERNAL",
+    "ERROR_UNSUPPORTED",
+    "MESSAGE_TYPES",
+    "ERROR_CODES",
+    "METRIC_NAMES",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2 added budget submits (``qos_budget``), the tuner result fields,
+#: tuner-state store exchange and the explicit ``deadline_ms: 0``.
+PROTOCOL_VERSION = 2
 
 #: Store-exchange ops (raw entry replication between nodes).
 OP_STORE_PULL = "store_pull"
@@ -91,6 +114,7 @@ ERROR_DEADLINE = "deadline_exceeded"
 ERROR_DRAINING = "draining"              # daemon is shutting down
 ERROR_WORKER_CRASHED = "worker_crashed"  # retry budget exhausted
 ERROR_INTERNAL = "internal"
+ERROR_UNSUPPORTED = "unsupported_op"     # protocol feature beyond this node
 
 #: Test-only sentinel app: a worker receiving it dies immediately, so
 #: the crash-isolation path can be exercised deterministically.  Only
@@ -113,15 +137,28 @@ class ProtocolError(ValueError):
 
 @dataclasses.dataclass(frozen=True)
 class SimRequest:
-    """One validated simulation request (a single or batch item)."""
+    """One validated simulation request (a single or batch item).
+
+    Exactly one of two intents: a **fixed config** (``config`` set,
+    ``qos_budget`` None — the v1 shape) or a **budget** (``qos_budget``
+    set, ``config`` None).  ``levels`` is never wire-parsed: the server
+    resolves a budget request into a concrete level vector through its
+    tuner and re-issues the request with ``levels`` set
+    (:meth:`with_levels`) so the execution path downstream is uniform.
+    """
 
     app: str
-    config: str
+    config: Optional[str] = "medium"
     fault_seed: int = 0
     workload_seed: int = 0
     want_trace_summary: bool = False
-    #: Per-request deadline; ``None`` falls back to the server default.
+    #: Per-request deadline; ``None`` falls back to the server default,
+    #: ``0`` explicitly disables any deadline (v2).
     deadline_ms: Optional[int] = None
+    #: QoS-error budget; the server's tuner picks the levels (v2).
+    qos_budget: Optional[float] = None
+    #: Resolved per-mechanism levels, sorted items (server-internal).
+    levels: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @classmethod
     def from_wire(cls, item: object) -> "SimRequest":
@@ -131,11 +168,31 @@ class SimRequest:
         app = item.get("app")
         if not isinstance(app, str) or not app:
             raise ProtocolError("missing or invalid 'app' (expected a string)")
-        config = item.get("config", "medium")
-        if config not in CONFIGS:
-            raise ProtocolError(
-                f"unknown config {config!r}; expected one of {sorted(CONFIGS)}"
-            )
+        qos_budget = item.get("qos_budget")
+        if qos_budget is not None:
+            if "config" in item:
+                raise ProtocolError(
+                    "'config' and 'qos_budget' are mutually exclusive: a request "
+                    "names a fixed configuration or a budget, not both"
+                )
+            for seed_field in ("fault_seed", "workload_seed"):
+                if seed_field in item:
+                    raise ProtocolError(
+                        f"{seed_field!r} is not accepted with 'qos_budget': the "
+                        "online tuner owns the sampling schedule"
+                    )
+            if isinstance(qos_budget, bool) or not isinstance(qos_budget, (int, float)):
+                raise ProtocolError("'qos_budget' must be a number (QoS error budget)")
+            qos_budget = float(qos_budget)
+            if not math.isfinite(qos_budget) or qos_budget <= 0:
+                raise ProtocolError("'qos_budget' must be positive and finite")
+            config = None
+        else:
+            config = item.get("config", "medium")
+            if config not in CONFIGS:
+                raise ProtocolError(
+                    f"unknown config {config!r}; expected one of {sorted(CONFIGS)}"
+                )
         if app == CRASH_APP:
             if not crash_requests_allowed():
                 raise ProtocolError(f"unknown application {app!r}")
@@ -156,8 +213,8 @@ class SimRequest:
         if deadline_ms is not None:
             if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
                 raise ProtocolError("'deadline_ms' must be an integer (milliseconds)")
-            if deadline_ms <= 0:
-                raise ProtocolError("'deadline_ms' must be positive")
+            if deadline_ms < 0:
+                raise ProtocolError("'deadline_ms' must be >= 0 (0 = no deadline)")
         return cls(
             app=app,
             config=config,
@@ -165,6 +222,7 @@ class SimRequest:
             workload_seed=workload_seed,
             want_trace_summary=want,
             deadline_ms=deadline_ms,
+            qos_budget=qos_budget,
         )
 
     # ------------------------------------------------------------------
@@ -172,26 +230,74 @@ class SimRequest:
     def is_crash_probe(self) -> bool:
         return self.app == CRASH_APP
 
+    @property
+    def is_budget(self) -> bool:
+        """A v2 budget request still awaiting tuner level resolution."""
+        return self.qos_budget is not None
+
+    def effective_deadline_ms(self, default_ms: int) -> Optional[int]:
+        """The deadline this request runs under (None = unbounded).
+
+        ``None`` on the wire falls back to the server default; ``0`` on
+        the wire — or a zero default — means no deadline at all.
+        """
+        deadline_ms = self.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = default_ms
+        return deadline_ms if deadline_ms else None
+
+    def with_levels(
+        self, levels: Dict[str, int], fault_seed: int, workload_seed: int
+    ) -> "SimRequest":
+        """A budget request resolved to concrete levels and seeds.
+
+        The result is executable by the same store/worker path as a
+        fixed-config request; ``config`` stays ``None`` and ``levels``
+        carries the tuner's choice.
+        """
+        return dataclasses.replace(
+            self,
+            levels=tuple(sorted(levels.items())),
+            fault_seed=fault_seed,
+            workload_seed=workload_seed,
+        )
+
+    def resolve_config(self) -> HardwareConfig:
+        """The concrete :class:`HardwareConfig` this request runs."""
+        if self.levels is not None:
+            from repro.tuner.search import compose_config
+
+            return compose_config(dict(self.levels), name=f"tuned:{self.app}")
+        if self.config is None:
+            raise ProtocolError(
+                "budget request has no resolved levels yet", code=ERROR_INTERNAL
+            )
+        return CONFIGS[self.config]
+
     def resolve_key(self):
         """The :class:`~repro.experiments.runkey.RunKey` this names."""
         from repro.experiments.runkey import RunKey
 
         return RunKey(
             spec=app_by_name(self.app),
-            config=CONFIGS[self.config],
+            config=self.resolve_config(),
             fault_seed=self.fault_seed,
             workload_seed=self.workload_seed,
         )
 
     def task_payload(self) -> Dict[str, object]:
         """The picklable form dispatched to a worker process."""
-        return {
+        payload: Dict[str, object] = {
             "app": self.app,
-            "config": self.config,
             "fault_seed": self.fault_seed,
             "workload_seed": self.workload_seed,
             "want_trace_summary": self.want_trace_summary,
         }
+        if self.levels is not None:
+            payload["levels"] = dict(self.levels)
+        else:
+            payload["config"] = self.config
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -235,3 +341,59 @@ def decode_line(line: bytes) -> Dict[str, object]:
     if not isinstance(message, dict):
         raise ProtocolError("request line must be a JSON object")
     return message
+
+
+# ----------------------------------------------------------------------
+# The v2 schema catalogs — data only, drift-pinned to SERVICE.md by
+# tests/test_docs.py (the spec cannot drift from the code).
+# ----------------------------------------------------------------------
+
+#: Every op the daemon answers, with the client-facing response field.
+MESSAGE_TYPES = {
+    "submit": "one simulation request (fixed config or qos_budget) -> {ok, result}",
+    "batch": "a list of submit items -> {ok, results} in item order",
+    "healthz": "liveness + protocol version -> {ok, healthz}",
+    "metrics": "the daemon's MetricsRegistry + gauges -> {ok, metrics}",
+    "config": "the effective ServiceConfig -> {ok, config}",
+    OP_STORE_PULL: "raw payload (run entry or tuner state) for a digest -> {ok, entry}",
+    OP_STORE_PUSH: "install a raw payload (run entry or tuner state) -> {ok, stored}",
+}
+
+#: Every structured error code a daemon response may carry.
+ERROR_CODES = {
+    ERROR_BAD_REQUEST: "malformed request item or unknown op",
+    ERROR_OVERLOADED: "admission queue full; retry after retry_after_s",
+    ERROR_DEADLINE: "deadline expired (queued or awaiting execution)",
+    ERROR_DRAINING: "daemon is shutting down; resubmit elsewhere",
+    ERROR_WORKER_CRASHED: "crash retry budget exhausted for this request",
+    ERROR_INTERNAL: "unexpected failure executing the request",
+    ERROR_UNSUPPORTED: "request needs a protocol feature beyond this node (e.g. qos_budget against protocol 1)",
+}
+
+
+def _service_metric_names() -> Dict[str, str]:
+    from repro.tuner.catalog import TUNER_METRIC_NAMES
+
+    names = {
+        "service.requests_total": "submit items admitted (batch items count 1 each)",
+        "service.batches_total": "batch ops received",
+        "service.bad_requests": "requests rejected at validation",
+        "service.hits": "requests answered inline from the run store",
+        "service.misses": "requests that executed on a worker",
+        "service.coalesced": "requests that joined an identical in-flight miss",
+        "service.rejected": "requests refused by admission-queue backpressure",
+        "service.rejected_draining": "requests refused while draining",
+        "service.deadline_expired": "waiters abandoned by their deadline",
+        "service.worker_restarts": "worker processes respawned after a death",
+        "service.worker_crash_failures": "requests failed after the crash retry budget",
+        "service.store_pulls": "store_pull ops served",
+        "service.store_pushes": "store_push ops served",
+        "service.latency_ms": "histogram: request latency (admission to answer)",
+    }
+    names.update(TUNER_METRIC_NAMES)
+    return names
+
+
+#: Every counter/histogram the daemon's metrics payload may carry,
+#: including the online tuner's ``tuner.*`` catalog.
+METRIC_NAMES = _service_metric_names()

@@ -61,13 +61,23 @@ class ServiceRoute:
         return self._lost
 
     def accepts(self, key) -> bool:
-        """Whether this run can be named on the wire protocol."""
+        """Whether this run can be named on the wire protocol.
+
+        Tuner-composed configs (``tuned:*``) never route even under
+        protocol v2: a fixed-config submit names only the catalogued
+        levels, and budget submits belong to the *daemon's* controllers
+        — a local tuner driving its own probes must execute them
+        locally, or its feedback loop would entangle with the remote
+        one.
+        """
         if self._lost:
             return False
         from repro.apps import app_by_name
         from repro.service.protocol import CONFIGS
 
         config_name = getattr(key.config, "name", None)
+        if config_name is None or config_name.startswith("tuned:"):
+            return False
         if CONFIGS.get(config_name) != key.config:
             return False
         try:

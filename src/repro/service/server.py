@@ -50,10 +50,10 @@ from repro.service.protocol import (
     ERROR_DEADLINE,
     ERROR_DRAINING,
     ERROR_OVERLOADED,
+    ERROR_UNSUPPORTED,
     ERROR_WORKER_CRASHED,
     OP_STORE_PULL,
     OP_STORE_PUSH,
-    PROTOCOL_VERSION,
     ProtocolError,
     SimRequest,
     decode_line,
@@ -62,6 +62,9 @@ from repro.service.protocol import (
     ok_response,
 )
 from repro.service.workers import WorkerPool, warm_specs_for
+from repro.tuner.controller import TunerBank
+from repro.tuner.search import levels_energy
+from repro.tuner.state import TUNER_STATE_KIND
 
 __all__ = ["SimulationServer"]
 
@@ -229,6 +232,11 @@ class SimulationServer:
             retry_budget=config.retry_budget,
             on_restart=lambda: self._inc("service.worker_restarts"),
         )
+        # The online controllers behind v2 budget submits; a daemon
+        # pinned to protocol 1 has none and answers `unsupported_op`.
+        self._tuners: Optional[TunerBank] = (
+            TunerBank(on_event=self._inc) if config.max_protocol >= 2 else None
+        )
         self._tcp: Optional[_TCPServer] = None
         self._tcp_thread: Optional[threading.Thread] = None
         self._draining = False
@@ -365,6 +373,12 @@ class SimulationServer:
                     (error_response(None, exc.code, str(exc)), None, started_at)
                 )
                 continue
+            if request.is_budget:
+                # Budget items resolve through their controller, which
+                # serialises per (app, budget) anyway — answer in phase
+                # 1; fixed-config misses still fan out concurrently.
+                admitted.append((self._submit_budget(request, started_at), None, started_at))
+                continue
             admitted.append((self._admit(request, started_at), request, started_at))
         # Phase 2 — gather, in item order.
         results = []
@@ -377,10 +391,69 @@ class SimulationServer:
 
     def _submit_and_wait(self, request: SimRequest) -> dict:
         started_at = time.monotonic()
+        if request.is_budget:
+            return self._submit_budget(request, started_at)
         outcome = self._admit(request, started_at)
         if isinstance(outcome, _Task):
             return self._await_task(outcome, request, started_at)
         return outcome
+
+    # ------------------------------------------------------------------
+    # The v2 budget path: controller chooses the levels, observes the QoS
+    # ------------------------------------------------------------------
+    def _submit_budget(self, request: SimRequest, started_at: float) -> dict:
+        """Answer one ``{app, qos_budget}`` submit through its controller.
+
+        The controller proposes a probe (levels + seeds), the probe runs
+        through the ordinary admission path (store hits, coalescing and
+        deadlines all apply), and the observed QoS error feeds the state
+        machine before the response — which carries the executed levels,
+        their energy and the controller's post-observation ``tuner``
+        block — is returned.  Probe failures (deadline, backpressure)
+        are relayed as-is and do not advance the controller.
+        """
+        if self._tuners is None:
+            return error_response(
+                None,
+                ERROR_UNSUPPORTED,
+                "'qos_budget' requires protocol 2; this node speaks "
+                f"protocol {self.config.max_protocol}",
+            )
+        from repro.apps import app_by_name
+
+        tuner = self._tuners.obtain(app_by_name(request.app), request.qos_budget)
+        with tuner.lock:
+            levels, fault_seed, workload_seed = tuner.next_probe()
+            resolved = request.with_levels(levels, fault_seed, workload_seed)
+            outcome = self._admit(resolved, started_at)
+            if isinstance(outcome, _Task):
+                outcome = self._await_task(outcome, resolved, started_at)
+            if not outcome.get("ok"):
+                return outcome
+            result = dict(outcome["result"])
+            qos = result["qos"]
+            events = tuner.observe(qos)
+            self._inc("tuner.requests_total")
+            self._inc("tuner.observations")
+            for event, metric in (
+                ("commits", "tuner.commits"),
+                ("rejections", "tuner.rejections"),
+                ("pruned", "tuner.pruned_static"),
+                ("backoffs", "tuner.backoffs"),
+                ("relaxes", "tuner.relaxes"),
+                ("converged", "tuner.converged"),
+                ("violations", "tuner.violations"),
+            ):
+                if events[event]:
+                    self._inc(metric, events[event])
+            if events["commits"] or events["rejections"]:
+                self._inc("tuner.trials")
+            result["qos_budget"] = tuner.qos_budget
+            result["levels"] = levels
+            result["energy"] = levels_energy(tuner.baseline_stats(), levels)
+            result["within_budget"] = qos <= tuner.qos_budget
+            result["tuner"] = tuner.info()
+        return {"ok": True, "result": result}
 
     # ------------------------------------------------------------------
     def _admit(self, request: SimRequest, started_at: float):
@@ -397,10 +470,10 @@ class SimulationServer:
                 self._inc("service.hits")
                 hit["server_ms"] = round(self._observe_latency(started_at), 3)
                 return {"ok": True, "result": hit}
-        deadline_ms = request.deadline_ms
-        if deadline_ms is None and self.config.default_deadline_ms:
-            deadline_ms = self.config.default_deadline_ms
-        deadline_at = started_at + deadline_ms / 1000.0 if deadline_ms else None
+        deadline_ms = request.effective_deadline_ms(self.config.default_deadline_ms)
+        deadline_at = (
+            started_at + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
         coalesce_key: object
         if request.is_crash_probe:
             coalesce_key = object()  # crash probes never coalesce
@@ -451,7 +524,7 @@ class SimulationServer:
         qos = key.spec.qos(reference.output, entry.output)
         return {
             "app": key.spec.name,
-            "config": request.config,
+            "config": request.config if request.levels is None else key.config.name,
             "fault_seed": key.fault_seed,
             "workload_seed": key.workload_seed,
             "qos": qos,
@@ -488,6 +561,10 @@ class SimulationServer:
                 payload = self._store.get_raw(digest)
             except StoreError:
                 payload = None
+        if payload is None and self._tuners is not None:
+            # Not a run entry: it may name a controller's current state
+            # (the fabric replicates tuner states over the same op).
+            payload = self._tuners.state_payload(digest)
         return ok_response(request_id, "entry", payload)
 
     def _handle_store_push(self, message: dict, request_id) -> dict:
@@ -506,6 +583,9 @@ class SimulationServer:
                 request_id, ERROR_BAD_REQUEST, "missing or invalid 'entry' (expected an object)"
             )
         self._inc("service.store_pushes")
+        if entry.get("kind") == TUNER_STATE_KIND:
+            stored = self._tuners is not None and self._tuners.install(entry)
+            return ok_response(request_id, "stored", stored)
         stored = False
         if self._store is not None:
             from repro.store import StoreError
@@ -518,11 +598,9 @@ class SimulationServer:
 
     def _await_task(self, task: _Task, request: SimRequest, started_at: float) -> dict:
         """Wait for a task's completion under this waiter's own deadline."""
-        deadline_ms = request.deadline_ms
-        if deadline_ms is None and self.config.default_deadline_ms:
-            deadline_ms = self.config.default_deadline_ms
+        deadline_ms = request.effective_deadline_ms(self.config.default_deadline_ms)
         timeout = None
-        if deadline_ms:
+        if deadline_ms is not None:
             timeout = max(0.0, started_at + deadline_ms / 1000.0 - time.monotonic())
         if not task.event.wait(timeout):
             # The execution continues and will warm the store; only
@@ -580,7 +658,7 @@ class SimulationServer:
     def healthz_payload(self) -> dict:
         return {
             "status": "draining" if self._draining else "serving",
-            "protocol": PROTOCOL_VERSION,
+            "protocol": self.config.max_protocol,
             "uptime_s": self._uptime_s(),
             "workers_alive": self._pool.alive_count(),
             "queue_depth": self._queue.qsize(),
@@ -617,7 +695,7 @@ class SimulationServer:
 
     def config_payload(self) -> dict:
         payload = self.config.as_dict()
-        payload["protocol"] = PROTOCOL_VERSION
+        payload["protocol"] = self.config.max_protocol
         payload["store"] = self._store.root if self._store is not None else None
         if self._tcp is not None:
             payload["address"] = list(self.address)

@@ -76,7 +76,14 @@ def _execute_service_task(payload: dict) -> dict:
         os._exit(13)
 
     spec = app_by_name(payload["app"])
-    config = CONFIGS[payload["config"]]
+    if "levels" in payload:
+        # A tuner-resolved budget probe: compose the per-mechanism level
+        # vector into a concrete config (protocol v2).
+        from repro.tuner.search import compose_config
+
+        config = compose_config(payload["levels"], name=f"tuned:{spec.name}")
+    else:
+        config = CONFIGS[payload["config"]]
     key = RunKey(
         spec=spec,
         config=config,

@@ -1,0 +1,90 @@
+"""Online QoS-SLO autotuning: budget-driven approximation control.
+
+The paper suggests an approximate execution substrate "could benefit
+from tuning to the characteristics of each application, either offline
+via profiling or online via continuous QoS measurement as in Green".
+PR 3's ``experiments/autotune.py`` is the offline half; this package is
+the online half, living in the service loop:
+
+* :mod:`repro.tuner.search` — the coordinate-search core both tuners
+  share (level vectors, composed configs, energy ordering, static-bound
+  pruning);
+* :mod:`repro.tuner.state` — deterministic, content-addressed
+  controller state (replayable bit-identically, replicable over
+  ``store_push``/``store_pull``);
+* :mod:`repro.tuner.controller` — the per-app online state machine
+  (explore/steady, hysteresis) and the daemon-side
+  :class:`~repro.tuner.controller.TunerBank`;
+* :mod:`repro.tuner.frontier` — the energy-vs-guaranteed-quality
+  frontier behind ``repro tune``;
+* :mod:`repro.tuner.catalog` — the ``tuner.*`` metrics catalog
+  (drift-pinned to SERVICE.md by ``tests/test_docs.py``).
+
+Protocol v2 (``{app, qos_budget}`` submits) threads these through the
+daemon, the fleet coordinator and the CLI; see SERVICE.md and
+FABRIC.md.
+"""
+
+from repro.tuner.catalog import TUNER_METRIC_NAMES
+from repro.tuner.controller import (
+    RELAX_MARGIN,
+    RELAX_STREAK,
+    SEED_CYCLE,
+    TRIAL_SAMPLES,
+    VIOLATION_STREAK,
+    OnlineTuner,
+    TunerBank,
+)
+from repro.tuner.frontier import (
+    DEFAULT_BUDGETS,
+    MAX_OBSERVATIONS,
+    FrontierPoint,
+    app_frontier,
+    converge,
+    format_frontier,
+    suite_frontier,
+)
+from repro.tuner.search import (
+    LEVEL_NAMES,
+    LEVELS,
+    MAX_LEVEL,
+    TUNABLE,
+    candidate_upgrades,
+    compose_config,
+    levels_bound,
+    levels_energy,
+)
+from repro.tuner.state import (
+    TUNER_STATE_KIND,
+    TUNER_STATE_SCHEMA_VERSION,
+    TunerState,
+)
+
+__all__ = [
+    "TUNER_METRIC_NAMES",
+    "OnlineTuner",
+    "TunerBank",
+    "TunerState",
+    "TUNER_STATE_KIND",
+    "TUNER_STATE_SCHEMA_VERSION",
+    "TRIAL_SAMPLES",
+    "VIOLATION_STREAK",
+    "RELAX_STREAK",
+    "RELAX_MARGIN",
+    "SEED_CYCLE",
+    "LEVELS",
+    "LEVEL_NAMES",
+    "TUNABLE",
+    "MAX_LEVEL",
+    "compose_config",
+    "candidate_upgrades",
+    "levels_energy",
+    "levels_bound",
+    "DEFAULT_BUDGETS",
+    "MAX_OBSERVATIONS",
+    "FrontierPoint",
+    "converge",
+    "app_frontier",
+    "suite_frontier",
+    "format_frontier",
+]

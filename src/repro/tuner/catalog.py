@@ -1,0 +1,28 @@
+"""The ``tuner.*`` metrics catalog — data only, drift-pinned to docs.
+
+Every counter the online tuner emits through the daemon's metrics
+registry, with its meaning.  ``tests/test_docs.py`` asserts each name
+appears in SERVICE.md, so the observable surface cannot drift from the
+documentation.  This module must stay import-free (no repro imports):
+it is folded into :data:`repro.service.protocol.METRIC_NAMES` and must
+never create an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TUNER_METRIC_NAMES"]
+
+TUNER_METRIC_NAMES = {
+    "tuner.requests_total": "budget submits answered by an online controller",
+    "tuner.controllers": "controllers instantiated on this node (one per app+budget)",
+    "tuner.observations": "QoS feedback samples consumed across all controllers",
+    "tuner.trials": "trial configurations simulated to a commit/reject verdict",
+    "tuner.commits": "level upgrades committed under budget",
+    "tuner.rejections": "trial configurations rejected on measured QoS",
+    "tuner.pruned_static": "candidates pruned by a saturated static reliability bound",
+    "tuner.backoffs": "hysteresis step-downs after sustained budget violations",
+    "tuner.relaxes": "rejected-set resets after sustained headroom",
+    "tuner.converged": "controllers entering the steady phase",
+    "tuner.violations": "observations above their controller's budget",
+    "tuner.state_installs": "replicated controller states adopted via store_push",
+}

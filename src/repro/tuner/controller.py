@@ -1,0 +1,471 @@
+"""The online per-app QoS controller and the daemon-side bank of them.
+
+An :class:`OnlineTuner` answers one question, one budget request at a
+time: *which level vector should this request run at?*  It is a
+deterministic state machine over :class:`~repro.tuner.state.TunerState`
+driven purely by observed QoS feedback:
+
+* **Explore** — candidates are the single-step upgrades of the
+  committed vector (:func:`~repro.tuner.search.candidate_upgrades`),
+  ordered by estimated energy gain from one baseline profile.  A
+  candidate whose static reliability bound saturates is **pruned
+  before any simulation** (it certifies nothing; see
+  :func:`~repro.tuner.search.levels_bound`); the survivor with the
+  best energy gain becomes the trial.  Each budget request samples the
+  trial once (fault seed = sample index + 1, the same seed schedule as
+  ``mean_qos``, so trial verdicts agree with the offline tuner's);
+  after :data:`TRIAL_SAMPLES` samples the trial commits if its mean is
+  within budget and is rejected otherwise.  No admissible candidates
+  left => **converged**, enter steady.
+* **Steady** — requests run the committed vector over a cycling seed
+  window (:data:`SEED_CYCLE` wide, so a warm store serves the steady
+  state from cache).  **Hysteresis**: one bad fault draw changes
+  nothing; only :data:`VIOLATION_STREAK` consecutive over-budget
+  observations step the largest static-bound contributor down one
+  level.  Conversely, :data:`RELAX_STREAK` consecutive observations
+  with at least 2x headroom clear the rejected set and re-enter
+  explore — the "tightened/relaxed from observed QoS" loop.
+
+Every transition is a pure function of (state, observation), so a
+replica that replays the same feedback reproduces every state digest
+bit-identically — which is what lets the fabric replicate controller
+state with plain ``store_push``/``store_pull`` and adopt whichever
+snapshot has seen more observations.
+
+The :class:`TunerBank` is the daemon-side registry: one controller per
+(app, budget) identity, a lock per controller (budget requests for one
+app serialise on it — controller state is not idempotent, unlike
+key-addressed runs), and the install/lookup surface the replication
+path uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.apps import AppSpec, app_by_name
+from repro.tuner.search import (
+    MAX_LEVEL,
+    TUNABLE,
+    candidate_upgrades,
+    levels_bound,
+    levels_energy,
+)
+from repro.tuner.state import (
+    PHASE_EXPLORE,
+    PHASE_STEADY,
+    TunerState,
+)
+
+__all__ = [
+    "TRIAL_SAMPLES",
+    "VIOLATION_STREAK",
+    "RELAX_STREAK",
+    "RELAX_MARGIN",
+    "SEED_CYCLE",
+    "OnlineTuner",
+    "TunerBank",
+]
+
+#: QoS samples per trial before a commit/reject verdict.
+TRIAL_SAMPLES = 3
+
+#: Consecutive over-budget steady observations before a step-down.
+VIOLATION_STREAK = 3
+
+#: Consecutive steady observations with >= 2x headroom before the
+#: rejected set clears and exploration resumes.
+RELAX_STREAK = 16
+
+#: "Headroom" means observed QoS at or below this fraction of budget.
+RELAX_MARGIN = 0.5
+
+#: Steady-phase fault seeds cycle over this window so a warm store
+#: serves the steady state from cache instead of running forever.
+SEED_CYCLE = 16
+
+_ENERGY_EPS = 1e-9
+
+
+class OnlineTuner:
+    """One app's online controller (see the module docstring).
+
+    ``graph`` and ``baseline_stats`` are derivable from ``spec`` and
+    are only injectable to share work across controllers; they carry no
+    decision state.  ``prune=False`` disables static-bound pruning and
+    exists so tests can quantify what pruning saves.
+    """
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        qos_budget: float,
+        state: Optional[TunerState] = None,
+        graph=None,
+        baseline_stats=None,
+        trial_samples: int = TRIAL_SAMPLES,
+        max_level: int = MAX_LEVEL,
+        prune: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.qos_budget = float(qos_budget)
+        self.trial_samples = trial_samples
+        self.max_level = max_level
+        self.prune = prune
+        #: Serialises budget requests against this controller.
+        self.lock = threading.RLock()
+        self._graph = graph
+        self._stats = baseline_stats
+        self._bound_memo: Dict[Tuple[int, ...], object] = {}
+        if state is None:
+            state = TunerState(
+                app=spec.name,
+                source_digest=self._source_digest(),
+                qos_budget=self.qos_budget,
+                committed=(0,) * len(TUNABLE),
+            )
+            state = self._select_trial(state, None)
+        self.state = state
+
+    # ------------------------------------------------------------------
+    # Derived, deterministic context (no decision state lives here)
+    # ------------------------------------------------------------------
+    def _source_digest(self) -> str:
+        from repro.experiments.runkey import source_digest
+
+        return source_digest(self.spec)
+
+    def baseline_stats(self):
+        if self._stats is None:
+            from repro.experiments.harness import run_key
+            from repro.experiments.runkey import RunKey
+            from repro.hardware.config import BASELINE
+
+            self._stats = run_key(
+                RunKey(spec=self.spec, config=BASELINE, fault_seed=0, workload_seed=0)
+            ).stats
+        return self._stats
+
+    def _flow_graph(self):
+        if self._graph is None:
+            from repro.analysis.reliability import app_flow_graph
+
+            self._graph = app_flow_graph(self.spec)
+        return self._graph
+
+    def bound_for(self, levels: Dict[str, int]):
+        """Memoised static reliability bound of a level vector."""
+        key = tuple(levels[s] for s in TUNABLE)
+        bound = self._bound_memo.get(key)
+        if bound is None:
+            from repro.analysis.reliability import app_output_id
+
+            bound = levels_bound(self._flow_graph(), app_output_id(self.spec), levels)
+            self._bound_memo[key] = bound
+        return bound
+
+    # ------------------------------------------------------------------
+    # The probe surface the daemon drives
+    # ------------------------------------------------------------------
+    def next_probe(self) -> Tuple[Dict[str, int], int, int]:
+        """(levels, fault_seed, workload_seed) for the next observation.
+
+        A pure function of the current state: explore probes sample the
+        trial vector on the ``mean_qos`` seed schedule (sample k =>
+        fault seed k+1); steady probes cycle the committed vector over
+        the :data:`SEED_CYCLE` window.
+        """
+        state = self.state
+        if state.phase == PHASE_EXPLORE and state.trial is not None:
+            return state.trial_dict(), len(state.trial_samples) + 1, 0
+        return state.levels_dict(), (state.observations % SEED_CYCLE) + 1, 0
+
+    def observe(self, qos: float) -> Dict[str, int]:
+        """Feed one observed QoS error; advances the state machine.
+
+        Returns the event counts of this transition (the daemon turns
+        them into ``tuner.*`` metrics): commits, rejections, pruned,
+        backoffs, relaxes, converged, violations.
+        """
+        events = {
+            "commits": 0,
+            "rejections": 0,
+            "pruned": 0,
+            "backoffs": 0,
+            "relaxes": 0,
+            "converged": 0,
+            "violations": 0,
+        }
+        state = self.state
+        replace = dataclasses.replace
+        if state.phase == PHASE_EXPLORE and state.trial is not None:
+            samples = state.trial_samples + (float(qos),)
+            state = replace(
+                state, observations=state.observations + 1, trial_samples=samples
+            )
+            if float(qos) > state.qos_budget:
+                events["violations"] = 1
+            if len(samples) >= self.trial_samples:
+                mean = sum(samples) / len(samples)
+                trial = state.trial
+                mechanism = self._trial_mechanism(state)
+                state = replace(
+                    state, explored=state.explored + 1, trial=None, trial_samples=()
+                )
+                if mean <= state.qos_budget:
+                    state = replace(state, committed=trial)
+                    events["commits"] = 1
+                else:
+                    state = self._reject(state, mechanism, trial)
+                    events["rejections"] = 1
+                state = self._select_trial(state, events)
+        else:
+            state = replace(state, observations=state.observations + 1)
+            if float(qos) > state.qos_budget:
+                events["violations"] = 1
+                streak = state.violation_streak + 1
+                if streak >= VIOLATION_STREAK:
+                    state = self._step_down(state)
+                    events["backoffs"] = 1
+                    streak = 0
+                state = replace(state, violation_streak=streak, headroom_streak=0)
+            else:
+                headroom = (
+                    state.headroom_streak + 1
+                    if float(qos) <= state.qos_budget * RELAX_MARGIN
+                    else 0
+                )
+                if headroom >= RELAX_STREAK and state.rejected:
+                    state = replace(
+                        state,
+                        rejected=(),
+                        phase=PHASE_EXPLORE,
+                        converged=False,
+                        violation_streak=0,
+                        headroom_streak=0,
+                    )
+                    events["relaxes"] = 1
+                    state = self._select_trial(state, events)
+                else:
+                    state = replace(
+                        state, violation_streak=0, headroom_streak=headroom
+                    )
+        self.state = state
+        return events
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _trial_mechanism(state: TunerState) -> str:
+        """The one mechanism the trial vector upgrades."""
+        for index, strategy in enumerate(TUNABLE):
+            if state.trial[index] != state.committed[index]:
+                return strategy
+        raise AssertionError("trial vector equals the committed vector")
+
+    @staticmethod
+    def _reject(state: TunerState, mechanism: str, trial: Tuple[int, ...]) -> TunerState:
+        level = trial[TUNABLE.index(mechanism)]
+        rejected = tuple(sorted(set(state.rejected) | {(mechanism, level)}))
+        return dataclasses.replace(state, rejected=rejected)
+
+    def _select_trial(self, state: TunerState, events) -> TunerState:
+        """Pick the next trial (or converge): the admissible single-step
+        upgrade with the best estimated energy, static-bound pruned."""
+        stats = self.baseline_stats()
+        committed = dict(zip(TUNABLE, state.committed))
+        current_energy = levels_energy(stats, committed)
+        ruled_out = set(state.rejected)
+        newly_ruled_out = []
+        pruned_now = 0
+        best = None  # (energy, strategy, candidate levels tuple)
+        for strategy, candidate in candidate_upgrades(committed, self.max_level):
+            target = (strategy, candidate[strategy])
+            if target in ruled_out:
+                continue
+            energy = levels_energy(stats, candidate)
+            if energy >= current_energy - _ENERGY_EPS:
+                # No energy benefit (e.g. no FP work): raising the
+                # level only adds error.  Permanently out.
+                newly_ruled_out.append(target)
+                ruled_out.add(target)
+                continue
+            if self.prune and self.bound_for(candidate).saturated:
+                newly_ruled_out.append(target)
+                ruled_out.add(target)
+                pruned_now += 1
+                continue
+            if best is None or energy < best[0]:
+                best = (energy, strategy, tuple(candidate[s] for s in TUNABLE))
+        if newly_ruled_out:
+            state = dataclasses.replace(
+                state,
+                rejected=tuple(sorted(set(state.rejected) | set(newly_ruled_out))),
+                pruned=state.pruned + pruned_now,
+            )
+            if events is not None:
+                events["pruned"] += pruned_now
+        if best is None:
+            freshly_converged = not state.converged
+            state = dataclasses.replace(
+                state,
+                phase=PHASE_STEADY,
+                converged=True,
+                trial=None,
+                trial_samples=(),
+            )
+            if events is not None and freshly_converged:
+                events["converged"] = 1
+            return state
+        return dataclasses.replace(
+            state, phase=PHASE_EXPLORE, trial=best[2], trial_samples=()
+        )
+
+    def _step_down(self, state: TunerState) -> TunerState:
+        """Hysteresis step-down: demote the largest bound contributor.
+
+        Deterministic victim choice: among mechanisms above level 0,
+        the one whose static-bound share at the committed vector is
+        largest (ties break in TUNABLE order); its vacated level is
+        marked rejected so exploration does not immediately re-commit
+        it.
+        """
+        committed = dict(zip(TUNABLE, state.committed))
+        if all(level == 0 for level in state.committed):
+            return state  # nothing left to demote; budget is infeasible
+        bound = self.bound_for(committed)
+        shares = bound.by_mechanism if bound is not None else {}
+        victim = max(
+            (s for s in TUNABLE if committed[s] > 0),
+            key=lambda s: (self._mechanism_share(shares, s), -TUNABLE.index(s)),
+        )
+        old_level = committed[victim]
+        committed[victim] = old_level - 1
+        rejected = tuple(sorted(set(state.rejected) | {(victim, old_level)}))
+        return dataclasses.replace(
+            state,
+            committed=tuple(committed[s] for s in TUNABLE),
+            rejected=rejected,
+        )
+
+    @staticmethod
+    def _mechanism_share(shares: Dict[str, float], strategy: str) -> float:
+        """Bound share attributed to one tunable mechanism.
+
+        The bound reports per *fault mechanism* (``dram``, ``sram_read``,
+        ``sram_write``, ``timing`` ...); fold the SRAM pair into the one
+        SRAM knob.
+        """
+        if strategy == "sram":
+            return shares.get("sram_read", 0.0) + shares.get("sram_write", 0.0)
+        if strategy == "float_width":
+            return 0.0  # mantissa truncation is deterministic, not in the bound
+        return shares.get(strategy, 0.0)
+
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, object]:
+        """The ``tuner`` block budget responses carry (wire-safe)."""
+        state = self.state
+        return {
+            "identity": state.identity,
+            "state_digest": state.digest,
+            "phase": state.phase,
+            "committed": state.levels_dict(),
+            "observations": state.observations,
+            "explored": state.explored,
+            "pruned": state.pruned,
+            "converged": state.converged,
+        }
+
+
+class TunerBank:
+    """Daemon-side registry of controllers, keyed by state identity.
+
+    ``on_event(name, amount)`` receives ``tuner.*`` counter increments
+    (catalogued in :mod:`repro.tuner.catalog`); the daemon points it at
+    its metrics registry.
+    """
+
+    def __init__(self, on_event: Optional[Callable[[str, int], None]] = None) -> None:
+        self._lock = threading.Lock()
+        self._tuners: Dict[str, OnlineTuner] = {}
+        self._on_event = on_event or (lambda name, amount: None)
+
+    def obtain(self, spec: AppSpec, qos_budget: float) -> OnlineTuner:
+        """The controller for (app, budget), created on first use."""
+        with self._lock:
+            for tuner in self._tuners.values():
+                if tuner.spec.name == spec.name and tuner.qos_budget == float(qos_budget):
+                    return tuner
+        tuner = OnlineTuner(spec, qos_budget)
+        with self._lock:
+            existing = self._tuners.get(tuner.state.identity)
+            if existing is not None:
+                return existing
+            self._tuners[tuner.state.identity] = tuner
+        self._on_event("tuner.controllers", 1)
+        return tuner
+
+    def state_payload(self, digest: str) -> Optional[Dict[str, object]]:
+        """The wire payload of the controller whose *current* state has
+        this digest (the ``store_pull`` lookup), or ``None``."""
+        with self._lock:
+            tuners = list(self._tuners.values())
+        for tuner in tuners:
+            with tuner.lock:
+                if tuner.state.digest == digest:
+                    return tuner.state.to_payload()
+        return None
+
+    def install(self, payload: object) -> bool:
+        """Adopt a replicated controller state (the ``store_push`` path).
+
+        Validation failures return ``False`` (never raise — the push
+        answer is ``stored: false``).  An incoming snapshot is adopted
+        when no controller exists for its identity, or when it has seen
+        strictly more observations than the local one (the replica that
+        answered requests is ahead); otherwise the local state wins.
+        ``True`` means the daemon now holds a state at least as fresh
+        as the pushed one.
+        """
+        try:
+            state = TunerState.from_payload(payload)
+            spec = app_by_name(state.app)
+        except (ValueError, KeyError):
+            return False
+        with self._lock:
+            existing = self._tuners.get(state.identity)
+        if existing is None:
+            tuner = OnlineTuner(spec, state.qos_budget, state=state)
+            if tuner.state.source_digest != tuner._source_digest():
+                return False  # state from different app sources; stale
+            with self._lock:
+                race = self._tuners.get(state.identity)
+                if race is None:
+                    self._tuners[state.identity] = tuner
+                    installed = True
+                else:
+                    existing, installed = race, False
+            if installed:
+                self._on_event("tuner.controllers", 1)
+                self._on_event("tuner.state_installs", 1)
+                return True
+        with existing.lock:
+            if state.observations > existing.state.observations:
+                existing.state = state
+                self._on_event("tuner.state_installs", 1)
+                return True
+            return existing.state.observations >= state.observations
+
+    def identities(self) -> Dict[str, Dict[str, object]]:
+        """identity digest -> info block, for introspection payloads."""
+        with self._lock:
+            tuners = list(self._tuners.items())
+        payload = {}
+        for identity, tuner in sorted(tuners):
+            with tuner.lock:
+                payload[identity] = tuner.info()
+        return payload

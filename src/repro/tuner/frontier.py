@@ -1,0 +1,170 @@
+"""The energy-vs-guaranteed-quality frontier (``repro tune``).
+
+Drives an :class:`~repro.tuner.controller.OnlineTuner` to convergence
+for each budget on a ladder, entirely locally: each probe the
+controller proposes is executed through the ordinary harness (store
+hits apply, so reruns are warm), its QoS error fed back, and the
+converged point recorded.  A frontier point couples:
+
+* the **measured** mean QoS error of the converged vector (the budget
+  the controller actually holds), and
+* the **guaranteed** quality — the static reliability bound of that
+  vector (PR 5), which is sound: a certifiable point's per-op
+  corruption probability provably stays below the bound.
+
+Sweeping the budget ladder therefore reports, per app, how much energy
+each quality guarantee costs — the online analogue of the offline
+``repro experiments autotune`` table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.tuner.controller import TRIAL_SAMPLES, OnlineTuner
+from repro.tuner.search import LEVEL_NAMES, TUNABLE, compose_config, levels_energy
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "FrontierPoint",
+    "converge",
+    "app_frontier",
+    "suite_frontier",
+    "format_frontier",
+]
+
+#: The default budget ladder ``repro tune`` sweeps (QoS error).
+DEFAULT_BUDGETS = (0.01, 0.02, 0.05, 0.10)
+
+#: Convergence is bounded by construction: every mechanism can be
+#: trialled at most once per level, each trial costs TRIAL_SAMPLES
+#: observations.  The driver enforces the bound with margin.
+MAX_OBSERVATIONS = len(TUNABLE) * 3 * TRIAL_SAMPLES + 8
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierPoint:
+    """One converged (budget, config) point of an app's frontier."""
+
+    app: str
+    qos_budget: float
+    levels: Dict[str, int]
+    measured_qos: float
+    energy: float
+    #: The static reliability bound of the converged vector; the
+    #: guarantee axis of the frontier (None when the cone is empty).
+    static_bound: float
+    certifiable: bool
+    observations: int
+    explored: int
+    pruned: int
+    converged: bool
+    state_digest: str
+
+    @property
+    def savings(self) -> float:
+        return 1.0 - self.energy
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def converge(
+    tuner: OnlineTuner, max_observations: int = MAX_OBSERVATIONS
+) -> OnlineTuner:
+    """Feed locally executed probes until the controller converges.
+
+    The observation loop is exactly what a daemon does per budget
+    request: ask :meth:`~OnlineTuner.next_probe`, run it, feed the QoS
+    back.  Bounded by ``max_observations`` as a backstop; the state
+    machine itself converges in at most
+    ``len(TUNABLE) * max_level * trial_samples`` observations.
+    """
+    from repro.experiments.harness import qos_error
+    from repro.experiments.runkey import RunKey
+
+    while not tuner.state.converged and tuner.state.observations < max_observations:
+        levels, fault_seed, workload_seed = tuner.next_probe()
+        key = RunKey(
+            spec=tuner.spec,
+            config=compose_config(levels, name=f"tuned:{tuner.spec.name}"),
+            fault_seed=fault_seed,
+            workload_seed=workload_seed,
+        )
+        tuner.observe(qos_error(key))
+    return tuner
+
+
+def _point(tuner: OnlineTuner) -> FrontierPoint:
+    from repro.experiments.harness import mean_qos
+
+    state = tuner.state
+    levels = state.levels_dict()
+    config = compose_config(levels, name=f"tuned:{tuner.spec.name}")
+    measured = mean_qos(tuner.spec, config, runs=tuner.trial_samples)
+    bound = tuner.bound_for(levels)
+    return FrontierPoint(
+        app=tuner.spec.name,
+        qos_budget=tuner.qos_budget,
+        levels=levels,
+        measured_qos=measured,
+        energy=levels_energy(tuner.baseline_stats(), levels),
+        static_bound=bound.bound,
+        certifiable=not bound.saturated,
+        observations=state.observations,
+        explored=state.explored,
+        pruned=state.pruned,
+        converged=state.converged,
+        state_digest=state.digest,
+    )
+
+
+def app_frontier(
+    spec: AppSpec,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    max_observations: int = MAX_OBSERVATIONS,
+) -> List[FrontierPoint]:
+    """One converged point per budget; shares graph/profile across them."""
+    points = []
+    graph = None
+    stats = None
+    for budget in budgets:
+        tuner = OnlineTuner(spec, budget, graph=graph, baseline_stats=stats)
+        converge(tuner, max_observations=max_observations)
+        graph = tuner._flow_graph()
+        stats = tuner.baseline_stats()
+        points.append(_point(tuner))
+    return points
+
+
+def suite_frontier(
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    apps: Optional[Sequence[AppSpec]] = None,
+) -> Dict[str, List[FrontierPoint]]:
+    return {
+        spec.name: app_frontier(spec, budgets) for spec in (apps or ALL_APPS)
+    }
+
+
+def format_frontier(frontier: Dict[str, List[FrontierPoint]]) -> str:
+    """The ``repro tune`` table: one line per (app, budget) point."""
+    header = (
+        f"{'Application':14s} {'budget':>7s} "
+        + "".join(f" {name:>11s}" for name in TUNABLE)
+        + f" {'QoS':>7s} {'bound':>9s} {'saved':>7s} {'obs':>5s} {'pruned':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for app in sorted(frontier):
+        for point in frontier[app]:
+            bound = f"{point.static_bound:9.2e}" if point.certifiable else "   (sat.)"
+            lines.append(
+                f"{point.app:14s} {point.qos_budget:>7.3f} "
+                + "".join(
+                    f" {LEVEL_NAMES[point.levels[n]]:>11s}" for n in TUNABLE
+                )
+                + f" {point.measured_qos:>7.3f} {bound} {point.savings:>7.1%} "
+                f"{point.observations:>5d} {point.pruned:>6d}"
+            )
+    return "\n".join(lines)

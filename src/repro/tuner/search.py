@@ -1,0 +1,132 @@
+"""The coordinate-search core shared by the offline and online tuners.
+
+Both tuners explore the same space: a per-mechanism level vector over
+the four tunable approximation mechanisms (DRAM refresh, SRAM voltage,
+FP width, ALU voltage), each at one of the Table 2 ladder levels
+(off/Mild/Medium/Aggressive).  This module owns the pieces they share:
+
+* :func:`compose_config` — a level vector as a heterogeneous
+  :class:`~repro.hardware.config.HardwareConfig` (e.g. Aggressive DRAM
+  with Mild functional units, which no uniform Table 2 level can
+  express);
+* :func:`candidate_upgrades` — the single-step neighbourhood a
+  coordinate search explores from a committed vector;
+* :func:`levels_energy` — the estimated normalised energy of a vector
+  (the search's preference order), from one baseline profile;
+* :func:`levels_bound` — the static reliability bound (PR 5) of a
+  vector, which lets a tuner prune candidates that carry **no
+  certifiable guarantee** (a saturated bound) before spending any
+  simulation on them.
+
+:mod:`repro.experiments.autotune` (offline, profile-driven) and
+:mod:`repro.tuner.controller` (online, request-driven) are both thin
+drivers over these primitives, so their decisions agree wherever their
+feedback does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Tuple
+
+from repro.energy.model import SERVER, estimate_energy
+from repro.hardware.config import (
+    AGGRESSIVE,
+    BASELINE,
+    MEDIUM,
+    MILD,
+    HardwareConfig,
+)
+from repro.runtime.stats import RunStats
+
+__all__ = [
+    "LEVELS",
+    "LEVEL_NAMES",
+    "TUNABLE",
+    "MAX_LEVEL",
+    "STRATEGY_FIELDS",
+    "compose_config",
+    "candidate_upgrades",
+    "levels_energy",
+    "levels_bound",
+]
+
+#: Level ladder indexed by the tuners (0 = off).
+LEVELS = (BASELINE, MILD, MEDIUM, AGGRESSIVE)
+
+#: Short display names, index-aligned with :data:`LEVELS`.
+LEVEL_NAMES = ("off", "mild", "med", "aggr")
+
+#: Tunable mechanisms.  Unlike the ablation study's five strategies,
+#: SRAM read upsets and write failures are one knob here: both are
+#: consequences of the same supply-voltage reduction, so a config with
+#: them at different levels is not physically realisable.
+TUNABLE = ("dram", "sram", "float_width", "timing")
+
+#: Highest level index (Aggressive).
+MAX_LEVEL = len(LEVELS) - 1
+
+#: Which HardwareConfig fields each mechanism controls.
+STRATEGY_FIELDS = {
+    "dram": ("dram_flip_per_second", "dram_power_saving"),
+    "sram": ("sram_read_upset", "sram_write_failure", "sram_power_saving"),
+    "float_width": ("float_mantissa_bits", "double_mantissa_bits", "fp_op_saving"),
+    "timing": ("timing_error_prob", "int_op_saving"),
+}
+
+
+def compose_config(levels: Dict[str, int], name: str = "tuned") -> HardwareConfig:
+    """Build a heterogeneous config from per-mechanism level indices."""
+    fields = dataclasses.asdict(BASELINE)
+    for strategy, level_index in levels.items():
+        source = LEVELS[level_index]
+        for field_name in STRATEGY_FIELDS[strategy]:
+            # A mechanism at a higher level may not *lower* a shared
+            # saving another mechanism already raised (sram_read and
+            # sram_write share the supply-power saving).
+            value = getattr(source, field_name)
+            if field_name.endswith("_saving"):
+                fields[field_name] = max(fields[field_name], value)
+            else:
+                fields[field_name] = value
+    fields["name"] = name
+    return HardwareConfig(**fields)
+
+
+def candidate_upgrades(
+    levels: Dict[str, int], max_level: int = MAX_LEVEL
+) -> Iterator[Tuple[str, Dict[str, int]]]:
+    """Every single-step upgrade of one mechanism, in TUNABLE order.
+
+    Yields ``(strategy, candidate_levels)`` pairs; the deterministic
+    order is what makes both tuners' tie-breaking reproducible.
+    """
+    for strategy in TUNABLE:
+        if levels.get(strategy, 0) >= max_level:
+            continue
+        candidate = dict(levels)
+        candidate[strategy] = candidate.get(strategy, 0) + 1
+        yield strategy, candidate
+
+
+def levels_energy(stats: RunStats, levels: Dict[str, int]) -> float:
+    """Estimated normalised energy of a level vector (1.0 = precise).
+
+    ``stats`` is one baseline run profile of the app; the estimate is
+    the search's preference order, the *measured* QoS its gatekeeper.
+    """
+    return estimate_energy(stats, compose_config(levels), SERVER).total
+
+
+def levels_bound(graph, output_id: str, levels: Dict[str, int]):
+    """The static reliability bound (PR 5) of a composed level vector.
+
+    Returns a :class:`~repro.analysis.reliability.ReliabilityBound`.  A
+    *saturated* bound (>= 1.0) certifies nothing: the tuners treat such
+    a vector as provably outside any SLO guarantee and prune it before
+    simulation — sound in the only direction that matters, because the
+    bound over-approximates the per-op corruption probability.
+    """
+    from repro.analysis.reliability import reliability_bound
+
+    return reliability_bound(graph, output_id, compose_config(levels))

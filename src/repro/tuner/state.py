@@ -1,0 +1,212 @@
+"""Deterministic, content-addressed controller state.
+
+A :class:`TunerState` is the *entire* decision state of one online
+controller: the committed level vector, the trial in flight, the
+samples it has collected, every candidate ruled out and why-streaks for
+hysteresis.  It is a frozen value object whose :attr:`TunerState.digest`
+is a SHA-256 over the canonical JSON of every field — keyed exactly
+like a :class:`~repro.experiments.runkey.RunKey` digest is keyed:
+
+* anchored to the app's **source digest**, so a controller state never
+  survives an app edit (the QoS landscape it learned is stale);
+* a pure function of the observation sequence, so replaying the same
+  QoS feedback from the same initial state reproduces every digest
+  bit-identically (the fabric replicates these states between nodes and
+  relies on this to compare them);
+* versioned by :data:`TUNER_STATE_SCHEMA_VERSION`, bumped whenever a
+  field changes meaning.
+
+The wire form (:meth:`TunerState.to_payload` /
+:meth:`TunerState.from_payload`) is self-validating — kind, schema and
+recomputed digest are all checked on install — and travels over the
+same ``store_push``/``store_pull`` ops as run-store entries (the
+daemon routes on the ``kind`` marker; see SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.tuner.search import TUNABLE
+
+__all__ = [
+    "TUNER_STATE_SCHEMA_VERSION",
+    "TUNER_STATE_KIND",
+    "PHASE_EXPLORE",
+    "PHASE_STEADY",
+    "TunerState",
+]
+
+#: Bump whenever a field of :class:`TunerState` changes meaning; old
+#: states then fail installation instead of silently misbehaving.
+TUNER_STATE_SCHEMA_VERSION = 1
+
+#: The ``kind`` marker distinguishing a controller state from a run
+#: entry on the ``store_push``/``store_pull`` wire.
+TUNER_STATE_KIND = "tuner_state"
+
+PHASE_EXPLORE = "explore"
+PHASE_STEADY = "steady"
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclasses.dataclass(frozen=True)
+class TunerState:
+    """One controller's complete decision state (immutable snapshot)."""
+
+    app: str
+    #: The app's source digest at state creation (RunKey anchoring).
+    source_digest: str
+    qos_budget: float
+    #: Committed level per mechanism, index-aligned with TUNABLE.
+    committed: Tuple[int, ...]
+    phase: str = PHASE_EXPLORE
+    #: The level vector under trial (None outside a trial).
+    trial: Optional[Tuple[int, ...]] = None
+    #: QoS samples collected for the current trial.
+    trial_samples: Tuple[float, ...] = ()
+    #: ``(mechanism, level)`` pairs ruled out — by measurement, by the
+    #: static bound (pruned), or for lack of energy benefit.  Sorted.
+    rejected: Tuple[Tuple[str, int], ...] = ()
+    violation_streak: int = 0
+    headroom_streak: int = 0
+    #: Total QoS observations consumed (the feedback-round counter).
+    observations: int = 0
+    #: Trial configurations actually simulated to a verdict.
+    explored: int = 0
+    #: Candidates pruned by a saturated static bound (never simulated).
+    pruned: int = 0
+    converged: bool = False
+    schema: int = TUNER_STATE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.qos_budget, float) or not math.isfinite(self.qos_budget):
+            raise ValueError("qos_budget must be a finite float")
+        if self.qos_budget <= 0:
+            raise ValueError("qos_budget must be positive")
+        if len(self.committed) != len(TUNABLE):
+            raise ValueError(f"committed must have {len(TUNABLE)} levels")
+        if self.phase not in (PHASE_EXPLORE, PHASE_STEADY):
+            raise ValueError(f"unknown phase {self.phase!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def identity(self) -> str:
+        """The controller identity digest: one per (app, budget, schema).
+
+        This is what budget requests shard on in the fabric — it must
+        not change as the state advances, so only the immutable fields
+        are folded in.
+        """
+        material = {
+            "kind": TUNER_STATE_KIND,
+            "schema": self.schema,
+            "app": self.app,
+            "source": self.source_digest,
+            "qos_budget": self.qos_budget,
+        }
+        return hashlib.sha256(_canonical(material).encode("utf-8")).hexdigest()
+
+    @property
+    def digest(self) -> str:
+        """The content digest of this exact snapshot (all fields)."""
+        return hashlib.sha256(_canonical(self._state_dict()).encode("utf-8")).hexdigest()
+
+    def levels_dict(self) -> Dict[str, int]:
+        """The committed vector as a mechanism -> level mapping."""
+        return dict(zip(TUNABLE, self.committed))
+
+    def trial_dict(self) -> Optional[Dict[str, int]]:
+        if self.trial is None:
+            return None
+        return dict(zip(TUNABLE, self.trial))
+
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": TUNER_STATE_KIND,
+            "schema": self.schema,
+            "app": self.app,
+            "source_digest": self.source_digest,
+            "qos_budget": self.qos_budget,
+            "committed": list(self.committed),
+            "phase": self.phase,
+            "trial": list(self.trial) if self.trial is not None else None,
+            "trial_samples": list(self.trial_samples),
+            "rejected": [list(pair) for pair in self.rejected],
+            "violation_streak": self.violation_streak,
+            "headroom_streak": self.headroom_streak,
+            "observations": self.observations,
+            "explored": self.explored,
+            "pruned": self.pruned,
+            "converged": self.converged,
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        """The self-validating wire form (``store_push`` entry)."""
+        return {
+            "kind": TUNER_STATE_KIND,
+            "schema": self.schema,
+            "digest": self.digest,
+            "state": self._state_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TunerState":
+        """Parse and validate a wire payload; raises :class:`ValueError`.
+
+        The digest is recomputed over the carried state and must match
+        the carried digest — a corrupt or tampered payload is refused
+        rather than installed.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("tuner-state payload must be an object")
+        if payload.get("kind") != TUNER_STATE_KIND:
+            raise ValueError(f"not a tuner state (kind={payload.get('kind')!r})")
+        if payload.get("schema") != TUNER_STATE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported tuner-state schema {payload.get('schema')!r} "
+                f"(expected {TUNER_STATE_SCHEMA_VERSION})"
+            )
+        raw = payload.get("state")
+        if not isinstance(raw, dict):
+            raise ValueError("missing or invalid 'state'")
+        try:
+            state = cls(
+                app=raw["app"],
+                source_digest=raw["source_digest"],
+                qos_budget=float(raw["qos_budget"]),
+                committed=tuple(int(level) for level in raw["committed"]),
+                phase=raw["phase"],
+                trial=(
+                    tuple(int(level) for level in raw["trial"])
+                    if raw.get("trial") is not None
+                    else None
+                ),
+                trial_samples=tuple(float(q) for q in raw["trial_samples"]),
+                rejected=tuple(
+                    (str(mechanism), int(level)) for mechanism, level in raw["rejected"]
+                ),
+                violation_streak=int(raw["violation_streak"]),
+                headroom_streak=int(raw["headroom_streak"]),
+                observations=int(raw["observations"]),
+                explored=int(raw["explored"]),
+                pruned=int(raw["pruned"]),
+                converged=bool(raw["converged"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed tuner state: {exc}") from exc
+        expected = payload.get("digest")
+        if state.digest != expected:
+            raise ValueError(
+                f"tuner-state digest mismatch: carried {expected!r}, "
+                f"recomputed {state.digest}"
+            )
+        return state

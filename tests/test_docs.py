@@ -144,6 +144,30 @@ def test_analysis_lint_catalog_matches_doc():
     ), "payload version undocumented"
 
 
+def test_service_protocol_catalog_matches_doc():
+    """SERVICE.md documents every daemon op, error code and metric name
+    (including the protocol-2 ``tuner.*`` series) — the wire-protocol
+    spec cannot drift from the code."""
+    from repro.service.protocol import (
+        ERROR_CODES,
+        MESSAGE_TYPES,
+        METRIC_NAMES,
+        PROTOCOL_VERSION,
+    )
+
+    text = _read("SERVICE.md")
+    for op in MESSAGE_TYPES:
+        assert f"`{op}`" in text, f"service op {op} undocumented"
+    for code in ERROR_CODES:
+        assert f"`{code}`" in text, f"service error code {code} undocumented"
+    for metric in METRIC_NAMES:
+        assert f"`{metric}`" in text, f"service metric {metric} undocumented"
+    assert (
+        f"protocol version {PROTOCOL_VERSION}" in text
+        or f"`\"protocol\": {PROTOCOL_VERSION}`" in text
+    ), "service protocol version undocumented"
+
+
 def test_fabric_protocol_catalog_matches_doc():
     """FABRIC.md documents every fabric message type, error code and
     metric name — the wire-protocol spec cannot drift from the code."""

@@ -43,6 +43,7 @@ from repro.service import (
 )
 from repro.service.protocol import (
     CRASH_APP,
+    PROTOCOL_VERSION,
     ProtocolError,
     SimRequest,
     decode_line,
@@ -108,8 +109,10 @@ class TestProtocol:
             SimRequest.from_wire({"app": "fft", "fault_seed": True})
 
     def test_rejects_bad_deadline(self):
+        # 0 is a valid deadline since protocol v2: "no deadline".
+        assert SimRequest.from_wire({"app": "fft", "deadline_ms": 0}).deadline_ms == 0
         with pytest.raises(ProtocolError):
-            SimRequest.from_wire({"app": "fft", "deadline_ms": 0})
+            SimRequest.from_wire({"app": "fft", "deadline_ms": -1})
         with pytest.raises(ProtocolError):
             SimRequest.from_wire({"app": "fft", "deadline_ms": "soon"})
 
@@ -135,7 +138,7 @@ class TestIntrospection:
         health = client.healthz()
         assert health["status"] == "serving"
         assert health["workers_alive"] == 2
-        assert health["protocol"] == 1
+        assert health["protocol"] == PROTOCOL_VERSION
 
     def test_config(self, server, client):
         config = client.server_config()

@@ -1,0 +1,324 @@
+"""Protocol v2 end-to-end: budget submits, version matrix, replication.
+
+Integration coverage for the budget-based submit redesign:
+
+* **v2 daemon**: ``{app, qos_budget}`` submits are answered with the
+  tuner block (levels, energy, within_budget) and advance the app's
+  controller; fixed-config submits stay bit-identical to the serial
+  harness,
+* **``deadline_ms`` semantics**: 0 explicitly disables the default
+  deadline (v1 rejected 0), negatives are a usage error at the CLI and
+  a ``bad_request`` on the wire,
+* **version negotiation matrix**: a v1-shaped client against a v2
+  server is answered bit-identically; a v2 budget submit against a
+  protocol-1-pinned daemon — directly or relayed through the fabric
+  coordinator — fails fast with a clean ``unsupported_op`` envelope,
+  never a hang,
+* **tuner-state replication**: budget traffic through a two-node fleet
+  copies controller snapshots to the ring successor, which installs
+  them (``fabric.replicated_tuner_states`` / ``tuner.state_installs``),
+  and the snapshots round through public ``store_pull``/``store_push``.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import harness
+from repro.experiments.harness import RunKey, qos_error
+from repro.fabric import FabricConfig, FabricCoordinator
+from repro.hardware.config import MEDIUM
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+from repro.service.client import ServiceError, ServiceRequestFailed
+from repro.service.protocol import ERROR_UNSUPPORTED, SimRequest
+from repro.tuner.state import TUNER_STATE_KIND, TunerState
+
+FFT = app_by_name("fft")
+
+
+def _make_server(tmp_root, name, max_protocol=None):
+    kwargs = {} if max_protocol is None else {"max_protocol": max_protocol}
+    server = SimulationServer(
+        ServiceConfig(
+            port=0,
+            workers=1,
+            warm_apps=("fft",),
+            cache_dir=os.path.join(str(tmp_root), name),
+            default_deadline_ms=120_000,
+            **kwargs,
+        )
+    )
+    server.start()
+    return server
+
+
+def _stop(server):
+    server.initiate_drain()
+    server.drain(timeout=10)
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def v2_server(tmp_path_factory):
+    server = _make_server(tmp_path_factory.mktemp("tuner-v2"), "node")
+    yield server
+    _stop(server)
+    harness.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def v1_server(tmp_path_factory):
+    server = _make_server(
+        tmp_path_factory.mktemp("tuner-v1"), "node", max_protocol=1
+    )
+    yield server
+    _stop(server)
+    harness.clear_caches()
+
+
+@pytest.fixture
+def client(v2_server):
+    host, port = v2_server.address
+    with ServiceClient(host, port) as connection:
+        yield connection
+
+
+class TestProtocolV2Parsing:
+    def test_budget_excludes_config_and_seeds(self):
+        with pytest.raises(ValueError, match="not both"):
+            SimRequest.from_wire({"app": "fft", "qos_budget": 0.05, "config": "mild"})
+        with pytest.raises(ValueError, match="seed"):
+            SimRequest.from_wire({"app": "fft", "qos_budget": 0.05, "fault_seed": 3})
+
+    def test_budget_must_be_finite_positive(self):
+        for bad in (0, -0.1, float("nan"), float("inf"), True, "0.05"):
+            with pytest.raises(ValueError):
+                SimRequest.from_wire({"app": "fft", "qos_budget": bad})
+
+    def test_deadline_zero_means_no_deadline(self):
+        request = SimRequest.from_wire(
+            {"app": "fft", "config": "medium", "deadline_ms": 0}
+        )
+        assert request.deadline_ms == 0
+        assert request.effective_deadline_ms(5_000) is None
+
+    def test_deadline_none_falls_to_default(self):
+        request = SimRequest.from_wire({"app": "fft", "config": "medium"})
+        assert request.effective_deadline_ms(5_000) == 5_000
+        assert request.effective_deadline_ms(0) is None
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            SimRequest.from_wire(
+                {"app": "fft", "config": "medium", "deadline_ms": -1}
+            )
+
+
+class TestBudgetSubmit:
+    def test_budget_answers_carry_tuner_block(self, client):
+        first = client.submit("fft", qos_budget=0.1)
+        second = client.submit("fft", qos_budget=0.1)
+        for result in (first, second):
+            assert result.qos_budget == 0.1
+            assert set(result.levels) == set(("dram", "sram", "float_width", "timing"))
+            assert result.config == "tuned:FFT"
+            assert 0.0 < result.energy <= 1.0
+            assert result.within_budget == (result.qos <= 0.1)
+            assert result.tuner["identity"] == first.tuner["identity"]
+        assert second.tuner["observations"] == first.tuner["observations"] + 1
+
+    def test_budget_replay_is_deterministic(self, v2_server, tmp_path):
+        """A twin daemon fed the same budget traffic lands on the same
+        state digest — the controller replays bit-identically."""
+        host, port = v2_server.address
+        twin = _make_server(tmp_path, "twin")
+        try:
+            thost, tport = twin.address
+            with ServiceClient(host, port) as a, ServiceClient(thost, tport) as b:
+                for _ in range(4):
+                    left = a.submit("fft", qos_budget=0.07)
+                    right = b.submit("fft", qos_budget=0.07)
+                    assert left.qos == right.qos
+                    assert left.levels == right.levels
+                    assert (
+                        left.tuner["state_digest"] == right.tuner["state_digest"]
+                    )
+        finally:
+            _stop(twin)
+
+    def test_client_guards_mutual_exclusion(self, client):
+        with pytest.raises(ServiceError, match="not both"):
+            client.submit("fft", "medium", qos_budget=0.05)
+        with pytest.raises(ServiceError, match="no seeds"):
+            client.submit("fft", qos_budget=0.05, fault_seed=3)
+
+    def test_fixed_config_stays_bit_identical(self, client):
+        serial = qos_error(
+            RunKey(spec=FFT, config=MEDIUM, fault_seed=7, workload_seed=0)
+        )
+        assert client.submit("fft", "medium", fault_seed=7).qos == serial
+
+    def test_deadline_zero_accepted_end_to_end(self, client):
+        result = client.submit("fft", "medium", fault_seed=8, deadline_ms=0)
+        assert result.qos == qos_error(
+            RunKey(spec=FFT, config=MEDIUM, fault_seed=8, workload_seed=0)
+        )
+
+    def test_budget_in_batch_is_answered_in_place(self, client):
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "medium", "fault_seed": 7},
+                {"app": "fft", "qos_budget": 0.1},
+            ]
+        )
+        assert results[0].qos_budget is None
+        assert results[1].qos_budget == 0.1
+        assert results[1].tuner is not None
+
+
+class TestDeadlineCLI:
+    def test_negative_deadline_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["submit", "fft", "--deadline-ms", "-5"]) == 1
+        assert "--deadline-ms" in capsys.readouterr().err
+
+    def test_deadline_zero_reaches_daemon(self, v2_server, capsys):
+        from repro.cli import main
+
+        host, port = v2_server.address
+        code = main(
+            [
+                "submit",
+                "fft",
+                "--seed",
+                "9",
+                "--deadline-ms",
+                "0",
+                "--host",
+                host,
+                "--port",
+                str(port),
+            ]
+        )
+        assert code == 0
+        assert "qos" in capsys.readouterr().out
+
+
+class TestVersionMatrix:
+    def test_v1_shaped_request_against_v2_server(self, v2_server, client):
+        """A pre-v2 client never sends the new fields; answers (and the
+        introspection surface) stay shape- and bit-compatible."""
+        serial = qos_error(
+            RunKey(spec=FFT, config=MEDIUM, fault_seed=11, workload_seed=0)
+        )
+        result = client.submit("fft", "medium", fault_seed=11)
+        assert result.qos == serial
+        assert result.qos_budget is None and result.tuner is None
+        assert client.healthz()["protocol"] == 2
+
+    def test_budget_against_v1_daemon_is_unsupported(self, v1_server):
+        host, port = v1_server.address
+        with ServiceClient(host, port) as connection:
+            assert connection.healthz()["protocol"] == 1
+            with pytest.raises(ServiceRequestFailed) as failure:
+                connection.submit("fft", qos_budget=0.05)
+            assert failure.value.code == ERROR_UNSUPPORTED
+            # Fixed-config service is unaffected by the pin.
+            serial = qos_error(
+                RunKey(spec=FFT, config=MEDIUM, fault_seed=12, workload_seed=0)
+            )
+            assert connection.submit("fft", "medium", fault_seed=12).qos == serial
+
+    def test_budget_through_fleet_of_v1_nodes_fails_clean(self, tmp_path):
+        """A budget item relayed to a protocol-1 node comes back as a
+        structured unsupported_op error — not a hang, not a crash."""
+        servers = [
+            _make_server(tmp_path, f"v1-{index}", max_protocol=1)
+            for index in range(2)
+        ]
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                nodes=tuple("%s:%d" % server.address for server in servers),
+                host="127.0.0.1",
+                port=0,
+            )
+        )
+        coordinator.start()
+        try:
+            host, port = coordinator.address
+            with ServiceClient(host, port) as connection:
+                with pytest.raises(ServiceRequestFailed) as failure:
+                    connection.submit("fft", qos_budget=0.05)
+                assert failure.value.code == ERROR_UNSUPPORTED
+                serial = qos_error(
+                    RunKey(spec=FFT, config=MEDIUM, fault_seed=13, workload_seed=0)
+                )
+                assert connection.submit("fft", "medium", fault_seed=13).qos == serial
+        finally:
+            coordinator.initiate_drain()
+            coordinator.drain(timeout=10)
+            coordinator.stop()
+            for server in servers:
+                _stop(server)
+            harness.clear_caches()
+
+
+class TestTunerStateReplication:
+    def test_budget_traffic_replicates_state_to_successor(self, tmp_path):
+        servers = [_make_server(tmp_path, f"v2-{index}") for index in range(2)]
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                nodes=tuple("%s:%d" % server.address for server in servers),
+                host="127.0.0.1",
+                port=0,
+            )
+        )
+        coordinator.start()
+        try:
+            host, port = coordinator.address
+            with ServiceClient(host, port) as connection:
+                results = [
+                    connection.submit("fft", qos_budget=0.1) for _ in range(3)
+                ]
+                metrics = connection.metrics()["counters"]
+            assert metrics.get("fabric.replicated_tuner_states", 0) >= 1
+            assert metrics.get("tuner.state_installs", 0) >= 1
+            # The standby's adopted snapshot is pullable by digest and
+            # parses back to the exact state the home node served.
+            digest = results[-1].tuner["state_digest"]
+            payloads = []
+            for server in servers:
+                with ServiceClient(*server.address) as node:
+                    entry = node.store_pull(digest)
+                    if entry is not None:
+                        payloads.append(entry)
+            assert payloads, "no node holds the final tuner state"
+            for payload in payloads:
+                assert payload["kind"] == TUNER_STATE_KIND
+                state = TunerState.from_payload(payload)
+                assert state.digest == digest
+        finally:
+            coordinator.initiate_drain()
+            coordinator.drain(timeout=10)
+            coordinator.stop()
+            for server in servers:
+                _stop(server)
+            harness.clear_caches()
+
+    def test_state_pushes_round_through_public_client(self, v2_server, tmp_path):
+        host, port = v2_server.address
+        with ServiceClient(host, port) as connection:
+            answer = connection.submit("fft", qos_budget=0.09)
+            digest = answer.tuner["state_digest"]
+            payload = connection.store_pull(digest)
+            assert payload is not None and payload["kind"] == TUNER_STATE_KIND
+
+        target = _make_server(tmp_path, "push-target")
+        try:
+            with ServiceClient(*target.address) as node:
+                assert node.store_push(payload)
+                assert node.store_pull(digest) == payload
+        finally:
+            _stop(target)
