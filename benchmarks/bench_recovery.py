@@ -1,0 +1,169 @@
+"""Bench: what guaranteed quality costs, and that it holds.
+
+Runs the full recovery campaign — every ported app plus the
+``RecoveryCalib`` calibration workload across the Table 2 levels, with
+``REPRO_BENCH_RECOVERY`` fault seeds per cell — in guaranteed-quality
+mode (:func:`repro.recovery.run_recovered`) and pins the subsystem's
+three acceptance bars, asserted rather than eyeballed:
+
+1. **zero violations delivered** — every final output passes its
+   acceptability predicate (``unrecovered == 0`` on every cell);
+2. **selective == precise** — on every violating seed, the
+   selectively-precise retry's QoS is bit-identical to the
+   whole-program precise re-run of the same cell;
+3. **the slice pays** — wherever the approximate slice is a proper
+   subset of the program's mechanisms, the selective retry's energy is
+   strictly below the whole-program precise fallback (and never above
+   it anywhere).
+
+Results land in ``extra_info`` and as ``BENCH_recovery.json`` at the
+repository root: per-app violation/retry counts, raw vs recovered
+energy, and the selective-vs-precise retry energy on the calibration
+workload.
+
+Environment knobs:
+
+* ``REPRO_BENCH_RECOVERY`` — fault seeds per (app, level) cell
+  (default 3).
+* ``REPRO_BENCH_FULL`` — set to 1 for the paper's 10-seed cells.
+"""
+
+import json
+import os
+import struct
+import time
+
+from repro.apps import ALL_APPS
+from repro.experiments.harness import clear_caches, precise_output
+from repro.experiments.runkey import RunKey
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD
+from repro.recovery import (
+    RecoveryPolicy,
+    app_recovery_frontier,
+    approximate_slice,
+    run_recovered,
+)
+from repro.recovery.calib import calibration_spec
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+RUNS = int(os.environ.get("REPRO_BENCH_RECOVERY", "10" if FULL else "3"))
+LEVELS = (MILD, MEDIUM, AGGRESSIVE)
+
+_RESULTS_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_recovery.json")
+)
+
+
+def _bits(value):
+    return struct.pack("<d", value)
+
+
+def _violating_seeds(spec, config, runs):
+    """Fault seeds whose first attempt fails the acceptability check."""
+    seeds = []
+    for fault_seed in range(1, runs + 1):
+        key = RunKey(spec=spec, config=config, fault_seed=fault_seed, workload_seed=0)
+        outcome = run_recovered(key, RecoveryPolicy("selective")).outcome
+        if outcome.violation:
+            seeds.append(fault_seed)
+    return seeds
+
+
+def test_bench_recovery_campaign(benchmark):
+    specs = list(ALL_APPS) + [calibration_spec()]
+    clear_caches()
+
+    t0 = time.perf_counter()
+
+    def campaign():
+        return {
+            spec.name: app_recovery_frontier(spec, levels=LEVELS, runs=RUNS)
+            for spec in specs
+        }
+
+    frontier = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    campaign_seconds = time.perf_counter() - t0
+
+    # Bar 1: zero acceptability violations in final outputs, anywhere.
+    violations = retries = 0
+    for points in frontier.values():
+        for point in points:
+            assert point.unrecovered == 0, (point.app, point.config)
+            violations += point.violations
+            retries += point.retries_selective + point.retries_full
+    assert violations > 0, "campaign exercised no violating cells"
+
+    # Bar 2: selective re-execution is bit-identical in QoS to a
+    # whole-program precise re-run of the same cells (and bar 3's
+    # "never above" half: its energy never exceeds the fallback's).
+    differential_cells = 0
+    calib_gap = None
+    for spec in specs:
+        prog_slice = approximate_slice(spec)
+        reference = precise_output(spec, 0)
+        for fault_seed in _violating_seeds(spec, AGGRESSIVE, RUNS)[:2]:
+            key = RunKey(
+                spec=spec, config=AGGRESSIVE, fault_seed=fault_seed, workload_seed=0
+            )
+            selective = run_recovered(key, RecoveryPolicy("selective"))
+            precise = run_recovered(key, RecoveryPolicy("precise"))
+            left = spec.qos(reference, selective.output)
+            right = spec.qos(reference, precise.output)
+            assert _bits(left) == _bits(right), (spec.name, fault_seed)
+            assert (
+                selective.outcome.retry_energy
+                <= precise.outcome.retry_energy + 1e-12
+            ), (spec.name, fault_seed)
+            # Bar 3, strict half: a proper-subset slice must beat the
+            # whole-program precise fallback outright.
+            if prog_slice.proper_subset and selective.outcome.retry_kind == "selective":
+                gap = precise.outcome.retry_energy - selective.outcome.retry_energy
+                if spec.name == "RecoveryCalib":
+                    assert gap > 0.0, "calibration slice saved nothing"
+                    calib_gap = round(gap, 4)
+            differential_cells += 1
+    assert differential_cells > 0, "no violating cells to compare differentially"
+    assert calib_gap is not None, "the calibration workload never exercised bar 3"
+
+    cells = len(specs) * len(LEVELS) * RUNS
+    results = {
+        "apps": [spec.name for spec in specs],
+        "levels": [config.name for config in LEVELS],
+        "runs_per_cell": RUNS,
+        "cells": cells,
+        "campaign_seconds": round(campaign_seconds, 3),
+        "violations": violations,
+        "retries": retries,
+        "unrecovered": 0,
+        "differential_cells": differential_cells,
+        "selective_bit_identical": True,
+        "calib_selective_vs_precise_energy_gap": calib_gap,
+        "per_app": {
+            name: [
+                {
+                    "config": point.config,
+                    "violations": point.violations,
+                    "retries_selective": point.retries_selective,
+                    "retries_full": point.retries_full,
+                    "raw_qos": point.raw_qos,
+                    "recovered_qos": point.recovered_qos,
+                    "raw_energy": round(point.raw_energy, 4),
+                    "recovered_energy": round(point.recovered_energy, 4),
+                    "proper_subset": point.proper_subset,
+                }
+                for point in points
+            ]
+            for name, points in frontier.items()
+        },
+    }
+    benchmark.extra_info.update(results)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"\nRecovery campaign ({len(specs)} apps x {len(LEVELS)} levels x "
+        f"{RUNS} seeds = {cells} cells): {violations} violation(s), "
+        f"{retries} retried, 0 unrecovered, in {campaign_seconds:.1f}s; "
+        f"calibration selective retry beats precise by {calib_gap:.3f} "
+        f"precise-units"
+    )

@@ -1,0 +1,56 @@
+"""Recovery-calibration workload: a partially approximate pipeline.
+
+Every bundled paper application funnels *all* of its approximate
+mechanisms into the returned output (or into control/index decisions
+that may steer it), so a sound selective re-execution degenerates to a
+whole-program precise re-run.  This workload is the complementary
+shape: a stage whose approximate byproduct provably never reaches the
+output.
+
+* The **histogram kernel** is the output path: approximate integer
+  counts (DRAM-resident array, ALU increments), endorsed on return.
+  Its acceptability invariant is conservation — the counts must sum to
+  exactly ``samples`` — which a precise execution always satisfies.
+* The **shadow smoothing pass** is an approximate floating-point
+  byproduct (SRAM-resident scalars, FPU arithmetic) whose result
+  dead-ends in a local: it feeds no return value, no branch condition
+  and no array index, so the recovery slicer can prove it
+  output-irrelevant and leave it approximate during a precise retry.
+
+Used by ``repro/recovery`` tests and ``benchmarks/bench_recovery.py``
+to pin the selective-re-execution energy win; not part of ``ALL_APPS``.
+"""
+
+from repro import Approx, Precise, Top, Context, approximable, endorse
+from rand import Rand
+
+
+def fill_histogram(samples: int, bins: int, seed: int) -> list[Approx[int]]:
+    """Approximate bin counts of ``samples`` uniform draws."""
+    rng: Rand = Rand(seed)
+    hist: list[Approx[int]] = [0] * bins
+    for i in range(samples):
+        b: int = rng.next_in(0, bins)
+        hist[b] = hist[b] + 1
+    return hist
+
+
+def shadow_smooth(samples: int, seed: int) -> None:
+    """Approximate exponential smoothing whose result is never consumed."""
+    rng: Rand = Rand(seed)
+    acc: Approx[float] = 0.0
+    prev: Approx[float] = 0.0
+    for i in range(samples):
+        z: Approx[float] = rng.next_float() - 0.5
+        acc = acc + z * 0.75 + prev * 0.25
+        prev = z
+
+
+def run_calibration(samples: int, bins: int, seed: int) -> list[int]:
+    """The benchmark entry: histogram (returned) + shadow pass (dead)."""
+    hist: list[Approx[int]] = fill_histogram(samples, bins, seed)
+    shadow_smooth(samples // 2, seed + 1)
+    out: list[int] = [0] * bins
+    for i in range(bins):
+        out[i] = endorse(hist[i])
+    return out

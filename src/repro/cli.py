@@ -14,6 +14,7 @@ Usage::
     python -m repro serve                         # simulation daemon
     python -m repro submit APP                    # query a daemon or fleet
     python -m repro tune [APP...]                 # online QoS-budget frontier
+    python -m repro recover frontier [APP...]     # guaranteed-quality frontier
     python -m repro fabric {serve,shards}         # campaign coordinator
 
 ``run`` compiles the file(s), executes ``--entry`` with integer/float
@@ -461,6 +462,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             via_fleet=args.via_fleet,
             jobs=args.jobs,
             batch=args.batch,
+            recover=args.recover,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -561,6 +563,23 @@ def cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.recover is not None:
+        if args.qos_budget is not None:
+            print(
+                "error: --recover and --qos-budget are mutually "
+                "exclusive: one quality authority per request "
+                "(a budget tunes levels, a recover mode re-executes "
+                "violations)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.trace_summary:
+            print(
+                "error: --recover and --trace-summary are mutually "
+                "exclusive: a retry would make the trace ambiguous",
+                file=sys.stderr,
+            )
+            return 1
     if args.qos_budget is not None:
         if args.level is not None:
             print(
@@ -603,6 +622,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                     workload_seed=workload_seed,
                     want_trace_summary=args.trace_summary,
                     deadline_ms=args.deadline_ms,
+                    recover=args.recover,
                 )
             ]
         else:
@@ -613,6 +633,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
                     "fault_seed": fault_seed,
                     "workload_seed": workload_seed,
                     "want_trace_summary": args.trace_summary,
+                    **(
+                        {"recover": args.recover}
+                        if args.recover is not None
+                        else {}
+                    ),
                     **(
                         {"deadline_ms": args.deadline_ms}
                         if args.deadline_ms is not None
@@ -651,6 +676,8 @@ def _print_submit_results(args: argparse.Namespace, results, budget: bool) -> in
                         "tuner": r.tuner,
                     }
                 )
+            if r.recovery is not None:
+                row["recovery"] = r.recovery
             payload.append(row)
         print(json.dumps(payload, indent=2))
         return 0
@@ -666,9 +693,18 @@ def _print_submit_results(args: argparse.Namespace, results, budget: bool) -> in
                 f"[{origin}, {r.server_ms:.1f} ms]"
             )
         else:
+            note = ""
+            if r.recovery is not None:
+                if r.recovery["violation"]:
+                    note = (
+                        f"  RECOVERED[{r.recovery['retry_kind']}] "
+                        f"energy {r.recovery['total_energy']:.3f}"
+                    )
+                else:
+                    note = f"  clean energy {r.recovery['total_energy']:.3f}"
             print(
                 f"seed {r.fault_seed:>4}  qos {r.qos:<22.17g} "
-                f"[{origin}, {r.server_ms:.1f} ms]"
+                f"[{origin}, {r.server_ms:.1f} ms]{note}"
             )
     mean = sum(r.qos for r in results) / len(results)
     if budget:
@@ -680,9 +716,15 @@ def _print_submit_results(args: argparse.Namespace, results, budget: bool) -> in
             f"{last.get('observations')} observation(s))"
         )
     else:
+        tail = f"({hits} served from store)"
+        if results[-1].recovery is not None:
+            recovered = sum(
+                1 for r in results if r.recovery and r.recovery["violation"]
+            )
+            tail = f"({recovered} violation(s) recovered)"
         print(
             f"{results[-1].app} @ {results[-1].config}: mean qos {mean:.6g} "
-            f"over {len(results)} seed(s) ({hits} served from store)"
+            f"over {len(results)} seed(s) {tail}"
         )
     return 0
 
@@ -725,6 +767,54 @@ def cmd_tune(args: argparse.Namespace) -> int:
         print(canonical_json(payload), end="")
         return 0
     print(format_frontier(frontier))
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro import store as run_store
+    from repro.recovery import (
+        RecoveryPolicy,
+        format_recovery_frontier,
+        suite_recovery_frontier,
+    )
+
+    try:
+        apps = _resolve_apps(args.apps)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    if args.runs <= 0:
+        print("error: --runs must be positive", file=sys.stderr)
+        return 1
+
+    from repro.apps import app_by_name
+
+    policy = RecoveryPolicy(args.mode)
+    store = None if args.no_cache else run_store.configure(args.cache_dir)
+    try:
+        frontier = suite_recovery_frontier(
+            [app_by_name(name) for name in apps],
+            runs=args.runs,
+            policy=policy,
+        )
+    finally:
+        if store is not None:
+            run_store.reset_active_store()
+
+    if args.format == "json":
+        from repro.analysis.report import canonical_json
+
+        payload = {
+            "mode": policy.mode,
+            "runs": args.runs,
+            "apps": {
+                name: [point.to_dict() for point in points]
+                for name, points in frontier.items()
+            },
+        }
+        print(canonical_json(payload), end="")
+        return 0
+    print(format_recovery_frontier(frontier))
     return 0
 
 
@@ -1050,6 +1140,18 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way, see DESIGN.md)",
     )
     experiments.add_argument(
+        "--recover",
+        nargs="?",
+        const="selective",
+        choices=("selective", "precise"),
+        default=None,
+        help="guaranteed-quality mode: gate every approximate run "
+        "through its acceptability check and re-execute violations "
+        "(selective: only the output's approximate slice goes "
+        "precise; see RECOVERY.md; mutually exclusive with "
+        "--via-service/--via-fleet and --jobs)",
+    )
+    experiments.add_argument(
         "--cache-dir",
         default=_DEFAULT_CACHE_DIR,
         metavar="DIR",
@@ -1227,6 +1329,17 @@ def build_parser() -> argparse.ArgumentParser:
         "default deadline (default: the daemon's)",
     )
     submit.add_argument(
+        "--recover",
+        nargs="?",
+        const="selective",
+        choices=("selective", "precise"),
+        default=None,
+        help="guaranteed-quality submit (protocol v3): the daemon "
+        "checks each output and re-executes violations before "
+        "answering (see RECOVERY.md; mutually exclusive with "
+        "--qos-budget and --trace-summary)",
+    )
+    submit.add_argument(
         "--trace-summary",
         action="store_true",
         help="also request the compact trace summary per run",
@@ -1271,6 +1384,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the run store (every probe simulates)",
     )
     tune.set_defaults(fn=cmd_tune)
+
+    recover = commands.add_parser(
+        "recover",
+        help="quality-recovery runtime: checked execution with "
+        "selective precise re-execution (see RECOVERY.md)",
+    )
+    recover.add_argument(
+        "action",
+        choices=("frontier",),
+        help="frontier: sweep the Table 2 levels per app, reporting "
+        "the energy cost of guaranteed quality next to the raw "
+        "best-effort QoS",
+    )
+    recover.add_argument(
+        "apps", nargs="*", help="ported app names, e.g. fft sor (default: all)"
+    )
+    recover.add_argument(
+        "--runs",
+        type=int,
+        default=10,
+        metavar="N",
+        help="fault seeds per (app, level) cell (default: %(default)s)",
+    )
+    recover.add_argument(
+        "--mode",
+        choices=("selective", "precise"),
+        default="selective",
+        help="retry policy on violation: selective re-executes only "
+        "the output's approximate slice precisely; precise disables "
+        "every mechanism (default: %(default)s)",
+    )
+    recover.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json: canonical frontier payload, byte-identical across runs",
+    )
+    recover.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="persistent run store backing attempts and retries "
+        "(default: %(default)s)",
+    )
+    recover.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the run store (every attempt and retry simulates)",
+    )
+    recover.set_defaults(fn=cmd_recover)
 
     fabric = commands.add_parser(
         "fabric",

@@ -107,6 +107,15 @@ class ExecutionPlan:
     ``jobs``/``batch`` are normalized at resolve time: values ``<= 1``
     mean "off" and are stored as ``None``, so ``plan.jobs is not None``
     is the one idiom for "parallelism was actually requested".
+
+    ``recover`` (guaranteed-quality mode, ``--recover``) gates every
+    output through its acceptability check with selective precise
+    re-execution (:mod:`repro.recovery`).  Recovery executes locally
+    and serially per seed — it is mutually exclusive with routing
+    (``--via-service``/``--via-fleet``; route the *request* with
+    ``repro submit --recover`` instead) and with ``--jobs``, but
+    composes with ``--batch`` (attempts run in seed blocks, violating
+    lanes retry individually).
     """
 
     via: str = "local"  # "local" | "service" | "fleet"
@@ -114,6 +123,7 @@ class ExecutionPlan:
     port: Optional[int] = None
     jobs: Optional[int] = None
     batch: Optional[int] = None
+    recover: Optional[str] = None  # None | "selective" | "precise"
 
     @classmethod
     def resolve(
@@ -122,6 +132,7 @@ class ExecutionPlan:
         via_fleet: Optional[str] = None,
         jobs: Optional[int] = None,
         batch: Optional[int] = None,
+        recover=None,
     ) -> "ExecutionPlan":
         """Collapse raw flag values into one validated plan.
 
@@ -133,6 +144,24 @@ class ExecutionPlan:
                 "--via-service and --via-fleet are mutually exclusive "
                 "(a coordinator speaks the daemon protocol; pick one address)"
             )
+        recover_mode: Optional[str] = None
+        if recover is not None:
+            # Imported lazily: the recovery runtime is optional here.
+            from repro.recovery.reexec import RecoveryPolicy
+
+            if via_service or via_fleet:
+                raise ValueError(
+                    "--recover is mutually exclusive with --via-service/"
+                    "--via-fleet (recovery runs locally; to recover on a "
+                    "daemon, use `repro submit --recover`)"
+                )
+            if jobs is not None and jobs > 1:
+                raise ValueError(
+                    "--recover is mutually exclusive with --jobs "
+                    "(retries re-execute under per-app restricted "
+                    "configurations; use --batch for parallel attempts)"
+                )
+            recover_mode = RecoveryPolicy.coerce(recover).mode
         via, host, port = "local", None, None
         address = via_fleet or via_service
         if address:
@@ -148,6 +177,7 @@ class ExecutionPlan:
             port=port,
             jobs=jobs if jobs is not None and jobs > 1 else None,
             batch=batch if batch is not None and batch > 1 else None,
+            recover=recover_mode,
         )
 
     @property
@@ -182,19 +212,20 @@ class ExecutionPlan:
 
     def driver_kwargs(
         self, parameters
-    ) -> Tuple[Dict[str, int], List[str]]:
-        """The ``jobs=``/``batch=`` kwargs a driver ``main()`` accepts.
+    ) -> Tuple[Dict[str, object], List[str]]:
+        """The ``jobs=``/``batch=``/``recover=`` kwargs a driver accepts.
 
         ``parameters`` is the driver signature's parameter mapping.
         Returns ``(kwargs, notes)`` where ``notes`` names requested
         flags the driver cannot honour (pure-formatting drivers such as
         table2 take neither and simply stay serial).
         """
-        kwargs: Dict[str, int] = {}
+        kwargs: Dict[str, object] = {}
         notes: List[str] = []
         for flag, value, fallback in (
             ("jobs", self.jobs, "running serially"),
             ("batch", self.batch, "running unbatched"),
+            ("recover", self.recover, "running unchecked"),
         ):
             if flag in parameters:
                 if value is not None:

@@ -38,10 +38,13 @@ def figure5_row(
     runs: int = DEFAULT_RUNS,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    recover: Optional[str] = None,
 ) -> Dict[str, float]:
     row: Dict[str, object] = {"app": spec.name}
     for label, config in LEVELS:
-        row[label] = mean_qos(spec, config, runs=runs, jobs=jobs, batch=batch)
+        row[label] = mean_qos(
+            spec, config, runs=runs, jobs=jobs, batch=batch, recover=recover
+        )
     return row
 
 
@@ -83,10 +86,14 @@ def figure5_rows(
     runs: int = DEFAULT_RUNS,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    recover: Optional[str] = None,
 ) -> List[Dict[str, float]]:
-    if jobs is not None and jobs > 1:
+    if jobs is not None and jobs > 1 and recover is None:
         return figure5_grid(ALL_APPS, runs, jobs, batch=batch)
-    return [figure5_row(spec, runs, batch=batch) for spec in ALL_APPS]
+    return [
+        figure5_row(spec, runs, batch=batch, recover=recover)
+        for spec in ALL_APPS
+    ]
 
 
 def format_figure5(
@@ -94,9 +101,10 @@ def format_figure5(
     runs: int = DEFAULT_RUNS,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    recover: Optional[str] = None,
 ) -> str:
     if rows is None:
-        rows = figure5_rows(runs, jobs=jobs, batch=batch)
+        rows = figure5_rows(runs, jobs=jobs, batch=batch, recover=recover)
     header = f"{'Application':14s} {'Mild':>8s} {'Medium':>8s} {'Aggressive':>11s}"
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -107,9 +115,19 @@ def format_figure5(
     return "\n".join(lines)
 
 
-def main(jobs: Optional[int] = None, batch: Optional[int] = None) -> None:
-    print(f"Figure 5: output error, mean over {DEFAULT_RUNS} runs")
-    print(format_figure5(jobs=jobs, batch=batch))
+def main(
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
+    recover: Optional[str] = None,
+) -> None:
+    if recover is not None:
+        print(
+            f"Figure 5 (recovered, {recover}): output error, "
+            f"mean over {DEFAULT_RUNS} runs"
+        )
+    else:
+        print(f"Figure 5: output error, mean over {DEFAULT_RUNS} runs")
+    print(format_figure5(jobs=jobs, batch=batch, recover=recover))
 
 
 if __name__ == "__main__":

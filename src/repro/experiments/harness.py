@@ -131,7 +131,7 @@ def run_key(
     return result
 
 
-def run_keys_batch(keys, engine: str = "auto") -> "list[RunResult]":
+def run_keys_batch(keys, engine: str = "auto", recover=None) -> "list[RunResult]":
     """Execute a block of runs in one batched simulation.
 
     ``keys`` must share the app, config and workload seed and differ
@@ -140,6 +140,12 @@ def run_keys_batch(keys, engine: str = "auto") -> "list[RunResult]":
     execution sweeps all the fault seeds at once; per-lane results are
     bit-identical to :func:`run_key` per seed (pinned by
     ``tests/test_batch_differential.py``).
+
+    ``recover`` (a :class:`repro.recovery.RecoveryPolicy` or mode
+    string) gates every lane through its acceptability check and
+    replaces violating lanes with their recovered re-execution
+    (:mod:`repro.recovery.reexec`); the delivered per-lane results are
+    bit-identical to :func:`repro.recovery.run_recovered` per key.
 
     The run store is honoured exactly like the serial path: cached
     lanes are served without simulating, only the misses run batched,
@@ -154,6 +160,13 @@ def run_keys_batch(keys, engine: str = "auto") -> "list[RunResult]":
     keys = list(keys)
     if not keys:
         return []
+    if recover is not None:
+        # Imported lazily: the recovery runtime builds on this module.
+        from repro.recovery.reexec import RecoveryPolicy, run_recovered_batch
+
+        policy = RecoveryPolicy.coerce(recover)
+        recovered = run_recovered_batch(keys, policy, engine=engine)
+        return [item.result for item in recovered]
     first = keys[0]
     for key in keys[1:]:
         if (
@@ -224,6 +237,7 @@ def run_app(
     workload_seed: int = 0,
     args: Optional[Tuple] = None,
     tracer=None,
+    recover=None,
 ) -> RunResult:
     """Execute one app under one configuration.
 
@@ -235,26 +249,41 @@ def run_app(
     is also accepted directly as the first argument (in which case the
     seed keywords must be left at their defaults); that form stays
     silent.  New code should call :func:`run_key`.
+
+    ``recover`` (a :class:`repro.recovery.RecoveryPolicy` or mode
+    string) gates the output through its acceptability check and, on
+    violation, delivers the recovered re-execution instead
+    (:func:`repro.recovery.run_recovered`); use that function directly
+    when the :class:`~repro.recovery.RecoveryOutcome` matters.
+    Recovery requires a plain run — no ``args`` override, no tracer.
     """
+    if recover is not None and (args is not None or tracer is not None):
+        raise TypeError("run_app(recover=...) cannot combine with args/tracer")
     if isinstance(spec, RunKey):
         if config is not None or fault_seed or workload_seed:
             raise TypeError(
                 "run_app(RunKey, ...) takes no config or seed arguments; "
                 "they are part of the key"
             )
-        return run_key(spec, args=args, tracer=tracer)
-    if config is None:
-        raise TypeError("run_app(spec, ...) requires a HardwareConfig")
-    warnings.warn(
-        "run_app(spec, config, fault_seed=..., workload_seed=...) is "
-        "deprecated; build a RunKey and call run_key() (or pass the "
-        "RunKey to run_app)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    key = RunKey(
-        spec=spec, config=config, fault_seed=fault_seed, workload_seed=workload_seed
-    )
+        key = spec
+    else:
+        if config is None:
+            raise TypeError("run_app(spec, ...) requires a HardwareConfig")
+        warnings.warn(
+            "run_app(spec, config, fault_seed=..., workload_seed=...) is "
+            "deprecated; build a RunKey and call run_key() (or pass the "
+            "RunKey to run_app)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        key = RunKey(
+            spec=spec, config=config, fault_seed=fault_seed, workload_seed=workload_seed
+        )
+    if recover is not None:
+        # Imported lazily: the recovery runtime builds on this module.
+        from repro.recovery.reexec import RecoveryPolicy, run_recovered
+
+        return run_recovered(key, RecoveryPolicy.coerce(recover)).result
     return run_key(key, args=args, tracer=tracer)
 
 
@@ -331,6 +360,7 @@ def mean_qos(
     workload_seed: int = 0,
     jobs: Optional[int] = None,
     batch: Optional[int] = None,
+    recover=None,
 ) -> float:
     """Mean QoS error over ``runs`` fault seeds (the paper uses 20).
 
@@ -349,13 +379,37 @@ def mean_qos(
     Routing, jobs and batch are applied in the documented
     :class:`~repro.experiments.executor.ExecutionPlan` precedence:
     an installed route wins, then process fan-out, then seed batching.
+
+    ``recover`` (a :class:`repro.recovery.RecoveryPolicy` or mode
+    string) scores the *delivered* outputs of guaranteed-quality mode:
+    each seed runs through the acceptability check / selective
+    re-execution loop first.  Recovery executes locally — it composes
+    with ``batch`` but not with routing or ``jobs`` (the
+    :class:`~repro.experiments.executor.ExecutionPlan` resolver
+    enforces the exclusion for the CLI).
     """
     if runs <= 0:
         raise ValueError("runs must be positive")
     from repro.experiments.executor import ExecutionPlan
 
-    plan = ExecutionPlan.resolve(jobs=jobs, batch=batch)
+    plan = ExecutionPlan.resolve(jobs=jobs, batch=batch, recover=recover)
     fault_seeds = range(1, runs + 1)
+    if plan.recover is not None:
+        from repro.experiments.executor import mean_of
+
+        reference = precise_output(spec, workload_seed)
+        keys = [
+            RunKey(spec=spec, config=config, fault_seed=s, workload_seed=workload_seed)
+            for s in fault_seeds
+        ]
+        block = plan.batch or 1
+        errors = []
+        for start in range(0, len(keys), block):
+            for result in run_keys_batch(
+                keys[start : start + block], recover=plan.recover
+            ):
+                errors.append(spec.qos(reference, result.output))
+        return mean_of(errors)
     route = _service_route()
     if route is not None:
         keys = [

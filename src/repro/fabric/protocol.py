@@ -48,7 +48,11 @@ __all__ = [
 #: and replicates online-tuner controller states alongside run entries.
 FABRIC_PROTOCOL_VERSION = 2
 
-assert PROTOCOL_VERSION == 2, "bump FABRIC_PROTOCOL_VERSION review on daemon bumps"
+# Daemon protocol v3 (recover submits) reviewed: the coordinator relays
+# submit fields verbatim and ``recover`` items shard by their RunKey
+# digest exactly like fixed-config items, so guaranteed-quality mode
+# needs no coordinator extension (see FABRIC.md).
+assert PROTOCOL_VERSION == 3, "bump FABRIC_PROTOCOL_VERSION review on daemon bumps"
 
 #: Coordinator-only op: the current shard map (nodes, vnodes, hash fn).
 OP_SHARDS = "shards"

@@ -1,0 +1,68 @@
+"""Quality-recovery runtime: acceptability checks with selective
+precise re-execution (guaranteed-quality mode).
+
+The EnerJ type system guarantees *where* errors may land, never *how
+bad* the output gets — a bad fault draw simply ships a degraded
+result.  This package closes that gap with a detect -> endorse-check ->
+re-execute loop:
+
+* :mod:`repro.recovery.checks` — per-app acceptability predicates that
+  run **without** the precise output (unlike every metric in
+  :mod:`repro.qos.metrics`): finiteness/range guards, the FFT
+  energy-conservation residual, the SOR maximum-principle interval,
+  structural validity for the decision/image workloads.
+* :mod:`repro.recovery.slicing` — on violation, the failed output is
+  mapped back through the approximation-flow graph
+  (:func:`repro.analysis.flowgraph.FlowGraph.backward`, the same cone
+  the reliability bound uses) to the minimal *sound* approximate
+  slice: the mechanisms that may have produced the violation.
+* :mod:`repro.recovery.reexec` — re-execute with exactly those
+  mechanisms disabled (falling back to a whole-program precise re-run
+  when the slice covers everything), account the retry's energy
+  honestly through :mod:`repro.energy.model`, and re-check.
+
+A precise re-execution always satisfies the acceptability predicates
+(pinned by ``tests/test_recovery.py``), so one retry is final.
+
+See RECOVERY.md for the check semantics and the re-execution contract.
+"""
+
+from repro.recovery.catalog import RECOVERY_METRIC_NAMES
+from repro.recovery.checks import CheckVerdict, check_output, has_check
+from repro.recovery.frontier import (
+    RecoveryPoint,
+    app_recovery_frontier,
+    format_recovery_frontier,
+    suite_recovery_frontier,
+)
+from repro.recovery.reexec import (
+    RecoveredRun,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    recover_attempt,
+    restrict_config,
+    run_recovered,
+    run_recovered_batch,
+)
+from repro.recovery.slicing import RecoverySlice, approximate_slice, clear_slice_cache
+
+__all__ = [
+    "CheckVerdict",
+    "check_output",
+    "has_check",
+    "RecoverySlice",
+    "approximate_slice",
+    "clear_slice_cache",
+    "RecoveryPolicy",
+    "RecoveryOutcome",
+    "RecoveredRun",
+    "restrict_config",
+    "run_recovered",
+    "recover_attempt",
+    "run_recovered_batch",
+    "RecoveryPoint",
+    "app_recovery_frontier",
+    "suite_recovery_frontier",
+    "format_recovery_frontier",
+    "RECOVERY_METRIC_NAMES",
+]

@@ -1,0 +1,42 @@
+"""The recovery-calibration app: a workload with a dead approximate stage.
+
+All nine paper applications funnel every approximate mechanism into
+their output (or into control/index decisions that may steer it), so
+their sound recovery slice is the whole program and a selective retry
+degenerates to the precise fallback.  ``RecoveryCalib``
+(``apps/calib/partial.py``) is the complementary shape — its shadow
+smoothing pass is approximate FPU/SRAM work that provably never reaches
+the output — giving the slicer a proper subset to prove and the energy
+pin in ``benchmarks/bench_recovery.py`` a strict inequality to hold.
+
+Deliberately *not* part of :data:`repro.apps.ALL_APPS`: it is a test
+fixture for the recovery runtime, not a paper workload.
+"""
+
+from repro.apps import AppSpec
+from repro.qos.metrics import mean_normalized_difference
+
+__all__ = ["CALIBRATION_APP", "calibration_spec"]
+
+CALIBRATION_APP = AppSpec(
+    name="RecoveryCalib",
+    description=(
+        "Histogram with a dead approximate shadow pass "
+        "(selective re-execution calibration fixture)"
+    ),
+    module_files={
+        "rand": "common/rand.py",
+        "partial": "calib/partial.py",
+    },
+    entry_module="partial",
+    entry_function="run_calibration",
+    default_args=(2000, 16, 0),
+    qos=mean_normalized_difference,
+    qos_name="mean_normalized_difference",
+    workload_seed_index=2,
+)
+
+
+def calibration_spec() -> AppSpec:
+    """The calibration app spec (function form for symmetry with tests)."""
+    return CALIBRATION_APP

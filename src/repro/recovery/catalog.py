@@ -1,0 +1,27 @@
+"""Catalog of recovery metric names exported by the service registry.
+
+Import-free on purpose (mirroring ``repro/tuner/catalog.py``): the
+protocol module merges these into its ``METRIC_NAMES`` catalog and the
+docs drift-pin them, so this must be loadable without dragging in the
+recovery runtime.
+"""
+
+__all__ = ["RECOVERY_METRIC_NAMES", "RECOVERY_MODES"]
+
+#: Valid recovery modes, shared by the wire protocol, the CLI and
+#: :class:`repro.recovery.reexec.RecoveryPolicy`.  ``selective`` retries
+#: with only the violating slice forced precise; ``precise`` always
+#: retries whole-program precise.
+RECOVERY_MODES = ("selective", "precise")
+
+#: name -> description, as surfaced by the ``metrics`` endpoint and
+#: documented in RECOVERY.md / SERVICE.md.
+RECOVERY_METRIC_NAMES = {
+    "recovery.requests_total": "submit requests carrying a recover field",
+    "recovery.checked": "outputs gated through an acceptability check",
+    "recovery.clean": "first attempts that passed their check",
+    "recovery.violations": "first attempts that failed their check",
+    "recovery.retries_selective": "retries with only the slice forced precise",
+    "recovery.retries_full": "retries collapsed to a whole-program precise run",
+    "recovery.unrecovered": "final outputs still failing their check",
+}

@@ -1,0 +1,182 @@
+"""The energy-vs-guaranteed-quality frontier of recovery mode.
+
+``repro recover frontier`` sweeps each app across the Table 2 hardware
+levels, running every fault seed twice in effect: once raw (the
+paper's best-effort QoS) and once through the recovery loop
+(:func:`repro.recovery.reexec.run_recovered`).  A point reports what
+the *guarantee* costs: the mean energy of recovered cells (attempt +
+retry, in precise-execution units) against the recovered QoS — which
+meets the acceptability predicate on every cell, by construction.
+
+This is the checked counterpart of the PR-8 tuner frontier
+(:mod:`repro.tuner.frontier`): the tuner *steers* toward a quality
+budget statistically; recovery *enforces* a per-output predicate and
+pays for violations with precise re-execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import ALL_APPS, AppSpec
+from repro.hardware.config import AGGRESSIVE, MEDIUM, MILD, HardwareConfig
+
+from repro.recovery.reexec import RecoveryPolicy, run_recovered
+from repro.recovery.slicing import approximate_slice
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "DEFAULT_RUNS",
+    "RecoveryPoint",
+    "app_recovery_frontier",
+    "suite_recovery_frontier",
+    "format_recovery_frontier",
+]
+
+#: The hardware levels the frontier sweeps (paper Table 2).
+DEFAULT_LEVELS: Tuple[HardwareConfig, ...] = (MILD, MEDIUM, AGGRESSIVE)
+
+#: Fault seeds per (app, level) cell.
+DEFAULT_RUNS = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPoint:
+    """One (app, level) cell of the recovery frontier."""
+
+    app: str
+    config: str
+    runs: int
+    violations: int  #: first attempts that failed their check
+    retries_selective: int
+    retries_full: int
+    unrecovered: int  #: final outputs still failing (0 by contract)
+    raw_qos: float  #: mean QoS error without recovery
+    recovered_qos: float  #: mean QoS error of delivered outputs
+    raw_energy: float  #: mean attempt energy (precise units)
+    recovered_energy: float  #: mean attempt + retry energy
+    disabled: Tuple[str, ...]  #: the app's recovery slice
+    kept: Tuple[str, ...]  #: mechanisms provably output-irrelevant
+    proper_subset: bool
+
+    @property
+    def energy_overhead(self) -> float:
+        """Extra energy the guarantee cost, in precise units per run."""
+        return self.recovered_energy - self.raw_energy
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def app_recovery_frontier(
+    spec: AppSpec,
+    levels: Sequence[HardwareConfig] = DEFAULT_LEVELS,
+    runs: int = DEFAULT_RUNS,
+    workload_seed: int = 0,
+    policy: Optional[RecoveryPolicy] = None,
+) -> List[RecoveryPoint]:
+    """One :class:`RecoveryPoint` per hardware level for ``spec``.
+
+    Fault seeds follow the harness convention (``1..runs``); the raw
+    attempt of each recovered cell doubles as the unrecovered sample,
+    so the comparison is over identical executions.
+    """
+    from repro.experiments.harness import precise_output, run_key
+    from repro.experiments.runkey import RunKey
+
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    policy = policy or RecoveryPolicy()
+    reference = precise_output(spec, workload_seed)
+    prog_slice = approximate_slice(spec)
+    points = []
+    for config in levels:
+        violations = sel = full = unrecovered = 0
+        raw_qos_total = rec_qos_total = 0.0
+        raw_energy_total = rec_energy_total = 0.0
+        for fault_seed in range(1, runs + 1):
+            key = RunKey(
+                spec=spec,
+                config=config,
+                fault_seed=fault_seed,
+                workload_seed=workload_seed,
+            )
+            recovered = run_recovered(key, policy)
+            outcome = recovered.outcome
+            raw_energy_total += outcome.attempt_energy
+            rec_energy_total += outcome.total_energy
+            rec_qos_total += spec.qos(reference, recovered.output)
+            if outcome.violation:
+                violations += 1
+                # The raw (unrecovered) sample is the first attempt;
+                # re-running it is deterministic (a store hit when warm).
+                raw_qos_total += spec.qos(reference, run_key(key).output)
+            else:
+                raw_qos_total += spec.qos(reference, recovered.output)
+            if outcome.retry_kind == "selective":
+                sel += 1
+            elif outcome.retry_kind == "full":
+                full += 1
+            if not outcome.final_ok:
+                unrecovered += 1
+        points.append(
+            RecoveryPoint(
+                app=spec.name,
+                config=config.name,
+                runs=runs,
+                violations=violations,
+                retries_selective=sel,
+                retries_full=full,
+                unrecovered=unrecovered,
+                raw_qos=raw_qos_total / runs,
+                recovered_qos=rec_qos_total / runs,
+                raw_energy=raw_energy_total / runs,
+                recovered_energy=rec_energy_total / runs,
+                disabled=tuple(sorted(prog_slice.mechanisms)),
+                kept=tuple(
+                    sorted(prog_slice.all_mechanisms - prog_slice.mechanisms)
+                ),
+                proper_subset=prog_slice.proper_subset,
+            )
+        )
+    return points
+
+
+def suite_recovery_frontier(
+    apps: Optional[Sequence[AppSpec]] = None,
+    levels: Sequence[HardwareConfig] = DEFAULT_LEVELS,
+    runs: int = DEFAULT_RUNS,
+    workload_seed: int = 0,
+    policy: Optional[RecoveryPolicy] = None,
+) -> Dict[str, List[RecoveryPoint]]:
+    return {
+        spec.name: app_recovery_frontier(
+            spec, levels, runs, workload_seed, policy
+        )
+        for spec in (apps or ALL_APPS)
+    }
+
+
+def format_recovery_frontier(
+    frontier: Dict[str, List[RecoveryPoint]]
+) -> str:
+    """The ``repro recover frontier`` table: one line per (app, level)."""
+    header = (
+        f"{'Application':14s} {'config':>10s} {'viol':>6s} {'sel':>4s} "
+        f"{'full':>4s} {'rawQoS':>8s} {'recQoS':>8s} {'rawE':>7s} "
+        f"{'recE':>7s} {'kept':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for app in sorted(frontier):
+        for point in frontier[app]:
+            kept = ",".join(point.kept) if point.kept else "-"
+            lines.append(
+                f"{point.app:14s} {point.config:>10s} "
+                f"{point.violations:>3d}/{point.runs:<2d} "
+                f"{point.retries_selective:>4d} {point.retries_full:>4d} "
+                f"{point.raw_qos:>8.4f} {point.recovered_qos:>8.4f} "
+                f"{point.raw_energy:>7.3f} {point.recovered_energy:>7.3f} "
+                f"{kept:>10s}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""Selective precise re-execution of a violating run.
+
+When an acceptability check fails, the retry does not have to abandon
+approximation wholesale: only the mechanisms in the output's sound
+approximate slice (:mod:`repro.recovery.slicing`) can have produced the
+violation, so only those are forced precise.  Mechanisms carrying
+provably output-irrelevant flow stay approximate — and keep their
+power-saving knobs — which is where guaranteed quality gets cheaper
+than a whole-program precise re-run.
+
+Contract (pinned by ``tests/test_recovery.py`` and
+``benchmarks/bench_recovery.py``):
+
+* a selectively-precise retry's output is **bit-identical** to the
+  whole-program precise output for the same workload seed — remaining
+  faults can only land on dead values — so one retry is final;
+* when the restricted configuration no longer perturbs any output
+  (the slice covered every fault mechanism), the retry collapses onto
+  ``key.precise_reference()`` — the exact baseline run the QoS
+  reference uses, sharing its run-store entry;
+* the retry's energy is accounted honestly through
+  :func:`repro.energy.model.estimate_energy`: the recovered cell costs
+  ``attempt_energy + retry_energy`` in units of one precise execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.energy.model import estimate_energy
+from repro.experiments.runkey import RunKey
+from repro.hardware.config import HardwareConfig
+
+from repro.recovery.catalog import RECOVERY_MODES
+from repro.recovery.checks import check_output
+from repro.recovery.slicing import approximate_slice
+
+__all__ = [
+    "RECOVERY_MODES",
+    "RecoveryPolicy",
+    "RecoveryOutcome",
+    "RecoveredRun",
+    "restrict_config",
+    "run_recovered",
+    "recover_attempt",
+    "run_recovered_batch",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """How to re-execute when an acceptability check fails."""
+
+    mode: str = "selective"
+
+    def __post_init__(self) -> None:
+        if self.mode not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.mode!r}; "
+                f"expected one of {', '.join(RECOVERY_MODES)}"
+            )
+
+    @classmethod
+    def coerce(
+        cls, value: Union["RecoveryPolicy", str, None]
+    ) -> Optional["RecoveryPolicy"]:
+        """Normalise a policy, mode string, or None (no recovery)."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(mode=value)
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryOutcome:
+    """What the recovery loop did for one run."""
+
+    mode: str
+    check: str  #: predicate that judged the first attempt
+    violation: bool  #: first attempt failed its acceptability check
+    detail: str = ""
+    region: Tuple[int, ...] = ()
+    retried: bool = False
+    retry_kind: Optional[str] = None  #: ``"selective"`` | ``"full"`` | None
+    disabled: Tuple[str, ...] = ()  #: mechanisms forced precise in the retry
+    kept: Tuple[str, ...] = ()  #: mechanisms left approximate in the retry
+    attempt_energy: float = 0.0
+    retry_energy: float = 0.0
+    final_ok: bool = True  #: the delivered output passes its check
+
+    @property
+    def total_energy(self) -> float:
+        """Cost of the recovered cell, in precise-execution units."""
+        return self.attempt_energy + self.retry_energy
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form (service result ``recovery`` block)."""
+        return {
+            "mode": self.mode,
+            "check": self.check,
+            "violation": self.violation,
+            "detail": self.detail,
+            "region": list(self.region),
+            "retried": self.retried,
+            "retry_kind": self.retry_kind,
+            "disabled": list(self.disabled),
+            "kept": list(self.kept),
+            "attempt_energy": self.attempt_energy,
+            "retry_energy": self.retry_energy,
+            "total_energy": self.total_energy,
+            "final_ok": self.final_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecoveryOutcome":
+        return cls(
+            mode=payload["mode"],
+            check=payload["check"],
+            violation=payload["violation"],
+            detail=payload.get("detail", ""),
+            region=tuple(payload.get("region", ())),
+            retried=payload.get("retried", False),
+            retry_kind=payload.get("retry_kind"),
+            disabled=tuple(payload.get("disabled", ())),
+            kept=tuple(payload.get("kept", ())),
+            attempt_energy=payload.get("attempt_energy", 0.0),
+            retry_energy=payload.get("retry_energy", 0.0),
+            final_ok=payload.get("final_ok", True),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveredRun:
+    """The delivered run (attempt, or its retry) plus what happened."""
+
+    result: object  #: :class:`repro.experiments.harness.RunResult`
+    outcome: RecoveryOutcome
+
+    @property
+    def output(self):
+        return self.result.output
+
+
+def restrict_config(
+    config: HardwareConfig, mechanisms: Iterable[str]
+) -> HardwareConfig:
+    """``config`` with the given fault mechanisms forced precise.
+
+    The mapping surrenders savings honestly: a mechanism made reliable
+    gives up its power-saving knob too.  ``timing_error_prob`` drives
+    both ALU and FPU stochastic faults, so disabling either logic slice
+    zeroes it (and the integer-op saving that rides on it); the FPU
+    slice additionally restores full mantissas and the FP-op saving.
+    """
+    mechanisms = frozenset(mechanisms)
+    unknown = mechanisms - {"sram", "dram", "alu", "fpu"}
+    if unknown:
+        raise ValueError(f"unknown mechanisms: {sorted(unknown)}")
+    updates: dict = {}
+    if "sram" in mechanisms:
+        updates.update(
+            sram_read_upset=0.0, sram_write_failure=0.0, sram_power_saving=0.0
+        )
+    if "dram" in mechanisms:
+        updates.update(
+            dram_flip_per_second=0.0, dram_power_saving=0.0, load_elision_prob=0.0
+        )
+    if "alu" in mechanisms or "fpu" in mechanisms:
+        updates.update(timing_error_prob=0.0, int_op_saving=0.0)
+    if "fpu" in mechanisms:
+        updates.update(
+            float_mantissa_bits=24, double_mantissa_bits=52, fp_op_saving=0.0
+        )
+    name = f"{config.name}+precise[{','.join(sorted(mechanisms))}]"
+    return dataclasses.replace(config, name=name, **updates)
+
+
+def _output_affecting(config: HardwareConfig) -> bool:
+    """Whether ``config`` can perturb any value an execution computes.
+
+    Unlike :attr:`HardwareConfig.approximates_anything` this includes
+    load elision and ignores pure power-saving knobs: a config that only
+    saves power still produces bit-identical outputs.
+    """
+    return (
+        config.sram_read_upset > 0.0
+        or config.sram_write_failure > 0.0
+        or config.dram_flip_per_second > 0.0
+        or config.timing_error_prob > 0.0
+        or config.load_elision_prob > 0.0
+        or config.float_mantissa_bits < 24
+        or config.double_mantissa_bits < 52
+    )
+
+
+def run_recovered(key: RunKey, policy: RecoveryPolicy) -> RecoveredRun:
+    """Execute ``key`` with acceptability checking and recovery.
+
+    Runs the approximate attempt, checks it, and — on violation —
+    re-executes per ``policy`` and re-checks.  The returned run is the
+    one to deliver (the retry when one happened).
+    """
+    from repro.experiments import harness  # deferred: harness is heavy
+
+    return recover_attempt(key, harness.run_key(key), policy)
+
+
+def recover_attempt(key: RunKey, attempt, policy: RecoveryPolicy) -> RecoveredRun:
+    """The check + retry half of :func:`run_recovered`.
+
+    ``attempt`` is an already-executed
+    :class:`~repro.experiments.harness.RunResult` for ``key`` — the
+    batch path runs whole seed blocks first and recovers each lane
+    through here, bit-identically to the serial loop.
+    """
+    from repro.experiments import harness  # deferred: harness is heavy
+
+    attempt_energy = estimate_energy(attempt.stats, key.config).total
+    first = check_output(key.spec, key.workload_seed, attempt.output)
+    if first.ok:
+        return RecoveredRun(
+            result=attempt,
+            outcome=RecoveryOutcome(
+                mode=policy.mode,
+                check=first.check,
+                violation=False,
+                attempt_energy=attempt_energy,
+            ),
+        )
+
+    prog_slice = approximate_slice(key.spec)
+    if policy.mode == "precise":
+        disabled = prog_slice.all_mechanisms
+    else:
+        disabled = prog_slice.mechanisms
+    kept = prog_slice.all_mechanisms - disabled
+    restricted = restrict_config(key.config, disabled)
+    if _output_affecting(restricted):
+        retry_key = RunKey(
+            spec=key.spec,
+            config=restricted,
+            fault_seed=key.fault_seed,
+            workload_seed=key.workload_seed,
+        )
+        retry_kind = "selective"
+    else:
+        # Nothing output-affecting survives the restriction: collapse
+        # onto the canonical baseline run and share its store entry.
+        retry_key = key.precise_reference()
+        retry_kind = "full"
+    retry = harness.run_key(retry_key)
+    retry_energy = estimate_energy(retry.stats, retry_key.config).total
+    final = check_output(key.spec, key.workload_seed, retry.output)
+    return RecoveredRun(
+        result=retry,
+        outcome=RecoveryOutcome(
+            mode=policy.mode,
+            check=first.check,
+            violation=True,
+            detail=first.detail,
+            region=first.region,
+            retried=True,
+            retry_kind=retry_kind,
+            disabled=tuple(sorted(disabled)),
+            kept=tuple(sorted(kept)),
+            attempt_energy=attempt_energy,
+            retry_energy=retry_energy,
+            final_ok=final.ok,
+        ),
+    )
+
+
+def run_recovered_batch(
+    keys, policy: RecoveryPolicy, engine: str = "auto"
+) -> "list[RecoveredRun]":
+    """Recovery over a seed block: batched attempts, per-lane recovery.
+
+    ``keys`` follows the :func:`repro.experiments.harness.run_keys_batch`
+    contract (shared app/config/workload seed).  Attempts run in one
+    batched simulation; violating lanes retry serially — retries use a
+    *different* hardware configuration per the slice, so they cannot
+    share the block's lanes.  Per-lane results are bit-identical to
+    :func:`run_recovered` per key.
+    """
+    from repro.experiments import harness  # deferred: harness is heavy
+
+    keys = list(keys)
+    attempts = harness.run_keys_batch(keys, engine=engine)
+    return [
+        recover_attempt(key, attempt, policy)
+        for key, attempt in zip(keys, attempts)
+    ]

@@ -1,0 +1,152 @@
+"""The minimal sound approximate slice behind a failed output.
+
+Maps an app's output back through the PR-5 approximation-flow graph to
+the set of hardware mechanisms that could have produced an
+acceptability violation.  Re-executing with exactly those mechanisms
+disabled is bit-identical to a whole-program precise re-run (pinned by
+``tests/test_recovery.py``); mechanisms outside the slice may keep
+approximating — and keep their energy savings — during the retry.
+
+Soundness demands more than the reliability bound's plain backward
+cone (:func:`repro.analysis.reliability.reliability_bound` only *under*
+states error rates when flow escapes the graph; a recovery retry would
+ship a still-corrupt output).  Two closure steps recover it:
+
+1. **Address-mediated flows.**  ``a[i] = v`` routes the index sources
+   to an ``index`` sink with no edge onward to the container, so an
+   endorsed approximate index (the ZXing/ImageJ idiom) escapes
+   ``backward([output])``.  Every index sink fed by approximate data
+   joins the backward roots, pulling the coordinate producers into the
+   cone.
+2. **Escaped flows.**  A may-approximate node *outside* that cone
+   either dead-ends (its forward reach hits no sink — provably
+   output-irrelevant, e.g. the calibration app's shadow pass) or
+   reaches a ``control``/``index``/``unchecked`` sink, beyond which
+   the graph does not track influence (e.g. a condition guarding
+   ``continue``: the stores it gates carry no implicit-flow edge).
+   The latter widen the slice by their mechanism.
+
+The flow graph itself is left untouched: the analysis baselines pin
+its exact shape, and the closure here is a *query* over it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.reliability import app_flow_graph, app_output_id
+from repro.apps import AppSpec
+
+__all__ = ["RecoverySlice", "approximate_slice", "clear_slice_cache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoverySlice:
+    """The mechanisms that must run precisely to repair an output."""
+
+    app: str
+    #: Mechanisms the retry must disable (cone + escape widening).
+    mechanisms: FrozenSet[str]
+    #: Mechanisms of may-approximate nodes in the augmented output cone.
+    cone_mechanisms: FrozenSet[str]
+    #: Every mechanism carrying approximation anywhere in the program.
+    all_mechanisms: FrozenSet[str]
+    #: Approximate index sinks that joined the backward roots.
+    index_sinks: Tuple[str, ...]
+    #: Non-cone approximate nodes that forced widening (reach a sink).
+    escaped: Tuple[str, ...]
+    #: Non-cone approximate nodes proven output-irrelevant (dead ends).
+    dead: Tuple[str, ...]
+
+    @property
+    def proper_subset(self) -> bool:
+        """True when some approximate mechanism may stay on during the
+        retry — the case where selective re-execution saves energy."""
+        return self.mechanisms < self.all_mechanisms
+
+
+_SLICE_CACHE: Dict[str, RecoverySlice] = {}
+
+
+def clear_slice_cache() -> None:
+    """Drop memoized slices (tests that mutate specs use this)."""
+    _SLICE_CACHE.clear()
+
+
+def _forward_reach(graph, root: str) -> List[str]:
+    """All nodes reachable from ``root`` along value/control edges."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        ident = frontier.pop()
+        for succ in graph.successors(ident):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return sorted(seen)
+
+
+def approximate_slice(spec: AppSpec) -> RecoverySlice:
+    """The sound approximate slice behind ``spec``'s output (memoized).
+
+    Deterministic: a pure function of the app's checked sources, so the
+    slice — and therefore every recovery decision — is stable across
+    runs, processes and hosts.
+    """
+    cached = _SLICE_CACHE.get(spec.name)
+    if cached is not None:
+        return cached
+
+    graph = app_flow_graph(spec)
+    output_id = app_output_id(spec)
+    roots = [output_id] if output_id in graph.nodes else []
+
+    # Step 1: approximate-fed index sinks join the roots.
+    index_sinks = []
+    for ident in graph.node_ids():
+        node = graph.nodes[ident]
+        if node.kind == "sink" and node.label == "index":
+            back = graph.backward([ident])
+            if any(graph.nodes[i].may_approx for i in back if i != ident):
+                index_sinks.append(ident)
+    cone = set(graph.backward(roots + index_sinks))
+
+    def _mech(ident: str) -> str:
+        return graph.nodes[ident].mechanism
+
+    cone_mechanisms = frozenset(
+        _mech(i) for i in cone if graph.nodes[i].may_approx and _mech(i) != "none"
+    )
+    all_mechanisms = frozenset(
+        _mech(i)
+        for i in graph.node_ids()
+        if graph.nodes[i].may_approx and _mech(i) != "none"
+    )
+
+    # Step 2: classify non-cone approximate nodes.
+    escaped: List[str] = []
+    dead: List[str] = []
+    widened = set(cone_mechanisms)
+    for ident in graph.node_ids():
+        node = graph.nodes[ident]
+        if ident in cone or not node.may_approx or node.mechanism == "none":
+            continue
+        reach = _forward_reach(graph, ident)
+        if any(graph.nodes[r].is_sink or r == output_id for r in reach):
+            escaped.append(ident)
+            widened.add(node.mechanism)
+        else:
+            dead.append(ident)
+
+    result = RecoverySlice(
+        app=spec.name,
+        mechanisms=frozenset(widened),
+        cone_mechanisms=cone_mechanisms,
+        all_mechanisms=all_mechanisms,
+        index_sinks=tuple(index_sinks),
+        escaped=tuple(escaped),
+        dead=tuple(dead),
+    )
+    _SLICE_CACHE[spec.name] = result
+    return result

@@ -99,6 +99,10 @@ class SubmitResult:
     energy: Optional[float] = None
     within_budget: Optional[bool] = None
     tuner: Optional[dict] = None
+    #: The v3 guaranteed-quality block (check verdict, retry kind,
+    #: disabled/kept mechanisms, attempt/retry energy); None unless the
+    #: request carried ``recover``.
+    recovery: Optional[dict] = None
 
     @classmethod
     def from_wire(cls, result: dict) -> "SubmitResult":
@@ -120,6 +124,7 @@ class SubmitResult:
             energy=result.get("energy"),
             within_budget=result.get("within_budget"),
             tuner=result.get("tuner"),
+            recovery=result.get("recovery"),
         )
 
 
@@ -190,6 +195,7 @@ class ServiceClient:
         want_trace_summary: bool = False,
         deadline_ms: Optional[int] = None,
         qos_budget: Optional[float] = None,
+        recover: Optional[str] = None,
     ) -> SubmitResult:
         """One simulation request; blocks until answered or failed.
 
@@ -198,12 +204,30 @@ class ServiceClient:
         chooses the levels and seeds, so a budget submit may not carry
         ``config`` or explicit seeds.  ``deadline_ms=0`` explicitly
         disables the server's default deadline (v2).
+
+        ``recover`` (``"selective"`` or ``"precise"``, v3) asks for
+        guaranteed-quality mode on a fixed-config submit: the answer's
+        ``qos`` scores the delivered (possibly re-executed) output and
+        its :attr:`SubmitResult.recovery` block says what happened.
+        Mutually exclusive with ``qos_budget`` and
+        ``want_trace_summary``.
         """
         message: Dict[str, object] = {
             "op": "submit",
             "app": app,
             "want_trace_summary": want_trace_summary,
         }
+        if recover is not None:
+            if qos_budget is not None:
+                raise ServiceError(
+                    "submit() takes a recover mode or a qos_budget, not both"
+                )
+            if want_trace_summary:
+                raise ServiceError(
+                    "recover submits take no trace summary: a retry would "
+                    "make the trace ambiguous"
+                )
+            message["recover"] = recover
         if qos_budget is not None:
             if config is not None:
                 raise ServiceError(

@@ -31,6 +31,19 @@ envelope, never a hang.  ``deadline_ms`` gained an explicit zero: v1
 rejected ``0``; v2 defines ``0`` as *no deadline* (overriding the
 server default) and still rejects negatives.
 
+**Protocol version 3** adds guaranteed-quality mode: a fixed-config
+submit may carry ``recover: "selective" | "precise"``, gating the
+output through its per-app acceptability check with selective precise
+re-execution on violation (:mod:`repro.recovery`).  Recovered results
+add a ``recovery`` block (the check verdict, retry kind, disabled/kept
+mechanisms and honest attempt/retry energy) to the v1 result fields;
+the ``qos`` reported is that of the *delivered* output.  ``recover`` is
+mutually exclusive with ``qos_budget`` (the tuner steers toward a
+budget; recovery enforces a per-output predicate — one authority per
+request) and with ``want_trace_summary`` (a retry would make the trace
+ambiguous).  v1/v2 requests stay bit-identical; a daemon pinned below
+protocol 3 answers recover submits with ``unsupported_op``.
+
 The daemon additionally answers minimal ``HTTP GET`` requests for
 ``/healthz``, ``/metrics`` and ``/config`` on the same port (so
 ``curl`` works against a running daemon); the bodies are the same JSON
@@ -92,7 +105,9 @@ __all__ = [
 
 #: v2 added budget submits (``qos_budget``), the tuner result fields,
 #: tuner-state store exchange and the explicit ``deadline_ms: 0``.
-PROTOCOL_VERSION = 2
+#: v3 added recover submits (``recover``) and the ``recovery`` result
+#: block (guaranteed-quality mode).
+PROTOCOL_VERSION = 3
 
 #: Store-exchange ops (raw entry replication between nodes).
 OP_STORE_PULL = "store_pull"
@@ -159,6 +174,8 @@ class SimRequest:
     qos_budget: Optional[float] = None
     #: Resolved per-mechanism levels, sorted items (server-internal).
     levels: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: Guaranteed-quality mode: check + selective re-execution (v3).
+    recover: Optional[str] = None
 
     @classmethod
     def from_wire(cls, item: object) -> "SimRequest":
@@ -209,6 +226,27 @@ class SimRequest:
         want = item.get("want_trace_summary", False)
         if not isinstance(want, bool):
             raise ProtocolError("'want_trace_summary' must be a boolean")
+        recover = item.get("recover")
+        if recover is not None:
+            from repro.recovery.catalog import RECOVERY_MODES
+
+            if recover not in RECOVERY_MODES:
+                raise ProtocolError(
+                    f"unknown recover mode {recover!r}; expected one of "
+                    f"{', '.join(RECOVERY_MODES)}"
+                )
+            if qos_budget is not None:
+                raise ProtocolError(
+                    "'recover' and 'qos_budget' are mutually exclusive: the "
+                    "tuner steers toward a budget, recovery enforces a "
+                    "per-output predicate — one quality authority per request"
+                )
+            if want:
+                raise ProtocolError(
+                    "'recover' and 'want_trace_summary' are mutually "
+                    "exclusive: a recovery retry would make the trace "
+                    "summary ambiguous"
+                )
         deadline_ms = item.get("deadline_ms")
         if deadline_ms is not None:
             if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
@@ -223,6 +261,7 @@ class SimRequest:
             want_trace_summary=want,
             deadline_ms=deadline_ms,
             qos_budget=qos_budget,
+            recover=recover,
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +336,8 @@ class SimRequest:
             payload["levels"] = dict(self.levels)
         else:
             payload["config"] = self.config
+        if self.recover is not None:
+            payload["recover"] = self.recover
         return payload
 
 
@@ -372,6 +413,7 @@ ERROR_CODES = {
 
 
 def _service_metric_names() -> Dict[str, str]:
+    from repro.recovery.catalog import RECOVERY_METRIC_NAMES
     from repro.tuner.catalog import TUNER_METRIC_NAMES
 
     names = {
@@ -391,9 +433,11 @@ def _service_metric_names() -> Dict[str, str]:
         "service.latency_ms": "histogram: request latency (admission to answer)",
     }
     names.update(TUNER_METRIC_NAMES)
+    names.update(RECOVERY_METRIC_NAMES)
     return names
 
 
 #: Every counter/histogram the daemon's metrics payload may carry,
-#: including the online tuner's ``tuner.*`` catalog.
+#: including the online tuner's ``tuner.*`` and the recovery runtime's
+#: ``recovery.*`` catalogs.
 METRIC_NAMES = _service_metric_names()

@@ -458,13 +458,29 @@ class SimulationServer:
     # ------------------------------------------------------------------
     def _admit(self, request: SimRequest, started_at: float):
         """Admission control: a response dict, or a :class:`_Task` to await."""
+        if request.recover is not None and self.config.max_protocol < 3:
+            return error_response(
+                None,
+                ERROR_UNSUPPORTED,
+                "'recover' requires protocol 3; this node speaks "
+                f"protocol {self.config.max_protocol}",
+            )
         self._inc("service.requests_total")
+        if request.recover is not None:
+            self._inc("recovery.requests_total")
         if self._draining:
             self._inc("service.rejected_draining")
             return error_response(
                 None, ERROR_DRAINING, "daemon is draining; resubmit elsewhere"
             )
-        if not request.is_crash_probe and self._store is not None:
+        if (
+            not request.is_crash_probe
+            and self._store is not None
+            and request.recover is None
+        ):
+            # Recover submits always execute: the store entry records a
+            # plain run, not a checked one, and the acceptability check
+            # plus any retry must actually happen.
             hit = self._lookup_hit(request)
             if hit is not None:
                 self._inc("service.hits")
@@ -478,7 +494,11 @@ class SimulationServer:
         if request.is_crash_probe:
             coalesce_key = object()  # crash probes never coalesce
         else:
-            coalesce_key = (request.resolve_key().digest, request.want_trace_summary)
+            coalesce_key = (
+                request.resolve_key().digest,
+                request.want_trace_summary,
+                request.recover,
+            )
         with self._inflight_lock:
             existing = self._inflight.get(coalesce_key)
             if existing is not None:
@@ -642,10 +662,32 @@ class SimulationServer:
             response["result"] = dict(
                 response["result"], server_ms=round(elapsed_ms, 3)
             )
+            recovery = response["result"].get("recovery")
+            if isinstance(recovery, dict):
+                self._count_recovery(recovery)
         elif crash:
             self._inc("service.worker_crash_failures")
         task.response = response
         task.event.set()
+
+    def _count_recovery(self, recovery: dict) -> None:
+        """Fold one executed recovery block into the ``recovery.*`` counters.
+
+        Counted per execution (coalesced waiters share one check), from
+        the worker's result block — the RECOVERY_METRIC_NAMES catalog.
+        """
+        self._inc("recovery.checked")
+        if recovery.get("violation"):
+            self._inc("recovery.violations")
+            kind = recovery.get("retry_kind")
+            if kind == "selective":
+                self._inc("recovery.retries_selective")
+            elif kind == "full":
+                self._inc("recovery.retries_full")
+        else:
+            self._inc("recovery.clean")
+        if not recovery.get("final_ok", True):
+            self._inc("recovery.unrecovered")
 
     # ------------------------------------------------------------------
     # Introspection payloads (ops and HTTP GET share these)

@@ -92,6 +92,7 @@ def _execute_service_task(payload: dict) -> dict:
     )
     try:
         reference = precise_output(spec, key.workload_seed)
+        recovery = None
         if payload.get("want_trace_summary"):
             from repro.observability.runner import traced_run
 
@@ -103,6 +104,16 @@ def _execute_service_task(payload: dict) -> dict:
                 "dropped": traced.dropped,
                 "counters": {k: v for k, v in counters.items() if v},
             }
+        elif payload.get("recover"):
+            # Guaranteed-quality mode (protocol v3): gate the output
+            # through its acceptability check, retry on violation, and
+            # report the delivered run's QoS plus the recovery block.
+            from repro.recovery.reexec import RecoveryPolicy, run_recovered
+
+            recovered = run_recovered(key, RecoveryPolicy(payload["recover"]))
+            output, stats = recovered.result.output, recovered.result.stats
+            recovery = recovered.outcome.to_dict()
+            summary = None
         else:
             result = run_key(key)
             output, stats = result.output, result.stats
@@ -116,22 +127,22 @@ def _execute_service_task(payload: dict) -> dict:
                 "message": f"{type(exc).__name__}: {exc}",
             },
         }
-    return {
-        "ok": True,
-        "result": {
-            "app": spec.name,
-            "config": config.name,
-            "fault_seed": key.fault_seed,
-            "workload_seed": key.workload_seed,
-            "qos": qos,
-            "cached": False,
-            "digest": key.digest,
-            "total_faults": stats.total_faults,
-            "ops": stats.ops_total,
-            "endorsements": stats.endorsements,
-            "trace_summary": summary,
-        },
+    result_payload = {
+        "app": spec.name,
+        "config": config.name,
+        "fault_seed": key.fault_seed,
+        "workload_seed": key.workload_seed,
+        "qos": qos,
+        "cached": False,
+        "digest": key.digest,
+        "total_faults": stats.total_faults,
+        "ops": stats.ops_total,
+        "endorsements": stats.endorsements,
+        "trace_summary": summary,
     }
+    if recovery is not None:
+        result_payload["recovery"] = recovery
+    return {"ok": True, "result": result_payload}
 
 
 def _worker_main(

@@ -221,6 +221,88 @@ class TestExperimentsCommand:
         assert main(["experiments", "figure3", "--jobs", "2"]) == 0
         assert "fraction approximate" in capsys.readouterr().out
 
+    def test_recover_flag_defaults_to_selective(self, capsys):
+        # table2 runs no simulations: --recover falls back with a note,
+        # which also proves the bare flag parses as mode "selective".
+        assert main(["experiments", "table2", "--recover"]) == 0
+        assert "does not support --recover" in capsys.readouterr().out
+
+    def test_recover_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figure5", "--recover", "optimistic"])
+
+    def test_recover_excludes_jobs(self, capsys):
+        assert main(["experiments", "figure5", "--recover", "--jobs", "2"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_recover_excludes_routing(self, capsys):
+        assert (
+            main(["experiments", "figure5", "--recover", "--via-service", "h:1"]) == 1
+        )
+        err = capsys.readouterr().err
+        assert "--recover" in err and "repro submit --recover" in err
+        assert main(["experiments", "figure5", "--recover", "--via-fleet", "h:1"]) == 1
+
+    def test_recover_composes_with_batch(self, capsys):
+        # Resolver accepts the pair; table2 then notes both fall away.
+        assert main(["experiments", "table2", "--recover", "--batch", "4"]) == 0
+
+
+class TestSubmitRecoverCLI:
+    def test_recover_excludes_qos_budget(self, capsys):
+        code = main(["submit", "fft", "--recover", "--qos-budget", "0.05"])
+        assert code == 1
+        assert "--recover and --qos-budget" in capsys.readouterr().err
+
+    def test_recover_excludes_trace_summary(self, capsys):
+        code = main(["submit", "fft", "--recover", "precise", "--trace-summary"])
+        assert code == 1
+        assert "--trace-summary" in capsys.readouterr().err
+
+    def test_recover_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "fft", "--recover", "hopeful"])
+
+
+class TestRecoverCommand:
+    def test_frontier_json_payload(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["recover", "frontier", "montecarlo", "--runs", "1", "--no-cache",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "selective"
+        assert payload["runs"] == 1
+        points = payload["apps"]["MonteCarlo"]
+        assert [point["config"] for point in points] == [
+            "mild", "medium", "aggressive"
+        ]
+        for point in points:
+            assert point["unrecovered"] == 0
+
+    def test_frontier_text_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(["recover", "frontier", "montecarlo", "--runs", "1", "--no-cache"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MonteCarlo" in out and "recQoS" in out
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["recover", "frontier", "nosuchapp"]) == 1
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_nonpositive_runs_rejected(self, capsys):
+        assert main(["recover", "frontier", "fft", "--runs", "0"]) == 1
+        assert "--runs" in capsys.readouterr().err
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["recover", "spectrum"])
+
 
 class TestServeCLI:
     def test_dump_config_prints_effective_json(self, capsys):

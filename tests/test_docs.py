@@ -32,6 +32,7 @@ DOC_FILES = [
     "OBSERVABILITY.md",
     "SERVICE.md",
     "FABRIC.md",
+    "RECOVERY.md",
     "ANALYSIS.md",
     "ROADMAP.md",
 ]
@@ -189,6 +190,28 @@ def test_fabric_protocol_catalog_matches_doc():
         f"protocol version {FABRIC_PROTOCOL_VERSION}" in text
         or f"`\"protocol\": {FABRIC_PROTOCOL_VERSION}`" in text
     ), "fabric protocol version undocumented"
+
+
+def test_recovery_catalog_matches_doc():
+    """RECOVERY.md documents every recover mode, metric name and
+    registered acceptability check — and the recovery series rides the
+    daemon's metric catalog so SERVICE.md inherits it too."""
+    from repro.recovery.catalog import RECOVERY_METRIC_NAMES, RECOVERY_MODES
+    from repro.recovery.checks import _CHECKS
+    from repro.service.protocol import METRIC_NAMES
+
+    text = _read("RECOVERY.md")
+    for mode in RECOVERY_MODES:
+        assert f'"{mode}"' in text or f"`{mode}`" in text or (
+            mode in text
+        ), f"recover mode {mode} undocumented"
+    for metric in RECOVERY_METRIC_NAMES:
+        assert f"`{metric}`" in text, f"recovery metric {metric} undocumented"
+        assert metric in METRIC_NAMES, (
+            f"recovery metric {metric} missing from the daemon catalog"
+        )
+    for app in _CHECKS:
+        assert app in text.lower(), f"check for {app} undocumented"
 
 
 def test_observability_schema_constants_match_doc():

@@ -1,0 +1,182 @@
+"""Property tests for the QoS metric edge contracts (Hypothesis).
+
+The acceptability checks (:mod:`repro.recovery.checks`) judge outputs
+*without* a precise reference, but they share plumbing with the QoS
+metrics — ``_flatten`` and the "non-finite means meaningless" rule —
+so the two layers must agree on the edges:
+
+* non-finite values in the **precise** operand (the reference itself
+  can be inf/NaN for pathological workloads) never escape the [0, 1]
+  range or poison neighbouring entries;
+* ``_flatten`` linearises arbitrarily nested, ragged structures in
+  deterministic depth-first order — metric equality across different
+  nestings of the same leaves;
+* length mismatch is symmetric (error 1 regardless of which side is
+  short);
+* the checks' private LCG (``PlainRand``) reproduces the in-program
+  ``Rand`` stream exactly — the FFT energy predicate recomputes the
+  input signal with it, so a drift here would fail sound outputs.
+"""
+
+import math
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.metrics import (
+    _flatten,
+    clamp01,
+    decision_fraction_error,
+    mean_entry_difference,
+    mean_normalized_difference,
+    mean_pixel_difference,
+    normalized_difference,
+)
+from repro.recovery.checks import PlainRand, check_output
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Floats including the non-finite edges the metrics must absorb.
+any_floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+float_lists = st.lists(any_floats, max_size=12)
+
+
+@st.composite
+def nested(draw, leaves, max_leaves=10):
+    """A random nesting (lists/tuples, ragged, arbitrary depth) plus the
+    flat leaf sequence it must linearise to."""
+    flat = draw(st.lists(leaves, max_size=max_leaves))
+    structure = list(flat)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        if len(structure) < 2:
+            break
+        start = draw(st.integers(min_value=0, max_value=len(structure) - 2))
+        stop = draw(st.integers(min_value=start + 1, max_value=len(structure)))
+        group = structure[start:stop]
+        wrap = tuple if draw(st.booleans()) else list
+        structure[start:stop] = [wrap(group)]
+    return structure, flat
+
+
+class TestFlatten:
+    @given(nested(any_floats))
+    def test_flatten_linearises_any_nesting(self, case):
+        structure, flat = case
+        result = list(_flatten(structure))
+        assert len(result) == len(flat)
+        for left, right in zip(result, flat):
+            assert left is right or left == right or (
+                isinstance(left, float) and math.isnan(left) and math.isnan(right)
+            )
+
+    @given(nested(finite_floats))
+    def test_metrics_are_nesting_invariant(self, case):
+        structure, flat = case
+        assert mean_entry_difference(structure, flat) == mean_entry_difference(
+            flat, flat
+        )
+        assert mean_normalized_difference(
+            structure, flat
+        ) == mean_normalized_difference(flat, flat)
+
+
+class TestRangeAndSymmetry:
+    @given(float_lists, float_lists)
+    def test_mean_entry_difference_in_unit_interval(self, precise, approx):
+        assert 0.0 <= mean_entry_difference(precise, approx) <= 1.0
+
+    @given(float_lists, float_lists)
+    def test_mean_normalized_difference_in_unit_interval(self, precise, approx):
+        assert 0.0 <= mean_normalized_difference(precise, approx) <= 1.0
+
+    @given(float_lists, float_lists)
+    def test_mean_pixel_difference_in_unit_interval(self, precise, approx):
+        assert 0.0 <= mean_pixel_difference(precise, approx) <= 1.0
+
+    @given(any_floats, any_floats)
+    def test_normalized_difference_in_unit_interval(self, precise, approx):
+        assert 0.0 <= normalized_difference(precise, approx) <= 1.0
+
+    @given(float_lists, st.integers(min_value=1, max_value=4))
+    def test_length_mismatch_is_symmetric(self, values, extra):
+        longer = values + [0.0] * extra
+        for metric in (
+            mean_entry_difference,
+            mean_normalized_difference,
+            mean_pixel_difference,
+        ):
+            assert metric(values, longer) == 1.0
+            assert metric(longer, values) == 1.0
+
+    @given(st.lists(st.booleans(), max_size=10), st.integers(min_value=1, max_value=4))
+    def test_decision_mismatch_is_symmetric(self, decisions, extra):
+        longer = decisions + [True] * extra
+        assert decision_fraction_error(decisions, longer) == 1.0
+        assert decision_fraction_error(longer, decisions) == 1.0
+
+    @given(st.lists(finite_floats, max_size=10))
+    def test_identical_finite_outputs_score_zero(self, values):
+        assert mean_entry_difference(values, values) == 0.0
+        assert mean_normalized_difference(values, values) == 0.0
+        assert mean_pixel_difference(values, values) == 0.0
+
+
+class TestNonFinitePrecise:
+    """NaN/inf in the *precise* operand: each poisoned entry contributes
+    exactly 1 — never NaN, never leakage into other entries."""
+
+    @given(float_lists, st.sampled_from([float("nan"), float("inf"), float("-inf")]))
+    def test_poisoned_precise_entry_contributes_one(self, values, poison):
+        finite = [v if math.isfinite(v) else 0.0 for v in values]
+        score = mean_entry_difference([poison] + finite, [0.0] + finite)
+        expected = 1.0 / (len(finite) + 1)
+        assert math.isclose(score, expected, rel_tol=1e-12)
+
+    @given(st.sampled_from([float("nan"), float("inf"), float("-inf")]), finite_floats)
+    def test_normalized_difference_with_nonfinite_precise(self, poison, approx):
+        value = normalized_difference(poison, approx)
+        assert value == clamp01(value)
+
+    @given(any_floats)
+    def test_clamp01_never_returns_nan(self, value):
+        result = clamp01(value)
+        assert 0.0 <= result <= 1.0 and not math.isnan(result)
+
+
+class TestSharedWithChecks:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_plain_rand_matches_the_in_program_rand(self, seed):
+        """The checks recompute workload inputs with ``PlainRand``; the
+        apps generate them with ``apps/common/rand.py`` (plain-Python
+        compatible by the paper's backward-compatibility guarantee).
+        The two streams must be bit-identical."""
+        namespace = {}
+        path = os.path.join(REPO_ROOT, "src", "repro", "apps", "common", "rand.py")
+        with open(path, encoding="utf-8") as handle:
+            exec(compile(handle.read(), path, "exec"), namespace)
+        theirs = namespace["Rand"](seed)
+        ours = PlainRand(seed)
+        for _ in range(16):
+            assert ours.next_float() == theirs.next_float()
+        assert ours.next_in(3, 19) == theirs.next_in(3, 19)
+
+    @given(st.lists(any_floats, min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_generic_check_agrees_with_finiteness(self, output):
+        """The fallback acceptability check accepts exactly the outputs
+        whose flattened entries are all finite — the same rule the QoS
+        metrics apply to approximate entries."""
+        import dataclasses
+
+        from repro.recovery.calib import calibration_spec
+
+        mystery = dataclasses.replace(calibration_spec(), name="Mystery")
+        verdict = check_output(mystery, 0, output)
+        assert verdict.ok == all(
+            math.isfinite(value) for value in _flatten(output)
+        )

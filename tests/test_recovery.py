@@ -1,0 +1,419 @@
+"""Quality-recovery runtime: checks, slicing, selective re-execution.
+
+The subsystem's contract (RECOVERY.md):
+
+* **acceptability checks** judge an output *without* the precise
+  reference — every app's precise output passes its own check, and
+  crafted corruptions fail with a deterministic verdict and region;
+* **slicing** maps a violation back through the approximation-flow
+  graph to the minimal set of fault mechanisms that can have caused
+  it — mechanisms carrying only provably output-irrelevant (dead)
+  flow stay approximate;
+* **selective re-execution** under the restricted configuration is
+  **bit-identical** to a whole-program precise run — remaining faults
+  can only land on dead values — and strictly cheaper wherever the
+  slice is a proper subset of the program's mechanisms.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.apps import ALL_APPS, app_by_name
+from repro.experiments import harness
+from repro.experiments.harness import mean_qos, precise_output, run_app, run_key
+from repro.experiments.runkey import RunKey
+from repro.hardware.config import AGGRESSIVE, BASELINE, MEDIUM, MILD
+from repro.recovery import (
+    RecoveryPolicy,
+    approximate_slice,
+    app_recovery_frontier,
+    check_output,
+    format_recovery_frontier,
+    has_check,
+    restrict_config,
+    run_recovered,
+    run_recovered_batch,
+    suite_recovery_frontier,
+)
+from repro.recovery.calib import calibration_spec
+from repro.recovery.checks import REGION_LIMIT
+from repro.recovery.reexec import _output_affecting
+
+CALIB = calibration_spec()
+ALL_MECHANISMS = frozenset(("sram", "dram", "alu", "fpu"))
+
+
+def _calib_key(fault_seed, config=AGGRESSIVE):
+    return RunKey(spec=CALIB, config=config, fault_seed=fault_seed, workload_seed=0)
+
+
+# ----------------------------------------------------------------------
+# Acceptability checks
+# ----------------------------------------------------------------------
+
+
+class TestChecks:
+    def test_every_app_has_a_dedicated_check(self):
+        for spec in ALL_APPS:
+            assert has_check(spec.name), spec.name
+        assert has_check("RecoveryCalib")
+        assert not has_check("NoSuchApp")
+
+    @pytest.mark.parametrize("spec", ALL_APPS, ids=lambda spec: spec.name)
+    @pytest.mark.parametrize("workload_seed", [0, 1])
+    def test_precise_output_passes(self, spec, workload_seed):
+        verdict = check_output(spec, workload_seed, precise_output(spec, workload_seed))
+        assert verdict.ok, f"{spec.name}: {verdict.detail}"
+        assert verdict.app == spec.name
+        assert verdict.region == ()
+
+    def test_calib_precise_output_passes(self):
+        assert check_output(CALIB, 0, precise_output(CALIB, 0)).ok
+
+    def test_fft_energy_conservation_catches_scaling(self):
+        spec = app_by_name("fft")
+        output = [3.0 * value for value in precise_output(spec, 0)]
+        verdict = check_output(spec, 0, output)
+        assert not verdict.ok
+        assert "energy" in verdict.detail
+
+    def test_fft_structure_catches_length_and_nonfinite(self):
+        spec = app_by_name("fft")
+        good = list(precise_output(spec, 0))
+        assert not check_output(spec, 0, good[:-2]).ok
+        poisoned = list(good)
+        poisoned[5] = float("nan")
+        verdict = check_output(spec, 0, poisoned)
+        assert not verdict.ok
+        assert verdict.region == (5,)
+
+    def test_sor_interval_catches_runaway_entry(self):
+        spec = app_by_name("sor")
+        grid = list(precise_output(spec, 0))
+        grid[1] = 1e9
+        verdict = check_output(spec, 0, grid)
+        assert not verdict.ok
+
+    def test_montecarlo_range_and_tolerance(self):
+        spec = app_by_name("montecarlo")
+        assert not check_output(spec, 0, 5.0).ok  # outside [0, 4]
+        assert not check_output(spec, 0, float("inf")).ok
+        assert check_output(spec, 0, math.pi).ok
+
+    def test_zxing_structural_validity(self):
+        spec = app_by_name("zxing")
+        precise = precise_output(spec, 0)
+        assert check_output(spec, 0, precise).ok
+        assert not check_output(spec, 0, 0).ok
+
+    def test_raytracer_pixel_range(self):
+        spec = app_by_name("raytracer")
+        pixels = list(precise_output(spec, 0))
+        pixels[3] = 999
+        verdict = check_output(spec, 0, pixels)
+        assert not verdict.ok
+        assert verdict.region == (3,)
+
+    def test_region_is_sorted_and_bounded(self):
+        spec = app_by_name("raytracer")
+        pixels = [-1] * (REGION_LIMIT * 3)
+        verdict = check_output(spec, 0, pixels)
+        assert not verdict.ok
+        assert len(verdict.region) <= REGION_LIMIT
+        assert list(verdict.region) == sorted(verdict.region)
+
+    def test_calib_conservation(self):
+        samples, bins, _ = CALIB.workload_args(0)
+        histogram = precise_output(CALIB, 0)
+        assert sum(histogram) == samples
+        short = list(histogram)
+        short[0] -= 1
+        verdict = check_output(CALIB, 0, short)
+        assert not verdict.ok
+        assert verdict.check == "calibration.conservation"
+
+    def test_generic_fallback_guards_finiteness(self):
+        mystery = dataclasses.replace(CALIB, name="Mystery")
+        assert check_output(mystery, 0, [1.0, 2.0]).ok
+        verdict = check_output(mystery, 0, [1.0, float("nan")])
+        assert not verdict.ok
+        assert verdict.check == "generic.finite"
+
+    def test_verdicts_are_deterministic(self):
+        spec = app_by_name("fft")
+        output = [3.0 * value for value in precise_output(spec, 0)]
+        assert check_output(spec, 0, output) == check_output(spec, 0, output)
+
+
+# ----------------------------------------------------------------------
+# Slicing
+# ----------------------------------------------------------------------
+
+
+class TestSlicing:
+    def test_calib_slice_is_a_proper_subset(self):
+        prog_slice = approximate_slice(CALIB)
+        assert prog_slice.mechanisms == frozenset(("alu", "dram"))
+        assert prog_slice.all_mechanisms == ALL_MECHANISMS
+        assert prog_slice.proper_subset
+        assert prog_slice.dead, "the shadow pass must be provably dead"
+        assert not prog_slice.escaped
+
+    def test_fft_slice_covers_its_whole_cone(self):
+        prog_slice = approximate_slice(app_by_name("fft"))
+        assert prog_slice.mechanisms == frozenset(("dram", "fpu", "sram"))
+        assert prog_slice.mechanisms == prog_slice.all_mechanisms
+        assert not prog_slice.proper_subset
+
+    def test_sor_slice(self):
+        prog_slice = approximate_slice(app_by_name("sor"))
+        assert prog_slice.mechanisms == frozenset(("dram", "fpu"))
+
+    def test_imagej_slice(self):
+        prog_slice = approximate_slice(app_by_name("imagej"))
+        assert prog_slice.mechanisms == frozenset(("alu", "dram", "sram"))
+
+    def test_slices_never_exceed_program_mechanisms(self):
+        for spec in ALL_APPS:
+            prog_slice = approximate_slice(spec)
+            assert prog_slice.mechanisms <= prog_slice.all_mechanisms
+            assert prog_slice.all_mechanisms <= ALL_MECHANISMS
+
+
+# ----------------------------------------------------------------------
+# Config restriction
+# ----------------------------------------------------------------------
+
+
+class TestRestrictConfig:
+    def test_sram_restriction_zeroes_its_knobs(self):
+        restricted = restrict_config(AGGRESSIVE, ("sram",))
+        assert restricted.sram_read_upset == 0.0
+        assert restricted.sram_write_failure == 0.0
+        assert restricted.sram_power_saving == 0.0
+        assert restricted.dram_flip_per_second == AGGRESSIVE.dram_flip_per_second
+        assert restricted.name == f"{AGGRESSIVE.name}+precise[sram]"
+
+    def test_fpu_restriction_restores_mantissas(self):
+        restricted = restrict_config(AGGRESSIVE, ("fpu",))
+        assert restricted.float_mantissa_bits == 24
+        assert restricted.double_mantissa_bits == 52
+        assert restricted.timing_error_prob == 0.0
+        assert restricted.fp_op_saving == 0.0
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="unknown mechanisms"):
+            restrict_config(AGGRESSIVE, ("cache",))
+
+    def test_full_restriction_is_not_output_affecting(self):
+        restricted = restrict_config(AGGRESSIVE, ALL_MECHANISMS)
+        assert not _output_affecting(restricted)
+        assert _output_affecting(AGGRESSIVE)
+        assert not _output_affecting(BASELINE)
+
+    def test_full_restriction_shares_the_baseline_digest(self):
+        """The fingerprint ignores the cosmetic name, so a fully-zeroed
+        restricted config addresses the same store entries as BASELINE:
+        the whole-program fallback never duplicates the reference run."""
+        restricted = restrict_config(AGGRESSIVE, ALL_MECHANISMS)
+        spec = app_by_name("fft")
+        left = RunKey(spec=spec, config=restricted, fault_seed=0, workload_seed=0)
+        right = RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
+        assert left.digest == right.digest
+
+
+# ----------------------------------------------------------------------
+# The recovery loop
+# ----------------------------------------------------------------------
+
+
+class TestRecoverCalib:
+    def test_selective_retry_is_bit_identical_and_cheaper(self):
+        reference = precise_output(CALIB, 0)
+        for fault_seed in (1, 2, 3):
+            recovered = run_recovered(_calib_key(fault_seed), RecoveryPolicy())
+            outcome = recovered.outcome
+            assert outcome.violation, "AGGRESSIVE must violate conservation"
+            assert outcome.retry_kind == "selective"
+            assert outcome.disabled == ("alu", "dram")
+            assert outcome.kept == ("fpu", "sram")
+            assert outcome.final_ok
+            assert recovered.output == reference
+            assert outcome.retry_energy < 1.0, "kept mechanisms must save energy"
+            assert outcome.total_energy == pytest.approx(
+                outcome.attempt_energy + outcome.retry_energy
+            )
+
+    def test_precise_mode_collapses_to_full_rerun(self):
+        recovered = run_recovered(_calib_key(1), RecoveryPolicy("precise"))
+        outcome = recovered.outcome
+        assert outcome.violation and outcome.retried
+        assert outcome.retry_kind == "full"
+        assert outcome.disabled == ("alu", "dram", "fpu", "sram")
+        assert outcome.kept == ()
+        assert recovered.output == precise_output(CALIB, 0)
+        assert outcome.retry_energy == pytest.approx(1.0)
+
+    def test_selective_is_strictly_cheaper_than_precise(self):
+        selective = run_recovered(_calib_key(1), RecoveryPolicy("selective"))
+        precise = run_recovered(_calib_key(1), RecoveryPolicy("precise"))
+        assert selective.output == precise.output
+        assert (
+            selective.outcome.retry_energy < precise.outcome.retry_energy
+        ), "a proper-subset slice must beat the whole-program fallback"
+
+    def test_clean_attempt_is_delivered_untouched(self):
+        key = _calib_key(1, config=BASELINE)
+        recovered = run_recovered(key, RecoveryPolicy())
+        outcome = recovered.outcome
+        assert not outcome.violation and not outcome.retried
+        assert outcome.retry_kind is None and outcome.retry_energy == 0.0
+        assert recovered.output == run_key(key).output
+
+    def test_outcome_wire_roundtrip(self):
+        from repro.recovery.reexec import RecoveryOutcome
+
+        outcome = run_recovered(_calib_key(1), RecoveryPolicy()).outcome
+        assert RecoveryOutcome.from_dict(outcome.to_dict()) == outcome
+
+
+class TestRecoverApps:
+    @pytest.mark.parametrize("name", ["fft", "sor", "imagej"])
+    def test_recovered_output_matches_whole_program_precise(self, name):
+        """The differential pin: whatever the retry kind, a recovered
+        violation delivers exactly the precise output."""
+        spec = app_by_name(name)
+        reference = precise_output(spec, 0)
+        saw_violation = False
+        for fault_seed in (1, 2):
+            key = RunKey(
+                spec=spec, config=AGGRESSIVE, fault_seed=fault_seed, workload_seed=0
+            )
+            recovered = run_recovered(key, RecoveryPolicy())
+            outcome = recovered.outcome
+            if not outcome.violation:
+                continue
+            saw_violation = True
+            assert outcome.final_ok
+            assert recovered.output == reference
+            assert outcome.retry_energy <= 1.0 + 1e-12
+        assert saw_violation, f"{name} @ AGGRESSIVE should violate its check"
+
+    def test_full_fallback_when_slice_is_whole_cone(self):
+        spec = app_by_name("fft")
+        key = RunKey(spec=spec, config=AGGRESSIVE, fault_seed=1, workload_seed=0)
+        outcome = run_recovered(key, RecoveryPolicy()).outcome
+        assert outcome.violation
+        assert outcome.retry_kind == "full"
+        assert outcome.retry_energy == pytest.approx(1.0)
+
+
+class TestBatchRecovery:
+    def test_batch_matches_serial_per_lane(self):
+        keys = [_calib_key(fault_seed) for fault_seed in (1, 2, 3, 4)]
+        batched = run_recovered_batch(keys, RecoveryPolicy())
+        for key, lane in zip(keys, batched):
+            serial = run_recovered(key, RecoveryPolicy())
+            assert lane.output == serial.output
+            assert lane.outcome == serial.outcome
+
+
+# ----------------------------------------------------------------------
+# Harness + executor integration
+# ----------------------------------------------------------------------
+
+
+class TestHarnessIntegration:
+    def test_run_app_delivers_recovered_output(self):
+        result = run_app(_calib_key(1), recover="selective")
+        assert result.output == precise_output(CALIB, 0)
+
+    def test_run_app_recover_rejects_tracer_and_args(self):
+        with pytest.raises(TypeError, match="recover"):
+            run_app(_calib_key(1), recover="selective", args=(8, 2, 0))
+
+    def test_run_keys_batch_recover(self):
+        keys = [_calib_key(fault_seed) for fault_seed in (1, 2)]
+        outputs = [r.output for r in harness.run_keys_batch(keys, recover="selective")]
+        assert outputs == [precise_output(CALIB, 0)] * 2
+
+    def test_mean_qos_recover_composes_with_batch(self):
+        spec = app_by_name("fft")
+        serial = mean_qos(spec, AGGRESSIVE, runs=3, recover="selective")
+        batched = mean_qos(spec, AGGRESSIVE, runs=3, recover="selective", batch=3)
+        assert serial == batched == 0.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="unknown recovery mode"):
+            RecoveryPolicy("bogus")
+        assert RecoveryPolicy.coerce(None) is None
+        assert RecoveryPolicy.coerce("precise").mode == "precise"
+        policy = RecoveryPolicy("selective")
+        assert RecoveryPolicy.coerce(policy) is policy
+
+    def test_plan_mutual_exclusions(self):
+        from repro.experiments.executor import ExecutionPlan
+
+        with pytest.raises(ValueError, match="--via-service"):
+            ExecutionPlan.resolve(
+                via_service="h:1", via_fleet=None, jobs=None, batch=None,
+                recover="selective",
+            )
+        with pytest.raises(ValueError, match="--jobs"):
+            ExecutionPlan.resolve(
+                via_service=None, via_fleet=None, jobs=4, batch=None,
+                recover="selective",
+            )
+        plan = ExecutionPlan.resolve(
+            via_service=None, via_fleet=None, jobs=None, batch=5,
+            recover="selective",
+        )
+        assert plan.recover == "selective" and plan.batch == 5
+        with pytest.raises(ValueError, match="unknown recovery mode"):
+            ExecutionPlan.resolve(
+                via_service=None, via_fleet=None, jobs=None, batch=None,
+                recover="bogus",
+            )
+
+
+# ----------------------------------------------------------------------
+# The frontier experiment
+# ----------------------------------------------------------------------
+
+
+class TestRecoveryFrontier:
+    def test_calib_point_pins_the_economics(self):
+        points = app_recovery_frontier(CALIB, levels=(AGGRESSIVE,), runs=3)
+        (point,) = points
+        assert point.violations == 3
+        assert point.retries_selective == 3 and point.retries_full == 0
+        assert point.unrecovered == 0
+        assert point.recovered_qos == 0.0
+        assert point.proper_subset
+        assert point.disabled == ("alu", "dram")
+        assert point.kept == ("fpu", "sram")
+        # attempt + selective retry, strictly below attempt + precise.
+        assert point.raw_energy < point.recovered_energy
+        assert point.recovered_energy < point.raw_energy + 1.0
+        assert point.energy_overhead == pytest.approx(
+            point.recovered_energy - point.raw_energy
+        )
+
+    def test_rejects_nonpositive_runs(self):
+        with pytest.raises(ValueError, match="positive"):
+            app_recovery_frontier(CALIB, runs=0)
+
+    def test_format_and_suite(self):
+        frontier = suite_recovery_frontier([CALIB], levels=(MILD,), runs=1)
+        text = format_recovery_frontier(frontier)
+        assert "RecoveryCalib" in text
+        assert "recQoS" in text
+
+    def test_point_dict_is_json_safe(self):
+        import json
+
+        (point,) = app_recovery_frontier(CALIB, levels=(MEDIUM,), runs=1)
+        payload = json.loads(json.dumps(point.to_dict()))
+        assert payload["app"] == "RecoveryCalib"

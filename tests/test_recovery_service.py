@@ -1,0 +1,293 @@
+"""Protocol v3 end-to-end: recover submits, gating, fabric relay.
+
+Wire-level coverage for guaranteed-quality mode:
+
+* a ``{recover: ...}`` submit executes (never a store hit), answers
+  with the ``recovery`` block, and scores the *delivered* output —
+  a recovered violation reports the precise run's QoS;
+* v1/v2 requests stay bit-identical: the field is absent from their
+  payloads and the daemon's answers are unchanged;
+* a recover submit against a protocol-2-pinned daemon — directly or
+  relayed through the fabric coordinator — fails fast with a clean
+  ``unsupported_op`` envelope;
+* the ``recovery.*`` metrics series counts checked/clean/violation/
+  retry outcomes.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import app_by_name
+from repro.experiments import harness
+from repro.experiments.harness import RunKey, qos_error
+from repro.fabric import FabricConfig, FabricCoordinator
+from repro.hardware.config import AGGRESSIVE, MEDIUM
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+from repro.service.client import ServiceError, ServiceRequestFailed
+from repro.service.protocol import ERROR_UNSUPPORTED, PROTOCOL_VERSION, SimRequest
+
+FFT = app_by_name("fft")
+
+
+def _make_server(tmp_root, name, max_protocol=None, cache=True):
+    kwargs = {} if max_protocol is None else {"max_protocol": max_protocol}
+    server = SimulationServer(
+        ServiceConfig(
+            port=0,
+            workers=1,
+            warm_apps=("fft",),
+            cache_dir=os.path.join(str(tmp_root), name) if cache else None,
+            default_deadline_ms=120_000,
+            **kwargs,
+        )
+    )
+    server.start()
+    return server
+
+
+def _stop(server):
+    server.initiate_drain()
+    server.drain(timeout=10)
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def v3_server(tmp_path_factory):
+    server = _make_server(tmp_path_factory.mktemp("recovery-v3"), "node")
+    yield server
+    _stop(server)
+    harness.clear_caches()
+
+
+@pytest.fixture
+def client(v3_server):
+    host, port = v3_server.address
+    with ServiceClient(host, port) as connection:
+        yield connection
+
+
+class TestProtocolV3Parsing:
+    def test_version_is_3(self):
+        assert PROTOCOL_VERSION == 3
+
+    def test_recover_field_parses(self):
+        request = SimRequest.from_wire(
+            {"app": "fft", "config": "aggressive", "fault_seed": 1,
+             "recover": "selective"}
+        )
+        assert request.recover == "selective"
+        assert request.task_payload()["recover"] == "selective"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown recover mode"):
+            SimRequest.from_wire({"app": "fft", "recover": "bogus"})
+
+    def test_recover_excludes_budget_and_trace(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SimRequest.from_wire(
+                {"app": "fft", "qos_budget": 0.05, "recover": "selective"}
+            )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SimRequest.from_wire(
+                {"app": "fft", "config": "mild", "recover": "selective",
+                 "want_trace_summary": True}
+            )
+
+    def test_legacy_payloads_carry_no_recover(self):
+        """v1/v2 requests are bit-identical: the new field never appears
+        in their task payloads or changes their parsing."""
+        v1 = SimRequest.from_wire({"app": "fft", "config": "medium", "fault_seed": 3})
+        assert v1.recover is None
+        assert "recover" not in v1.task_payload()
+        v2 = SimRequest.from_wire({"app": "fft", "qos_budget": 0.05})
+        assert v2.recover is None
+
+
+class TestRecoverSubmit:
+    def test_violation_is_recovered_and_scored_on_delivery(self, client):
+        result = client.submit("fft", "aggressive", fault_seed=1, recover="selective")
+        assert result.recovery is not None
+        assert result.recovery["violation"] is True
+        assert result.recovery["retried"] is True
+        assert result.recovery["final_ok"] is True
+        assert result.recovery["retry_kind"] in ("selective", "full")
+        assert result.recovery["total_energy"] == pytest.approx(
+            result.recovery["attempt_energy"] + result.recovery["retry_energy"]
+        )
+        # The delivered output is the precise re-execution: QoS 0.
+        assert result.qos == 0.0
+
+    def test_clean_attempt_reports_no_violation(self, client):
+        raw = qos_error(
+            RunKey(spec=FFT, config=MEDIUM, fault_seed=2, workload_seed=0)
+        )
+        result = client.submit("fft", "medium", fault_seed=2, recover="selective")
+        assert result.recovery is not None
+        if not result.recovery["violation"]:
+            assert result.qos == raw
+            assert result.recovery["retry_kind"] is None
+
+    def test_plain_submits_are_unchanged(self, client):
+        serial = qos_error(
+            RunKey(spec=FFT, config=MEDIUM, fault_seed=5, workload_seed=0)
+        )
+        result = client.submit("fft", "medium", fault_seed=5)
+        assert result.qos == serial
+        assert result.recovery is None
+
+    def test_recover_bypasses_the_store_hit_path(self, client):
+        """A plain submit warms the store; the recover submit of the
+        same key must still execute (the stored entry was never
+        checked), so it is never answered ``cached``."""
+        plain = client.submit("fft", "aggressive", fault_seed=7)
+        again = client.submit("fft", "aggressive", fault_seed=7)
+        assert again.cached, "sanity: the plain resubmit is a store hit"
+        recovered = client.submit(
+            "fft", "aggressive", fault_seed=7, recover="selective"
+        )
+        assert not recovered.cached
+        assert recovered.recovery is not None
+        assert plain.digest == recovered.digest
+
+    def test_recover_rides_the_batch_op(self, client):
+        results = client.submit_batch(
+            [
+                {"app": "fft", "config": "aggressive", "fault_seed": 9,
+                 "recover": "selective"},
+                {"app": "fft", "config": "medium", "fault_seed": 9},
+            ]
+        )
+        assert results[0].recovery is not None
+        assert results[1].recovery is None
+
+    def test_client_guards_mutual_exclusion(self, client):
+        with pytest.raises(ServiceError, match="not both"):
+            client.submit("fft", qos_budget=0.05, recover="selective")
+        with pytest.raises(ServiceError, match="trace"):
+            client.submit(
+                "fft", "medium", want_trace_summary=True, recover="selective"
+            )
+
+    def test_recovery_metrics_series(self, v3_server, client):
+        client.submit("fft", "aggressive", fault_seed=11, recover="selective")
+        client.submit("fft", "medium", fault_seed=11, recover="selective")
+        counters = client.metrics()["counters"]
+        assert counters.get("recovery.requests_total", 0) >= 2
+        assert counters.get("recovery.checked", 0) >= 2
+        assert counters.get("recovery.violations", 0) >= 1
+        assert counters.get(
+            "recovery.retries_selective", 0
+        ) + counters.get("recovery.retries_full", 0) >= 1
+        assert counters.get("recovery.unrecovered", 0) == 0
+
+    def test_healthz_announces_protocol_3(self, client):
+        assert client.healthz()["protocol"] == 3
+
+    def test_cli_submit_recover_end_to_end(self, v3_server, capsys):
+        from repro.cli import main
+
+        host, port = v3_server.address
+        code = main(
+            ["submit", "fft", "--level", "aggressive", "--seed", "1",
+             "--recover", "--host", host, "--port", str(port)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RECOVERED" in out
+        assert "violation(s) recovered" in out
+
+    def test_cli_submit_recover_json(self, v3_server, capsys):
+        import json
+
+        from repro.cli import main
+
+        host, port = v3_server.address
+        code = main(
+            ["submit", "fft", "--level", "aggressive", "--seed", "1", "--runs",
+             "2", "--recover", "--json", "--host", host, "--port", str(port)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        for row in payload:
+            assert row["recovery"]["final_ok"] is True
+
+
+class TestVersionGating:
+    def test_recover_against_v2_daemon_is_unsupported(self, tmp_path):
+        server = _make_server(tmp_path, "v2", max_protocol=2)
+        try:
+            with ServiceClient(*server.address) as connection:
+                assert connection.healthz()["protocol"] == 2
+                with pytest.raises(ServiceRequestFailed) as failure:
+                    connection.submit(
+                        "fft", "medium", fault_seed=3, recover="selective"
+                    )
+                assert failure.value.code == ERROR_UNSUPPORTED
+                # Fixed-config service is unaffected by the pin.
+                serial = qos_error(
+                    RunKey(spec=FFT, config=MEDIUM, fault_seed=3, workload_seed=0)
+                )
+                assert connection.submit("fft", "medium", fault_seed=3).qos == serial
+        finally:
+            _stop(server)
+            harness.clear_caches()
+
+
+class TestFabricRelay:
+    def test_recover_relays_through_the_coordinator(self, tmp_path):
+        """The coordinator forwards submit fields verbatim, so recover
+        flows to the home daemon with zero coordinator changes."""
+        servers = [_make_server(tmp_path, f"v3-{index}") for index in range(2)]
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                nodes=tuple("%s:%d" % server.address for server in servers),
+                host="127.0.0.1",
+                port=0,
+            )
+        )
+        coordinator.start()
+        try:
+            with ServiceClient(*coordinator.address) as connection:
+                result = connection.submit(
+                    "fft", "aggressive", fault_seed=1, recover="selective"
+                )
+                assert result.recovery is not None
+                assert result.recovery["final_ok"] is True
+                assert result.qos == 0.0
+        finally:
+            coordinator.initiate_drain()
+            coordinator.drain(timeout=10)
+            coordinator.stop()
+            for server in servers:
+                _stop(server)
+            harness.clear_caches()
+
+    def test_recover_through_v2_fleet_fails_clean(self, tmp_path):
+        servers = [
+            _make_server(tmp_path, f"v2-{index}", max_protocol=2)
+            for index in range(2)
+        ]
+        coordinator = FabricCoordinator(
+            FabricConfig(
+                nodes=tuple("%s:%d" % server.address for server in servers),
+                host="127.0.0.1",
+                port=0,
+            )
+        )
+        coordinator.start()
+        try:
+            with ServiceClient(*coordinator.address) as connection:
+                with pytest.raises(ServiceRequestFailed) as failure:
+                    connection.submit(
+                        "fft", "medium", fault_seed=4, recover="selective"
+                    )
+                assert failure.value.code == ERROR_UNSUPPORTED
+        finally:
+            coordinator.initiate_drain()
+            coordinator.drain(timeout=10)
+            coordinator.stop()
+            for server in servers:
+                _stop(server)
+            harness.clear_caches()

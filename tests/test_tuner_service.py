@@ -61,7 +61,9 @@ def _stop(server):
 
 @pytest.fixture(scope="module")
 def v2_server(tmp_path_factory):
-    server = _make_server(tmp_path_factory.mktemp("tuner-v2"), "node")
+    server = _make_server(
+        tmp_path_factory.mktemp("tuner-v2"), "node", max_protocol=2
+    )
     yield server
     _stop(server)
     harness.clear_caches()
