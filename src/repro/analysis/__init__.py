@@ -7,17 +7,32 @@ Static analyses layered on top of the checker's facts:
 * :mod:`repro.analysis.reliability` — static per-op corruption bounds
   composed from the hardware fault model, plus the dynamic soundness
   check against traced runs;
-* :mod:`repro.analysis.lints` — the endorsement audit (AF001–AF005);
+* :mod:`repro.analysis.lints` — the endorsement audit (AF001–AF006);
 * :mod:`repro.analysis.inference` — checker-validated ``@Approx``
   relaxation suggestions;
+* :mod:`repro.analysis.profile` — measured DRAM residency spans from
+  PR-2 traces (logical-cycle container lifetimes);
+* :mod:`repro.analysis.costmodel` — static per-node energy and fault
+  exposure for placement search;
+* :mod:`repro.analysis.placement` — the profile-guided data-placement
+  optimizer with checker-validated annotation patches;
 * :mod:`repro.analysis.report` — text/JSON rendering shared by the CLI.
 
 See ANALYSIS.md for the model and the lint catalog.
 """
 
+from repro.analysis.costmodel import NodeCost, PlacementCostModel
 from repro.analysis.flowgraph import FlowGraph, FlowNode, build_flow_graph
 from repro.analysis.inference import Suggestion, infer_relaxations
 from repro.analysis.lints import Finding, LINT_CODES, run_lints
+from repro.analysis.placement import (
+    PlacementAnalysis,
+    PlacementDecision,
+    PlacementPlan,
+    PlacementVerification,
+    placement_mechanisms,
+)
+from repro.analysis.profile import ResidencyProfile, profile_app
 from repro.analysis.reliability import (
     ReliabilityBound,
     SoundnessRecord,
@@ -34,6 +49,15 @@ __all__ = [
     "Finding",
     "LINT_CODES",
     "run_lints",
+    "NodeCost",
+    "PlacementCostModel",
+    "PlacementAnalysis",
+    "PlacementDecision",
+    "PlacementPlan",
+    "PlacementVerification",
+    "placement_mechanisms",
+    "ResidencyProfile",
+    "profile_app",
     "ReliabilityBound",
     "SoundnessRecord",
     "app_reliability",

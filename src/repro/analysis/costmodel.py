@@ -1,0 +1,248 @@
+"""Static per-node energy and fault-exposure model for data placement.
+
+The placement optimizer (:mod:`repro.analysis.placement`) searches over
+*assignments*: which approximate-annotated storage sites to demote to
+precise.  Evaluating a candidate assignment dynamically would cost a
+simulation per step, so this module scores assignments statically, with
+the same two quantities the dynamic side measures:
+
+* **modeled energy** — the Section 5.4 composition
+  (:mod:`repro.energy.model`) evaluated on *static* proxies for the
+  run statistics: operation counts become flow-graph op-node weights
+  (degree = static fan-in/out), SRAM byte-ticks become storage-node
+  access weights, and DRAM byte-ticks become the profiled residency
+  spans (:mod:`repro.analysis.profile`) of each array/field site;
+* **fault exposure** — the PR-5 reliability bound of the QoS output,
+  restricted to the nodes that remain *effectively approximate* under
+  the assignment.
+
+Effective approximateness is a forward reachability: a node can carry
+approximate values only if it is may-approx in the flow graph *and*
+some non-demoted approximate storage site reaches it through
+may-approx nodes (laundering endorsements, being precise-qualified,
+stop the propagation exactly as they do at run time).  Demoting a site
+therefore shrinks the effective set monotonically, which gives the two
+properties the optimizer (and the Hypothesis suite) relies on:
+
+* the static bound never increases when a site is demoted;
+* the modeled energy never decreases when a site is demoted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.profile import ResidencyProfile
+from repro.analysis.reliability import node_rate
+from repro.energy.model import SERVER, EnergyParameters
+from repro.hardware.config import HardwareConfig
+
+__all__ = ["NodeCost", "PlacementCostModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCost:
+    """One storage/op node's static weights under the cost model."""
+
+    ident: str
+    kind: str
+    mechanism: str
+    #: Static access weight (degree for SRAM/ops, residency ticks for
+    #: DRAM holders).
+    weight: float
+    #: Per-access fault rate at the model's hardware level.
+    rate: float
+    #: ``rate * uses`` — the node's share of the reliability bound when
+    #: it is effectively approximate.
+    exposure: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class PlacementCostModel:
+    """Scores placement assignments over one app's flow graph.
+
+    An *assignment* is the set of storage-node idents demoted to
+    precise; the empty set is the program as annotated.  All queries
+    are deterministic (sorted traversals, pure arithmetic) and cached
+    per assignment, because the greedy optimizer revisits neighbours.
+    """
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        output_id: str,
+        config: HardwareConfig,
+        profile: ResidencyProfile,
+        params: EnergyParameters = SERVER,
+    ) -> None:
+        self.graph = graph
+        self.output_id = output_id
+        self.config = config
+        self.profile = profile
+        self.params = params
+        self._effective_cache: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        #: Storage sites that can seed approximateness (annotated or
+        #: inferred approx storage; ``context`` is instantiation-driven
+        #: and stays, conservatively, a seed).
+        self.seed_sites: Tuple[str, ...] = tuple(
+            ident
+            for ident in graph.storage_nodes()
+            if graph.nodes[ident].may_approx
+        )
+
+    # ------------------------------------------------------------------
+    # Effective approximateness under an assignment
+    # ------------------------------------------------------------------
+    def effective_approx(self, demoted: AbstractSet[str]) -> FrozenSet[str]:
+        """Nodes that may still hold approximate values.
+
+        Forward reachability from the non-demoted approximate storage
+        seeds, continuing only through may-approx nodes: a node whose
+        static qualifier is precise (an endorsement result, a precise
+        local) launders the flow at run time too, so propagation stops
+        there.
+        """
+        key = frozenset(demoted)
+        cached = self._effective_cache.get(key)
+        if cached is not None:
+            return cached
+        frontier = sorted(s for s in self.seed_sites if s not in key)
+        visited: Set[str] = set(frontier)
+        while frontier:
+            nxt: Set[str] = set()
+            for ident in frontier:
+                for succ in self.graph.successors(ident):
+                    if succ in visited or succ in key:
+                        # Demoted holders are precise at run time: they
+                        # launder the flow exactly like an endorsement.
+                        continue
+                    if not self.graph.nodes[succ].may_approx:
+                        continue
+                    nxt.add(succ)
+            visited |= nxt
+            frontier = sorted(nxt)
+        result = frozenset(visited)
+        self._effective_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-node static weights
+    # ------------------------------------------------------------------
+    def _uses(self, ident: str) -> int:
+        return max(
+            1, self.graph.in_degree(ident) + self.graph.out_degree(ident)
+        )
+
+    def node_cost(self, ident: str) -> NodeCost:
+        node = self.graph.nodes[ident]
+        uses = self._uses(ident)
+        if node.mechanism == "dram":
+            weight = float(self.profile.node_span_ticks(node))
+            rate = node_rate(
+                "dram",
+                self.config,
+                self.profile.node_residency_seconds(node),
+            )
+        else:
+            weight = float(uses)
+            rate = node_rate(node.mechanism, self.config)
+        return NodeCost(
+            ident=ident,
+            kind=node.kind,
+            mechanism=node.mechanism,
+            weight=weight,
+            rate=rate,
+            exposure=rate * uses,
+        )
+
+    # ------------------------------------------------------------------
+    # The two objectives
+    # ------------------------------------------------------------------
+    def bound(self, demoted: AbstractSet[str]) -> float:
+        """Static reliability bound of the output under an assignment."""
+        if self.output_id not in self.graph.nodes:
+            return 0.0
+        effective = self.effective_approx(demoted)
+        total = 0.0
+        for ident in self.graph.backward([self.output_id]):  # sorted
+            if ident not in effective:
+                continue
+            total += self.node_cost(ident).exposure
+        return min(1.0, total)
+
+    def energy(self, demoted: AbstractSet[str]) -> float:
+        """Modeled normalised energy (1.0 = fully precise placement).
+
+        The Section 5.4 composition over static fractions: approximate
+        shares of DRAM residency weight, SRAM access weight, and
+        int/fp execute energy, each discounted by the corresponding
+        Table 2 saving exactly as :func:`repro.energy.model
+        .estimate_energy` discounts the measured fractions.
+        """
+        effective = self.effective_approx(demoted)
+        dram_total = dram_approx = 0.0
+        sram_total = sram_approx = 0.0
+        int_total = int_approx = 0.0
+        fp_total = fp_approx = 0.0
+        for ident in self.graph.node_ids():  # sorted
+            node = self.graph.nodes[ident]
+            is_approx = ident in effective
+            if node.mechanism == "dram":
+                weight = self.node_cost(ident).weight
+                dram_total += weight
+                if is_approx:
+                    dram_approx += weight
+            elif node.mechanism == "sram":
+                weight = self.node_cost(ident).weight
+                sram_total += weight
+                if is_approx:
+                    sram_approx += weight
+            elif node.mechanism == "alu":
+                weight = float(self._uses(ident))
+                int_total += weight
+                if is_approx:
+                    int_approx += weight
+            elif node.mechanism == "fpu":
+                weight = float(self._uses(ident))
+                fp_total += weight
+                if is_approx:
+                    fp_approx += weight
+
+        params, config = self.params, self.config
+        int_exec = params.int_op_units - params.fetch_decode_units
+        fp_exec = params.fp_op_units - params.fetch_decode_units
+        precise_ops = int_total * params.int_op_units + fp_total * params.fp_op_units
+        if precise_ops > 0.0:
+            int_cost = (
+                int_total * params.fetch_decode_units
+                + (int_total - int_approx) * int_exec
+                + int_approx * int_exec * (1.0 - config.int_op_saving)
+            )
+            fp_cost = (
+                fp_total * params.fetch_decode_units
+                + (fp_total - fp_approx) * fp_exec
+                + fp_approx * fp_exec * (1.0 - config.fp_op_saving)
+            )
+            instruction = (int_cost + fp_cost) / precise_ops
+        else:
+            instruction = 1.0
+        sram_fraction = sram_approx / sram_total if sram_total > 0.0 else 0.0
+        dram_fraction = dram_approx / dram_total if dram_total > 0.0 else 0.0
+        sram = 1.0 - sram_fraction * config.sram_power_saving
+        dram = 1.0 - dram_fraction * config.dram_power_saving
+        cpu = (
+            1.0 - params.sram_share_of_cpu
+        ) * instruction + params.sram_share_of_cpu * sram
+        return params.cpu_share_of_system * cpu + params.dram_share_of_system * dram
+
+    # ------------------------------------------------------------------
+    # Introspection for reports
+    # ------------------------------------------------------------------
+    def site_costs(self, idents: Optional[AbstractSet[str]] = None) -> List[NodeCost]:
+        """Sorted per-site cost rows (all storage sites by default)."""
+        chosen = sorted(idents) if idents is not None else list(self.seed_sites)
+        return [self.node_cost(ident) for ident in chosen]

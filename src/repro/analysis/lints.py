@@ -12,6 +12,9 @@ AF004       dead approximation: @Approx storage never touched by an
             approximate operation (energy risk without energy benefit)
 AF005       wide endorsement: a single endorse site launders taint from
             many distinct approximate storage locations
+AF006       wasted placement: an approximate DRAM-resident field/array
+            whose stored values are never read accrues decay exposure
+            for nothing
 ==========  ==========================================================
 
 All findings are advisory (severity ``info`` or ``warning``): every
@@ -41,6 +44,7 @@ LINT_CODES: Dict[str, str] = {
     "AF003": "endorsed data escapes to unchecked code",
     "AF004": "dead approximation",
     "AF005": "wide endorsement",
+    "AF006": "wasted approximate placement",
 }
 
 #: AF005 fires when one endorse site launders taint from at least this
@@ -199,6 +203,41 @@ def _dead_approx_findings(graph: FlowGraph) -> List[Finding]:
     return findings
 
 
+def _wasted_placement_findings(graph: FlowGraph) -> List[Finding]:
+    """AF006: approximate DRAM storage written but never read.
+
+    A DRAM-resident holder is charged decay exposure for as long as it
+    lives; if no stored value ever flows out of it (out-degree zero in
+    the flow graph — every element is overwritten or dropped before a
+    read), the approximate placement buys exposure without any consumer
+    that could tolerate it.  Suggest the precise placement: same
+    program, no decay risk, negligible energy difference because the
+    values are never fetched.
+    """
+    findings: List[Finding] = []
+    for ident in graph.storage_nodes():
+        node = graph.nodes[ident]
+        if not node.may_approx or node.qualifier == "context":
+            continue
+        if node.mechanism != "dram":
+            continue
+        if graph.in_degree(ident) >= 1 and graph.out_degree(ident) == 0:
+            findings.append(
+                Finding(
+                    "AF006",
+                    "warning",
+                    node.module,
+                    node.line,
+                    node.column,
+                    f"wasted placement: {node.label} lives in approximate "
+                    f"DRAM but its stored values are never read; demote it "
+                    f"to a precise placement",
+                    ident,
+                )
+            )
+    return findings
+
+
 def run_lints(
     result: Optional[CheckResult] = None,
     graph: Optional[FlowGraph] = None,
@@ -218,5 +257,9 @@ def run_lints(
         if not result.ok:
             raise ValueError(f"cannot lint a program with checker errors: {result.codes()}")
         graph = build_flow_graph(result)
-    findings = _endorse_findings(graph) + _dead_approx_findings(graph)
+    findings = (
+        _endorse_findings(graph)
+        + _dead_approx_findings(graph)
+        + _wasted_placement_findings(graph)
+    )
     return sorted(findings, key=lambda f: f.sort_key)

@@ -1,0 +1,681 @@
+"""Profile-guided data placement: approx-vs-precise memory assignment.
+
+EnerJ takes placement as given: whatever the annotator marked
+``Approx`` lives in approximate storage.  This pass closes the loop the
+ROADMAP asks for — *which* arrays/fields/locals should keep their
+approximate placement under a hardware level, chosen from measured
+access patterns:
+
+1. every explicit ``Approx[...]`` annotation (including the element
+   qualifier inside ``list[Approx[T]]``) becomes a *placement site*,
+   mapped to its flow-graph storage node;
+2. the static cost model (:mod:`repro.analysis.costmodel`) scores
+   assignments: modeled energy (Section 5.4 over static weights, DRAM
+   weighted by profiled residency) versus fault exposure (the PR-5
+   reliability bound of the QoS output);
+3. a greedy optimizer demotes sites to precise — cheapest exposure
+   reduction per unit of lost savings first — until the static bound
+   of the output meets the threshold; every demotion is applied as a
+   *closure* (the approximate annotated sources feeding the site
+   through unlaundered paths must demote with it, or the program would
+   no longer type-check) and validated by re-running the checker, the
+   same contract as PR-5 ``@Approx`` inference;
+4. ``verify`` simulates the suggested placement, asserts the PR-9
+   acceptability check passes (demoting further — dynamic repair — if
+   a fault still corrupts the output), and compares measured energy
+   against the all-precise-DRAM placement.
+
+Everything static is deterministic: sorted traversals, seeded profile
+runs, canonical tie-breaking.  Two invocations — serial or fanned out —
+emit byte-identical plans.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.costmodel import PlacementCostModel
+from repro.analysis.flowgraph import FlowGraph, build_flow_graph
+from repro.analysis.profile import ResidencyProfile, profile_app
+from repro.analysis.reliability import LEVELS, app_output_id
+from repro.core.checker import CheckResult, check_modules
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "PlacementDecision",
+    "PlacementPlan",
+    "PlacementVerification",
+    "PlacementAnalysis",
+    "placement_mechanisms",
+]
+
+#: Default static-bound threshold the optimizer drives the QoS output
+#: under: one percent per-op corruption probability.  Every bundled
+#: app's profiled Medium bound sits at or under this, so the default
+#: plan preserves the annotated placement at Medium while demanding
+#: real demotions at the Aggressive level.
+DEFAULT_THRESHOLD = 1e-2
+
+#: Greedy ratio guard against zero energy cost.
+_ENERGY_EPS = 1e-12
+
+#: Modules never rewritten (the PRNG must stay exact).
+_SKIP_MODULES = ("rand",)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Site:
+    """One rewritable ``Approx[...]`` annotation."""
+
+    ident: str
+    module: str
+    kind: str  # "local" | "param" | "return" | "field"
+    name: str
+    #: The ``Approx[...]`` subscript expression (for the rewrite).
+    approx_node: ast.expr
+    #: Its inner type expression (what remains after demotion).
+    inner_node: ast.expr
+
+    @property
+    def sort_key(self):
+        return (
+            self.module,
+            self.approx_node.lineno,
+            self.approx_node.col_offset,
+            self.name,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementDecision:
+    """One site's final assignment in a placement plan."""
+
+    ident: str
+    module: str
+    line: int
+    column: int
+    kind: str
+    name: str
+    mechanism: str
+    action: str  # "keep" | "demote"
+    #: The site's share of the output bound while approximate.
+    exposure: float
+    current: str
+    proposed: str
+
+    @property
+    def sort_key(self):
+        return (self.module, self.line, self.column, self.name)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        arrow = (
+            f"{self.current} -> {self.proposed}"
+            if self.action == "demote"
+            else f"{self.current} (kept)"
+        )
+        return (
+            f"{self.module}:{self.line}:{self.column}: {self.action} "
+            f"{self.kind} {self.name} [{self.mechanism}]: {arrow}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementPlan:
+    """The static placement suggestion for one app at one level."""
+
+    app: str
+    level: str
+    threshold: float
+    output: str
+    #: Whether the demotions drove the static bound under the threshold.
+    feasible: bool
+    #: Whether every applied demotion closure re-checked cleanly.
+    validated: bool
+    bound_before: float
+    bound_after: float
+    energy_modeled_before: float
+    energy_modeled_after: float
+    energy_modeled_all_precise_dram: float
+    decisions: Tuple[PlacementDecision, ...]
+    profile: dict
+
+    @property
+    def demotions(self) -> Tuple[PlacementDecision, ...]:
+        return tuple(d for d in self.decisions if d.action == "demote")
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "level": self.level,
+            "threshold": self.threshold,
+            "output": self.output,
+            "feasible": self.feasible,
+            "validated": self.validated,
+            "bound_before": self.bound_before,
+            "bound_after": self.bound_after,
+            "energy_modeled_before": self.energy_modeled_before,
+            "energy_modeled_after": self.energy_modeled_after,
+            "energy_modeled_all_precise_dram": self.energy_modeled_all_precise_dram,
+            "decisions": [d.to_dict() for d in self.decisions],
+            "profile": self.profile,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementVerification:
+    """One dynamic validation of a suggested placement."""
+
+    app: str
+    level: str
+    fault_seed: int
+    workload_seed: int
+    #: PR-9 acceptability verdict of the final simulated placement.
+    accepted: bool
+    check: str
+    #: Demotions added by dynamic repair (site idents, in order).
+    repair_demotions: Tuple[str, ...]
+    rounds: int
+    energy_measured: float
+    energy_measured_all_precise_dram: float
+    energy_modeled: float
+    energy_modeled_all_precise_dram: float
+
+    @property
+    def beats_measured(self) -> bool:
+        return self.energy_measured < self.energy_measured_all_precise_dram
+
+    @property
+    def beats_modeled(self) -> bool:
+        return self.energy_modeled < self.energy_modeled_all_precise_dram
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["repair_demotions"] = list(self.repair_demotions)
+        data["beats_measured"] = self.beats_measured
+        data["beats_modeled"] = self.beats_modeled
+        return data
+
+
+# ----------------------------------------------------------------------
+# Site collection (the inverse of inference.py's candidate scan)
+# ----------------------------------------------------------------------
+def _approx_subscript(node: Optional[ast.expr]) -> Optional[ast.Subscript]:
+    """The ``Approx[...]`` subscript inside an annotation, if any.
+
+    Handles the two bundled idioms: a top-level ``Approx[T]`` and the
+    element qualifier ``list[Approx[T]]``.
+    """
+    if not isinstance(node, ast.Subscript) or not isinstance(node.value, ast.Name):
+        return None
+    if node.value.id == "Approx":
+        return node
+    if node.value.id in ("list", "List"):
+        return _approx_subscript(node.slice)
+    return None
+
+
+def _rewritable(approx: ast.Subscript) -> bool:
+    """Single-line spans only — the textual rewrite's requirement."""
+    inner = approx.slice
+    return (
+        approx.end_lineno == approx.lineno
+        and approx.end_col_offset is not None
+        and inner.lineno == approx.lineno
+        and inner.end_lineno == approx.lineno
+        and inner.end_col_offset is not None
+    )
+
+
+def _collect_sites(modules: Dict[str, ast.Module]) -> Dict[str, _Site]:
+    """Every rewritable ``Approx`` site, keyed by flow-graph ident."""
+    sites: Dict[str, _Site] = {}
+
+    def add(ident: str, module: str, kind: str, name: str, annotation) -> None:
+        approx = _approx_subscript(annotation)
+        if approx is None or not _rewritable(approx) or ident in sites:
+            return
+        sites[ident] = _Site(ident, module, kind, name, approx, approx.slice)
+
+    def visit_function(module: str, fn: ast.FunctionDef, qualname: str) -> None:
+        for arg in list(fn.args.posonlyargs) + list(fn.args.args):
+            if arg.arg == "self":
+                continue
+            add(
+                f"local:{module}.{qualname}.{arg.arg}",
+                module,
+                "param",
+                arg.arg,
+                arg.annotation,
+            )
+        add(f"return:{module}.{qualname}", module, "return", fn.name, fn.returns)
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                add(
+                    f"local:{module}.{qualname}.{stmt.target.id}",
+                    module,
+                    "local",
+                    stmt.target.id,
+                    stmt.annotation,
+                )
+
+    for module in sorted(modules):
+        if module in _SKIP_MODULES:
+            continue
+        tree = modules[module]
+        for stmt in tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                visit_function(module, stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, ast.FunctionDef):
+                        visit_function(module, item, f"{stmt.name}.{item.name}")
+                    elif isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        add(
+                            f"field:{stmt.name}.{item.target.id}",
+                            module,
+                            "field",
+                            item.target.id,
+                            item.annotation,
+                        )
+    return sites
+
+
+def _demote_sources(
+    sources: Dict[str, str], sites: Sequence[_Site]
+) -> Dict[str, str]:
+    """Rewrite each site ``Approx[T]`` -> ``T`` (``list[Approx[T]]`` ->
+    ``list[T]``), bottom-up so earlier spans stay valid."""
+    by_module: Dict[str, List[_Site]] = {}
+    for site in sites:
+        by_module.setdefault(site.module, []).append(site)
+    mutated = dict(sources)
+    for module, module_sites in by_module.items():
+        lines = sources[module].splitlines(keepends=True)
+        ordered = sorted(
+            module_sites,
+            key=lambda s: (-s.approx_node.lineno, -s.approx_node.col_offset),
+        )
+        for site in ordered:
+            approx, inner = site.approx_node, site.inner_node
+            row = lines[approx.lineno - 1]
+            lines[approx.lineno - 1] = (
+                row[: approx.col_offset]
+                + row[inner.col_offset : inner.end_col_offset]
+                + row[approx.end_col_offset :]
+            )
+        mutated[module] = "".join(lines)
+    return mutated
+
+
+# ----------------------------------------------------------------------
+# The analysis driver
+# ----------------------------------------------------------------------
+class PlacementAnalysis:
+    """Placement planning + dynamic verification for one app.
+
+    Construction does all the deterministic setup (check, flow graph,
+    residency profile, cost model, site scan); :meth:`plan` runs the
+    greedy optimizer; :meth:`verify` simulates the result.
+    """
+
+    def __init__(
+        self,
+        spec,
+        level: str = "medium",
+        threshold: float = DEFAULT_THRESHOLD,
+        workload_seed: int = 0,
+        sources: Optional[Dict[str, str]] = None,
+        result: Optional[CheckResult] = None,
+        graph: Optional[FlowGraph] = None,
+        profile: Optional[ResidencyProfile] = None,
+    ) -> None:
+        from repro.apps import load_sources
+
+        if level not in LEVELS:
+            raise ValueError(f"unknown hardware level {level!r}")
+        self.spec = spec
+        self.level = level
+        self.threshold = float(threshold)
+        self.workload_seed = workload_seed
+        self.config = LEVELS[level]
+        self.sources = sources if sources is not None else load_sources(spec)
+        if result is None:
+            result = check_modules(self.sources)
+        if not result.ok:
+            raise ValueError(
+                f"{spec.name}: sources do not check: {result.codes()}"
+            )
+        self.result = result
+        self.graph = graph if graph is not None else build_flow_graph(result)
+        self.profile = (
+            profile if profile is not None else profile_app(spec, workload_seed)
+        )
+        self.output_id = app_output_id(spec)
+        self.model = PlacementCostModel(
+            self.graph, self.output_id, self.config, self.profile
+        )
+        self.sites = _collect_sites(result.modules)
+        #: Approx array allocations, keyed by the annotated holder sites
+        #: that own their element qualifier: rewriting the holder's
+        #: annotation precise makes the allocation precise, so the
+        #: model demotes the alloc node together with its owners.
+        self._alloc_owners: Dict[str, Tuple[str, ...]] = {}
+        self._owned_allocs: Dict[str, List[str]] = {}
+        for ident in self.graph.node_ids():
+            node = self.graph.nodes.get(ident)
+            if node is None or node.kind != "alloc" or not node.may_approx:
+                continue
+            owners = tuple(
+                succ for succ in self.graph.successors(ident) if succ in self.sites
+            )
+            if owners:
+                self._alloc_owners[ident] = owners
+                for owner in owners:
+                    self._owned_allocs.setdefault(owner, []).append(ident)
+        #: The diagnostics budget demotions must not exceed.
+        self._base_diagnostics = len(result.diagnostics)
+        #: Sites whose demotion closure failed checker validation.
+        self._infeasible: Set[str] = set()
+        self._plan: Optional[PlacementPlan] = None
+        self._demoted: FrozenSet[str] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Closures and validation
+    # ------------------------------------------------------------------
+    def demotion_closure(self, root: str) -> FrozenSet[str]:
+        """``root`` plus every site feeding it approximate values.
+
+        Backward traversal that stops at precise (laundering) nodes:
+        an endorsed or precise-qualified holder delivers precise values
+        regardless of placement, so nothing behind it must demote.
+        """
+        closure = {root}
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            ident = frontier.pop()
+            for pred in self.graph.predecessors(ident):
+                if pred in seen:
+                    continue
+                seen.add(pred)
+                if not self.graph.nodes[pred].may_approx:
+                    continue
+                if pred in self.sites:
+                    closure.add(pred)
+                frontier.append(pred)
+        return frozenset(closure)
+
+    def _induce(self, demoted_sites: AbstractSet[str]) -> FrozenSet[str]:
+        """The model-level assignment for a demoted *site* set.
+
+        Adds every approximate alloc node all of whose owning
+        annotation sites are demoted — the rewrite makes those
+        allocations precise, so the cost model must stop treating them
+        as approximate seeds.
+        """
+        induced = set(demoted_sites)
+        for alloc, owners in self._alloc_owners.items():
+            if all(owner in demoted_sites for owner in owners):
+                induced.add(alloc)
+        return frozenset(induced)
+
+    def validate(self, demoted: FrozenSet[str]) -> bool:
+        """Re-check the program with ``demoted`` rewritten precise."""
+        if not demoted:
+            return True
+        mutated = _demote_sources(
+            self.sources, [self.sites[i] for i in sorted(demoted)]
+        )
+        recheck = check_modules(mutated)
+        return recheck.ok and len(recheck.diagnostics) <= self._base_diagnostics
+
+    def _all_precise_dram(self) -> FrozenSet[str]:
+        """The reference assignment: every DRAM-resident site precise.
+
+        DRAM exposure lives on field nodes and on array allocations;
+        the demotable handle for an allocation is the annotated holder
+        that owns it, so the roots are dram-mechanism sites plus every
+        alloc owner.
+        """
+        roots: Set[str] = set()
+        for ident in sorted(self.sites):
+            node = self.graph.nodes.get(ident)
+            if node is not None and node.mechanism == "dram":
+                roots.add(ident)
+        roots.update(self._owned_allocs)
+        demoted: Set[str] = set()
+        for ident in sorted(roots):
+            demoted |= self.demotion_closure(ident)
+        if demoted and not self.validate(frozenset(demoted)):
+            # Fall back to demoting every site — always expressible.
+            demoted = set(self.sites)
+        return frozenset(demoted)
+
+    # ------------------------------------------------------------------
+    # The greedy optimizer
+    # ------------------------------------------------------------------
+    def _optimizer_candidates(self) -> List[str]:
+        """Sites the optimizer may pick as demotion roots (in-graph,
+        may-approx, not purely closure-only returns)."""
+        out = []
+        for ident in sorted(self.sites):
+            node = self.graph.nodes.get(ident)
+            if node is None or not node.may_approx:
+                continue
+            out.append(ident)
+        return out
+
+    def _best_demotion(
+        self, demoted: FrozenSet[str], current_bound: float, current_energy: float
+    ) -> Optional[Tuple[str, FrozenSet[str], float, float]]:
+        """The admissible closure with the best exposure/energy ratio.
+
+        Returns ``(root, closure, new_bound, new_energy)`` or ``None``
+        when no remaining site reduces the bound.
+        """
+        best = None
+        best_key = None
+        for root in self._optimizer_candidates():
+            if root in demoted or root in self._infeasible:
+                continue
+            closure = self.demotion_closure(root) - demoted
+            trial = demoted | closure
+            new_bound = self.model.bound(self._induce(trial))
+            delta_bound = current_bound - new_bound
+            if delta_bound <= 0.0:
+                continue
+            new_energy = self.model.energy(self._induce(trial))
+            delta_energy = max(new_energy - current_energy, _ENERGY_EPS)
+            key = (-(delta_bound / delta_energy), root)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (root, frozenset(closure), new_bound, new_energy)
+        return best
+
+    def plan(self) -> PlacementPlan:
+        """Run the optimizer once (memoised) and return the plan."""
+        if self._plan is not None:
+            return self._plan
+        demoted: FrozenSet[str] = frozenset()
+        validated = True
+        bound_before = self.model.bound(frozenset())
+        energy_before = self.model.energy(frozenset())
+        current_bound, current_energy = bound_before, energy_before
+        while current_bound > self.threshold:
+            step = self._best_demotion(demoted, current_bound, current_energy)
+            if step is None:
+                break
+            root, closure, new_bound, new_energy = step
+            trial = demoted | closure
+            if not self.validate(trial):
+                self._infeasible.add(root)
+                continue
+            demoted = trial
+            current_bound, current_energy = new_bound, new_energy
+
+        apd = self._all_precise_dram()
+        cone = (
+            set(self.graph.backward([self.output_id]))
+            if self.output_id in self.graph.nodes
+            else set()
+        )
+        decisions = []
+        for ident in sorted(self.sites):
+            site = self.sites[ident]
+            node = self.graph.nodes.get(ident)
+            mechanism = node.mechanism if node is not None else "none"
+            exposure = 0.0
+            if node is not None and node.may_approx and ident in cone:
+                exposure = self.model.node_cost(ident).exposure
+            # An annotated holder that owns array allocations carries
+            # their DRAM placement: report it as the dram handle and
+            # charge it the allocations' exposure.
+            for alloc in self._owned_allocs.get(ident, ()):
+                mechanism = "dram"
+                if alloc in cone:
+                    exposure += self.model.node_cost(alloc).exposure
+            current = self._annotation_text(site)
+            demote = ident in demoted
+            decisions.append(
+                PlacementDecision(
+                    ident=ident,
+                    module=site.module,
+                    line=site.approx_node.lineno,
+                    column=site.approx_node.col_offset,
+                    kind=site.kind,
+                    name=site.name,
+                    mechanism=mechanism,
+                    action="demote" if demote else "keep",
+                    exposure=exposure,
+                    current=current,
+                    proposed=self._inner_text(site) if demote else current,
+                )
+            )
+        self._demoted = demoted
+        self._plan = PlacementPlan(
+            app=self.spec.name,
+            level=self.level,
+            threshold=self.threshold,
+            output=self.output_id,
+            feasible=current_bound <= self.threshold,
+            validated=validated,
+            bound_before=bound_before,
+            bound_after=current_bound,
+            energy_modeled_before=energy_before,
+            energy_modeled_after=current_energy,
+            energy_modeled_all_precise_dram=self.model.energy(self._induce(apd)),
+            decisions=tuple(sorted(decisions, key=lambda d: d.sort_key)),
+            profile=self.profile.to_dict(),
+        )
+        return self._plan
+
+    def _annotation_text(self, site: _Site) -> str:
+        row = self.sources[site.module].splitlines()[site.approx_node.lineno - 1]
+        return row[site.approx_node.col_offset : site.approx_node.end_col_offset]
+
+    def _inner_text(self, site: _Site) -> str:
+        row = self.sources[site.module].splitlines()[site.inner_node.lineno - 1]
+        return row[site.inner_node.col_offset : site.inner_node.end_col_offset]
+
+    # ------------------------------------------------------------------
+    # Dynamic verification
+    # ------------------------------------------------------------------
+    def _simulate(self, demoted: FrozenSet[str], fault_seed: int):
+        """Run the demoted program once; returns (output, stats)."""
+        from repro.core.pipeline import compile_program
+        from repro.runtime.context import Simulator
+
+        mutated = _demote_sources(
+            self.sources, [self.sites[i] for i in sorted(demoted)]
+        )
+        program = compile_program(mutated)
+        with Simulator(self.config, seed=fault_seed) as simulator:
+            output = program.call(
+                self.spec.entry_module,
+                self.spec.entry_function,
+                *self.spec.workload_args(self.workload_seed),
+            )
+        return output, simulator.stats()
+
+    def verify(
+        self, fault_seed: int = 1, repair: bool = True
+    ) -> PlacementVerification:
+        """Simulate the planned placement; repair until acceptable.
+
+        Repair demotes the highest-exposure remaining site (checker
+        validated) and re-simulates, until the PR-9 acceptability check
+        passes or no demotion remains — the all-precise program passes
+        by construction, so repair terminates accepted whenever every
+        approximate source is demotable.
+        """
+        from repro.energy.model import estimate_energy
+        from repro.recovery.checks import check_output
+
+        self.plan()
+        demoted = self._demoted
+        repairs: List[str] = []
+        rounds = 0
+        output, stats = self._simulate(demoted, fault_seed)
+        verdict = check_output(self.spec, self.workload_seed, output)
+        while repair and not verdict.ok:
+            current_bound = self.model.bound(self._induce(demoted))
+            current_energy = self.model.energy(self._induce(demoted))
+            step = self._best_demotion(demoted, current_bound, current_energy)
+            if step is None:
+                break
+            root, closure, _, _ = step
+            trial = demoted | closure
+            if not self.validate(trial):
+                self._infeasible.add(root)
+                continue
+            demoted = trial
+            repairs.append(root)
+            rounds += 1
+            output, stats = self._simulate(demoted, fault_seed)
+            verdict = check_output(self.spec, self.workload_seed, output)
+
+        energy = estimate_energy(stats, self.config).total
+        apd = self._all_precise_dram()
+        _, apd_stats = self._simulate(apd, fault_seed)
+        apd_energy = estimate_energy(apd_stats, self.config).total
+        return PlacementVerification(
+            app=self.spec.name,
+            level=self.level,
+            fault_seed=fault_seed,
+            workload_seed=self.workload_seed,
+            accepted=verdict.ok,
+            check=verdict.check,
+            repair_demotions=tuple(repairs),
+            rounds=rounds,
+            energy_measured=energy,
+            energy_measured_all_precise_dram=apd_energy,
+            energy_modeled=self.model.energy(self._induce(demoted)),
+            energy_modeled_all_precise_dram=self.model.energy(self._induce(apd)),
+        )
+
+
+def placement_mechanisms(graph: FlowGraph, output_id: str) -> FrozenSet[str]:
+    """Tunable mechanisms with approximate state in the output's cone.
+
+    Maps the flow graph's hardware mechanisms onto the tuner's
+    :data:`~repro.tuner.search.TUNABLE` names; a mechanism with no
+    may-approximate node in the QoS output's backward cone cannot
+    change the output (or buy meaningful energy on it), so the tuner
+    can prune its upgrade ladder before any simulation.
+    """
+    mapping = {"dram": "dram", "sram": "sram", "fpu": "float_width", "alu": "timing"}
+    active: Set[str] = set()
+    if output_id not in graph.nodes:
+        return frozenset()
+    for ident in graph.backward([output_id]):
+        node = graph.nodes[ident]
+        if node.may_approx and node.mechanism in mapping:
+            active.add(mapping[node.mechanism])
+    return frozenset(active)

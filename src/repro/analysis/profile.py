@@ -1,0 +1,114 @@
+"""Residency profiles: logical-cycle container lifetimes from PR-2 traces.
+
+The reliability bound charges every DRAM-resident holder a residency
+window of decay.  Statically that window is unknowable, so
+:mod:`repro.analysis.reliability` assumes a generous flat constant
+(:data:`~repro.analysis.reliability.ASSUMED_RESIDENCY_SECONDS`) — which
+saturates every array-heavy bound to 1.0 at the Aggressive level even
+though the bundled workloads run for a tenth of that.
+
+A :class:`ResidencyProfile` replaces the constant with *measured* spans:
+one traced run of the app under the fault-free ``BASELINE`` config
+records, per heap container label, the maximum ``lifetime_ticks`` of
+its ``energy.free`` events, plus the run's total logical ticks.  Both
+are deterministic functions of (app, workload seed) — the baseline
+machine injects no faults — so profiled bounds stay byte-identical
+across runs.
+
+Soundness is preserved: no container outlives the run, so charging a
+flow-graph node the maximum observed lifetime of its label (falling
+back to the whole run's ticks when the label never freed or the ring
+buffer evicted its event) still over-approximates every value's true
+residency.  The span only tightens the charge from "one second" to
+"this workload's actual duration".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.analysis.flowgraph import FlowNode
+
+__all__ = ["ResidencyProfile", "profile_app"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidencyProfile:
+    """Measured per-label container lifetimes for one (app, workload)."""
+
+    app: str
+    workload_seed: int
+    #: Total logical ticks of the profiled run (the residency ceiling).
+    ticks: int
+    #: Simulated seconds per logical tick (from the hardware config).
+    seconds_per_tick: float
+    #: Maximum observed ``lifetime_ticks`` per container label
+    #: (``"array"`` for arrays, the class name for objects).
+    label_span_ticks: Dict[str, int]
+
+    @property
+    def run_seconds(self) -> float:
+        """The whole run's duration — the fallback residency charge."""
+        return max(1, self.ticks) * self.seconds_per_tick
+
+    def node_span_ticks(self, node: FlowNode) -> int:
+        """The residency span (ticks) charged to one flow-graph node.
+
+        Array allocation sites map to the shared ``"array"`` container
+        label; ``field:{Class}.{attr}`` nodes map to their declaring
+        class's label.  Nodes whose label was never observed fall back
+        to the full run — an upper bound by construction.
+        """
+        span: Optional[int] = None
+        if node.kind == "alloc":
+            span = self.label_span_ticks.get("array")
+        elif node.kind == "field" and node.ident.startswith("field:"):
+            class_name = node.ident[len("field:"):].split(".", 1)[0]
+            span = self.label_span_ticks.get(class_name)
+        if span is None:
+            span = self.ticks
+        return max(1, span)
+
+    def node_residency_seconds(self, node: FlowNode) -> float:
+        """The node's charged DRAM residency, in simulated seconds."""
+        return self.node_span_ticks(node) * self.seconds_per_tick
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "workload_seed": self.workload_seed,
+            "ticks": self.ticks,
+            "seconds_per_tick": self.seconds_per_tick,
+            "label_span_ticks": dict(sorted(self.label_span_ticks.items())),
+        }
+
+
+def profile_app(spec, workload_seed: int = 0) -> ResidencyProfile:
+    """One traced fault-free run -> the app's residency profile.
+
+    The ``BASELINE`` config injects no faults, so the trace — tick
+    count and container lifetimes — is a pure function of the workload
+    seed, which keeps everything downstream (bounds, placement output,
+    golden baselines) deterministic.
+    """
+    from repro.hardware.config import BASELINE
+    from repro.observability.runner import traced_run
+
+    traced = traced_run(
+        spec, BASELINE, fault_seed=0, workload_seed=workload_seed
+    )
+    spans: Dict[str, int] = {}
+    for event in traced.events:
+        if event.kind != "energy.free":
+            continue
+        label = event.identity.rsplit("#", 1)[0]
+        lifetime = int(event.extra.get("lifetime_ticks", 0))
+        spans[label] = max(spans.get(label, 0), lifetime)
+    return ResidencyProfile(
+        app=spec.name,
+        workload_seed=workload_seed,
+        ticks=traced.stats.ticks,
+        seconds_per_tick=BASELINE.seconds_per_tick,
+        label_span_ticks=spans,
+    )

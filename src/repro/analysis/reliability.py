@@ -20,11 +20,17 @@ op.  The bound is the capped sum — crude, but sound in the direction
 that matters and orders of magnitude tighter than 1.0 at the Mild and
 Medium settings.
 
-DRAM residency is not statically knowable, so the bound charges each
-array/field holder a full :data:`ASSUMED_RESIDENCY_SECONDS` of decay —
-generous against the microsecond-per-op tick model (`seconds_per_tick`).
-Deterministic FPU mantissa truncation is *not* a stochastic fault and is
-excluded (it is reported separately via ``fp_mantissa_bits``).
+DRAM residency is not statically knowable, so by default the bound
+charges each array/field holder a full
+:data:`ASSUMED_RESIDENCY_SECONDS` of decay — generous against the
+microsecond-per-op tick model (`seconds_per_tick`), and the reason
+every array-heavy bound saturates to 1.0 at the Aggressive level.
+Passing a :class:`~repro.analysis.profile.ResidencyProfile` (one
+traced fault-free run; see profile.py) replaces the constant with the
+measured per-container lifetime spans, which desaturates those bounds
+while staying sound: no container outlives its run.  Deterministic FPU
+mantissa truncation is *not* a stochastic fault and is excluded (it is
+reported separately via ``fp_mantissa_bits``).
 
 The **soundness check** replays PR-2 traced runs and asserts the
 dynamically observed fault-impact frequency (stochastic faults per
@@ -162,6 +168,7 @@ def reliability_bound(
     level: str = "",
     residency_seconds: float = ASSUMED_RESIDENCY_SECONDS,
     top: int = 5,
+    profile=None,
 ) -> ReliabilityBound:
     """Bound the per-op corruption probability of one output node.
 
@@ -169,6 +176,12 @@ def reliability_bound(
     contribute: precise state is never fault-injected by the simulator,
     mirroring the paper's hardware model.  Summation runs in sorted
     node-id order so the result is bit-identical across runs.
+
+    ``profile`` (a :class:`~repro.analysis.profile.ResidencyProfile`)
+    switches the DRAM residency charge from the flat
+    ``residency_seconds`` constant to the measured per-container span
+    of each node's label — per-node, so short-lived containers charge
+    less than the run itself.
     """
     cone = graph.backward([output_id]) if output_id in graph.nodes else []
     contributions: List[NodeContribution] = []
@@ -177,7 +190,12 @@ def reliability_bound(
         node = graph.nodes[ident]
         if not node.may_approx:
             continue
-        rate = node_rate(node.mechanism, config, residency_seconds)
+        residency = (
+            profile.node_residency_seconds(node)
+            if profile is not None
+            else residency_seconds
+        )
+        rate = node_rate(node.mechanism, config, residency)
         if rate == 0.0:
             continue
         uses = max(1, graph.in_degree(ident) + graph.out_degree(ident))
@@ -229,17 +247,32 @@ def app_reliability(
     spec: AppSpec,
     levels: Optional[Sequence[str]] = None,
     graph: Optional[FlowGraph] = None,
+    profile=None,
 ) -> List[ReliabilityBound]:
-    """Reliability bounds for one app's QoS output at the named levels."""
+    """Reliability bounds for one app's QoS output at the named levels.
+
+    With ``profile`` (or the string ``"profiled"``, which builds one
+    here) the DRAM residency charge comes from measured container
+    lifetimes instead of the 1 s constant.
+    """
     if graph is None:
         graph = app_flow_graph(spec)
+    if profile == "profiled":
+        from repro.analysis.profile import profile_app
+
+        profile = profile_app(spec)
     names = list(levels) if levels is not None else list(LEVELS)
     bounds = []
     for name in names:
         config = LEVELS[name]
         bounds.append(
             reliability_bound(
-                graph, app_output_id(spec), config, app=spec.name, level=name
+                graph,
+                app_output_id(spec),
+                config,
+                app=spec.name,
+                level=name,
+                profile=profile,
             )
         )
     return bounds
@@ -260,11 +293,18 @@ def soundness_check(
     levels: Optional[Sequence[str]] = None,
     fault_seeds: Sequence[int] = (1,),
     workload_seed: int = 0,
+    profile=None,
 ) -> List[SoundnessRecord]:
     """Replay traced runs and compare observed fault impact to the bound."""
     from repro.observability.runner import traced_run
 
-    bounds = {b.level: b for b in app_reliability(spec, levels)}
+    if profile == "profiled":
+        # Profile the same workload the replays run, so the measured
+        # spans bound exactly the executions being checked.
+        from repro.analysis.profile import profile_app
+
+        profile = profile_app(spec, workload_seed)
+    bounds = {b.level: b for b in app_reliability(spec, levels, profile=profile)}
     records = []
     for level in sorted(bounds):
         for fault_seed in fault_seeds:

@@ -21,6 +21,8 @@ __all__ = [
     "render_lint_text",
     "reliability_payload",
     "render_reliability_text",
+    "placement_payload",
+    "render_placement_text",
     "diagnostics_payload",
 ]
 
@@ -106,6 +108,60 @@ def render_reliability_text(
             lines.append(
                 f"  {record.level:10s} seed={record.fault_seed} "
                 f"observed={record.observed:.3e} <= bound={record.bound:.3e}  {verdict}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# repro analyze placement
+# ----------------------------------------------------------------------
+def placement_payload(app: str, plans, verifications=None) -> dict:
+    """Canonical payload for one app's placement plans.
+
+    ``plans`` is a sequence of :class:`~repro.analysis.placement
+    .PlacementPlan` (one per hardware level); ``verifications`` the
+    optional dynamic :class:`~repro.analysis.placement
+    .PlacementVerification` records.  Verification results are kept out
+    of the golden baselines (they depend on fault seeds), so the
+    baseline shape is plans-only.
+    """
+    payload: Dict = {
+        "version": PAYLOAD_VERSION,
+        "app": app,
+        "plans": [p.to_dict() for p in plans],
+    }
+    if verifications is not None:
+        payload["verifications"] = [v.to_dict() for v in verifications]
+    return payload
+
+
+def render_placement_text(app: str, plans, verifications=None) -> str:
+    lines = [f"{app}: data-placement plans"]
+    for plan in plans:
+        status = "feasible" if plan.feasible else "INFEASIBLE"
+        lines.append(
+            f"  {plan.level:10s} bound {plan.bound_before:.3e} -> "
+            f"{plan.bound_after:.3e} (threshold {plan.threshold:.0e}, {status})  "
+            f"energy {plan.energy_modeled_before:.4f} -> "
+            f"{plan.energy_modeled_after:.4f}  "
+            f"all-precise-dram {plan.energy_modeled_all_precise_dram:.4f}"
+        )
+        demotions = plan.demotions
+        lines.append(
+            f"      {len(plan.decisions)} site(s), {len(demotions)} demotion(s)"
+        )
+        for decision in demotions:
+            lines.append(f"      {decision}")
+    if verifications:
+        lines.append(f"{app}: dynamic placement verification")
+        for v in verifications:
+            verdict = "ok" if v.accepted else "REJECTED"
+            beat = "beats" if v.beats_measured else "does not beat"
+            lines.append(
+                f"  {v.level:10s} seed={v.fault_seed} check={v.check} {verdict}  "
+                f"repairs={len(v.repair_demotions)}  "
+                f"measured {v.energy_measured:.4f} {beat} "
+                f"all-precise-dram {v.energy_measured_all_precise_dram:.4f}"
             )
     return "\n".join(lines)
 

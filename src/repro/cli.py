@@ -190,23 +190,62 @@ def _lint_one(item):
 
 
 def _analyze_one(item):
-    """Worker: (app name, levels, verify?, seeds) -> (bounds, soundness)."""
-    name, levels, verify, seeds = item
+    """Worker: (app name, levels, verify?, seeds, residency) -> (bounds, soundness)."""
+    name, levels, verify, seeds, residency = item
     from repro.analysis import app_reliability, soundness_check
     from repro.apps import app_by_name
 
     spec = app_by_name(name)
-    bounds = app_reliability(spec, levels)
+    profile = "profiled" if residency == "profiled" else None
+    bounds = app_reliability(spec, levels, profile=profile)
     records = None
     if verify:
         records = soundness_check(
-            spec, levels, fault_seeds=tuple(range(1, seeds + 1))
+            spec, levels, fault_seeds=tuple(range(1, seeds + 1)), profile=profile
         )
     return bounds, records
 
 
+def _placement_one(item):
+    """Worker: (app name, levels, verify?, seeds, threshold) -> (plans, verifications)."""
+    name, levels, verify, seeds, threshold = item
+    from repro.analysis.placement import DEFAULT_THRESHOLD, PlacementAnalysis
+    from repro.apps import app_by_name
+
+    if threshold is None:
+        threshold = DEFAULT_THRESHOLD
+    spec = app_by_name(name)
+    plans = []
+    verifications = None
+    for level in levels:
+        analysis = PlacementAnalysis(spec, level=level, threshold=threshold)
+        plans.append(analysis.plan())
+        if verify:
+            if verifications is None:
+                verifications = []
+            for fault_seed in range(1, seeds + 1):
+                verifications.append(analysis.verify(fault_seed=fault_seed))
+    return plans, verifications
+
+
 def _baseline_path(directory: str, app: str) -> str:
     return os.path.join(directory, f"{app.lower()}.json")
+
+
+#: Exit code when ``--fail-on`` trips: distinct from 1 (operational or
+#: verification failure) so CI can tell "the analysis found something"
+#: from "the analysis broke".
+EXIT_FAIL_ON = 2
+
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+
+def _fail_on_tripped(fail_on, severities) -> bool:
+    """True when any reported severity meets the ``--fail-on`` bar."""
+    if not fail_on:
+        return False
+    bar = _SEVERITY_RANK[fail_on]
+    return any(_SEVERITY_RANK.get(s, 0) >= bar for s in severities)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -227,6 +266,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         name: lint_payload(name, findings, suggestions)
         for name, (findings, suggestions) in zip(apps, results)
     }
+    fail_on = _fail_on_tripped(
+        args.fail_on,
+        [f.severity for findings, _ in results for f in findings],
+    )
 
     if args.write_baselines:
         os.makedirs(args.baseline_dir, exist_ok=True)
@@ -260,24 +303,27 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 "'repro lint --baseline-dir DIR --write-baselines'"
             )
             return 1
-        return 0
+        return EXIT_FAIL_ON if fail_on else 0
 
     if args.format == "json":
         if len(apps) == 1:
             print(canonical_json(payloads[apps[0]]), end="")
         else:
             print(canonical_json({"apps": [payloads[name] for name in apps]}), end="")
-        return 0
+        return EXIT_FAIL_ON if fail_on else 0
 
     blocks = [
         render_lint_text(name, findings, suggestions)
         for name, (findings, suggestions) in zip(apps, results)
     ]
     print("\n\n".join(blocks))
-    return 0
+    return EXIT_FAIL_ON if fail_on else 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.what == "placement":
+        return _cmd_analyze_placement(args)
+
     from repro.analysis.report import (
         canonical_json,
         reliability_payload,
@@ -291,13 +337,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 1
 
     levels = args.level or None
-    items = [(name, levels, args.verify, args.seeds) for name in apps]
+    items = [
+        (name, levels, args.verify, args.seeds, args.residency) for name in apps
+    ]
     results = _fan_out(_analyze_one, items, args.jobs)
 
     violations = 0
     for _, records in results:
         if records:
             violations += sum(1 for record in records if not record.sound)
+    # --fail-on warning gates on saturated bounds: a bound pinned at 1.0
+    # is an honest "no guarantee", which CI may refuse to ship.
+    fail_on = _fail_on_tripped(
+        args.fail_on,
+        [
+            "warning"
+            for bounds, _ in results
+            for bound in bounds
+            if bound.saturated
+        ],
+    )
 
     if args.format == "json":
         payloads = [
@@ -318,7 +377,132 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"FAILED: {violations}/{checked} soundness record(s) violated")
             else:
                 print(f"OK: {checked} soundness record(s), observed <= bound")
-    return 1 if violations else 0
+    if violations:
+        return 1
+    return EXIT_FAIL_ON if fail_on else 0
+
+
+def _cmd_analyze_placement(args: argparse.Namespace) -> int:
+    from repro.analysis.report import (
+        canonical_json,
+        placement_payload,
+        render_placement_text,
+    )
+
+    try:
+        apps = _resolve_apps(args.apps)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    if args.write_baselines and not args.baseline_dir:
+        print("error: --write-baselines requires --baseline-dir", file=sys.stderr)
+        return 1
+
+    # Plans default to all three levels (that is the baseline shape);
+    # --verify simulates, so it defaults to Mild — the level where the
+    # annotated programs are known-acceptable — unless levels are given.
+    if args.level:
+        levels = list(dict.fromkeys(args.level))
+    else:
+        levels = ["mild"] if args.verify else ["mild", "medium", "aggressive"]
+    items = [
+        (name, levels, args.verify, args.seeds, args.threshold) for name in apps
+    ]
+    results = _fan_out(_placement_one, items, args.jobs)
+
+    # Golden baselines carry plans only: verification depends on fault
+    # seeds and is asserted live, not diffed.
+    payloads = {
+        name: placement_payload(name, plans)
+        for name, (plans, _) in zip(apps, results)
+    }
+    rejected = sum(
+        1
+        for _, verifications in results
+        for v in verifications or ()
+        if not v.accepted
+    )
+    fail_on = _fail_on_tripped(
+        args.fail_on,
+        [
+            "warning"
+            for plans, _ in results
+            for plan in plans
+            if not plan.feasible or not plan.validated
+        ],
+    )
+
+    if args.write_baselines:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in apps:
+            path = _baseline_path(args.baseline_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(payloads[name]))
+            print(f"wrote {path}")
+        return 0
+
+    if args.baseline_dir:
+        drifted = []
+        for name in apps:
+            path = _baseline_path(args.baseline_dir, name)
+            current = canonical_json(payloads[name])
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    committed = handle.read()
+            except FileNotFoundError:
+                print(f"{name}: MISSING baseline {path}")
+                drifted.append(name)
+                continue
+            if committed != current:
+                print(f"{name}: DRIFT against {path}")
+                drifted.append(name)
+            else:
+                demotions = sum(
+                    len(plan["decisions"]) for plan in payloads[name]["plans"]
+                )
+                print(f"{name}: ok ({demotions} decision(s))")
+        if drifted:
+            print(
+                f"FAILED: {len(drifted)} app(s) drifted; regenerate with "
+                "'repro analyze placement --baseline-dir DIR --write-baselines'"
+            )
+            return 1
+        return EXIT_FAIL_ON if fail_on else 0
+
+    if args.format == "json":
+        documents = [
+            placement_payload(name, plans, verifications)
+            for name, (plans, verifications) in zip(apps, results)
+        ]
+        document = documents[0] if len(apps) == 1 else {"apps": documents}
+        print(canonical_json(document), end="")
+    else:
+        blocks = [
+            render_placement_text(name, plans, verifications)
+            for name, (plans, verifications) in zip(apps, results)
+        ]
+        print("\n\n".join(blocks))
+        if args.verify:
+            checked = sum(len(v or ()) for _, v in results)
+            beaten = sum(
+                1
+                for _, verifications in results
+                for v in verifications or ()
+                if v.beats_measured and v.beats_modeled
+            )
+            if rejected:
+                print(
+                    f"FAILED: {rejected}/{checked} placement(s) rejected by "
+                    f"the acceptability check"
+                )
+            else:
+                print(
+                    f"OK: {checked} placement(s) accepted; {beaten} beat the "
+                    f"all-precise-DRAM energy (modeled and measured)"
+                )
+    if rejected:
+        return 1
+    return EXIT_FAIL_ON if fail_on else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -1004,14 +1188,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan apps across N processes (output identical to serial)",
     )
+    lint.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default=None,
+        help="exit 2 when any finding at or above this severity is "
+        "reported (CI gate; default: findings never affect the exit code)",
+    )
     lint.set_defaults(fn=cmd_lint)
 
     analyze = commands.add_parser(
         "analyze",
-        help="static reliability bounds for app QoS outputs (ANALYSIS.md)",
+        help="static reliability bounds and data placement for app QoS "
+        "outputs (ANALYSIS.md)",
     )
     analyze.add_argument(
-        "what", choices=("reliability",), help="analysis to run"
+        "what", choices=("reliability", "placement"), help="analysis to run"
     )
     analyze.add_argument(
         "apps", nargs="*", help="ported app names (default: all)"
@@ -1020,7 +1212,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--level",
         action="append",
         choices=("mild", "medium", "aggressive"),
-        help="hardware level to bound (repeatable; default: all three)",
+        help="hardware level to analyze (repeatable; default: all three, "
+        "except placement --verify which defaults to mild)",
     )
     analyze.add_argument(
         "--format",
@@ -1031,8 +1224,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--verify",
         action="store_true",
-        help="replay traced runs and fail unless observed fault impact "
-        "stays within every static bound",
+        help="reliability: replay traced runs and fail unless observed "
+        "fault impact stays within every static bound; placement: "
+        "simulate each suggested placement, fail unless the PR-9 "
+        "acceptability check passes, and report whether measured energy "
+        "beats the all-precise-DRAM placement",
     )
     analyze.add_argument(
         "--seeds",
@@ -1042,11 +1238,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="--verify replays fault seeds 1..N per level (default: 1)",
     )
     analyze.add_argument(
+        "--residency",
+        choices=("assumed", "profiled"),
+        default="assumed",
+        help="reliability: DRAM residency charge per array/field — the "
+        "conservative 1 s constant, or measured per-container lifetime "
+        "spans from one fault-free traced run (desaturates array-heavy "
+        "Aggressive bounds; placement always profiles)",
+    )
+    analyze.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="P",
+        help="placement: demote sites until the static per-op corruption "
+        "bound of the QoS output is at most P (default: 1e-2)",
+    )
+    analyze.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        help="placement: compare canonical plan JSON against "
+        "DIR/<app>.json and exit nonzero on drift (the CI analysis lane)",
+    )
+    analyze.add_argument(
+        "--write-baselines",
+        action="store_true",
+        help="placement: write DIR/<app>.json instead of comparing",
+    )
+    analyze.add_argument(
         "--jobs",
         type=int,
         default=None,
         metavar="N",
         help="fan apps across N processes (output identical to serial)",
+    )
+    analyze.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default=None,
+        help="exit 2 on analysis warnings: saturated reliability bounds, "
+        "or infeasible/unvalidated placement plans (CI gate)",
     )
     analyze.set_defaults(fn=cmd_analyze)
 

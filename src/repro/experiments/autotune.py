@@ -62,6 +62,7 @@ def autotune(
     qos_budget: float = 0.05,
     runs: int = 5,
     max_level: int = 3,
+    mechanisms=None,
 ) -> TuneResult:
     """Greedy coordinate ascent over per-mechanism levels.
 
@@ -69,7 +70,18 @@ def autotune(
     keeps those whose measured mean QoS error stays within budget, and
     commits the one with the lowest estimated energy; stops when no
     upgrade is admissible.
+
+    ``mechanisms`` restricts the search to the named strategies; pass
+    the string ``"placement"`` to derive the restriction from the
+    data-placement analysis (mechanisms with no approximate state in
+    the QoS output's cone are never explored — fewer simulated
+    evaluations for the same committed vector).
     """
+    if mechanisms == "placement":
+        from repro.analysis.placement import placement_mechanisms
+        from repro.analysis.reliability import app_flow_graph, app_output_id
+
+        mechanisms = placement_mechanisms(app_flow_graph(spec), app_output_id(spec))
     stats = run_key(
         RunKey(spec=spec, config=BASELINE, fault_seed=0, workload_seed=0)
     ).stats
@@ -80,7 +92,9 @@ def autotune(
 
     while True:
         best: Optional[Tuple[str, float, float]] = None  # strategy, energy, qos
-        for strategy, candidate_levels in candidate_upgrades(levels, max_level):
+        for strategy, candidate_levels in candidate_upgrades(
+            levels, max_level, mechanisms
+        ):
             energy = levels_energy(stats, candidate_levels)
             if energy >= current_energy - 1e-9:
                 # No energy benefit (e.g. the app has no FP work):

@@ -96,6 +96,13 @@ class OnlineTuner:
     are only injectable to share work across controllers; they carry no
     decision state.  ``prune=False`` disables static-bound pruning and
     exists so tests can quantify what pruning saves.
+
+    ``mechanisms`` restricts exploration to the named strategies — pass
+    the string ``"placement"`` to derive the restriction from the
+    data-placement analysis (mechanisms with no approximate state in
+    the QoS output's cone never earn a trial).  Opt-in: the default
+    ``None`` explores all of :data:`~repro.tuner.search.TUNABLE`, so
+    existing digest trails are unchanged.
     """
 
     def __init__(
@@ -108,12 +115,14 @@ class OnlineTuner:
         trial_samples: int = TRIAL_SAMPLES,
         max_level: int = MAX_LEVEL,
         prune: bool = True,
+        mechanisms=None,
     ) -> None:
         self.spec = spec
         self.qos_budget = float(qos_budget)
         self.trial_samples = trial_samples
         self.max_level = max_level
         self.prune = prune
+        self._mechanisms = mechanisms
         #: Serialises budget requests against this controller.
         self.lock = threading.RLock()
         self._graph = graph
@@ -154,6 +163,19 @@ class OnlineTuner:
 
             self._graph = app_flow_graph(self.spec)
         return self._graph
+
+    def mechanism_restriction(self):
+        """The resolved mechanism restriction (``None`` = unrestricted)."""
+        if self._mechanisms == "placement":
+            from repro.analysis.placement import placement_mechanisms
+            from repro.analysis.reliability import app_output_id
+
+            self._mechanisms = placement_mechanisms(
+                self._flow_graph(), app_output_id(self.spec)
+            )
+        if self._mechanisms is None:
+            return None
+        return frozenset(self._mechanisms)
 
     def bound_for(self, levels: Dict[str, int]):
         """Memoised static reliability bound of a level vector."""
@@ -282,7 +304,9 @@ class OnlineTuner:
         newly_ruled_out = []
         pruned_now = 0
         best = None  # (energy, strategy, candidate levels tuple)
-        for strategy, candidate in candidate_upgrades(committed, self.max_level):
+        for strategy, candidate in candidate_upgrades(
+            committed, self.max_level, self.mechanism_restriction()
+        ):
             target = (strategy, candidate[strategy])
             if target in ruled_out:
                 continue

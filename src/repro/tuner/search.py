@@ -27,7 +27,7 @@ feedback does.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.energy.model import SERVER, estimate_energy
 from repro.hardware.config import (
@@ -94,14 +94,26 @@ def compose_config(levels: Dict[str, int], name: str = "tuned") -> HardwareConfi
 
 
 def candidate_upgrades(
-    levels: Dict[str, int], max_level: int = MAX_LEVEL
+    levels: Dict[str, int],
+    max_level: int = MAX_LEVEL,
+    mechanisms: Optional[Set[str]] = None,
 ) -> Iterator[Tuple[str, Dict[str, int]]]:
     """Every single-step upgrade of one mechanism, in TUNABLE order.
 
     Yields ``(strategy, candidate_levels)`` pairs; the deterministic
     order is what makes both tuners' tie-breaking reproducible.
+
+    ``mechanisms`` restricts the neighbourhood to the named strategies
+    (``None`` leaves all of :data:`TUNABLE` open).  The data-placement
+    analysis derives such a restriction statically — a mechanism with no
+    approximate state in the QoS output's dependency cone can neither
+    change the output nor buy energy on it, so pruning its ladder before
+    any simulation is free (see
+    :func:`repro.analysis.placement.placement_mechanisms`).
     """
     for strategy in TUNABLE:
+        if mechanisms is not None and strategy not in mechanisms:
+            continue
         if levels.get(strategy, 0) >= max_level:
             continue
         candidate = dict(levels)

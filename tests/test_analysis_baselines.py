@@ -7,6 +7,8 @@ up here as a reviewable diff.  Regenerate with::
 
     repro lint --baseline-dir tests/baselines/lint --write-baselines
     repro analyze reliability --format json > tests/baselines/reliability.json
+    repro analyze placement --baseline-dir tests/baselines/placement \
+        --write-baselines
 """
 
 import json
@@ -24,6 +26,9 @@ from repro.core.checker import check_modules
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines", "lint")
 RELIABILITY_BASELINE = os.path.join(
     os.path.dirname(__file__), "baselines", "reliability.json"
+)
+PLACEMENT_BASELINE_DIR = os.path.join(
+    os.path.dirname(__file__), "baselines", "placement"
 )
 
 
@@ -78,6 +83,49 @@ class TestReliabilityBaseline:
         )
 
 
+class TestPlacementBaselines:
+    @pytest.mark.parametrize("spec", ALL_APPS, ids=lambda s: s.name)
+    def test_app_matches_committed_baseline(self, spec, capsys):
+        assert main(
+            [
+                "analyze",
+                "placement",
+                spec.name.lower(),
+                "--baseline-dir",
+                PLACEMENT_BASELINE_DIR,
+            ]
+        ) == 0, (
+            f"{spec.name}: placement plans drifted; regenerate with "
+            "'repro analyze placement --baseline-dir "
+            "tests/baselines/placement --write-baselines' and review the diff"
+        )
+        assert "ok" in capsys.readouterr().out
+
+    def test_baselines_cover_exactly_the_bundled_apps(self):
+        committed = {
+            name[: -len(".json")]
+            for name in os.listdir(PLACEMENT_BASELINE_DIR)
+            if name.endswith(".json")
+        }
+        assert committed == {spec.name.lower() for spec in ALL_APPS}
+
+    def test_baselines_are_canonical_versioned_plans_only(self):
+        for name in sorted(os.listdir(PLACEMENT_BASELINE_DIR)):
+            if not name.endswith(".json"):
+                continue
+            raw = _read(os.path.join(PLACEMENT_BASELINE_DIR, name))
+            payload = json.loads(raw)
+            assert payload["version"] == PAYLOAD_VERSION
+            assert canonical_json(payload) == raw  # canonical round-trip
+            # Plans for all three levels, no seed-dependent verification.
+            assert [p["level"] for p in payload["plans"]] == [
+                "mild",
+                "medium",
+                "aggressive",
+            ]
+            assert "verifications" not in payload
+
+
 class TestJobsDeterminism:
     def test_lint_jobs_output_is_byte_identical(self, capsys):
         apps = ["fft", "montecarlo", "lu"]
@@ -93,6 +141,17 @@ class TestJobsDeterminism:
         serial = capsys.readouterr().out
         assert (
             main(["analyze", "reliability", *apps, "--format", "json", "--jobs", "2"])
+            == 0
+        )
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+
+    def test_placement_jobs_output_is_byte_identical(self, capsys):
+        apps = ["fft", "sor"]
+        assert main(["analyze", "placement", *apps, "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["analyze", "placement", *apps, "--format", "json", "--jobs", "2"])
             == 0
         )
         fanned = capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Tests for the endorsement audit (AF001-AF005, ANALYSIS.md)."""
+"""Tests for the endorsement audit (AF001-AF006, ANALYSIS.md)."""
 
 import textwrap
 
@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis import LINT_CODES, run_lints
 from repro.analysis.lints import WIDE_ENDORSE_THRESHOLD
-from repro.apps import app_by_name, load_sources
+from repro.apps import ALL_APPS, app_by_name, load_sources
 from repro.core.checker import check_modules
 
 PRELUDE = "from repro import Approx, Precise, Top, Context, approximable, endorse\n"
@@ -100,6 +100,49 @@ class TestEndorsementFindings:
             """
         )
         assert "AF004" not in codes_of(findings)
+
+    def test_wasted_placement_is_af006_warning(self):
+        # An approximate DRAM array that is written but never read pays
+        # the refresh-error exposure for nothing.
+        findings = lint_src(
+            """
+            def waste(n: int) -> float:
+                junk: list[Approx[float]] = [0.0] * n
+                for i in range(n):
+                    junk[i] = 1.0 * i
+                total: float = 0.0
+                for i in range(n):
+                    total = total + 1.0
+                return total
+            """
+        )
+        wasted = [f for f in findings if f.code == "AF006"]
+        assert wasted
+        assert all(f.severity == "warning" for f in wasted)
+        assert any("junk" in f.message for f in wasted)
+        assert any("precise" in f.message for f in wasted)
+
+    def test_read_array_clears_af006(self):
+        findings = lint_src(
+            """
+            def use(n: int) -> float:
+                data: list[Approx[float]] = [0.0] * n
+                for i in range(n):
+                    data[i] = 1.0 * i
+                total: Approx[float] = 0.0
+                for i in range(n):
+                    total = total + data[i]
+                return endorse(total)
+            """
+        )
+        assert "AF006" not in codes_of(findings)
+
+    def test_bundled_apps_have_no_wasted_placements(self):
+        # Every bundled app reads what it stores approximately — AF006
+        # firing on one would mean an annotation regression.
+        for spec in ALL_APPS:
+            findings = run_lints(result=check_modules(load_sources(spec)))
+            assert "AF006" not in codes_of(findings), spec.name
 
 
 class TestLintContract:

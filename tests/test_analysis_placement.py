@@ -1,0 +1,242 @@
+"""Tests for the data-placement analysis (profile, cost model, optimizer).
+
+The Hypothesis suite pins the two monotonicity properties the greedy
+optimizer relies on (ISSUE 10 satellite): demoting any storage node to
+precise never *increases* the static reliability bound and never
+*decreases* the modeled energy.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.costmodel import PlacementCostModel
+from repro.analysis.flowgraph import FlowNode
+from repro.analysis.placement import (
+    DEFAULT_THRESHOLD,
+    PlacementAnalysis,
+    _demote_sources,
+    placement_mechanisms,
+)
+from repro.analysis.profile import ResidencyProfile, profile_app
+from repro.analysis.reliability import (
+    LEVELS,
+    app_flow_graph,
+    app_output_id,
+    app_reliability,
+    soundness_check,
+)
+from repro.apps import app_by_name, load_sources
+from repro.core.checker import check_modules
+
+
+@pytest.fixture(scope="module")
+def sor_analysis():
+    return PlacementAnalysis(app_by_name("SOR"), level="aggressive")
+
+
+@pytest.fixture(scope="module")
+def fft_model():
+    spec = app_by_name("FFT")
+    graph = app_flow_graph(spec)
+    return PlacementCostModel(
+        graph, app_output_id(spec), LEVELS["aggressive"], profile_app(spec)
+    )
+
+
+# ----------------------------------------------------------------------
+# Residency profiles
+# ----------------------------------------------------------------------
+class TestResidencyProfile:
+    def test_profile_is_deterministic(self):
+        spec = app_by_name("SOR")
+        assert profile_app(spec).to_dict() == profile_app(spec).to_dict()
+
+    def test_spans_bounded_by_run(self):
+        profile = profile_app(app_by_name("SOR"))
+        assert profile.ticks > 0
+        for span in profile.label_span_ticks.values():
+            assert 0 <= span <= profile.ticks
+
+    def test_node_span_mapping(self):
+        profile = ResidencyProfile(
+            app="X",
+            workload_seed=0,
+            ticks=100,
+            seconds_per_tick=1e-6,
+            label_span_ticks={"array": 10, "Grid": 5},
+        )
+
+        def node(ident, kind):
+            return FlowNode(
+                ident=ident,
+                kind=kind,
+                module="m",
+                line=1,
+                column=0,
+                qualifier="approx",
+                mechanism="dram",
+                label="x",
+            )
+
+        assert profile.node_span_ticks(node("alloc:m:1:0", "alloc")) == 10
+        assert profile.node_span_ticks(node("field:Grid.cells", "field")) == 5
+        # Unobserved labels fall back to the whole run (sound ceiling).
+        assert profile.node_span_ticks(node("field:Other.x", "field")) == 100
+        assert profile.node_span_ticks(node("local:m.f.x", "local")) == 100
+        assert profile.node_residency_seconds(
+            node("alloc:m:1:0", "alloc")
+        ) == pytest.approx(10e-6)
+
+    def test_profiled_residency_desaturates_fft_aggressive(self):
+        spec = app_by_name("FFT")
+        assumed = app_reliability(spec, ["aggressive"])[0]
+        profiled = app_reliability(spec, ["aggressive"], profile="profiled")[0]
+        assert assumed.saturated and assumed.bound == 1.0
+        assert not profiled.saturated
+        assert profiled.bound < 1.0
+
+    def test_profiled_bound_never_above_assumed(self):
+        spec = app_by_name("SOR")
+        for level in ("mild", "medium", "aggressive"):
+            assumed = app_reliability(spec, [level])[0]
+            profiled = app_reliability(spec, [level], profile="profiled")[0]
+            assert profiled.bound <= assumed.bound
+
+    def test_profiled_soundness_holds(self):
+        records = soundness_check(
+            app_by_name("SOR"), ["aggressive"], fault_seeds=(1,), profile="profiled"
+        )
+        assert records and all(r.sound for r in records)
+
+
+# ----------------------------------------------------------------------
+# Cost-model monotonicity (Hypothesis)
+# ----------------------------------------------------------------------
+class TestCostModelMonotonicity:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_demotion_never_raises_bound_or_lowers_energy(self, fft_model, data):
+        sites = list(fft_model.seed_sites)
+        demoted = data.draw(
+            st.sets(st.sampled_from(sites), max_size=len(sites) - 1)
+        )
+        extra = data.draw(
+            st.sampled_from([s for s in sites if s not in demoted])
+        )
+        before = frozenset(demoted)
+        after = frozenset(demoted | {extra})
+        assert fft_model.bound(after) <= fft_model.bound(before)
+        assert fft_model.energy(after) >= fft_model.energy(before)
+
+    def test_full_demotion_is_precise(self, fft_model):
+        everything = frozenset(fft_model.seed_sites)
+        assert fft_model.bound(everything) == 0.0
+        assert fft_model.energy(everything) == pytest.approx(1.0)
+        assert fft_model.effective_approx(everything) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# The placement optimizer
+# ----------------------------------------------------------------------
+class TestPlacementPlan:
+    def test_plan_is_deterministic(self):
+        spec = app_by_name("SOR")
+        first = PlacementAnalysis(spec, level="medium").plan().to_dict()
+        second = PlacementAnalysis(spec, level="medium").plan().to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_aggressive_drives_bound_under_threshold(self, sor_analysis):
+        plan = sor_analysis.plan()
+        assert plan.bound_before > DEFAULT_THRESHOLD
+        assert plan.feasible
+        assert plan.bound_after <= DEFAULT_THRESHOLD
+        assert plan.demotions
+
+    def test_demotions_recheck_cleanly(self, sor_analysis):
+        plan = sor_analysis.plan()
+        demoted = [d.ident for d in plan.demotions]
+        sources = sor_analysis.sources
+        mutated = _demote_sources(
+            sources, [sor_analysis.sites[i] for i in sorted(demoted)]
+        )
+        before = sum(src.count("Approx[") for src in sources.values())
+        after = sum(src.count("Approx[") for src in mutated.values())
+        assert before - after == len(demoted)
+        recheck = check_modules(mutated)
+        assert recheck.ok
+        assert len(recheck.diagnostics) <= len(sor_analysis.result.diagnostics)
+
+    def test_closures_are_site_sets_containing_their_root(self, sor_analysis):
+        # Not every closure is feasible (a root fed by a skip-listed
+        # module cannot demote — the optimizer marks it infeasible and
+        # moves on), but every closure is a site set rooted at its site.
+        for ident in sor_analysis.sites:
+            if sor_analysis.graph.nodes.get(ident) is None:
+                continue
+            closure = sor_analysis.demotion_closure(ident)
+            assert ident in closure
+            assert closure <= set(sor_analysis.sites)
+
+    def test_infeasible_roots_are_skipped_not_fatal(self):
+        # SOR's make_grid return is fed by the skip-listed rand module:
+        # its closure cannot re-check, so the optimizer must route
+        # around it and still reach the threshold.
+        analysis = PlacementAnalysis(app_by_name("SOR"), level="aggressive")
+        closure = analysis.demotion_closure("return:sor.make_grid")
+        assert not analysis.validate(closure)
+        plan = analysis.plan()
+        assert plan.feasible
+
+    def test_all_precise_dram_costs_at_least_annotated(self, sor_analysis):
+        plan = sor_analysis.plan()
+        assert plan.energy_modeled_all_precise_dram >= plan.energy_modeled_before
+
+    def test_decisions_cover_every_site(self, sor_analysis):
+        plan = sor_analysis.plan()
+        assert {d.ident for d in plan.decisions} == set(sor_analysis.sites)
+        for decision in plan.decisions:
+            assert decision.action in ("keep", "demote")
+            if decision.action == "demote":
+                assert decision.current != decision.proposed
+                assert "Approx[" in decision.current
+                assert "Approx[" not in decision.proposed
+
+
+class TestPlacementVerify:
+    def test_sor_mild_accepted_and_beats_all_precise_dram(self):
+        analysis = PlacementAnalysis(app_by_name("SOR"), level="mild")
+        verification = analysis.verify(fault_seed=1)
+        assert verification.accepted
+        assert verification.rounds == 0
+        assert verification.repair_demotions == ()
+        assert verification.beats_measured
+        assert verification.beats_modeled
+
+
+# ----------------------------------------------------------------------
+# Tuner integration
+# ----------------------------------------------------------------------
+class TestPlacementMechanisms:
+    def test_imagej_restricts_to_dram(self):
+        spec = app_by_name("ImageJ")
+        active = placement_mechanisms(app_flow_graph(spec), app_output_id(spec))
+        assert active == frozenset({"dram"})
+
+    def test_candidate_upgrades_respect_restriction(self):
+        from repro.tuner.search import TUNABLE, candidate_upgrades
+
+        levels = {strategy: 0 for strategy in TUNABLE}
+        restricted = list(
+            candidate_upgrades(levels, mechanisms=frozenset({"dram", "sram"}))
+        )
+        assert [strategy for strategy, _ in restricted] == ["dram", "sram"]
+        unrestricted = list(candidate_upgrades(levels))
+        assert [strategy for strategy, _ in unrestricted] == list(TUNABLE)
+
+    def test_unknown_output_is_empty(self):
+        spec = app_by_name("FFT")
+        graph = app_flow_graph(spec)
+        assert placement_mechanisms(graph, "return:no.such") == frozenset()

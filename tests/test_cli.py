@@ -446,3 +446,112 @@ class TestAnalyzeCommand:
     def test_unknown_app_rejected(self, capsys):
         assert main(["analyze", "reliability", "nosuchapp"]) == 1
         assert "nosuchapp" in capsys.readouterr().err
+
+
+class TestFailOn:
+    def test_lint_fail_on_warning_trips_on_warnings(self, capsys):
+        # FFT carries warning-severity findings (AF005 wide endorsement).
+        assert main(["lint", "fft", "--no-suggest", "--fail-on", "warning"]) == 2
+        capsys.readouterr()
+
+    def test_lint_fail_on_warning_clean_app_passes(self, capsys):
+        assert main(
+            ["lint", "montecarlo", "--no-suggest", "--fail-on", "warning"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_lint_fail_on_error_ignores_warnings(self, capsys):
+        # The lint catalog only emits info/warning; error never trips.
+        assert main(["lint", "fft", "--no-suggest", "--fail-on", "error"]) == 0
+        capsys.readouterr()
+
+    def test_reliability_fail_on_trips_on_saturated_bound(self, capsys):
+        assert main(
+            [
+                "analyze", "reliability", "fft",
+                "--level", "aggressive", "--fail-on", "warning",
+            ]
+        ) == 2
+        assert "saturated" in capsys.readouterr().out
+
+    def test_profiled_residency_clears_the_saturation(self, capsys):
+        assert main(
+            [
+                "analyze", "reliability", "fft",
+                "--level", "aggressive", "--fail-on", "warning",
+                "--residency", "profiled",
+            ]
+        ) == 0
+        assert "saturated" not in capsys.readouterr().out
+
+    def test_placement_fail_on_trips_on_infeasible_plan(self, capsys):
+        # ZXing's medium/aggressive approximateness is Context-seeded and
+        # cannot be demoted away: the plans are honestly infeasible.
+        assert main(["analyze", "placement", "zxing", "--fail-on", "warning"]) == 2
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+
+class TestPlacementCommand:
+    def test_text_lists_all_levels(self, capsys):
+        assert main(["analyze", "placement", "montecarlo"]) == 0
+        out = capsys.readouterr().out
+        assert "MonteCarlo: data-placement plans" in out
+        for level in ("mild", "medium", "aggressive"):
+            assert level in out
+        assert "all-precise-dram" in out
+
+    def test_level_filter(self, capsys):
+        assert main(["analyze", "placement", "montecarlo", "--level", "mild"]) == 0
+        out = capsys.readouterr().out
+        assert "mild" in out
+        assert "aggressive" not in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["analyze", "placement", "montecarlo", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "MonteCarlo"
+        assert [p["level"] for p in payload["plans"]] == [
+            "mild", "medium", "aggressive",
+        ]
+        for plan in payload["plans"]:
+            assert plan["feasible"] is True
+            assert plan["validated"] is True
+            assert 0.0 <= plan["bound_after"] <= plan["bound_before"] <= 1.0
+            assert {d["action"] for d in plan["decisions"]} <= {"keep", "demote"}
+
+    def test_baseline_roundtrip_and_drift(self, tmp_path, capsys):
+        baseline_dir = str(tmp_path / "placement")
+        assert main(
+            [
+                "analyze", "placement", "montecarlo",
+                "--baseline-dir", baseline_dir, "--write-baselines",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["analyze", "placement", "montecarlo", "--baseline-dir", baseline_dir]
+        ) == 0
+        assert "ok" in capsys.readouterr().out
+        path = tmp_path / "placement" / "montecarlo.json"
+        path.write_text(path.read_text().replace('"keep"', '"drop"'))
+        assert main(
+            ["analyze", "placement", "montecarlo", "--baseline-dir", baseline_dir]
+        ) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_write_baselines_requires_dir(self, capsys):
+        assert main(["analyze", "placement", "montecarlo", "--write-baselines"]) == 1
+        assert "--baseline-dir" in capsys.readouterr().err
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["analyze", "placement", "nosuchapp"]) == 1
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_verify_accepts_and_beats_all_precise_dram(self, capsys):
+        # The cheapest bundled app keeps this live-simulation smoke fast.
+        assert main(["analyze", "placement", "imagej", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic placement verification" in out
+        assert "accepted" in out
+        assert "beats all-precise-dram" in out
+        assert "FAILED" not in out
